@@ -1,0 +1,127 @@
+// E10 — cost model validation: cost-based plan selection (§4) is only as
+// good as the estimates' *ordering*. This bench generates randomized
+// queries, optimizes each, executes it, and reports the Spearman rank
+// correlation between estimated plan cost and measured simulated cost.
+//
+// Expect: strong positive rank correlation (the absolute scale does not
+// matter for choosing plans; the order does).
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+
+namespace seq {
+namespace {
+
+constexpr Position kSpanEnd = 20000;
+
+void SetupCatalog(Engine* engine, uint64_t seed) {
+  const double densities[] = {1.0, 0.6, 0.25, 0.05};
+  for (int i = 0; i < 4; ++i) {
+    IntSeriesOptions options;
+    options.span = Span::Of(1, kSpanEnd - 500 * i);
+    options.density = densities[i];
+    options.seed = seed + i;
+    options.min_value = 0;
+    options.max_value = 999;
+    options.column = "v" + std::to_string(i);
+    SEQ_CHECK(engine
+                  ->RegisterBase("s" + std::to_string(i),
+                                 *MakeIntSeries(options))
+                  .ok());
+  }
+}
+
+LogicalOpPtr RandomQuery(Rng* rng) {
+  auto base = [&](int i) { return SeqRef("s" + std::to_string(i)); };
+  QueryBuilder builder = base(static_cast<int>(rng->UniformInt(0, 3)));
+  int left = static_cast<int>(rng->UniformInt(0, 3));
+  int steps = static_cast<int>(rng->UniformInt(1, 4));
+  std::string col = "v" + std::to_string(left);
+  builder = base(left);
+  for (int s = 0; s < steps; ++s) {
+    switch (rng->UniformInt(0, 3)) {
+      case 0:
+        builder = builder.Select(
+            Lt(Col(col), Lit(rng->UniformInt(50, 950))));
+        break;
+      case 1: {
+        int other = static_cast<int>(rng->UniformInt(0, 3));
+        builder = builder.ComposeWith(base(other));
+        col = "v" + std::to_string(left);  // names may clash; keep left's
+        break;
+      }
+      case 2:
+        builder = builder.Agg(AggFunc::kSum, col,
+                              rng->UniformInt(2, 16), "agg");
+        col = "agg";
+        break;
+      default:
+        builder = builder.ValueOffset(-1);
+        break;
+    }
+  }
+  return builder.Build();
+}
+
+double SpearmanRank(std::vector<double> a, std::vector<double> b) {
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<size_t> idx(v.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(),
+              [&](size_t x, size_t y) { return v[x] < v[y]; });
+    std::vector<double> r(v.size());
+    for (size_t i = 0; i < idx.size(); ++i) r[idx[i]] = static_cast<double>(i);
+    return r;
+  };
+  std::vector<double> ra = ranks(a);
+  std::vector<double> rb = ranks(b);
+  double n = static_cast<double>(a.size());
+  double ma = (n - 1) / 2, d = 0, va = 0, vb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    d += (ra[i] - ma) * (rb[i] - ma);
+    va += (ra[i] - ma) * (ra[i] - ma);
+    vb += (rb[i] - ma) * (rb[i] - ma);
+  }
+  return d / std::sqrt(va * vb);
+}
+
+void BM_CostModelRankCorrelation(benchmark::State& state) {
+  Engine engine;
+  SetupCatalog(&engine, 1000);
+  Rng rng(static_cast<uint64_t>(state.range(0)));
+  double correlation = 0.0;
+  int64_t queries = 0;
+  for (auto _ : state) {
+    std::vector<double> estimated;
+    std::vector<double> measured;
+    for (int trial = 0; trial < 60; ++trial) {
+      LogicalOpPtr graph = RandomQuery(&rng);
+      Query q;
+      q.graph = graph;
+      q.range = Span::Of(1, kSpanEnd);
+      auto plan = engine.Plan(q);
+      if (!plan.ok()) continue;
+      AccessStats stats;
+      Executor executor(engine.catalog());
+      auto result = executor.Execute(*plan, &stats);
+      if (!result.ok()) continue;
+      estimated.push_back(plan->est_cost);
+      measured.push_back(stats.simulated_cost);
+    }
+    correlation = SpearmanRank(estimated, measured);
+    queries = static_cast<int64_t>(estimated.size());
+    benchmark::DoNotOptimize(correlation);
+  }
+  state.counters["spearman_rho"] = correlation;
+  state.counters["queries"] = static_cast<double>(queries);
+}
+BENCHMARK(BM_CostModelRankCorrelation)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace seq
+
+BENCHMARK_MAIN();

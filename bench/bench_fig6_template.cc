@@ -1,0 +1,89 @@
+// E6 — Fig. 6 query template: a query is asked either for all positions in
+// a range or at specific positions (the Position Sequence). Sweeping the
+// number of requested point positions, the optimizer should serve sparse
+// point sets with the probed plan and flip to the stream plan as the set
+// approaches the whole range.
+//
+// Expect: probed cost linear in #points and cheap for few points; stream
+// cost ~flat; optimizer pick ("auto") tracking the minimum of the two.
+
+#include "bench/bench_util.h"
+
+namespace seq {
+namespace {
+
+constexpr Position kSpanEnd = 100000;
+
+void Setup(Engine* engine) {
+  StockSeriesOptions s;
+  s.span = Span::Of(1, kSpanEnd);
+  s.density = 0.9;
+  s.seed = 61;
+  SEQ_CHECK(engine->RegisterBase("s", *MakeStockSeries(s)).ok());
+}
+
+std::vector<Position> Points(int64_t count) {
+  std::vector<Position> out;
+  Position step = kSpanEnd / (count + 1);
+  if (step < 1) step = 1;
+  for (Position p = step; p <= kSpanEnd && out.size() < size_t(count);
+       p += step) {
+    out.push_back(p);
+  }
+  return out;
+}
+
+/// args: {#points, mode: 0=auto, 1=force stream, 2=force probed}
+void BM_PointQueries(benchmark::State& state) {
+  int64_t count = state.range(0);
+  int mode = static_cast<int>(state.range(1));
+  OptimizerOptions options;
+  if (mode == 1) options.force_root_mode = AccessMode::kStream;
+  if (mode == 2) options.force_root_mode = AccessMode::kProbed;
+  Engine engine(options);
+  Setup(&engine);
+  Query q;
+  q.graph = SeqRef("s")
+                .Select(Gt(Col("close"), Lit(50.0)))
+                .Project({"close"})
+                .Build();
+  q.positions = Points(count);
+
+  auto plan = engine.Plan(q);
+  SEQ_CHECK(plan.ok());
+  state.SetLabel(AccessModeName(plan->root_mode));
+
+  Executor executor(engine.catalog(), options.cost_params);
+  AccessStats stats;
+  for (auto _ : state) {
+    stats.Reset();
+    auto result = executor.Execute(*plan, &stats);
+    SEQ_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->records.size());
+  }
+  state.counters["probes"] = static_cast<double>(stats.probes);
+  state.counters["records_read"] =
+      static_cast<double>(stats.stream_records);
+  state.counters["sim_cost"] = stats.simulated_cost;
+  state.counters["est_cost"] = plan->est_cost;
+}
+
+void RegisterSweep() {
+  for (int64_t count : {1, 10, 100, 1000, 10000, 60000}) {
+    for (int64_t mode : {0, 1, 2}) {
+      benchmark::RegisterBenchmark("BM_PointQueries", BM_PointQueries)
+          ->Args({count, mode})
+          ->ArgNames({"points", "mode"});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seq
+
+int main(int argc, char** argv) {
+  seq::RegisterSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

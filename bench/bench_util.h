@@ -1,0 +1,46 @@
+#ifndef SEQ_BENCH_BENCH_UTIL_H_
+#define SEQ_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the benchmark harness. Every bench binary regenerates
+// one of the paper's figures/tables; EXPERIMENTS.md maps the outputs back
+// to the paper's claims.
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "workload/generators.h"
+
+namespace seq::bench {
+
+/// Registers the Example 1.1 catalog: earthquakes (density dq) and volcano
+/// eruptions (density dv) over [1, span_end].
+inline void RegisterWeatherCatalog(Engine* engine, Position span_end,
+                                   double dq, double dv, uint64_t seed) {
+  EventSeriesOptions eq;
+  eq.span = Span::Of(1, span_end);
+  eq.density = dq;
+  eq.seed = seed;
+  auto quakes = MakeEarthquakes(eq);
+  SEQ_CHECK(quakes.ok());
+  EventSeriesOptions vo;
+  vo.span = Span::Of(1, span_end);
+  vo.density = dv;
+  vo.seed = seed + 1;
+  auto volcanos = MakeVolcanos(vo);
+  SEQ_CHECK(volcanos.ok());
+  SEQ_CHECK(engine->RegisterBase("quakes", *quakes).ok());
+  SEQ_CHECK(engine->RegisterBase("volcanos", *volcanos).ok());
+}
+
+/// The Example 1.1 / Fig. 1 sequence query.
+inline LogicalOpPtr VolcanoQuery() {
+  return SeqRef("volcanos")
+      .ComposeWith(SeqRef("quakes").Prev())
+      .Select(Gt(Col("strength"), Lit(7.0)))
+      .Project({"name"})
+      .Build();
+}
+
+}  // namespace seq::bench
+
+#endif  // SEQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,269 @@
+// seqsh — an interactive shell (and script runner) for the SEQ engine.
+//
+//   $ build/examples/seqsh            # REPL
+//   $ build/examples/seqsh script.seq # run a script
+//
+// Dot-commands manage the session; everything else is Sequin. Each Sequin
+// statement `name = expr;` defines a view; `.run name` (or entering a bare
+// name) evaluates it.
+//
+//   .load <name> <file.csv> [poscol]   register a CSV file as a sequence
+//   .gen <name> <start> <end> <density> [seed]   synthetic stock series
+//   .list                              show catalog + views
+//   .schema <name>                     show a sequence's schema and meta
+//   .range <start> <end>               set the evaluation range
+//   .limit <n>                         rows printed per result
+//   .explain <name | expr;>            show optimizer output
+//   .stats on|off                      print access counters after runs
+//   .materialize <name> <view>         register a view's result as a base
+//   .save <name> <file.csv>            write a base sequence as CSV
+//   .savedb <dir> / .opendb <dir>      persist / reopen the whole catalog
+//   .quit
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/database_io.h"
+#include "core/engine.h"
+#include "parser/parser.h"
+#include "workload/csv.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace seq;
+
+struct Session {
+  Engine engine;
+  std::optional<Span> range;
+  size_t limit = 10;
+  bool show_stats = false;
+};
+
+std::vector<std::string> Tokens(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> out;
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+void RunGraph(Session* session, const LogicalOpPtr& graph) {
+  AccessStats stats;
+  auto result = session->engine.Run(graph, session->range,
+                                    session->show_stats ? &stats : nullptr);
+  if (!result.ok()) {
+    std::cout << "error: " << result.status() << "\n";
+    return;
+  }
+  std::cout << result->ToString(session->limit);
+  std::cout << "(" << result->records.size() << " records)\n";
+  if (session->show_stats) {
+    std::cout << "stats: " << stats.ToString() << "\n";
+  }
+}
+
+Result<LogicalOpPtr> ResolveName(Session* session, const std::string& name) {
+  auto it = session->engine.views().find(name);
+  if (it != session->engine.views().end()) return it->second;
+  if (session->engine.catalog().Contains(name)) {
+    return LogicalOp::BaseRef(name);
+  }
+  return Status::NotFound("no sequence or view named '" + name + "'");
+}
+
+void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
+  const std::string& cmd = args[0];
+  if (cmd == ".load" && args.size() >= 3) {
+    CsvOptions options;
+    if (args.size() >= 4) options.position_column = args[3];
+    auto store = LoadCsvSequence(args[2], options);
+    if (!store.ok()) {
+      std::cout << "error: " << store.status() << "\n";
+      return;
+    }
+    Status s = session->engine.RegisterBase(args[1], *store);
+    std::cout << (s.ok() ? "loaded " + args[1] + ": " +
+                               (*store)->DescribeMeta() + "\n"
+                         : "error: " + s.ToString() + "\n");
+  } else if (cmd == ".gen" && args.size() >= 5) {
+    StockSeriesOptions options;
+    options.span = Span::Of(std::stoll(args[2]), std::stoll(args[3]));
+    options.density = std::stod(args[4]);
+    if (args.size() >= 6) options.seed = std::stoull(args[5]);
+    auto store = MakeStockSeries(options);
+    if (!store.ok()) {
+      std::cout << "error: " << store.status() << "\n";
+      return;
+    }
+    Status s = session->engine.RegisterBase(args[1], *store);
+    std::cout << (s.ok() ? "generated " + args[1] + ": " +
+                               (*store)->DescribeMeta() + "\n"
+                         : "error: " + s.ToString() + "\n");
+  } else if (cmd == ".list") {
+    for (const std::string& name :
+         session->engine.catalog().ListSequences()) {
+      auto entry = session->engine.catalog().Lookup(name);
+      std::cout << "  " << name << "  " << (*entry)->schema->ToString();
+      if ((*entry)->kind == CatalogEntry::Kind::kBase) {
+        std::cout << "  " << (*entry)->store->DescribeMeta();
+      } else {
+        std::cout << "  (constant)";
+      }
+      std::cout << "\n";
+    }
+    for (const auto& [name, graph] : session->engine.views()) {
+      std::cout << "  " << name << "  (view) = " << graph->Describe()
+                << "\n";
+    }
+  } else if (cmd == ".schema" && args.size() >= 2) {
+    auto entry = session->engine.catalog().Lookup(args[1]);
+    if (!entry.ok()) {
+      std::cout << "error: " << entry.status() << "\n";
+      return;
+    }
+    std::cout << (*entry)->schema->ToString() << "\n";
+    if ((*entry)->kind == CatalogEntry::Kind::kBase) {
+      std::cout << (*entry)->store->DescribeMeta() << "\n";
+      const auto& stats = (*entry)->store->column_stats();
+      for (size_t i = 0; i < stats.size(); ++i) {
+        std::cout << "  " << (*entry)->schema->field(i).name << ": "
+                  << stats[i].ToString() << "\n";
+      }
+    }
+  } else if (cmd == ".range" && args.size() >= 3) {
+    session->range = Span::Of(std::stoll(args[1]), std::stoll(args[2]));
+    std::cout << "range " << session->range->ToString() << "\n";
+  } else if (cmd == ".limit" && args.size() >= 2) {
+    session->limit = static_cast<size_t>(std::stoull(args[1]));
+  } else if (cmd == ".stats" && args.size() >= 2) {
+    session->show_stats = (args[1] == "on");
+  } else if (cmd == ".explain" && args.size() >= 2) {
+    auto graph = ResolveName(session, args[1]);
+    if (!graph.ok()) {
+      std::cout << "error: " << graph.status() << "\n";
+      return;
+    }
+    Query q;
+    q.graph = *graph;
+    q.range = session->range;
+    auto text = session->engine.Explain(q);
+    std::cout << (text.ok() ? *text : "error: " + text.status().ToString())
+              << "\n";
+  } else if (cmd == ".run" && args.size() >= 2) {
+    auto graph = ResolveName(session, args[1]);
+    if (!graph.ok()) {
+      std::cout << "error: " << graph.status() << "\n";
+      return;
+    }
+    RunGraph(session, *graph);
+  } else if (cmd == ".materialize" && args.size() >= 3) {
+    auto graph = ResolveName(session, args[2]);
+    if (!graph.ok()) {
+      std::cout << "error: " << graph.status() << "\n";
+      return;
+    }
+    Status s = session->engine.Materialize(args[1], *graph, session->range);
+    if (!s.ok()) {
+      std::cout << "error: " << s << "\n";
+      return;
+    }
+    auto entry = session->engine.catalog().Lookup(args[1]);
+    std::cout << "materialized " << args[1] << ": "
+              << (*entry)->store->DescribeMeta() << "\n";
+  } else if (cmd == ".savedb" && args.size() >= 2) {
+    Status s = SaveDatabase(session->engine, args[1]);
+    std::cout << (s.ok() ? "saved database to " + args[1] + "\n"
+                         : "error: " + s.ToString() + "\n");
+  } else if (cmd == ".opendb" && args.size() >= 2) {
+    // Load into a fresh engine so a failed load leaves the session intact.
+    Engine fresh;
+    Status s = LoadDatabase(args[1], &fresh);
+    if (!s.ok()) {
+      std::cout << "error: " << s << "\n";
+      return;
+    }
+    session->engine = std::move(fresh);
+    std::cout << "opened " << args[1] << " ("
+              << session->engine.catalog().ListSequences().size()
+              << " sequences, " << session->engine.views().size()
+              << " views)\n";
+  } else if (cmd == ".save" && args.size() >= 3) {
+    auto entry = session->engine.catalog().Lookup(args[1]);
+    if (!entry.ok() || (*entry)->kind != CatalogEntry::Kind::kBase) {
+      std::cout << "error: no base sequence '" << args[1] << "'\n";
+      return;
+    }
+    std::ofstream out(args[2]);
+    out << SequenceToCsv(*(*entry)->store);
+    std::cout << "wrote " << args[2] << "\n";
+  } else {
+    std::cout << "unknown or incomplete command: " << cmd << "\n";
+  }
+}
+
+/// A Sequin fragment: define every statement as a view, then run the last.
+void HandleSequin(Session* session, const std::string& source) {
+  auto program = ParseSequin(source);
+  if (!program.ok()) {
+    std::cout << "parse error: " << program.status() << "\n";
+    return;
+  }
+  for (const std::string& name : program->order) {
+    // Re-defining interactively is convenient; views are immutable in the
+    // engine, so versioned definitions just pick fresh names.
+    Status s = session->engine.DefineView(name, program->definitions[name]);
+    if (!s.ok()) {
+      std::cout << "error: " << s << "\n";
+      return;
+    }
+    std::cout << "defined " << name << "\n";
+  }
+  RunGraph(session, program->main);
+}
+
+int RunStream(Session* session, std::istream& in, bool interactive) {
+  std::string pending;
+  std::string line;
+  if (interactive) std::cout << "seq> " << std::flush;
+  while (std::getline(in, line)) {
+    std::string stripped(StripAsciiWhitespace(line));
+    if (pending.empty() && !stripped.empty() && stripped[0] == '.') {
+      std::vector<std::string> args = Tokens(stripped);
+      if (args[0] == ".quit" || args[0] == ".exit") return 0;
+      HandleDotCommand(session, args);
+    } else if (!stripped.empty() || !pending.empty()) {
+      pending += line;
+      pending += "\n";
+      // Execute once the fragment ends with ';'.
+      std::string_view t = StripAsciiWhitespace(pending);
+      if (!t.empty() && t.back() == ';') {
+        HandleSequin(session, pending);
+        pending.clear();
+      }
+    }
+    if (interactive) std::cout << "seq> " << std::flush;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Session session;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    return RunStream(&session, file, /*interactive=*/false);
+  }
+  std::cout << "SEQ shell — sequence query processing (SIGMOD '94). "
+               "Dot-commands: .load .gen .list .schema .range .limit "
+               ".explain .run .stats .materialize .save .savedb .opendb .quit\n";
+  return RunStream(&session, std::cin, /*interactive=*/true);
+}

@@ -1,0 +1,104 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace seq {
+
+Status Catalog::RegisterBase(std::string name, BaseSequencePtr store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("null store for sequence '" + name + "'");
+  }
+  if (entries_.count(name) > 0) {
+    return Status::InvalidArgument("sequence '" + name +
+                                   "' already registered");
+  }
+  CatalogEntry entry;
+  entry.name = name;
+  entry.kind = CatalogEntry::Kind::kBase;
+  entry.schema = store->schema();
+  // Warm the lazily computed column statistics so purely read-only use of
+  // the catalog (concurrent queries) never mutates the store.
+  store->column_stats();
+  entry.store = std::move(store);
+  entries_.emplace(std::move(name), std::move(entry));
+  return Status::OK();
+}
+
+Status Catalog::RegisterConstant(std::string name, SchemaPtr schema,
+                                 Record value) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("null schema for constant '" + name + "'");
+  }
+  if (!RecordMatchesSchema(value, *schema)) {
+    return Status::TypeError("constant record does not match schema " +
+                             schema->ToString());
+  }
+  if (entries_.count(name) > 0) {
+    return Status::InvalidArgument("sequence '" + name +
+                                   "' already registered");
+  }
+  CatalogEntry entry;
+  entry.name = name;
+  entry.kind = CatalogEntry::Kind::kConstant;
+  entry.schema = std::move(schema);
+  entry.constant = std::move(value);
+  entries_.emplace(std::move(name), std::move(entry));
+  return Status::OK();
+}
+
+Result<const CatalogEntry*> Catalog::Lookup(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no sequence named '" + name + "' in catalog");
+  }
+  return &it->second;
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::pair<std::string, std::string> Catalog::OrderedPair(
+    const std::string& a, const std::string& b) {
+  return (a <= b) ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+void Catalog::SetNullCorrelation(const std::string& a, const std::string& b,
+                                 double correlation) {
+  SEQ_CHECK_MSG(correlation >= 0.0 && correlation <= 1.0,
+                "correlation must be in [0,1]");
+  correlations_[OrderedPair(a, b)] = correlation;
+}
+
+double Catalog::NullCorrelation(const std::string& a,
+                                const std::string& b) const {
+  auto it = correlations_.find(OrderedPair(a, b));
+  return it == correlations_.end() ? 0.0 : it->second;
+}
+
+double Catalog::JointDensity(double d1, double d2, double correlation) {
+  double independent = d1 * d2;
+  double aligned = std::min(d1, d2);
+  return correlation * aligned + (1.0 - correlation) * independent;
+}
+
+std::vector<std::tuple<std::string, std::string, double>>
+Catalog::ListCorrelations() const {
+  std::vector<std::tuple<std::string, std::string, double>> out;
+  out.reserve(correlations_.size());
+  for (const auto& [pair, value] : correlations_) {
+    out.emplace_back(pair.first, pair.second, value);
+  }
+  return out;
+}
+
+std::vector<std::string> Catalog::ListSequences() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+}  // namespace seq

@@ -1,0 +1,78 @@
+#ifndef SEQ_CATALOG_CATALOG_H_
+#define SEQ_CATALOG_CATALOG_H_
+
+#include <map>
+#include <tuple>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/base_sequence.h"
+#include "types/record.h"
+#include "types/schema.h"
+
+namespace seq {
+
+/// One named sequence known to the engine: either a materialized base
+/// sequence or a constant sequence (every position maps to the same record,
+/// density 1, unbounded span — paper §2).
+struct CatalogEntry {
+  enum class Kind { kBase, kConstant };
+
+  std::string name;
+  Kind kind = Kind::kBase;
+  SchemaPtr schema;
+  BaseSequencePtr store;  // kBase only
+  Record constant;        // kConstant only
+
+  Span span() const {
+    return kind == Kind::kBase ? store->span() : Span::Unbounded();
+  }
+  double density() const {
+    return kind == Kind::kBase ? store->density() : 1.0;
+  }
+};
+
+/// The catalog of named sequences plus the cross-sequence meta-information
+/// the optimizer consumes: pairwise null-position correlation (§3, §4
+/// Step 2.a — "the correlation in the Null positions of the input
+/// sequences").
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Status RegisterBase(std::string name, BaseSequencePtr store);
+  Status RegisterConstant(std::string name, SchemaPtr schema, Record value);
+
+  Result<const CatalogEntry*> Lookup(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  /// Correlation of non-null positions between two base sequences, in
+  /// [0, 1]: 0 means independent (joint density d1·d2), 1 means perfectly
+  /// aligned (joint density min(d1, d2)). Symmetric; defaults to 0.
+  void SetNullCorrelation(const std::string& a, const std::string& b,
+                          double correlation);
+  double NullCorrelation(const std::string& a, const std::string& b) const;
+
+  /// Joint density of two sequences under the declared correlation.
+  static double JointDensity(double d1, double d2, double correlation);
+
+  std::vector<std::string> ListSequences() const;
+
+  /// All declared correlations as (a, b, value) with a < b.
+  std::vector<std::tuple<std::string, std::string, double>>
+  ListCorrelations() const;
+
+ private:
+  static std::pair<std::string, std::string> OrderedPair(
+      const std::string& a, const std::string& b);
+
+  std::map<std::string, CatalogEntry> entries_;
+  std::map<std::pair<std::string, std::string>, double> correlations_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_CATALOG_CATALOG_H_

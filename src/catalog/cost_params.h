@@ -1,0 +1,54 @@
+#ifndef SEQ_CATALOG_COST_PARAMS_H_
+#define SEQ_CATALOG_COST_PARAMS_H_
+
+#include <cstdint>
+
+namespace seq {
+
+/// Tunable constants of the cost model (paper §4.1). Per-sequence page and
+/// probe prices live with each BaseSequenceStore (AccessCosts); these are
+/// the global constants the formulas share.
+struct CostParams {
+  /// K in §4.1.3: cost of one application of the join predicates.
+  double join_predicate_cost = 0.5;
+
+  /// Cost of one selection-predicate application.
+  double select_predicate_cost = 0.3;
+
+  /// §4.1.2: cost of storing one record into an operator cache and of one
+  /// associative cache access.
+  double cache_store_cost = 0.1;
+  double cache_access_cost = 0.05;
+
+  /// Per-output-record computation cost (projection, aggregation step).
+  double compute_cost = 0.2;
+
+  /// Default predicate selectivities when column statistics cannot decide.
+  double default_eq_selectivity = 0.1;
+  double default_range_selectivity = 1.0 / 3.0;
+
+  /// Cache-Strategy-A feasibility bound: scopes larger than this are not
+  /// cached in full ("a scope of the last million records would probably
+  /// not be cached!", §4.1.2).
+  int64_t max_cached_scope = 1 << 16;
+
+  /// Ablation switches for the §3.5 experiments: force the naive algorithm
+  /// instead of Cache-Strategy-B / Cache-Strategy-A in stream plans.
+  bool disable_incremental_value_offset = false;
+  bool disable_window_cache = false;
+
+  /// Join blocks wider than this are planned greedily in input order
+  /// instead of by the exhaustive Selinger DP (§4.1's exponential
+  /// enumeration). Lowering it is the E13 ablation.
+  int max_dp_items = 16;
+
+  /// Experiment switch for §3.3 (Fig. 4): force every stream-mode compose
+  /// to one strategy instead of costing the three. Values match
+  /// JoinStrategy (0 = stream-both, 1 = stream-left-probe-right,
+  /// 2 = stream-right-probe-left); -1 costs normally.
+  int force_join_strategy = -1;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_CATALOG_COST_PARAMS_H_

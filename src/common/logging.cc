@@ -1,0 +1,10 @@
+#include "common/logging.h"
+
+namespace seq::internal_logging {
+
+void FatalError(const char* file, int line, const std::string& msg) {
+  std::cerr << file << ":" << line << ": " << msg << std::endl;
+  std::abort();
+}
+
+}  // namespace seq::internal_logging

@@ -1,0 +1,46 @@
+#ifndef SEQ_COMMON_LOGGING_H_
+#define SEQ_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace seq::internal_logging {
+
+/// Terminates the process after printing `msg`. Out-of-line so the fatal
+/// path stays cold in callers.
+[[noreturn]] void FatalError(const char* file, int line, const std::string& msg);
+
+}  // namespace seq::internal_logging
+
+/// Invariant check that is active in all build types. Use for conditions
+/// whose violation means the library itself is broken; user-input errors
+/// must surface as Status instead.
+#define SEQ_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::seq::internal_logging::FatalError(__FILE__, __LINE__,             \
+                                          "SEQ_CHECK failed: " #cond);    \
+    }                                                                     \
+  } while (false)
+
+#define SEQ_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream seq_oss__;                                       \
+      seq_oss__ << "SEQ_CHECK failed: " #cond << " — " << msg;            \
+      ::seq::internal_logging::FatalError(__FILE__, __LINE__,             \
+                                          seq_oss__.str());               \
+    }                                                                     \
+  } while (false)
+
+/// Debug-only check, compiled out in release builds.
+#ifdef NDEBUG
+#define SEQ_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define SEQ_DCHECK(cond) SEQ_CHECK(cond)
+#endif
+
+#endif  // SEQ_COMMON_LOGGING_H_

@@ -1,0 +1,80 @@
+#ifndef SEQ_COMMON_RESULT_H_
+#define SEQ_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace seq {
+
+/// A value-or-error holder, the return type of fallible functions that
+/// produce a value. Mirrors absl::StatusOr / arrow::Result.
+///
+/// Invariant: exactly one of {status is non-OK, value is present} holds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from an error status. Constructing a Result from
+  /// an OK status without a value is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+  /// Implicit construction from a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace seq
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error; on success binds
+/// the value to `lhs`. Usage: SEQ_ASSIGN_OR_RETURN(auto plan, Optimize(q));
+#define SEQ_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  SEQ_ASSIGN_OR_RETURN_IMPL_(                                   \
+      SEQ_RESULT_CONCAT_(seq_result__, __LINE__), lhs, rexpr)
+
+#define SEQ_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#define SEQ_RESULT_CONCAT_INNER_(x, y) x##y
+#define SEQ_RESULT_CONCAT_(x, y) SEQ_RESULT_CONCAT_INNER_(x, y)
+
+#endif  // SEQ_COMMON_RESULT_H_

@@ -1,0 +1,51 @@
+#ifndef SEQ_COMMON_RNG_H_
+#define SEQ_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace seq {
+
+/// Deterministic random source used by the workload generators and
+/// property tests. A thin wrapper over std::mt19937_64 so all call sites
+/// share one seeding convention and distribution helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Geometric inter-arrival gap (>= 1) with success probability p; used to
+  /// generate event sequences of a target density.
+  int64_t GeometricGap(double p) {
+    if (p >= 1.0) return 1;
+    return 1 + std::geometric_distribution<int64_t>(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_COMMON_RNG_H_

@@ -1,0 +1,88 @@
+#ifndef SEQ_COMMON_STATUS_H_
+#define SEQ_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace seq {
+
+/// Error categories used across the library. Kept deliberately coarse:
+/// callers branch on "ok vs. not ok" far more often than on the category.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input from the caller (bad query, bad span)
+  kTypeError,         // expression / schema type mismatch
+  kNotFound,          // unknown sequence, column, or named query
+  kOutOfRange,        // position outside a valid span
+  kUnimplemented,     // feature intentionally not supported
+  kInternal,          // invariant violation inside the library
+  kParseError,        // Sequin language syntax error
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. The library does not use exceptions;
+/// every fallible public API returns `Status` or `Result<T>`.
+///
+/// The OK status carries no message and allocates nothing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace seq
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define SEQ_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::seq::Status seq_status__ = (expr);       \
+    if (!seq_status__.ok()) return seq_status__; \
+  } while (false)
+
+#endif  // SEQ_COMMON_STATUS_H_

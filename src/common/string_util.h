@@ -1,0 +1,28 @@
+#ifndef SEQ_COMMON_STRING_UTIL_H_
+#define SEQ_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seq {
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Returns `s` with leading and trailing ASCII whitespace removed.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII letters in `s`.
+std::string AsciiToLower(std::string_view s);
+
+/// Formats a double compactly (trailing zeros trimmed, up to 6 significant
+/// decimals) for plan and record printing.
+std::string FormatDouble(double v);
+
+}  // namespace seq
+
+#endif  // SEQ_COMMON_STRING_UTIL_H_

@@ -1,0 +1,152 @@
+#include "core/database_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "parser/parser.h"
+#include "parser/unparse.h"
+#include "storage/file_format.h"
+
+namespace seq {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kManifestName[] = "manifest.seqdb";
+
+bool SafeName(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SaveDatabase(const Engine& engine, const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create '" + directory +
+                                   "': " + ec.message());
+  }
+  std::ostringstream manifest;
+  manifest << "seqdb 1\n";
+  for (const std::string& name : engine.catalog().ListSequences()) {
+    if (!SafeName(name)) {
+      return Status::InvalidArgument("sequence name '" + name +
+                                     "' is not file-safe");
+    }
+    auto entry = engine.catalog().Lookup(name);
+    SEQ_CHECK(entry.ok());
+    if ((*entry)->kind == CatalogEntry::Kind::kBase) {
+      std::string file = name + ".seq1";
+      SEQ_RETURN_IF_ERROR(
+          SaveSequence(*(*entry)->store, directory + "/" + file));
+      manifest << "base " << name << " " << file << "\n";
+    } else {
+      // Persist the constant's schema + record as a one-record store.
+      BaseSequenceStore holder((*entry)->schema);
+      SEQ_RETURN_IF_ERROR(holder.Append(0, (*entry)->constant));
+      std::string file = name + ".const.seq1";
+      SEQ_RETURN_IF_ERROR(SaveSequence(holder, directory + "/" + file));
+      manifest << "constant " << name << " " << file << "\n";
+    }
+  }
+  for (const auto& [a, b, value] : engine.catalog().ListCorrelations()) {
+    manifest << "corr " << a << " " << b << " " << value << "\n";
+  }
+  for (const auto& [name, graph] : engine.views()) {
+    if (!SafeName(name)) {
+      return Status::InvalidArgument("view name '" + name +
+                                     "' is not file-safe");
+    }
+    SEQ_ASSIGN_OR_RETURN(std::string text, UnparseQuery(*graph, name));
+    std::string file = name + ".sequin";
+    std::ofstream out(directory + "/" + file);
+    out << text << "\n";
+    if (!out) {
+      return Status::Internal("write of view '" + name + "' failed");
+    }
+    manifest << "view " << name << " " << file << "\n";
+  }
+  std::ofstream out(directory + "/" + kManifestName);
+  out << manifest.str();
+  if (!out) {
+    return Status::Internal("write of manifest failed");
+  }
+  return Status::OK();
+}
+
+Status LoadDatabase(const std::string& directory, Engine* engine) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("null engine");
+  }
+  std::ifstream in(directory + "/" + kManifestName);
+  if (!in) {
+    return Status::NotFound("no manifest in '" + directory + "'");
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "seqdb 1") {
+    return Status::InvalidArgument("unsupported manifest header: " + line);
+  }
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument("manifest line " +
+                                     std::to_string(line_no) + ": " + why);
+    };
+    if (kind == "base" || kind == "constant") {
+      std::string name, file;
+      if (!(fields >> name >> file) || !SafeName(name)) {
+        return bad("malformed sequence entry");
+      }
+      SEQ_ASSIGN_OR_RETURN(BaseSequencePtr store,
+                           LoadSequence(directory + "/" + file));
+      if (kind == "base") {
+        SEQ_RETURN_IF_ERROR(engine->RegisterBase(name, std::move(store)));
+      } else {
+        if (store->num_records() != 1) {
+          return bad("constant file must hold exactly one record");
+        }
+        SEQ_RETURN_IF_ERROR(engine->RegisterConstant(
+            name, store->schema(), store->records()[0].rec));
+      }
+    } else if (kind == "corr") {
+      std::string a, b;
+      double value = 0;
+      if (!(fields >> a >> b >> value) || value < 0.0 || value > 1.0) {
+        return bad("malformed correlation entry");
+      }
+      engine->catalog().SetNullCorrelation(a, b, value);
+    } else if (kind == "view") {
+      std::string name, file;
+      if (!(fields >> name >> file) || !SafeName(name)) {
+        return bad("malformed view entry");
+      }
+      std::ifstream vin(directory + "/" + file);
+      if (!vin) {
+        return bad("missing view file '" + file + "'");
+      }
+      std::ostringstream text;
+      text << vin.rdbuf();
+      SEQ_ASSIGN_OR_RETURN(LogicalOpPtr graph,
+                           ParseSequinQuery(text.str()));
+      SEQ_RETURN_IF_ERROR(engine->DefineView(name, std::move(graph)));
+    } else {
+      return bad("unknown entry kind '" + kind + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace seq

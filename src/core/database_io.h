@@ -1,0 +1,24 @@
+#ifndef SEQ_CORE_DATABASE_IO_H_
+#define SEQ_CORE_DATABASE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/engine.h"
+
+namespace seq {
+
+/// Whole-database persistence: a directory holding one SEQ1 binary file
+/// per base sequence plus a `manifest.seqdb` text file describing the
+/// catalog — constant sequences (inline values), null-position
+/// correlations, and views (serialized as Sequin text and re-parsed on
+/// load). Optimizer options are not persisted; they belong to the session.
+
+Status SaveDatabase(const Engine& engine, const std::string& directory);
+
+/// Loads into `engine`, which must be freshly constructed (empty catalog).
+Status LoadDatabase(const std::string& directory, Engine* engine);
+
+}  // namespace seq
+
+#endif  // SEQ_CORE_DATABASE_IO_H_

@@ -1,0 +1,119 @@
+#include "core/engine.h"
+
+#include <sstream>
+
+namespace seq {
+
+Result<PhysicalPlan> Engine::Plan(const Query& query) const {
+  Query inlined = query;
+  SEQ_ASSIGN_OR_RETURN(inlined.graph, InlineViews(query.graph, views_));
+  Optimizer optimizer(catalog_, options_);
+  return optimizer.Optimize(inlined);
+}
+
+Status Engine::DefineView(std::string name, LogicalOpPtr graph) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("null view definition");
+  }
+  if (catalog_.Contains(name)) {
+    return Status::InvalidArgument("view '" + name +
+                                   "' shadows a catalog sequence");
+  }
+  if (views_.count(name) > 0) {
+    return Status::InvalidArgument("view '" + name + "' already defined");
+  }
+  // Inline existing views now so later definitions cannot create cycles.
+  SEQ_ASSIGN_OR_RETURN(LogicalOpPtr inlined, InlineViews(graph, views_));
+  views_.emplace(std::move(name), std::move(inlined));
+  return Status::OK();
+}
+
+Status Engine::Materialize(const std::string& name,
+                           const LogicalOpPtr& graph,
+                           std::optional<Span> range, int records_per_page,
+                           AccessCosts costs) {
+  if (catalog_.Contains(name) || views_.count(name) > 0) {
+    return Status::InvalidArgument("'" + name + "' already exists");
+  }
+  SEQ_ASSIGN_OR_RETURN(QueryResult result, Run(graph, range));
+  SEQ_ASSIGN_OR_RETURN(
+      BaseSequencePtr store,
+      BaseSequenceStore::FromRecords(result.schema,
+                                     std::move(result.records),
+                                     records_per_page, costs));
+  return catalog_.RegisterBase(name, std::move(store));
+}
+
+Result<Engine::PreparedQuery> Engine::Prepare(const Query& query) const {
+  SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(query));
+  return PreparedQuery(&catalog_, options_.cost_params, std::move(plan));
+}
+
+Result<QueryResult> Engine::Run(const Query& query, AccessStats* stats) const {
+  SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(query));
+  Executor executor(catalog_, options_.cost_params);
+  return executor.Execute(plan, stats);
+}
+
+Result<QueryResult> Engine::Run(const LogicalOpPtr& graph,
+                                std::optional<Span> range,
+                                AccessStats* stats) const {
+  Query query;
+  query.graph = graph;
+  query.range = range;
+  return Run(query, stats);
+}
+
+Result<QueryResult> Engine::Run(const QueryBuilder& builder,
+                                std::optional<Span> range,
+                                AccessStats* stats) const {
+  return Run(builder.Build(), range, stats);
+}
+
+Result<QueryResult> Engine::RunAt(const LogicalOpPtr& graph,
+                                  std::vector<Position> positions,
+                                  AccessStats* stats) const {
+  Query query;
+  query.graph = graph;
+  query.positions = std::move(positions);
+  return Run(query, stats);
+}
+
+Result<std::string> Engine::Explain(const Query& query) const {
+  Query inlined = query;
+  SEQ_ASSIGN_OR_RETURN(inlined.graph, InlineViews(query.graph, views_));
+  Optimizer optimizer(catalog_, options_);
+  SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, optimizer.Optimize(inlined));
+  std::ostringstream oss;
+  oss << "=== logical (annotated, rewritten) ===\n";
+  oss << optimizer.optimized_graph()->ToTreeString();
+  if (!optimizer.rewrites_applied().empty()) {
+    oss << "--- rewrites: ";
+    for (size_t i = 0; i < optimizer.rewrites_applied().size(); ++i) {
+      if (i > 0) oss << ", ";
+      oss << optimizer.rewrites_applied()[i];
+    }
+    oss << "\n";
+  }
+  oss << "=== physical ===\n" << plan.Explain();
+  return oss.str();
+}
+
+Result<std::map<std::string, QueryResult>> Engine::RunGrouped(
+    const std::vector<std::string>& members,
+    const std::function<LogicalOpPtr(const std::string&)>& graph_for,
+    std::optional<Span> range, AccessStats* stats) const {
+  std::map<std::string, QueryResult> out;
+  for (const std::string& member : members) {
+    LogicalOpPtr graph = graph_for(member);
+    if (graph == nullptr) {
+      return Status::InvalidArgument("grouped query produced no graph for '" +
+                                     member + "'");
+    }
+    SEQ_ASSIGN_OR_RETURN(QueryResult result, Run(graph, range, stats));
+    out.emplace(member, std::move(result));
+  }
+  return out;
+}
+
+}  // namespace seq

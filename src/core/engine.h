@@ -1,0 +1,133 @@
+#ifndef SEQ_CORE_ENGINE_H_
+#define SEQ_CORE_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "core/views.h"
+#include "exec/executor.h"
+#include "logical/builder.h"
+#include "optimizer/optimizer.h"
+
+namespace seq {
+
+/// The public facade of the SEQ library: a catalog of named sequences plus
+/// optimize-and-evaluate entry points.
+///
+/// Thread safety: Plan/Run/RunAt/Explain are const and safe to call from
+/// multiple threads concurrently, provided no thread mutates the engine
+/// (RegisterBase/DefineView/Materialize/StreamSession appends) at the same
+/// time — the usual "set up, then query in parallel" pattern.
+///
+///   Engine engine;
+///   engine.RegisterBase("quakes", store);
+///   auto result = engine.Run(SeqRef("quakes")
+///                                .Select(Gt(Col("strength"), Lit(7.0)))
+///                                .Build());
+class Engine {
+ public:
+  explicit Engine(OptimizerOptions options = {})
+      : options_(std::move(options)) {}
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  OptimizerOptions& options() { return options_; }
+
+  Status RegisterBase(std::string name, BaseSequencePtr store) {
+    return catalog_.RegisterBase(std::move(name), std::move(store));
+  }
+  Status RegisterConstant(std::string name, SchemaPtr schema, Record value) {
+    return catalog_.RegisterConstant(std::move(name), std::move(schema),
+                                     std::move(value));
+  }
+
+  /// Defines a named derived sequence (§5.2): queries referring to `name`
+  /// inline a clone of `graph`. The name must not shadow a catalog
+  /// sequence; definitions may reference earlier views but not cycle.
+  Status DefineView(std::string name, LogicalOpPtr graph);
+  const ViewMap& views() const { return views_; }
+
+  /// Materializes a derived sequence (§5.3: "materialization of derived
+  /// sequences ... is definitely an option"): evaluates `graph` over
+  /// `range` (or its natural span) and registers the result as a new base
+  /// sequence called `name` — with real column statistics, making it a
+  /// first-class optimizer citizen for later queries.
+  Status Materialize(const std::string& name, const LogicalOpPtr& graph,
+                     std::optional<Span> range = std::nullopt,
+                     int records_per_page = 64,
+                     AccessCosts costs = AccessCosts{});
+
+  /// Optimizes `query` and returns the selected plan without running it.
+  Result<PhysicalPlan> Plan(const Query& query) const;
+
+  /// Optimizes and evaluates. Simulated access counters accumulate into
+  /// `stats` when provided.
+  Result<QueryResult> Run(const Query& query,
+                          AccessStats* stats = nullptr) const;
+
+  /// Range-query conveniences.
+  Result<QueryResult> Run(const LogicalOpPtr& graph,
+                          std::optional<Span> range = std::nullopt,
+                          AccessStats* stats = nullptr) const;
+  Result<QueryResult> Run(const QueryBuilder& builder,
+                          std::optional<Span> range = std::nullopt,
+                          AccessStats* stats = nullptr) const;
+
+  /// Point-query convenience (the Fig. 6 position-sequence template).
+  Result<QueryResult> RunAt(const LogicalOpPtr& graph,
+                            std::vector<Position> positions,
+                            AccessStats* stats = nullptr) const;
+
+  /// Annotated logical graph plus the physical plan, as text.
+  Result<std::string> Explain(const Query& query) const;
+
+  /// A query optimized once and executable many times — amortizes the
+  /// fixed optimization cost for standing/repeated queries (the regime
+  /// where E1's small-input nuance matters).
+  class PreparedQuery {
+   public:
+    Result<QueryResult> Run(AccessStats* stats = nullptr) const {
+      Executor executor(*catalog_, params_);
+      return executor.Execute(plan_, stats);
+    }
+    const PhysicalPlan& plan() const { return plan_; }
+
+   private:
+    friend class Engine;
+    PreparedQuery(const Catalog* catalog, CostParams params,
+                  PhysicalPlan plan)
+        : catalog_(catalog), params_(params), plan_(std::move(plan)) {}
+
+    const Catalog* catalog_;  // owned by the Engine; must outlive this
+    CostParams params_;
+    PhysicalPlan plan_;
+  };
+
+  /// Optimizes once; the result stays valid while this engine (and its
+  /// catalog contents) live and is safe to Run() from multiple threads.
+  Result<PreparedQuery> Prepare(const Query& query) const;
+
+  /// §5.1 sequence groupings: runs the same query graph template over a
+  /// group of same-schema sequences. `graph_for` receives each member name
+  /// and returns the graph to run. Returns results keyed by member name.
+  Result<std::map<std::string, QueryResult>> RunGrouped(
+      const std::vector<std::string>& members,
+      const std::function<LogicalOpPtr(const std::string&)>& graph_for,
+      std::optional<Span> range = std::nullopt,
+      AccessStats* stats = nullptr) const;
+
+ private:
+  Catalog catalog_;
+  OptimizerOptions options_;
+  ViewMap views_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_CORE_ENGINE_H_

@@ -1,0 +1,43 @@
+#include "core/views.h"
+
+#include <set>
+
+namespace seq {
+namespace {
+
+Result<LogicalOpPtr> InlineImpl(const LogicalOpPtr& node,
+                                const ViewMap& views,
+                                std::set<std::string>* expanding) {
+  if (node->kind() == OpKind::kBaseRef) {
+    auto it = views.find(node->seq_name());
+    if (it == views.end()) return node->Clone();
+    if (!expanding->insert(node->seq_name()).second) {
+      return Status::InvalidArgument("cyclic view definition through '" +
+                                     node->seq_name() + "'");
+    }
+    SEQ_ASSIGN_OR_RETURN(LogicalOpPtr inlined,
+                         InlineImpl(it->second, views, expanding));
+    expanding->erase(node->seq_name());
+    return inlined;
+  }
+  LogicalOpPtr clone = node->Clone();
+  for (size_t i = 0; i < clone->arity(); ++i) {
+    SEQ_ASSIGN_OR_RETURN(clone->mutable_input(i),
+                         InlineImpl(clone->input(i), views, expanding));
+  }
+  return clone;
+}
+
+}  // namespace
+
+Result<LogicalOpPtr> InlineViews(const LogicalOpPtr& graph,
+                                 const ViewMap& views) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("null graph");
+  }
+  if (views.empty()) return graph;
+  std::set<std::string> expanding;
+  return InlineImpl(graph, views, &expanding);
+}
+
+}  // namespace seq

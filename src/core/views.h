@@ -1,0 +1,25 @@
+#ifndef SEQ_CORE_VIEWS_H_
+#define SEQ_CORE_VIEWS_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "logical/logical_op.h"
+
+namespace seq {
+
+/// Named derived sequences (§5.2's shared sub-expressions, kept within the
+/// paper's tree-shaped graphs): a view maps a name to a query graph;
+/// references inline a private clone of the definition, so a query using
+/// the same view twice stays a tree while being written as a DAG.
+using ViewMap = std::map<std::string, LogicalOpPtr>;
+
+/// Returns `graph` with every BaseRef naming a view replaced by a clone of
+/// the view's definition, recursively. Fails on cyclic definitions.
+Result<LogicalOpPtr> InlineViews(const LogicalOpPtr& graph,
+                                 const ViewMap& views);
+
+}  // namespace seq
+
+#endif  // SEQ_CORE_VIEWS_H_

@@ -1,0 +1,186 @@
+#include "exec/agg_ops.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace seq {
+
+// --- WindowAggCachedStream --------------------------------------------------
+
+Status WindowAggCachedStream::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  next_pos_ = required_.start;
+  pending_.reset();
+  child_done_ = false;
+  state_ = WindowState(func_, col_type_);
+  return child_->Open(ctx);
+}
+
+void WindowAggCachedStream::Fill() {
+  if (child_done_ || pending_.has_value()) return;
+  pending_ = child_->Next();
+  if (!pending_.has_value()) child_done_ = true;
+}
+
+std::optional<PosRecord> WindowAggCachedStream::Next() {
+  return NextAtOrAfter(next_pos_);
+}
+
+std::optional<PosRecord> WindowAggCachedStream::NextAtOrAfter(Position p) {
+  if (required_.IsEmpty()) return std::nullopt;
+  if (p < next_pos_) p = next_pos_;
+  if (p < required_.start) p = required_.start;
+  while (p <= required_.end) {
+    // Pull every input at positions <= p into the window cache.
+    Fill();
+    while (pending_.has_value() && pending_->pos <= p) {
+      ctx_->ChargeCacheStore();
+      state_.Add(pending_->pos, pending_->rec[col_index_], ctx_);
+      pending_.reset();
+      Fill();
+    }
+    state_.EvictBefore(p - window_ + 1);
+    if (state_.count() > 0) {
+      ctx_->ChargeCacheHit();
+      ctx_->ChargeCompute();
+      next_pos_ = p + 1;
+      return PosRecord{p, Record{state_.Current()}};
+    }
+    // Window empty at p: jump to the next input record's position.
+    if (!pending_.has_value()) return std::nullopt;
+    p = pending_->pos;
+  }
+  return std::nullopt;
+}
+
+// --- RunningAggStream -------------------------------------------------------
+
+Status RunningAggStream::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  next_pos_ = required_.start;
+  pending_.reset();
+  child_done_ = false;
+  state_ = WindowState(func_, col_type_);
+  return child_->Open(ctx);
+}
+
+std::optional<PosRecord> RunningAggStream::Next() {
+  return NextAtOrAfter(next_pos_);
+}
+
+std::optional<PosRecord> RunningAggStream::NextAtOrAfter(Position p) {
+  if (required_.IsEmpty()) return std::nullopt;
+  if (p < next_pos_) p = next_pos_;
+  if (p < required_.start) p = required_.start;
+  while (p <= required_.end) {
+    if (!pending_.has_value() && !child_done_) {
+      pending_ = child_->Next();
+      if (!pending_.has_value()) child_done_ = true;
+    }
+    while (pending_.has_value() && pending_->pos <= p) {
+      state_.Add(pending_->pos, pending_->rec[col_index_], ctx_);
+      pending_.reset();
+      if (!child_done_) {
+        pending_ = child_->Next();
+        if (!pending_.has_value()) child_done_ = true;
+      }
+    }
+    if (state_.count() > 0) {
+      ctx_->ChargeCompute();
+      next_pos_ = p + 1;
+      return PosRecord{p, Record{state_.Current()}};
+    }
+    if (!pending_.has_value()) return std::nullopt;
+    p = pending_->pos;
+  }
+  return std::nullopt;
+}
+
+// --- OverallAggStream -------------------------------------------------------
+
+Status OverallAggStream::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  next_pos_ = required_.start;
+  SEQ_RETURN_IF_ERROR(child_->Open(ctx));
+  // One full pass computes the aggregate (the paper's "agg_pos always
+  // true" special case aggregates the whole sequence).
+  WindowState state(func_, col_type_);
+  while (true) {
+    std::optional<PosRecord> r = child_->Next();
+    if (!r.has_value()) break;
+    state.Add(r->pos, r->rec[col_index_], ctx);
+  }
+  if (state.count() > 0) value_ = state.Current();
+  return Status::OK();
+}
+
+std::optional<PosRecord> OverallAggStream::Next() {
+  if (!value_.has_value() || required_.IsEmpty()) return std::nullopt;
+  if (next_pos_ < required_.start) next_pos_ = required_.start;
+  if (next_pos_ > required_.end) return std::nullopt;
+  ctx_->ChargeCompute();
+  return PosRecord{next_pos_++, Record{*value_}};
+}
+
+// --- WindowAggNaiveProbe / Stream -------------------------------------------
+
+std::optional<Record> WindowAggNaiveProbe::Probe(Position p) {
+  WindowState state(func_, col_type_);
+  for (Position q = p - window_ + 1; q <= p; ++q) {
+    std::optional<Record> r = child_->Probe(q);
+    if (r.has_value()) state.Add(q, (*r)[col_index_], ctx_);
+  }
+  if (state.count() == 0) return std::nullopt;
+  ctx_->ChargeCompute();
+  return Record{state.Current()};
+}
+
+std::optional<PosRecord> WindowAggNaiveStream::Next() {
+  while (next_pos_ <= required_.end) {
+    Position p = next_pos_++;
+    std::optional<Record> r = probe_.Probe(p);
+    if (r.has_value()) return PosRecord{p, std::move(*r)};
+  }
+  return std::nullopt;
+}
+
+// --- MaterializedAggProbe ---------------------------------------------------
+
+Status MaterializedAggProbe::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  SEQ_RETURN_IF_ERROR(child_->Open(ctx));
+  WindowState state(func_, col_type_);
+  checkpoints_.clear();
+  while (true) {
+    std::optional<PosRecord> r = child_->Next();
+    if (!r.has_value()) break;
+    state.Add(r->pos, r->rec[col_index_], ctx);
+    if (kind_ == WindowKind::kRunning) {
+      checkpoints_.emplace_back(r->pos, state.Current());
+    }
+  }
+  if (kind_ == WindowKind::kAll && state.count() > 0) {
+    checkpoints_.emplace_back(out_span_.start, state.Current());
+  }
+  return Status::OK();
+}
+
+std::optional<Record> MaterializedAggProbe::Probe(Position p) {
+  if (checkpoints_.empty() || !out_span_.Contains(p)) return std::nullopt;
+  if (kind_ == WindowKind::kAll) {
+    ctx_->ChargeCacheHit();
+    return Record{checkpoints_.front().second};
+  }
+  // Running: value at the greatest checkpoint position <= p.
+  auto it = std::upper_bound(
+      checkpoints_.begin(), checkpoints_.end(), p,
+      [](Position pos, const std::pair<Position, Value>& cp) {
+        return pos < cp.first;
+      });
+  if (it == checkpoints_.begin()) return std::nullopt;
+  ctx_->ChargeCacheHit();
+  return Record{std::prev(it)->second};
+}
+
+}  // namespace seq

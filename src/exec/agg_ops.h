@@ -1,0 +1,204 @@
+#ifndef SEQ_EXEC_AGG_OPS_H_
+#define SEQ_EXEC_AGG_OPS_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/window_state.h"
+#include "logical/logical_op.h"
+
+namespace seq {
+
+/// Trailing-window aggregate with Cache-Strategy-A (§3.5, Fig. 5.A): a
+/// scope-sized cache over the input stream; each input record enters the
+/// cache exactly once and every output reads the cached window.
+class WindowAggCachedStream : public StreamOp {
+ public:
+  WindowAggCachedStream(StreamOpPtr child, AggFunc func, size_t col_index,
+                        TypeId col_type, int64_t window, Span required)
+      : child_(std::move(child)),
+        func_(func),
+        col_index_(col_index),
+        col_type_(col_type),
+        window_(window),
+        required_(required),
+        state_(func, col_type) {}
+
+  Status Open(ExecContext* ctx) override;
+  std::optional<PosRecord> Next() override;
+  std::optional<PosRecord> NextAtOrAfter(Position p) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  void Fill();
+
+  StreamOpPtr child_;
+  AggFunc func_;
+  size_t col_index_;
+  TypeId col_type_;
+  int64_t window_;
+  Span required_;
+  ExecContext* ctx_ = nullptr;
+
+  WindowState state_;
+  std::optional<PosRecord> pending_;
+  bool child_done_ = false;
+  Position next_pos_ = 0;
+};
+
+/// Running (prefix) aggregate: agg over all inputs at positions <= i.
+/// Dense output from the first input record onward.
+class RunningAggStream : public StreamOp {
+ public:
+  RunningAggStream(StreamOpPtr child, AggFunc func, size_t col_index,
+                   TypeId col_type, Span required)
+      : child_(std::move(child)),
+        func_(func),
+        col_index_(col_index),
+        col_type_(col_type),
+        required_(required),
+        state_(func, col_type) {}
+
+  Status Open(ExecContext* ctx) override;
+  std::optional<PosRecord> Next() override;
+  std::optional<PosRecord> NextAtOrAfter(Position p) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  StreamOpPtr child_;
+  AggFunc func_;
+  size_t col_index_;
+  TypeId col_type_;
+  Span required_;
+  ExecContext* ctx_ = nullptr;
+
+  WindowState state_;
+  std::optional<PosRecord> pending_;
+  bool child_done_ = false;
+  Position next_pos_ = 0;
+};
+
+/// Whole-sequence aggregate (the paper's "agg_pos always true" case): one
+/// pass over the input at Open, then the same value at every position.
+class OverallAggStream : public StreamOp {
+ public:
+  OverallAggStream(StreamOpPtr child, AggFunc func, size_t col_index,
+                   TypeId col_type, Span required)
+      : child_(std::move(child)),
+        func_(func),
+        col_index_(col_index),
+        col_type_(col_type),
+        required_(required) {}
+
+  Status Open(ExecContext* ctx) override;
+  std::optional<PosRecord> Next() override;
+  std::optional<PosRecord> NextAtOrAfter(Position p) override {
+    if (p > next_pos_) next_pos_ = p;
+    return Next();
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  StreamOpPtr child_;
+  AggFunc func_;
+  size_t col_index_;
+  TypeId col_type_;
+  Span required_;
+  ExecContext* ctx_ = nullptr;
+
+  std::optional<Value> value_;
+  Position next_pos_ = 0;
+};
+
+/// Naive trailing-window aggregate in probed mode: probes the entire
+/// window of the input for every requested position (§4.1.2: "the probed
+/// access cost of the input sequence multiplied by the size of the
+/// operator scope").
+class WindowAggNaiveProbe : public ProbeOp {
+ public:
+  WindowAggNaiveProbe(ProbeOpPtr child, AggFunc func, size_t col_index,
+                      TypeId col_type, int64_t window)
+      : child_(std::move(child)),
+        func_(func),
+        col_index_(col_index),
+        col_type_(col_type),
+        window_(window) {}
+
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    return child_->Open(ctx);
+  }
+  std::optional<Record> Probe(Position p) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  ProbeOpPtr child_;
+  AggFunc func_;
+  size_t col_index_;
+  TypeId col_type_;
+  int64_t window_;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// Naive trailing-window aggregate as a stream (the Fig. 5.A baseline):
+/// walks every position, re-probing the whole window each time.
+class WindowAggNaiveStream : public StreamOp {
+ public:
+  WindowAggNaiveStream(ProbeOpPtr child, AggFunc func, size_t col_index,
+                       TypeId col_type, int64_t window, Span required)
+      : probe_(std::move(child), func, col_index, col_type, window),
+        required_(required) {}
+
+  Status Open(ExecContext* ctx) override {
+    next_pos_ = required_.start;
+    return probe_.Open(ctx);
+  }
+  std::optional<PosRecord> Next() override;
+  std::optional<PosRecord> NextAtOrAfter(Position p) override {
+    if (p > next_pos_) next_pos_ = p;
+    return Next();
+  }
+  void Close() override { probe_.Close(); }
+
+ private:
+  WindowAggNaiveProbe probe_;
+  Span required_;
+  Position next_pos_ = 0;
+};
+
+/// Probed-mode running/overall aggregate: materializes the aggregate by
+/// one stream pass of the input on Open, then serves probes by lookup
+/// (§5.3's materialization option).
+class MaterializedAggProbe : public ProbeOp {
+ public:
+  MaterializedAggProbe(StreamOpPtr child, AggFunc func, size_t col_index,
+                       TypeId col_type, WindowKind kind, Span out_span)
+      : child_(std::move(child)),
+        func_(func),
+        col_index_(col_index),
+        col_type_(col_type),
+        kind_(kind),
+        out_span_(out_span) {}
+
+  Status Open(ExecContext* ctx) override;
+  std::optional<Record> Probe(Position p) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  StreamOpPtr child_;
+  AggFunc func_;
+  size_t col_index_;
+  TypeId col_type_;
+  WindowKind kind_;
+  Span out_span_;
+  ExecContext* ctx_ = nullptr;
+
+  // (input position, running value) checkpoints; probe = greatest <= p.
+  std::vector<std::pair<Position, Value>> checkpoints_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_EXEC_AGG_OPS_H_

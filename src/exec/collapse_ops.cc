@@ -1,0 +1,107 @@
+#include "exec/collapse_ops.h"
+
+namespace seq {
+namespace {
+
+// Floor division (buckets must nest correctly for negative positions).
+Position BucketOf(Position pos, int64_t factor) {
+  Position b = pos / factor;
+  if (pos % factor != 0 && pos < 0) --b;
+  return b;
+}
+
+}  // namespace
+
+Status CollapseStream::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  pending_.reset();
+  child_done_ = false;
+  return child_->Open(ctx);
+}
+
+std::optional<PosRecord> CollapseStream::Next() {
+  if (!pending_.has_value() && !child_done_) {
+    pending_ = child_->Next();
+    if (!pending_.has_value()) child_done_ = true;
+  }
+  if (!pending_.has_value()) return std::nullopt;
+
+  Position bucket = BucketOf(pending_->pos, factor_);
+  WindowState state(func_, col_type_);
+  while (pending_.has_value() && BucketOf(pending_->pos, factor_) == bucket) {
+    state.Add(pending_->pos, pending_->rec[col_index_], ctx_);
+    pending_ = child_->Next();
+    if (!pending_.has_value()) child_done_ = true;
+  }
+  ctx_->ChargeCompute();
+  if (!required_.Contains(bucket)) {
+    // Outside the requested collapsed range; recurse to the next bucket.
+    return Next();
+  }
+  return PosRecord{bucket, Record{state.Current()}};
+}
+
+Status CollapseProbe::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  buckets_.clear();
+  SEQ_RETURN_IF_ERROR(child_->Open(ctx));
+  std::optional<PosRecord> r = child_->Next();
+  while (r.has_value()) {
+    Position bucket = BucketOf(r->pos, factor_);
+    WindowState state(func_, col_type_);
+    while (r.has_value() && BucketOf(r->pos, factor_) == bucket) {
+      state.Add(r->pos, r->rec[col_index_], ctx);
+      r = child_->Next();
+    }
+    ctx->ChargeCompute();
+    buckets_.emplace(bucket, state.Current());
+  }
+  return Status::OK();
+}
+
+std::optional<Record> CollapseProbe::Probe(Position p) {
+  auto it = buckets_.find(p);
+  if (it == buckets_.end()) return std::nullopt;
+  ctx_->ChargeCacheHit();
+  return Record{it->second};
+}
+
+Status ExpandStream::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  current_.reset();
+  next_pos_ = required_.start;
+  return child_->Open(ctx);
+}
+
+std::optional<PosRecord> ExpandStream::Next() {
+  return NextAtOrAfter(next_pos_);
+}
+
+std::optional<PosRecord> ExpandStream::NextAtOrAfter(Position p) {
+  if (required_.IsEmpty()) return std::nullopt;
+  if (p < next_pos_) p = next_pos_;
+  if (p < required_.start) p = required_.start;
+  while (p <= required_.end) {
+    Position bucket = BucketOf(p, factor_);
+    // Advance the input to the bucket covering p (or beyond).
+    while (!current_.has_value() || current_->pos < bucket) {
+      current_ = child_->NextAtOrAfter(bucket);
+      if (!current_.has_value()) return std::nullopt;
+    }
+    if (current_->pos == bucket) {
+      ctx_->ChargeCompute();
+      next_pos_ = p + 1;
+      return PosRecord{p, current_->rec};
+    }
+    // Input bucket lies ahead: jump to its first output position.
+    p = current_->pos * factor_;
+  }
+  return std::nullopt;
+}
+
+std::optional<Record> ExpandProbe::Probe(Position p) {
+  ctx_->ChargeCompute();
+  return child_->Probe(BucketOf(p, factor_));
+}
+
+}  // namespace seq

@@ -1,0 +1,114 @@
+#ifndef SEQ_EXEC_COLLAPSE_OPS_H_
+#define SEQ_EXEC_COLLAPSE_OPS_H_
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "exec/operator.h"
+#include "exec/window_state.h"
+#include "logical/logical_op.h"
+
+namespace seq {
+
+/// Collapse to a coarser ordering domain (§5.1): output position b holds
+/// the aggregate of input positions [b·f, (b+1)·f). One pass, emitting a
+/// bucket when the input moves past it.
+class CollapseStream : public StreamOp {
+ public:
+  CollapseStream(StreamOpPtr child, AggFunc func, size_t col_index,
+                 TypeId col_type, int64_t factor, Span required)
+      : child_(std::move(child)),
+        func_(func),
+        col_index_(col_index),
+        col_type_(col_type),
+        factor_(factor),
+        required_(required) {}
+
+  Status Open(ExecContext* ctx) override;
+  std::optional<PosRecord> Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  StreamOpPtr child_;
+  AggFunc func_;
+  size_t col_index_;
+  TypeId col_type_;
+  int64_t factor_;
+  Span required_;
+  ExecContext* ctx_ = nullptr;
+
+  std::optional<PosRecord> pending_;
+  bool child_done_ = false;
+};
+
+/// Probed-mode collapse: materializes all buckets in one input pass.
+class CollapseProbe : public ProbeOp {
+ public:
+  CollapseProbe(StreamOpPtr child, AggFunc func, size_t col_index,
+                TypeId col_type, int64_t factor)
+      : child_(std::move(child)),
+        func_(func),
+        col_index_(col_index),
+        col_type_(col_type),
+        factor_(factor) {}
+
+  Status Open(ExecContext* ctx) override;
+  std::optional<Record> Probe(Position p) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  StreamOpPtr child_;
+  AggFunc func_;
+  size_t col_index_;
+  TypeId col_type_;
+  int64_t factor_;
+  ExecContext* ctx_ = nullptr;
+
+  std::map<Position, Value> buckets_;
+};
+
+/// Expand to a finer ordering domain (§5.1): out(i) = in(floor(i/f)).
+/// Stream mode replicates each input record over its f output positions.
+class ExpandStream : public StreamOp {
+ public:
+  ExpandStream(StreamOpPtr child, int64_t factor, Span required)
+      : child_(std::move(child)), factor_(factor), required_(required) {}
+
+  Status Open(ExecContext* ctx) override;
+  std::optional<PosRecord> Next() override;
+  std::optional<PosRecord> NextAtOrAfter(Position p) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  StreamOpPtr child_;
+  int64_t factor_;
+  Span required_;
+  ExecContext* ctx_ = nullptr;
+
+  std::optional<PosRecord> current_;  // input record being replicated
+  Position next_pos_ = 0;
+};
+
+/// Probed expand: one input probe at floor(p / f).
+class ExpandProbe : public ProbeOp {
+ public:
+  ExpandProbe(ProbeOpPtr child, int64_t factor)
+      : child_(std::move(child)), factor_(factor) {}
+
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    return child_->Open(ctx);
+  }
+  std::optional<Record> Probe(Position p) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  ProbeOpPtr child_;
+  int64_t factor_;
+  ExecContext* ctx_ = nullptr;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_EXEC_COLLAPSE_OPS_H_

@@ -1,0 +1,157 @@
+#include "exec/compose_ops.h"
+
+namespace seq {
+namespace {
+
+Record Combine(const Record& left, const Record& right) {
+  Record out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+}  // namespace
+
+// --- ComposeLockstepStream --------------------------------------------------
+
+Status ComposeLockstepStream::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  done_ = false;
+  l_.reset();
+  r_.reset();
+  if (predicate_ != nullptr) {
+    SEQ_ASSIGN_OR_RETURN(
+        CompiledExpr compiled,
+        CompiledExpr::CompilePredicate(predicate_, *out_schema_));
+    compiled_ = std::move(compiled);
+  }
+  SEQ_RETURN_IF_ERROR(left_->Open(ctx));
+  return right_->Open(ctx);
+}
+
+std::optional<PosRecord> ComposeLockstepStream::Advance(
+    const Position* at_or_after) {
+  if (done_) return std::nullopt;
+  // Refresh or re-seek the two pending records.
+  if (at_or_after != nullptr) {
+    if (!l_.has_value() || l_->pos < *at_or_after) {
+      l_ = left_->NextAtOrAfter(*at_or_after);
+    }
+    if (!r_.has_value() || r_->pos < *at_or_after) {
+      r_ = right_->NextAtOrAfter(*at_or_after);
+    }
+  } else {
+    if (!l_.has_value()) l_ = left_->Next();
+    if (!r_.has_value()) r_ = right_->Next();
+  }
+  while (l_.has_value() && r_.has_value()) {
+    if (l_->pos < r_->pos) {
+      l_ = left_->NextAtOrAfter(r_->pos);
+    } else if (r_->pos < l_->pos) {
+      r_ = right_->NextAtOrAfter(l_->pos);
+    } else {
+      Position pos = l_->pos;
+      Record combined = Combine(l_->rec, r_->rec);
+      l_.reset();
+      r_.reset();
+      bool pass = true;
+      if (compiled_.has_value()) {
+        ctx_->ChargePredicate(/*join=*/true);
+        pass = compiled_->EvalBool(combined, pos);
+      }
+      if (pass) {
+        ctx_->ChargeCompute();
+        return PosRecord{pos, std::move(combined)};
+      }
+      l_ = left_->Next();
+      r_ = right_->Next();
+    }
+  }
+  done_ = true;
+  return std::nullopt;
+}
+
+// --- ComposeStreamProbe -----------------------------------------------------
+
+Status ComposeStreamProbe::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  if (predicate_ != nullptr) {
+    SEQ_ASSIGN_OR_RETURN(
+        CompiledExpr compiled,
+        CompiledExpr::CompilePredicate(predicate_, *out_schema_));
+    compiled_ = std::move(compiled);
+  }
+  SEQ_RETURN_IF_ERROR(driver_->Open(ctx));
+  return other_->Open(ctx);
+}
+
+std::optional<PosRecord> ComposeStreamProbe::TryJoin(PosRecord d) {
+  std::optional<Record> o = other_->Probe(d.pos);
+  if (!o.has_value()) return std::nullopt;
+  Record combined = driver_is_left_ ? Combine(d.rec, *o) : Combine(*o, d.rec);
+  if (compiled_.has_value()) {
+    ctx_->ChargePredicate(/*join=*/true);
+    if (!compiled_->EvalBool(combined, d.pos)) return std::nullopt;
+  }
+  ctx_->ChargeCompute();
+  return PosRecord{d.pos, std::move(combined)};
+}
+
+std::optional<PosRecord> ComposeStreamProbe::Next() {
+  while (true) {
+    std::optional<PosRecord> d = driver_->Next();
+    if (!d.has_value()) return std::nullopt;
+    std::optional<PosRecord> joined = TryJoin(std::move(*d));
+    if (joined.has_value()) return joined;
+  }
+}
+
+std::optional<PosRecord> ComposeStreamProbe::NextAtOrAfter(Position p) {
+  std::optional<PosRecord> d = driver_->NextAtOrAfter(p);
+  while (d.has_value()) {
+    std::optional<PosRecord> joined = TryJoin(std::move(*d));
+    if (joined.has_value()) return joined;
+    d = driver_->Next();
+  }
+  return std::nullopt;
+}
+
+// --- ComposeProbeBoth -------------------------------------------------------
+
+Status ComposeProbeBoth::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  if (predicate_ != nullptr) {
+    SEQ_ASSIGN_OR_RETURN(
+        CompiledExpr compiled,
+        CompiledExpr::CompilePredicate(predicate_, *out_schema_));
+    compiled_ = std::move(compiled);
+  }
+  SEQ_RETURN_IF_ERROR(left_->Open(ctx));
+  return right_->Open(ctx);
+}
+
+std::optional<Record> ComposeProbeBoth::Probe(Position p) {
+  std::optional<Record> l;
+  std::optional<Record> r;
+  if (probe_left_first_) {
+    l = left_->Probe(p);
+    if (!l.has_value()) return std::nullopt;
+    r = right_->Probe(p);
+    if (!r.has_value()) return std::nullopt;
+  } else {
+    r = right_->Probe(p);
+    if (!r.has_value()) return std::nullopt;
+    l = left_->Probe(p);
+    if (!l.has_value()) return std::nullopt;
+  }
+  Record combined = Combine(*l, *r);
+  if (compiled_.has_value()) {
+    ctx_->ChargePredicate(/*join=*/true);
+    if (!compiled_->EvalBool(combined, p)) return std::nullopt;
+  }
+  ctx_->ChargeCompute();
+  return combined;
+}
+
+}  // namespace seq

@@ -1,0 +1,116 @@
+#ifndef SEQ_EXEC_COMPOSE_OPS_H_
+#define SEQ_EXEC_COMPOSE_OPS_H_
+
+#include <optional>
+#include <utility>
+
+#include "exec/operator.h"
+#include "expr/compiled_expr.h"
+
+namespace seq {
+
+/// Join-Strategy-B (§3.3): stream both inputs in lock step, joining at
+/// common positions — the sort-merge analogue from the paper's motivating
+/// example. Uses NextAtOrAfter so dense inputs (value offsets, constants)
+/// are skipped through in O(1).
+class ComposeLockstepStream : public StreamOp {
+ public:
+  ComposeLockstepStream(StreamOpPtr left, StreamOpPtr right,
+                        ExprPtr predicate, SchemaPtr out_schema)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        predicate_(std::move(predicate)),
+        out_schema_(std::move(out_schema)) {}
+
+  Status Open(ExecContext* ctx) override;
+  std::optional<PosRecord> Next() override { return Advance(nullptr); }
+  std::optional<PosRecord> NextAtOrAfter(Position p) override {
+    return Advance(&p);
+  }
+  void Close() override {
+    left_->Close();
+    right_->Close();
+  }
+
+ private:
+  std::optional<PosRecord> Advance(const Position* at_or_after);
+
+  StreamOpPtr left_;
+  StreamOpPtr right_;
+  ExprPtr predicate_;
+  SchemaPtr out_schema_;
+  std::optional<CompiledExpr> compiled_;
+  ExecContext* ctx_ = nullptr;
+
+  std::optional<PosRecord> l_;
+  std::optional<PosRecord> r_;
+  bool done_ = false;
+};
+
+/// Join-Strategy-A (§3.3): stream one input and probe the other at each of
+/// its record positions.
+class ComposeStreamProbe : public StreamOp {
+ public:
+  /// `driver_is_left`: the streamed child is the compose's left input
+  /// (controls output field order).
+  ComposeStreamProbe(StreamOpPtr driver, ProbeOpPtr other,
+                     bool driver_is_left, ExprPtr predicate,
+                     SchemaPtr out_schema)
+      : driver_(std::move(driver)),
+        other_(std::move(other)),
+        driver_is_left_(driver_is_left),
+        predicate_(std::move(predicate)),
+        out_schema_(std::move(out_schema)) {}
+
+  Status Open(ExecContext* ctx) override;
+  std::optional<PosRecord> Next() override;
+  std::optional<PosRecord> NextAtOrAfter(Position p) override;
+  void Close() override {
+    driver_->Close();
+    other_->Close();
+  }
+
+ private:
+  std::optional<PosRecord> TryJoin(PosRecord d);
+
+  StreamOpPtr driver_;
+  ProbeOpPtr other_;
+  bool driver_is_left_;
+  ExprPtr predicate_;
+  SchemaPtr out_schema_;
+  std::optional<CompiledExpr> compiled_;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// Probed-mode compose: probe one side (the cheaper rejector first), then
+/// the other.
+class ComposeProbeBoth : public ProbeOp {
+ public:
+  ComposeProbeBoth(ProbeOpPtr left, ProbeOpPtr right, bool probe_left_first,
+                   ExprPtr predicate, SchemaPtr out_schema)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        probe_left_first_(probe_left_first),
+        predicate_(std::move(predicate)),
+        out_schema_(std::move(out_schema)) {}
+
+  Status Open(ExecContext* ctx) override;
+  std::optional<Record> Probe(Position p) override;
+  void Close() override {
+    left_->Close();
+    right_->Close();
+  }
+
+ private:
+  ProbeOpPtr left_;
+  ProbeOpPtr right_;
+  bool probe_left_first_;
+  ExprPtr predicate_;
+  SchemaPtr out_schema_;
+  std::optional<CompiledExpr> compiled_;
+  ExecContext* ctx_ = nullptr;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_EXEC_COMPOSE_OPS_H_

@@ -1,0 +1,47 @@
+#ifndef SEQ_EXEC_EXEC_CONTEXT_H_
+#define SEQ_EXEC_EXEC_CONTEXT_H_
+
+#include "catalog/catalog.h"
+#include "catalog/cost_params.h"
+#include "storage/access_stats.h"
+
+namespace seq {
+
+/// Shared state threaded through a plan's operators during evaluation.
+/// `stats` receives every simulated access/cache/predicate charge; the cost
+/// constants mirror the ones the optimizer estimated with so measured
+/// simulated cost is comparable to plan estimates.
+struct ExecContext {
+  const Catalog* catalog = nullptr;
+  AccessStats* stats = nullptr;
+  CostParams params;
+
+  void ChargePredicate(bool join) {
+    if (stats == nullptr) return;
+    ++stats->predicate_evals;
+    stats->simulated_cost +=
+        join ? params.join_predicate_cost : params.select_predicate_cost;
+  }
+  void ChargeCacheStore() {
+    if (stats == nullptr) return;
+    ++stats->cache_stores;
+    stats->simulated_cost += params.cache_store_cost;
+  }
+  void ChargeCacheHit() {
+    if (stats == nullptr) return;
+    ++stats->cache_hits;
+    stats->simulated_cost += params.cache_access_cost;
+  }
+  void ChargeCompute() {
+    if (stats == nullptr) return;
+    stats->simulated_cost += params.compute_cost;
+  }
+  void ChargeAggStep() {
+    if (stats == nullptr) return;
+    ++stats->agg_steps;
+  }
+};
+
+}  // namespace seq
+
+#endif  // SEQ_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,325 @@
+#include "exec/executor.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "exec/agg_ops.h"
+#include "exec/collapse_ops.h"
+#include "exec/compose_ops.h"
+#include "exec/offset_ops.h"
+#include "exec/scan_ops.h"
+#include "exec/unary_ops.h"
+
+namespace seq {
+namespace {
+
+/// Resolves projection column names to indices in the child schema.
+Result<std::vector<size_t>> ProjectIndices(const PhysNode& node,
+                                           const Schema& child_schema) {
+  std::vector<size_t> indices;
+  indices.reserve(node.columns.size());
+  for (const std::string& col : node.columns) {
+    SEQ_ASSIGN_OR_RETURN(size_t idx, child_schema.FieldIndex(col));
+    indices.push_back(idx);
+  }
+  return indices;
+}
+
+struct AggBinding {
+  size_t col_index;
+  TypeId col_type;
+};
+
+Result<AggBinding> BindAggColumn(const PhysNode& node) {
+  SEQ_CHECK(!node.children.empty());
+  const Schema& child_schema = *node.children[0]->out_schema;
+  SEQ_ASSIGN_OR_RETURN(size_t idx, child_schema.FieldIndex(node.agg_column));
+  return AggBinding{idx, child_schema.field(idx).type};
+}
+
+}  // namespace
+
+Result<StreamOpPtr> Executor::BuildStream(const PhysNodePtr& node) const {
+  SEQ_CHECK(node != nullptr);
+  SEQ_CHECK_MSG(node->mode == AccessMode::kStream,
+                "BuildStream on a probed-mode node "
+                    << OpKindName(node->op));
+  switch (node->op) {
+    case OpKind::kBaseRef: {
+      SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
+                           catalog_.Lookup(node->seq_name));
+      return StreamOpPtr(
+          new BaseStreamScan(entry->store.get(), node->required));
+    }
+    case OpKind::kConstantRef: {
+      SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
+                           catalog_.Lookup(node->seq_name));
+      return StreamOpPtr(new ConstantStream(entry->constant, node->required));
+    }
+    case OpKind::kSelect: {
+      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0]));
+      return StreamOpPtr(new SelectStream(std::move(child), node->predicate,
+                                          node->children[0]->out_schema));
+    }
+    case OpKind::kProject: {
+      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(
+          std::vector<size_t> indices,
+          ProjectIndices(*node, *node->children[0]->out_schema));
+      return StreamOpPtr(new ProjectStream(std::move(child),
+                                           std::move(indices)));
+    }
+    case OpKind::kPositionalOffset: {
+      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0]));
+      return StreamOpPtr(new PosOffsetStream(std::move(child), node->offset));
+    }
+    case OpKind::kValueOffset: {
+      if (node->offset_strategy == OffsetStrategy::kIncrementalCacheB) {
+        SEQ_ASSIGN_OR_RETURN(StreamOpPtr child,
+                             BuildStream(node->children[0]));
+        return StreamOpPtr(new ValueOffsetStream(std::move(child),
+                                                 node->offset,
+                                                 node->required));
+      }
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0]));
+      return StreamOpPtr(new ValueOffsetNaiveStream(
+          std::move(child), node->offset, node->required,
+          node->children[0]->required));
+    }
+    case OpKind::kWindowAgg: {
+      SEQ_ASSIGN_OR_RETURN(AggBinding binding, BindAggColumn(*node));
+      switch (node->window_kind) {
+        case WindowKind::kTrailing:
+          if (node->agg_strategy == AggStrategy::kCacheA) {
+            SEQ_ASSIGN_OR_RETURN(StreamOpPtr child,
+                                 BuildStream(node->children[0]));
+            return StreamOpPtr(new WindowAggCachedStream(
+                std::move(child), node->agg_func, binding.col_index,
+                binding.col_type, node->window, node->required));
+          } else {
+            SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child,
+                                 BuildProbe(node->children[0]));
+            return StreamOpPtr(new WindowAggNaiveStream(
+                std::move(child), node->agg_func, binding.col_index,
+                binding.col_type, node->window, node->required));
+          }
+        case WindowKind::kRunning: {
+          SEQ_ASSIGN_OR_RETURN(StreamOpPtr child,
+                               BuildStream(node->children[0]));
+          return StreamOpPtr(new RunningAggStream(
+              std::move(child), node->agg_func, binding.col_index,
+              binding.col_type, node->required));
+        }
+        case WindowKind::kAll: {
+          SEQ_ASSIGN_OR_RETURN(StreamOpPtr child,
+                               BuildStream(node->children[0]));
+          return StreamOpPtr(new OverallAggStream(
+              std::move(child), node->agg_func, binding.col_index,
+              binding.col_type, node->required));
+        }
+      }
+      return Status::Internal("unknown window kind");
+    }
+    case OpKind::kCompose: {
+      switch (node->join_strategy) {
+        case JoinStrategy::kStreamBoth: {
+          SEQ_ASSIGN_OR_RETURN(StreamOpPtr left,
+                               BuildStream(node->children[0]));
+          SEQ_ASSIGN_OR_RETURN(StreamOpPtr right,
+                               BuildStream(node->children[1]));
+          return StreamOpPtr(new ComposeLockstepStream(
+              std::move(left), std::move(right), node->predicate,
+              node->out_schema));
+        }
+        case JoinStrategy::kStreamLeftProbeRight: {
+          SEQ_ASSIGN_OR_RETURN(StreamOpPtr driver,
+                               BuildStream(node->children[0]));
+          SEQ_ASSIGN_OR_RETURN(ProbeOpPtr other,
+                               BuildProbe(node->children[1]));
+          return StreamOpPtr(new ComposeStreamProbe(
+              std::move(driver), std::move(other), /*driver_is_left=*/true,
+              node->predicate, node->out_schema));
+        }
+        case JoinStrategy::kStreamRightProbeLeft: {
+          SEQ_ASSIGN_OR_RETURN(ProbeOpPtr other,
+                               BuildProbe(node->children[0]));
+          SEQ_ASSIGN_OR_RETURN(StreamOpPtr driver,
+                               BuildStream(node->children[1]));
+          return StreamOpPtr(new ComposeStreamProbe(
+              std::move(driver), std::move(other), /*driver_is_left=*/false,
+              node->predicate, node->out_schema));
+        }
+        case JoinStrategy::kProbeBoth:
+          return Status::Internal("probe-both compose in a stream plan");
+      }
+      return Status::Internal("unknown join strategy");
+    }
+    case OpKind::kCollapse: {
+      SEQ_ASSIGN_OR_RETURN(AggBinding binding, BindAggColumn(*node));
+      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0]));
+      return StreamOpPtr(new CollapseStream(
+          std::move(child), node->agg_func, binding.col_index,
+          binding.col_type, node->offset, node->required));
+    }
+    case OpKind::kExpand: {
+      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0]));
+      return StreamOpPtr(new ExpandStream(std::move(child), node->offset,
+                                          node->required));
+    }
+  }
+  return Status::Internal("unknown operator kind in stream plan");
+}
+
+Result<ProbeOpPtr> Executor::BuildProbe(const PhysNodePtr& node) const {
+  SEQ_CHECK(node != nullptr);
+  SEQ_CHECK_MSG(node->mode == AccessMode::kProbed,
+                "BuildProbe on a stream-mode node " << OpKindName(node->op));
+  switch (node->op) {
+    case OpKind::kBaseRef: {
+      SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
+                           catalog_.Lookup(node->seq_name));
+      return ProbeOpPtr(new BaseProbeScan(entry->store.get()));
+    }
+    case OpKind::kConstantRef: {
+      SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
+                           catalog_.Lookup(node->seq_name));
+      return ProbeOpPtr(new ConstantProbe(entry->constant));
+    }
+    case OpKind::kSelect: {
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0]));
+      return ProbeOpPtr(new SelectProbe(std::move(child), node->predicate,
+                                        node->children[0]->out_schema));
+    }
+    case OpKind::kProject: {
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(
+          std::vector<size_t> indices,
+          ProjectIndices(*node, *node->children[0]->out_schema));
+      return ProbeOpPtr(new ProjectProbe(std::move(child),
+                                         std::move(indices)));
+    }
+    case OpKind::kPositionalOffset: {
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0]));
+      return ProbeOpPtr(new PosOffsetProbe(std::move(child), node->offset));
+    }
+    case OpKind::kValueOffset: {
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0]));
+      return ProbeOpPtr(new ValueOffsetNaiveProbe(
+          std::move(child), node->offset, node->children[0]->required));
+    }
+    case OpKind::kWindowAgg: {
+      SEQ_ASSIGN_OR_RETURN(AggBinding binding, BindAggColumn(*node));
+      if (node->window_kind == WindowKind::kTrailing) {
+        SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0]));
+        return ProbeOpPtr(new WindowAggNaiveProbe(
+            std::move(child), node->agg_func, binding.col_index,
+            binding.col_type, node->window));
+      }
+      // Running/overall: the planner supplies a stream child to
+      // materialize from.
+      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0]));
+      return ProbeOpPtr(new MaterializedAggProbe(
+          std::move(child), node->agg_func, binding.col_index,
+          binding.col_type, node->window_kind, node->out_span));
+    }
+    case OpKind::kCompose: {
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr left, BuildProbe(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr right, BuildProbe(node->children[1]));
+      return ProbeOpPtr(new ComposeProbeBoth(
+          std::move(left), std::move(right), node->probe_left_first,
+          node->predicate, node->out_schema));
+    }
+    case OpKind::kCollapse: {
+      SEQ_ASSIGN_OR_RETURN(AggBinding binding, BindAggColumn(*node));
+      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0]));
+      return ProbeOpPtr(new CollapseProbe(std::move(child), node->agg_func,
+                                          binding.col_index, binding.col_type,
+                                          node->offset));
+    }
+    case OpKind::kExpand: {
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0]));
+      return ProbeOpPtr(new ExpandProbe(std::move(child), node->offset));
+    }
+  }
+  return Status::Internal("unknown operator kind in probed plan");
+}
+
+Result<QueryResult> Executor::Execute(const PhysicalPlan& plan,
+                                      AccessStats* stats) const {
+  if (plan.root == nullptr) {
+    return Status::InvalidArgument("plan has no root");
+  }
+  ExecContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.stats = stats;
+  ctx.params = params_;
+
+  QueryResult result;
+  result.schema = plan.schema;
+
+  if (plan.root_mode == AccessMode::kStream) {
+    SEQ_ASSIGN_OR_RETURN(StreamOpPtr root, BuildStream(plan.root));
+    SEQ_RETURN_IF_ERROR(root->Open(&ctx));
+    const Span range = plan.output_span;
+    if (!range.IsEmpty()) {
+      // Point queries served by a stream plan filter to the requested
+      // positions during the scan.
+      size_t next_wanted = 0;
+      std::optional<PosRecord> r = root->NextAtOrAfter(range.start);
+      while (r.has_value() && r->pos <= range.end) {
+        bool wanted = true;
+        if (!plan.positions.empty()) {
+          while (next_wanted < plan.positions.size() &&
+                 plan.positions[next_wanted] < r->pos) {
+            ++next_wanted;
+          }
+          wanted = next_wanted < plan.positions.size() &&
+                   plan.positions[next_wanted] == r->pos;
+        }
+        if (wanted) {
+          result.records.push_back(std::move(*r));
+          if (stats != nullptr) ++stats->records_output;
+        }
+        r = root->Next();
+      }
+    }
+    root->Close();
+    return result;
+  }
+
+  // Probed driving (Fig. 6): probe the requested positions, or every
+  // position of the range when none were listed.
+  SEQ_ASSIGN_OR_RETURN(ProbeOpPtr root, BuildProbe(plan.root));
+  SEQ_RETURN_IF_ERROR(root->Open(&ctx));
+  auto probe_one = [&](Position p) {
+    std::optional<Record> r = root->Probe(p);
+    if (r.has_value()) {
+      result.records.push_back(PosRecord{p, std::move(*r)});
+      if (stats != nullptr) ++stats->records_output;
+    }
+  };
+  if (!plan.positions.empty()) {
+    for (Position p : plan.positions) probe_one(p);
+  } else if (!plan.output_span.IsEmpty()) {
+    for (Position p = plan.output_span.start; p <= plan.output_span.end;
+         ++p) {
+      probe_one(p);
+    }
+  }
+  root->Close();
+  return result;
+}
+
+std::string QueryResult::ToString(size_t limit) const {
+  std::ostringstream oss;
+  size_t shown = std::min(limit, records.size());
+  for (size_t i = 0; i < shown; ++i) {
+    oss << PosRecordToString(records[i], *schema) << "\n";
+  }
+  if (records.size() > shown) {
+    oss << "... (" << records.size() << " records total)\n";
+  }
+  return oss.str();
+}
+
+}  // namespace seq

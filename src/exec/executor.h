@@ -1,0 +1,50 @@
+#ifndef SEQ_EXEC_EXECUTOR_H_
+#define SEQ_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/cost_params.h"
+#include "common/result.h"
+#include "exec/operator.h"
+#include "optimizer/physical_plan.h"
+
+namespace seq {
+
+/// A materialized query output: the non-null records of the answer
+/// sequence in position order.
+struct QueryResult {
+  SchemaPtr schema;
+  std::vector<PosRecord> records;
+
+  /// First `limit` records, one per line.
+  std::string ToString(size_t limit = 20) const;
+};
+
+/// Instantiates physical operators from plan descriptors and drives the
+/// Start operator (paper §4: "the Start operator at the root of the plan
+/// induces a stream access on its input sequence").
+class Executor {
+ public:
+  Executor(const Catalog& catalog, CostParams params = CostParams{})
+      : catalog_(catalog), params_(params) {}
+
+  /// Evaluates a complete plan. If `stats` is non-null, all simulated
+  /// access/cache/predicate charges accumulate into it.
+  Result<QueryResult> Execute(const PhysicalPlan& plan,
+                              AccessStats* stats = nullptr) const;
+
+  /// Operator-tree factories, exposed for tests and benchmarks that build
+  /// custom plans.
+  Result<StreamOpPtr> BuildStream(const PhysNodePtr& node) const;
+  Result<ProbeOpPtr> BuildProbe(const PhysNodePtr& node) const;
+
+ private:
+  const Catalog& catalog_;
+  CostParams params_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_EXEC_EXECUTOR_H_

@@ -1,0 +1,108 @@
+#include "exec/offset_ops.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace seq {
+
+Status ValueOffsetStream::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  next_pos_ = required_.start;
+  child_done_ = false;
+  pending_.reset();
+  cache_.clear();
+  return child_->Open(ctx);
+}
+
+void ValueOffsetStream::Fill() {
+  if (child_done_ || pending_.has_value()) return;
+  pending_ = child_->Next();
+  if (!pending_.has_value()) child_done_ = true;
+}
+
+std::optional<PosRecord> ValueOffsetStream::Next() {
+  return NextAtOrAfter(next_pos_);
+}
+
+std::optional<PosRecord> ValueOffsetStream::NextAtOrAfter(Position p) {
+  if (required_.IsEmpty()) return std::nullopt;
+  if (p < next_pos_) p = next_pos_;
+  if (p < required_.start) p = required_.start;
+  size_t magnitude = static_cast<size_t>(std::abs(offset_));
+
+  if (offset_ < 0) {
+    while (p <= required_.end) {
+      // Consume every input strictly before p into the recency cache.
+      Fill();
+      while (pending_.has_value() && pending_->pos < p) {
+        cache_.push_back(std::move(*pending_));
+        ctx_->ChargeCacheStore();
+        if (cache_.size() > magnitude) cache_.pop_front();
+        pending_.reset();
+        Fill();
+      }
+      if (cache_.size() == magnitude) {
+        ctx_->ChargeCacheHit();
+        next_pos_ = p + 1;
+        return PosRecord{p, cache_.front().rec};
+      }
+      // Not enough history yet: jump to just after the next input record.
+      if (!pending_.has_value()) return std::nullopt;
+      p = pending_->pos + 1;
+    }
+    return std::nullopt;
+  }
+
+  // offset_ > 0: out(p) is the offset_-th input strictly after p. Keep a
+  // lookahead buffer of upcoming inputs.
+  while (p <= required_.end) {
+    while (!cache_.empty() && cache_.front().pos <= p) cache_.pop_front();
+    while (cache_.size() < magnitude) {
+      Fill();
+      if (!pending_.has_value()) break;
+      if (pending_->pos > p) {
+        cache_.push_back(std::move(*pending_));
+        ctx_->ChargeCacheStore();
+      }
+      pending_.reset();
+    }
+    if (cache_.size() >= magnitude) {
+      ctx_->ChargeCacheHit();
+      next_pos_ = p + 1;
+      return PosRecord{p, cache_[magnitude - 1].rec};
+    }
+    // Too few inputs remain after p; larger p only makes it worse.
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<Record> ValueOffsetNaiveProbe::Probe(Position p) {
+  if (child_span_.IsEmpty()) return std::nullopt;
+  int64_t magnitude = std::abs(offset_);
+  int64_t found = 0;
+  if (offset_ < 0) {
+    for (Position q = p - 1; q >= child_span_.start; --q) {
+      std::optional<Record> r = child_->Probe(q);
+      if (r.has_value() && ++found == magnitude) return r;
+    }
+    return std::nullopt;
+  }
+  for (Position q = p + 1; q <= child_span_.end; ++q) {
+    std::optional<Record> r = child_->Probe(q);
+    if (r.has_value() && ++found == magnitude) return r;
+  }
+  return std::nullopt;
+}
+
+std::optional<PosRecord> ValueOffsetNaiveStream::Next() {
+  while (next_pos_ <= required_.end) {
+    Position p = next_pos_++;
+    std::optional<Record> r = search_.Probe(p);
+    if (r.has_value()) return PosRecord{p, std::move(*r)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace seq

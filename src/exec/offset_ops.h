@@ -1,0 +1,91 @@
+#ifndef SEQ_EXEC_OFFSET_OPS_H_
+#define SEQ_EXEC_OFFSET_OPS_H_
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "exec/operator.h"
+
+namespace seq {
+
+/// Value offset (Previous/Next and general ±k) evaluated incrementally
+/// with Cache-Strategy-B (§3.5, Fig. 5.B): a cache of the |l| most recent
+/// input records makes out(i) an O(1) step from out(i-1), regardless of
+/// how sparse the input is. Output is dense — defined at every position of
+/// the required range once enough history exists — so NextAtOrAfter jumps
+/// in O(1) plus input catch-up.
+class ValueOffsetStream : public StreamOp {
+ public:
+  /// `offset` < 0: |offset|-th most recent input strictly before i;
+  /// `offset` > 0: offset-th next input strictly after i.
+  ValueOffsetStream(StreamOpPtr child, int64_t offset, Span required)
+      : child_(std::move(child)), offset_(offset), required_(required) {}
+
+  Status Open(ExecContext* ctx) override;
+  std::optional<PosRecord> Next() override;
+  std::optional<PosRecord> NextAtOrAfter(Position p) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  // Pulls the child's next record into pending_ if empty.
+  void Fill();
+
+  StreamOpPtr child_;
+  int64_t offset_;
+  Span required_;
+  ExecContext* ctx_ = nullptr;
+
+  std::optional<PosRecord> pending_;  // next unconsumed child record
+  bool child_done_ = false;
+  std::deque<PosRecord> cache_;  // last |l| consumed (l<0) / lookahead (l>0)
+  Position next_pos_ = 0;        // next output position to consider
+};
+
+/// The naive algorithm for a value offset: from every output position,
+/// probe backward (or forward) through the input until |l| non-empty
+/// positions have been found (§3.5: "repeated retrievals ... and
+/// recomputation"). Used for probed access and as the Fig. 5.B baseline.
+class ValueOffsetNaiveProbe : public ProbeOp {
+ public:
+  ValueOffsetNaiveProbe(ProbeOpPtr child, int64_t offset, Span child_span)
+      : child_(std::move(child)), offset_(offset), child_span_(child_span) {}
+
+  Status Open(ExecContext* ctx) override { return child_->Open(ctx); }
+  std::optional<Record> Probe(Position p) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  ProbeOpPtr child_;
+  int64_t offset_;
+  Span child_span_;
+};
+
+/// Naive search exposed as a stream (the ablation plan): walks every
+/// position of the required range, searching from scratch at each.
+class ValueOffsetNaiveStream : public StreamOp {
+ public:
+  ValueOffsetNaiveStream(ProbeOpPtr child, int64_t offset, Span required,
+                         Span child_span)
+      : search_(std::move(child), offset, child_span), required_(required) {}
+
+  Status Open(ExecContext* ctx) override {
+    next_pos_ = required_.start;
+    return search_.Open(ctx);
+  }
+  std::optional<PosRecord> Next() override;
+  std::optional<PosRecord> NextAtOrAfter(Position p) override {
+    if (p > next_pos_) next_pos_ = p;
+    return Next();
+  }
+  void Close() override { search_.Close(); }
+
+ private:
+  ValueOffsetNaiveProbe search_;
+  Span required_;
+  Position next_pos_ = 0;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_EXEC_OFFSET_OPS_H_

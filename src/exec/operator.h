@@ -1,0 +1,59 @@
+#ifndef SEQ_EXEC_OPERATOR_H_
+#define SEQ_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <optional>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "types/record.h"
+#include "types/span.h"
+
+namespace seq {
+
+/// A physical operator evaluated in stream access mode: yields its non-null
+/// records in strictly increasing position order, each exactly once
+/// ("get the next non-Null record", §3.3).
+class StreamOp {
+ public:
+  virtual ~StreamOp() = default;
+
+  virtual Status Open(ExecContext* ctx) = 0;
+
+  /// Next record, or nullopt at end of the operator's required range.
+  virtual std::optional<PosRecord> Next() = 0;
+
+  /// Next record at position >= p. The default discards earlier records
+  /// via Next(); operators whose output is dense (value offsets, running
+  /// aggregates, constants) override this to jump directly, which is what
+  /// makes lock-step joins against them cheap.
+  virtual std::optional<PosRecord> NextAtOrAfter(Position p) {
+    while (true) {
+      std::optional<PosRecord> r = Next();
+      if (!r.has_value() || r->pos >= p) return r;
+    }
+  }
+
+  virtual void Close() {}
+};
+
+/// A physical operator evaluated in probed access mode: random access by
+/// position ("get the record at a specific position", §3.3).
+class ProbeOp {
+ public:
+  virtual ~ProbeOp() = default;
+
+  virtual Status Open(ExecContext* ctx) = 0;
+
+  /// The record at exactly `p`, or nullopt if that position is empty.
+  virtual std::optional<Record> Probe(Position p) = 0;
+
+  virtual void Close() {}
+};
+
+using StreamOpPtr = std::unique_ptr<StreamOp>;
+using ProbeOpPtr = std::unique_ptr<ProbeOp>;
+
+}  // namespace seq
+
+#endif  // SEQ_EXEC_OPERATOR_H_

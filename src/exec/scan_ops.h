@@ -1,0 +1,94 @@
+#ifndef SEQ_EXEC_SCAN_OPS_H_
+#define SEQ_EXEC_SCAN_OPS_H_
+
+#include <optional>
+#include <utility>
+
+#include "exec/operator.h"
+#include "storage/base_sequence.h"
+
+namespace seq {
+
+/// Stream access path over a base sequence: a single scan of the required
+/// range in position order.
+class BaseStreamScan : public StreamOp {
+ public:
+  BaseStreamScan(const BaseSequenceStore* store, Span range)
+      : store_(store), range_(range) {}
+
+  Status Open(ExecContext* ctx) override {
+    cursor_.emplace(store_->OpenStream(range_, ctx->stats));
+    return Status::OK();
+  }
+
+  std::optional<PosRecord> Next() override { return cursor_->Next(); }
+
+ private:
+  const BaseSequenceStore* store_;
+  Span range_;
+  std::optional<BaseSequenceStore::StreamCursor> cursor_;
+};
+
+/// Probed access path over a base sequence (positional index).
+class BaseProbeScan : public ProbeOp {
+ public:
+  explicit BaseProbeScan(const BaseSequenceStore* store) : store_(store) {}
+
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    return Status::OK();
+  }
+
+  std::optional<Record> Probe(Position p) override {
+    return store_->Probe(p, ctx_->stats);
+  }
+
+ private:
+  const BaseSequenceStore* store_;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// A constant sequence: the same record at every position of the required
+/// range, with no access cost (§4.1.1). Overrides NextAtOrAfter so
+/// lock-step joins skip over it in O(1).
+class ConstantStream : public StreamOp {
+ public:
+  ConstantStream(Record value, Span range)
+      : value_(std::move(value)), range_(range) {}
+
+  Status Open(ExecContext*) override {
+    next_pos_ = range_.start;
+    return Status::OK();
+  }
+
+  std::optional<PosRecord> Next() override {
+    if (range_.IsEmpty() || next_pos_ > range_.end) return std::nullopt;
+    return PosRecord{next_pos_++, value_};
+  }
+
+  std::optional<PosRecord> NextAtOrAfter(Position p) override {
+    if (p > next_pos_) next_pos_ = p;
+    return Next();
+  }
+
+ private:
+  Record value_;
+  Span range_;
+  Position next_pos_ = 0;
+};
+
+class ConstantProbe : public ProbeOp {
+ public:
+  explicit ConstantProbe(Record value) : value_(std::move(value)) {}
+
+  Status Open(ExecContext*) override { return Status::OK(); }
+
+  std::optional<Record> Probe(Position) override { return value_; }
+
+ private:
+  Record value_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_EXEC_SCAN_OPS_H_

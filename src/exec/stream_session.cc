@@ -1,0 +1,83 @@
+#include "exec/stream_session.h"
+
+#include <algorithm>
+
+#include "logical/scope.h"
+
+namespace seq {
+
+StreamSession::StreamSession(const Catalog* catalog, LogicalOpPtr graph,
+                             OptimizerOptions options, int64_t max_lookback)
+    : catalog_(catalog),
+      graph_(std::move(graph)),
+      options_(std::move(options)) {
+  // Derive the replay window from the query's composed scope over its
+  // leaves (Prop. 2.1): the farthest look-back of any bounded scope. The
+  // evaluation itself is driven by exact required-span propagation, so
+  // this is reported for sizing/monitoring; unbounded-scope operators are
+  // capped at max_lookback for reporting purposes.
+  int64_t lookback = 0;
+  for (const ScopeSpec& scope : graph_->QueryScopeOverLeaves()) {
+    if (scope.bounded_below) {
+      lookback = std::max(lookback, -std::min<int64_t>(scope.min_offset, 0));
+    } else {
+      lookback = std::max(lookback, max_lookback);
+    }
+    if (scope.bounded_above) {
+      // A positive scope offset means output can precede the input data
+      // (e.g. positional offset +k); widen the first poll accordingly.
+      lead_ = std::max(lead_, std::max<int64_t>(scope.max_offset, 0));
+    }
+  }
+  lookback_ = lookback;
+}
+
+Status StreamSession::Append(const std::string& sequence, Position pos,
+                             Record record) {
+  SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
+                       catalog_->Lookup(sequence));
+  if (entry->kind != CatalogEntry::Kind::kBase) {
+    return Status::InvalidArgument("'" + sequence +
+                                   "' is not a base sequence");
+  }
+  return entry->store->Append(pos, std::move(record));
+}
+
+Result<std::vector<PosRecord>> StreamSession::Poll(AccessStats* stats) {
+  // The frontier: output positions are complete once every base input has
+  // advanced past them (a record arriving later at an earlier position is
+  // rejected by the store's ordering invariant anyway).
+  std::vector<const LogicalOp*> leaves;
+  graph_->CollectLeaves(&leaves);
+  Position frontier = kMaxPosition;
+  Position earliest = kMaxPosition;
+  bool any_base = false;
+  for (const LogicalOp* leaf : leaves) {
+    if (leaf->kind() != OpKind::kBaseRef) continue;
+    any_base = true;
+    SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
+                         catalog_->Lookup(leaf->seq_name()));
+    Span span = entry->store->span();
+    if (span.IsEmpty()) return std::vector<PosRecord>{};
+    frontier = std::min(frontier, span.end);
+    earliest = std::min(earliest, span.start);
+  }
+  if (!any_base) {
+    return Status::InvalidArgument("standing query has no base inputs");
+  }
+  Position from = (high_water_ == kMinPosition) ? earliest - lead_
+                                                : high_water_ + 1;
+  if (from > frontier) return std::vector<PosRecord>{};
+
+  Optimizer optimizer(*catalog_, options_);
+  Query query;
+  query.graph = graph_;
+  query.range = Span::Of(from, frontier);
+  SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, optimizer.Optimize(query));
+  Executor executor(*catalog_, options_.cost_params);
+  SEQ_ASSIGN_OR_RETURN(QueryResult result, executor.Execute(plan, stats));
+  high_water_ = frontier;
+  return std::move(result.records);
+}
+
+}  // namespace seq

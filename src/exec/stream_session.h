@@ -1,0 +1,63 @@
+#ifndef SEQ_EXEC_STREAM_SESSION_H_
+#define SEQ_EXEC_STREAM_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "exec/executor.h"
+#include "logical/logical_op.h"
+#include "optimizer/optimizer.h"
+
+namespace seq {
+
+/// Incremental ("trigger") evaluation of a standing sequence query over
+/// dynamically arriving records — the §5.3 extension: "in applications
+/// where the data sequences are dynamic, and where the queries are acting
+/// as triggers, it may be important to optimize the incremental cost of
+/// processing each new arriving data item".
+///
+/// The session exploits the stream-access property: when every operator
+/// has a bounded (effective) scope, output at positions ≥ p depends only
+/// on input positions ≥ p − lookback, where lookback is derived from the
+/// query's composed scope over its leaves (Prop. 2.1) — so each Poll()
+/// re-evaluates only a bounded suffix window and emits the new answers.
+/// Queries with unbounded scopes (running/overall aggregates, value
+/// offsets) fall back to a caller-supplied `max_lookback` horizon.
+class StreamSession {
+ public:
+  /// `catalog` must outlive the session; `max_lookback` bounds the replay
+  /// window for operators with unbounded scope.
+  StreamSession(const Catalog* catalog, LogicalOpPtr graph,
+                OptimizerOptions options = {}, int64_t max_lookback = 1024);
+
+  /// Appends an arriving record to a registered base sequence. Positions
+  /// must increase per sequence (enforced by the store).
+  Status Append(const std::string& sequence, Position pos, Record record);
+
+  /// Evaluates the query over the newly covered positions and returns the
+  /// answer records not yet emitted. The high-water mark only advances to
+  /// positions whose inputs are complete (all sequences have advanced past
+  /// them), so late-arriving data on a lagging sequence is never missed.
+  Result<std::vector<PosRecord>> Poll(AccessStats* stats = nullptr);
+
+  /// Output positions emitted so far (exclusive upper bound).
+  Position high_water_mark() const { return high_water_; }
+
+  /// The replay window derived from the query's scopes.
+  int64_t lookback() const { return lookback_; }
+
+ private:
+  const Catalog* catalog_;
+  LogicalOpPtr graph_;
+  OptimizerOptions options_;
+  int64_t lookback_ = 0;
+  int64_t lead_ = 0;  // how far output may precede the earliest input
+  Position high_water_ = kMinPosition;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_EXEC_STREAM_SESSION_H_

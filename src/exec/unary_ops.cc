@@ -1,0 +1,79 @@
+#include "exec/unary_ops.h"
+
+namespace seq {
+
+Status SelectStream::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  SEQ_ASSIGN_OR_RETURN(CompiledExpr compiled,
+                       CompiledExpr::CompilePredicate(predicate_, *in_schema_));
+  compiled_ = std::move(compiled);
+  return child_->Open(ctx);
+}
+
+std::optional<PosRecord> SelectStream::Next() {
+  while (true) {
+    std::optional<PosRecord> r = child_->Next();
+    if (!r.has_value()) return std::nullopt;
+    ctx_->ChargePredicate(/*join=*/false);
+    if (compiled_->EvalBool(r->rec, r->pos)) return r;
+  }
+}
+
+std::optional<PosRecord> SelectStream::NextAtOrAfter(Position p) {
+  std::optional<PosRecord> r = child_->NextAtOrAfter(p);
+  while (r.has_value()) {
+    ctx_->ChargePredicate(/*join=*/false);
+    if (compiled_->EvalBool(r->rec, r->pos)) return r;
+    r = child_->Next();
+  }
+  return std::nullopt;
+}
+
+Status SelectProbe::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  SEQ_ASSIGN_OR_RETURN(CompiledExpr compiled,
+                       CompiledExpr::CompilePredicate(predicate_, *in_schema_));
+  compiled_ = std::move(compiled);
+  return child_->Open(ctx);
+}
+
+std::optional<Record> SelectProbe::Probe(Position p) {
+  std::optional<Record> r = child_->Probe(p);
+  if (!r.has_value()) return std::nullopt;
+  ctx_->ChargePredicate(/*join=*/false);
+  if (!compiled_->EvalBool(*r, p)) return std::nullopt;
+  return r;
+}
+
+Record ProjectStream::Map(Record in) const {
+  Record out;
+  out.reserve(indices_.size());
+  for (size_t idx : indices_) out.push_back(std::move(in[idx]));
+  return out;
+}
+
+std::optional<PosRecord> ProjectStream::Next() {
+  std::optional<PosRecord> r = child_->Next();
+  if (!r.has_value()) return std::nullopt;
+  ctx_->ChargeCompute();
+  return PosRecord{r->pos, Map(std::move(r->rec))};
+}
+
+std::optional<PosRecord> ProjectStream::NextAtOrAfter(Position p) {
+  std::optional<PosRecord> r = child_->NextAtOrAfter(p);
+  if (!r.has_value()) return std::nullopt;
+  ctx_->ChargeCompute();
+  return PosRecord{r->pos, Map(std::move(r->rec))};
+}
+
+std::optional<Record> ProjectProbe::Probe(Position p) {
+  std::optional<Record> r = child_->Probe(p);
+  if (!r.has_value()) return std::nullopt;
+  ctx_->ChargeCompute();
+  Record out;
+  out.reserve(indices_.size());
+  for (size_t idx : indices_) out.push_back(std::move((*r)[idx]));
+  return out;
+}
+
+}  // namespace seq

@@ -1,0 +1,141 @@
+#ifndef SEQ_EXEC_UNARY_OPS_H_
+#define SEQ_EXEC_UNARY_OPS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/operator.h"
+#include "expr/compiled_expr.h"
+
+namespace seq {
+
+/// Selection over a stream: passes records satisfying the predicate
+/// (unit scope).
+class SelectStream : public StreamOp {
+ public:
+  SelectStream(StreamOpPtr child, ExprPtr predicate, SchemaPtr in_schema)
+      : child_(std::move(child)),
+        predicate_(std::move(predicate)),
+        in_schema_(std::move(in_schema)) {}
+
+  Status Open(ExecContext* ctx) override;
+  std::optional<PosRecord> Next() override;
+  std::optional<PosRecord> NextAtOrAfter(Position p) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  StreamOpPtr child_;
+  ExprPtr predicate_;
+  SchemaPtr in_schema_;
+  std::optional<CompiledExpr> compiled_;
+  ExecContext* ctx_ = nullptr;
+};
+
+class SelectProbe : public ProbeOp {
+ public:
+  SelectProbe(ProbeOpPtr child, ExprPtr predicate, SchemaPtr in_schema)
+      : child_(std::move(child)),
+        predicate_(std::move(predicate)),
+        in_schema_(std::move(in_schema)) {}
+
+  Status Open(ExecContext* ctx) override;
+  std::optional<Record> Probe(Position p) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  ProbeOpPtr child_;
+  ExprPtr predicate_;
+  SchemaPtr in_schema_;
+  std::optional<CompiledExpr> compiled_;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// Projection over a stream: reorders/renames/narrows fields (unit scope).
+class ProjectStream : public StreamOp {
+ public:
+  ProjectStream(StreamOpPtr child, std::vector<size_t> indices)
+      : child_(std::move(child)), indices_(std::move(indices)) {}
+
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    return child_->Open(ctx);
+  }
+  std::optional<PosRecord> Next() override;
+  std::optional<PosRecord> NextAtOrAfter(Position p) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  Record Map(Record in) const;
+
+  StreamOpPtr child_;
+  std::vector<size_t> indices_;
+  ExecContext* ctx_ = nullptr;
+};
+
+class ProjectProbe : public ProbeOp {
+ public:
+  ProjectProbe(ProbeOpPtr child, std::vector<size_t> indices)
+      : child_(std::move(child)), indices_(std::move(indices)) {}
+
+  Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
+    return child_->Open(ctx);
+  }
+  std::optional<Record> Probe(Position p) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  ProbeOpPtr child_;
+  std::vector<size_t> indices_;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// Positional offset: out(i) = in(i + l). In a pull pipeline this is pure
+/// position relabeling — the child cursor simply runs `l` positions ahead
+/// of (or behind) the output, which realizes the §3.4 effective-scope
+/// broadening without an explicit buffer.
+class PosOffsetStream : public StreamOp {
+ public:
+  PosOffsetStream(StreamOpPtr child, int64_t offset)
+      : child_(std::move(child)), offset_(offset) {}
+
+  Status Open(ExecContext* ctx) override { return child_->Open(ctx); }
+  std::optional<PosRecord> Next() override {
+    std::optional<PosRecord> r = child_->Next();
+    if (!r.has_value()) return std::nullopt;
+    return PosRecord{r->pos - offset_, std::move(r->rec)};
+  }
+  std::optional<PosRecord> NextAtOrAfter(Position p) override {
+    std::optional<PosRecord> r = child_->NextAtOrAfter(p + offset_);
+    if (!r.has_value()) return std::nullopt;
+    return PosRecord{r->pos - offset_, std::move(r->rec)};
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  StreamOpPtr child_;
+  int64_t offset_;
+};
+
+class PosOffsetProbe : public ProbeOp {
+ public:
+  PosOffsetProbe(ProbeOpPtr child, int64_t offset)
+      : child_(std::move(child)), offset_(offset) {}
+
+  Status Open(ExecContext* ctx) override { return child_->Open(ctx); }
+  std::optional<Record> Probe(Position p) override {
+    return child_->Probe(p + offset_);
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  ProbeOpPtr child_;
+  int64_t offset_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_EXEC_UNARY_OPS_H_

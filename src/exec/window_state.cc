@@ -1,0 +1,67 @@
+#include "exec/window_state.h"
+
+#include "common/logging.h"
+
+namespace seq {
+
+void WindowState::Add(Position pos, const Value& v, ExecContext* ctx) {
+  if (ctx != nullptr) ctx->ChargeAggStep();
+  window_.emplace_back(pos, v);
+  ++count_;
+  if (IsNumeric(v.type())) {
+    if (value_type_ == TypeId::kInt64) {
+      sum_i_ += v.int64();
+    }
+    sum_d_ += v.AsDouble();
+  }
+  if (func_ == AggFunc::kMin) {
+    while (!min_q_.empty() && min_q_.back().second.Compare(v) >= 0) {
+      min_q_.pop_back();
+    }
+    min_q_.emplace_back(pos, v);
+  } else if (func_ == AggFunc::kMax) {
+    while (!max_q_.empty() && max_q_.back().second.Compare(v) <= 0) {
+      max_q_.pop_back();
+    }
+    max_q_.emplace_back(pos, v);
+  }
+}
+
+void WindowState::EvictBefore(Position p) {
+  while (!window_.empty() && window_.front().first < p) {
+    const Value& v = window_.front().second;
+    --count_;
+    if (IsNumeric(v.type())) {
+      if (value_type_ == TypeId::kInt64) {
+        sum_i_ -= v.int64();
+      }
+      sum_d_ -= v.AsDouble();
+    }
+    window_.pop_front();
+  }
+  while (!min_q_.empty() && min_q_.front().first < p) min_q_.pop_front();
+  while (!max_q_.empty() && max_q_.front().first < p) max_q_.pop_front();
+}
+
+Value WindowState::Current() const {
+  SEQ_CHECK(count_ > 0);
+  switch (func_) {
+    case AggFunc::kCount:
+      return Value::Int64(count_);
+    case AggFunc::kSum:
+      return value_type_ == TypeId::kInt64 ? Value::Int64(sum_i_)
+                                           : Value::Double(sum_d_);
+    case AggFunc::kAvg:
+      return Value::Double(sum_d_ / static_cast<double>(count_));
+    case AggFunc::kMin:
+      SEQ_CHECK(!min_q_.empty());
+      return min_q_.front().second;
+    case AggFunc::kMax:
+      SEQ_CHECK(!max_q_.empty());
+      return max_q_.front().second;
+  }
+  SEQ_CHECK(false);
+  return Value();
+}
+
+}  // namespace seq

@@ -1,0 +1,52 @@
+#ifndef SEQ_EXEC_WINDOW_STATE_H_
+#define SEQ_EXEC_WINDOW_STATE_H_
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "exec/exec_context.h"
+#include "logical/logical_op.h"
+#include "types/value.h"
+
+namespace seq {
+
+/// Incremental aggregation state over a (possibly sliding) window of
+/// values. Sum/Count/Avg use running accumulators; Min/Max use monotonic
+/// deques, so both insertion and eviction are O(1) amortized — this is
+/// what makes Cache-Strategy-A touch each input record exactly once.
+class WindowState {
+ public:
+  WindowState(AggFunc func, TypeId value_type)
+      : func_(func), value_type_(value_type) {}
+
+  /// Adds the value at `pos`. Positions must be strictly increasing.
+  void Add(Position pos, const Value& v, ExecContext* ctx);
+
+  /// Removes every entry with position < `p`.
+  void EvictBefore(Position p);
+
+  int64_t count() const { return count_; }
+
+  /// Aggregate of the live window. Requires count() > 0.
+  Value Current() const;
+
+ private:
+  AggFunc func_;
+  TypeId value_type_;
+
+  // Live entries (needed to adjust accumulators on eviction).
+  std::deque<std::pair<Position, Value>> window_;
+  int64_t count_ = 0;
+  double sum_d_ = 0.0;
+  int64_t sum_i_ = 0;
+
+  // Monotonic candidate queues for min (non-decreasing values) and max
+  // (non-increasing values).
+  std::deque<std::pair<Position, Value>> min_q_;
+  std::deque<std::pair<Position, Value>> max_q_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_EXEC_WINDOW_STATE_H_

@@ -1,0 +1,236 @@
+#include "expr/compiled_expr.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace seq {
+
+Result<int> CompiledExpr::CompileNode(const ExprPtr& expr, const Schema& left,
+                                      const Schema* right,
+                                      std::vector<Node>* nodes) {
+  Node node;
+  node.kind = expr->kind();
+  switch (expr->kind()) {
+    case ExprKind::kColumn: {
+      node.side = expr->side();
+      const Schema* schema = (node.side == 0) ? &left : right;
+      if (schema == nullptr) {
+        return Status::TypeError("expression references right input '" +
+                                 expr->column_name() +
+                                 "' but the operator has one input");
+      }
+      SEQ_ASSIGN_OR_RETURN(node.field_index,
+                           schema->FieldIndex(expr->column_name()));
+      node.type = schema->field(node.field_index).type;
+      break;
+    }
+    case ExprKind::kLiteral:
+      node.literal = expr->literal();
+      node.type = node.literal.type();
+      break;
+    case ExprKind::kPosition:
+      node.type = TypeId::kInt64;
+      break;
+    case ExprKind::kUnary: {
+      SEQ_ASSIGN_OR_RETURN(node.left,
+                           CompileNode(expr->operand(), left, right, nodes));
+      node.unary_op = expr->unary_op();
+      TypeId in = (*nodes)[node.left].type;
+      switch (node.unary_op) {
+        case UnaryOp::kNot:
+          if (in != TypeId::kBool) {
+            return Status::TypeError("not() requires bool, got " +
+                                     std::string(TypeName(in)));
+          }
+          node.type = TypeId::kBool;
+          break;
+        case UnaryOp::kNeg:
+        case UnaryOp::kAbs:
+          if (!IsNumeric(in)) {
+            return Status::TypeError(std::string(UnaryOpName(node.unary_op)) +
+                                     " requires a numeric operand, got " +
+                                     TypeName(in));
+          }
+          node.type = in;
+          break;
+      }
+      break;
+    }
+    case ExprKind::kBinary: {
+      SEQ_ASSIGN_OR_RETURN(node.left,
+                           CompileNode(expr->left(), left, right, nodes));
+      SEQ_ASSIGN_OR_RETURN(node.right,
+                           CompileNode(expr->right(), left, right, nodes));
+      node.binary_op = expr->binary_op();
+      TypeId lt = (*nodes)[node.left].type;
+      TypeId rt = (*nodes)[node.right].type;
+      if (IsArithmetic(node.binary_op)) {
+        if (!IsNumeric(lt) || !IsNumeric(rt)) {
+          return Status::TypeError(
+              std::string("arithmetic '") + BinaryOpName(node.binary_op) +
+              "' requires numeric operands, got " + TypeName(lt) + " and " +
+              TypeName(rt));
+        }
+        node.type = (lt == TypeId::kInt64 && rt == TypeId::kInt64)
+                        ? TypeId::kInt64
+                        : TypeId::kDouble;
+      } else if (IsComparison(node.binary_op)) {
+        bool compatible = (IsNumeric(lt) && IsNumeric(rt)) || lt == rt;
+        if (!compatible) {
+          return Status::TypeError(
+              std::string("cannot compare ") + TypeName(lt) + " with " +
+              TypeName(rt));
+        }
+        node.type = TypeId::kBool;
+      } else {  // connective
+        if (lt != TypeId::kBool || rt != TypeId::kBool) {
+          return Status::TypeError(
+              std::string("'") + BinaryOpName(node.binary_op) +
+              "' requires bool operands, got " + TypeName(lt) + " and " +
+              TypeName(rt));
+        }
+        node.type = TypeId::kBool;
+      }
+      break;
+    }
+  }
+  nodes->push_back(std::move(node));
+  return static_cast<int>(nodes->size() - 1);
+}
+
+Result<CompiledExpr> CompiledExpr::Compile(const ExprPtr& expr,
+                                           const Schema& left,
+                                           const Schema* right) {
+  if (expr == nullptr) {
+    return Status::InvalidArgument("cannot compile a null expression");
+  }
+  CompiledExpr out;
+  out.expr_ = expr;
+  SEQ_ASSIGN_OR_RETURN(int root,
+                       CompileNode(expr, left, right, &out.nodes_));
+  (void)root;  // post-order: root is always the last node
+  out.result_type_ = out.nodes_.back().type;
+  return out;
+}
+
+Result<CompiledExpr> CompiledExpr::CompilePredicate(const ExprPtr& expr,
+                                                    const Schema& left,
+                                                    const Schema* right) {
+  SEQ_ASSIGN_OR_RETURN(CompiledExpr compiled, Compile(expr, left, right));
+  if (compiled.result_type() != TypeId::kBool) {
+    return Status::TypeError("predicate must evaluate to bool, got " +
+                             std::string(TypeName(compiled.result_type())) +
+                             " in " + expr->ToString());
+  }
+  return compiled;
+}
+
+Value CompiledExpr::EvalNode(int idx, const Record& left, const Record* right,
+                             Position pos) const {
+  const Node& node = nodes_[idx];
+  switch (node.kind) {
+    case ExprKind::kColumn: {
+      const Record& rec = (node.side == 0) ? left : *right;
+      SEQ_DCHECK(node.field_index < rec.size());
+      return rec[node.field_index];
+    }
+    case ExprKind::kLiteral:
+      return node.literal;
+    case ExprKind::kPosition:
+      return Value::Int64(pos);
+    case ExprKind::kUnary: {
+      Value v = EvalNode(node.left, left, right, pos);
+      switch (node.unary_op) {
+        case UnaryOp::kNot:
+          return Value::Bool(!v.boolean());
+        case UnaryOp::kNeg:
+          return (node.type == TypeId::kInt64) ? Value::Int64(-v.int64())
+                                               : Value::Double(-v.AsDouble());
+        case UnaryOp::kAbs:
+          return (node.type == TypeId::kInt64)
+                     ? Value::Int64(std::abs(v.int64()))
+                     : Value::Double(std::fabs(v.AsDouble()));
+      }
+      SEQ_CHECK(false);
+      return Value();
+    }
+    case ExprKind::kBinary: {
+      // Short-circuit the connectives.
+      if (node.binary_op == BinaryOp::kAnd) {
+        if (!EvalNode(node.left, left, right, pos).boolean()) {
+          return Value::Bool(false);
+        }
+        return EvalNode(node.right, left, right, pos);
+      }
+      if (node.binary_op == BinaryOp::kOr) {
+        if (EvalNode(node.left, left, right, pos).boolean()) {
+          return Value::Bool(true);
+        }
+        return EvalNode(node.right, left, right, pos);
+      }
+      Value lv = EvalNode(node.left, left, right, pos);
+      Value rv = EvalNode(node.right, left, right, pos);
+      if (IsComparison(node.binary_op)) {
+        int c = lv.Compare(rv);
+        switch (node.binary_op) {
+          case BinaryOp::kEq:
+            return Value::Bool(c == 0);
+          case BinaryOp::kNe:
+            return Value::Bool(c != 0);
+          case BinaryOp::kLt:
+            return Value::Bool(c < 0);
+          case BinaryOp::kLe:
+            return Value::Bool(c <= 0);
+          case BinaryOp::kGt:
+            return Value::Bool(c > 0);
+          case BinaryOp::kGe:
+            return Value::Bool(c >= 0);
+          default:
+            SEQ_CHECK(false);
+        }
+      }
+      // Arithmetic.
+      if (node.type == TypeId::kInt64) {
+        int64_t a = lv.int64();
+        int64_t b = rv.int64();
+        switch (node.binary_op) {
+          case BinaryOp::kAdd:
+            return Value::Int64(a + b);
+          case BinaryOp::kSub:
+            return Value::Int64(a - b);
+          case BinaryOp::kMul:
+            return Value::Int64(a * b);
+          case BinaryOp::kDiv:
+            return Value::Int64(b == 0 ? 0 : a / b);
+          default:
+            SEQ_CHECK(false);
+        }
+      }
+      double a = lv.AsDouble();
+      double b = rv.AsDouble();
+      switch (node.binary_op) {
+        case BinaryOp::kAdd:
+          return Value::Double(a + b);
+        case BinaryOp::kSub:
+          return Value::Double(a - b);
+        case BinaryOp::kMul:
+          return Value::Double(a * b);
+        case BinaryOp::kDiv:
+          return Value::Double(a / b);
+        default:
+          SEQ_CHECK(false);
+      }
+    }
+  }
+  SEQ_CHECK(false);
+  return Value();
+}
+
+Value CompiledExpr::Eval(const Record& left, const Record* right,
+                         Position pos) const {
+  SEQ_DCHECK(!nodes_.empty());
+  return EvalNode(static_cast<int>(nodes_.size()) - 1, left, right, pos);
+}
+
+}  // namespace seq

@@ -1,0 +1,90 @@
+#ifndef SEQ_EXPR_COMPILED_EXPR_H_
+#define SEQ_EXPR_COMPILED_EXPR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "types/record.h"
+#include "types/schema.h"
+
+namespace seq {
+
+/// An expression tree type-checked and bound against one or two input
+/// schemas: column names are resolved to field indices and every node's
+/// result type is fixed. Compilation catches all type errors up front so
+/// evaluation can run without error paths.
+///
+/// Evaluation semantics notes:
+///  * int64 (op) int64 arithmetic stays int64; any double operand promotes
+///    the result to double.
+///  * Integer division by zero yields int64 0 (documented simulator
+///    behavior; real engines would raise a runtime error). Double division
+///    follows IEEE.
+class CompiledExpr {
+ public:
+  /// Binds `expr` against `left` (side 0) and optionally `right` (side 1).
+  /// Fails with TypeError/NotFound on bad column references or type
+  /// mismatches.
+  static Result<CompiledExpr> Compile(const ExprPtr& expr, const Schema& left,
+                                      const Schema* right = nullptr);
+
+  /// Like Compile but additionally requires a bool result (predicates).
+  static Result<CompiledExpr> CompilePredicate(const ExprPtr& expr,
+                                               const Schema& left,
+                                               const Schema* right = nullptr);
+
+  TypeId result_type() const { return result_type_; }
+
+  /// Evaluates against the given input records. `right` may be null when
+  /// the expression references only side 0. `pos` feeds Position() nodes.
+  Value Eval(const Record& left, const Record* right, Position pos) const;
+
+  /// Evaluates a predicate; requires result_type() == kBool.
+  bool EvalBool(const Record& left, const Record* right, Position pos) const {
+    return Eval(left, right, pos).boolean();
+  }
+
+  /// Single-input conveniences.
+  Value Eval(const Record& input, Position pos) const {
+    return Eval(input, nullptr, pos);
+  }
+  bool EvalBool(const Record& input, Position pos) const {
+    return EvalBool(input, nullptr, pos);
+  }
+
+  /// The original (unbound) expression, for printing.
+  const ExprPtr& expr() const { return expr_; }
+
+ private:
+  struct Node {
+    ExprKind kind;
+    TypeId type;
+    // kColumn:
+    int side = 0;
+    size_t field_index = 0;
+    // kLiteral:
+    Value literal;
+    // kUnary / kBinary:
+    UnaryOp unary_op = UnaryOp::kNot;
+    BinaryOp binary_op = BinaryOp::kAnd;
+    int left = -1;   // child indices into nodes_
+    int right = -1;
+  };
+
+  static Result<int> CompileNode(const ExprPtr& expr, const Schema& left,
+                                 const Schema* right,
+                                 std::vector<Node>* nodes);
+
+  Value EvalNode(int idx, const Record& left, const Record* right,
+                 Position pos) const;
+
+  ExprPtr expr_;
+  std::vector<Node> nodes_;  // tree in post-order; root is last
+  TypeId result_type_ = TypeId::kBool;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_EXPR_COMPILED_EXPR_H_

@@ -1,0 +1,296 @@
+#include "expr/expr.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace seq {
+
+const char* UnaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNot:
+      return "not";
+    case UnaryOp::kNeg:
+      return "-";
+    case UnaryOp::kAbs:
+      return "abs";
+  }
+  return "?";
+}
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kEq:
+      return "==";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsArithmetic(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsConnective(BinaryOp op) {
+  return op == BinaryOp::kAnd || op == BinaryOp::kOr;
+}
+
+ExprPtr Expr::Column(std::string name, int side) {
+  SEQ_CHECK(side == 0 || side == 1);
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumn;
+  e->name_ = std::move(name);
+  e->side_ = side;
+  return e;
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Position() {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kPosition;
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  SEQ_CHECK(operand != nullptr);
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kUnary;
+  e->unary_op_ = op;
+  e->left_ = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr left, ExprPtr right) {
+  SEQ_CHECK(left != nullptr && right != nullptr);
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kBinary;
+  e->binary_op_ = op;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+void Expr::CollectColumns(
+    std::vector<std::pair<int, std::string>>* out) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      out->emplace_back(side_, name_);
+      return;
+    case ExprKind::kLiteral:
+    case ExprKind::kPosition:
+      return;
+    case ExprKind::kUnary:
+      left_->CollectColumns(out);
+      return;
+    case ExprKind::kBinary:
+      left_->CollectColumns(out);
+      right_->CollectColumns(out);
+      return;
+  }
+}
+
+bool Expr::ReferencesOnlySide(int side) const {
+  std::vector<std::pair<int, std::string>> cols;
+  CollectColumns(&cols);
+  for (const auto& [s, name] : cols) {
+    if (s != side) return false;
+  }
+  return true;
+}
+
+bool Expr::ReferencesAnyColumn() const {
+  std::vector<std::pair<int, std::string>> cols;
+  CollectColumns(&cols);
+  return !cols.empty();
+}
+
+bool Expr::Equals(const Expr& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return side_ == other.side_ && name_ == other.name_;
+    case ExprKind::kLiteral:
+      return literal_.type() == other.literal_.type() &&
+             literal_ == other.literal_;
+    case ExprKind::kPosition:
+      return true;
+    case ExprKind::kUnary:
+      return unary_op_ == other.unary_op_ && left_->Equals(*other.left_);
+    case ExprKind::kBinary:
+      return binary_op_ == other.binary_op_ && left_->Equals(*other.left_) &&
+             right_->Equals(*other.right_);
+  }
+  return false;
+}
+
+ExprPtr Expr::RenameColumns(
+    const std::map<std::string, std::string>& renames) const {
+  switch (kind_) {
+    case ExprKind::kColumn: {
+      auto it = renames.find(name_);
+      if (it == renames.end()) return Column(name_, side_);
+      return Column(it->second, side_);
+    }
+    case ExprKind::kLiteral:
+      return Literal(literal_);
+    case ExprKind::kPosition:
+      return Position();
+    case ExprKind::kUnary:
+      return Unary(unary_op_, left_->RenameColumns(renames));
+    case ExprKind::kBinary:
+      return Binary(binary_op_, left_->RenameColumns(renames),
+                    right_->RenameColumns(renames));
+  }
+  SEQ_CHECK(false);
+  return nullptr;
+}
+
+ExprPtr Expr::WithAllSides(int side) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return Column(name_, side);
+    case ExprKind::kLiteral:
+      return Literal(literal_);
+    case ExprKind::kPosition:
+      return Position();
+    case ExprKind::kUnary:
+      return Unary(unary_op_, left_->WithAllSides(side));
+    case ExprKind::kBinary:
+      return Binary(binary_op_, left_->WithAllSides(side),
+                    right_->WithAllSides(side));
+  }
+  SEQ_CHECK(false);
+  return nullptr;
+}
+
+ExprPtr Expr::RemapColumns(
+    const std::map<std::pair<int, std::string>,
+                   std::pair<int, std::string>>& mapping) const {
+  switch (kind_) {
+    case ExprKind::kColumn: {
+      auto it = mapping.find({side_, name_});
+      if (it == mapping.end()) return Column(name_, side_);
+      return Column(it->second.second, it->second.first);
+    }
+    case ExprKind::kLiteral:
+      return Literal(literal_);
+    case ExprKind::kPosition:
+      return Position();
+    case ExprKind::kUnary:
+      return Unary(unary_op_, left_->RemapColumns(mapping));
+    case ExprKind::kBinary:
+      return Binary(binary_op_, left_->RemapColumns(mapping),
+                    right_->RemapColumns(mapping));
+  }
+  SEQ_CHECK(false);
+  return nullptr;
+}
+
+bool Expr::ContainsPosition() const {
+  switch (kind_) {
+    case ExprKind::kPosition:
+      return true;
+    case ExprKind::kColumn:
+    case ExprKind::kLiteral:
+      return false;
+    case ExprKind::kUnary:
+      return left_->ContainsPosition();
+    case ExprKind::kBinary:
+      return left_->ContainsPosition() || right_->ContainsPosition();
+  }
+  return false;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return side_ == 0 ? name_ : ("$r." + name_);
+    case ExprKind::kLiteral:
+      return literal_.ToString();
+    case ExprKind::kPosition:
+      return "pos()";
+    case ExprKind::kUnary: {
+      std::ostringstream oss;
+      oss << UnaryOpName(unary_op_) << "(" << left_->ToString() << ")";
+      return oss.str();
+    }
+    case ExprKind::kBinary: {
+      std::ostringstream oss;
+      oss << "(" << left_->ToString() << " " << BinaryOpName(binary_op_)
+          << " " << right_->ToString() << ")";
+      return oss.str();
+    }
+  }
+  return "?";
+}
+
+ExprPtr ConjoinAll(const std::vector<ExprPtr>& terms) {
+  ExprPtr out;
+  for (const ExprPtr& t : terms) {
+    if (t == nullptr) continue;
+    out = (out == nullptr) ? t : And(out, t);
+  }
+  return out;
+}
+
+void SplitConjuncts(const ExprPtr& pred, std::vector<ExprPtr>* out) {
+  if (pred == nullptr) return;
+  if (pred->kind() == ExprKind::kBinary &&
+      pred->binary_op() == BinaryOp::kAnd) {
+    SplitConjuncts(pred->left(), out);
+    SplitConjuncts(pred->right(), out);
+    return;
+  }
+  out->push_back(pred);
+}
+
+}  // namespace seq

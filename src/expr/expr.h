@@ -1,0 +1,185 @@
+#ifndef SEQ_EXPR_EXPR_H_
+#define SEQ_EXPR_EXPR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "types/record.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace seq {
+
+/// Expression node kinds. Expressions appear in selection predicates,
+/// compose (positional join) predicates, and computed projections.
+enum class ExprKind : uint8_t {
+  kColumn,    // reference to an attribute of an input record
+  kLiteral,   // constant value
+  kPosition,  // the current sequence position, as int64
+  kUnary,     // NOT, negate, abs
+  kBinary,    // arithmetic / comparison / boolean connectives
+};
+
+enum class UnaryOp : uint8_t { kNot, kNeg, kAbs };
+
+enum class BinaryOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* UnaryOpName(UnaryOp op);
+const char* BinaryOpName(BinaryOp op);
+bool IsComparison(BinaryOp op);
+bool IsArithmetic(BinaryOp op);
+bool IsConnective(BinaryOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An immutable expression tree node. Column references carry a `side`:
+/// side 0 is the (only / left) input sequence, side 1 the right input of a
+/// compose operator. Trees are shared; rewrites build new nodes.
+class Expr {
+ public:
+  /// Factories ------------------------------------------------------------
+  static ExprPtr Column(std::string name, int side = 0);
+  static ExprPtr Literal(Value v);
+  static ExprPtr Position();
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  static ExprPtr Binary(BinaryOp op, ExprPtr left, ExprPtr right);
+
+  /// Accessors ------------------------------------------------------------
+  ExprKind kind() const { return kind_; }
+  // kColumn:
+  const std::string& column_name() const { return name_; }
+  int side() const { return side_; }
+  // kLiteral:
+  const Value& literal() const { return literal_; }
+  // kUnary / kBinary:
+  UnaryOp unary_op() const { return unary_op_; }
+  BinaryOp binary_op() const { return binary_op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+  /// Operand of a unary node (stored in left_).
+  const ExprPtr& operand() const { return left_; }
+
+  /// Analysis --------------------------------------------------------------
+  /// Appends every (side, column name) referenced in this tree to `out`.
+  void CollectColumns(std::vector<std::pair<int, std::string>>* out) const;
+
+  /// True if the tree references only columns on `side` (or none at all).
+  bool ReferencesOnlySide(int side) const;
+
+  /// True if the tree references any column at all.
+  bool ReferencesAnyColumn() const;
+
+  /// Structural equality.
+  bool Equals(const Expr& other) const;
+
+  /// Rewriting ---------------------------------------------------------------
+  /// Returns a tree with every column renamed through `renames`
+  /// (old name -> new name; missing entries keep their name). Sides are
+  /// unchanged.
+  ExprPtr RenameColumns(const std::map<std::string, std::string>& renames) const;
+
+  /// Returns a tree with every column reference moved to `side`.
+  ExprPtr WithAllSides(int side) const;
+
+  /// Returns a tree with every (side, name) column reference remapped
+  /// through `mapping`; references absent from the mapping are unchanged.
+  ExprPtr RemapColumns(
+      const std::map<std::pair<int, std::string>,
+                     std::pair<int, std::string>>& mapping) const;
+
+  /// True if the tree contains a Position() node (such predicates cannot
+  /// move across positional offsets).
+  bool ContainsPosition() const;
+
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  std::string name_;
+  int side_ = 0;
+  Value literal_;
+  UnaryOp unary_op_ = UnaryOp::kNot;
+  BinaryOp binary_op_ = BinaryOp::kAnd;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// Convenience builders for readable call sites in tests and examples.
+inline ExprPtr Col(std::string name, int side = 0) {
+  return Expr::Column(std::move(name), side);
+}
+inline ExprPtr Lit(int64_t v) { return Expr::Literal(Value::Int64(v)); }
+inline ExprPtr Lit(double v) { return Expr::Literal(Value::Double(v)); }
+inline ExprPtr Lit(bool v) { return Expr::Literal(Value::Bool(v)); }
+inline ExprPtr Lit(const char* v) {
+  return Expr::Literal(Value::String(v));
+}
+inline ExprPtr Gt(ExprPtr l, ExprPtr r) {
+  return Expr::Binary(BinaryOp::kGt, std::move(l), std::move(r));
+}
+inline ExprPtr Ge(ExprPtr l, ExprPtr r) {
+  return Expr::Binary(BinaryOp::kGe, std::move(l), std::move(r));
+}
+inline ExprPtr Lt(ExprPtr l, ExprPtr r) {
+  return Expr::Binary(BinaryOp::kLt, std::move(l), std::move(r));
+}
+inline ExprPtr Le(ExprPtr l, ExprPtr r) {
+  return Expr::Binary(BinaryOp::kLe, std::move(l), std::move(r));
+}
+inline ExprPtr Eq(ExprPtr l, ExprPtr r) {
+  return Expr::Binary(BinaryOp::kEq, std::move(l), std::move(r));
+}
+inline ExprPtr Ne(ExprPtr l, ExprPtr r) {
+  return Expr::Binary(BinaryOp::kNe, std::move(l), std::move(r));
+}
+inline ExprPtr And(ExprPtr l, ExprPtr r) {
+  return Expr::Binary(BinaryOp::kAnd, std::move(l), std::move(r));
+}
+inline ExprPtr Or(ExprPtr l, ExprPtr r) {
+  return Expr::Binary(BinaryOp::kOr, std::move(l), std::move(r));
+}
+inline ExprPtr Not(ExprPtr e) {
+  return Expr::Unary(UnaryOp::kNot, std::move(e));
+}
+inline ExprPtr Add(ExprPtr l, ExprPtr r) {
+  return Expr::Binary(BinaryOp::kAdd, std::move(l), std::move(r));
+}
+inline ExprPtr Sub(ExprPtr l, ExprPtr r) {
+  return Expr::Binary(BinaryOp::kSub, std::move(l), std::move(r));
+}
+inline ExprPtr Mul(ExprPtr l, ExprPtr r) {
+  return Expr::Binary(BinaryOp::kMul, std::move(l), std::move(r));
+}
+inline ExprPtr Div(ExprPtr l, ExprPtr r) {
+  return Expr::Binary(BinaryOp::kDiv, std::move(l), std::move(r));
+}
+
+/// Conjunction of `terms` (nullptr if empty, the term itself if single).
+ExprPtr ConjoinAll(const std::vector<ExprPtr>& terms);
+
+/// Splits a predicate into its top-level AND conjuncts.
+void SplitConjuncts(const ExprPtr& pred, std::vector<ExprPtr>* out);
+
+}  // namespace seq
+
+#endif  // SEQ_EXPR_EXPR_H_

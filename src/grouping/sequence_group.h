@@ -1,0 +1,71 @@
+#ifndef SEQ_GROUPING_SEQUENCE_GROUP_H_
+#define SEQ_GROUPING_SEQUENCE_GROUP_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace seq {
+
+/// §5.1 "Sequence Groupings": "it might be desirable to collectively query
+/// a group of sequences of similar record type ... the operators
+/// manipulate sequence groupings instead of sequences."
+///
+/// A SequenceGroup names a set of same-schema catalog sequences (e.g. one
+/// price sequence per ticker, one result sequence per experiment). Group
+/// operators either run a per-member query template (Map / Filter) or
+/// combine members position-wise into one sequence (PositionalAgg).
+class SequenceGroup {
+ public:
+  /// All members must already be registered in `engine`'s catalog with
+  /// equal schemas.
+  static Result<SequenceGroup> Create(const Engine* engine,
+                                      std::vector<std::string> members);
+
+  const std::vector<std::string>& members() const { return members_; }
+  const SchemaPtr& schema() const { return schema_; }
+
+  /// Builds a per-member query graph; receives the member name so
+  /// templates can reference the member (usually via SeqRef(member)).
+  using GraphTemplate = std::function<LogicalOpPtr(const std::string&)>;
+
+  /// Runs `graph_for` over every member (the grouped query of §5.1).
+  Result<std::map<std::string, QueryResult>> Map(
+      const GraphTemplate& graph_for,
+      std::optional<Span> range = std::nullopt,
+      AccessStats* stats = nullptr) const;
+
+  /// Keeps the members for which `condition_for`'s query yields at least
+  /// one record — the paper's example: "given a database of experimental
+  /// result sequences, a query might ask for those sequences that satisfy
+  /// some condition". Returns a new group.
+  Result<SequenceGroup> Filter(const GraphTemplate& condition_for,
+                               std::optional<Span> range = std::nullopt,
+                               AccessStats* stats = nullptr) const;
+
+  /// Aggregates `column` across members *per position*: out(i) =
+  /// agg({member(i).column | member non-null at i}), null where every
+  /// member is null — e.g. the average close across all tickers each day.
+  /// Evaluated as one lock-step multi-way merge of member streams.
+  Result<QueryResult> PositionalAgg(AggFunc func, const std::string& column,
+                                    std::optional<Span> range = std::nullopt,
+                                    AccessStats* stats = nullptr) const;
+
+ private:
+  SequenceGroup(const Engine* engine, std::vector<std::string> members,
+                SchemaPtr schema)
+      : engine_(engine),
+        members_(std::move(members)),
+        schema_(std::move(schema)) {}
+
+  const Engine* engine_;
+  std::vector<std::string> members_;
+  SchemaPtr schema_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_GROUPING_SEQUENCE_GROUP_H_

@@ -1,0 +1,121 @@
+#include "interval/interval_ops.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "expr/compiled_expr.h"
+
+namespace seq {
+namespace {
+
+Record Concat(const Record& a, const Record& b) {
+  Record out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+struct JoinContext {
+  SchemaPtr out_schema;
+  std::optional<CompiledExpr> predicate;
+  IntervalStats* stats;
+  IntervalStats local;
+
+  IntervalStats* Stats() { return stats != nullptr ? stats : &local; }
+};
+
+Result<JoinContext> MakeContext(const IntervalSet& left,
+                                const IntervalSet& right,
+                                const ExprPtr& predicate,
+                                IntervalStats* stats) {
+  JoinContext ctx;
+  ctx.out_schema = Schema::Concat(*left.schema(), *right.schema());
+  ctx.stats = stats;
+  if (predicate != nullptr) {
+    SEQ_ASSIGN_OR_RETURN(
+        CompiledExpr compiled,
+        CompiledExpr::CompilePredicate(predicate, *left.schema(),
+                                       right.schema().get()));
+    ctx.predicate = std::move(compiled);
+  }
+  return ctx;
+}
+
+/// True if the (already position-matched) pair passes the predicate.
+bool Passes(JoinContext* ctx, const IntervalRecord& l,
+            const IntervalRecord& r) {
+  if (!ctx->predicate.has_value()) return true;
+  ++ctx->Stats()->predicate_evals;
+  return ctx->predicate->EvalBool(l.rec, &r.rec, l.start);
+}
+
+}  // namespace
+
+Result<IntervalSet> OverlapJoin(const IntervalSet& left,
+                                const IntervalSet& right,
+                                const ExprPtr& predicate,
+                                IntervalStats* stats) {
+  SEQ_ASSIGN_OR_RETURN(JoinContext ctx,
+                       MakeContext(left, right, predicate, stats));
+  IntervalSet out(ctx.out_schema);
+  const auto& rs = right.records();
+  for (const IntervalRecord& l : left.records()) {
+    // Right intervals with r.start <= l.end may overlap; records are
+    // start-sorted so the scan stops at the first r.start beyond l.end.
+    for (const IntervalRecord& r : rs) {
+      if (r.start > l.end) break;
+      ++ctx.Stats()->pairs_examined;
+      if (r.end < l.start) continue;  // ends before l begins
+      if (!Passes(&ctx, l, r)) continue;
+      SEQ_RETURN_IF_ERROR(out.Add(std::max(l.start, r.start),
+                                  std::min(l.end, r.end),
+                                  Concat(l.rec, r.rec)));
+      ++ctx.Stats()->records_output;
+    }
+  }
+  return out;
+}
+
+Result<IntervalSet> ContainJoin(const IntervalSet& left,
+                                const IntervalSet& right,
+                                const ExprPtr& predicate,
+                                IntervalStats* stats) {
+  SEQ_ASSIGN_OR_RETURN(JoinContext ctx,
+                       MakeContext(left, right, predicate, stats));
+  IntervalSet out(ctx.out_schema);
+  for (const IntervalRecord& l : left.records()) {
+    for (const IntervalRecord& r : right.records()) {
+      if (r.start > l.end) break;
+      ++ctx.Stats()->pairs_examined;
+      if (r.start < l.start || r.end > l.end) continue;
+      if (!Passes(&ctx, l, r)) continue;
+      SEQ_RETURN_IF_ERROR(out.Add(r.start, r.end, Concat(l.rec, r.rec)));
+      ++ctx.Stats()->records_output;
+    }
+  }
+  return out;
+}
+
+Result<IntervalSet> PrecedeJoin(const IntervalSet& left,
+                                const IntervalSet& right, int64_t max_gap,
+                                const ExprPtr& predicate,
+                                IntervalStats* stats) {
+  if (max_gap < 0) {
+    return Status::InvalidArgument("max_gap must be >= 0");
+  }
+  SEQ_ASSIGN_OR_RETURN(JoinContext ctx,
+                       MakeContext(left, right, predicate, stats));
+  IntervalSet out(ctx.out_schema);
+  for (const IntervalRecord& l : left.records()) {
+    for (const IntervalRecord& r : right.records()) {
+      if (r.start > l.end + max_gap + 1) break;
+      ++ctx.Stats()->pairs_examined;
+      if (r.start <= l.end) continue;  // not strictly after
+      if (!Passes(&ctx, l, r)) continue;
+      SEQ_RETURN_IF_ERROR(out.Add(l.start, r.end, Concat(l.rec, r.rec)));
+      ++ctx.Stats()->records_output;
+    }
+  }
+  return out;
+}
+
+}  // namespace seq

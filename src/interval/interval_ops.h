@@ -1,0 +1,48 @@
+#ifndef SEQ_INTERVAL_INTERVAL_OPS_H_
+#define SEQ_INTERVAL_INTERVAL_OPS_H_
+
+#include <cstdint>
+
+#include "expr/expr.h"
+#include "interval/interval_set.h"
+
+namespace seq {
+
+/// Counters for the interval joins (comparable to AccessStats).
+struct IntervalStats {
+  int64_t pairs_examined = 0;
+  int64_t predicate_evals = 0;
+  int64_t records_output = 0;
+};
+
+/// The temporal joins the paper's §5.1 extension calls for ("the new
+/// operators include overlap-join, contain-join and precede-join [LM93]").
+/// All are start-sorted sweeps; `predicate` (optional) sees the left
+/// record as side 0 and the right as side 1.
+
+/// Pairs whose intervals intersect; the output interval is the
+/// intersection, the output record the concatenation.
+Result<IntervalSet> OverlapJoin(const IntervalSet& left,
+                                const IntervalSet& right,
+                                const ExprPtr& predicate = nullptr,
+                                IntervalStats* stats = nullptr);
+
+/// Pairs where the left interval contains the right one
+/// (l.start <= r.start && r.end <= l.end); output interval = the
+/// contained (right) interval.
+Result<IntervalSet> ContainJoin(const IntervalSet& left,
+                                const IntervalSet& right,
+                                const ExprPtr& predicate = nullptr,
+                                IntervalStats* stats = nullptr);
+
+/// Pairs where the left interval ends before the right starts, within
+/// `max_gap` positions (l.end < r.start <= l.end + max_gap + 1); output
+/// interval spans [l.start, r.end].
+Result<IntervalSet> PrecedeJoin(const IntervalSet& left,
+                                const IntervalSet& right, int64_t max_gap,
+                                const ExprPtr& predicate = nullptr,
+                                IntervalStats* stats = nullptr);
+
+}  // namespace seq
+
+#endif  // SEQ_INTERVAL_INTERVAL_OPS_H_

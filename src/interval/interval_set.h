@@ -1,0 +1,65 @@
+#ifndef SEQ_INTERVAL_INTERVAL_SET_H_
+#define SEQ_INTERVAL_INTERVAL_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/base_sequence.h"
+#include "types/record.h"
+#include "types/schema.h"
+
+namespace seq {
+
+/// §5.1 "General Sequences": "a record could be associated with an
+/// interval of positions, and at any one position, more than one record
+/// might overlap". An IntervalRecord is a record valid over the closed
+/// position interval [start, end].
+struct IntervalRecord {
+  Position start;
+  Position end;
+  Record rec;
+};
+
+/// A collection of interval records over one schema, kept sorted by
+/// (start, end). This is the temporal-database view of sequence data the
+/// paper's extension section describes; the interval operators
+/// (interval_ops.h) provide the overlap/contain/precede joins of [LM93].
+class IntervalSet {
+ public:
+  explicit IntervalSet(SchemaPtr schema);
+
+  /// Adds a record valid on [start, end] (start <= end); insertion order
+  /// is free, storage stays sorted.
+  Status Add(Position start, Position end, Record rec);
+
+  const SchemaPtr& schema() const { return schema_; }
+  const std::vector<IntervalRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// Positions covered by at least one interval (convex hull).
+  Span Hull() const;
+
+  /// Every point record of `store` as a unit interval [pos, pos].
+  static Result<IntervalSet> FromSequence(const BaseSequenceStore& store);
+
+  /// Merges intervals of this set that are within `max_gap` positions of
+  /// each other into one interval carrying the earliest record
+  /// (sessionization; gap 0 merges only touching/overlapping intervals).
+  IntervalSet Coalesce(int64_t max_gap = 0) const;
+
+  /// Projects back into the point-sequence model: at each position covered
+  /// by >= 1 interval, the record of the latest-starting covering interval
+  /// (ties: the longest). The inverse bridge into the query engine.
+  Result<BaseSequencePtr> ToSequence(int records_per_page = 64) const;
+
+  std::string ToString(size_t limit = 20) const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<IntervalRecord> records_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_INTERVAL_INTERVAL_SET_H_

@@ -1,0 +1,94 @@
+#ifndef SEQ_LOGICAL_BUILDER_H_
+#define SEQ_LOGICAL_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/expr.h"
+#include "logical/logical_op.h"
+
+namespace seq {
+
+/// Fluent construction of sequence query graphs. Builders are cheap value
+/// types wrapping a LogicalOpPtr; every call returns a new builder so
+/// sub-expressions can be reused freely.
+///
+///   auto q = SeqRef("quakes")
+///                .Select(Gt(Col("strength"), Lit(7.0)))
+///                .Prev()
+///                .ComposeWith(SeqRef("volcanos"))
+///                .Build();
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(LogicalOpPtr op) : op_(std::move(op)) {}
+
+  QueryBuilder Select(ExprPtr predicate) const {
+    return QueryBuilder(LogicalOp::Select(op_, std::move(predicate)));
+  }
+  QueryBuilder Project(std::vector<std::string> columns,
+                       std::vector<std::string> renames = {}) const {
+    return QueryBuilder(
+        LogicalOp::Project(op_, std::move(columns), std::move(renames)));
+  }
+  QueryBuilder Offset(int64_t l) const {
+    return QueryBuilder(LogicalOp::PositionalOffset(op_, l));
+  }
+  QueryBuilder ValueOffset(int64_t l) const {
+    return QueryBuilder(LogicalOp::ValueOffset(op_, l));
+  }
+  /// Most recent earlier record (§2.1 Previous).
+  QueryBuilder Prev() const { return ValueOffset(-1); }
+  /// Nearest later record (§2.1 Next).
+  QueryBuilder Next() const { return ValueOffset(1); }
+
+  QueryBuilder Agg(AggFunc func, std::string column, int64_t window,
+                   std::string output_name = "") const {
+    return QueryBuilder(LogicalOp::WindowAgg(op_, func, std::move(column),
+                                             window, std::move(output_name)));
+  }
+  QueryBuilder RunningAgg(AggFunc func, std::string column,
+                          std::string output_name = "") const {
+    return QueryBuilder(LogicalOp::RunningAgg(op_, func, std::move(column),
+                                              std::move(output_name)));
+  }
+  QueryBuilder OverallAgg(AggFunc func, std::string column,
+                          std::string output_name = "") const {
+    return QueryBuilder(LogicalOp::OverallAgg(op_, func, std::move(column),
+                                              std::move(output_name)));
+  }
+
+  QueryBuilder ComposeWith(const QueryBuilder& right,
+                           ExprPtr predicate = nullptr) const {
+    return QueryBuilder(
+        LogicalOp::Compose(op_, right.op_, std::move(predicate)));
+  }
+
+  QueryBuilder Collapse(int64_t factor, AggFunc func, std::string column,
+                        std::string output_name = "") const {
+    return QueryBuilder(LogicalOp::Collapse(op_, factor, func,
+                                            std::move(column),
+                                            std::move(output_name)));
+  }
+
+  QueryBuilder Expand(int64_t factor) const {
+    return QueryBuilder(LogicalOp::Expand(op_, factor));
+  }
+
+  const LogicalOpPtr& Build() const { return op_; }
+
+ private:
+  LogicalOpPtr op_;
+};
+
+/// Entry points.
+inline QueryBuilder SeqRef(std::string name) {
+  return QueryBuilder(LogicalOp::BaseRef(std::move(name)));
+}
+inline QueryBuilder ConstRef(std::string name) {
+  return QueryBuilder(LogicalOp::ConstantRef(std::move(name)));
+}
+
+}  // namespace seq
+
+#endif  // SEQ_LOGICAL_BUILDER_H_

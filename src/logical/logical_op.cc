@@ -1,0 +1,375 @@
+#include "logical/logical_op.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace seq {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kBaseRef:
+      return "BaseRef";
+    case OpKind::kConstantRef:
+      return "ConstantRef";
+    case OpKind::kSelect:
+      return "Select";
+    case OpKind::kProject:
+      return "Project";
+    case OpKind::kPositionalOffset:
+      return "PositionalOffset";
+    case OpKind::kValueOffset:
+      return "ValueOffset";
+    case OpKind::kWindowAgg:
+      return "WindowAgg";
+    case OpKind::kCompose:
+      return "Compose";
+    case OpKind::kCollapse:
+      return "Collapse";
+    case OpKind::kExpand:
+      return "Expand";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+LogicalOpPtr LogicalOp::BaseRef(std::string name) {
+  auto op = std::shared_ptr<LogicalOp>(new LogicalOp());
+  op->kind_ = OpKind::kBaseRef;
+  op->seq_name_ = std::move(name);
+  return op;
+}
+
+LogicalOpPtr LogicalOp::ConstantRef(std::string name) {
+  auto op = std::shared_ptr<LogicalOp>(new LogicalOp());
+  op->kind_ = OpKind::kConstantRef;
+  op->seq_name_ = std::move(name);
+  return op;
+}
+
+LogicalOpPtr LogicalOp::Select(LogicalOpPtr input, ExprPtr predicate) {
+  SEQ_CHECK(input != nullptr && predicate != nullptr);
+  auto op = std::shared_ptr<LogicalOp>(new LogicalOp());
+  op->kind_ = OpKind::kSelect;
+  op->inputs_.push_back(std::move(input));
+  op->predicate_ = std::move(predicate);
+  return op;
+}
+
+LogicalOpPtr LogicalOp::Project(LogicalOpPtr input,
+                                std::vector<std::string> columns,
+                                std::vector<std::string> renames) {
+  SEQ_CHECK(input != nullptr);
+  SEQ_CHECK(!columns.empty());
+  auto op = std::shared_ptr<LogicalOp>(new LogicalOp());
+  op->kind_ = OpKind::kProject;
+  op->inputs_.push_back(std::move(input));
+  op->columns_ = std::move(columns);
+  op->renames_ = std::move(renames);
+  return op;
+}
+
+LogicalOpPtr LogicalOp::PositionalOffset(LogicalOpPtr input, int64_t offset) {
+  SEQ_CHECK(input != nullptr);
+  auto op = std::shared_ptr<LogicalOp>(new LogicalOp());
+  op->kind_ = OpKind::kPositionalOffset;
+  op->inputs_.push_back(std::move(input));
+  op->offset_ = offset;
+  return op;
+}
+
+LogicalOpPtr LogicalOp::ValueOffset(LogicalOpPtr input, int64_t offset) {
+  SEQ_CHECK(input != nullptr);
+  SEQ_CHECK_MSG(offset != 0, "value offset must be non-zero");
+  auto op = std::shared_ptr<LogicalOp>(new LogicalOp());
+  op->kind_ = OpKind::kValueOffset;
+  op->inputs_.push_back(std::move(input));
+  op->offset_ = offset;
+  return op;
+}
+
+LogicalOpPtr LogicalOp::WindowAgg(LogicalOpPtr input, AggFunc func,
+                                  std::string column, int64_t window,
+                                  std::string output_name) {
+  SEQ_CHECK(input != nullptr);
+  SEQ_CHECK_MSG(window >= 1, "window must be >= 1");
+  auto op = std::shared_ptr<LogicalOp>(new LogicalOp());
+  op->kind_ = OpKind::kWindowAgg;
+  op->inputs_.push_back(std::move(input));
+  op->agg_func_ = func;
+  op->window_kind_ = WindowKind::kTrailing;
+  op->window_ = window;
+  op->agg_column_ = std::move(column);
+  op->output_name_ = std::move(output_name);
+  return op;
+}
+
+LogicalOpPtr LogicalOp::RunningAgg(LogicalOpPtr input, AggFunc func,
+                                   std::string column,
+                                   std::string output_name) {
+  auto op = WindowAgg(std::move(input), func, std::move(column), 1,
+                      std::move(output_name));
+  op->window_kind_ = WindowKind::kRunning;
+  return op;
+}
+
+LogicalOpPtr LogicalOp::OverallAgg(LogicalOpPtr input, AggFunc func,
+                                   std::string column,
+                                   std::string output_name) {
+  auto op = WindowAgg(std::move(input), func, std::move(column), 1,
+                      std::move(output_name));
+  op->window_kind_ = WindowKind::kAll;
+  return op;
+}
+
+LogicalOpPtr LogicalOp::Compose(LogicalOpPtr left, LogicalOpPtr right,
+                                ExprPtr predicate) {
+  SEQ_CHECK(left != nullptr && right != nullptr);
+  auto op = std::shared_ptr<LogicalOp>(new LogicalOp());
+  op->kind_ = OpKind::kCompose;
+  op->inputs_.push_back(std::move(left));
+  op->inputs_.push_back(std::move(right));
+  op->predicate_ = std::move(predicate);
+  return op;
+}
+
+LogicalOpPtr LogicalOp::Collapse(LogicalOpPtr input, int64_t factor,
+                                 AggFunc func, std::string column,
+                                 std::string output_name) {
+  SEQ_CHECK(input != nullptr);
+  SEQ_CHECK_MSG(factor >= 1, "collapse factor must be >= 1");
+  auto op = std::shared_ptr<LogicalOp>(new LogicalOp());
+  op->kind_ = OpKind::kCollapse;
+  op->inputs_.push_back(std::move(input));
+  op->offset_ = factor;
+  op->agg_func_ = func;
+  op->agg_column_ = std::move(column);
+  op->output_name_ = std::move(output_name);
+  return op;
+}
+
+LogicalOpPtr LogicalOp::Expand(LogicalOpPtr input, int64_t factor) {
+  SEQ_CHECK(input != nullptr);
+  SEQ_CHECK_MSG(factor >= 1, "expand factor must be >= 1");
+  auto op = std::shared_ptr<LogicalOp>(new LogicalOp());
+  op->kind_ = OpKind::kExpand;
+  op->inputs_.push_back(std::move(input));
+  op->offset_ = factor;
+  return op;
+}
+
+ScopeSpec LogicalOp::ScopeOverInput(size_t k) const {
+  SEQ_CHECK(k < inputs_.size());
+  switch (kind_) {
+    case OpKind::kBaseRef:
+    case OpKind::kConstantRef:
+      SEQ_CHECK(false);
+      return ScopeSpec::Unit();
+    case OpKind::kSelect:
+    case OpKind::kProject:
+    case OpKind::kCompose:
+      return ScopeSpec::Unit();
+    case OpKind::kPositionalOffset: {
+      // Scope {i + l}: size one but not sequential for l != 0 (§2.3).
+      ScopeSpec s = ScopeSpec::FixedWindow(offset_, offset_);
+      return s;
+    }
+    case OpKind::kValueOffset:
+      return offset_ < 0 ? ScopeSpec::VariablePast()
+                         : ScopeSpec::VariableFuture();
+    case OpKind::kWindowAgg:
+      switch (window_kind_) {
+        case WindowKind::kTrailing:
+          return ScopeSpec::FixedWindow(-(window_ - 1), 0);
+        case WindowKind::kRunning:
+          return ScopeSpec::VariablePast();
+        case WindowKind::kAll:
+          return ScopeSpec::AllPositions();
+      }
+      SEQ_CHECK(false);
+      return ScopeSpec::Unit();
+    case OpKind::kCollapse: {
+      // Output position i covers input positions [i*f, (i+1)*f); the scope
+      // is fixed-size but non-relative (offsets depend on i).
+      ScopeSpec s;
+      s.size_kind = ScopeSpec::SizeKind::kFixed;
+      s.min_offset = 0;
+      s.max_offset = offset_ - 1;
+      s.sequential = false;
+      s.relative = false;
+      return s;
+    }
+    case OpKind::kExpand: {
+      // Output position i reads input position floor(i/f): unit size but
+      // non-relative.
+      ScopeSpec s;
+      s.size_kind = ScopeSpec::SizeKind::kUnit;
+      s.sequential = false;
+      s.relative = false;
+      return s;
+    }
+  }
+  SEQ_CHECK(false);
+  return ScopeSpec::Unit();
+}
+
+bool LogicalOp::IsNonUnitScope() const {
+  switch (kind_) {
+    case OpKind::kValueOffset:
+    case OpKind::kWindowAgg:
+    case OpKind::kCollapse:
+    case OpKind::kExpand:
+      return true;
+    case OpKind::kPositionalOffset:
+      // Size one, but not sequential; it still breaks stream evaluation
+      // unless broadened, yet the paper treats it as pushable (§3.1), so
+      // it is NOT a block boundary.
+      return false;
+    default:
+      return false;
+  }
+}
+
+void LogicalOp::CollectLeaves(std::vector<const LogicalOp*>* out) const {
+  if (inputs_.empty()) {
+    out->push_back(this);
+    return;
+  }
+  for (const LogicalOpPtr& in : inputs_) in->CollectLeaves(out);
+}
+
+namespace {
+
+void ScopesOverLeavesImpl(const LogicalOp& op, const ScopeSpec& outer,
+                          std::vector<ScopeSpec>* out) {
+  if (op.arity() == 0) {
+    out->push_back(outer);
+    return;
+  }
+  for (size_t k = 0; k < op.arity(); ++k) {
+    ScopeSpec composed = ScopeSpec::Compose(outer, op.ScopeOverInput(k));
+    ScopesOverLeavesImpl(*op.input(k), composed, out);
+  }
+}
+
+}  // namespace
+
+std::vector<ScopeSpec> LogicalOp::QueryScopeOverLeaves() const {
+  std::vector<ScopeSpec> out;
+  ScopesOverLeavesImpl(*this, ScopeSpec::Unit(), &out);
+  return out;
+}
+
+LogicalOpPtr LogicalOp::Clone() const {
+  auto op = std::shared_ptr<LogicalOp>(new LogicalOp());
+  op->kind_ = kind_;
+  op->seq_name_ = seq_name_;
+  op->predicate_ = predicate_;  // expressions are immutable, share them
+  op->columns_ = columns_;
+  op->renames_ = renames_;
+  op->offset_ = offset_;
+  op->agg_func_ = agg_func_;
+  op->window_kind_ = window_kind_;
+  op->window_ = window_;
+  op->agg_column_ = agg_column_;
+  op->output_name_ = output_name_;
+  op->meta_ = meta_;
+  op->inputs_.reserve(inputs_.size());
+  for (const LogicalOpPtr& in : inputs_) op->inputs_.push_back(in->Clone());
+  return op;
+}
+
+std::string LogicalOp::Describe() const {
+  std::ostringstream oss;
+  oss << OpKindName(kind_);
+  switch (kind_) {
+    case OpKind::kBaseRef:
+    case OpKind::kConstantRef:
+      oss << "(" << seq_name_ << ")";
+      break;
+    case OpKind::kSelect:
+      oss << "(" << predicate_->ToString() << ")";
+      break;
+    case OpKind::kProject: {
+      std::vector<std::string> parts;
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        std::string p = columns_[i];
+        if (i < renames_.size() && !renames_[i].empty() &&
+            renames_[i] != columns_[i]) {
+          p += " as " + renames_[i];
+        }
+        parts.push_back(p);
+      }
+      oss << "(" << Join(parts, ", ") << ")";
+      break;
+    }
+    case OpKind::kPositionalOffset:
+    case OpKind::kValueOffset:
+      oss << "(" << offset_ << ")";
+      break;
+    case OpKind::kWindowAgg:
+      oss << "(" << AggFuncName(agg_func_) << " " << agg_column_;
+      switch (window_kind_) {
+        case WindowKind::kTrailing:
+          oss << " over " << window_;
+          break;
+        case WindowKind::kRunning:
+          oss << " running";
+          break;
+        case WindowKind::kAll:
+          oss << " over all";
+          break;
+      }
+      oss << ")";
+      break;
+    case OpKind::kCompose:
+      if (predicate_ != nullptr) {
+        oss << "(" << predicate_->ToString() << ")";
+      }
+      break;
+    case OpKind::kCollapse:
+      oss << "(" << AggFuncName(agg_func_) << " " << agg_column_ << " by "
+          << offset_ << ")";
+      break;
+    case OpKind::kExpand:
+      oss << "(by " << offset_ << ")";
+      break;
+  }
+  return oss.str();
+}
+
+std::string LogicalOp::ToTreeString(int indent) const {
+  std::ostringstream oss;
+  oss << std::string(static_cast<size_t>(indent) * 2, ' ') << Describe();
+  if (meta_.annotated) {
+    oss << "  {span=" << meta_.span.ToString()
+        << " density=" << FormatDouble(meta_.density);
+    if (meta_.required != Span::Unbounded()) {
+      oss << " required=" << meta_.required.ToString();
+    }
+    oss << "}";
+  }
+  oss << "\n";
+  for (const LogicalOpPtr& in : inputs_) {
+    oss << in->ToTreeString(indent + 1);
+  }
+  return oss.str();
+}
+
+}  // namespace seq

@@ -1,0 +1,176 @@
+#ifndef SEQ_LOGICAL_LOGICAL_OP_H_
+#define SEQ_LOGICAL_LOGICAL_OP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "logical/scope.h"
+#include "storage/base_sequence.h"
+#include "types/record.h"
+#include "types/schema.h"
+#include "types/span.h"
+
+namespace seq {
+
+/// The sequence operators of the paper's model (§2.1) plus the Collapse
+/// ordering-domain extension (§5.1).
+enum class OpKind : uint8_t {
+  kBaseRef,           // leaf: named base sequence
+  kConstantRef,       // leaf: named constant sequence
+  kSelect,            // σ per position
+  kProject,           // π per position
+  kPositionalOffset,  // out(i) = in(i + l)
+  kValueOffset,       // out(i) = l-th nearest non-empty record (Previous/Next)
+  kWindowAgg,         // aggregate over agg_pos(i); trailing / running / all
+  kCompose,           // positional join, optional extra predicate
+  kCollapse,          // §5.1: collapse to a coarser ordering domain
+  kExpand,            // §5.1: expand to a finer ordering domain
+};
+
+const char* OpKindName(OpKind kind);
+
+/// Aggregate functions of the model ("Avg, Count, Min, Max and Sum", §2.1).
+enum class AggFunc : uint8_t { kSum, kAvg, kCount, kMin, kMax };
+
+const char* AggFuncName(AggFunc func);
+
+/// The agg_pos(i) families supported: the trailing window
+/// {p | i-W+1 <= p <= i}, the running prefix {p | p <= i}, and the paper's
+/// "agg_pos always true" special case selecting all positions.
+enum class WindowKind : uint8_t { kTrailing, kRunning, kAll };
+
+/// Meta-information attached to every node by the optimizer's annotation
+/// pass (paper §4, Step 2): output schema, span, density, and provenance
+/// used for correlation/selectivity lookups.
+struct SeqMeta {
+  bool annotated = false;
+  SchemaPtr schema;
+  Span span = Span::Empty();
+  double density = 0.0;
+
+  /// Base sequence names feeding this node (for null-correlation lookup).
+  std::vector<std::string> source_names;
+
+  /// When the node's columns still mirror a base sequence's columns
+  /// one-to-one (leaf, or select/offset chains above one), the store whose
+  /// column statistics can estimate predicate selectivities; else null.
+  const BaseSequenceStore* stats_store = nullptr;
+
+  /// The span requested from this node by its consumer (top-down pass,
+  /// Step 2.b); evaluation only needs output positions inside it.
+  Span required = Span::Unbounded();
+};
+
+class LogicalOp;
+using LogicalOpPtr = std::shared_ptr<LogicalOp>;
+
+/// A node of the sequence query graph (§2.2). The graph is a tree: each
+/// node owns its inputs. Nodes are mutable — the optimizer annotates and
+/// restructures a private clone of the user's graph.
+class LogicalOp {
+ public:
+  /// Factories ---------------------------------------------------------------
+  static LogicalOpPtr BaseRef(std::string name);
+  static LogicalOpPtr ConstantRef(std::string name);
+  static LogicalOpPtr Select(LogicalOpPtr input, ExprPtr predicate);
+  /// Projection with optional renames (empty string keeps the name).
+  static LogicalOpPtr Project(LogicalOpPtr input,
+                              std::vector<std::string> columns,
+                              std::vector<std::string> renames = {});
+  static LogicalOpPtr PositionalOffset(LogicalOpPtr input, int64_t offset);
+  /// offset < 0: |offset|-th most recent earlier record (Previous = -1);
+  /// offset > 0: offset-th next later record (Next = +1).
+  static LogicalOpPtr ValueOffset(LogicalOpPtr input, int64_t offset);
+  static LogicalOpPtr WindowAgg(LogicalOpPtr input, AggFunc func,
+                                std::string column, int64_t window,
+                                std::string output_name = "");
+  static LogicalOpPtr RunningAgg(LogicalOpPtr input, AggFunc func,
+                                 std::string column,
+                                 std::string output_name = "");
+  static LogicalOpPtr OverallAgg(LogicalOpPtr input, AggFunc func,
+                                 std::string column,
+                                 std::string output_name = "");
+  static LogicalOpPtr Compose(LogicalOpPtr left, LogicalOpPtr right,
+                              ExprPtr predicate = nullptr);
+  /// Collapse positions to buckets of `factor` consecutive positions,
+  /// aggregating `column` with `func` inside each bucket (§5.1: e.g. a
+  /// daily sequence viewed weekly with factor 7). Output position i holds
+  /// the aggregate of input positions [i*factor, (i+1)*factor).
+  static LogicalOpPtr Collapse(LogicalOpPtr input, int64_t factor,
+                               AggFunc func, std::string column,
+                               std::string output_name = "");
+  /// Expand positions to a finer ordering domain (§5.1: e.g. a weekly
+  /// sequence viewed daily): output position i holds the input record at
+  /// position floor(i / factor).
+  static LogicalOpPtr Expand(LogicalOpPtr input, int64_t factor);
+
+  /// Structure ---------------------------------------------------------------
+  OpKind kind() const { return kind_; }
+  size_t arity() const { return inputs_.size(); }
+  const LogicalOpPtr& input(size_t i = 0) const { return inputs_[i]; }
+  LogicalOpPtr& mutable_input(size_t i = 0) { return inputs_[i]; }
+  const std::vector<LogicalOpPtr>& inputs() const { return inputs_; }
+
+  /// Parameters --------------------------------------------------------------
+  const std::string& seq_name() const { return seq_name_; }
+  const ExprPtr& predicate() const { return predicate_; }
+  void set_predicate(ExprPtr p) { predicate_ = std::move(p); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::string>& renames() const { return renames_; }
+  int64_t offset() const { return offset_; }
+  AggFunc agg_func() const { return agg_func_; }
+  WindowKind window_kind() const { return window_kind_; }
+  int64_t window() const { return window_; }
+  const std::string& agg_column() const { return agg_column_; }
+  const std::string& output_name() const { return output_name_; }
+  int64_t collapse_factor() const { return offset_; }
+  int64_t expand_factor() const { return offset_; }
+
+  /// Scope of this operator over input `k` (§2.3).
+  ScopeSpec ScopeOverInput(size_t k = 0) const;
+
+  /// True for operators of non-unit scope — the block boundaries of §3.1
+  /// ("aggregates and previous/next ... form special blocks").
+  bool IsNonUnitScope() const;
+
+  /// Scope of the whole (complex) operator rooted here over each of its
+  /// base/constant leaves, composed per Prop 2.1, in left-to-right leaf
+  /// order. Parallel to CollectLeaves().
+  std::vector<ScopeSpec> QueryScopeOverLeaves() const;
+  void CollectLeaves(std::vector<const LogicalOp*>* out) const;
+
+  /// Meta --------------------------------------------------------------------
+  const SeqMeta& meta() const { return meta_; }
+  SeqMeta& mutable_meta() { return meta_; }
+
+  /// Deep copy (meta included).
+  LogicalOpPtr Clone() const;
+
+  /// One-line description of this node.
+  std::string Describe() const;
+  /// Indented tree rendering, with meta when annotated.
+  std::string ToTreeString(int indent = 0) const;
+
+ private:
+  LogicalOp() = default;
+
+  OpKind kind_ = OpKind::kBaseRef;
+  std::vector<LogicalOpPtr> inputs_;
+  std::string seq_name_;
+  ExprPtr predicate_;
+  std::vector<std::string> columns_;
+  std::vector<std::string> renames_;
+  int64_t offset_ = 0;  // positional/value offset; collapse factor
+  AggFunc agg_func_ = AggFunc::kSum;
+  WindowKind window_kind_ = WindowKind::kTrailing;
+  int64_t window_ = 1;
+  std::string agg_column_;
+  std::string output_name_;
+  SeqMeta meta_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_LOGICAL_LOGICAL_OP_H_

@@ -1,0 +1,91 @@
+#include "logical/scope.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace seq {
+
+ScopeSpec ScopeSpec::Compose(const ScopeSpec& outer, const ScopeSpec& inner) {
+  ScopeSpec out;
+  // Size (Prop 2.1.a): fixed ∘ fixed stays fixed; anything touching a
+  // variable scope becomes variable.
+  if (outer.IsFixedSize() && inner.IsFixedSize()) {
+    out.min_offset = outer.min_offset + inner.min_offset;
+    out.max_offset = outer.max_offset + inner.max_offset;
+    out.size_kind = (out.min_offset == 0 && out.max_offset == 0)
+                        ? SizeKind::kUnit
+                        : SizeKind::kFixed;
+    out.bounded_below = true;
+    out.bounded_above = true;
+  } else {
+    out.size_kind = SizeKind::kVariable;
+    out.bounded_below = outer.bounded_below && inner.bounded_below;
+    out.bounded_above = outer.bounded_above && inner.bounded_above;
+    out.min_offset = out.bounded_below
+                         ? outer.min_offset + inner.min_offset
+                         : 0;
+    out.max_offset = out.bounded_above
+                         ? outer.max_offset + inner.max_offset
+                         : 0;
+  }
+  // Sequentiality (Prop 2.1.b) and relativity (Prop 2.1.c) are each closed
+  // under composition; a composition with a non-sequential (non-relative)
+  // component is conservatively marked non-sequential (non-relative).
+  out.sequential = outer.sequential && inner.sequential;
+  out.relative = outer.relative && inner.relative;
+  return out;
+}
+
+ScopeSpec ScopeSpec::EffectiveSequential() const {
+  if (!bounded_below) return AllPositions();
+  ScopeSpec out = *this;
+  if (!bounded_above) {
+    // Cannot be made fixed-size; keep variable but report sequential
+    // infeasible via AllPositions.
+    return AllPositions();
+  }
+  // Include position i itself and everything back to min_offset; clamp the
+  // look-ahead side to 0 by widening the look-back side (the evaluator
+  // delays emission by max_offset positions instead of looking ahead).
+  int64_t lo = std::min<int64_t>(min_offset, 0);
+  int64_t hi = std::max<int64_t>(max_offset, 0);
+  out.min_offset = lo - hi;  // window size preserved after shifting by -hi
+  out.max_offset = 0;
+  out.size_kind = (out.min_offset == 0) ? SizeKind::kUnit : SizeKind::kFixed;
+  out.sequential = true;
+  out.relative = true;
+  out.bounded_below = out.bounded_above = true;
+  return out;
+}
+
+std::string ScopeSpec::ToString() const {
+  std::ostringstream oss;
+  switch (size_kind) {
+    case SizeKind::kUnit:
+      oss << "unit";
+      break;
+    case SizeKind::kFixed:
+      oss << "fixed[" << min_offset << "," << max_offset << "]";
+      break;
+    case SizeKind::kVariable:
+      oss << "variable[";
+      if (bounded_below) {
+        oss << min_offset;
+      } else {
+        oss << "-inf";
+      }
+      oss << ",";
+      if (bounded_above) {
+        oss << max_offset;
+      } else {
+        oss << "+inf";
+      }
+      oss << "]";
+      break;
+  }
+  oss << (sequential ? " seq" : " non-seq")
+      << (relative ? " rel" : " non-rel");
+  return oss.str();
+}
+
+}  // namespace seq

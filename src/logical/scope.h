@@ -1,0 +1,118 @@
+#ifndef SEQ_LOGICAL_SCOPE_H_
+#define SEQ_LOGICAL_SCOPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace seq {
+
+/// Description of an operator's scope over one input sequence (paper §2.3):
+/// which input positions, relative to output position i, the operator
+/// function may need to inspect.
+///
+/// The three properties the paper identifies drive the optimizer:
+///  * size        — unit / fixed-k / variable ("a Selection has a fixed
+///                   scope of size one, a Previous operator has variable
+///                   scope size");
+///  * sequentiality — Scope(i) ⊆ Scope(i-1) ∪ {i} (enables single-scan
+///                   stream evaluation with a scope-sized cache, Thm 3.1);
+///  * relativity  — positions are {K1+i, ..., Kn+i} for constants Kj
+///                   (enables positional-offset pushdown, §3.1).
+///
+/// For bounded scopes, [min_offset, max_offset] is the smallest window of
+/// offsets (relative to i) containing the scope. Variable scopes may be
+/// unbounded below (Previous) or above (Next); the bounded side still
+/// carries a meaningful offset.
+struct ScopeSpec {
+  enum class SizeKind : uint8_t { kUnit, kFixed, kVariable };
+
+  SizeKind size_kind = SizeKind::kUnit;
+  int64_t min_offset = 0;
+  int64_t max_offset = 0;
+  bool bounded_below = true;  ///< false: scope may reach arbitrarily far back
+  bool bounded_above = true;  ///< false: scope may reach arbitrarily ahead
+  bool sequential = true;
+  bool relative = true;
+
+  /// {i}: selections, projections.
+  static ScopeSpec Unit() { return ScopeSpec{}; }
+
+  /// {i+lo, ..., i+hi}: offsets and trailing windows. Sequentiality is
+  /// computed from the window: a window is sequential iff advancing i by
+  /// one only adds position i itself (i.e. hi == 0).
+  static ScopeSpec FixedWindow(int64_t lo, int64_t hi) {
+    ScopeSpec s;
+    s.size_kind = (lo == 0 && hi == 0) ? SizeKind::kUnit : SizeKind::kFixed;
+    s.min_offset = lo;
+    s.max_offset = hi;
+    s.sequential = (hi == 0);
+    s.relative = true;
+    return s;
+  }
+
+  /// All positions < i (value offsets with negative l; running aggregates).
+  static ScopeSpec VariablePast() {
+    ScopeSpec s;
+    s.size_kind = SizeKind::kVariable;
+    s.min_offset = 0;  // unbounded below; max side is "before i"
+    s.max_offset = -1;
+    s.bounded_below = false;
+    s.sequential = true;
+    s.relative = false;
+    return s;
+  }
+
+  /// All positions > i (value offsets with positive l).
+  static ScopeSpec VariableFuture() {
+    ScopeSpec s;
+    s.size_kind = SizeKind::kVariable;
+    s.min_offset = 1;
+    s.max_offset = 0;  // unbounded above
+    s.bounded_above = false;
+    s.sequential = false;
+    s.relative = false;
+    return s;
+  }
+
+  /// Every position (whole-sequence aggregates).
+  static ScopeSpec AllPositions() {
+    ScopeSpec s;
+    s.size_kind = SizeKind::kVariable;
+    s.bounded_below = false;
+    s.bounded_above = false;
+    s.sequential = false;
+    s.relative = false;
+    return s;
+  }
+
+  bool IsUnit() const { return size_kind == SizeKind::kUnit; }
+  bool IsFixedSize() const {
+    return size_kind == SizeKind::kUnit || size_kind == SizeKind::kFixed;
+  }
+
+  /// Number of positions for unit/fixed scopes.
+  int64_t FixedSize() const { return max_offset - min_offset + 1; }
+
+  /// Scope of the composition B∘A over A's input (paper §2.3: the scope of
+  /// a complex operator): offset windows add (Minkowski sum); fixed∘fixed
+  /// stays fixed, sequential∘sequential stays sequential, relative∘relative
+  /// stays relative (Proposition 2.1). `outer` is B's scope over A's
+  /// output, `inner` is A's scope over its own input.
+  static ScopeSpec Compose(const ScopeSpec& outer, const ScopeSpec& inner);
+
+  /// The smallest sequential fixed-size scope containing this one (the
+  /// "effective scope" of §3.4 that enables stream-access evaluation), or
+  /// an AllPositions spec when the scope is unbounded below. Broadening a
+  /// look-ahead window keeps the window but shifts the evaluation point —
+  /// the returned spec has max_offset clamped to 0 and min_offset widened
+  /// accordingly (buffer of size FixedSize()).
+  ScopeSpec EffectiveSequential() const;
+
+  std::string ToString() const;
+
+  bool operator==(const ScopeSpec& other) const = default;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_LOGICAL_SCOPE_H_

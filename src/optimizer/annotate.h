@@ -1,0 +1,45 @@
+#ifndef SEQ_OPTIMIZER_ANNOTATE_H_
+#define SEQ_OPTIMIZER_ANNOTATE_H_
+
+#include "catalog/catalog.h"
+#include "catalog/cost_params.h"
+#include "common/status.h"
+#include "logical/logical_op.h"
+
+namespace seq {
+
+/// Meta-information propagation over the query graph (paper §4, Step 2).
+class Annotator {
+ public:
+  Annotator(const Catalog& catalog, const CostParams& params)
+      : catalog_(catalog), params_(params) {}
+
+  /// Step 2.a — bottom-up annotation: type checks the graph and fills in
+  /// every node's schema, span, density and provenance, using each
+  /// operator's semantics to propagate spans and densities from the base
+  /// sequences upward.
+  Status AnnotateBottomUp(LogicalOp* op) const;
+
+  /// Step 2.b — top-down annotation (the Fig. 3 span optimization): given
+  /// the span requested at the root, narrows every node's `required` span;
+  /// a compose operator propagates the *intersection* of its inputs' spans
+  /// into both inputs, shrinking base-sequence scan ranges.
+  /// Requires AnnotateBottomUp to have run.
+  ///
+  /// With `narrow` false (the Fig. 3 ablation), the requested range is
+  /// still propagated vertically — evaluation must be bounded — but no
+  /// node's required span is tightened by its own or a sibling's span, so
+  /// base sequences are scanned over the full requested window.
+  void PushRequiredSpans(LogicalOp* op, Span required,
+                         bool narrow = true) const;
+
+ private:
+  Status AnnotateNode(LogicalOp* op) const;
+
+  const Catalog& catalog_;
+  CostParams params_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_OPTIMIZER_ANNOTATE_H_

@@ -1,0 +1,84 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seq {
+
+AccessEst BaseSequenceCosts(const BaseSequenceStore& store, Span range) {
+  AccessEst est;
+  Span effective = range.Intersect(store.span());
+  if (effective.IsEmpty()) return est;
+  est.span_len = effective.Length();
+  est.density = store.density();
+  double records = est.density * static_cast<double>(est.span_len);
+  double pages = store.costs().clustered
+                     ? std::ceil(records / store.records_per_page())
+                     : records;  // unclustered: a page fetch per record
+  est.stream_cost = pages * store.costs().page_cost;
+  est.probed_cost =
+      static_cast<double>(est.span_len) * store.costs().probe_cost;
+  return est;
+}
+
+AccessEst ConstantSequenceCosts(Span range) {
+  AccessEst est;
+  est.span_len = range.IsEmpty() ? 0 : range.Length();
+  est.density = 1.0;
+  est.stream_cost = 0.0;
+  est.probed_cost = 0.0;
+  return est;
+}
+
+ComposeCostResult ComposeCosts(const AccessEst& left, const AccessEst& right,
+                               double joint_density, int64_t out_span_len,
+                               const CostParams& params) {
+  ComposeCostResult result;
+  double span = static_cast<double>(std::max<int64_t>(out_span_len, 0));
+  double predicate_cost =
+      joint_density * span * params.join_predicate_cost;
+
+  // Stream mode: Join-Strategy-A in both directions vs. Join-Strategy-B.
+  double a_stream_lr = left.stream_cost + left.Records() * right.PerProbe();
+  double a_stream_rl = right.stream_cost + right.Records() * left.PerProbe();
+  double b_stream = left.stream_cost + right.stream_cost;
+  if (params.force_join_strategy == 0) {
+    result.stream_cost = b_stream;
+    result.stream_strategy = JoinStrategy::kStreamBoth;
+  } else if (params.force_join_strategy == 1) {
+    result.stream_cost = a_stream_lr;
+    result.stream_strategy = JoinStrategy::kStreamLeftProbeRight;
+  } else if (params.force_join_strategy == 2) {
+    result.stream_cost = a_stream_rl;
+    result.stream_strategy = JoinStrategy::kStreamRightProbeLeft;
+  } else {
+    result.stream_cost = a_stream_lr;
+    result.stream_strategy = JoinStrategy::kStreamLeftProbeRight;
+    if (a_stream_rl < result.stream_cost) {
+      result.stream_cost = a_stream_rl;
+      result.stream_strategy = JoinStrategy::kStreamRightProbeLeft;
+    }
+    if (b_stream < result.stream_cost) {
+      result.stream_cost = b_stream;
+      result.stream_strategy = JoinStrategy::kStreamBoth;
+    }
+  }
+  result.stream_cost += predicate_cost;
+
+  // Probed mode: probe one side at every requested position, the other
+  // only where the first was non-null.
+  double probe_lr = left.probed_cost + left.density * right.probed_cost;
+  double probe_rl = right.probed_cost + right.density * left.probed_cost;
+  if (probe_lr <= probe_rl) {
+    result.probed_cost = probe_lr;
+    result.probe_left_first = true;
+  } else {
+    result.probed_cost = probe_rl;
+    result.probe_left_first = false;
+  }
+  result.probed_cost += predicate_cost;
+  result.probed_strategy = JoinStrategy::kProbeBoth;
+  return result;
+}
+
+}  // namespace seq

@@ -1,0 +1,62 @@
+#ifndef SEQ_OPTIMIZER_COST_MODEL_H_
+#define SEQ_OPTIMIZER_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "catalog/cost_params.h"
+#include "optimizer/physical_plan.h"
+#include "storage/base_sequence.h"
+#include "types/span.h"
+
+namespace seq {
+
+/// Cost summary of accessing one (possibly derived) sequence over its
+/// required range, in both access modes. `stream_cost` is the total cost of
+/// producing every record by a single positional-order scan; `probed_cost`
+/// is the total cost of probing *every* position in the range (the paper's
+/// a1/a2 convention, §4.1.3) — divide by `span_len` for a per-probe price.
+struct AccessEst {
+  double stream_cost = 0.0;
+  double probed_cost = 0.0;
+  double density = 0.0;
+  int64_t span_len = 0;
+
+  double PerProbe() const {
+    return span_len > 0 ? probed_cost / static_cast<double>(span_len) : 0.0;
+  }
+  /// Expected number of non-null records in the range.
+  double Records() const {
+    return density * static_cast<double>(span_len);
+  }
+};
+
+/// §4.1.1 — access costs to base sequences. Stream cost is pages touched ×
+/// page cost; probed cost is per-probe cost × positions in range.
+AccessEst BaseSequenceCosts(const BaseSequenceStore& store, Span range);
+
+/// Constant sequences have no access cost and density one (§4.1.1).
+AccessEst ConstantSequenceCosts(Span range);
+
+/// Outcome of costing a positional join of two inputs (§4.1.3).
+struct ComposeCostResult {
+  double stream_cost = 0.0;
+  JoinStrategy stream_strategy = JoinStrategy::kStreamBoth;
+  double probed_cost = 0.0;
+  JoinStrategy probed_strategy = JoinStrategy::kProbeBoth;  // direction below
+  bool probe_left_first = false;  ///< probed mode: probe left, then right?
+};
+
+/// §4.1.3 cost formulas. `out_density` is the post-join output density
+/// (joint density × predicate selectivity) and `joint_density` the density
+/// of positions where both inputs are non-null (predicate application
+/// count). `out_span_len` is the length of the join's required range.
+///
+///   stream = min(A1 + d1·a2, A2 + d2·a1, A1 + A2) + joint·span·K
+///   probed = min(a1 + d1·a2, a2 + d2·a1)          + joint·span·K
+ComposeCostResult ComposeCosts(const AccessEst& left, const AccessEst& right,
+                               double joint_density, int64_t out_span_len,
+                               const CostParams& params);
+
+}  // namespace seq
+
+#endif  // SEQ_OPTIMIZER_COST_MODEL_H_

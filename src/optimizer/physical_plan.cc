@@ -1,0 +1,116 @@
+#include "optimizer/physical_plan.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace seq {
+
+const char* AccessModeName(AccessMode mode) {
+  return mode == AccessMode::kStream ? "stream" : "probed";
+}
+
+const char* JoinStrategyName(JoinStrategy strategy) {
+  switch (strategy) {
+    case JoinStrategy::kStreamBoth:
+      return "B:stream-both";
+    case JoinStrategy::kStreamLeftProbeRight:
+      return "A:stream-left-probe-right";
+    case JoinStrategy::kStreamRightProbeLeft:
+      return "A:stream-right-probe-left";
+    case JoinStrategy::kProbeBoth:
+      return "probe-both";
+  }
+  return "?";
+}
+
+const char* AggStrategyName(AggStrategy strategy) {
+  return strategy == AggStrategy::kCacheA ? "cache-A" : "naive-probe";
+}
+
+const char* OffsetStrategyName(OffsetStrategy strategy) {
+  return strategy == OffsetStrategy::kIncrementalCacheB ? "cache-B"
+                                                        : "naive-search";
+}
+
+std::string PhysNode::Explain(int indent) const {
+  std::ostringstream oss;
+  oss << std::string(static_cast<size_t>(indent) * 2, ' ');
+  oss << OpKindName(op) << " [" << AccessModeName(mode);
+  switch (op) {
+    case OpKind::kCompose:
+      oss << ", " << JoinStrategyName(join_strategy);
+      break;
+    case OpKind::kWindowAgg:
+      if (window_kind == WindowKind::kTrailing) {
+        oss << ", " << AggStrategyName(agg_strategy);
+      }
+      break;
+    case OpKind::kValueOffset:
+      oss << ", " << OffsetStrategyName(offset_strategy);
+      break;
+    default:
+      break;
+  }
+  oss << "]";
+  switch (op) {
+    case OpKind::kBaseRef:
+    case OpKind::kConstantRef:
+      oss << " " << seq_name;
+      break;
+    case OpKind::kSelect:
+      oss << " " << predicate->ToString();
+      break;
+    case OpKind::kProject:
+      oss << " " << Join(columns, ", ");
+      break;
+    case OpKind::kPositionalOffset:
+    case OpKind::kValueOffset:
+      oss << " l=" << offset;
+      break;
+    case OpKind::kWindowAgg:
+      oss << " " << AggFuncName(agg_func) << "(" << agg_column << ")";
+      if (window_kind == WindowKind::kTrailing) {
+        oss << " over " << window;
+      } else if (window_kind == WindowKind::kRunning) {
+        oss << " running";
+      } else {
+        oss << " over all";
+      }
+      break;
+    case OpKind::kCompose:
+      if (predicate != nullptr) oss << " on " << predicate->ToString();
+      break;
+    case OpKind::kCollapse:
+      oss << " " << AggFuncName(agg_func) << "(" << agg_column << ") by "
+          << offset;
+      break;
+    case OpKind::kExpand:
+      oss << " by " << offset;
+      break;
+  }
+  oss << "  {required=" << required.ToString()
+      << " density=" << FormatDouble(est_density)
+      << " cost=" << FormatDouble(est_cost);
+  if (cache_size > 0) oss << " cache=" << cache_size;
+  oss << "}\n";
+  for (const PhysNodePtr& child : children) {
+    oss << child->Explain(indent + 1);
+  }
+  return oss.str();
+}
+
+std::string PhysicalPlan::Explain() const {
+  std::ostringstream oss;
+  oss << "Start [" << AccessModeName(root_mode);
+  if (root_mode == AccessMode::kStream) {
+    oss << " over " << output_span.ToString();
+  } else {
+    oss << " at " << positions.size() << " positions";
+  }
+  oss << "] est_cost=" << FormatDouble(est_cost) << "\n";
+  if (root != nullptr) oss << root->Explain(1);
+  return oss.str();
+}
+
+}  // namespace seq

@@ -1,0 +1,106 @@
+#ifndef SEQ_OPTIMIZER_PHYSICAL_PLAN_H_
+#define SEQ_OPTIMIZER_PHYSICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "logical/logical_op.h"
+#include "types/schema.h"
+#include "types/span.h"
+
+namespace seq {
+
+/// The access mode an operator offers to its consumer (paper §3.3): stream
+/// ("get the next non-Null record") or probed ("get the record at a
+/// specific position").
+enum class AccessMode : uint8_t { kStream, kProbed };
+
+const char* AccessModeName(AccessMode mode);
+
+/// Physical strategies for the compose operator (paper §3.3, Fig. 4).
+enum class JoinStrategy : uint8_t {
+  kStreamBoth,            // Join-Strategy-B: lock-step scan of both inputs
+  kStreamLeftProbeRight,  // Join-Strategy-A: stream left, probe right
+  kStreamRightProbeLeft,  // Join-Strategy-A mirrored
+  kProbeBoth,             // probed-mode output: probe both inputs
+};
+
+const char* JoinStrategyName(JoinStrategy strategy);
+
+/// Physical strategies for windowed aggregates (paper §3.5, Fig. 5.A).
+enum class AggStrategy : uint8_t {
+  kCacheA,      // ring cache holding the scope; each input touched once
+  kNaiveProbe,  // re-probe the whole window for every output position
+};
+
+const char* AggStrategyName(AggStrategy strategy);
+
+/// Physical strategies for value offsets (paper §3.5, Fig. 5.B).
+enum class OffsetStrategy : uint8_t {
+  kIncrementalCacheB,  // derive out(i) from out(i-1) and the cached input
+  kNaiveSearch,        // search backward/forward from every position
+};
+
+const char* OffsetStrategyName(OffsetStrategy strategy);
+
+struct PhysNode;
+using PhysNodePtr = std::shared_ptr<const PhysNode>;
+
+/// An immutable physical-plan node: a logical operator with its access
+/// mode, physical strategy, evaluation range and cost estimate fixed.
+/// The execution engine instantiates operator objects from these
+/// descriptors; the optimizer's DP shares subplans freely.
+struct PhysNode {
+  OpKind op = OpKind::kBaseRef;
+  AccessMode mode = AccessMode::kStream;
+  JoinStrategy join_strategy = JoinStrategy::kStreamBoth;
+  AggStrategy agg_strategy = AggStrategy::kCacheA;
+  OffsetStrategy offset_strategy = OffsetStrategy::kIncrementalCacheB;
+  /// kProbeBoth composes: probe the left child first (cheaper rejection)?
+  bool probe_left_first = true;
+
+  std::vector<PhysNodePtr> children;
+
+  // Operator parameters (mirrors LogicalOp).
+  std::string seq_name;
+  ExprPtr predicate;
+  std::vector<std::string> columns;
+  std::vector<std::string> renames;
+  int64_t offset = 0;  // positional/value offset; collapse factor
+  AggFunc agg_func = AggFunc::kSum;
+  WindowKind window_kind = WindowKind::kTrailing;
+  int64_t window = 1;
+  std::string agg_column;
+  std::string output_name;
+
+  // Annotation.
+  SchemaPtr out_schema;
+  Span out_span = Span::Empty();   ///< where output records may exist
+  Span required = Span::Empty();   ///< range this node will be evaluated on
+  double est_density = 0.0;
+  double est_cost = 0.0;           ///< estimated cost in `mode` over `required`
+  int64_t cache_size = 0;          ///< operator cache records (§3.5)
+
+  /// Indented, annotated rendering.
+  std::string Explain(int indent = 0) const;
+};
+
+/// A complete query evaluation plan: the Start operator's input plus how
+/// the root is driven (full-range stream or explicit-position probes,
+/// Fig. 6 query template).
+struct PhysicalPlan {
+  PhysNodePtr root;
+  AccessMode root_mode = AccessMode::kStream;
+  Span output_span = Span::Empty();       ///< range queried (stream driving)
+  std::vector<Position> positions;        ///< explicit positions (probed driving)
+  SchemaPtr schema;
+  double est_cost = 0.0;
+
+  std::string Explain() const;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_OPTIMIZER_PHYSICAL_PLAN_H_

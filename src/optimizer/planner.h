@@ -1,0 +1,95 @@
+#ifndef SEQ_OPTIMIZER_PLANNER_H_
+#define SEQ_OPTIMIZER_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "catalog/cost_params.h"
+#include "common/result.h"
+#include "logical/logical_op.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/physical_plan.h"
+
+namespace seq {
+
+/// Enumeration counters for the Property 4.1 analysis: the number of join
+/// plans evaluated (O(N·2^{N-1}) per block) and the maximum number of plans
+/// retained simultaneously (O(C(N, ceil(N/2))) with level-wise freeing).
+struct PlannerStats {
+  int64_t plans_considered = 0;
+  int64_t plans_retained_max = 0;
+  int64_t join_blocks = 0;
+  int64_t largest_block = 0;
+  int64_t nonunit_blocks = 0;
+};
+
+/// The cheapest plans found for one (derived) sequence, in both access
+/// modes, over its required range (paper §4.1: "plans and cost estimates
+/// for the output sequence of the block accessed in both stream and probed
+/// modes").
+struct PlannedSeq {
+  PhysNodePtr stream_plan;
+  PhysNodePtr probed_plan;
+  double stream_cost = 0.0;
+  double probed_cost = 0.0;  // total for probing every position in range
+  double density = 0.0;
+  Span required = Span::Empty();
+  SchemaPtr schema;
+  /// Name of the single base sequence feeding this plan, if exactly one
+  /// (for null-correlation lookups); empty otherwise.
+  std::string single_source;
+
+  AccessEst ToAccessEst() const {
+    AccessEst est;
+    est.stream_cost = stream_cost;
+    est.probed_cost = probed_cost;
+    est.density = density;
+    est.span_len = required.IsEmpty() ? 0 : required.Length();
+    return est;
+  }
+};
+
+/// Bottom-up, block-wise plan generation (paper §4, Steps 4–5).
+///
+/// Non-unit-scope operators (aggregates, value offsets, collapse) cut the
+/// graph into blocks. Within a block of positional joins the compose tree
+/// is flattened and join order chosen by a Selinger-style left-deep DP that
+/// retains, per input subset, the cheapest stream-mode and cheapest
+/// probed-mode candidate (the sequence analogue of interesting orders).
+/// Non-unit-scope blocks choose between the naive and incremental
+/// algorithms and between Cache-Strategy-A and probing per §4.1.2.
+///
+/// Requires a fully annotated graph (bottom-up meta plus required spans);
+/// every node's `required` span must be bounded.
+class Planner {
+ public:
+  /// Hard ceiling on DP width (CostParams::max_dp_items may lower it).
+  static constexpr int kMaxDpItems = 16;
+
+  Planner(const Catalog& catalog, const CostParams& params,
+          PlannerStats* stats)
+      : catalog_(catalog), params_(params), stats_(stats) {}
+
+  Result<PlannedSeq> Plan(const LogicalOp& op);
+
+ private:
+  Result<PlannedSeq> PlanBaseRef(const LogicalOp& op);
+  Result<PlannedSeq> PlanConstantRef(const LogicalOp& op);
+  Result<PlannedSeq> PlanSelect(const LogicalOp& op);
+  Result<PlannedSeq> PlanProject(const LogicalOp& op);
+  Result<PlannedSeq> PlanPositionalOffset(const LogicalOp& op);
+  Result<PlannedSeq> PlanValueOffset(const LogicalOp& op);
+  Result<PlannedSeq> PlanWindowAgg(const LogicalOp& op);
+  Result<PlannedSeq> PlanCollapse(const LogicalOp& op);
+  Result<PlannedSeq> PlanExpand(const LogicalOp& op);
+  Result<PlannedSeq> PlanComposeBlock(const LogicalOp& op);
+
+  const Catalog& catalog_;
+  CostParams params_;
+  PlannerStats* stats_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_OPTIMIZER_PLANNER_H_

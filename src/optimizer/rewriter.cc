@@ -1,0 +1,325 @@
+#include "optimizer/rewriter.h"
+
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace seq {
+namespace {
+
+constexpr int kMaxPasses = 32;
+
+/// Minimal meta for a freshly created unit-scope wrapper so later rules can
+/// keep consulting schemas; full re-annotation happens after rewriting.
+void InheritSchema(LogicalOp* op) {
+  SEQ_CHECK(op->arity() >= 1);
+  const SeqMeta& in = op->input()->meta();
+  SeqMeta& meta = op->mutable_meta();
+  meta.annotated = in.annotated;
+  meta.schema = in.schema;
+  meta.span = in.span;
+  meta.density = in.density;
+  meta.source_names = in.source_names;
+  meta.stats_store = in.stats_store;
+  meta.required = in.required;
+}
+
+/// Output name of field `i` of a projection.
+std::string ProjectOutputName(const LogicalOp& project, size_t i) {
+  if (i < project.renames().size() && !project.renames()[i].empty()) {
+    return project.renames()[i];
+  }
+  return project.columns()[i];
+}
+
+}  // namespace
+
+Status Rewriter::Rewrite(LogicalOpPtr* root) {
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    if (!RewriteNode(root)) return Status::OK();
+  }
+  return Status::OK();  // fixpoint not reached; tree is still equivalent
+}
+
+bool Rewriter::RewriteNode(LogicalOpPtr* node) {
+  bool changed = false;
+  // Children first so parent rules see settled subtrees.
+  for (size_t i = 0; i < (*node)->arity(); ++i) {
+    changed |= RewriteNode(&(*node)->mutable_input(i));
+  }
+  switch ((*node)->kind()) {
+    case OpKind::kSelect:
+      changed |= RewriteSelect(node);
+      break;
+    case OpKind::kProject:
+      changed |= RewriteProject(node);
+      break;
+    case OpKind::kPositionalOffset:
+      changed |= RewriteOffset(node);
+      break;
+    default:
+      break;
+  }
+  return changed;
+}
+
+bool Rewriter::RewriteSelect(LogicalOpPtr* node) {
+  LogicalOpPtr select = *node;
+  LogicalOpPtr child = select->input();
+  switch (child->kind()) {
+    case OpKind::kSelect: {
+      // merge-selects: two successive selections combine (§3.1).
+      LogicalOpPtr merged = LogicalOp::Select(
+          child->input(), And(child->predicate(), select->predicate()));
+      InheritSchema(merged.get());
+      *node = std::move(merged);
+      Log("merge-selects");
+      return true;
+    }
+    case OpKind::kProject: {
+      // select-through-project: all predicate attributes exist below the
+      // projection by construction; rename them back to source names.
+      std::map<std::string, std::string> back;
+      for (size_t i = 0; i < child->columns().size(); ++i) {
+        back[ProjectOutputName(*child, i)] = child->columns()[i];
+      }
+      ExprPtr pred = select->predicate()->RenameColumns(back);
+      LogicalOpPtr pushed = LogicalOp::Select(child->input(), pred);
+      InheritSchema(pushed.get());
+      LogicalOpPtr project =
+          LogicalOp::Project(pushed, child->columns(), child->renames());
+      project->mutable_meta() = child->meta();
+      *node = std::move(project);
+      Log("select-through-project");
+      return true;
+    }
+    case OpKind::kPositionalOffset: {
+      // select-through-offset: legal because a positional offset carries
+      // records unchanged; a pos()-dependent predicate must stay put.
+      if (select->predicate()->ContainsPosition()) return false;
+      LogicalOpPtr pushed =
+          LogicalOp::Select(child->input(), select->predicate());
+      InheritSchema(pushed.get());
+      LogicalOpPtr offset =
+          LogicalOp::PositionalOffset(pushed, child->offset());
+      offset->mutable_meta() = child->meta();
+      *node = std::move(offset);
+      Log("select-through-offset");
+      return true;
+    }
+    case OpKind::kCompose: {
+      // select-into-compose: route each conjunct to the input whose
+      // attributes it references; mixed conjuncts join the compose
+      // predicate. Requires annotated compose inputs for the name map.
+      const SeqMeta& lmeta = child->input(0)->meta();
+      const SeqMeta& rmeta = child->input(1)->meta();
+      if (!lmeta.annotated || !rmeta.annotated) return false;
+      std::vector<Schema::ConcatField> origins =
+          Schema::ConcatFields(*lmeta.schema, *rmeta.schema);
+      // Concat-output name -> (side, original name).
+      std::map<std::string, std::pair<int, std::string>> origin_of;
+      for (const Schema::ConcatField& cf : origins) {
+        const Schema& src = cf.side == 0 ? *lmeta.schema : *rmeta.schema;
+        origin_of[cf.out_name] = {cf.side, src.field(cf.index).name};
+      }
+      // Selections on a *dense derived* input (value offsets and
+      // running/overall aggregates are non-null at essentially every
+      // position) are better applied at the join: pushing them below the
+      // compose would make the join's lock-step skip degrade into a
+      // position-by-position scan of the dense side.
+      bool left_dense = child->input(0)->IsNonUnitScope();
+      bool right_dense = child->input(1)->IsNonUnitScope();
+      std::vector<ExprPtr> conjuncts;
+      SplitConjuncts(select->predicate(), &conjuncts);
+      std::vector<ExprPtr> left_only, right_only, mixed;
+      for (const ExprPtr& conj : conjuncts) {
+        std::vector<std::pair<int, std::string>> cols;
+        conj->CollectColumns(&cols);
+        bool any_left = false, any_right = false, unknown = false;
+        for (const auto& [side, name] : cols) {
+          (void)side;  // select predicates are all side 0
+          auto it = origin_of.find(name);
+          if (it == origin_of.end()) {
+            unknown = true;
+            break;
+          }
+          (it->second.first == 0 ? any_left : any_right) = true;
+        }
+        if (unknown) return false;  // inconsistent annotation; leave alone
+        // Rewrite concat names back to input-relative (side, name) refs.
+        std::map<std::pair<int, std::string>, std::pair<int, std::string>>
+            remap;
+        for (const auto& [out_name, origin] : origin_of) {
+          remap[{0, out_name}] = origin;
+        }
+        ExprPtr remapped = conj->RemapColumns(remap);
+        if (any_left && any_right) {
+          mixed.push_back(remapped);
+        } else if (any_right) {
+          if (right_dense) {
+            mixed.push_back(remapped);
+          } else {
+            // All references are side 1 now; a selection on the right
+            // input sees them as side 0.
+            right_only.push_back(remapped->WithAllSides(0));
+          }
+        } else if (any_left && left_dense) {
+          mixed.push_back(remapped);
+        } else {
+          // Left-only (or column-free): left names are unchanged by concat.
+          left_only.push_back(remapped);
+        }
+      }
+      // Even all-mixed predicates are worth absorbing: they become join
+      // predicates the block planner can apply during the positional join.
+      LogicalOpPtr new_left = child->input(0);
+      if (ExprPtr lp = ConjoinAll(left_only); lp != nullptr) {
+        new_left = LogicalOp::Select(new_left, lp);
+        InheritSchema(new_left.get());
+      }
+      LogicalOpPtr new_right = child->input(1);
+      if (ExprPtr rp = ConjoinAll(right_only); rp != nullptr) {
+        new_right = LogicalOp::Select(new_right, rp);
+        InheritSchema(new_right.get());
+      }
+      std::vector<ExprPtr> join_terms = {child->predicate()};
+      join_terms.insert(join_terms.end(), mixed.begin(), mixed.end());
+      LogicalOpPtr compose = LogicalOp::Compose(new_left, new_right,
+                                                ConjoinAll(join_terms));
+      compose->mutable_meta() = child->meta();
+      *node = std::move(compose);
+      Log("select-into-compose");
+      return true;
+    }
+    default:
+      // Deliberately no rule for kValueOffset / kWindowAgg / kCollapse:
+      // "a selection cannot be pushed through an aggregate operator or a
+      // value offset operator" (§3.1).
+      return false;
+  }
+}
+
+bool Rewriter::RewriteProject(LogicalOpPtr* node) {
+  LogicalOpPtr project = *node;
+  LogicalOpPtr child = project->input();
+  if (child->kind() == OpKind::kProject) {
+    // merge-projects: resolve outer column names against the inner
+    // projection's outputs.
+    std::vector<std::string> columns;
+    std::vector<std::string> renames;
+    for (size_t i = 0; i < project->columns().size(); ++i) {
+      const std::string& outer_col = project->columns()[i];
+      bool found = false;
+      for (size_t j = 0; j < child->columns().size(); ++j) {
+        if (ProjectOutputName(*child, j) == outer_col) {
+          columns.push_back(child->columns()[j]);
+          renames.push_back(ProjectOutputName(*project, i));
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;  // ill-formed; let annotation report it
+    }
+    LogicalOpPtr merged =
+        LogicalOp::Project(child->input(), std::move(columns),
+                           std::move(renames));
+    merged->mutable_meta() = project->meta();
+    *node = std::move(merged);
+    Log("merge-projects");
+    return true;
+  }
+  // drop-identity-project.
+  const SeqMeta& in = child->meta();
+  if (in.annotated && in.schema != nullptr &&
+      project->columns().size() == in.schema->num_fields()) {
+    bool identity = true;
+    for (size_t i = 0; i < project->columns().size(); ++i) {
+      if (project->columns()[i] != in.schema->field(i).name ||
+          ProjectOutputName(*project, i) != in.schema->field(i).name) {
+        identity = false;
+        break;
+      }
+    }
+    if (identity) {
+      *node = child;
+      Log("drop-identity-project");
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Rewriter::RewriteOffset(LogicalOpPtr* node) {
+  LogicalOpPtr offset = *node;
+  if (offset->offset() == 0) {
+    *node = offset->input();
+    Log("drop-zero-offset");
+    return true;
+  }
+  LogicalOpPtr child = offset->input();
+  int64_t l = offset->offset();
+  switch (child->kind()) {
+    case OpKind::kPositionalOffset: {
+      LogicalOpPtr merged =
+          LogicalOp::PositionalOffset(child->input(), l + child->offset());
+      InheritSchema(merged.get());
+      *node = std::move(merged);
+      Log("merge-offsets");
+      return true;
+    }
+    // No offset-through-select rule: its inverse (select-through-offset)
+    // defines the normal form — selections sit below positional offsets —
+    // and having both would oscillate.
+    case OpKind::kProject: {
+      LogicalOpPtr inner = LogicalOp::PositionalOffset(child->input(), l);
+      InheritSchema(inner.get());
+      LogicalOpPtr project =
+          LogicalOp::Project(inner, child->columns(), child->renames());
+      project->mutable_meta() = child->meta();
+      *node = std::move(project);
+      Log("offset-through-project");
+      return true;
+    }
+    case OpKind::kCompose: {
+      // A positional offset distributes over a positional join: shifting
+      // the joined sequence equals joining the shifted inputs (compose has
+      // unit, relative scope on both inputs).
+      if (child->predicate() != nullptr &&
+          child->predicate()->ContainsPosition()) {
+        return false;
+      }
+      LogicalOpPtr left = LogicalOp::PositionalOffset(child->input(0), l);
+      InheritSchema(left.get());
+      LogicalOpPtr right = LogicalOp::PositionalOffset(child->input(1), l);
+      InheritSchema(right.get());
+      LogicalOpPtr compose =
+          LogicalOp::Compose(left, right, child->predicate());
+      compose->mutable_meta() = child->meta();
+      *node = std::move(compose);
+      Log("offset-through-compose");
+      return true;
+    }
+    case OpKind::kWindowAgg: {
+      // Trailing windows have relative scope, so the offset commutes
+      // (§3.1: "a positional offset can be pushed through any operator of
+      // relative scope"); running/overall aggregates do not.
+      if (child->window_kind() != WindowKind::kTrailing) return false;
+      LogicalOpPtr inner = LogicalOp::PositionalOffset(child->input(), l);
+      InheritSchema(inner.get());
+      LogicalOpPtr agg = LogicalOp::WindowAgg(inner, child->agg_func(),
+                                              child->agg_column(),
+                                              child->window(),
+                                              child->output_name());
+      agg->mutable_meta() = child->meta();
+      *node = std::move(agg);
+      Log("offset-through-trailing-agg");
+      return true;
+    }
+    default:
+      // No rule for kValueOffset (non-relative scope).
+      return false;
+  }
+}
+
+}  // namespace seq

@@ -1,0 +1,62 @@
+#ifndef SEQ_OPTIMIZER_REWRITER_H_
+#define SEQ_OPTIMIZER_REWRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "logical/logical_op.h"
+
+namespace seq {
+
+/// Equivalence-preserving graph transformations (paper §3.1, Step 3).
+///
+/// Implemented rules (each local to a pair of operators, per Prop. 3.1):
+///   merge-selects           σp2(σp1(x))            → σ(p1 ∧ p2)(x)
+///   merge-projects          π2(π1(x))              → π'(x)
+///   merge-offsets           offa(offb(x))          → off(a+b)(x)
+///   drop-identity-project   π(all columns, no renames)(x) → x
+///   select-through-project  σ(π(x))                → π(σ'(x))
+///   select-through-offset   σ(off(x))              → off(σ(x))   [no pos()]
+///   select-into-compose     σ(A ∘ B): single-side conjuncts move onto the
+///                           referenced input; mixed conjuncts become the
+///                           compose's join predicate
+///   offset-through-project / offset-through-compose /
+///   offset-through-trailing-agg: positional offsets sink through
+///                           relative-scope operators (§3.1); offsets stay
+///                           above selections — select-through-offset
+///                           defines that normal form
+///
+/// The paper's *illegal* transformations are enforced by omission: no rule
+/// moves a selection or positional offset across a value offset or a
+/// non-trailing aggregate, and no rule moves non-unit-scope operators
+/// across a compose.
+///
+/// The rewriter requires a bottom-up-annotated tree (it consults child
+/// schemas to route compose conjuncts) and leaves stale annotations above
+/// changed nodes; the optimizer re-annotates afterwards.
+class Rewriter {
+ public:
+  Rewriter() = default;
+
+  /// Rewrites to a fixpoint (bounded). Returns the rule applications in
+  /// order for explain/tests.
+  Status Rewrite(LogicalOpPtr* root);
+
+  const std::vector<std::string>& applied() const { return applied_; }
+
+ private:
+  /// Applies rules rooted at *node once; true if anything changed.
+  bool RewriteNode(LogicalOpPtr* node);
+  bool RewriteSelect(LogicalOpPtr* node);
+  bool RewriteProject(LogicalOpPtr* node);
+  bool RewriteOffset(LogicalOpPtr* node);
+
+  void Log(const std::string& rule) { applied_.push_back(rule); }
+
+  std::vector<std::string> applied_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_OPTIMIZER_REWRITER_H_

@@ -1,0 +1,124 @@
+#include "optimizer/selectivity.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace seq {
+namespace {
+
+constexpr double kMinSelectivity = 0.0005;
+
+double Clamp(double s) { return std::clamp(s, kMinSelectivity, 1.0); }
+
+/// Column statistics for `name` in the stats store, if usable.
+const ColumnStats* FindStats(const BaseSequenceStore* store,
+                             const std::string& name) {
+  if (store == nullptr) return nullptr;
+  std::optional<size_t> idx = store->schema()->FindField(name);
+  if (!idx.has_value()) return nullptr;
+  const std::vector<ColumnStats>& all = store->column_stats();
+  if (*idx >= all.size()) return nullptr;
+  const ColumnStats& cs = all[*idx];
+  return cs.count > 0 ? &cs : nullptr;
+}
+
+double EstimateComparison(BinaryOp op, const Expr& lhs, const Expr& rhs,
+                          const BaseSequenceStore* store,
+                          const CostParams& params) {
+  // Only the (column cmp literal) and (literal cmp column) shapes get a
+  // statistics-driven estimate; everything else takes the defaults.
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  bool column_on_left = false;
+  if (lhs.kind() == ExprKind::kColumn && rhs.kind() == ExprKind::kLiteral) {
+    col = &lhs;
+    lit = &rhs;
+    column_on_left = true;
+  } else if (lhs.kind() == ExprKind::kLiteral &&
+             rhs.kind() == ExprKind::kColumn) {
+    col = &rhs;
+    lit = &lhs;
+  }
+  if (col == nullptr || !IsNumeric(lit->literal().type())) {
+    return (op == BinaryOp::kEq) ? params.default_eq_selectivity
+           : (op == BinaryOp::kNe)
+               ? 1.0 - params.default_eq_selectivity
+               : params.default_range_selectivity;
+  }
+  const ColumnStats* cs = FindStats(store, col->column_name());
+  if (cs == nullptr) {
+    return (op == BinaryOp::kEq) ? params.default_eq_selectivity
+           : (op == BinaryOp::kNe)
+               ? 1.0 - params.default_eq_selectivity
+               : params.default_range_selectivity;
+  }
+  double v = lit->literal().AsDouble();
+  double below = cs->FractionBelow(v);  // P(col < v)
+  // Normalize to "column OP literal".
+  switch (op) {
+    case BinaryOp::kEq:
+      return cs->distinct > 0 ? 1.0 / static_cast<double>(cs->distinct)
+                              : params.default_eq_selectivity;
+    case BinaryOp::kNe:
+      return cs->distinct > 0 ? 1.0 - 1.0 / static_cast<double>(cs->distinct)
+                              : 1.0 - params.default_eq_selectivity;
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+      return column_on_left ? below : 1.0 - below;
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return column_on_left ? 1.0 - below : below;
+    default:
+      return params.default_range_selectivity;
+  }
+}
+
+double EstimateImpl(const Expr& pred, const BaseSequenceStore* store,
+                    const CostParams& params) {
+  switch (pred.kind()) {
+    case ExprKind::kLiteral:
+      if (pred.literal().type() == TypeId::kBool) {
+        return pred.literal().boolean() ? 1.0 : kMinSelectivity;
+      }
+      return 1.0;
+    case ExprKind::kColumn:
+      // A bare bool column as predicate: assume half.
+      return 0.5;
+    case ExprKind::kPosition:
+      return 1.0;
+    case ExprKind::kUnary:
+      if (pred.unary_op() == UnaryOp::kNot) {
+        return 1.0 - EstimateImpl(*pred.operand(), store, params);
+      }
+      return 1.0;
+    case ExprKind::kBinary: {
+      BinaryOp op = pred.binary_op();
+      if (op == BinaryOp::kAnd) {
+        return EstimateImpl(*pred.left(), store, params) *
+               EstimateImpl(*pred.right(), store, params);
+      }
+      if (op == BinaryOp::kOr) {
+        double a = EstimateImpl(*pred.left(), store, params);
+        double b = EstimateImpl(*pred.right(), store, params);
+        return a + b - a * b;
+      }
+      if (IsComparison(op)) {
+        return EstimateComparison(op, *pred.left(), *pred.right(), store,
+                                  params);
+      }
+      return 1.0;  // arithmetic subtree — not a predicate by itself
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double EstimateSelectivity(const ExprPtr& pred,
+                           const BaseSequenceStore* stats_store,
+                           const CostParams& params) {
+  if (pred == nullptr) return 1.0;
+  return Clamp(EstimateImpl(*pred, stats_store, params));
+}
+
+}  // namespace seq

@@ -1,0 +1,26 @@
+#ifndef SEQ_OPTIMIZER_SELECTIVITY_H_
+#define SEQ_OPTIMIZER_SELECTIVITY_H_
+
+#include "catalog/cost_params.h"
+#include "expr/expr.h"
+#include "storage/base_sequence.h"
+#include "types/schema.h"
+
+namespace seq {
+
+/// Estimates the fraction of records satisfying `pred` (paper §3:
+/// "distributions of values in the columns ... used to determine the
+/// selectivity of predicates").
+///
+/// When `stats_store` is non-null and its schema still names the predicate's
+/// columns, range predicates against literals interpolate on [min, max] and
+/// equality predicates use 1/distinct; otherwise the CostParams defaults
+/// apply. Conjunctions multiply, disjunctions use inclusion–exclusion,
+/// negation complements. Estimates are clamped to [0.0005, 1].
+double EstimateSelectivity(const ExprPtr& pred,
+                           const BaseSequenceStore* stats_store,
+                           const CostParams& params);
+
+}  // namespace seq
+
+#endif  // SEQ_OPTIMIZER_SELECTIVITY_H_

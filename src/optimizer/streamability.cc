@@ -1,0 +1,111 @@
+#include "optimizer/streamability.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace seq {
+namespace {
+
+const char* ModeName(StreamabilityReport::Mode mode) {
+  switch (mode) {
+    case StreamabilityReport::Mode::kDirect:
+      return "direct (Thm 3.1)";
+    case StreamabilityReport::Mode::kEffective:
+      return "effective scope (Lemma 3.2)";
+    case StreamabilityReport::Mode::kIncremental:
+      return "incremental (Cache-Strategy-B)";
+    case StreamabilityReport::Mode::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+void Analyze(const LogicalOp& op, StreamabilityReport* report) {
+  for (const LogicalOpPtr& input : op.inputs()) {
+    Analyze(*input, report);
+  }
+  StreamabilityReport::OperatorEntry entry{&op,
+                                           StreamabilityReport::Mode::kDirect,
+                                           0};
+  switch (op.kind()) {
+    case OpKind::kBaseRef:
+    case OpKind::kConstantRef:
+      return;  // leaves hold no cache
+    case OpKind::kSelect:
+    case OpKind::kProject:
+      entry.mode = StreamabilityReport::Mode::kDirect;
+      entry.cache_records = 0;
+      break;
+    case OpKind::kCompose:
+      // Unit scope on both inputs; the lock-step merge holds one pending
+      // record per input.
+      entry.mode = StreamabilityReport::Mode::kDirect;
+      entry.cache_records = 2;
+      break;
+    case OpKind::kPositionalOffset:
+      // Fixed size-one scope, not sequential (§2.3); the effective scope
+      // of §3.4 broadens it to a sequential window of |l| + 1.
+      entry.mode = StreamabilityReport::Mode::kEffective;
+      entry.cache_records = std::abs(op.offset()) + 1;
+      break;
+    case OpKind::kValueOffset:
+      // Literal scope unbounded; Cache-Strategy-B (§3.5) derives out(i)
+      // from out(i-1) with the |l| most recent inputs cached.
+      entry.mode = StreamabilityReport::Mode::kIncremental;
+      entry.cache_records = std::abs(op.offset());
+      break;
+    case OpKind::kWindowAgg:
+      switch (op.window_kind()) {
+        case WindowKind::kTrailing:
+          // Sequential fixed scope of size W: the Thm 3.1 case proper.
+          entry.mode = StreamabilityReport::Mode::kDirect;
+          entry.cache_records = op.window();
+          break;
+        case WindowKind::kRunning:
+        case WindowKind::kAll:
+          // Unbounded scope, but an O(1) accumulator substitutes for
+          // caching the scope (the incremental idea applied to
+          // aggregation). Note kAll delays output until the input ends;
+          // it is still one scan with constant memory.
+          entry.mode = StreamabilityReport::Mode::kIncremental;
+          entry.cache_records = 1;
+          break;
+      }
+      break;
+    case OpKind::kCollapse:
+      entry.mode = StreamabilityReport::Mode::kIncremental;
+      entry.cache_records = 1;  // one bucket accumulator
+      break;
+    case OpKind::kExpand:
+      entry.mode = StreamabilityReport::Mode::kEffective;
+      entry.cache_records = 1;  // the input record being replicated
+      break;
+  }
+  if (entry.mode == StreamabilityReport::Mode::kBlocked) {
+    report->stream_access = false;
+  }
+  report->total_cache_records += entry.cache_records;
+  report->operators.push_back(entry);
+}
+
+}  // namespace
+
+StreamabilityReport AnalyzeStreamability(const LogicalOp& graph) {
+  StreamabilityReport report;
+  Analyze(graph, &report);
+  return report;
+}
+
+std::string StreamabilityReport::ToString() const {
+  std::ostringstream oss;
+  oss << (stream_access ? "stream-access evaluation: YES"
+                        : "stream-access evaluation: NO")
+      << ", total cache " << total_cache_records << " records\n";
+  for (const OperatorEntry& entry : operators) {
+    oss << "  " << entry.op->Describe() << ": " << ModeName(entry.mode)
+        << ", cache " << entry.cache_records << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace seq

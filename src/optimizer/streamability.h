@@ -1,0 +1,51 @@
+#ifndef SEQ_OPTIMIZER_STREAMABILITY_H_
+#define SEQ_OPTIMIZER_STREAMABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "logical/logical_op.h"
+
+namespace seq {
+
+/// Static stream-access analysis (paper §3.4): Theorem 3.1 — "if every
+/// operator in a query graph has a sequential, fixed-size scope on all its
+/// inputs, and if caches of the size of the scopes are used, then the
+/// query has a stream-access evaluation" — extended per Lemma 3.2 with
+/// *effective* scopes, and per §3.5 with the incremental algorithm
+/// (Cache-Strategy-B), which restores cache-finiteness for value offsets
+/// whose literal scope is unbounded.
+struct StreamabilityReport {
+  /// How one operator can participate in a single-scan evaluation.
+  enum class Mode {
+    kDirect,       // sequential fixed scope (Thm 3.1)
+    kEffective,    // broadened to a sequential fixed effective scope (L3.2)
+    kIncremental,  // Cache-Strategy-B derives out(i) from out(i-1) (§3.5)
+    kBlocked,      // needs unbounded state (e.g. whole-sequence aggregate)
+  };
+
+  struct OperatorEntry {
+    const LogicalOp* op;
+    Mode mode;
+    int64_t cache_records;  // bound on the operator's cache size
+  };
+
+  /// True iff every operator admits one of the cache-finite modes: the
+  /// evaluation is a single scan of the base sequences with caches of
+  /// constant total size (the paper's "stream-access property").
+  bool stream_access = true;
+
+  /// Σ cache bounds over all operators when stream_access holds.
+  int64_t total_cache_records = 0;
+
+  std::vector<OperatorEntry> operators;
+
+  std::string ToString() const;
+};
+
+/// Analyzes the graph structurally (no catalog needed).
+StreamabilityReport AnalyzeStreamability(const LogicalOp& graph);
+
+}  // namespace seq
+
+#endif  // SEQ_OPTIMIZER_STREAMABILITY_H_

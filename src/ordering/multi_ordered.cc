@@ -1,0 +1,94 @@
+#include "ordering/multi_ordered.h"
+
+#include <algorithm>
+#include <set>
+
+namespace seq {
+
+Result<MultiOrderedSet> MultiOrderedSet::Create(
+    SchemaPtr schema, std::vector<std::string> ordering_names) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("null schema");
+  }
+  if (ordering_names.empty()) {
+    return Status::InvalidArgument("need at least one ordering");
+  }
+  std::set<std::string> seen;
+  for (const std::string& name : ordering_names) {
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("duplicate ordering '" + name + "'");
+    }
+    if (schema->FindField(name).has_value()) {
+      return Status::InvalidArgument("ordering '" + name +
+                                     "' collides with a record field");
+    }
+  }
+  return MultiOrderedSet(std::move(schema), std::move(ordering_names));
+}
+
+Status MultiOrderedSet::Add(std::vector<Position> positions, Record rec) {
+  if (positions.size() != ordering_names_.size()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(ordering_names_.size()) +
+        " positions, got " + std::to_string(positions.size()));
+  }
+  if (!RecordMatchesSchema(rec, *schema_)) {
+    return Status::TypeError("record does not match schema " +
+                             schema_->ToString());
+  }
+  for (size_t k = 0; k < positions.size(); ++k) {
+    for (const Row& row : rows_) {
+      if (row.positions[k] == positions[k]) {
+        return Status::InvalidArgument(
+            "duplicate position " + std::to_string(positions[k]) +
+            " in ordering '" + ordering_names_[k] + "'");
+      }
+    }
+  }
+  rows_.push_back(Row{std::move(positions), std::move(rec)});
+  return Status::OK();
+}
+
+Result<BaseSequencePtr> MultiOrderedSet::AsSequence(
+    const std::string& ordering, int records_per_page,
+    AccessCosts costs) const {
+  auto it = std::find(ordering_names_.begin(), ordering_names_.end(),
+                      ordering);
+  if (it == ordering_names_.end()) {
+    return Status::NotFound("no ordering named '" + ordering + "'");
+  }
+  size_t key = static_cast<size_t>(it - ordering_names_.begin());
+
+  std::vector<Field> fields;
+  std::vector<size_t> other_orderings;
+  for (size_t k = 0; k < ordering_names_.size(); ++k) {
+    if (k == key) continue;
+    fields.push_back(Field{ordering_names_[k], TypeId::kInt64});
+    other_orderings.push_back(k);
+  }
+  for (const Field& f : schema_->fields()) fields.push_back(f);
+  SchemaPtr out_schema = Schema::Make(std::move(fields));
+
+  std::vector<const Row*> sorted;
+  sorted.reserve(rows_.size());
+  for (const Row& row : rows_) sorted.push_back(&row);
+  std::sort(sorted.begin(), sorted.end(),
+            [key](const Row* a, const Row* b) {
+              return a->positions[key] < b->positions[key];
+            });
+
+  auto store = std::make_shared<BaseSequenceStore>(out_schema,
+                                                   records_per_page, costs);
+  for (const Row* row : sorted) {
+    Record rec;
+    rec.reserve(out_schema->num_fields());
+    for (size_t k : other_orderings) {
+      rec.push_back(Value::Int64(row->positions[k]));
+    }
+    rec.insert(rec.end(), row->rec.begin(), row->rec.end());
+    SEQ_RETURN_IF_ERROR(store->Append(row->positions[key], std::move(rec)));
+  }
+  return store;
+}
+
+}  // namespace seq

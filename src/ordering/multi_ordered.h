@@ -1,0 +1,64 @@
+#ifndef SEQ_ORDERING_MULTI_ORDERED_H_
+#define SEQ_ORDERING_MULTI_ORDERED_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/base_sequence.h"
+
+namespace seq {
+
+/// §5.1 "Multiple Orderings": "in bitemporal databases a set of records is
+/// typically associated with transaction time as well as valid time
+/// orderings. In general, it is useful to be able to associate multiple
+/// orderings with the same set of records."
+///
+/// A MultiOrderedSet stores one record set with N named orderings; each
+/// record carries one position per ordering (unique within that ordering).
+/// AsSequence() materializes the set as a base sequence under any one
+/// ordering, with the other orderings' positions exposed as int64 columns
+/// — so the full query machinery (and its optimizations) applies to every
+/// ordering of the same data.
+class MultiOrderedSet {
+ public:
+  /// `ordering_names` (e.g. {"valid_time", "transaction_time"}) must be
+  /// non-empty, unique, and distinct from the record schema's field names.
+  static Result<MultiOrderedSet> Create(
+      SchemaPtr schema, std::vector<std::string> ordering_names);
+
+  /// Adds a record at the given positions (one per ordering, in the order
+  /// the orderings were declared). Positions must be unique per ordering.
+  Status Add(std::vector<Position> positions, Record rec);
+
+  const SchemaPtr& schema() const { return schema_; }
+  const std::vector<std::string>& ordering_names() const {
+    return ordering_names_;
+  }
+  size_t size() const { return rows_.size(); }
+
+  /// The record set as a base sequence ordered by `ordering`. The output
+  /// schema prepends the *other* orderings' positions as int64 fields
+  /// (named after their orderings), then the record fields.
+  Result<BaseSequencePtr> AsSequence(const std::string& ordering,
+                                     int records_per_page = 64,
+                                     AccessCosts costs = AccessCosts{}) const;
+
+ private:
+  struct Row {
+    std::vector<Position> positions;
+    Record rec;
+  };
+
+  MultiOrderedSet(SchemaPtr schema, std::vector<std::string> ordering_names)
+      : schema_(std::move(schema)),
+        ordering_names_(std::move(ordering_names)) {}
+
+  SchemaPtr schema_;
+  std::vector<std::string> ordering_names_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_ORDERING_MULTI_ORDERED_H_

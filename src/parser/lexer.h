@@ -1,0 +1,44 @@
+#ifndef SEQ_PARSER_LEXER_H_
+#define SEQ_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace seq {
+
+/// Token kinds of the Sequin mini-language.
+enum class TokKind : uint8_t {
+  kIdent,
+  kInt,
+  kDouble,
+  kString,
+  kSymbol,  // one of ( ) , ; = . < <= > >= == != + - * /
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;     // identifier name, symbol spelling, string body
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t line = 1;      // 1-based, for error messages
+  size_t column = 1;
+
+  bool Is(TokKind k) const { return kind == k; }
+  bool IsSymbol(const char* s) const {
+    return kind == TokKind::kSymbol && text == s;
+  }
+  bool IsIdent(const char* s) const {
+    return kind == TokKind::kIdent && text == s;
+  }
+};
+
+/// Tokenizes Sequin source. `#` starts a comment to end of line.
+/// A single `=` is the statement assignment; `==` is equality.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace seq
+
+#endif  // SEQ_PARSER_LEXER_H_

@@ -1,0 +1,51 @@
+#ifndef SEQ_PARSER_PARSER_H_
+#define SEQ_PARSER_PARSER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "logical/logical_op.h"
+
+namespace seq {
+
+/// A parsed Sequin program: named sequence definitions in order, the last
+/// one being the program's result.
+struct ParsedProgram {
+  std::map<std::string, LogicalOpPtr> definitions;
+  std::vector<std::string> order;
+  LogicalOpPtr main;  // graph of the last statement
+};
+
+/// Parses the Sequin declarative mini-language (the paper defers query
+/// language design to future work; this is a thin front end so examples
+/// and tools can state queries as text):
+///
+///   big    = select(quakes, strength > 7.0);
+///   recent = prev(big);
+///   answer = project(compose(volcanos, recent), name);
+///
+/// Statements:   NAME '=' seq-expr ';'
+/// Sequence expressions:
+///   NAME                                  earlier definition, else a base
+///                                         sequence resolved at optimize
+///   const(NAME)                           constant sequence reference
+///   select(s, pred)
+///   project(s, col [as name] {, ...})
+///   offset(s, INT)                        positional offset
+///   voffset(s, INT) | prev(s) | next(s)   value offsets
+///   sum|avg|min|max|count(s, col, over INT | running | all [, as name])
+///   compose(s1, s2 [, pred])
+///   collapse(s, INT, sum|avg|min|max|count, col)
+/// Predicates: comparisons (< <= > >= == !=) over columns, literals,
+/// + - * /, and/or/not, pos(), abs(x); `left.col` / `right.col` pick the
+/// compose input explicitly (bare names are side 0).
+Result<ParsedProgram> ParseSequin(const std::string& source);
+
+/// Convenience: the graph of the last statement.
+Result<LogicalOpPtr> ParseSequinQuery(const std::string& source);
+
+}  // namespace seq
+
+#endif  // SEQ_PARSER_PARSER_H_

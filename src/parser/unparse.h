@@ -1,0 +1,24 @@
+#ifndef SEQ_PARSER_UNPARSE_H_
+#define SEQ_PARSER_UNPARSE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "logical/logical_op.h"
+
+namespace seq {
+
+/// Renders an expression in Sequin's predicate syntax (side-1 column
+/// references become `right.name`).
+std::string UnparseExpr(const Expr& expr);
+
+/// Renders a query graph as a single Sequin statement `name = ...;`.
+/// Parsing the output reproduces a structurally equal graph — the
+/// round-trip property the parser tests rely on.
+Result<std::string> UnparseQuery(const LogicalOp& graph,
+                                 const std::string& name = "q");
+
+}  // namespace seq
+
+#endif  // SEQ_PARSER_UNPARSE_H_

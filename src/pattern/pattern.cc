@@ -1,0 +1,65 @@
+#include "pattern/pattern.h"
+
+#include "common/logging.h"
+
+namespace seq {
+
+Pattern Pattern::Start(ExprPtr predicate) {
+  SEQ_CHECK(predicate != nullptr);
+  Pattern p;
+  p.steps_.push_back(Step{std::move(predicate), 0});
+  return p;
+}
+
+Pattern Pattern::Then(ExprPtr predicate, int64_t max_gap) const {
+  SEQ_CHECK(predicate != nullptr);
+  Pattern p = *this;
+  p.steps_.push_back(Step{std::move(predicate), max_gap});
+  return p;
+}
+
+Result<LogicalOpPtr> Pattern::Compile(const Catalog& catalog,
+                                      const std::string& sequence) const {
+  if (steps_.empty()) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  for (size_t k = 1; k < steps_.size(); ++k) {
+    if (steps_[k].max_gap < 1) {
+      return Status::InvalidArgument("pattern gaps must be >= 1");
+    }
+  }
+  SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry, catalog.Lookup(sequence));
+  const Schema& schema = *entry->schema;
+  if (schema.num_fields() == 0) {
+    return Status::InvalidArgument("event sequence has no fields");
+  }
+  // Counting any field counts records; use the first.
+  const std::string count_column = schema.field(0).name;
+  std::vector<std::string> event_columns;
+  for (const Field& f : schema.fields()) event_columns.push_back(f.name);
+
+  // M_1 = σ_p1(seq).
+  LogicalOpPtr matches =
+      LogicalOp::Select(LogicalOp::BaseRef(sequence), steps_[0].predicate);
+  for (size_t k = 1; k < steps_.size(); ++k) {
+    // indicator(i) = count of M_{k-1} matches in [i − gap, i − 1]: a
+    // trailing count window, shifted to end at i−1 with a positional
+    // offset. WindowAgg emits only where its window is non-empty, so
+    // composing with the indicator *is* the existence test — no extra
+    // predicate needed.
+    std::string count_name = "_pattern_count_" + std::to_string(k);
+    LogicalOpPtr indicator = LogicalOp::PositionalOffset(
+        LogicalOp::WindowAgg(matches, AggFunc::kCount, count_column,
+                             steps_[k].max_gap, count_name),
+        /*offset=*/-1);
+    // M_k = π_event-fields( σ_pk(seq) ∘ indicator ).
+    LogicalOpPtr step_events =
+        LogicalOp::Select(LogicalOp::BaseRef(sequence), steps_[k].predicate);
+    matches = LogicalOp::Project(
+        LogicalOp::Compose(std::move(step_events), std::move(indicator)),
+        event_columns);
+  }
+  return matches;
+}
+
+}  // namespace seq

@@ -1,0 +1,100 @@
+#include "relational/operators.h"
+
+#include "expr/compiled_expr.h"
+
+namespace seq::relational {
+
+Result<Table> Filter(const Table& input, const ExprPtr& predicate,
+                     RelStats* stats) {
+  SEQ_ASSIGN_OR_RETURN(
+      CompiledExpr compiled,
+      CompiledExpr::CompilePredicate(predicate, *input.schema()));
+  Table out(input.schema());
+  for (const Record& row : input.rows()) {
+    ++stats->tuples_scanned;
+    ++stats->predicate_evals;
+    if (compiled.EvalBool(row, /*pos=*/0)) {
+      SEQ_RETURN_IF_ERROR(out.Append(row));
+      ++stats->rows_output;
+    }
+  }
+  return out;
+}
+
+Result<Table> Project(const Table& input,
+                      const std::vector<std::string>& columns,
+                      RelStats* stats) {
+  std::vector<size_t> indices;
+  std::vector<Field> fields;
+  for (const std::string& col : columns) {
+    SEQ_ASSIGN_OR_RETURN(size_t idx, input.schema()->FieldIndex(col));
+    indices.push_back(idx);
+    fields.push_back(input.schema()->field(idx));
+  }
+  Table out(Schema::Make(std::move(fields)));
+  for (const Record& row : input.rows()) {
+    ++stats->tuples_scanned;
+    Record projected;
+    projected.reserve(indices.size());
+    for (size_t idx : indices) projected.push_back(row[idx]);
+    SEQ_RETURN_IF_ERROR(out.Append(std::move(projected)));
+    ++stats->rows_output;
+  }
+  return out;
+}
+
+Result<Table> NestedLoopJoin(const Table& left, const Table& right,
+                             const ExprPtr& predicate, RelStats* stats) {
+  SchemaPtr out_schema = Schema::Concat(*left.schema(), *right.schema());
+  std::optional<CompiledExpr> compiled;
+  if (predicate != nullptr) {
+    SEQ_ASSIGN_OR_RETURN(CompiledExpr c,
+                         CompiledExpr::CompilePredicate(
+                             predicate, *left.schema(), right.schema().get()));
+    compiled = std::move(c);
+  }
+  Table out(out_schema);
+  for (const Record& l : left.rows()) {
+    ++stats->tuples_scanned;
+    for (const Record& r : right.rows()) {
+      ++stats->tuples_scanned;
+      if (compiled.has_value()) {
+        ++stats->predicate_evals;
+        if (!compiled->EvalBool(l, &r, /*pos=*/0)) continue;
+      }
+      Record combined;
+      combined.reserve(l.size() + r.size());
+      combined.insert(combined.end(), l.begin(), l.end());
+      combined.insert(combined.end(), r.begin(), r.end());
+      SEQ_RETURN_IF_ERROR(out.Append(std::move(combined)));
+      ++stats->rows_output;
+    }
+  }
+  return out;
+}
+
+Result<std::optional<Value>> AggregateMax(const Table& input,
+                                          const std::string& column,
+                                          const ExprPtr& predicate,
+                                          RelStats* stats) {
+  SEQ_ASSIGN_OR_RETURN(size_t idx, input.schema()->FieldIndex(column));
+  std::optional<CompiledExpr> compiled;
+  if (predicate != nullptr) {
+    SEQ_ASSIGN_OR_RETURN(
+        CompiledExpr c,
+        CompiledExpr::CompilePredicate(predicate, *input.schema()));
+    compiled = std::move(c);
+  }
+  std::optional<Value> best;
+  for (const Record& row : input.rows()) {
+    ++stats->tuples_scanned;
+    if (compiled.has_value()) {
+      ++stats->predicate_evals;
+      if (!compiled->EvalBool(row, /*pos=*/0)) continue;
+    }
+    if (!best.has_value() || best->Compare(row[idx]) < 0) best = row[idx];
+  }
+  return best;
+}
+
+}  // namespace seq::relational

@@ -1,0 +1,45 @@
+#ifndef SEQ_RELATIONAL_OPERATORS_H_
+#define SEQ_RELATIONAL_OPERATORS_H_
+
+#include <optional>
+#include <string>
+
+#include "expr/expr.h"
+#include "relational/table.h"
+
+namespace seq::relational {
+
+/// Set-oriented operators over materialized tables, each charging
+/// `stats->tuples_scanned` for every row it reads. Deliberately simple —
+/// this models the plan shape of a 1994 relational engine, not its
+/// absolute performance.
+
+/// σ: rows satisfying `predicate` (compiled against the table schema;
+/// Position() is not available in relational context).
+Result<Table> Filter(const Table& input, const ExprPtr& predicate,
+                     RelStats* stats);
+
+/// π: the named columns, in order.
+Result<Table> Project(const Table& input,
+                      const std::vector<std::string>& columns,
+                      RelStats* stats);
+
+/// Nested-loop θ-join. The predicate sees left columns as side 0 and right
+/// columns as side 1; the output schema is the concat (right-side clashes
+/// suffixed "_r").
+Result<Table> NestedLoopJoin(const Table& left, const Table& right,
+                             const ExprPtr& predicate, RelStats* stats);
+
+/// Scalar aggregate MAX(column) over rows satisfying `predicate`
+/// (nullopt on empty input) — the correlated subquery's body. Scans the
+/// whole table, exactly like the paper says a relational plan would:
+/// "each such access to the subquery involves an aggregate over the
+/// entire Earthquake relation".
+Result<std::optional<Value>> AggregateMax(const Table& input,
+                                          const std::string& column,
+                                          const ExprPtr& predicate,
+                                          RelStats* stats);
+
+}  // namespace seq::relational
+
+#endif  // SEQ_RELATIONAL_OPERATORS_H_

@@ -1,0 +1,50 @@
+#ifndef SEQ_RELATIONAL_TABLE_H_
+#define SEQ_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/base_sequence.h"
+#include "types/record.h"
+#include "types/schema.h"
+
+namespace seq::relational {
+
+/// Evaluation counters for the relational baseline; `tuples_scanned` is the
+/// figure of merit compared against the sequence engine's record accesses.
+struct RelStats {
+  int64_t tuples_scanned = 0;
+  int64_t predicate_evals = 0;
+  int64_t rows_output = 0;
+};
+
+/// A minimal materialized relation: a bag of rows over a schema. This is
+/// the substrate for the paper's baseline — the plan a conventional
+/// relational optimizer would produce for Example 1.1 (a correlated
+/// aggregate subquery evaluated per outer tuple).
+class Table {
+ public:
+  explicit Table(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+  Status Append(Record row);
+
+  const SchemaPtr& schema() const { return schema_; }
+  const std::vector<Record>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Record> rows_;
+};
+
+/// Flattens a base sequence into a relation, exposing the position as a
+/// leading int64 column (the relational encoding of sequence data: "the
+/// various meteorological events are sequenced by the time at which they
+/// are recorded").
+Result<Table> TableFromSequence(const BaseSequenceStore& store,
+                                const std::string& time_column = "time");
+
+}  // namespace seq::relational
+
+#endif  // SEQ_RELATIONAL_TABLE_H_

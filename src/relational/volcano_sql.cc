@@ -1,0 +1,46 @@
+#include "relational/volcano_sql.h"
+
+#include "relational/operators.h"
+
+namespace seq::relational {
+
+Result<std::vector<std::string>> VolcanoQuerySql(const Table& volcanos,
+                                                 const Table& quakes,
+                                                 double threshold,
+                                                 RelStats* stats) {
+  SEQ_ASSIGN_OR_RETURN(size_t v_time, volcanos.schema()->FieldIndex("time"));
+  SEQ_ASSIGN_OR_RETURN(size_t v_name, volcanos.schema()->FieldIndex("name"));
+  SEQ_ASSIGN_OR_RETURN(size_t q_time, quakes.schema()->FieldIndex("time"));
+  SEQ_ASSIGN_OR_RETURN(size_t q_strength,
+                       quakes.schema()->FieldIndex("strength"));
+
+  std::vector<std::string> answers;
+  for (const Record& v : volcanos.rows()) {
+    ++stats->tuples_scanned;
+    int64_t eruption_time = v[v_time].int64();
+
+    // Correlated subquery: max(E1.time) where E1.time < V.time — a full
+    // scan of the earthquake relation per volcano tuple.
+    SEQ_ASSIGN_OR_RETURN(
+        std::optional<Value> max_time,
+        AggregateMax(quakes, "time",
+                     Lt(Col("time"), Lit(eruption_time)), stats));
+    if (!max_time.has_value()) continue;
+
+    // Outer query: find E with E.time = max_time (another scan — the
+    // baseline has no positional index) and check the strength predicate.
+    for (const Record& e : quakes.rows()) {
+      ++stats->tuples_scanned;
+      ++stats->predicate_evals;
+      if (e[q_time].Compare(*max_time) != 0) continue;
+      if (e[q_strength].dbl() > threshold) {
+        answers.push_back(v[v_name].str());
+        ++stats->rows_output;
+      }
+      break;
+    }
+  }
+  return answers;
+}
+
+}  // namespace seq::relational

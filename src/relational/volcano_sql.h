@@ -1,0 +1,35 @@
+#ifndef SEQ_RELATIONAL_VOLCANO_SQL_H_
+#define SEQ_RELATIONAL_VOLCANO_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/table.h"
+
+namespace seq::relational {
+
+/// The relational baseline for Example 1.1, executed exactly as the paper
+/// describes a conventional optimizer's plan:
+///
+///   SELECT V.name FROM Volcanos V, Earthquakes E
+///   WHERE E.strength > 7.0 AND
+///         E.time = (SELECT max(E1.time) FROM Earthquakes E1
+///                   WHERE E1.time < V.time)
+///
+/// "For every Volcano tuple in the outer query, the sub-query would be
+/// invoked ... Each such access to the subquery involves an aggregate over
+/// the entire Earthquake relation", then the resulting time probes the
+/// Earthquake relation and the strength selection applies. Cost is
+/// O(|V| · |E|) tuple reads; compare with the sequence engine's single
+/// lock-step scan.
+///
+/// `volcanos` needs columns (time:int64, name:string);
+/// `quakes` needs columns (time:int64, strength:double).
+Result<std::vector<std::string>> VolcanoQuerySql(const Table& volcanos,
+                                                 const Table& quakes,
+                                                 double threshold,
+                                                 RelStats* stats);
+
+}  // namespace seq::relational
+
+#endif  // SEQ_RELATIONAL_VOLCANO_SQL_H_

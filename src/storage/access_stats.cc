@@ -1,0 +1,20 @@
+#include "storage/access_stats.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace seq {
+
+std::string AccessStats::ToString() const {
+  std::ostringstream oss;
+  oss << "stream_records=" << stream_records
+      << " stream_pages=" << stream_pages << " probes=" << probes
+      << " probe_pages=" << probe_pages << " cache_stores=" << cache_stores
+      << " cache_hits=" << cache_hits << " predicate_evals=" << predicate_evals
+      << " agg_steps=" << agg_steps << " records_output=" << records_output
+      << " simulated_cost=" << FormatDouble(simulated_cost);
+  return oss.str();
+}
+
+}  // namespace seq

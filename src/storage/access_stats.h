@@ -1,0 +1,55 @@
+#ifndef SEQ_STORAGE_ACCESS_STATS_H_
+#define SEQ_STORAGE_ACCESS_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace seq {
+
+/// Operation counters charged by the storage layer and the execution
+/// engine. These are the simulator's observable "cost": tests and
+/// benchmarks assert the paper's shape claims (single scan, O(1) cache,
+/// strategy crossovers) against them, and the cost-model validation
+/// experiment correlates them with optimizer estimates.
+struct AccessStats {
+  // Storage access paths.
+  int64_t stream_records = 0;  ///< records delivered by stream cursors
+  int64_t stream_pages = 0;    ///< distinct pages touched by stream access
+  int64_t probes = 0;          ///< positional probe operations
+  int64_t probe_pages = 0;     ///< pages touched by probes
+
+  // Operator caches (§3.5).
+  int64_t cache_stores = 0;  ///< records inserted into operator caches
+  int64_t cache_hits = 0;    ///< records served from operator caches
+
+  // Computation.
+  int64_t predicate_evals = 0;  ///< join/selection predicate applications
+  int64_t agg_steps = 0;        ///< aggregate accumulator updates
+  int64_t records_output = 0;   ///< records delivered at the query root
+
+  /// Abstract cost units accumulated using the same per-operation prices
+  /// the optimizer estimates with; comparable against plan cost estimates.
+  double simulated_cost = 0.0;
+
+  void Reset() { *this = AccessStats{}; }
+
+  AccessStats& operator+=(const AccessStats& other) {
+    stream_records += other.stream_records;
+    stream_pages += other.stream_pages;
+    probes += other.probes;
+    probe_pages += other.probe_pages;
+    cache_stores += other.cache_stores;
+    cache_hits += other.cache_hits;
+    predicate_evals += other.predicate_evals;
+    agg_steps += other.agg_steps;
+    records_output += other.records_output;
+    simulated_cost += other.simulated_cost;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_STORAGE_ACCESS_STATS_H_

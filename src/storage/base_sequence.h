@@ -1,0 +1,138 @@
+#ifndef SEQ_STORAGE_BASE_SEQUENCE_H_
+#define SEQ_STORAGE_BASE_SEQUENCE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/access_stats.h"
+#include "storage/statistics.h"
+#include "types/record.h"
+#include "types/schema.h"
+#include "types/span.h"
+
+namespace seq {
+
+/// Simulated per-access-path prices of a stored sequence (paper §3:
+/// "available access paths to base sequences, and the costs of access
+/// along these paths"). Units are abstract; defaults model a clustered
+/// sequential file plus a positional index.
+struct AccessCosts {
+  double page_cost = 10.0;   ///< cost of streaming one page
+  double probe_cost = 12.0;  ///< cost of one positional probe (index descent)
+
+  /// Whether the physical layout is clustered by position (§3.4, fn. 8:
+  /// "a relation with an unclustered index on a position attribute does
+  /// not particularly favor stream access"). Unclustered stores charge a
+  /// page fetch per *record* streamed, so probed plans win more often.
+  bool clustered = true;
+};
+
+/// A materialized base sequence (paper §2: "an explicit materialized
+/// association of positions with records"). Records are stored sorted by
+/// position and grouped into fixed-capacity pages; the two access paths the
+/// paper reasons about are exposed directly:
+///
+///  * stream access — "get the next non-Null record", in position order,
+///    charging `page_cost` per page entered;
+///  * probed access — "get the record at a specific position", charging
+///    `probe_cost` per call.
+///
+/// Every access is counted into the caller-provided AccessStats so tests
+/// and benchmarks can observe exactly what a plan touched.
+class BaseSequenceStore {
+ public:
+  /// `records_per_page` controls the page layout of the simulated file.
+  explicit BaseSequenceStore(SchemaPtr schema, int records_per_page = 64,
+                             AccessCosts costs = AccessCosts{});
+
+  BaseSequenceStore(BaseSequenceStore&&) = default;
+  BaseSequenceStore& operator=(BaseSequenceStore&&) = default;
+  BaseSequenceStore(const BaseSequenceStore&) = delete;
+  BaseSequenceStore& operator=(const BaseSequenceStore&) = delete;
+
+  /// Appends a record at `pos`, which must exceed the last stored position
+  /// and match the schema.
+  Status Append(Position pos, Record rec);
+
+  /// Builds a store from position-sorted records.
+  static Result<std::shared_ptr<BaseSequenceStore>> FromRecords(
+      SchemaPtr schema, std::vector<PosRecord> records,
+      int records_per_page = 64, AccessCosts costs = AccessCosts{});
+
+  /// Declares the valid range of the sequence. By default the span is the
+  /// hull of the stored positions; workloads with known ranges (Table 1)
+  /// can widen it (positions without records are empty positions).
+  Status DeclareSpan(Span span);
+
+  const SchemaPtr& schema() const { return schema_; }
+  Span span() const { return span_; }
+  int64_t num_records() const { return static_cast<int64_t>(records_.size()); }
+
+  /// Fraction of positions in the span holding non-null records (§3).
+  double density() const;
+
+  int records_per_page() const { return records_per_page_; }
+  int64_t num_pages() const;
+  const AccessCosts& costs() const { return costs_; }
+  void set_costs(AccessCosts costs) { costs_ = costs; }
+
+  /// Per-column statistics; computed on first use after the last Append.
+  const std::vector<ColumnStats>& column_stats() const;
+
+  /// Stream access path: yields non-null records with positions inside
+  /// `range`, in increasing position order.
+  class StreamCursor {
+   public:
+    /// Next record, or nullopt at end of range.
+    std::optional<PosRecord> Next();
+
+    /// Position of the next record without consuming or charging.
+    std::optional<Position> PeekPosition() const;
+
+   private:
+    friend class BaseSequenceStore;
+    StreamCursor(const BaseSequenceStore* store, size_t index, size_t end,
+                 AccessStats* stats)
+        : store_(store), index_(index), end_(end), stats_(stats) {}
+
+    const BaseSequenceStore* store_;
+    size_t index_;
+    size_t end_;    // one past the last record in range
+    int64_t last_page_ = -1;
+    AccessStats* stats_;
+  };
+
+  StreamCursor OpenStream(Span range, AccessStats* stats) const;
+
+  /// Probed access path: the record at exactly `pos`, or nullopt if that
+  /// position is empty or outside the span.
+  std::optional<Record> Probe(Position pos, AccessStats* stats) const;
+
+  /// Direct (uncharged) access for tests and result comparison.
+  const std::vector<PosRecord>& records() const { return records_; }
+
+  std::string DescribeMeta() const;
+
+ private:
+  // Index of the first stored record with position >= pos.
+  size_t LowerBound(Position pos) const;
+
+  SchemaPtr schema_;
+  std::vector<PosRecord> records_;  // sorted by position
+  Span span_ = Span::Empty();
+  bool span_declared_ = false;
+  int records_per_page_;
+  AccessCosts costs_;
+
+  mutable std::vector<ColumnStats> column_stats_;
+  mutable bool stats_fresh_ = false;
+};
+
+using BaseSequencePtr = std::shared_ptr<BaseSequenceStore>;
+
+}  // namespace seq
+
+#endif  // SEQ_STORAGE_BASE_SEQUENCE_H_

@@ -1,0 +1,93 @@
+#include "storage/statistics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace seq {
+namespace {
+
+// Distinct counting is exact until this many distinct values are seen, then
+// saturates; good enough for selectivity heuristics.
+constexpr size_t kDistinctCap = 1 << 16;
+
+}  // namespace
+
+double ColumnStats::FractionBelow(double v) const {
+  if (!min.has_value() || !max.has_value()) return 0.5;
+  if (*max <= *min) return v > *min ? 1.0 : 0.0;
+  if (v <= *min) return 0.0;
+  if (v > *max) return 1.0;
+  if (bucket_counts.empty() || count == 0) {
+    return std::clamp((v - *min) / (*max - *min), 0.0, 1.0);
+  }
+  double width = (*max - *min) / kHistogramBuckets;
+  double below = 0.0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    double lo = *min + b * width;
+    double hi = lo + width;
+    if (v >= hi) {
+      below += static_cast<double>(bucket_counts[static_cast<size_t>(b)]);
+    } else if (v > lo) {
+      below += static_cast<double>(bucket_counts[static_cast<size_t>(b)]) *
+               (v - lo) / width;
+      break;
+    } else {
+      break;
+    }
+  }
+  return std::clamp(below / static_cast<double>(count), 0.0, 1.0);
+}
+
+std::string ColumnStats::ToString() const {
+  std::ostringstream oss;
+  oss << "count=" << count << " distinct=" << distinct;
+  if (min.has_value()) {
+    oss << " min=" << FormatDouble(*min) << " max=" << FormatDouble(*max);
+  }
+  return oss.str();
+}
+
+std::vector<ColumnStats> ComputeColumnStats(
+    const std::vector<PosRecord>& records, const Schema& schema) {
+  std::vector<ColumnStats> stats(schema.num_fields());
+  std::vector<std::unordered_set<size_t>> distinct_hashes(schema.num_fields());
+  for (const PosRecord& pr : records) {
+    for (size_t i = 0; i < schema.num_fields() && i < pr.rec.size(); ++i) {
+      ColumnStats& cs = stats[i];
+      const Value& v = pr.rec[i];
+      ++cs.count;
+      if (IsNumeric(v.type())) {
+        double d = v.AsDouble();
+        if (!cs.min.has_value() || d < *cs.min) cs.min = d;
+        if (!cs.max.has_value() || d > *cs.max) cs.max = d;
+      }
+      auto& seen = distinct_hashes[i];
+      if (seen.size() < kDistinctCap) seen.insert(v.Hash());
+    }
+  }
+  for (size_t i = 0; i < stats.size(); ++i) {
+    stats[i].distinct = static_cast<int64_t>(distinct_hashes[i].size());
+  }
+  // Second pass: equi-width histograms for numeric columns with a range.
+  for (size_t i = 0; i < stats.size(); ++i) {
+    ColumnStats& cs = stats[i];
+    if (!cs.min.has_value() || !cs.max.has_value() || *cs.max <= *cs.min) {
+      continue;
+    }
+    cs.bucket_counts.assign(ColumnStats::kHistogramBuckets, 0);
+    double width = (*cs.max - *cs.min) / ColumnStats::kHistogramBuckets;
+    for (const PosRecord& pr : records) {
+      if (i >= pr.rec.size() || !IsNumeric(pr.rec[i].type())) continue;
+      double d = pr.rec[i].AsDouble();
+      int b = static_cast<int>((d - *cs.min) / width);
+      b = std::clamp(b, 0, ColumnStats::kHistogramBuckets - 1);
+      ++cs.bucket_counts[static_cast<size_t>(b)];
+    }
+  }
+  return stats;
+}
+
+}  // namespace seq

@@ -1,0 +1,33 @@
+#include "types/record.h"
+
+#include <sstream>
+
+namespace seq {
+
+bool RecordMatchesSchema(const Record& rec, const Schema& schema) {
+  if (rec.size() != schema.num_fields()) return false;
+  for (size_t i = 0; i < rec.size(); ++i) {
+    if (rec[i].type() != schema.field(i).type) return false;
+  }
+  return true;
+}
+
+std::string RecordToString(const Record& rec, const Schema& schema) {
+  std::ostringstream oss;
+  oss << "(";
+  for (size_t i = 0; i < rec.size(); ++i) {
+    if (i > 0) oss << ", ";
+    if (i < schema.num_fields()) oss << schema.field(i).name << "=";
+    oss << rec[i].ToString();
+  }
+  oss << ")";
+  return oss.str();
+}
+
+std::string PosRecordToString(const PosRecord& pr, const Schema& schema) {
+  std::ostringstream oss;
+  oss << pr.pos << ": " << RecordToString(pr.rec, schema);
+  return oss.str();
+}
+
+}  // namespace seq

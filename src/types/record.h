@@ -1,0 +1,35 @@
+#ifndef SEQ_TYPES_RECORD_H_
+#define SEQ_TYPES_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/span.h"
+#include "types/value.h"
+
+namespace seq {
+
+/// A non-null record: one value per schema field, in schema order. The
+/// Null record of the paper is modeled by absence (operators yield only
+/// non-null records), so no null flag lives here.
+using Record = std::vector<Value>;
+
+/// A record paired with the position it occupies. The unit of data flow in
+/// the execution engine; streams yield PosRecords in increasing position
+/// order.
+struct PosRecord {
+  Position pos;
+  Record rec;
+};
+
+/// True if `rec` matches `schema` arity and field types.
+bool RecordMatchesSchema(const Record& rec, const Schema& schema);
+
+/// "(pos: name=value, ...)" for debugging and example output.
+std::string RecordToString(const Record& rec, const Schema& schema);
+std::string PosRecordToString(const PosRecord& pr, const Schema& schema);
+
+}  // namespace seq
+
+#endif  // SEQ_TYPES_RECORD_H_

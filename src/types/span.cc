@@ -1,0 +1,26 @@
+#include "types/span.h"
+
+#include <sstream>
+
+namespace seq {
+
+std::string Span::ToString() const {
+  if (IsEmpty()) return "(empty)";
+  std::ostringstream oss;
+  oss << "[";
+  if (start <= kMinPosition) {
+    oss << "-inf";
+  } else {
+    oss << start;
+  }
+  oss << ",";
+  if (end >= kMaxPosition) {
+    oss << "+inf";
+  } else {
+    oss << end;
+  }
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace seq

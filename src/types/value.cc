@@ -1,0 +1,94 @@
+#include "types/value.h"
+
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace seq {
+
+const char* TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kDouble:
+      return "double";
+    case TypeId::kBool:
+      return "bool";
+    case TypeId::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+bool IsNumeric(TypeId type) {
+  return type == TypeId::kInt64 || type == TypeId::kDouble;
+}
+
+namespace {
+
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  if (IsNumeric(type()) && IsNumeric(other.type())) {
+    if (type() == TypeId::kInt64 && other.type() == TypeId::kInt64) {
+      int64_t a = int64();
+      int64_t b = other.int64();
+      return (a < b) ? -1 : (a > b) ? 1 : 0;
+    }
+    return CompareDoubles(AsDouble(), other.AsDouble());
+  }
+  SEQ_CHECK_MSG(type() == other.type(),
+                "comparing incompatible value types " << TypeName(type())
+                                                      << " and "
+                                                      << TypeName(other.type()));
+  switch (type()) {
+    case TypeId::kBool: {
+      int a = boolean() ? 1 : 0;
+      int b = other.boolean() ? 1 : 0;
+      return a - b;
+    }
+    case TypeId::kString:
+      return str().compare(other.str()) < 0   ? -1
+             : str().compare(other.str()) > 0 ? 1
+                                              : 0;
+    default:
+      SEQ_CHECK(false);
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case TypeId::kInt64:
+      return std::hash<double>()(static_cast<double>(int64()));
+    case TypeId::kDouble:
+      return std::hash<double>()(dbl());
+    case TypeId::kBool:
+      return std::hash<bool>()(boolean());
+    case TypeId::kString:
+      return std::hash<std::string>()(str());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case TypeId::kInt64:
+      return std::to_string(int64());
+    case TypeId::kDouble:
+      return FormatDouble(dbl());
+    case TypeId::kBool:
+      return boolean() ? "true" : "false";
+    case TypeId::kString:
+      return "\"" + str() + "\"";
+  }
+  return "?";
+}
+
+}  // namespace seq

@@ -1,0 +1,99 @@
+#ifndef SEQ_TYPES_VALUE_H_
+#define SEQ_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace seq {
+
+/// The atomic attribute types of the record model (paper §2: "indivisible
+/// atomic types of fixed size"). Strings are included for names/labels in
+/// the motivating workloads and are treated as atomic.
+enum class TypeId : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kBool = 2,
+  kString = 3,
+};
+
+/// Stable name for a type ("int64", "double", "bool", "string").
+const char* TypeName(TypeId type);
+
+/// True for kInt64 and kDouble.
+bool IsNumeric(TypeId type);
+
+/// A single attribute value. Values are small, copyable, and totally
+/// ordered within compatible types; int64 and double compare numerically
+/// against each other.
+class Value {
+ public:
+  /// Default: int64 zero. Needed for container resizing; never produced by
+  /// the engine otherwise.
+  Value() : data_(int64_t{0}) {}
+
+  static Value Int64(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value Bool(bool v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  TypeId type() const { return static_cast<TypeId>(data_.index()); }
+
+  int64_t int64() const {
+    SEQ_DCHECK(type() == TypeId::kInt64);
+    return std::get<int64_t>(data_);
+  }
+  double dbl() const {
+    SEQ_DCHECK(type() == TypeId::kDouble);
+    return std::get<double>(data_);
+  }
+  bool boolean() const {
+    SEQ_DCHECK(type() == TypeId::kBool);
+    return std::get<bool>(data_);
+  }
+  const std::string& str() const {
+    SEQ_DCHECK(type() == TypeId::kString);
+    return std::get<std::string>(data_);
+  }
+
+  /// Numeric value as double; requires a numeric type.
+  double AsDouble() const {
+    switch (type()) {
+      case TypeId::kInt64:
+        return static_cast<double>(std::get<int64_t>(data_));
+      case TypeId::kDouble:
+        return std::get<double>(data_);
+      default:
+        SEQ_CHECK_MSG(false, "AsDouble on non-numeric value");
+    }
+  }
+
+  /// Three-way comparison: negative / zero / positive. Numeric types
+  /// compare across int64/double; otherwise both values must share a type.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash suitable for unordered containers; numeric values that compare
+  /// equal hash equal.
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  // Variant index order must match TypeId enumerator values.
+  std::variant<int64_t, double, bool, std::string> data_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_TYPES_VALUE_H_

@@ -1,0 +1,39 @@
+#ifndef SEQ_WORKLOAD_CSV_H_
+#define SEQ_WORKLOAD_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/base_sequence.h"
+
+namespace seq {
+
+/// Options for reading a sequence from CSV text.
+struct CsvOptions {
+  char delimiter = ',';
+  bool header = true;
+  /// Column holding the position; empty selects the first column. Must
+  /// parse as integers; rows are sorted by it (duplicates rejected).
+  std::string position_column;
+  int records_per_page = 64;
+  AccessCosts costs;
+};
+
+/// Parses CSV text into a base sequence. Column types are inferred per
+/// column over all rows: int64 if every value parses as an integer, else
+/// double if numeric, else bool if all true/false, else string. The
+/// position column is removed from the record schema.
+Result<BaseSequencePtr> ParseCsvSequence(const std::string& content,
+                                         const CsvOptions& options = {});
+
+/// Reads `path` and parses it.
+Result<BaseSequencePtr> LoadCsvSequence(const std::string& path,
+                                        const CsvOptions& options = {});
+
+/// Renders a sequence as CSV (header + "pos,<fields...>" rows).
+std::string SequenceToCsv(const BaseSequenceStore& store,
+                          char delimiter = ',');
+
+}  // namespace seq
+
+#endif  // SEQ_WORKLOAD_CSV_H_

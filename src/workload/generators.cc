@@ -1,0 +1,140 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace seq {
+namespace {
+
+/// Positions in `span` selected i.i.d. with probability `density`.
+std::vector<Position> SamplePositions(Span span, double density, Rng* rng) {
+  std::vector<Position> out;
+  if (span.IsEmpty() || density <= 0.0) return out;
+  if (density >= 1.0) {
+    out.reserve(static_cast<size_t>(span.Length()));
+    for (Position p = span.start; p <= span.end; ++p) out.push_back(p);
+    return out;
+  }
+  // Geometric gaps give the right density in one pass.
+  Position p = span.start - 1;
+  while (true) {
+    p += rng->GeometricGap(density);
+    if (p > span.end) break;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BaseSequencePtr> MakeStockSeries(const StockSeriesOptions& options) {
+  SchemaPtr schema = Schema::Make({
+      Field{"open", TypeId::kDouble},
+      Field{"close", TypeId::kDouble},
+      Field{"high", TypeId::kDouble},
+      Field{"low", TypeId::kDouble},
+      Field{"volume", TypeId::kInt64},
+  });
+  Rng rng(options.seed);
+  auto store = std::make_shared<BaseSequenceStore>(
+      schema, options.records_per_page, options.costs);
+  SEQ_RETURN_IF_ERROR(store->DeclareSpan(options.span));
+  double price = options.start_price;
+  for (Position p : SamplePositions(options.span, options.density, &rng)) {
+    double open = price;
+    double step = rng.Normal(0.0, options.volatility);
+    double close = std::max(1.0, open + step);
+    double high = std::max(open, close) + std::abs(rng.Normal(0.0, 0.3));
+    double low =
+        std::max(0.5, std::min(open, close) - std::abs(rng.Normal(0.0, 0.3)));
+    int64_t volume = rng.UniformInt(1000, 100000);
+    SEQ_RETURN_IF_ERROR(store->Append(
+        p, Record{Value::Double(open), Value::Double(close),
+                  Value::Double(high), Value::Double(low),
+                  Value::Int64(volume)}));
+    price = close;
+  }
+  return store;
+}
+
+Result<BaseSequencePtr> MakeEarthquakes(const EventSeriesOptions& options) {
+  SchemaPtr schema = Schema::Make({
+      Field{"strength", TypeId::kDouble},
+      Field{"region", TypeId::kString},
+  });
+  Rng rng(options.seed);
+  auto store = std::make_shared<BaseSequenceStore>(
+      schema, options.records_per_page, options.costs);
+  SEQ_RETURN_IF_ERROR(store->DeclareSpan(options.span));
+  for (Position p : SamplePositions(options.span, options.density, &rng)) {
+    double strength = rng.UniformDouble(3.0, 9.5);
+    std::string region =
+        "region" + std::to_string(rng.UniformInt(0, options.num_regions - 1));
+    SEQ_RETURN_IF_ERROR(store->Append(
+        p, Record{Value::Double(strength), Value::String(region)}));
+  }
+  return store;
+}
+
+Result<BaseSequencePtr> MakeVolcanos(const EventSeriesOptions& options) {
+  SchemaPtr schema = Schema::Make({
+      Field{"name", TypeId::kString},
+      Field{"region", TypeId::kString},
+  });
+  Rng rng(options.seed);
+  auto store = std::make_shared<BaseSequenceStore>(
+      schema, options.records_per_page, options.costs);
+  SEQ_RETURN_IF_ERROR(store->DeclareSpan(options.span));
+  int64_t counter = 0;
+  for (Position p : SamplePositions(options.span, options.density, &rng)) {
+    std::string name = "volcano" + std::to_string(counter++);
+    std::string region =
+        "region" + std::to_string(rng.UniformInt(0, options.num_regions - 1));
+    SEQ_RETURN_IF_ERROR(
+        store->Append(p, Record{Value::String(name), Value::String(region)}));
+  }
+  return store;
+}
+
+Status RegisterTable1Stocks(Catalog* catalog, int64_t scale, uint64_t seed) {
+  struct Spec {
+    const char* name;
+    Span span;
+    double density;
+    double start_price;
+  };
+  const Spec specs[] = {
+      {"ibm", Span::Of(200 * scale, 500 * scale), 0.95, 105.0},
+      {"dec", Span::Of(1 * scale, 350 * scale), 0.7, 95.0},
+      {"hp", Span::Of(1 * scale, 750 * scale), 1.0, 100.0},
+  };
+  uint64_t s = seed;
+  for (const Spec& spec : specs) {
+    StockSeriesOptions options;
+    options.span = spec.span;
+    options.density = spec.density;
+    options.start_price = spec.start_price;
+    options.seed = s++;
+    SEQ_ASSIGN_OR_RETURN(BaseSequencePtr store, MakeStockSeries(options));
+    SEQ_RETURN_IF_ERROR(catalog->RegisterBase(spec.name, std::move(store)));
+  }
+  return Status::OK();
+}
+
+Result<BaseSequencePtr> MakeIntSeries(const IntSeriesOptions& options) {
+  SchemaPtr schema = Schema::Make({Field{options.column, TypeId::kInt64}});
+  Rng rng(options.seed);
+  auto store = std::make_shared<BaseSequenceStore>(
+      schema, options.records_per_page, options.costs);
+  SEQ_RETURN_IF_ERROR(store->DeclareSpan(options.span));
+  for (Position p : SamplePositions(options.span, options.density, &rng)) {
+    SEQ_RETURN_IF_ERROR(store->Append(
+        p, Record{Value::Int64(
+               rng.UniformInt(options.min_value, options.max_value))}));
+  }
+  return store;
+}
+
+}  // namespace seq

@@ -1,0 +1,70 @@
+#ifndef SEQ_WORKLOAD_GENERATORS_H_
+#define SEQ_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "storage/base_sequence.h"
+
+namespace seq {
+
+/// Deterministic synthetic workloads shaped like the paper's examples:
+/// daily stock-market sequences (Table 1) and the weather-monitoring event
+/// sequences of Example 1.1. All generators are seeded and reproducible.
+
+/// Options for a random-walk stock series with schema
+/// <open:double, close:double, high:double, low:double, volume:int64>.
+struct StockSeriesOptions {
+  Span span = Span::Of(1, 1000);
+  double density = 1.0;        ///< fraction of positions holding a record
+  double start_price = 100.0;
+  double volatility = 1.0;     ///< std-dev of the daily price step
+  uint64_t seed = 42;
+  int records_per_page = 64;
+  AccessCosts costs;
+};
+
+Result<BaseSequencePtr> MakeStockSeries(const StockSeriesOptions& options);
+
+/// Earthquake events with schema <strength:double, region:string>;
+/// strengths uniform in [3, 9.5].
+struct EventSeriesOptions {
+  Span span = Span::Of(1, 10000);
+  double density = 0.01;  ///< expected events per position
+  uint64_t seed = 7;
+  int num_regions = 8;
+  int records_per_page = 64;
+  AccessCosts costs;
+};
+
+Result<BaseSequencePtr> MakeEarthquakes(const EventSeriesOptions& options);
+
+/// Volcano eruptions with schema <name:string, region:string>.
+Result<BaseSequencePtr> MakeVolcanos(const EventSeriesOptions& options);
+
+/// The three stock sequences of Table 1 — IBM span [200,500] density 0.95,
+/// DEC [1,350] density 0.7, HP [1,750] density 1.0 — scaled by `scale`
+/// (span bounds multiply), registered into `catalog` as "ibm", "dec", "hp".
+Status RegisterTable1Stocks(Catalog* catalog, int64_t scale = 1,
+                            uint64_t seed = 1994);
+
+/// A generic single-column int64 sequence ("value") with the given density.
+struct IntSeriesOptions {
+  Span span = Span::Of(0, 999);
+  double density = 1.0;
+  int64_t min_value = 0;
+  int64_t max_value = 1000;
+  uint64_t seed = 13;
+  std::string column = "value";
+  int records_per_page = 64;
+  AccessCosts costs;
+};
+
+Result<BaseSequencePtr> MakeIntSeries(const IntSeriesOptions& options);
+
+}  // namespace seq
+
+#endif  // SEQ_WORKLOAD_GENERATORS_H_

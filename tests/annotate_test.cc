@@ -1,0 +1,217 @@
+// Tests for meta-information propagation (paper §4 Step 2): bottom-up
+// span/density/schema annotation and top-down span pushdown (Fig. 3).
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "logical/builder.h"
+#include "optimizer/annotate.h"
+#include "workload/generators.h"
+
+namespace seq {
+namespace {
+
+class AnnotateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Table 1 shapes: ibm [200,500] d=.95, dec [1,350] d=.7, hp [1,750] d=1.
+    ASSERT_TRUE(RegisterTable1Stocks(&catalog_).ok());
+  }
+
+  LogicalOpPtr Annotate(const LogicalOpPtr& graph) {
+    LogicalOpPtr clone = graph->Clone();
+    Annotator annotator(catalog_, params_);
+    EXPECT_TRUE(annotator.AnnotateBottomUp(clone.get()).ok());
+    return clone;
+  }
+
+  LogicalOpPtr AnnotateAndPush(const LogicalOpPtr& graph, Span requested,
+                               bool narrow = true) {
+    LogicalOpPtr clone = Annotate(graph);
+    Annotator annotator(catalog_, params_);
+    annotator.PushRequiredSpans(clone.get(), requested, narrow);
+    return clone;
+  }
+
+  Catalog catalog_;
+  CostParams params_;
+};
+
+TEST_F(AnnotateTest, BaseRefGetsCatalogMeta) {
+  auto g = Annotate(SeqRef("ibm").Build());
+  EXPECT_EQ(g->meta().span, Span::Of(200, 500));
+  EXPECT_NEAR(g->meta().density, 0.95, 0.05);
+  EXPECT_EQ(g->meta().schema->num_fields(), 5u);
+  EXPECT_EQ(g->meta().source_names,
+            (std::vector<std::string>{"ibm"}));
+  EXPECT_NE(g->meta().stats_store, nullptr);
+}
+
+TEST_F(AnnotateTest, UnknownSequenceFails) {
+  LogicalOpPtr g = SeqRef("ghost").Build();
+  Annotator annotator(catalog_, params_);
+  Status s = annotator.AnnotateBottomUp(g.get());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_F(AnnotateTest, SelectKeepsSpanScalesDensity) {
+  auto g = Annotate(
+      SeqRef("ibm").Select(Gt(Col("close"), Lit(1e12))).Build());
+  EXPECT_EQ(g->meta().span, Span::Of(200, 500));
+  // Absurd predicate: stats-driven selectivity near the floor.
+  EXPECT_LT(g->meta().density, 0.05);
+}
+
+TEST_F(AnnotateTest, SelectTypeErrorSurfaces) {
+  LogicalOpPtr g =
+      SeqRef("ibm").Select(Gt(Col("close"), Lit("zzz"))).Build();
+  Annotator annotator(catalog_, params_);
+  EXPECT_EQ(annotator.AnnotateBottomUp(g.get()).code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(AnnotateTest, ProjectNarrowsSchema) {
+  auto g = Annotate(SeqRef("ibm").Project({"close"}, {"c"}).Build());
+  EXPECT_EQ(g->meta().schema->ToString(), "<c:double>");
+  EXPECT_EQ(g->meta().stats_store, nullptr);  // renamed -> stats dropped
+  auto same = Annotate(SeqRef("ibm").Project({"close"}).Build());
+  EXPECT_NE(same->meta().stats_store, nullptr);  // no rename -> stats kept
+}
+
+TEST_F(AnnotateTest, PositionalOffsetShiftsSpan) {
+  auto g = Annotate(SeqRef("ibm").Offset(50).Build());
+  // out(i) = in(i+50): span moves down by 50.
+  EXPECT_EQ(g->meta().span, Span::Of(150, 450));
+}
+
+TEST_F(AnnotateTest, ValueOffsetSpans) {
+  auto prev = Annotate(SeqRef("ibm").Prev().Build());
+  EXPECT_EQ(prev->meta().span.start, 201);
+  EXPECT_GE(prev->meta().span.end, kMaxPosition);
+  EXPECT_DOUBLE_EQ(prev->meta().density, 1.0);
+
+  auto next = Annotate(SeqRef("ibm").Next().Build());
+  EXPECT_LE(next->meta().span.start, kMinPosition);
+  EXPECT_EQ(next->meta().span.end, 499);
+}
+
+TEST_F(AnnotateTest, WindowAggExtendsSpanAndDensifies) {
+  auto g = Annotate(SeqRef("dec").Agg(AggFunc::kSum, "close", 5).Build());
+  EXPECT_EQ(g->meta().span, Span::Of(1, 354));
+  // 1 - (1 - 0.7)^5 ~ 0.998.
+  EXPECT_GT(g->meta().density, 0.9);
+  EXPECT_EQ(g->meta().schema->ToString(), "<sum_close:double>");
+}
+
+TEST_F(AnnotateTest, AggTypeRules) {
+  auto sum_volume =
+      Annotate(SeqRef("ibm").Agg(AggFunc::kSum, "volume", 3).Build());
+  EXPECT_EQ(sum_volume->meta().schema->field(0).type, TypeId::kInt64);
+  auto avg_volume =
+      Annotate(SeqRef("ibm").Agg(AggFunc::kAvg, "volume", 3).Build());
+  EXPECT_EQ(avg_volume->meta().schema->field(0).type, TypeId::kDouble);
+  auto count =
+      Annotate(SeqRef("ibm").Agg(AggFunc::kCount, "volume", 3).Build());
+  EXPECT_EQ(count->meta().schema->field(0).type, TypeId::kInt64);
+}
+
+TEST_F(AnnotateTest, ComposeIntersectsSpans) {
+  auto g = Annotate(SeqRef("ibm").ComposeWith(SeqRef("dec")).Build());
+  // [200,500] ∩ [1,350] = [200,350].
+  EXPECT_EQ(g->meta().span, Span::Of(200, 350));
+  EXPECT_EQ(g->meta().schema->num_fields(), 10u);
+  EXPECT_EQ(g->meta().source_names.size(), 2u);
+}
+
+TEST_F(AnnotateTest, ComposeUsesCorrelation) {
+  auto independent =
+      Annotate(SeqRef("ibm").ComposeWith(SeqRef("dec")).Build());
+  catalog_.SetNullCorrelation("ibm", "dec", 1.0);
+  auto correlated =
+      Annotate(SeqRef("ibm").ComposeWith(SeqRef("dec")).Build());
+  EXPECT_GT(correlated->meta().density, independent->meta().density);
+}
+
+TEST_F(AnnotateTest, CollapseDividesSpan) {
+  auto g =
+      Annotate(SeqRef("hp").Collapse(7, AggFunc::kAvg, "close").Build());
+  EXPECT_EQ(g->meta().span, Span::Of(0, 107));  // floor(1/7)..floor(750/7)
+  EXPECT_EQ(g->meta().schema->field(0).type, TypeId::kDouble);
+}
+
+// --- top-down span pushdown (Fig. 3) ------------------------------------------
+
+TEST_F(AnnotateTest, Fig3ComposeNarrowsBothInputs) {
+  // compose(dec, select(compose(ibm, hp), ...)): all three bases restrict
+  // to [200, 350].
+  auto q = SeqRef("dec")
+               .ComposeWith(SeqRef("ibm").ComposeWith(
+                   SeqRef("hp"),
+                   Gt(Col("close", 0), Col("close", 1))))
+               .Build();
+  auto g = AnnotateAndPush(q, Span::Unbounded());
+  // Walk to the leaves.
+  const LogicalOp* dec = g->input(0).get();
+  const LogicalOp* inner = g->input(1).get();
+  const LogicalOp* ibm = inner->input(0).get();
+  const LogicalOp* hp = inner->input(1).get();
+  EXPECT_EQ(dec->meta().required, Span::Of(200, 350));
+  EXPECT_EQ(ibm->meta().required, Span::Of(200, 350));
+  EXPECT_EQ(hp->meta().required, Span::Of(200, 350));
+}
+
+TEST_F(AnnotateTest, RequestedRangeNarrowsFurther) {
+  auto q = SeqRef("ibm").ComposeWith(SeqRef("hp")).Build();
+  auto g = AnnotateAndPush(q, Span::Of(250, 280));
+  EXPECT_EQ(g->input(0)->meta().required, Span::Of(250, 280));
+  EXPECT_EQ(g->input(1)->meta().required, Span::Of(250, 280));
+}
+
+TEST_F(AnnotateTest, LooseModeSkipsSiblingNarrowing) {
+  auto q = SeqRef("ibm").ComposeWith(SeqRef("dec")).Build();
+  auto g = AnnotateAndPush(q, Span::Of(1, 750), /*narrow=*/false);
+  // Without the Fig. 3 optimization the inputs keep the whole requested
+  // window (their scans still self-limit to their own spans).
+  EXPECT_EQ(g->input(0)->meta().required, Span::Of(1, 750));
+  EXPECT_EQ(g->input(1)->meta().required, Span::Of(1, 750));
+}
+
+TEST_F(AnnotateTest, WindowAggWidensChildRequirement) {
+  auto q = SeqRef("hp").Agg(AggFunc::kSum, "close", 10).Build();
+  auto g = AnnotateAndPush(q, Span::Of(100, 200));
+  EXPECT_EQ(g->input()->meta().required, Span::Of(91, 200));
+}
+
+TEST_F(AnnotateTest, OffsetShiftsRequirement) {
+  auto q = SeqRef("hp").Offset(25).Build();
+  auto g = AnnotateAndPush(q, Span::Of(100, 200));
+  EXPECT_EQ(g->input()->meta().required, Span::Of(125, 225));
+}
+
+TEST_F(AnnotateTest, PreviousRequiresHistoryFromSpanStart) {
+  auto q = SeqRef("hp").Prev().Build();
+  auto g = AnnotateAndPush(q, Span::Of(100, 200));
+  EXPECT_EQ(g->input()->meta().required, Span::Of(1, 199));
+}
+
+TEST_F(AnnotateTest, OverallAggCannotNarrow) {
+  auto q = SeqRef("hp").OverallAgg(AggFunc::kMax, "close").Build();
+  auto g = AnnotateAndPush(q, Span::Of(100, 120));
+  EXPECT_EQ(g->input()->meta().required, Span::Of(1, 750));
+}
+
+TEST_F(AnnotateTest, CollapseScalesRequirement) {
+  auto q = SeqRef("hp").Collapse(7, AggFunc::kSum, "close").Build();
+  auto g = AnnotateAndPush(q, Span::Of(10, 20));
+  EXPECT_EQ(g->input()->meta().required, Span::Of(70, 146));
+}
+
+TEST_F(AnnotateTest, EmptyIntersectionPropagatesEmpty) {
+  auto q = SeqRef("ibm").Build();
+  auto g = AnnotateAndPush(q, Span::Of(600, 700));
+  EXPECT_TRUE(g->meta().required.IsEmpty());
+}
+
+}  // namespace
+}  // namespace seq

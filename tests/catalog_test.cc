@@ -1,0 +1,88 @@
+// Unit tests for the catalog: registration, lookup, correlation metadata.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace seq {
+namespace {
+
+BaseSequencePtr TinyStore() {
+  SchemaPtr schema = Schema::Make({Field{"v", TypeId::kInt64}});
+  auto store = std::make_shared<BaseSequenceStore>(schema, 4);
+  EXPECT_TRUE(store->Append(1, Record{Value::Int64(10)}).ok());
+  return store;
+}
+
+TEST(CatalogTest, RegisterAndLookupBase) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterBase("s", TinyStore()).ok());
+  auto entry = catalog.Lookup("s");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->kind, CatalogEntry::Kind::kBase);
+  EXPECT_EQ((*entry)->span(), Span::Of(1, 1));
+  EXPECT_TRUE(catalog.Contains("s"));
+  EXPECT_FALSE(catalog.Contains("t"));
+}
+
+TEST(CatalogTest, DuplicateNamesRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterBase("s", TinyStore()).ok());
+  EXPECT_FALSE(catalog.RegisterBase("s", TinyStore()).ok());
+  SchemaPtr schema = Schema::Make({Field{"c", TypeId::kDouble}});
+  EXPECT_FALSE(
+      catalog.RegisterConstant("s", schema, Record{Value::Double(1.0)}).ok());
+}
+
+TEST(CatalogTest, LookupUnknownIsNotFound) {
+  Catalog catalog;
+  auto missing = catalog.Lookup("ghost");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, ConstantProperties) {
+  Catalog catalog;
+  SchemaPtr schema = Schema::Make({Field{"c", TypeId::kDouble}});
+  ASSERT_TRUE(
+      catalog.RegisterConstant("k", schema, Record{Value::Double(2.0)}).ok());
+  auto entry = catalog.Lookup("k");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->kind, CatalogEntry::Kind::kConstant);
+  EXPECT_TRUE((*entry)->span().IsUnbounded());
+  EXPECT_DOUBLE_EQ((*entry)->density(), 1.0);
+}
+
+TEST(CatalogTest, ConstantTypeChecked) {
+  Catalog catalog;
+  SchemaPtr schema = Schema::Make({Field{"c", TypeId::kDouble}});
+  EXPECT_FALSE(
+      catalog.RegisterConstant("k", schema, Record{Value::Int64(2)}).ok());
+}
+
+TEST(CatalogTest, CorrelationIsSymmetricAndDefaultsToZero) {
+  Catalog catalog;
+  EXPECT_DOUBLE_EQ(catalog.NullCorrelation("a", "b"), 0.0);
+  catalog.SetNullCorrelation("a", "b", 0.8);
+  EXPECT_DOUBLE_EQ(catalog.NullCorrelation("a", "b"), 0.8);
+  EXPECT_DOUBLE_EQ(catalog.NullCorrelation("b", "a"), 0.8);
+}
+
+TEST(CatalogTest, JointDensityInterpolates) {
+  // Independent: product. Fully correlated: min.
+  EXPECT_DOUBLE_EQ(Catalog::JointDensity(0.5, 0.4, 0.0), 0.2);
+  EXPECT_DOUBLE_EQ(Catalog::JointDensity(0.5, 0.4, 1.0), 0.4);
+  EXPECT_DOUBLE_EQ(Catalog::JointDensity(0.5, 0.4, 0.5), 0.3);
+}
+
+TEST(CatalogTest, ListSequences) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterBase("b", TinyStore()).ok());
+  SchemaPtr schema = Schema::Make({Field{"c", TypeId::kDouble}});
+  ASSERT_TRUE(
+      catalog.RegisterConstant("a", schema, Record{Value::Double(1.0)}).ok());
+  EXPECT_EQ(catalog.ListSequences(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace seq

@@ -1,0 +1,191 @@
+// Error-path tests: every user mistake must surface as a descriptive
+// Status of the right category, never a crash — plus robustness sweeps
+// (parser fuzz, concurrent read-only queries).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "parser/parser.h"
+#include "workload/generators.h"
+
+namespace seq {
+namespace {
+
+class ErrorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    IntSeriesOptions options;
+    options.span = Span::Of(0, 99);
+    options.density = 1.0;
+    options.seed = 4;
+    ASSERT_TRUE(engine_.RegisterBase("s", *MakeIntSeries(options)).ok());
+  }
+  Engine engine_;
+};
+
+TEST_F(ErrorsTest, UnknownSequence) {
+  auto r = engine_.Run(SeqRef("ghost").Build());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(r.status().message().find("ghost"), std::string::npos);
+}
+
+TEST_F(ErrorsTest, UnknownColumnInSelect) {
+  auto r = engine_.Run(
+      SeqRef("s").Select(Gt(Col("nope"), Lit(1.0))).Build());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ErrorsTest, UnknownColumnInProjectAggCollapse) {
+  EXPECT_FALSE(engine_.Run(SeqRef("s").Project({"zz"}).Build()).ok());
+  EXPECT_FALSE(
+      engine_.Run(SeqRef("s").Agg(AggFunc::kSum, "zz", 3).Build()).ok());
+  EXPECT_FALSE(
+      engine_.Run(SeqRef("s").Collapse(5, AggFunc::kSum, "zz").Build())
+          .ok());
+}
+
+TEST_F(ErrorsTest, TypeErrors) {
+  // Comparing int column to string literal.
+  auto r1 = engine_.Run(
+      SeqRef("s").Select(Gt(Col("value"), Lit("abc"))).Build());
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kTypeError);
+  // Non-bool predicate.
+  auto r2 = engine_.Run(
+      SeqRef("s").Select(Add(Col("value"), Lit(int64_t{1}))).Build());
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(ErrorsTest, ComposePredicateSideValidation) {
+  // A right-side reference in a single-input select.
+  auto r = engine_.Run(
+      SeqRef("s").Select(Gt(Col("value", 1), Lit(1.0))).Build());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(ErrorsTest, ConstantRefToBaseAndViceVersa) {
+  SchemaPtr cschema = Schema::Make({Field{"k", TypeId::kDouble}});
+  ASSERT_TRUE(engine_
+                  .RegisterConstant("c", cschema, Record{Value::Double(1.0)})
+                  .ok());
+  EXPECT_FALSE(engine_.Run(ConstRef("s").Build()).ok());
+  EXPECT_FALSE(engine_.Run(SeqRef("c").Build()).ok());
+}
+
+TEST_F(ErrorsTest, UnboundedQueryOverConstantsRejected) {
+  SchemaPtr cschema = Schema::Make({Field{"k", TypeId::kDouble}});
+  ASSERT_TRUE(engine_
+                  .RegisterConstant("c", cschema, Record{Value::Double(1.0)})
+                  .ok());
+  // A constant alone has no finite span and no base to bound it.
+  auto r = engine_.Run(ConstRef("c").Build());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // With an explicit range it works and is dense.
+  auto bounded = engine_.Run(ConstRef("c").Build(), Span::Of(1, 5));
+  ASSERT_TRUE(bounded.ok()) << bounded.status();
+  EXPECT_EQ(bounded->records.size(), 5u);
+}
+
+TEST_F(ErrorsTest, UnsortedPointPositionsRejected) {
+  Query q;
+  q.graph = SeqRef("s").Build();
+  q.positions = {5, 3};
+  auto r = engine_.Plan(q);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ErrorsTest, EmptyRangeYieldsEmptyResultNotError) {
+  auto r = engine_.Run(SeqRef("s").Build(), Span::Of(500, 600));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->records.empty());
+  auto r2 = engine_.Run(SeqRef("s").Build(), Span::Empty());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->records.empty());
+}
+
+TEST_F(ErrorsTest, StatusRendering) {
+  Status s = Status::TypeError("boom");
+  EXPECT_EQ(s.ToString(), "TypeError: boom");
+  std::ostringstream oss;
+  oss << s;
+  EXPECT_EQ(oss.str(), "TypeError: boom");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+// --- parser fuzz ---------------------------------------------------------------
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string input;
+    int len = static_cast<int>(rng.UniformInt(0, 60));
+    for (int i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(rng.UniformInt(32, 126)));
+    }
+    (void)ParseSequin(input);  // must return a Status, never crash
+  }
+}
+
+TEST(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  Rng rng(2025);
+  const char* tokens[] = {"select", "(", ")", ",", ";", "=",   "prev",
+                          "over",   "s", "x", "1", "+", "and", "\"q\"",
+                          "compose", "as", ".", "pos", "running"};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string input;
+    int len = static_cast<int>(rng.UniformInt(1, 25));
+    for (int i = 0; i < len; ++i) {
+      input += tokens[rng.UniformInt(0, 18)];
+      input += " ";
+    }
+    (void)ParseSequin(input);
+  }
+}
+
+// --- concurrent read-only queries ------------------------------------------------
+
+TEST(ConcurrencyTest, ParallelQueriesOnSharedEngine) {
+  Engine engine;
+  StockSeriesOptions s;
+  s.span = Span::Of(1, 5000);
+  s.density = 0.9;
+  s.seed = 17;
+  ASSERT_TRUE(engine.RegisterBase("prices", *MakeStockSeries(s)).ok());
+
+  auto query = SeqRef("prices")
+                   .Select(Gt(Col("close"), Lit(95.0)))
+                   .Agg(AggFunc::kAvg, "close", 7)
+                   .Build();
+  auto reference = engine.Run(query);
+  ASSERT_TRUE(reference.ok());
+  size_t expected = reference->records.size();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 20; ++i) {
+        auto result = engine.Run(query);
+        if (!result.ok() || result->records.size() != expected) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace seq

@@ -1,0 +1,239 @@
+// Unit tests for the expression module: tree construction, analysis,
+// rewriting helpers, type checking and evaluation semantics.
+
+#include <gtest/gtest.h>
+
+#include "expr/compiled_expr.h"
+#include "expr/expr.h"
+#include "types/schema.h"
+
+namespace seq {
+namespace {
+
+SchemaPtr PriceSchema() {
+  return Schema::Make({Field{"close", TypeId::kDouble},
+                       Field{"volume", TypeId::kInt64},
+                       Field{"hot", TypeId::kBool},
+                       Field{"tag", TypeId::kString}});
+}
+
+Record PriceRecord(double close, int64_t volume, bool hot,
+                   const std::string& tag) {
+  return Record{Value::Double(close), Value::Int64(volume), Value::Bool(hot),
+                Value::String(tag)};
+}
+
+// --- tree construction / analysis --------------------------------------------
+
+TEST(ExprTest, ToStringRendersTree) {
+  ExprPtr e = And(Gt(Col("close"), Lit(10.0)), Not(Col("hot")));
+  EXPECT_EQ(e->ToString(), "((close > 10) and not(hot))");
+}
+
+TEST(ExprTest, CollectColumnsFindsAllSides) {
+  ExprPtr e = Gt(Col("a", 0), Col("b", 1));
+  std::vector<std::pair<int, std::string>> cols;
+  e->CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], (std::pair<int, std::string>{0, "a"}));
+  EXPECT_EQ(cols[1], (std::pair<int, std::string>{1, "b"}));
+}
+
+TEST(ExprTest, ReferencesOnlySide) {
+  EXPECT_TRUE(Gt(Col("a"), Lit(1.0))->ReferencesOnlySide(0));
+  EXPECT_FALSE(Gt(Col("a", 1), Lit(1.0))->ReferencesOnlySide(0));
+  EXPECT_TRUE(Lit(true)->ReferencesOnlySide(0));  // vacuous
+  EXPECT_FALSE(Lit(true)->ReferencesAnyColumn());
+}
+
+TEST(ExprTest, EqualsIsStructural) {
+  ExprPtr a = Gt(Col("x"), Lit(int64_t{1}));
+  ExprPtr b = Gt(Col("x"), Lit(int64_t{1}));
+  ExprPtr c = Ge(Col("x"), Lit(int64_t{1}));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(ExprTest, RenameColumns) {
+  ExprPtr e = Gt(Col("old"), Col("keep"));
+  ExprPtr renamed = e->RenameColumns({{"old", "new"}});
+  EXPECT_EQ(renamed->ToString(), "(new > keep)");
+}
+
+TEST(ExprTest, RemapColumnsChangesSides) {
+  ExprPtr e = Gt(Col("a", 0), Col("b", 0));
+  ExprPtr remapped = e->RemapColumns({{{0, "a"}, {0, "x"}},
+                                      {{0, "b"}, {1, "y"}}});
+  std::vector<std::pair<int, std::string>> cols;
+  remapped->CollectColumns(&cols);
+  EXPECT_EQ(cols[0], (std::pair<int, std::string>{0, "x"}));
+  EXPECT_EQ(cols[1], (std::pair<int, std::string>{1, "y"}));
+}
+
+TEST(ExprTest, WithAllSides) {
+  ExprPtr e = Gt(Col("a", 1), Col("b", 1))->WithAllSides(0);
+  EXPECT_TRUE(e->ReferencesOnlySide(0));
+}
+
+TEST(ExprTest, ContainsPosition) {
+  EXPECT_TRUE(Gt(Expr::Position(), Lit(int64_t{5}))->ContainsPosition());
+  EXPECT_FALSE(Gt(Col("a"), Lit(int64_t{5}))->ContainsPosition());
+}
+
+TEST(ExprTest, ConjoinAndSplitRoundTrip) {
+  std::vector<ExprPtr> terms = {Gt(Col("a"), Lit(1.0)),
+                                Lt(Col("b"), Lit(2.0)),
+                                Eq(Col("c"), Lit(3.0))};
+  ExprPtr conj = ConjoinAll(terms);
+  std::vector<ExprPtr> split;
+  SplitConjuncts(conj, &split);
+  ASSERT_EQ(split.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(split[i]->Equals(*terms[i]));
+  }
+}
+
+TEST(ExprTest, ConjoinAllHandlesEmptyAndSingle) {
+  EXPECT_EQ(ConjoinAll({}), nullptr);
+  ExprPtr single = Gt(Col("a"), Lit(1.0));
+  EXPECT_TRUE(ConjoinAll({single})->Equals(*single));
+}
+
+// --- compilation / type checking ---------------------------------------------
+
+TEST(CompiledExprTest, TypeChecksComparableTypes) {
+  SchemaPtr s = PriceSchema();
+  EXPECT_TRUE(CompiledExpr::CompilePredicate(
+                  Gt(Col("close"), Col("volume")), *s)
+                  .ok());  // double vs int64 is fine
+  auto bad = CompiledExpr::CompilePredicate(Gt(Col("close"), Col("tag")), *s);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTypeError);
+}
+
+TEST(CompiledExprTest, RejectsUnknownColumn) {
+  SchemaPtr s = PriceSchema();
+  auto r = CompiledExpr::CompilePredicate(Gt(Col("nope"), Lit(1.0)), *s);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CompiledExprTest, RejectsNonBoolPredicate) {
+  SchemaPtr s = PriceSchema();
+  auto r = CompiledExpr::CompilePredicate(Add(Col("close"), Lit(1.0)), *s);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(CompiledExprTest, RejectsBoolArithmetic) {
+  SchemaPtr s = PriceSchema();
+  auto r = CompiledExpr::Compile(Add(Col("hot"), Lit(1.0)), *s);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CompiledExprTest, RejectsNonBoolConnective) {
+  SchemaPtr s = PriceSchema();
+  auto r = CompiledExpr::Compile(And(Col("close"), Col("hot")), *s);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CompiledExprTest, RejectsRightSideWithoutRightSchema) {
+  SchemaPtr s = PriceSchema();
+  auto r = CompiledExpr::Compile(Gt(Col("close", 1), Lit(1.0)), *s);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CompiledExprTest, ResultTypePromotion) {
+  SchemaPtr s = PriceSchema();
+  auto int_sum =
+      CompiledExpr::Compile(Add(Col("volume"), Lit(int64_t{1})), *s);
+  ASSERT_TRUE(int_sum.ok());
+  EXPECT_EQ(int_sum->result_type(), TypeId::kInt64);
+  auto mixed = CompiledExpr::Compile(Add(Col("volume"), Col("close")), *s);
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(mixed->result_type(), TypeId::kDouble);
+}
+
+// --- evaluation ---------------------------------------------------------------
+
+class EvalTest : public ::testing::Test {
+ protected:
+  Value Eval(const ExprPtr& e, Position pos = 0) {
+    auto compiled = CompiledExpr::Compile(e, *schema_);
+    EXPECT_TRUE(compiled.ok()) << compiled.status();
+    return compiled->Eval(record_, pos);
+  }
+
+  SchemaPtr schema_ = PriceSchema();
+  Record record_ = PriceRecord(25.5, 100, true, "blue");
+};
+
+TEST_F(EvalTest, ColumnAndLiteral) {
+  EXPECT_DOUBLE_EQ(Eval(Col("close")).dbl(), 25.5);
+  EXPECT_EQ(Eval(Lit(int64_t{9})).int64(), 9);
+}
+
+TEST_F(EvalTest, PositionNode) {
+  EXPECT_EQ(Eval(Expr::Position(), 42).int64(), 42);
+}
+
+TEST_F(EvalTest, IntArithmeticStaysInt) {
+  Value v = Eval(Mul(Col("volume"), Lit(int64_t{3})));
+  EXPECT_EQ(v.type(), TypeId::kInt64);
+  EXPECT_EQ(v.int64(), 300);
+}
+
+TEST_F(EvalTest, IntDivisionTruncates) {
+  EXPECT_EQ(Eval(Div(Col("volume"), Lit(int64_t{3}))).int64(), 33);
+}
+
+TEST_F(EvalTest, IntDivisionByZeroYieldsZero) {
+  EXPECT_EQ(Eval(Div(Col("volume"), Lit(int64_t{0}))).int64(), 0);
+}
+
+TEST_F(EvalTest, MixedArithmeticPromotes) {
+  Value v = Eval(Add(Col("volume"), Col("close")));
+  EXPECT_EQ(v.type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(v.dbl(), 125.5);
+}
+
+TEST_F(EvalTest, Comparisons) {
+  EXPECT_TRUE(Eval(Gt(Col("close"), Lit(20.0))).boolean());
+  EXPECT_FALSE(Eval(Lt(Col("close"), Lit(20.0))).boolean());
+  EXPECT_TRUE(Eval(Eq(Col("tag"), Lit("blue"))).boolean());
+  EXPECT_TRUE(Eval(Ne(Col("tag"), Lit("red"))).boolean());
+  EXPECT_TRUE(Eval(Le(Col("volume"), Lit(int64_t{100}))).boolean());
+  EXPECT_TRUE(Eval(Ge(Col("volume"), Lit(int64_t{100}))).boolean());
+}
+
+TEST_F(EvalTest, ConnectivesShortCircuit) {
+  // The right side would be a type-correct but absurd comparison; short
+  // circuiting is observable via the result only, so just check truth
+  // tables.
+  EXPECT_FALSE(Eval(And(Lit(false), Col("hot"))).boolean());
+  EXPECT_TRUE(Eval(Or(Lit(true), Col("hot"))).boolean());
+  EXPECT_FALSE(Eval(Not(Col("hot"))).boolean());
+}
+
+TEST_F(EvalTest, UnaryNumeric) {
+  EXPECT_EQ(Eval(Expr::Unary(UnaryOp::kNeg, Col("volume"))).int64(), -100);
+  EXPECT_DOUBLE_EQ(
+      Eval(Expr::Unary(UnaryOp::kAbs,
+                       Expr::Unary(UnaryOp::kNeg, Col("close"))))
+          .dbl(),
+      25.5);
+}
+
+TEST_F(EvalTest, TwoSidedEvaluation) {
+  SchemaPtr right = Schema::Make({Field{"limit", TypeId::kDouble}});
+  auto compiled = CompiledExpr::CompilePredicate(
+      Gt(Col("close", 0), Col("limit", 1)), *schema_, right.get());
+  ASSERT_TRUE(compiled.ok());
+  Record r{Value::Double(20.0)};
+  EXPECT_TRUE(compiled->EvalBool(record_, &r, 0));
+  Record r2{Value::Double(30.0)};
+  EXPECT_FALSE(compiled->EvalBool(record_, &r2, 0));
+}
+
+}  // namespace
+}  // namespace seq

@@ -1,0 +1,178 @@
+// Tests for the §5.1 interval extension: IntervalSet, the bridge to/from
+// point sequences, coalescing, and the overlap/contain/precede joins.
+
+#include <gtest/gtest.h>
+
+#include "interval/interval_ops.h"
+#include "interval/interval_set.h"
+
+namespace seq {
+namespace {
+
+SchemaPtr NameSchema() {
+  return Schema::Make({Field{"name", TypeId::kString}});
+}
+
+IntervalSet Make(std::initializer_list<std::tuple<Position, Position,
+                                                  const char*>> items) {
+  IntervalSet set(NameSchema());
+  for (auto [s, e, name] : items) {
+    EXPECT_TRUE(set.Add(s, e, Record{Value::String(name)}).ok());
+  }
+  return set;
+}
+
+TEST(IntervalSetTest, KeepsRecordsSortedByStart) {
+  IntervalSet set = Make({{10, 20, "b"}, {1, 5, "a"}, {10, 15, "c"}});
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.records()[0].rec[0].str(), "a");
+  EXPECT_EQ(set.records()[1].rec[0].str(), "c");  // same start, shorter first
+  EXPECT_EQ(set.records()[2].rec[0].str(), "b");
+  EXPECT_EQ(set.Hull(), Span::Of(1, 20));
+}
+
+TEST(IntervalSetTest, RejectsBadIntervalsAndRecords) {
+  IntervalSet set(NameSchema());
+  EXPECT_FALSE(set.Add(5, 3, Record{Value::String("x")}).ok());
+  EXPECT_FALSE(set.Add(1, 2, Record{Value::Int64(1)}).ok());
+}
+
+TEST(IntervalSetTest, FromSequenceMakesUnitIntervals) {
+  auto store = std::make_shared<BaseSequenceStore>(NameSchema(), 4);
+  ASSERT_TRUE(store->Append(3, Record{Value::String("x")}).ok());
+  ASSERT_TRUE(store->Append(7, Record{Value::String("y")}).ok());
+  auto set = IntervalSet::FromSequence(*store);
+  ASSERT_TRUE(set.ok());
+  ASSERT_EQ(set->size(), 2u);
+  EXPECT_EQ(set->records()[0].start, 3);
+  EXPECT_EQ(set->records()[0].end, 3);
+}
+
+TEST(IntervalSetTest, CoalesceMergesNearbyIntervals) {
+  IntervalSet set =
+      Make({{1, 3, "a"}, {4, 6, "b"}, {10, 12, "c"}, {20, 25, "d"}});
+  IntervalSet merged = set.Coalesce(0);  // touching merge: [1,3]+[4,6]
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged.records()[0].start, 1);
+  EXPECT_EQ(merged.records()[0].end, 6);
+  IntervalSet sessions = set.Coalesce(3);  // gap<=3 merges [10,12] too
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions.records()[0].end, 12);
+  EXPECT_EQ(sessions.records()[1].start, 20);
+}
+
+TEST(IntervalSetTest, ToSequencePicksLatestStartingCover) {
+  IntervalSet set = Make({{1, 10, "outer"}, {4, 6, "inner"}});
+  auto store = set.ToSequence();
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->num_records(), 10);
+  auto at = [&](Position p) {
+    return (*(*store)->Probe(p, nullptr))[0].str();
+  };
+  EXPECT_EQ(at(3), "outer");
+  EXPECT_EQ(at(5), "inner");
+  EXPECT_EQ(at(8), "outer");
+}
+
+TEST(IntervalSetTest, ToSequenceWithGaps) {
+  IntervalSet set = Make({{1, 2, "a"}, {5, 5, "b"}});
+  auto store = set.ToSequence();
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->num_records(), 3);
+  EXPECT_FALSE((*store)->Probe(3, nullptr).has_value());
+}
+
+// --- joins -------------------------------------------------------------------
+
+TEST(IntervalJoinTest, OverlapJoinIntersects) {
+  IntervalSet storms = Make({{1, 5, "storm1"}, {10, 14, "storm2"}});
+  IntervalSet outages = Make({{4, 11, "outage"}});
+  IntervalStats stats;
+  auto joined = OverlapJoin(storms, outages, nullptr, &stats);
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  ASSERT_EQ(joined->size(), 2u);
+  EXPECT_EQ(joined->records()[0].start, 4);
+  EXPECT_EQ(joined->records()[0].end, 5);
+  EXPECT_EQ(joined->records()[0].rec[0].str(), "storm1");
+  EXPECT_EQ(joined->records()[0].rec[1].str(), "outage");
+  EXPECT_EQ(joined->records()[1].start, 10);
+  EXPECT_EQ(joined->records()[1].end, 11);
+  EXPECT_GT(stats.pairs_examined, 0);
+}
+
+TEST(IntervalJoinTest, OverlapJoinWithPredicate) {
+  SchemaPtr num = Schema::Make({Field{"v", TypeId::kInt64}});
+  IntervalSet a(num), b(num);
+  ASSERT_TRUE(a.Add(1, 10, Record{Value::Int64(5)}).ok());
+  ASSERT_TRUE(b.Add(2, 3, Record{Value::Int64(1)}).ok());
+  ASSERT_TRUE(b.Add(4, 6, Record{Value::Int64(9)}).ok());
+  auto joined = OverlapJoin(a, b, Gt(Col("v", 0), Col("v", 1)));
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  ASSERT_EQ(joined->size(), 1u);  // only 5 > 1 passes
+  EXPECT_EQ(joined->records()[0].start, 2);
+}
+
+TEST(IntervalJoinTest, OverlapJoinSchemaRenamesClashes) {
+  IntervalSet a = Make({{1, 2, "x"}});
+  IntervalSet b = Make({{2, 3, "y"}});
+  auto joined = OverlapJoin(a, b);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->schema()->ToString(), "<name:string, name_r:string>");
+}
+
+TEST(IntervalJoinTest, ContainJoinRequiresFullContainment) {
+  IntervalSet eras = Make({{1, 100, "era"}});
+  IntervalSet events = Make({{5, 10, "inside"}, {90, 110, "straddles"}});
+  auto joined = ContainJoin(eras, events);
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->size(), 1u);
+  EXPECT_EQ(joined->records()[0].rec[1].str(), "inside");
+  EXPECT_EQ(joined->records()[0].start, 5);
+  EXPECT_EQ(joined->records()[0].end, 10);
+}
+
+TEST(IntervalJoinTest, PrecedeJoinHonorsGap) {
+  IntervalSet quakes = Make({{10, 12, "quake"}});
+  IntervalSet tsunamis =
+      Make({{14, 15, "soon"}, {30, 31, "late"}, {11, 12, "during"}});
+  auto joined = PrecedeJoin(quakes, tsunamis, /*max_gap=*/5);
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  ASSERT_EQ(joined->size(), 1u);  // only "soon": after the quake, within 5
+  EXPECT_EQ(joined->records()[0].rec[1].str(), "soon");
+  EXPECT_EQ(joined->records()[0].start, 10);
+  EXPECT_EQ(joined->records()[0].end, 15);
+  EXPECT_FALSE(PrecedeJoin(quakes, tsunamis, -1).ok());
+}
+
+TEST(IntervalJoinTest, EmptyInputsYieldEmptyOutputs) {
+  IntervalSet empty(NameSchema());
+  IntervalSet some = Make({{1, 2, "a"}});
+  auto j1 = OverlapJoin(empty, some);
+  ASSERT_TRUE(j1.ok());
+  EXPECT_EQ(j1->size(), 0u);
+  auto j2 = ContainJoin(some, empty);
+  ASSERT_TRUE(j2.ok());
+  EXPECT_EQ(j2->size(), 0u);
+}
+
+// Round trip through the point-sequence engine: intervals -> sequence ->
+// engine query -> intervals.
+TEST(IntervalBridgeTest, SequenceQueriesOverIntervalData) {
+  SchemaPtr schema = Schema::Make({Field{"load", TypeId::kDouble}});
+  IntervalSet set(schema);
+  ASSERT_TRUE(set.Add(1, 5, Record{Value::Double(10.0)}).ok());
+  ASSERT_TRUE(set.Add(4, 8, Record{Value::Double(99.0)}).ok());
+  auto store = set.ToSequence();
+  ASSERT_TRUE(store.ok());
+  // Positions 4..8 carry the later interval's load.
+  auto probe = (*store)->Probe(4, nullptr);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_DOUBLE_EQ((*probe)[0].dbl(), 99.0);
+  // Back to intervals: runs of equal coverage coalesce.
+  auto back = IntervalSet::FromSequence(**store);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Coalesce(0).size(), 1u);  // 1..8 continuous
+}
+
+}  // namespace
+}  // namespace seq

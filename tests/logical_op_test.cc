@@ -1,0 +1,131 @@
+// Unit tests for the logical operator layer: construction invariants,
+// deep cloning, leaf collection, descriptions, and the builder.
+
+#include <gtest/gtest.h>
+
+#include "logical/builder.h"
+#include "logical/logical_op.h"
+
+namespace seq {
+namespace {
+
+TEST(LogicalOpTest, FactoryShapes) {
+  auto base = LogicalOp::BaseRef("s");
+  EXPECT_EQ(base->kind(), OpKind::kBaseRef);
+  EXPECT_EQ(base->arity(), 0u);
+  EXPECT_EQ(base->seq_name(), "s");
+
+  auto select = LogicalOp::Select(base, Gt(Col("v"), Lit(1.0)));
+  EXPECT_EQ(select->arity(), 1u);
+  EXPECT_EQ(select->input()->kind(), OpKind::kBaseRef);
+
+  auto compose = LogicalOp::Compose(base, LogicalOp::BaseRef("t"));
+  EXPECT_EQ(compose->arity(), 2u);
+}
+
+TEST(LogicalOpTest, AggFactories) {
+  auto trailing =
+      LogicalOp::WindowAgg(LogicalOp::BaseRef("s"), AggFunc::kSum, "v", 5);
+  EXPECT_EQ(trailing->window_kind(), WindowKind::kTrailing);
+  EXPECT_EQ(trailing->window(), 5);
+  auto running =
+      LogicalOp::RunningAgg(LogicalOp::BaseRef("s"), AggFunc::kMin, "v");
+  EXPECT_EQ(running->window_kind(), WindowKind::kRunning);
+  auto overall =
+      LogicalOp::OverallAgg(LogicalOp::BaseRef("s"), AggFunc::kMax, "v",
+                            "peak");
+  EXPECT_EQ(overall->window_kind(), WindowKind::kAll);
+  EXPECT_EQ(overall->output_name(), "peak");
+}
+
+TEST(LogicalOpTest, CloneIsDeep) {
+  auto original = SeqRef("s")
+                      .Select(Gt(Col("v"), Lit(1.0)))
+                      .ComposeWith(SeqRef("t").Prev())
+                      .Build();
+  auto clone = original->Clone();
+  EXPECT_NE(clone.get(), original.get());
+  EXPECT_NE(clone->input(0).get(), original->input(0).get());
+  EXPECT_NE(clone->input(1).get(), original->input(1).get());
+  // Expressions are immutable and intentionally shared.
+  EXPECT_EQ(clone->input(0)->predicate().get(),
+            original->input(0)->predicate().get());
+  // Mutating the clone's structure leaves the original intact.
+  clone->mutable_input(0) = LogicalOp::BaseRef("other");
+  EXPECT_EQ(original->input(0)->kind(), OpKind::kSelect);
+}
+
+TEST(LogicalOpTest, CollectLeavesInOrder) {
+  auto q = SeqRef("a")
+               .ComposeWith(SeqRef("b").ComposeWith(ConstRef("c")))
+               .Build();
+  std::vector<const LogicalOp*> leaves;
+  q->CollectLeaves(&leaves);
+  ASSERT_EQ(leaves.size(), 3u);
+  EXPECT_EQ(leaves[0]->seq_name(), "a");
+  EXPECT_EQ(leaves[1]->seq_name(), "b");
+  EXPECT_EQ(leaves[2]->seq_name(), "c");
+  EXPECT_EQ(leaves[2]->kind(), OpKind::kConstantRef);
+}
+
+TEST(LogicalOpTest, DescribeForms) {
+  EXPECT_EQ(LogicalOp::BaseRef("s")->Describe(), "BaseRef(s)");
+  EXPECT_EQ(LogicalOp::Select(LogicalOp::BaseRef("s"),
+                              Gt(Col("v"), Lit(int64_t{3})))
+                ->Describe(),
+            "Select((v > 3))");
+  EXPECT_EQ(LogicalOp::Project(LogicalOp::BaseRef("s"), {"a", "b"},
+                               {"", "bee"})
+                ->Describe(),
+            "Project(a, b as bee)");
+  EXPECT_EQ(LogicalOp::PositionalOffset(LogicalOp::BaseRef("s"), -4)
+                ->Describe(),
+            "PositionalOffset(-4)");
+  EXPECT_EQ(LogicalOp::WindowAgg(LogicalOp::BaseRef("s"), AggFunc::kAvg,
+                                 "v", 3)
+                ->Describe(),
+            "WindowAgg(avg v over 3)");
+  EXPECT_EQ(LogicalOp::RunningAgg(LogicalOp::BaseRef("s"), AggFunc::kSum,
+                                  "v")
+                ->Describe(),
+            "WindowAgg(sum v running)");
+  EXPECT_EQ(LogicalOp::Collapse(LogicalOp::BaseRef("s"), 7, AggFunc::kMax,
+                                "v")
+                ->Describe(),
+            "Collapse(max v by 7)");
+}
+
+TEST(LogicalOpTest, TreeStringIndentsAndShowsMeta) {
+  auto q = SeqRef("s").Prev().Build();
+  std::string text = q->ToTreeString();
+  EXPECT_NE(text.find("ValueOffset(-1)\n"), std::string::npos);
+  EXPECT_NE(text.find("  BaseRef(s)"), std::string::npos);
+  // Unannotated: no meta braces.
+  EXPECT_EQ(text.find("span="), std::string::npos);
+}
+
+TEST(BuilderTest, ChainingIsValueSemantics) {
+  QueryBuilder base = SeqRef("s");
+  QueryBuilder a = base.Select(Gt(Col("v"), Lit(1.0)));
+  QueryBuilder b = base.Offset(3);
+  // Both derive from the same base without interference.
+  EXPECT_EQ(a.Build()->kind(), OpKind::kSelect);
+  EXPECT_EQ(b.Build()->kind(), OpKind::kPositionalOffset);
+  EXPECT_EQ(a.Build()->input().get(), b.Build()->input().get());
+}
+
+TEST(LogicalOpTest, NonUnitScopeClassification) {
+  auto base = LogicalOp::BaseRef("s");
+  EXPECT_FALSE(LogicalOp::Select(base, Gt(Col("v"), Lit(1.0)))
+                   ->IsNonUnitScope());
+  EXPECT_FALSE(LogicalOp::PositionalOffset(base, 5)->IsNonUnitScope());
+  EXPECT_TRUE(LogicalOp::ValueOffset(base, -1)->IsNonUnitScope());
+  EXPECT_TRUE(LogicalOp::WindowAgg(base, AggFunc::kSum, "v", 2)
+                  ->IsNonUnitScope());
+  EXPECT_TRUE(LogicalOp::Collapse(base, 7, AggFunc::kSum, "v")
+                  ->IsNonUnitScope());
+  EXPECT_FALSE(LogicalOp::Compose(base, base)->IsNonUnitScope());
+}
+
+}  // namespace
+}  // namespace seq

@@ -1,0 +1,100 @@
+// Tests for the physical plan layer: descriptor naming, explain output
+// structure, and the plan shapes the optimizer emits for canonical
+// queries.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/engine.h"
+#include "optimizer/physical_plan.h"
+#include "workload/generators.h"
+
+namespace seq {
+namespace {
+
+TEST(PhysicalPlanNamesTest, EnumsRender) {
+  EXPECT_STREQ(AccessModeName(AccessMode::kStream), "stream");
+  EXPECT_STREQ(AccessModeName(AccessMode::kProbed), "probed");
+  EXPECT_STREQ(JoinStrategyName(JoinStrategy::kStreamBoth),
+               "B:stream-both");
+  EXPECT_STREQ(JoinStrategyName(JoinStrategy::kStreamLeftProbeRight),
+               "A:stream-left-probe-right");
+  EXPECT_STREQ(AggStrategyName(AggStrategy::kCacheA), "cache-A");
+  EXPECT_STREQ(OffsetStrategyName(OffsetStrategy::kIncrementalCacheB),
+               "cache-B");
+}
+
+class PlanShapeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(RegisterTable1Stocks(&engine_.catalog()).ok());
+  }
+
+  PhysicalPlan Plan(const LogicalOpPtr& graph) {
+    Query q;
+    q.graph = graph;
+    auto plan = engine_.Plan(q);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    return *plan;
+  }
+
+  Engine engine_;
+};
+
+TEST_F(PlanShapeTest, ExplainCarriesModesStrategiesAndCaches) {
+  auto plan = Plan(SeqRef("ibm")
+                       .Agg(AggFunc::kAvg, "close", 12)
+                       .ComposeWith(SeqRef("dec").Prev())
+                       .Build());
+  std::string text = plan.Explain();
+  EXPECT_NE(text.find("Start [stream"), std::string::npos);
+  EXPECT_NE(text.find("WindowAgg [stream, cache-A]"), std::string::npos);
+  EXPECT_NE(text.find("cache=12"), std::string::npos);
+  EXPECT_NE(text.find("ValueOffset [stream, cache-B]"), std::string::npos);
+  EXPECT_NE(text.find("Compose [stream"), std::string::npos);
+  EXPECT_NE(text.find("BaseRef [stream] ibm"), std::string::npos);
+  EXPECT_NE(text.find("est_cost="), std::string::npos);
+}
+
+TEST_F(PlanShapeTest, EveryNodeCarriesSchemaAndRequiredSpan) {
+  auto plan = Plan(SeqRef("ibm")
+                       .Select(Gt(Col("close"), Lit(100.0)))
+                       .Project({"close"})
+                       .Build());
+  std::function<void(const PhysNode&)> walk = [&](const PhysNode& node) {
+    EXPECT_NE(node.out_schema, nullptr) << OpKindName(node.op);
+    EXPECT_FALSE(node.required.IsUnbounded()) << OpKindName(node.op);
+    for (const PhysNodePtr& child : node.children) walk(*child);
+  };
+  walk(*plan.root);
+}
+
+TEST_F(PlanShapeTest, CostsAccumulateUpTheTree) {
+  auto plan = Plan(SeqRef("hp").Agg(AggFunc::kSum, "close", 4).Build());
+  const PhysNode* agg = plan.root.get();
+  while (agg->op != OpKind::kWindowAgg) agg = agg->children[0].get();
+  const PhysNode* scan = agg->children[0].get();
+  EXPECT_GT(scan->est_cost, 0.0);
+  EXPECT_GT(agg->est_cost, scan->est_cost);
+  EXPECT_GE(plan.est_cost, agg->est_cost);
+}
+
+TEST_F(PlanShapeTest, EstimatedCostTracksMeasuredCost) {
+  // Not exact — estimates use expectations — but the same order of
+  // magnitude for a simple scan-heavy plan.
+  auto graph = SeqRef("hp").Agg(AggFunc::kAvg, "close", 8).Build();
+  Query q;
+  q.graph = graph;
+  auto plan = engine_.Plan(q);
+  ASSERT_TRUE(plan.ok());
+  AccessStats stats;
+  Executor executor(engine_.catalog());
+  auto result = executor.Execute(*plan, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(stats.simulated_cost, plan->est_cost * 0.2);
+  EXPECT_LT(stats.simulated_cost, plan->est_cost * 5.0);
+}
+
+}  // namespace
+}  // namespace seq

@@ -1,0 +1,251 @@
+#include "tests/reference_eval.h"
+
+#include <algorithm>
+
+namespace seq::testing {
+namespace {
+
+/// Aggregates `values` with `func` per the paper's rules (Nulls already
+/// removed by the caller; empty input means Null output).
+std::optional<Value> Aggregate(AggFunc func, TypeId type,
+                               const std::vector<Value>& values) {
+  if (values.empty()) return std::nullopt;
+  switch (func) {
+    case AggFunc::kCount:
+      return Value::Int64(static_cast<int64_t>(values.size()));
+    case AggFunc::kSum: {
+      if (type == TypeId::kInt64) {
+        int64_t s = 0;
+        for (const Value& v : values) s += v.int64();
+        return Value::Int64(s);
+      }
+      double s = 0;
+      for (const Value& v : values) s += v.AsDouble();
+      return Value::Double(s);
+    }
+    case AggFunc::kAvg: {
+      double s = 0;
+      for (const Value& v : values) s += v.AsDouble();
+      return Value::Double(s / static_cast<double>(values.size()));
+    }
+    case AggFunc::kMin: {
+      Value best = values[0];
+      for (const Value& v : values) {
+        if (v.Compare(best) < 0) best = v;
+      }
+      return best;
+    }
+    case AggFunc::kMax: {
+      Value best = values[0];
+      for (const Value& v : values) {
+        if (v.Compare(best) > 0) best = v;
+      }
+      return best;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<SchemaPtr> ReferenceEvaluator::SchemaOf(const LogicalOp& op) const {
+  // Minimal recursive schema derivation (independent of the optimizer's
+  // annotator on purpose).
+  switch (op.kind()) {
+    case OpKind::kBaseRef:
+    case OpKind::kConstantRef: {
+      SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
+                           catalog_->Lookup(op.seq_name()));
+      return entry->schema;
+    }
+    case OpKind::kSelect:
+    case OpKind::kPositionalOffset:
+    case OpKind::kValueOffset:
+    case OpKind::kExpand:
+      return SchemaOf(*op.input());
+    case OpKind::kProject: {
+      SEQ_ASSIGN_OR_RETURN(SchemaPtr in, SchemaOf(*op.input()));
+      std::vector<size_t> indices;
+      for (const std::string& col : op.columns()) {
+        SEQ_ASSIGN_OR_RETURN(size_t idx, in->FieldIndex(col));
+        indices.push_back(idx);
+      }
+      return in->Project(indices, op.renames());
+    }
+    case OpKind::kWindowAgg:
+    case OpKind::kCollapse: {
+      SEQ_ASSIGN_OR_RETURN(SchemaPtr in, SchemaOf(*op.input()));
+      SEQ_ASSIGN_OR_RETURN(size_t idx, in->FieldIndex(op.agg_column()));
+      TypeId col = in->field(idx).type;
+      TypeId out;
+      switch (op.agg_func()) {
+        case AggFunc::kCount:
+          out = TypeId::kInt64;
+          break;
+        case AggFunc::kAvg:
+          out = TypeId::kDouble;
+          break;
+        default:
+          out = col;
+      }
+      std::string name = op.output_name().empty()
+                             ? std::string(AggFuncName(op.agg_func())) + "_" +
+                                   op.agg_column()
+                             : op.output_name();
+      return Schema::Make({Field{name, out}});
+    }
+    case OpKind::kCompose: {
+      SEQ_ASSIGN_OR_RETURN(SchemaPtr l, SchemaOf(*op.input(0)));
+      SEQ_ASSIGN_OR_RETURN(SchemaPtr r, SchemaOf(*op.input(1)));
+      return Schema::Concat(*l, *r);
+    }
+  }
+  return Status::Internal("unknown op");
+}
+
+Result<std::optional<Record>> ReferenceEvaluator::At(const LogicalOp& op,
+                                                     Position pos) const {
+  auto key = std::make_pair(&op, pos);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+  SEQ_ASSIGN_OR_RETURN(std::optional<Record> result, AtImpl(op, pos));
+  memo_.emplace(std::move(key), result);
+  return result;
+}
+
+Result<std::optional<Record>> ReferenceEvaluator::AtImpl(const LogicalOp& op,
+                                                         Position pos) const {
+  switch (op.kind()) {
+    case OpKind::kBaseRef: {
+      SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
+                           catalog_->Lookup(op.seq_name()));
+      return entry->store->Probe(pos, /*stats=*/nullptr);
+    }
+    case OpKind::kConstantRef: {
+      SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
+                           catalog_->Lookup(op.seq_name()));
+      return std::optional<Record>(entry->constant);
+    }
+    case OpKind::kSelect: {
+      SEQ_ASSIGN_OR_RETURN(std::optional<Record> rec, At(*op.input(), pos));
+      if (!rec.has_value()) return std::optional<Record>();
+      SEQ_ASSIGN_OR_RETURN(SchemaPtr schema, SchemaOf(*op.input()));
+      SEQ_ASSIGN_OR_RETURN(
+          CompiledExpr pred,
+          CompiledExpr::CompilePredicate(op.predicate(), *schema));
+      if (!pred.EvalBool(*rec, pos)) return std::optional<Record>();
+      return rec;
+    }
+    case OpKind::kProject: {
+      SEQ_ASSIGN_OR_RETURN(std::optional<Record> rec, At(*op.input(), pos));
+      if (!rec.has_value()) return std::optional<Record>();
+      SEQ_ASSIGN_OR_RETURN(SchemaPtr schema, SchemaOf(*op.input()));
+      Record out;
+      for (const std::string& col : op.columns()) {
+        SEQ_ASSIGN_OR_RETURN(size_t idx, schema->FieldIndex(col));
+        out.push_back((*rec)[idx]);
+      }
+      return std::optional<Record>(std::move(out));
+    }
+    case OpKind::kPositionalOffset:
+      return At(*op.input(), pos + op.offset());
+    case OpKind::kValueOffset: {
+      int64_t remaining = std::abs(op.offset());
+      if (op.offset() < 0) {
+        for (Position q = pos - 1; q >= horizon_.start; --q) {
+          SEQ_ASSIGN_OR_RETURN(std::optional<Record> rec,
+                               At(*op.input(), q));
+          if (rec.has_value() && --remaining == 0) return rec;
+        }
+      } else {
+        for (Position q = pos + 1; q <= horizon_.end; ++q) {
+          SEQ_ASSIGN_OR_RETURN(std::optional<Record> rec,
+                               At(*op.input(), q));
+          if (rec.has_value() && --remaining == 0) return rec;
+        }
+      }
+      return std::optional<Record>();
+    }
+    case OpKind::kWindowAgg: {
+      SEQ_ASSIGN_OR_RETURN(SchemaPtr schema, SchemaOf(*op.input()));
+      SEQ_ASSIGN_OR_RETURN(size_t idx, schema->FieldIndex(op.agg_column()));
+      TypeId col_type = schema->field(idx).type;
+      Position lo = pos;
+      Position hi = pos;
+      switch (op.window_kind()) {
+        case WindowKind::kTrailing:
+          lo = pos - op.window() + 1;
+          break;
+        case WindowKind::kRunning:
+          lo = horizon_.start;
+          break;
+        case WindowKind::kAll:
+          lo = horizon_.start;
+          hi = horizon_.end;
+          break;
+      }
+      std::vector<Value> values;
+      for (Position q = std::max(lo, horizon_.start);
+           q <= std::min(hi, horizon_.end); ++q) {
+        SEQ_ASSIGN_OR_RETURN(std::optional<Record> rec, At(*op.input(), q));
+        if (rec.has_value()) values.push_back((*rec)[idx]);
+      }
+      std::optional<Value> agg = Aggregate(op.agg_func(), col_type, values);
+      if (!agg.has_value()) return std::optional<Record>();
+      return std::optional<Record>(Record{*agg});
+    }
+    case OpKind::kCompose: {
+      SEQ_ASSIGN_OR_RETURN(std::optional<Record> l, At(*op.input(0), pos));
+      if (!l.has_value()) return std::optional<Record>();
+      SEQ_ASSIGN_OR_RETURN(std::optional<Record> r, At(*op.input(1), pos));
+      if (!r.has_value()) return std::optional<Record>();
+      Record combined = *l;
+      combined.insert(combined.end(), r->begin(), r->end());
+      if (op.predicate() != nullptr) {
+        SEQ_ASSIGN_OR_RETURN(SchemaPtr ls, SchemaOf(*op.input(0)));
+        SEQ_ASSIGN_OR_RETURN(SchemaPtr rs, SchemaOf(*op.input(1)));
+        SEQ_ASSIGN_OR_RETURN(
+            CompiledExpr pred,
+            CompiledExpr::CompilePredicate(op.predicate(), *ls, rs.get()));
+        if (!pred.EvalBool(*l, &*r, pos)) return std::optional<Record>();
+      }
+      return std::optional<Record>(std::move(combined));
+    }
+    case OpKind::kExpand: {
+      int64_t f = op.expand_factor();
+      Position bucket = pos >= 0 ? pos / f : (pos - f + 1) / f;
+      return At(*op.input(), bucket);
+    }
+    case OpKind::kCollapse: {
+      SEQ_ASSIGN_OR_RETURN(SchemaPtr schema, SchemaOf(*op.input()));
+      SEQ_ASSIGN_OR_RETURN(size_t idx, schema->FieldIndex(op.agg_column()));
+      TypeId col_type = schema->field(idx).type;
+      int64_t f = op.collapse_factor();
+      std::vector<Value> values;
+      for (Position q = pos * f; q < (pos + 1) * f; ++q) {
+        SEQ_ASSIGN_OR_RETURN(std::optional<Record> rec, At(*op.input(), q));
+        if (rec.has_value()) values.push_back((*rec)[idx]);
+      }
+      std::optional<Value> agg = Aggregate(op.agg_func(), col_type, values);
+      if (!agg.has_value()) return std::optional<Record>();
+      return std::optional<Record>(Record{*agg});
+    }
+  }
+  return Status::Internal("unknown op");
+}
+
+Result<std::vector<PosRecord>> ReferenceEvaluator::Materialize(
+    const LogicalOp& op, Span range) const {
+  // Node addresses may be reused by freshly built graphs; the memo is only
+  // valid within one graph's evaluation.
+  memo_.clear();
+  std::vector<PosRecord> out;
+  if (range.IsEmpty()) return out;
+  for (Position p = range.start; p <= range.end; ++p) {
+    SEQ_ASSIGN_OR_RETURN(std::optional<Record> rec, At(op, p));
+    if (rec.has_value()) out.push_back(PosRecord{p, std::move(*rec)});
+  }
+  return out;
+}
+
+}  // namespace seq::testing

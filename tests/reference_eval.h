@@ -1,0 +1,58 @@
+#ifndef SEQ_TESTS_REFERENCE_EVAL_H_
+#define SEQ_TESTS_REFERENCE_EVAL_H_
+
+// A deliberately naive reference evaluator implementing the paper's model
+// semantics literally: S_out(i) = Op(S_1, ..., S_n, i), computed
+// independently at every position with no caching, no plan, no optimizer.
+// Exponentially slow on purpose — it is the oracle the engine is tested
+// against, and shares no code with the execution engine.
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "expr/compiled_expr.h"
+#include "logical/logical_op.h"
+
+namespace seq::testing {
+
+class ReferenceEvaluator {
+ public:
+  /// `horizon` bounds the backward search of unbounded-scope operators
+  /// (value offsets, running aggregates); it must cover the catalog's
+  /// spans for exact answers.
+  ReferenceEvaluator(const Catalog* catalog, Span horizon)
+      : catalog_(catalog), horizon_(horizon) {}
+
+  /// The record of the derived sequence `op` at position `pos`, or
+  /// nullopt for the Null record. Errors surface as Status. Results are
+  /// memoized per graph node; call ClearCache() before switching to a
+  /// different graph (Materialize does so automatically).
+  Result<std::optional<Record>> At(const LogicalOp& op, Position pos) const;
+
+  /// All non-null records of `op` in `range`, in position order.
+  Result<std::vector<PosRecord>> Materialize(const LogicalOp& op,
+                                             Span range) const;
+
+  void ClearCache() const { memo_.clear(); }
+
+ private:
+  Result<SchemaPtr> SchemaOf(const LogicalOp& op) const;
+  Result<std::optional<Record>> AtImpl(const LogicalOp& op,
+                                       Position pos) const;
+
+  const Catalog* catalog_;
+  Span horizon_;
+  // Memoization of (node, position) results: purely an evaluation-speed
+  // device — operators with unbounded scopes stacked on each other would
+  // otherwise make the literal recursion exponential.
+  mutable std::map<std::pair<const LogicalOp*, Position>,
+                   std::optional<Record>>
+      memo_;
+};
+
+}  // namespace seq::testing
+
+#endif  // SEQ_TESTS_REFERENCE_EVAL_H_

@@ -1,0 +1,242 @@
+// Tests for operator scope (paper §2.3): per-operator scope specs, the
+// composition rules of Proposition 2.1, and effective scopes (§3.4).
+
+#include <gtest/gtest.h>
+
+#include "logical/builder.h"
+#include "logical/logical_op.h"
+#include "logical/scope.h"
+
+namespace seq {
+namespace {
+
+// --- per-operator scopes ------------------------------------------------------
+
+TEST(ScopeTest, SelectionHasUnitScope) {
+  auto op = LogicalOp::Select(LogicalOp::BaseRef("s"),
+                              Gt(Col("v"), Lit(1.0)));
+  ScopeSpec scope = op->ScopeOverInput();
+  EXPECT_TRUE(scope.IsUnit());
+  EXPECT_TRUE(scope.sequential);
+  EXPECT_TRUE(scope.relative);
+  EXPECT_FALSE(op->IsNonUnitScope());
+}
+
+TEST(ScopeTest, ProjectionHasUnitScope) {
+  auto op = LogicalOp::Project(LogicalOp::BaseRef("s"), {"v"});
+  EXPECT_TRUE(op->ScopeOverInput().IsUnit());
+}
+
+TEST(ScopeTest, PositionalOffsetIsFixedButNotSequential) {
+  // §2.3: "the scope of a positional offset operator is not [sequential]".
+  auto op = LogicalOp::PositionalOffset(LogicalOp::BaseRef("s"), -5);
+  ScopeSpec scope = op->ScopeOverInput();
+  EXPECT_TRUE(scope.IsFixedSize());
+  EXPECT_EQ(scope.FixedSize(), 1);
+  EXPECT_EQ(scope.min_offset, -5);
+  EXPECT_FALSE(scope.sequential);
+  EXPECT_TRUE(scope.relative);
+  // Not a block boundary (§3.1 pushes it through relative-scope operators).
+  EXPECT_FALSE(op->IsNonUnitScope());
+}
+
+TEST(ScopeTest, TrailingAggregateIsFixedSequential) {
+  // §2.3: "the scope of an aggregate over the most recent three positions
+  // is sequential".
+  auto op = LogicalOp::WindowAgg(LogicalOp::BaseRef("s"), AggFunc::kAvg, "v",
+                                 3);
+  ScopeSpec scope = op->ScopeOverInput();
+  EXPECT_TRUE(scope.IsFixedSize());
+  EXPECT_EQ(scope.FixedSize(), 3);
+  EXPECT_EQ(scope.min_offset, -2);
+  EXPECT_EQ(scope.max_offset, 0);
+  EXPECT_TRUE(scope.sequential);
+  EXPECT_TRUE(op->IsNonUnitScope());
+}
+
+TEST(ScopeTest, PreviousHasVariableScope) {
+  // §2.3: "a Previous operator has a variable scope size".
+  auto op = LogicalOp::ValueOffset(LogicalOp::BaseRef("s"), -1);
+  ScopeSpec scope = op->ScopeOverInput();
+  EXPECT_EQ(scope.size_kind, ScopeSpec::SizeKind::kVariable);
+  EXPECT_FALSE(scope.bounded_below);
+  EXPECT_TRUE(scope.sequential);
+  EXPECT_TRUE(op->IsNonUnitScope());
+}
+
+TEST(ScopeTest, NextIsVariableUnboundedAbove) {
+  auto op = LogicalOp::ValueOffset(LogicalOp::BaseRef("s"), 2);
+  ScopeSpec scope = op->ScopeOverInput();
+  EXPECT_EQ(scope.size_kind, ScopeSpec::SizeKind::kVariable);
+  EXPECT_FALSE(scope.bounded_above);
+  EXPECT_FALSE(scope.sequential);
+}
+
+TEST(ScopeTest, OverallAggregateSeesAllPositions) {
+  auto op = LogicalOp::OverallAgg(LogicalOp::BaseRef("s"), AggFunc::kSum,
+                                  "v");
+  ScopeSpec scope = op->ScopeOverInput();
+  EXPECT_FALSE(scope.bounded_below);
+  EXPECT_FALSE(scope.bounded_above);
+}
+
+TEST(ScopeTest, ComposeHasUnitScopeOnBothInputs) {
+  auto op = LogicalOp::Compose(LogicalOp::BaseRef("a"),
+                               LogicalOp::BaseRef("b"));
+  EXPECT_TRUE(op->ScopeOverInput(0).IsUnit());
+  EXPECT_TRUE(op->ScopeOverInput(1).IsUnit());
+}
+
+// --- Proposition 2.1: composition ---------------------------------------------
+
+TEST(ScopeComposeTest, FixedComposedWithFixedStaysFixed) {
+  // Prop 2.1(a).
+  ScopeSpec window = ScopeSpec::FixedWindow(-2, 0);   // 3-trailing agg
+  ScopeSpec offset = ScopeSpec::FixedWindow(-5, -5);  // offset -5
+  ScopeSpec composed = ScopeSpec::Compose(window, offset);
+  EXPECT_TRUE(composed.IsFixedSize());
+  EXPECT_EQ(composed.min_offset, -7);
+  EXPECT_EQ(composed.max_offset, -5);
+}
+
+TEST(ScopeComposeTest, SequentialComposedWithSequentialStaysSequential) {
+  // Prop 2.1(b).
+  ScopeSpec a = ScopeSpec::FixedWindow(-2, 0);
+  ScopeSpec b = ScopeSpec::FixedWindow(-4, 0);
+  ScopeSpec composed = ScopeSpec::Compose(a, b);
+  EXPECT_TRUE(composed.sequential);
+  EXPECT_EQ(composed.min_offset, -6);
+  EXPECT_EQ(composed.max_offset, 0);
+}
+
+TEST(ScopeComposeTest, NonSequentialComponentBreaksSequentiality) {
+  ScopeSpec seq = ScopeSpec::FixedWindow(-2, 0);
+  ScopeSpec nonseq = ScopeSpec::FixedWindow(3, 3);
+  EXPECT_FALSE(ScopeSpec::Compose(seq, nonseq).sequential);
+  EXPECT_FALSE(ScopeSpec::Compose(nonseq, seq).sequential);
+}
+
+TEST(ScopeComposeTest, RelativeComposedWithRelativeStaysRelative) {
+  // Prop 2.1(c).
+  ScopeSpec a = ScopeSpec::FixedWindow(-1, 0);
+  ScopeSpec b = ScopeSpec::FixedWindow(2, 2);
+  EXPECT_TRUE(ScopeSpec::Compose(a, b).relative);
+  ScopeSpec var = ScopeSpec::VariablePast();  // non-relative
+  EXPECT_FALSE(ScopeSpec::Compose(a, var).relative);
+}
+
+TEST(ScopeComposeTest, VariableComponentMakesVariable) {
+  ScopeSpec fixed = ScopeSpec::FixedWindow(-2, 0);
+  ScopeSpec var = ScopeSpec::VariablePast();
+  ScopeSpec composed = ScopeSpec::Compose(fixed, var);
+  EXPECT_EQ(composed.size_kind, ScopeSpec::SizeKind::kVariable);
+  EXPECT_FALSE(composed.bounded_below);
+}
+
+TEST(ScopeComposeTest, UnitIsIdentity) {
+  ScopeSpec w = ScopeSpec::FixedWindow(-3, 1);
+  ScopeSpec left = ScopeSpec::Compose(ScopeSpec::Unit(), w);
+  ScopeSpec right = ScopeSpec::Compose(w, ScopeSpec::Unit());
+  EXPECT_EQ(left.min_offset, w.min_offset);
+  EXPECT_EQ(left.max_offset, w.max_offset);
+  EXPECT_EQ(right.min_offset, w.min_offset);
+  EXPECT_EQ(right.max_offset, w.max_offset);
+}
+
+// Parameterized sweep: composing fixed windows always sums offsets
+// (Minkowski) and preserves fixedness/relativity.
+class FixedComposeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(FixedComposeSweep, OffsetsAdd) {
+  auto [alo, ahi, blo, bhi] = GetParam();
+  if (alo > ahi || blo > bhi) GTEST_SKIP();
+  ScopeSpec a = ScopeSpec::FixedWindow(alo, ahi);
+  ScopeSpec b = ScopeSpec::FixedWindow(blo, bhi);
+  ScopeSpec c = ScopeSpec::Compose(a, b);
+  EXPECT_TRUE(c.IsFixedSize());
+  EXPECT_EQ(c.min_offset, alo + blo);
+  EXPECT_EQ(c.max_offset, ahi + bhi);
+  EXPECT_TRUE(c.relative);
+  EXPECT_EQ(c.sequential, (ahi + bhi) == 0 || (a.sequential && b.sequential));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, FixedComposeSweep,
+    ::testing::Combine(::testing::Values(-4, -1, 0), ::testing::Values(0, 2),
+                       ::testing::Values(-3, 0), ::testing::Values(0, 1)));
+
+// --- whole-query scope (complex operators) -------------------------------------
+
+TEST(QueryScopeTest, ChainComposesOverLeaf) {
+  // Agg(window 3) over Offset(-5) over base: scope fixed [-7, -5].
+  auto q = SeqRef("s").Offset(-5).Agg(AggFunc::kSum, "v", 3).Build();
+  std::vector<ScopeSpec> scopes = q->QueryScopeOverLeaves();
+  ASSERT_EQ(scopes.size(), 1u);
+  EXPECT_TRUE(scopes[0].IsFixedSize());
+  EXPECT_EQ(scopes[0].min_offset, -7);
+  EXPECT_EQ(scopes[0].max_offset, -5);
+}
+
+TEST(QueryScopeTest, ComposeFansOutToBothLeaves) {
+  auto q = SeqRef("a").ComposeWith(SeqRef("b").Offset(2)).Build();
+  std::vector<ScopeSpec> scopes = q->QueryScopeOverLeaves();
+  ASSERT_EQ(scopes.size(), 2u);
+  EXPECT_TRUE(scopes[0].IsUnit());
+  EXPECT_EQ(scopes[1].min_offset, 2);
+}
+
+TEST(QueryScopeTest, Theorem31Precondition) {
+  // A query of all sequential fixed scopes admits stream evaluation with
+  // scope-sized caches (Thm 3.1): verify the composed query scope is
+  // sequential and fixed.
+  auto q = SeqRef("s")
+               .Select(Gt(Col("v"), Lit(1.0)))
+               .Agg(AggFunc::kAvg, "v", 4)
+               .Build();
+  std::vector<ScopeSpec> scopes = q->QueryScopeOverLeaves();
+  ASSERT_EQ(scopes.size(), 1u);
+  EXPECT_TRUE(scopes[0].IsFixedSize());
+  EXPECT_TRUE(scopes[0].sequential);
+}
+
+// --- effective scope (§3.4) ----------------------------------------------------
+
+TEST(EffectiveScopeTest, OffsetBroadensToSequentialWindow) {
+  // The paper's example: offset -5 has scope size 1, non-sequential; its
+  // effective scope is the current and five most recent positions (size 6).
+  ScopeSpec offset = ScopeSpec::FixedWindow(-5, -5);
+  ScopeSpec eff = offset.EffectiveSequential();
+  EXPECT_TRUE(eff.sequential);
+  EXPECT_TRUE(eff.IsFixedSize());
+  EXPECT_EQ(eff.FixedSize(), 6);
+}
+
+TEST(EffectiveScopeTest, SequentialWindowUnchangedInSize) {
+  ScopeSpec w = ScopeSpec::FixedWindow(-3, 0);
+  ScopeSpec eff = w.EffectiveSequential();
+  EXPECT_EQ(eff.FixedSize(), 4);
+  EXPECT_TRUE(eff.sequential);
+}
+
+TEST(EffectiveScopeTest, LookaheadBecomesDelay) {
+  ScopeSpec w = ScopeSpec::FixedWindow(1, 3);
+  ScopeSpec eff = w.EffectiveSequential();
+  EXPECT_TRUE(eff.sequential);
+  EXPECT_EQ(eff.max_offset, 0);
+  EXPECT_EQ(eff.FixedSize(), 4);  // window [i-3, i] after delaying by 3
+}
+
+TEST(EffectiveScopeTest, UnboundedScopesReportAllPositions) {
+  ScopeSpec past = ScopeSpec::VariablePast();
+  ScopeSpec eff = past.EffectiveSequential();
+  EXPECT_FALSE(eff.bounded_below);
+}
+
+TEST(ScopeToStringTest, Renders) {
+  EXPECT_EQ(ScopeSpec::Unit().ToString(), "unit seq rel");
+  EXPECT_EQ(ScopeSpec::FixedWindow(-2, 0).ToString(), "fixed[-2,0] seq rel");
+}
+
+}  // namespace
+}  // namespace seq

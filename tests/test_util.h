@@ -1,0 +1,164 @@
+#ifndef SEQ_TESTS_TEST_UTIL_H_
+#define SEQ_TESTS_TEST_UTIL_H_
+
+// Shared helpers for the randomized test suites: catalog fixtures, a
+// random query-graph generator, and tolerant result comparison.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "logical/logical_op.h"
+#include "optimizer/annotate.h"
+#include "workload/generators.h"
+
+namespace seq::testing {
+
+/// Registers three int sequences "s0".."s2" of varied density and span.
+inline void FillSmallCatalog(Catalog* catalog, uint64_t seed,
+                             Span base_span = Span::Of(0, 399)) {
+  const double densities[] = {1.0, 0.5, 0.1};
+  for (int i = 0; i < 3; ++i) {
+    IntSeriesOptions options;
+    options.span = Span::Of(base_span.start + 10 * i,
+                            base_span.end - 15 * i);
+    options.density = densities[i];
+    options.seed = seed * 17 + static_cast<uint64_t>(i);
+    options.min_value = 0;
+    options.max_value = 100;
+    options.column = "v";
+    auto store = MakeIntSeries(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(
+        catalog->RegisterBase("s" + std::to_string(i), *store).ok());
+  }
+}
+
+inline std::optional<std::string> RandomNumericColumn(const Schema& schema,
+                                                      Rng* rng) {
+  std::vector<std::string> numeric;
+  for (const Field& f : schema.fields()) {
+    if (IsNumeric(f.type)) numeric.push_back(f.name);
+  }
+  if (numeric.empty()) return std::nullopt;
+  return numeric[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(numeric.size()) - 1))];
+}
+
+struct RandomGraphOptions {
+  bool allow_overall_agg = true;  // the oracle tests exclude kAll (its
+                                  // output span is engine-defined)
+  bool allow_position_predicates = true;
+};
+
+/// Builds a random graph of the given depth over FillSmallCatalog's
+/// sequences; consults the annotator so predicates always type-check.
+inline LogicalOpPtr RandomGraph(const Catalog& catalog, Rng* rng, int depth,
+                                const RandomGraphOptions& opts = {}) {
+  Annotator annotator(catalog, CostParams{});
+  if (depth == 0) {
+    return LogicalOp::BaseRef("s" + std::to_string(rng->UniformInt(0, 2)));
+  }
+  LogicalOpPtr child = RandomGraph(catalog, rng, depth - 1, opts);
+  LogicalOpPtr annotated = child->Clone();
+  if (!annotator.AnnotateBottomUp(annotated.get()).ok()) return child;
+  const Schema& schema = *annotated->meta().schema;
+
+  switch (rng->UniformInt(0, 8)) {
+    case 0: {
+      std::optional<std::string> col = RandomNumericColumn(schema, rng);
+      if (!col.has_value()) return child;
+      ExprPtr pred = rng->Bernoulli(0.5)
+                         ? Gt(Col(*col), Lit(rng->UniformInt(0, 100)))
+                         : Lt(Col(*col), Lit(rng->UniformInt(0, 100)));
+      if (opts.allow_position_predicates && rng->Bernoulli(0.25)) {
+        pred = And(pred, Ge(Expr::Position(), Lit(rng->UniformInt(0, 50))));
+      }
+      return LogicalOp::Select(child, pred);
+    }
+    case 1: {
+      std::vector<std::string> cols;
+      for (const Field& f : schema.fields()) cols.push_back(f.name);
+      size_t keep = static_cast<size_t>(
+          rng->UniformInt(1, static_cast<int64_t>(cols.size())));
+      cols.resize(keep);
+      return LogicalOp::Project(child, cols);
+    }
+    case 2:
+      return LogicalOp::PositionalOffset(child, rng->UniformInt(-10, 10));
+    case 3:
+      return LogicalOp::ValueOffset(
+          child, rng->Bernoulli(0.5) ? -rng->UniformInt(1, 3)
+                                     : rng->UniformInt(1, 3));
+    case 4: {
+      std::optional<std::string> col = RandomNumericColumn(schema, rng);
+      if (!col.has_value()) return child;
+      AggFunc funcs[] = {AggFunc::kSum, AggFunc::kAvg, AggFunc::kMin,
+                         AggFunc::kMax, AggFunc::kCount};
+      return LogicalOp::WindowAgg(child, funcs[rng->UniformInt(0, 4)], *col,
+                                  rng->UniformInt(1, 12));
+    }
+    case 5: {
+      std::optional<std::string> col = RandomNumericColumn(schema, rng);
+      if (!col.has_value()) return child;
+      // Running avg drifts in incremental accumulators; stick to exact
+      // functions.
+      AggFunc funcs[] = {AggFunc::kMin, AggFunc::kMax, AggFunc::kCount};
+      return LogicalOp::RunningAgg(child, funcs[rng->UniformInt(0, 2)],
+                                   *col);
+    }
+    case 6: {
+      LogicalOpPtr right =
+          RandomGraph(catalog, rng, rng->UniformInt(0, depth - 1), opts);
+      ExprPtr pred;
+      LogicalOpPtr r_annotated = right->Clone();
+      Annotator a2(catalog, CostParams{});
+      if (a2.AnnotateBottomUp(r_annotated.get()).ok() &&
+          rng->Bernoulli(0.5)) {
+        std::optional<std::string> lcol = RandomNumericColumn(schema, rng);
+        std::optional<std::string> rcol =
+            RandomNumericColumn(*r_annotated->meta().schema, rng);
+        if (lcol.has_value() && rcol.has_value()) {
+          pred = Gt(Col(*lcol, 0), Col(*rcol, 1));
+        }
+      }
+      return LogicalOp::Compose(child, right, pred);
+    }
+    case 7:
+      return LogicalOp::Expand(child, rng->UniformInt(2, 4));
+    default:
+      return child;
+  }
+}
+
+/// Asserts two record lists are equal, tolerating float rounding.
+inline void ExpectSameRecords(const std::vector<PosRecord>& a,
+                              const std::vector<PosRecord>& b,
+                              const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].pos, b[i].pos) << label << " idx " << i;
+    ASSERT_EQ(a[i].rec.size(), b[i].rec.size()) << label;
+    for (size_t j = 0; j < a[i].rec.size(); ++j) {
+      const Value& va = a[i].rec[j];
+      const Value& vb = b[i].rec[j];
+      if (va.type() == TypeId::kDouble || vb.type() == TypeId::kDouble) {
+        ASSERT_NEAR(va.AsDouble(), vb.AsDouble(),
+                    1e-6 * (1.0 + std::abs(vb.AsDouble())))
+            << label << " pos " << a[i].pos;
+      } else {
+        ASSERT_EQ(va.Compare(vb), 0) << label << " pos " << a[i].pos;
+      }
+    }
+  }
+}
+
+}  // namespace seq::testing
+
+#endif  // SEQ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,120 @@
+// Unit tests for the incremental window-aggregation state (the machinery
+// behind Cache-Strategy-A's O(1)-per-record property).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/window_state.h"
+
+namespace seq {
+namespace {
+
+TEST(WindowStateTest, SumCountAvgIncremental) {
+  WindowState state(AggFunc::kSum, TypeId::kInt64);
+  state.Add(1, Value::Int64(10), nullptr);
+  state.Add(2, Value::Int64(20), nullptr);
+  state.Add(3, Value::Int64(30), nullptr);
+  EXPECT_EQ(state.count(), 3);
+  EXPECT_EQ(state.Current().int64(), 60);
+  state.EvictBefore(2);
+  EXPECT_EQ(state.count(), 2);
+  EXPECT_EQ(state.Current().int64(), 50);
+  state.EvictBefore(4);
+  EXPECT_EQ(state.count(), 0);
+}
+
+TEST(WindowStateTest, DoubleSumStaysDouble) {
+  WindowState state(AggFunc::kSum, TypeId::kDouble);
+  state.Add(1, Value::Double(1.5), nullptr);
+  state.Add(2, Value::Double(2.5), nullptr);
+  EXPECT_EQ(state.Current().type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(state.Current().dbl(), 4.0);
+}
+
+TEST(WindowStateTest, AvgIsDouble) {
+  WindowState state(AggFunc::kAvg, TypeId::kInt64);
+  state.Add(1, Value::Int64(1), nullptr);
+  state.Add(2, Value::Int64(2), nullptr);
+  EXPECT_DOUBLE_EQ(state.Current().dbl(), 1.5);
+}
+
+TEST(WindowStateTest, CountWorksOnStrings) {
+  WindowState state(AggFunc::kCount, TypeId::kString);
+  state.Add(1, Value::String("a"), nullptr);
+  state.Add(5, Value::String("b"), nullptr);
+  EXPECT_EQ(state.Current().int64(), 2);
+}
+
+TEST(WindowStateTest, MinMaxMonotonicQueues) {
+  WindowState min_state(AggFunc::kMin, TypeId::kInt64);
+  WindowState max_state(AggFunc::kMax, TypeId::kInt64);
+  const int64_t values[] = {5, 3, 8, 1, 9, 2};
+  for (int i = 0; i < 6; ++i) {
+    min_state.Add(i, Value::Int64(values[i]), nullptr);
+    max_state.Add(i, Value::Int64(values[i]), nullptr);
+  }
+  EXPECT_EQ(min_state.Current().int64(), 1);
+  EXPECT_EQ(max_state.Current().int64(), 9);
+  // Evicting the global extrema exposes the runner-up inside the window.
+  min_state.EvictBefore(4);  // keep {9, 2}
+  max_state.EvictBefore(5);  // keep {2}
+  EXPECT_EQ(min_state.Current().int64(), 2);
+  EXPECT_EQ(max_state.Current().int64(), 2);
+}
+
+TEST(WindowStateTest, MinMaxOnStrings) {
+  WindowState state(AggFunc::kMax, TypeId::kString);
+  state.Add(1, Value::String("pear"), nullptr);
+  state.Add(2, Value::String("apple"), nullptr);
+  EXPECT_EQ(state.Current().str(), "pear");
+  state.EvictBefore(2);
+  EXPECT_EQ(state.Current().str(), "apple");
+}
+
+TEST(WindowStateTest, AggStepCounterCharges) {
+  AccessStats stats;
+  ExecContext ctx;
+  ctx.stats = &stats;
+  WindowState state(AggFunc::kSum, TypeId::kInt64);
+  state.Add(1, Value::Int64(1), &ctx);
+  state.Add(2, Value::Int64(2), &ctx);
+  EXPECT_EQ(stats.agg_steps, 2);
+}
+
+// Property sweep: the sliding window must match a fresh recomputation at
+// every step for every function.
+class WindowSlideSweep
+    : public ::testing::TestWithParam<std::tuple<int, int64_t>> {};
+
+TEST_P(WindowSlideSweep, MatchesFreshRecomputation) {
+  auto [func_idx, window] = GetParam();
+  AggFunc func = static_cast<AggFunc>(func_idx);
+  Rng rng(static_cast<uint64_t>(func_idx * 100 + window));
+  std::vector<int64_t> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.UniformInt(-50, 50));
+
+  WindowState sliding(func, TypeId::kInt64);
+  for (Position p = 0; p < 200; ++p) {
+    sliding.Add(p, Value::Int64(values[static_cast<size_t>(p)]), nullptr);
+    sliding.EvictBefore(p - window + 1);
+    WindowState fresh(func, TypeId::kInt64);
+    for (Position q = std::max<Position>(0, p - window + 1); q <= p; ++q) {
+      fresh.Add(q, Value::Int64(values[static_cast<size_t>(q)]), nullptr);
+    }
+    ASSERT_EQ(sliding.count(), fresh.count()) << "p=" << p;
+    if (func == AggFunc::kAvg) {
+      ASSERT_NEAR(sliding.Current().dbl(), fresh.Current().dbl(), 1e-9);
+    } else {
+      ASSERT_EQ(sliding.Current().Compare(fresh.Current()), 0)
+          << AggFuncName(func) << " p=" << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WindowSlideSweep,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values<int64_t>(1, 3, 8, 32)));
+
+}  // namespace
+}  // namespace seq
