@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_scope_chains.dir/bench_fig2_scope_chains.cc.o"
+  "CMakeFiles/bench_fig2_scope_chains.dir/bench_fig2_scope_chains.cc.o.d"
+  "bench_fig2_scope_chains"
+  "bench_fig2_scope_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_scope_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

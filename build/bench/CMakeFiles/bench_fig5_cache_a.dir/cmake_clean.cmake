@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cache_a.dir/bench_fig5_cache_a.cc.o"
+  "CMakeFiles/bench_fig5_cache_a.dir/bench_fig5_cache_a.cc.o.d"
+  "bench_fig5_cache_a"
+  "bench_fig5_cache_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cache_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_template.dir/bench_fig6_template.cc.o"
+  "CMakeFiles/bench_fig6_template.dir/bench_fig6_template.cc.o.d"
+  "bench_fig6_template"
+  "bench_fig6_template.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_template.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

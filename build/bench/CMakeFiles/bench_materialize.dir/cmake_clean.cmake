@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_materialize.dir/bench_materialize.cc.o"
+  "CMakeFiles/bench_materialize.dir/bench_materialize.cc.o.d"
+  "bench_materialize"
+  "bench_materialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_materialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

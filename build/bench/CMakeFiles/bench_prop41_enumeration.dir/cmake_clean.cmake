@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop41_enumeration.dir/bench_prop41_enumeration.cc.o"
+  "CMakeFiles/bench_prop41_enumeration.dir/bench_prop41_enumeration.cc.o.d"
+  "bench_prop41_enumeration"
+  "bench_prop41_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop41_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

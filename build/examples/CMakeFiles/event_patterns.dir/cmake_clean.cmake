@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_patterns.dir/event_patterns.cpp.o"
+  "CMakeFiles/event_patterns.dir/event_patterns.cpp.o.d"
+  "event_patterns"
+  "event_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqsh.dir/seqsh.cpp.o"
+  "CMakeFiles/seqsh.dir/seqsh.cpp.o.d"
+  "seqsh"
+  "seqsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_analysis.dir/stock_analysis.cpp.o"
+  "CMakeFiles/stock_analysis.dir/stock_analysis.cpp.o.d"
+  "stock_analysis"
+  "stock_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trigger_monitor.dir/trigger_monitor.cpp.o"
+  "CMakeFiles/trigger_monitor.dir/trigger_monitor.cpp.o.d"
+  "trigger_monitor"
+  "trigger_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trigger_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_monitor.dir/weather_monitor.cpp.o"
+  "CMakeFiles/weather_monitor.dir/weather_monitor.cpp.o.d"
+  "weather_monitor"
+  "weather_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

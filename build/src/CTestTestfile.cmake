@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("types")
+subdirs("expr")
+subdirs("storage")
+subdirs("catalog")
+subdirs("interval")
+subdirs("logical")
+subdirs("optimizer")
+subdirs("exec")
+subdirs("parser")
+subdirs("ordering")
+subdirs("pattern")
+subdirs("core")
+subdirs("grouping")
+subdirs("relational")
+subdirs("workload")

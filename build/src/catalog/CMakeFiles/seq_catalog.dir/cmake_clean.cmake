@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_catalog.dir/catalog.cc.o"
+  "CMakeFiles/seq_catalog.dir/catalog.cc.o.d"
+  "libseq_catalog.a"
+  "libseq_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_common.dir/logging.cc.o"
+  "CMakeFiles/seq_common.dir/logging.cc.o.d"
+  "CMakeFiles/seq_common.dir/status.cc.o"
+  "CMakeFiles/seq_common.dir/status.cc.o.d"
+  "CMakeFiles/seq_common.dir/string_util.cc.o"
+  "CMakeFiles/seq_common.dir/string_util.cc.o.d"
+  "libseq_common.a"
+  "libseq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

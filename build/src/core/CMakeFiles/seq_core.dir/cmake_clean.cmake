@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_core.dir/database_io.cc.o"
+  "CMakeFiles/seq_core.dir/database_io.cc.o.d"
+  "CMakeFiles/seq_core.dir/engine.cc.o"
+  "CMakeFiles/seq_core.dir/engine.cc.o.d"
+  "CMakeFiles/seq_core.dir/views.cc.o"
+  "CMakeFiles/seq_core.dir/views.cc.o.d"
+  "libseq_core.a"
+  "libseq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

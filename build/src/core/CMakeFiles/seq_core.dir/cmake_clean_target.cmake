@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseq_core.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/agg_ops.cc" "src/exec/CMakeFiles/seq_exec.dir/agg_ops.cc.o" "gcc" "src/exec/CMakeFiles/seq_exec.dir/agg_ops.cc.o.d"
+  "/root/repo/src/exec/collapse_ops.cc" "src/exec/CMakeFiles/seq_exec.dir/collapse_ops.cc.o" "gcc" "src/exec/CMakeFiles/seq_exec.dir/collapse_ops.cc.o.d"
+  "/root/repo/src/exec/compose_ops.cc" "src/exec/CMakeFiles/seq_exec.dir/compose_ops.cc.o" "gcc" "src/exec/CMakeFiles/seq_exec.dir/compose_ops.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/seq_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/seq_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/offset_ops.cc" "src/exec/CMakeFiles/seq_exec.dir/offset_ops.cc.o" "gcc" "src/exec/CMakeFiles/seq_exec.dir/offset_ops.cc.o.d"
+  "/root/repo/src/exec/stream_session.cc" "src/exec/CMakeFiles/seq_exec.dir/stream_session.cc.o" "gcc" "src/exec/CMakeFiles/seq_exec.dir/stream_session.cc.o.d"
+  "/root/repo/src/exec/unary_ops.cc" "src/exec/CMakeFiles/seq_exec.dir/unary_ops.cc.o" "gcc" "src/exec/CMakeFiles/seq_exec.dir/unary_ops.cc.o.d"
+  "/root/repo/src/exec/window_state.cc" "src/exec/CMakeFiles/seq_exec.dir/window_state.cc.o" "gcc" "src/exec/CMakeFiles/seq_exec.dir/window_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimizer/CMakeFiles/seq_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/seq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/logical/CMakeFiles/seq_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/seq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/seq_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/seq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_exec.dir/agg_ops.cc.o"
+  "CMakeFiles/seq_exec.dir/agg_ops.cc.o.d"
+  "CMakeFiles/seq_exec.dir/collapse_ops.cc.o"
+  "CMakeFiles/seq_exec.dir/collapse_ops.cc.o.d"
+  "CMakeFiles/seq_exec.dir/compose_ops.cc.o"
+  "CMakeFiles/seq_exec.dir/compose_ops.cc.o.d"
+  "CMakeFiles/seq_exec.dir/executor.cc.o"
+  "CMakeFiles/seq_exec.dir/executor.cc.o.d"
+  "CMakeFiles/seq_exec.dir/offset_ops.cc.o"
+  "CMakeFiles/seq_exec.dir/offset_ops.cc.o.d"
+  "CMakeFiles/seq_exec.dir/stream_session.cc.o"
+  "CMakeFiles/seq_exec.dir/stream_session.cc.o.d"
+  "CMakeFiles/seq_exec.dir/unary_ops.cc.o"
+  "CMakeFiles/seq_exec.dir/unary_ops.cc.o.d"
+  "CMakeFiles/seq_exec.dir/window_state.cc.o"
+  "CMakeFiles/seq_exec.dir/window_state.cc.o.d"
+  "libseq_exec.a"
+  "libseq_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

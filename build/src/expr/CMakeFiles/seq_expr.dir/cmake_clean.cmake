@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_expr.dir/compiled_expr.cc.o"
+  "CMakeFiles/seq_expr.dir/compiled_expr.cc.o.d"
+  "CMakeFiles/seq_expr.dir/expr.cc.o"
+  "CMakeFiles/seq_expr.dir/expr.cc.o.d"
+  "libseq_expr.a"
+  "libseq_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_grouping.dir/sequence_group.cc.o"
+  "CMakeFiles/seq_grouping.dir/sequence_group.cc.o.d"
+  "libseq_grouping.a"
+  "libseq_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_interval.dir/interval_ops.cc.o"
+  "CMakeFiles/seq_interval.dir/interval_ops.cc.o.d"
+  "CMakeFiles/seq_interval.dir/interval_set.cc.o"
+  "CMakeFiles/seq_interval.dir/interval_set.cc.o.d"
+  "libseq_interval.a"
+  "libseq_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logical/logical_op.cc" "src/logical/CMakeFiles/seq_logical.dir/logical_op.cc.o" "gcc" "src/logical/CMakeFiles/seq_logical.dir/logical_op.cc.o.d"
+  "/root/repo/src/logical/scope.cc" "src/logical/CMakeFiles/seq_logical.dir/scope.cc.o" "gcc" "src/logical/CMakeFiles/seq_logical.dir/scope.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/seq_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/seq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/seq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_logical.dir/logical_op.cc.o"
+  "CMakeFiles/seq_logical.dir/logical_op.cc.o.d"
+  "CMakeFiles/seq_logical.dir/scope.cc.o"
+  "CMakeFiles/seq_logical.dir/scope.cc.o.d"
+  "libseq_logical.a"
+  "libseq_logical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_logical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/annotate.cc" "src/optimizer/CMakeFiles/seq_optimizer.dir/annotate.cc.o" "gcc" "src/optimizer/CMakeFiles/seq_optimizer.dir/annotate.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/optimizer/CMakeFiles/seq_optimizer.dir/cost_model.cc.o" "gcc" "src/optimizer/CMakeFiles/seq_optimizer.dir/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/seq_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/seq_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/physical_plan.cc" "src/optimizer/CMakeFiles/seq_optimizer.dir/physical_plan.cc.o" "gcc" "src/optimizer/CMakeFiles/seq_optimizer.dir/physical_plan.cc.o.d"
+  "/root/repo/src/optimizer/planner.cc" "src/optimizer/CMakeFiles/seq_optimizer.dir/planner.cc.o" "gcc" "src/optimizer/CMakeFiles/seq_optimizer.dir/planner.cc.o.d"
+  "/root/repo/src/optimizer/rewriter.cc" "src/optimizer/CMakeFiles/seq_optimizer.dir/rewriter.cc.o" "gcc" "src/optimizer/CMakeFiles/seq_optimizer.dir/rewriter.cc.o.d"
+  "/root/repo/src/optimizer/selectivity.cc" "src/optimizer/CMakeFiles/seq_optimizer.dir/selectivity.cc.o" "gcc" "src/optimizer/CMakeFiles/seq_optimizer.dir/selectivity.cc.o.d"
+  "/root/repo/src/optimizer/streamability.cc" "src/optimizer/CMakeFiles/seq_optimizer.dir/streamability.cc.o" "gcc" "src/optimizer/CMakeFiles/seq_optimizer.dir/streamability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/seq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/logical/CMakeFiles/seq_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/seq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/seq_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/seq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_optimizer.dir/annotate.cc.o"
+  "CMakeFiles/seq_optimizer.dir/annotate.cc.o.d"
+  "CMakeFiles/seq_optimizer.dir/cost_model.cc.o"
+  "CMakeFiles/seq_optimizer.dir/cost_model.cc.o.d"
+  "CMakeFiles/seq_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/seq_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/seq_optimizer.dir/physical_plan.cc.o"
+  "CMakeFiles/seq_optimizer.dir/physical_plan.cc.o.d"
+  "CMakeFiles/seq_optimizer.dir/planner.cc.o"
+  "CMakeFiles/seq_optimizer.dir/planner.cc.o.d"
+  "CMakeFiles/seq_optimizer.dir/rewriter.cc.o"
+  "CMakeFiles/seq_optimizer.dir/rewriter.cc.o.d"
+  "CMakeFiles/seq_optimizer.dir/selectivity.cc.o"
+  "CMakeFiles/seq_optimizer.dir/selectivity.cc.o.d"
+  "CMakeFiles/seq_optimizer.dir/streamability.cc.o"
+  "CMakeFiles/seq_optimizer.dir/streamability.cc.o.d"
+  "libseq_optimizer.a"
+  "libseq_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_ordering.dir/multi_ordered.cc.o"
+  "CMakeFiles/seq_ordering.dir/multi_ordered.cc.o.d"
+  "libseq_ordering.a"
+  "libseq_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_parser.dir/lexer.cc.o"
+  "CMakeFiles/seq_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/seq_parser.dir/parser.cc.o"
+  "CMakeFiles/seq_parser.dir/parser.cc.o.d"
+  "CMakeFiles/seq_parser.dir/unparse.cc.o"
+  "CMakeFiles/seq_parser.dir/unparse.cc.o.d"
+  "libseq_parser.a"
+  "libseq_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

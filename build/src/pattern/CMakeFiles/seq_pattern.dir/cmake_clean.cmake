@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_pattern.dir/pattern.cc.o"
+  "CMakeFiles/seq_pattern.dir/pattern.cc.o.d"
+  "libseq_pattern.a"
+  "libseq_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/operators.cc" "src/relational/CMakeFiles/seq_relational.dir/operators.cc.o" "gcc" "src/relational/CMakeFiles/seq_relational.dir/operators.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/relational/CMakeFiles/seq_relational.dir/table.cc.o" "gcc" "src/relational/CMakeFiles/seq_relational.dir/table.cc.o.d"
+  "/root/repo/src/relational/volcano_sql.cc" "src/relational/CMakeFiles/seq_relational.dir/volcano_sql.cc.o" "gcc" "src/relational/CMakeFiles/seq_relational.dir/volcano_sql.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/seq_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/seq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/seq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

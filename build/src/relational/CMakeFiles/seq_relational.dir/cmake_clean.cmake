@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_relational.dir/operators.cc.o"
+  "CMakeFiles/seq_relational.dir/operators.cc.o.d"
+  "CMakeFiles/seq_relational.dir/table.cc.o"
+  "CMakeFiles/seq_relational.dir/table.cc.o.d"
+  "CMakeFiles/seq_relational.dir/volcano_sql.cc.o"
+  "CMakeFiles/seq_relational.dir/volcano_sql.cc.o.d"
+  "libseq_relational.a"
+  "libseq_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/access_stats.cc" "src/storage/CMakeFiles/seq_storage.dir/access_stats.cc.o" "gcc" "src/storage/CMakeFiles/seq_storage.dir/access_stats.cc.o.d"
+  "/root/repo/src/storage/base_sequence.cc" "src/storage/CMakeFiles/seq_storage.dir/base_sequence.cc.o" "gcc" "src/storage/CMakeFiles/seq_storage.dir/base_sequence.cc.o.d"
+  "/root/repo/src/storage/file_format.cc" "src/storage/CMakeFiles/seq_storage.dir/file_format.cc.o" "gcc" "src/storage/CMakeFiles/seq_storage.dir/file_format.cc.o.d"
+  "/root/repo/src/storage/statistics.cc" "src/storage/CMakeFiles/seq_storage.dir/statistics.cc.o" "gcc" "src/storage/CMakeFiles/seq_storage.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/seq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_storage.dir/access_stats.cc.o"
+  "CMakeFiles/seq_storage.dir/access_stats.cc.o.d"
+  "CMakeFiles/seq_storage.dir/base_sequence.cc.o"
+  "CMakeFiles/seq_storage.dir/base_sequence.cc.o.d"
+  "CMakeFiles/seq_storage.dir/file_format.cc.o"
+  "CMakeFiles/seq_storage.dir/file_format.cc.o.d"
+  "CMakeFiles/seq_storage.dir/statistics.cc.o"
+  "CMakeFiles/seq_storage.dir/statistics.cc.o.d"
+  "libseq_storage.a"
+  "libseq_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_types.dir/record.cc.o"
+  "CMakeFiles/seq_types.dir/record.cc.o.d"
+  "CMakeFiles/seq_types.dir/schema.cc.o"
+  "CMakeFiles/seq_types.dir/schema.cc.o.d"
+  "CMakeFiles/seq_types.dir/span.cc.o"
+  "CMakeFiles/seq_types.dir/span.cc.o.d"
+  "CMakeFiles/seq_types.dir/value.cc.o"
+  "CMakeFiles/seq_types.dir/value.cc.o.d"
+  "libseq_types.a"
+  "libseq_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

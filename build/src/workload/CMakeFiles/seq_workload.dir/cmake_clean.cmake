@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_workload.dir/csv.cc.o"
+  "CMakeFiles/seq_workload.dir/csv.cc.o.d"
+  "CMakeFiles/seq_workload.dir/generators.cc.o"
+  "CMakeFiles/seq_workload.dir/generators.cc.o.d"
+  "libseq_workload.a"
+  "libseq_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/expand_test.cc" "tests/CMakeFiles/expand_test.dir/expand_test.cc.o" "gcc" "tests/CMakeFiles/expand_test.dir/expand_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/seq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/seq_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/seq_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/seq_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/grouping/CMakeFiles/seq_grouping.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/seq_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/seq_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/seq_test_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/seq_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/seq_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/seq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/logical/CMakeFiles/seq_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/seq_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/seq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/seq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

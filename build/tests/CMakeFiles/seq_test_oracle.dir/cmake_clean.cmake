@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_test_oracle.dir/reference_eval.cc.o"
+  "CMakeFiles/seq_test_oracle.dir/reference_eval.cc.o.d"
+  "libseq_test_oracle.a"
+  "libseq_test_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_test_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_session_test.dir/stream_session_test.cc.o"
+  "CMakeFiles/stream_session_test.dir/stream_session_test.cc.o.d"
+  "stream_session_test"
+  "stream_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamability_test.dir/streamability_test.cc.o"
+  "CMakeFiles/streamability_test.dir/streamability_test.cc.o.d"
+  "streamability_test"
+  "streamability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unparse_test.dir/unparse_test.cc.o"
+  "CMakeFiles/unparse_test.dir/unparse_test.cc.o.d"
+  "unparse_test"
+  "unparse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_state_test.dir/window_state_test.cc.o"
+  "CMakeFiles/window_state_test.dir/window_state_test.cc.o.d"
+  "window_state_test"
+  "window_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
