@@ -81,4 +81,4 @@ BENCHMARK(BM_IndependenceAssumption);
 }  // namespace
 }  // namespace seq
 
-BENCHMARK_MAIN();
+SEQ_BENCH_MAIN(correlation);

@@ -124,4 +124,4 @@ BENCHMARK(BM_CostModelRankCorrelation)->Arg(1)->Arg(2)->Arg(3);
 }  // namespace
 }  // namespace seq
 
-BENCHMARK_MAIN();
+SEQ_BENCH_MAIN(cost_model_validation);

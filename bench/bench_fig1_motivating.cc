@@ -68,4 +68,4 @@ BENCHMARK(BM_RelationalBaseline)->Arg(2000)->Arg(10000)->Arg(50000);
 }  // namespace
 }  // namespace seq
 
-BENCHMARK_MAIN();
+SEQ_BENCH_MAIN(fig1_motivating);

@@ -65,4 +65,4 @@ BENCHMARK(BM_OperatorChain)->DenseRange(1, 13, 2);
 }  // namespace
 }  // namespace seq
 
-BENCHMARK_MAIN();
+SEQ_BENCH_MAIN(fig2_scope_chains);

@@ -59,4 +59,4 @@ BENCHMARK(BM_WithoutSpanPropagation)->Arg(1)->Arg(10)->Arg(100);
 }  // namespace
 }  // namespace seq
 
-BENCHMARK_MAIN();
+SEQ_BENCH_MAIN(fig3_span);

@@ -51,4 +51,4 @@ BENCHMARK(BM_NaiveWindowProbing)->Arg(2)->Arg(8)->Arg(16)->Arg(64);
 }  // namespace
 }  // namespace seq
 
-BENCHMARK_MAIN();
+SEQ_BENCH_MAIN(fig5_cache_a);

@@ -59,4 +59,4 @@ BENCHMARK(BM_NaiveBackwardSearch)->Arg(500)->Arg(100)->Arg(20)->Arg(5);
 }  // namespace
 }  // namespace seq
 
-BENCHMARK_MAIN();
+SEQ_BENCH_MAIN(fig5_cache_b);

@@ -83,7 +83,5 @@ void RegisterSweep() {
 
 int main(int argc, char** argv) {
   seq::RegisterSweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return seq::bench::BenchMain("fig6_template", argc, argv);
 }

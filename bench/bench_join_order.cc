@@ -84,7 +84,5 @@ void RegisterSweep() {
 
 int main(int argc, char** argv) {
   seq::RegisterSweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return seq::bench::BenchMain("join_order", argc, argv);
 }

@@ -79,4 +79,4 @@ BENCHMARK(BM_MaterializeOnce);
 }  // namespace
 }  // namespace seq
 
-BENCHMARK_MAIN();
+SEQ_BENCH_MAIN(materialize);

@@ -63,4 +63,4 @@ BENCHMARK(BM_BlockEnumeration)
 }  // namespace
 }  // namespace seq
 
-BENCHMARK_MAIN();
+SEQ_BENCH_MAIN(prop41_enumeration);

@@ -76,4 +76,4 @@ BENCHMARK(BM_WithoutRewrites);
 }  // namespace
 }  // namespace seq
 
-BENCHMARK_MAIN();
+SEQ_BENCH_MAIN(rewrites);

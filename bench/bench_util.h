@@ -7,10 +7,42 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/engine.h"
 #include "workload/generators.h"
 
 namespace seq::bench {
+
+/// Google-benchmark main loop with a JSON file reporter added: results are
+/// also written to BENCH_<name>.json in the working directory, so sweep
+/// scripts can consume them without scraping console output. An explicit
+/// --benchmark_out on the command line wins.
+inline int BenchMain(const char* name, int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool user_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      user_out = true;
+    }
+  }
+  std::string out_flag = std::string("--benchmark_out=BENCH_") + name +
+                         ".json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!user_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
 
 /// Registers the Example 1.1 catalog: earthquakes (density dq) and volcano
 /// eruptions (density dv) over [1, span_end].
@@ -42,5 +74,12 @@ inline LogicalOpPtr VolcanoQuery() {
 }
 
 }  // namespace seq::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also writes
+/// BENCH_<name>.json (see seq::bench::BenchMain).
+#define SEQ_BENCH_MAIN(name)                         \
+  int main(int argc, char** argv) {                  \
+    return seq::bench::BenchMain(#name, argc, argv); \
+  }
 
 #endif  // SEQ_BENCH_BENCH_UTIL_H_

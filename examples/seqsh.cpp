@@ -14,6 +14,7 @@
 //   .range <start> <end>               set the evaluation range
 //   .limit <n>                         rows printed per result
 //   .explain <name | expr;>            show optimizer output
+//   .analyze <name>                    EXPLAIN ANALYZE: estimated vs actual
 //   .stats on|off                      print access counters after runs
 //   .materialize <name> <view>         register a view's result as a base
 //   .save <name> <file.csv>            write a base sequence as CSV
@@ -49,6 +50,18 @@ std::vector<std::string> Tokens(const std::string& line) {
   std::string tok;
   while (in >> tok) out.push_back(tok);
   return out;
+}
+
+void AnalyzeGraph(Session* session, const LogicalOpPtr& graph) {
+  Query q;
+  q.graph = graph;
+  q.range = session->range;
+  auto text = session->engine.ExplainAnalyze(q);
+  if (!text.ok()) {
+    std::cout << "error: " << text.status() << "\n";
+    return;
+  }
+  std::cout << *text;
 }
 
 void RunGraph(Session* session, const LogicalOpPtr& graph) {
@@ -153,6 +166,13 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
     auto text = session->engine.Explain(q);
     std::cout << (text.ok() ? *text : "error: " + text.status().ToString())
               << "\n";
+  } else if (cmd == ".analyze" && args.size() >= 2) {
+    auto graph = ResolveName(session, args[1]);
+    if (!graph.ok()) {
+      std::cout << "error: " << graph.status() << "\n";
+      return;
+    }
+    AnalyzeGraph(session, *graph);
   } else if (cmd == ".run" && args.size() >= 2) {
     auto graph = ResolveName(session, args[1]);
     if (!graph.ok()) {
@@ -222,7 +242,24 @@ void HandleSequin(Session* session, const std::string& source) {
     }
     std::cout << "defined " << name << "\n";
   }
-  RunGraph(session, program->main);
+  switch (program->explain) {
+    case ExplainMode::kNone:
+      RunGraph(session, program->main);
+      break;
+    case ExplainMode::kExplain: {
+      Query q;
+      q.graph = program->main;
+      q.range = session->range;
+      auto text = session->engine.Explain(q);
+      std::cout << (text.ok() ? *text
+                              : "error: " + text.status().ToString())
+                << "\n";
+      break;
+    }
+    case ExplainMode::kExplainAnalyze:
+      AnalyzeGraph(session, program->main);
+      break;
+  }
 }
 
 int RunStream(Session* session, std::istream& in, bool interactive) {
@@ -264,6 +301,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "SEQ shell — sequence query processing (SIGMOD '94). "
                "Dot-commands: .load .gen .list .schema .range .limit "
-               ".explain .run .stats .materialize .save .savedb .opendb .quit\n";
+               ".explain .analyze .run .stats .materialize .save .savedb .opendb .quit\n";
   return RunStream(&session, std::cin, /*interactive=*/true);
 }

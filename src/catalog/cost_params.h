@@ -20,8 +20,15 @@ struct CostParams {
   double cache_store_cost = 0.1;
   double cache_access_cost = 0.05;
 
-  /// Per-output-record computation cost (projection, aggregation step).
+  /// Per-output-record computation cost (projection, finishing an
+  /// aggregate or join output record).
   double compute_cost = 0.2;
+
+  /// Cost of folding one input record into an aggregate state
+  /// (WindowState::Add). Charged by the executor per step and by the
+  /// planner per expected input record so measured simulated cost stays
+  /// comparable to the estimates.
+  double agg_step_cost = 0.05;
 
   /// Default predicate selectivities when column statistics cannot decide.
   double default_eq_selectivity = 0.1;

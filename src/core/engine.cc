@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace seq {
 
 Result<PhysicalPlan> Engine::Plan(const Query& query) const {
@@ -50,9 +52,40 @@ Result<Engine::PreparedQuery> Engine::Prepare(const Query& query) const {
 }
 
 Result<QueryResult> Engine::Run(const Query& query, AccessStats* stats) const {
+  MetricsRegistry::Global().Add("engine.runs");
   SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(query));
   Executor executor(catalog_, options_.cost_params);
   return executor.Execute(plan, stats);
+}
+
+Result<ProfiledQueryResult> Engine::RunProfiled(const Query& query,
+                                                AccessStats* stats) const {
+  Query inlined = query;
+  SEQ_ASSIGN_OR_RETURN(inlined.graph, InlineViews(query.graph, views_));
+  OptimizerOptions opts = options_;
+  opts.collect_trace = true;
+  Optimizer optimizer(catalog_, opts);
+  SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, optimizer.Optimize(inlined));
+
+  Executor executor(catalog_, options_.cost_params);
+  ProfiledQueryResult out;
+  SEQ_ASSIGN_OR_RETURN(out.result,
+                       executor.ExecuteProfiled(plan, &out.profile, stats));
+  // ExecuteProfiled resets the profile, so the trace is attached after.
+  out.profile.optimizer = optimizer.trace();
+
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.Add("engine.profiled_runs");
+  metrics.Observe("engine.optimize_us",
+                  static_cast<double>(optimizer.trace().optimize_us));
+  metrics.Observe("engine.execute_us",
+                  static_cast<double>(out.profile.total_wall_ns) / 1000.0);
+  return out;
+}
+
+Result<std::string> Engine::ExplainAnalyze(const Query& query) const {
+  SEQ_ASSIGN_OR_RETURN(ProfiledQueryResult profiled, RunProfiled(query));
+  return profiled.profile.ToString();
 }
 
 Result<QueryResult> Engine::Run(const LogicalOpPtr& graph,

@@ -16,6 +16,13 @@
 
 namespace seq {
 
+/// A query answer paired with its observability record: the per-operator
+/// estimated-vs-actual profile and the optimizer's decision trace.
+struct ProfiledQueryResult {
+  QueryResult result;
+  QueryProfile profile;
+};
+
 /// The public facade of the SEQ library: a catalog of named sequences plus
 /// optimize-and-evaluate entry points.
 ///
@@ -86,6 +93,17 @@ class Engine {
 
   /// Annotated logical graph plus the physical plan, as text.
   Result<std::string> Explain(const Query& query) const;
+
+  /// Optimizes with trace collection and evaluates with per-operator
+  /// instrumentation. Slower than Run (every operator call is timed); the
+  /// Run path itself is untouched.
+  Result<ProfiledQueryResult> RunProfiled(const Query& query,
+                                          AccessStats* stats = nullptr) const;
+
+  /// EXPLAIN ANALYZE: runs the query profiled and renders the plan tree
+  /// with estimated vs actual rows/cost per operator, the optimizer trace,
+  /// and the cost-model drift summary.
+  Result<std::string> ExplainAnalyze(const Query& query) const;
 
   /// A query optimized once and executable many times — amortizes the
   /// fixed optimization cost for standing/repeated queries (the regime

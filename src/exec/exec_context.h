@@ -11,6 +11,21 @@ namespace seq {
 /// `stats` receives every simulated access/cache/predicate charge; the cost
 /// constants mirror the ones the optimizer estimated with so measured
 /// simulated cost is comparable to plan estimates.
+///
+/// Per-operation price table (all from CostParams; the optimizer's
+/// estimate formulas charge the same constants for the same events):
+///
+///   operation                      counter           simulated cost
+///   ---------------------------------------------------------------
+///   join predicate application     predicate_evals   join_predicate_cost
+///   select predicate application   predicate_evals   select_predicate_cost
+///   operator-cache store           cache_stores      cache_store_cost
+///   operator-cache access          cache_hits        cache_access_cost
+///   output-record computation      —                 compute_cost
+///   aggregate state step (Add)     agg_steps         agg_step_cost
+///
+/// Base-sequence page/probe charges are priced per store (AccessCosts) and
+/// charged by the scan operators directly.
 struct ExecContext {
   const Catalog* catalog = nullptr;
   AccessStats* stats = nullptr;
@@ -39,6 +54,7 @@ struct ExecContext {
   void ChargeAggStep() {
     if (stats == nullptr) return;
     ++stats->agg_steps;
+    stats->simulated_cost += params.agg_step_cost;
   }
 };
 

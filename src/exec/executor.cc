@@ -1,9 +1,11 @@
 #include "exec/executor.h"
 
+#include <chrono>
 #include <sstream>
 
 #include "common/logging.h"
 #include "exec/agg_ops.h"
+#include "exec/profiled_ops.h"
 #include "exec/collapse_ops.h"
 #include "exec/compose_ops.h"
 #include "exec/offset_ops.h"
@@ -37,9 +39,42 @@ Result<AggBinding> BindAggColumn(const PhysNode& node) {
   return AggBinding{idx, child_schema.field(idx).type};
 }
 
+/// Fills a fresh profile node with the PhysNode's identity and estimates.
+OperatorProfile* AddProfileNode(OperatorProfile* parent,
+                                const PhysNode& node) {
+  OperatorProfile* prof = parent->AddChild();
+  prof->label = node.Label();
+  prof->est_cost = node.est_cost;
+  prof->est_rows = node.EstRows();
+  prof->span_len =
+      (node.required.IsEmpty() || node.required.IsUnbounded())
+          ? 0
+          : node.required.Length();
+  return prof;
+}
+
 }  // namespace
 
-Result<StreamOpPtr> Executor::BuildStream(const PhysNodePtr& node) const {
+Result<StreamOpPtr> Executor::BuildStream(
+    const PhysNodePtr& node, OperatorProfile* profile_parent) const {
+  if (profile_parent == nullptr) return BuildStreamInner(node, nullptr);
+  SEQ_CHECK(node != nullptr);
+  OperatorProfile* prof = AddProfileNode(profile_parent, *node);
+  SEQ_ASSIGN_OR_RETURN(StreamOpPtr inner, BuildStreamInner(node, prof));
+  return StreamOpPtr(new ProfiledStreamOp(std::move(inner), prof));
+}
+
+Result<ProbeOpPtr> Executor::BuildProbe(
+    const PhysNodePtr& node, OperatorProfile* profile_parent) const {
+  if (profile_parent == nullptr) return BuildProbeInner(node, nullptr);
+  SEQ_CHECK(node != nullptr);
+  OperatorProfile* prof = AddProfileNode(profile_parent, *node);
+  SEQ_ASSIGN_OR_RETURN(ProbeOpPtr inner, BuildProbeInner(node, prof));
+  return ProbeOpPtr(new ProfiledProbeOp(std::move(inner), prof));
+}
+
+Result<StreamOpPtr> Executor::BuildStreamInner(const PhysNodePtr& node,
+                                               OperatorProfile* prof) const {
   SEQ_CHECK(node != nullptr);
   SEQ_CHECK_MSG(node->mode == AccessMode::kStream,
                 "BuildStream on a probed-mode node "
@@ -57,12 +92,12 @@ Result<StreamOpPtr> Executor::BuildStream(const PhysNodePtr& node) const {
       return StreamOpPtr(new ConstantStream(entry->constant, node->required));
     }
     case OpKind::kSelect: {
-      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0], prof));
       return StreamOpPtr(new SelectStream(std::move(child), node->predicate,
                                           node->children[0]->out_schema));
     }
     case OpKind::kProject: {
-      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0], prof));
       SEQ_ASSIGN_OR_RETURN(
           std::vector<size_t> indices,
           ProjectIndices(*node, *node->children[0]->out_schema));
@@ -70,18 +105,18 @@ Result<StreamOpPtr> Executor::BuildStream(const PhysNodePtr& node) const {
                                            std::move(indices)));
     }
     case OpKind::kPositionalOffset: {
-      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0], prof));
       return StreamOpPtr(new PosOffsetStream(std::move(child), node->offset));
     }
     case OpKind::kValueOffset: {
       if (node->offset_strategy == OffsetStrategy::kIncrementalCacheB) {
         SEQ_ASSIGN_OR_RETURN(StreamOpPtr child,
-                             BuildStream(node->children[0]));
+                             BuildStream(node->children[0], prof));
         return StreamOpPtr(new ValueOffsetStream(std::move(child),
                                                  node->offset,
                                                  node->required));
       }
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0], prof));
       return StreamOpPtr(new ValueOffsetNaiveStream(
           std::move(child), node->offset, node->required,
           node->children[0]->required));
@@ -92,27 +127,27 @@ Result<StreamOpPtr> Executor::BuildStream(const PhysNodePtr& node) const {
         case WindowKind::kTrailing:
           if (node->agg_strategy == AggStrategy::kCacheA) {
             SEQ_ASSIGN_OR_RETURN(StreamOpPtr child,
-                                 BuildStream(node->children[0]));
+                                 BuildStream(node->children[0], prof));
             return StreamOpPtr(new WindowAggCachedStream(
                 std::move(child), node->agg_func, binding.col_index,
                 binding.col_type, node->window, node->required));
           } else {
             SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child,
-                                 BuildProbe(node->children[0]));
+                                 BuildProbe(node->children[0], prof));
             return StreamOpPtr(new WindowAggNaiveStream(
                 std::move(child), node->agg_func, binding.col_index,
                 binding.col_type, node->window, node->required));
           }
         case WindowKind::kRunning: {
           SEQ_ASSIGN_OR_RETURN(StreamOpPtr child,
-                               BuildStream(node->children[0]));
+                               BuildStream(node->children[0], prof));
           return StreamOpPtr(new RunningAggStream(
               std::move(child), node->agg_func, binding.col_index,
               binding.col_type, node->required));
         }
         case WindowKind::kAll: {
           SEQ_ASSIGN_OR_RETURN(StreamOpPtr child,
-                               BuildStream(node->children[0]));
+                               BuildStream(node->children[0], prof));
           return StreamOpPtr(new OverallAggStream(
               std::move(child), node->agg_func, binding.col_index,
               binding.col_type, node->required));
@@ -124,27 +159,27 @@ Result<StreamOpPtr> Executor::BuildStream(const PhysNodePtr& node) const {
       switch (node->join_strategy) {
         case JoinStrategy::kStreamBoth: {
           SEQ_ASSIGN_OR_RETURN(StreamOpPtr left,
-                               BuildStream(node->children[0]));
+                               BuildStream(node->children[0], prof));
           SEQ_ASSIGN_OR_RETURN(StreamOpPtr right,
-                               BuildStream(node->children[1]));
+                               BuildStream(node->children[1], prof));
           return StreamOpPtr(new ComposeLockstepStream(
               std::move(left), std::move(right), node->predicate,
               node->out_schema));
         }
         case JoinStrategy::kStreamLeftProbeRight: {
           SEQ_ASSIGN_OR_RETURN(StreamOpPtr driver,
-                               BuildStream(node->children[0]));
+                               BuildStream(node->children[0], prof));
           SEQ_ASSIGN_OR_RETURN(ProbeOpPtr other,
-                               BuildProbe(node->children[1]));
+                               BuildProbe(node->children[1], prof));
           return StreamOpPtr(new ComposeStreamProbe(
               std::move(driver), std::move(other), /*driver_is_left=*/true,
               node->predicate, node->out_schema));
         }
         case JoinStrategy::kStreamRightProbeLeft: {
           SEQ_ASSIGN_OR_RETURN(ProbeOpPtr other,
-                               BuildProbe(node->children[0]));
+                               BuildProbe(node->children[0], prof));
           SEQ_ASSIGN_OR_RETURN(StreamOpPtr driver,
-                               BuildStream(node->children[1]));
+                               BuildStream(node->children[1], prof));
           return StreamOpPtr(new ComposeStreamProbe(
               std::move(driver), std::move(other), /*driver_is_left=*/false,
               node->predicate, node->out_schema));
@@ -156,13 +191,13 @@ Result<StreamOpPtr> Executor::BuildStream(const PhysNodePtr& node) const {
     }
     case OpKind::kCollapse: {
       SEQ_ASSIGN_OR_RETURN(AggBinding binding, BindAggColumn(*node));
-      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0], prof));
       return StreamOpPtr(new CollapseStream(
           std::move(child), node->agg_func, binding.col_index,
           binding.col_type, node->offset, node->required));
     }
     case OpKind::kExpand: {
-      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0], prof));
       return StreamOpPtr(new ExpandStream(std::move(child), node->offset,
                                           node->required));
     }
@@ -170,7 +205,8 @@ Result<StreamOpPtr> Executor::BuildStream(const PhysNodePtr& node) const {
   return Status::Internal("unknown operator kind in stream plan");
 }
 
-Result<ProbeOpPtr> Executor::BuildProbe(const PhysNodePtr& node) const {
+Result<ProbeOpPtr> Executor::BuildProbeInner(const PhysNodePtr& node,
+                                             OperatorProfile* prof) const {
   SEQ_CHECK(node != nullptr);
   SEQ_CHECK_MSG(node->mode == AccessMode::kProbed,
                 "BuildProbe on a stream-mode node " << OpKindName(node->op));
@@ -186,12 +222,12 @@ Result<ProbeOpPtr> Executor::BuildProbe(const PhysNodePtr& node) const {
       return ProbeOpPtr(new ConstantProbe(entry->constant));
     }
     case OpKind::kSelect: {
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0], prof));
       return ProbeOpPtr(new SelectProbe(std::move(child), node->predicate,
                                         node->children[0]->out_schema));
     }
     case OpKind::kProject: {
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0], prof));
       SEQ_ASSIGN_OR_RETURN(
           std::vector<size_t> indices,
           ProjectIndices(*node, *node->children[0]->out_schema));
@@ -199,45 +235,45 @@ Result<ProbeOpPtr> Executor::BuildProbe(const PhysNodePtr& node) const {
                                          std::move(indices)));
     }
     case OpKind::kPositionalOffset: {
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0], prof));
       return ProbeOpPtr(new PosOffsetProbe(std::move(child), node->offset));
     }
     case OpKind::kValueOffset: {
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0], prof));
       return ProbeOpPtr(new ValueOffsetNaiveProbe(
           std::move(child), node->offset, node->children[0]->required));
     }
     case OpKind::kWindowAgg: {
       SEQ_ASSIGN_OR_RETURN(AggBinding binding, BindAggColumn(*node));
       if (node->window_kind == WindowKind::kTrailing) {
-        SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0]));
+        SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0], prof));
         return ProbeOpPtr(new WindowAggNaiveProbe(
             std::move(child), node->agg_func, binding.col_index,
             binding.col_type, node->window));
       }
       // Running/overall: the planner supplies a stream child to
       // materialize from.
-      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0], prof));
       return ProbeOpPtr(new MaterializedAggProbe(
           std::move(child), node->agg_func, binding.col_index,
           binding.col_type, node->window_kind, node->out_span));
     }
     case OpKind::kCompose: {
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr left, BuildProbe(node->children[0]));
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr right, BuildProbe(node->children[1]));
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr left, BuildProbe(node->children[0], prof));
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr right, BuildProbe(node->children[1], prof));
       return ProbeOpPtr(new ComposeProbeBoth(
           std::move(left), std::move(right), node->probe_left_first,
           node->predicate, node->out_schema));
     }
     case OpKind::kCollapse: {
       SEQ_ASSIGN_OR_RETURN(AggBinding binding, BindAggColumn(*node));
-      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0], prof));
       return ProbeOpPtr(new CollapseProbe(std::move(child), node->agg_func,
                                           binding.col_index, binding.col_type,
                                           node->offset));
     }
     case OpKind::kExpand: {
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0]));
+      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0], prof));
       return ProbeOpPtr(new ExpandProbe(std::move(child), node->offset));
     }
   }
@@ -246,6 +282,66 @@ Result<ProbeOpPtr> Executor::BuildProbe(const PhysNodePtr& node) const {
 
 Result<QueryResult> Executor::Execute(const PhysicalPlan& plan,
                                       AccessStats* stats) const {
+  return ExecuteImpl(plan, stats, nullptr);
+}
+
+Result<QueryResult> Executor::ExecuteProfiled(const PhysicalPlan& plan,
+                                              QueryProfile* profile,
+                                              AccessStats* stats) const {
+  SEQ_CHECK(profile != nullptr);
+  profile->Reset();
+
+  // The Start operator (the driving loop below) gets the root profile
+  // node; the plan tree hangs under it.
+  OperatorProfile& root = *profile->root;
+  {
+    std::ostringstream oss;
+    oss << "Start [" << AccessModeName(plan.root_mode);
+    if (plan.root_mode == AccessMode::kStream) {
+      oss << " over " << plan.output_span.ToString();
+    } else {
+      oss << " at " << plan.positions.size() << " positions";
+    }
+    oss << "]";
+    root.label = oss.str();
+  }
+  root.est_cost = plan.est_cost;
+  if (!plan.positions.empty()) {
+    root.est_rows = static_cast<double>(plan.positions.size());
+  } else if (plan.root != nullptr) {
+    root.est_rows = plan.root->EstRows();
+  }
+  if (!plan.output_span.IsEmpty() && !plan.output_span.IsUnbounded()) {
+    root.span_len = plan.output_span.Length();
+  }
+
+  // Attribution needs a stats block even when the caller doesn't want
+  // one: the wrappers read simulated-cost / cache-counter deltas from it.
+  AccessStats local;
+  auto start = std::chrono::steady_clock::now();
+  Result<QueryResult> result = ExecuteImpl(plan, &local, &root);
+  int64_t wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+  root.calls = 1;
+  root.wall_ns = wall_ns;
+  root.sim_cost = local.simulated_cost;
+  root.cache_hits = local.cache_hits;
+  root.cache_stores = local.cache_stores;
+  if (result.ok()) {
+    root.rows_out = static_cast<int64_t>(result.value().records.size());
+  }
+  profile->total_wall_ns = wall_ns;
+  profile->stats = local;
+  if (stats != nullptr) *stats += local;
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
+                                          AccessStats* stats,
+                                          OperatorProfile* root_profile)
+    const {
   if (plan.root == nullptr) {
     return Status::InvalidArgument("plan has no root");
   }
@@ -258,7 +354,7 @@ Result<QueryResult> Executor::Execute(const PhysicalPlan& plan,
   result.schema = plan.schema;
 
   if (plan.root_mode == AccessMode::kStream) {
-    SEQ_ASSIGN_OR_RETURN(StreamOpPtr root, BuildStream(plan.root));
+    SEQ_ASSIGN_OR_RETURN(StreamOpPtr root, BuildStream(plan.root, root_profile));
     SEQ_RETURN_IF_ERROR(root->Open(&ctx));
     const Span range = plan.output_span;
     if (!range.IsEmpty()) {
@@ -289,7 +385,7 @@ Result<QueryResult> Executor::Execute(const PhysicalPlan& plan,
 
   // Probed driving (Fig. 6): probe the requested positions, or every
   // position of the range when none were listed.
-  SEQ_ASSIGN_OR_RETURN(ProbeOpPtr root, BuildProbe(plan.root));
+  SEQ_ASSIGN_OR_RETURN(ProbeOpPtr root, BuildProbe(plan.root, root_profile));
   SEQ_RETURN_IF_ERROR(root->Open(&ctx));
   auto probe_one = [&](Position p) {
     std::optional<Record> r = root->Probe(p);

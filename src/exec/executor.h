@@ -8,6 +8,7 @@
 #include "catalog/cost_params.h"
 #include "common/result.h"
 #include "exec/operator.h"
+#include "obs/profile.h"
 #include "optimizer/physical_plan.h"
 
 namespace seq {
@@ -35,12 +36,33 @@ class Executor {
   Result<QueryResult> Execute(const PhysicalPlan& plan,
                               AccessStats* stats = nullptr) const;
 
+  /// Profiled evaluation: every operator is wrapped in an instrumented
+  /// shim that records calls, rows, wall time and simulated-cost deltas
+  /// into `profile` (which is reset first). The unprofiled Execute path is
+  /// untouched — profiling costs nothing when not requested.
+  Result<QueryResult> ExecuteProfiled(const PhysicalPlan& plan,
+                                      QueryProfile* profile,
+                                      AccessStats* stats = nullptr) const;
+
   /// Operator-tree factories, exposed for tests and benchmarks that build
-  /// custom plans.
-  Result<StreamOpPtr> BuildStream(const PhysNodePtr& node) const;
-  Result<ProbeOpPtr> BuildProbe(const PhysNodePtr& node) const;
+  /// custom plans. When `profile_parent` is non-null the returned tree is
+  /// instrumented and its profile nodes are appended under it.
+  Result<StreamOpPtr> BuildStream(const PhysNodePtr& node,
+                                  OperatorProfile* profile_parent =
+                                      nullptr) const;
+  Result<ProbeOpPtr> BuildProbe(const PhysNodePtr& node,
+                                OperatorProfile* profile_parent =
+                                    nullptr) const;
 
  private:
+  Result<StreamOpPtr> BuildStreamInner(const PhysNodePtr& node,
+                                       OperatorProfile* prof) const;
+  Result<ProbeOpPtr> BuildProbeInner(const PhysNodePtr& node,
+                                     OperatorProfile* prof) const;
+  Result<QueryResult> ExecuteImpl(const PhysicalPlan& plan,
+                                  AccessStats* stats,
+                                  OperatorProfile* root_profile) const;
+
   const Catalog& catalog_;
   CostParams params_;
 };

@@ -1,0 +1,76 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace seq {
+
+void MetricsRegistry::Add(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricDist& d = dists_[name];
+  if (d.count == 0) {
+    d.min = value;
+    d.max = value;
+  } else {
+    d.min = std::min(d.min, value);
+    d.max = std::max(d.max, value);
+  }
+  ++d.count;
+  d.sum += value;
+}
+
+int64_t MetricsRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+MetricDist MetricsRegistry::GetDist(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dists_.find(name);
+  return it == dists_.end() ? MetricDist{} : it->second;
+}
+
+std::map<std::string, int64_t> MetricsRegistry::CounterSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::map<std::string, MetricDist> MetricsRegistry::DistSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dists_;
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream oss;
+  for (const auto& [name, value] : counters_) {
+    oss << name << "=" << value << "\n";
+  }
+  for (const auto& [name, d] : dists_) {
+    oss << name << " count=" << d.count << " mean=" << FormatDouble(d.Mean())
+        << " min=" << FormatDouble(d.min) << " max=" << FormatDouble(d.max)
+        << "\n";
+  }
+  return oss.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  dists_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace seq

@@ -1,0 +1,57 @@
+#ifndef SEQ_OBS_METRICS_H_
+#define SEQ_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace seq {
+
+/// A monotonically accumulating distribution: count / sum / min / max of
+/// every observed value (e.g. per-query optimize time).
+struct MetricDist {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// A small process-wide metrics registry: named counters and value
+/// distributions, safe to update from concurrent queries. This is the
+/// always-on layer of the observability stack — counters are cheap enough
+/// to leave enabled in production, unlike per-operator profiling which is
+/// opt-in per query.
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to the counter `name` (created at zero on first use).
+  void Add(const std::string& name, int64_t delta = 1);
+
+  /// Records one observation of `value` under `name`.
+  void Observe(const std::string& name, double value);
+
+  int64_t Get(const std::string& name) const;
+  MetricDist GetDist(const std::string& name) const;
+
+  std::map<std::string, int64_t> CounterSnapshot() const;
+  std::map<std::string, MetricDist> DistSnapshot() const;
+
+  /// `name=value` lines, sorted by name (counters then distributions).
+  std::string ToString() const;
+
+  void Reset();
+
+  /// The process-global registry the engine reports into.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, MetricDist> dists_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_OBS_METRICS_H_

@@ -1,0 +1,77 @@
+#include "obs/opt_trace.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+namespace seq {
+
+void OptTrace::Add(std::string stage, std::string detail, double cost,
+                   bool chosen) {
+  if (entries.size() >= kMaxEntries) {
+    ++dropped_entries;
+    return;
+  }
+  OptTraceEntry e;
+  e.stage = std::move(stage);
+  e.detail = std::move(detail);
+  e.cost = cost;
+  e.chosen = chosen;
+  entries.push_back(std::move(e));
+}
+
+std::vector<const OptTraceEntry*> OptTrace::Stage(
+    const std::string& stage) const {
+  std::vector<const OptTraceEntry*> out;
+  for (const OptTraceEntry& e : entries) {
+    if (e.stage == stage) out.push_back(&e);
+  }
+  return out;
+}
+
+std::string OptTrace::ToString() const {
+  std::ostringstream oss;
+  oss << "optimize time: " << optimize_us << " us\n";
+  oss << "enumeration: plans_considered=" << plans_considered
+      << " plans_retained_max=" << plans_retained_max
+      << " join_blocks=" << join_blocks
+      << " largest_block=" << largest_block
+      << " nonunit_blocks=" << nonunit_blocks << "\n";
+  for (const OptTraceEntry& e : entries) {
+    oss << "  [" << e.stage << "] " << e.detail;
+    if (e.cost >= 0.0) oss << " cost=" << FormatDouble(e.cost);
+    if (e.chosen) oss << "  <- chosen";
+    oss << "\n";
+  }
+  if (dropped_entries > 0) {
+    oss << "  ... (" << dropped_entries << " entries dropped)\n";
+  }
+  return oss.str();
+}
+
+void OptTrace::EmitTraceEvents(TraceRecorder* recorder,
+                               int64_t start_ts_us) const {
+  if (recorder == nullptr) return;
+  recorder->AddComplete(
+      "optimize", "optimizer", start_ts_us, optimize_us, /*tid=*/0,
+      {TraceArg::Num("plans_considered",
+                     static_cast<double>(plans_considered)),
+       TraceArg::Num("plans_retained_max",
+                     static_cast<double>(plans_retained_max)),
+       TraceArg::Num("join_blocks", static_cast<double>(join_blocks))});
+  // Instants are spread across the optimize span so the viewer shows the
+  // decision sequence in order (exact sub-phase timing is not recorded).
+  int64_t n = static_cast<int64_t>(entries.size());
+  for (int64_t i = 0; i < n; ++i) {
+    const OptTraceEntry& e = entries[static_cast<size_t>(i)];
+    int64_t ts = start_ts_us + (n > 0 ? (optimize_us * i) / n : 0);
+    std::vector<TraceArg> args = {TraceArg::Str("detail", e.detail)};
+    if (e.cost >= 0.0) args.push_back(TraceArg::Num("cost", e.cost));
+    if (e.chosen) args.push_back(TraceArg::Str("chosen", "true"));
+    recorder->AddInstant(e.stage, "optimizer", ts, /*tid=*/0,
+                         std::move(args));
+  }
+}
+
+}  // namespace seq

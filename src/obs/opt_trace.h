@@ -1,0 +1,60 @@
+#ifndef SEQ_OBS_OPT_TRACE_H_
+#define SEQ_OBS_OPT_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seq {
+
+class TraceRecorder;
+
+/// One optimizer decision point: a rewrite applied or rejected, a plan
+/// candidate costed, or a final choice. `cost < 0` means "no cost attached"
+/// (e.g. rewrite events).
+struct OptTraceEntry {
+  std::string stage;   ///< "rewrite", "rewrite-rejected", "candidate", "choice"
+  std::string detail;  ///< human-readable description
+  double cost = -1.0;  ///< estimated cost, when the entry is a candidate
+  bool chosen = false; ///< true for the winning candidate of a decision
+};
+
+/// A record of what the optimizer did and why for one Optimize() call:
+/// rewrites applied and rejected, plan candidates enumerated with their
+/// estimated costs, which one won each decision, and the enumeration
+/// counters. Collection is opt-in (OptimizerOptions::collect_trace); the
+/// entry cap keeps pathological DP blocks from ballooning the trace.
+struct OptTrace {
+  static constexpr size_t kMaxEntries = 20000;
+
+  std::vector<OptTraceEntry> entries;
+  int64_t dropped_entries = 0;  ///< entries beyond the cap (count kept)
+
+  // Enumeration counters (mirrors PlannerStats; copied so this struct has
+  // no optimizer dependency).
+  int64_t plans_considered = 0;
+  int64_t plans_retained_max = 0;
+  int64_t join_blocks = 0;
+  int64_t largest_block = 0;
+  int64_t nonunit_blocks = 0;
+
+  int64_t optimize_us = 0;  ///< wall time of the whole Optimize() call
+
+  void Add(std::string stage, std::string detail, double cost = -1.0,
+           bool chosen = false);
+
+  /// Entries of one stage, in order.
+  std::vector<const OptTraceEntry*> Stage(const std::string& stage) const;
+
+  /// Multi-line rendering for EXPLAIN ANALYZE output.
+  std::string ToString() const;
+
+  /// Appends the trace as instant events on the optimizer lane (tid 0),
+  /// ending at `end_ts_us` so it aligns with the execution span that
+  /// follows.
+  void EmitTraceEvents(TraceRecorder* recorder, int64_t start_ts_us) const;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_OBS_OPT_TRACE_H_

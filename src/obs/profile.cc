@@ -1,0 +1,149 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+namespace seq {
+
+OperatorProfile* OperatorProfile::AddChild() {
+  children.push_back(std::make_unique<OperatorProfile>());
+  return children.back().get();
+}
+
+int64_t OperatorProfile::SelfWallNs() const {
+  int64_t self = wall_ns;
+  for (const auto& c : children) self -= c->wall_ns;
+  return std::max<int64_t>(self, 0);
+}
+
+double OperatorProfile::SelfSimCost() const {
+  double self = sim_cost;
+  for (const auto& c : children) self -= c->sim_cost;
+  return std::max(self, 0.0);
+}
+
+double OperatorProfile::QError() const {
+  double est = std::max(est_rows, 1.0);
+  double act = std::max(static_cast<double>(rows_out), 1.0);
+  return std::max(est / act, act / est);
+}
+
+void OperatorProfile::Visit(
+    const std::function<void(const OperatorProfile&, int)>& fn,
+    int depth) const {
+  fn(*this, depth);
+  for (const auto& c : children) c->Visit(fn, depth + 1);
+}
+
+void QueryProfile::Reset() {
+  root = std::make_unique<OperatorProfile>();
+  total_wall_ns = 0;
+  stats = AccessStats{};
+  optimizer = OptTrace{};
+}
+
+double QueryProfile::MaxQError() const {
+  double q = 1.0;
+  if (root == nullptr) return q;
+  root->Visit([&q](const OperatorProfile& op, int) {
+    q = std::max(q, op.QError());
+  });
+  return q;
+}
+
+double QueryProfile::MeanQError() const {
+  double sum = 0.0;
+  int64_t n = 0;
+  if (root == nullptr) return 1.0;
+  root->Visit([&](const OperatorProfile& op, int) {
+    sum += op.QError();
+    ++n;
+  });
+  return n > 0 ? sum / static_cast<double>(n) : 1.0;
+}
+
+namespace {
+
+std::string FormatWall(int64_t ns) {
+  if (ns >= 1000000) return FormatDouble(static_cast<double>(ns) / 1e6) + "ms";
+  if (ns >= 1000) return FormatDouble(static_cast<double>(ns) / 1e3) + "us";
+  return std::to_string(ns) + "ns";
+}
+
+}  // namespace
+
+std::string QueryProfile::ToString() const {
+  std::ostringstream oss;
+  oss << "=== plan (estimated vs actual) ===\n";
+  if (root != nullptr) {
+    root->Visit([&oss](const OperatorProfile& op, int depth) {
+      oss << std::string(static_cast<size_t>(depth) * 2, ' ') << op.label
+          << "  (est_rows=" << FormatDouble(op.est_rows)
+          << " act_rows=" << op.rows_out
+          << " est_cost=" << FormatDouble(op.est_cost)
+          << " act_cost=" << FormatDouble(op.sim_cost)
+          << " calls=" << op.calls << " wall=" << FormatWall(op.wall_ns);
+      if (op.cache_hits > 0 || op.cache_stores > 0) {
+        oss << " cache_hits=" << op.cache_hits
+            << " cache_stores=" << op.cache_stores;
+      }
+      oss << " q_err=" << FormatDouble(op.QError()) << ")\n";
+    });
+  }
+  oss << "=== optimizer trace ===\n" << optimizer.ToString();
+  oss << "=== cost-model drift ===\n";
+  oss << "per-node row q-error: max=" << FormatDouble(MaxQError())
+      << " mean=" << FormatDouble(MeanQError()) << "\n";
+  if (root != nullptr) {
+    double est = std::max(root->est_cost, 1e-9);
+    double act = std::max(root->sim_cost, 1e-9);
+    oss << "root cost drift: est=" << FormatDouble(root->est_cost)
+        << " measured=" << FormatDouble(root->sim_cost)
+        << " ratio=" << FormatDouble(act / est) << "\n";
+  }
+  oss << "=== totals ===\n";
+  oss << "wall: " << FormatWall(total_wall_ns) << "\n";
+  oss << "access: " << stats.ToString() << "\n";
+  return oss.str();
+}
+
+namespace {
+
+/// Lays the operator tree out as nested complete events starting at
+/// `ts_us`; children are placed sequentially inside the parent span.
+void EmitOperator(const OperatorProfile& op, int64_t ts_us,
+                  TraceRecorder* recorder) {
+  int64_t dur_us = op.wall_ns / 1000;
+  recorder->AddComplete(
+      op.label, "operator", ts_us, dur_us, /*tid=*/1,
+      {TraceArg::Num("est_rows", op.est_rows),
+       TraceArg::Num("act_rows", static_cast<double>(op.rows_out)),
+       TraceArg::Num("est_cost", op.est_cost),
+       TraceArg::Num("act_cost", op.sim_cost),
+       TraceArg::Num("calls", static_cast<double>(op.calls)),
+       TraceArg::Num("q_err", op.QError())});
+  int64_t child_ts = ts_us;
+  for (const auto& c : op.children) {
+    EmitOperator(*c, child_ts, recorder);
+    child_ts += c->wall_ns / 1000;
+  }
+}
+
+}  // namespace
+
+void QueryProfile::EmitTraceEvents(TraceRecorder* recorder) const {
+  if (recorder == nullptr) return;
+  optimizer.EmitTraceEvents(recorder, /*start_ts_us=*/0);
+  int64_t exec_start = optimizer.optimize_us;
+  recorder->AddComplete(
+      "execute", "executor", exec_start, total_wall_ns / 1000, /*tid=*/1,
+      {TraceArg::Num("records_output",
+                     static_cast<double>(stats.records_output)),
+       TraceArg::Num("simulated_cost", stats.simulated_cost)});
+  if (root != nullptr) EmitOperator(*root, exec_start, recorder);
+}
+
+}  // namespace seq

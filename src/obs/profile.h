@@ -1,0 +1,85 @@
+#ifndef SEQ_OBS_PROFILE_H_
+#define SEQ_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/opt_trace.h"
+#include "storage/access_stats.h"
+
+namespace seq {
+
+class TraceRecorder;
+
+/// Runtime profile of one physical operator: the optimizer's estimates for
+/// the node next to what execution actually did. Actual counters are
+/// *inclusive* of the subtree below the operator (the pull model means
+/// children only run inside parent calls); Self*() subtracts the children.
+struct OperatorProfile {
+  // Identity (copied from the PhysNode so rendering needs no plan access).
+  std::string label;  ///< e.g. "Select [stream] value > 10"
+
+  // Optimizer estimates.
+  double est_cost = 0.0;
+  double est_rows = 0.0;
+  int64_t span_len = 0;  ///< length of the node's required span
+
+  // Measured, inclusive of children.
+  int64_t calls = 0;         ///< Next()/NextAtOrAfter()/Probe() invocations
+  int64_t rows_out = 0;      ///< records this operator produced
+  int64_t wall_ns = 0;       ///< wall time inside the operator subtree
+  double sim_cost = 0.0;     ///< simulated-cost delta charged in the subtree
+  int64_t cache_hits = 0;    ///< operator-cache hits in the subtree
+  int64_t cache_stores = 0;  ///< operator-cache stores in the subtree
+
+  std::vector<std::unique_ptr<OperatorProfile>> children;
+
+  OperatorProfile* AddChild();
+
+  int64_t SelfWallNs() const;
+  double SelfSimCost() const;
+
+  /// Q-error of the row estimate: max(est/act, act/est) with both sides
+  /// floored at one record, the standard symmetric misestimation factor.
+  double QError() const;
+
+  /// Preorder visit of this subtree (depth starts at `depth`).
+  void Visit(const std::function<void(const OperatorProfile&, int)>& fn,
+             int depth = 0) const;
+};
+
+/// The complete observability record of one profiled query run: the
+/// operator tree with estimated-vs-actual annotations, roll-up access
+/// stats, and the optimizer's decision trace. Returned alongside the
+/// QueryResult by Engine::RunProfiled and rendered by ExplainAnalyze.
+struct QueryProfile {
+  std::unique_ptr<OperatorProfile> root;  ///< the Start operator
+  int64_t total_wall_ns = 0;              ///< end-to-end execution wall time
+  AccessStats stats;                      ///< roll-up of all charges
+  OptTrace optimizer;                     ///< what the optimizer did and why
+
+  /// Clears everything and installs a fresh (empty) root node.
+  void Reset();
+
+  /// Largest / mean per-node row Q-error over the operator tree — the
+  /// cost-model drift summary. 1.0 means every estimate was exact.
+  double MaxQError() const;
+  double MeanQError() const;
+
+  /// The EXPLAIN ANALYZE rendering: annotated plan tree, optimizer trace,
+  /// drift summary, totals.
+  std::string ToString() const;
+
+  /// Emits the profile as Chrome trace events: the optimizer span (lane 0)
+  /// followed by nested per-operator spans (lane 1). Durations are the
+  /// measured inclusive wall times; start timestamps are reconstructed
+  /// depth-first, which yields a correctly nested flame graph.
+  void EmitTraceEvents(TraceRecorder* recorder) const;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_OBS_PROFILE_H_

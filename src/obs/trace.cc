@@ -1,0 +1,112 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace seq {
+
+void TraceRecorder::AddComplete(std::string name, std::string category,
+                                int64_t ts_us, int64_t dur_us, int64_t tid,
+                                std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.tid = tid;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::AddInstant(std::string name, std::string category,
+                               int64_t ts_us, int64_t tid,
+                               std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'i';
+  e.ts_us = ts_us;
+  e.tid = tid;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Doubles in trace args are counters/costs; plain printf formatting keeps
+/// them valid JSON (no inf/nan — callers only pass finite values).
+void AppendNumber(std::ostringstream* oss, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *oss << buf;
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToJson() const {
+  std::ostringstream oss;
+  oss << "{\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    if (i > 0) oss << ",";
+    oss << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
+        << JsonEscape(e.category) << "\",\"ph\":\"" << e.phase
+        << "\",\"ts\":" << e.ts_us;
+    if (e.phase == 'X') oss << ",\"dur\":" << e.dur_us;
+    if (e.phase == 'i') oss << ",\"s\":\"t\"";
+    oss << ",\"pid\":1,\"tid\":" << e.tid;
+    if (!e.args.empty()) {
+      oss << ",\"args\":{";
+      for (size_t a = 0; a < e.args.size(); ++a) {
+        const TraceArg& arg = e.args[a];
+        if (a > 0) oss << ",";
+        oss << "\"" << JsonEscape(arg.key) << "\":";
+        if (arg.is_number) {
+          AppendNumber(&oss, arg.num_value);
+        } else {
+          oss << "\"" << JsonEscape(arg.str_value) << "\"";
+        }
+      }
+      oss << "}";
+    }
+    oss << "}";
+  }
+  oss << "],\"displayTimeUnit\":\"ms\"}";
+  return oss.str();
+}
+
+}  // namespace seq

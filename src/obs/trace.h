@@ -1,0 +1,79 @@
+#ifndef SEQ_OBS_TRACE_H_
+#define SEQ_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace seq {
+
+/// One argument attached to a trace event. Values are either numbers or
+/// strings so the emitted JSON stays typed (Chrome's trace viewer renders
+/// numeric args in its detail pane and summaries).
+struct TraceArg {
+  std::string key;
+  std::string str_value;
+  double num_value = 0.0;
+  bool is_number = false;
+
+  static TraceArg Num(std::string key, double v) {
+    TraceArg a;
+    a.key = std::move(key);
+    a.num_value = v;
+    a.is_number = true;
+    return a;
+  }
+  static TraceArg Str(std::string key, std::string v) {
+    TraceArg a;
+    a.key = std::move(key);
+    a.str_value = std::move(v);
+    return a;
+  }
+};
+
+/// One event in the Chrome trace-event format (the `traceEvents` array of
+/// chrome://tracing / Perfetto's legacy JSON importer). Only the phases the
+/// engine emits are modeled: complete spans ("X", with a duration) and
+/// instants ("i").
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';
+  int64_t ts_us = 0;   ///< start, microseconds
+  int64_t dur_us = 0;  ///< duration, microseconds (complete events)
+  int64_t tid = 0;     ///< lane; used to group optimizer vs executor events
+  std::vector<TraceArg> args;
+};
+
+/// Records trace events and serializes them as Chrome trace-event JSON:
+///   {"traceEvents": [{"name": ..., "ph": "X", "ts": ..., "dur": ...}, ...]}
+/// The recorder itself carries no clock; callers supply timestamps (the
+/// profiling layer reconstructs them from per-operator inclusive times, so
+/// recording cost is paid only when a trace is requested).
+class TraceRecorder {
+ public:
+  void AddComplete(std::string name, std::string category, int64_t ts_us,
+                   int64_t dur_us, int64_t tid = 0,
+                   std::vector<TraceArg> args = {});
+  void AddInstant(std::string name, std::string category, int64_t ts_us,
+                  int64_t tid = 0, std::vector<TraceArg> args = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  void Clear() { events_.clear(); }
+
+  /// The full trace as a Chrome trace-event JSON document.
+  std::string ToJson() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Escapes `s` for embedding in a JSON string literal (quotes, backslashes,
+/// control characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace seq
+
+#endif  // SEQ_OBS_TRACE_H_

@@ -1,6 +1,7 @@
 #include "optimizer/optimizer.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "optimizer/annotate.h"
 #include "optimizer/rewriter.h"
@@ -32,6 +33,20 @@ Result<PhysicalPlan> Optimizer::Optimize(const Query& query) {
   }
   planner_stats_ = PlannerStats{};
   rewrites_applied_.clear();
+  trace_ = OptTrace{};
+  OptTrace* trace = options_.collect_trace ? &trace_ : nullptr;
+  auto opt_start = std::chrono::steady_clock::now();
+  auto finish_trace = [&] {
+    if (trace == nullptr) return;
+    trace_.plans_considered = planner_stats_.plans_considered;
+    trace_.plans_retained_max = planner_stats_.plans_retained_max;
+    trace_.join_blocks = planner_stats_.join_blocks;
+    trace_.largest_block = planner_stats_.largest_block;
+    trace_.nonunit_blocks = planner_stats_.nonunit_blocks;
+    trace_.optimize_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - opt_start)
+                             .count();
+  };
 
   // Step 1 — specification: work on a private clone.
   LogicalOpPtr graph = query.graph->Clone();
@@ -46,6 +61,14 @@ Result<PhysicalPlan> Optimizer::Optimize(const Query& query) {
     Rewriter rewriter;
     SEQ_RETURN_IF_ERROR(rewriter.Rewrite(&graph));
     rewrites_applied_ = rewriter.applied();
+    if (trace != nullptr) {
+      for (const std::string& rule : rewriter.applied()) {
+        trace->Add("rewrite", rule);
+      }
+      for (const std::string& rejection : rewriter.rejected()) {
+        trace->Add("rewrite-rejected", rejection);
+      }
+    }
     SEQ_RETURN_IF_ERROR(annotator.AnnotateBottomUp(graph.get()));
   }
 
@@ -76,12 +99,13 @@ Result<PhysicalPlan> Optimizer::Optimize(const Query& query) {
       optimized_graph_ = graph;
       // A plan over an empty position set: keep a valid root for explain.
       Planner empty_planner(catalog_, options_.cost_params,
-                            &planner_stats_);
+                            &planner_stats_, trace);
       annotator.PushRequiredSpans(graph.get(), Span::Empty(),
                                   options_.enable_span_pushdown);
       SEQ_ASSIGN_OR_RETURN(PlannedSeq planned, empty_planner.Plan(*graph));
       empty.root = planned.stream_plan;
       empty.root_mode = AccessMode::kStream;
+      finish_trace();
       return empty;
     }
     resolved_query.range.reset();
@@ -119,7 +143,7 @@ Result<PhysicalPlan> Optimizer::Optimize(const Query& query) {
                               options_.enable_span_pushdown);
 
   // Steps 4 & 5 — block identification and block-wise plan generation.
-  Planner planner(catalog_, options_.cost_params, &planner_stats_);
+  Planner planner(catalog_, options_.cost_params, &planner_stats_, trace);
   SEQ_ASSIGN_OR_RETURN(PlannedSeq planned, planner.Plan(*graph));
 
   optimized_graph_ = graph;
@@ -143,9 +167,19 @@ Result<PhysicalPlan> Optimizer::Optimize(const Query& query) {
   AccessMode mode;
   if (options_.force_root_mode.has_value()) {
     mode = *options_.force_root_mode;
+    if (trace != nullptr) {
+      trace->Add("choice",
+                 std::string("root mode forced to ") + AccessModeName(mode));
+    }
   } else {
     mode = (stream_cost <= probed_cost) ? AccessMode::kStream
                                         : AccessMode::kProbed;
+  }
+  if (trace != nullptr) {
+    trace->Add("choice", "root: stream driving", stream_cost,
+               mode == AccessMode::kStream);
+    trace->Add("choice", "root: probed driving", probed_cost,
+               mode == AccessMode::kProbed);
   }
   if (mode == AccessMode::kStream) {
     plan.root = planned.stream_plan;
@@ -156,6 +190,7 @@ Result<PhysicalPlan> Optimizer::Optimize(const Query& query) {
     plan.root_mode = AccessMode::kProbed;
     plan.est_cost = probed_cost;
   }
+  finish_trace();
   return plan;
 }
 

@@ -41,6 +41,9 @@ struct OptimizerOptions {
   bool enable_span_pushdown = true;  ///< §3.2 top-down span pass (Step 2.b)
   /// Force the root access mode instead of costing both (for experiments).
   std::optional<AccessMode> force_root_mode;
+  /// Record an OptTrace of rewrites, plan candidates and choices (see
+  /// Optimizer::trace()). Off by default; Optimize pays nothing when off.
+  bool collect_trace = false;
 };
 
 /// The sequence query optimizer (paper §4): bottom-up, cost-based plan
@@ -66,12 +69,17 @@ class Optimizer {
   /// (for explain / tests).
   const LogicalOpPtr& optimized_graph() const { return optimized_graph_; }
 
+  /// Decision trace of the last Optimize call. Only populated when
+  /// OptimizerOptions::collect_trace was set.
+  const OptTrace& trace() const { return trace_; }
+
  private:
   const Catalog& catalog_;
   OptimizerOptions options_;
   PlannerStats planner_stats_;
   std::vector<std::string> rewrites_applied_;
   LogicalOpPtr optimized_graph_;
+  OptTrace trace_;
 };
 
 }  // namespace seq

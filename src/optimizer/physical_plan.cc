@@ -33,9 +33,8 @@ const char* OffsetStrategyName(OffsetStrategy strategy) {
                                                         : "naive-search";
 }
 
-std::string PhysNode::Explain(int indent) const {
+std::string PhysNode::Label() const {
   std::ostringstream oss;
-  oss << std::string(static_cast<size_t>(indent) * 2, ' ');
   oss << OpKindName(op) << " [" << AccessModeName(mode);
   switch (op) {
     case OpKind::kCompose:
@@ -89,6 +88,17 @@ std::string PhysNode::Explain(int indent) const {
       oss << " by " << offset;
       break;
   }
+  return oss.str();
+}
+
+double PhysNode::EstRows() const {
+  if (required.IsEmpty() || required.IsUnbounded()) return 0.0;
+  return est_density * static_cast<double>(required.Length());
+}
+
+std::string PhysNode::Explain(int indent) const {
+  std::ostringstream oss;
+  oss << std::string(static_cast<size_t>(indent) * 2, ' ') << Label();
   oss << "  {required=" << required.ToString()
       << " density=" << FormatDouble(est_density)
       << " cost=" << FormatDouble(est_cost);

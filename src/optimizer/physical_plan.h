@@ -83,6 +83,13 @@ struct PhysNode {
   double est_cost = 0.0;           ///< estimated cost in `mode` over `required`
   int64_t cache_size = 0;          ///< operator cache records (§3.5)
 
+  /// One-line description of the node: operator, mode, strategy and
+  /// parameters — shared by Explain and the runtime profile labels.
+  std::string Label() const;
+
+  /// Expected number of output records over the required span.
+  double EstRows() const;
+
   /// Indented, annotated rendering.
   std::string Explain(int indent = 0) const;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -230,23 +231,33 @@ Result<PlannedSeq> Planner::PlanValueOffset(const LogicalOp& op) {
   double expected_scan =
       static_cast<double>(magnitude) / std::max(child.density, 1e-6);
 
+  // Stream mode — the incremental algorithm (Cache-Strategy-B, §3.5):
+  // out(i) follows from out(i-1) and the |l| most recent cached inputs.
+  // The alternative (naive search from every output position via probes on
+  // the input) is only taken under ablation.
+  double incremental_cost =
+      child.stream_cost +
+      static_cast<double>(span_len) * params_.cache_access_cost +
+      child_est.Records() * params_.cache_store_cost;
+  double naive_stream_cost = static_cast<double>(span_len) *
+                             (expected_scan * child_est.PerProbe());
+  bool use_incremental = !params_.disable_incremental_value_offset;
+  if (trace_ != nullptr) {
+    trace_->Add("candidate", "value-offset stream: incremental cache-B",
+                incremental_cost, use_incremental);
+    trace_->Add("candidate", "value-offset stream: naive-search",
+                naive_stream_cost, !use_incremental);
+  }
+
   auto stream = NewNode(OpKind::kValueOffset, AccessMode::kStream);
   FillCommon(stream.get(), op);
-  if (!params_.disable_incremental_value_offset) {
-    // Stream mode — the incremental algorithm (Cache-Strategy-B, §3.5):
-    // out(i) follows from out(i-1) and the |l| most recent cached inputs.
-    out.stream_cost =
-        child.stream_cost +
-        static_cast<double>(span_len) * params_.cache_access_cost +
-        child_est.Records() * params_.cache_store_cost;
+  if (use_incremental) {
+    out.stream_cost = incremental_cost;
     stream->offset_strategy = OffsetStrategy::kIncrementalCacheB;
     stream->children = {child.stream_plan};
     stream->cache_size = magnitude;
   } else {
-    // Ablation: naive stream evaluation searches backward/forward from
-    // every output position via probes on the input.
-    out.stream_cost = static_cast<double>(span_len) *
-                      (expected_scan * child_est.PerProbe());
+    out.stream_cost = naive_stream_cost;
     stream->offset_strategy = OffsetStrategy::kNaiveSearch;
     stream->children = {child.probed_plan};
   }
@@ -293,44 +304,66 @@ Result<PlannedSeq> Planner::PlanWindowAgg(const LogicalOp& op) {
   switch (op.window_kind()) {
     case WindowKind::kTrailing: {
       int64_t w = op.window();
-      if (w <= params_.max_cached_scope && !params_.disable_window_cache) {
-        // Cache-Strategy-A: the scope-sized cache turns every input record
-        // into one store, every output into one cache window access.
-        out.stream_cost =
-            child.stream_cost + child_est.Records() * params_.cache_store_cost +
-            out_records * (params_.cache_access_cost + params_.compute_cost);
+      // Expected aggregate-state steps: Cache-Strategy-A folds each input
+      // record in once; the naive algorithms re-fold the whole window at
+      // every position.
+      double window_steps = static_cast<double>(span_len) *
+                            static_cast<double>(w) * child.density *
+                            params_.agg_step_cost;
+      // Cache-Strategy-A: the scope-sized cache turns every input record
+      // into one store, every output into one cache window access.
+      double cache_a_cost =
+          child.stream_cost +
+          child_est.Records() *
+              (params_.cache_store_cost + params_.agg_step_cost) +
+          out_records * (params_.cache_access_cost + params_.compute_cost);
+      // Scope too large to cache (§4.1.2) or ablated: naive re-probing
+      // of the whole window at every position in the range.
+      double naive_cost =
+          static_cast<double>(span_len) * static_cast<double>(w) *
+              child_est.PerProbe() +
+          window_steps + out_records * params_.compute_cost;
+      bool use_cache =
+          w <= params_.max_cached_scope && !params_.disable_window_cache;
+      if (trace_ != nullptr) {
+        trace_->Add("candidate", "window-agg stream: cache-A", cache_a_cost,
+                    use_cache);
+        trace_->Add("candidate", "window-agg stream: naive-probe",
+                    naive_cost, !use_cache);
+      }
+      if (use_cache) {
+        out.stream_cost = cache_a_cost;
         stream->agg_strategy = AggStrategy::kCacheA;
         stream->cache_size = w;
       } else {
-        // Scope too large to cache (§4.1.2) or ablated: naive re-probing
-        // of the whole window at every position in the range.
-        out.stream_cost =
-            static_cast<double>(span_len) * static_cast<double>(w) *
-                child_est.PerProbe() +
-            out_records * params_.compute_cost;
+        out.stream_cost = naive_cost;
         stream->agg_strategy = AggStrategy::kNaiveProbe;
         stream->children = {child.probed_plan};
       }
       // Probed: probe the whole window for every requested position.
       out.probed_cost =
           static_cast<double>(span_len) *
-          (static_cast<double>(w) * child_est.PerProbe() +
-           params_.compute_cost);
+              (static_cast<double>(w) * child_est.PerProbe() +
+               params_.compute_cost) +
+          window_steps;
       probed->agg_strategy = AggStrategy::kNaiveProbe;
       break;
     }
     case WindowKind::kRunning:
-    case WindowKind::kAll:
-      out.stream_cost = child.stream_cost + out_records * params_.compute_cost;
+    case WindowKind::kAll: {
+      double fold_steps = child_est.Records() * params_.agg_step_cost;
+      out.stream_cost = child.stream_cost + fold_steps +
+                        out_records * params_.compute_cost;
       stream->cache_size = 1;
       // Probed mode materializes the aggregate in one stream pass of the
       // input, then serves each probe from the materialization (§5.3 lists
       // materialization as the fallback when stream access is unavailable).
-      out.probed_cost = child.stream_cost +
+      out.probed_cost = child.stream_cost + fold_steps +
                         static_cast<double>(span_len) *
                             params_.cache_access_cost;
       probed->children = {child.stream_plan};
       break;
+    }
   }
   stream->est_cost = out.stream_cost;
   probed->est_cost = out.probed_cost;
@@ -345,15 +378,18 @@ Result<PlannedSeq> Planner::PlanCollapse(const LogicalOp& op) {
   SEQ_ASSIGN_OR_RETURN(int64_t span_len,
                        RequireBoundedLength(op.meta().required, "collapse"));
   double out_records = op.meta().density * static_cast<double>(span_len);
+  // Every input record is folded into its bucket's aggregate state once.
+  double fold_steps = child.ToAccessEst().Records() * params_.agg_step_cost;
 
   PlannedSeq out;
   out.required = op.meta().required;
   out.schema = op.meta().schema;
   out.density = op.meta().density;
   out.single_source = child.single_source;
-  out.stream_cost = child.stream_cost + out_records * params_.compute_cost;
+  out.stream_cost = child.stream_cost + fold_steps +
+                    out_records * params_.compute_cost;
   // Probed mode materializes the collapsed sequence on first probe.
-  out.probed_cost = child.stream_cost +
+  out.probed_cost = child.stream_cost + fold_steps +
                     static_cast<double>(span_len) * params_.cache_access_cost;
 
   auto stream = NewNode(OpKind::kCollapse, AccessMode::kStream);
@@ -685,6 +721,22 @@ Result<PlannedSeq> Planner::PlanComposeBlock(const LogicalOp& op) {
     out.probed_plan = probed;
     out.probed_cost = probed->est_cost;
     out.probed_schema = probed->out_schema;
+
+    if (trace_ != nullptr) {
+      std::ostringstream oss;
+      oss << "join {";
+      bool first = true;
+      for (int i = 0; i < n; ++i) {
+        if ((s_mask & (1u << i)) == 0) continue;
+        if (!first) oss << ",";
+        oss << i;
+        first = false;
+      }
+      oss << "}+" << x_idx << ": stream "
+          << JoinStrategyName(costs.stream_strategy) << " cost="
+          << out.stream_cost << ", probed cost=" << out.probed_cost;
+      trace_->Add("candidate", oss.str(), out.stream_cost);
+    }
     return out;
   };
 

@@ -8,6 +8,7 @@
 #include "catalog/cost_params.h"
 #include "common/result.h"
 #include "logical/logical_op.h"
+#include "obs/opt_trace.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/physical_plan.h"
 
@@ -67,9 +68,11 @@ class Planner {
   /// Hard ceiling on DP width (CostParams::max_dp_items may lower it).
   static constexpr int kMaxDpItems = 16;
 
+  /// `trace`, when non-null, receives one entry per strategy candidate
+  /// considered (cache vs naive algorithms, every DP join step).
   Planner(const Catalog& catalog, const CostParams& params,
-          PlannerStats* stats)
-      : catalog_(catalog), params_(params), stats_(stats) {}
+          PlannerStats* stats, OptTrace* trace = nullptr)
+      : catalog_(catalog), params_(params), stats_(stats), trace_(trace) {}
 
   Result<PlannedSeq> Plan(const LogicalOp& op);
 
@@ -88,6 +91,7 @@ class Planner {
   const Catalog& catalog_;
   CostParams params_;
   PlannerStats* stats_;
+  OptTrace* trace_ = nullptr;
 };
 
 }  // namespace seq

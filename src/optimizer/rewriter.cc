@@ -97,7 +97,10 @@ bool Rewriter::RewriteSelect(LogicalOpPtr* node) {
     case OpKind::kPositionalOffset: {
       // select-through-offset: legal because a positional offset carries
       // records unchanged; a pos()-dependent predicate must stay put.
-      if (select->predicate()->ContainsPosition()) return false;
+      if (select->predicate()->ContainsPosition()) {
+        LogRejected("select-through-offset", "predicate references pos()");
+        return false;
+      }
       LogicalOpPtr pushed =
           LogicalOp::Select(child->input(), select->predicate());
       InheritSchema(pushed.get());
@@ -114,7 +117,10 @@ bool Rewriter::RewriteSelect(LogicalOpPtr* node) {
       // predicate. Requires annotated compose inputs for the name map.
       const SeqMeta& lmeta = child->input(0)->meta();
       const SeqMeta& rmeta = child->input(1)->meta();
-      if (!lmeta.annotated || !rmeta.annotated) return false;
+      if (!lmeta.annotated || !rmeta.annotated) {
+        LogRejected("select-into-compose", "compose inputs not annotated");
+        return false;
+      }
       std::vector<Schema::ConcatField> origins =
           Schema::ConcatFields(*lmeta.schema, *rmeta.schema);
       // Concat-output name -> (side, original name).
@@ -146,7 +152,11 @@ bool Rewriter::RewriteSelect(LogicalOpPtr* node) {
           }
           (it->second.first == 0 ? any_left : any_right) = true;
         }
-        if (unknown) return false;  // inconsistent annotation; leave alone
+        if (unknown) {  // inconsistent annotation; leave alone
+          LogRejected("select-into-compose",
+                      "predicate column not in concat schema");
+          return false;
+        }
         // Rewrite concat names back to input-relative (side, name) refs.
         std::map<std::pair<int, std::string>, std::pair<int, std::string>>
             remap;
@@ -287,6 +297,8 @@ bool Rewriter::RewriteOffset(LogicalOpPtr* node) {
       // unit, relative scope on both inputs).
       if (child->predicate() != nullptr &&
           child->predicate()->ContainsPosition()) {
+        LogRejected("offset-through-compose",
+                    "join predicate references pos()");
         return false;
       }
       LogicalOpPtr left = LogicalOp::PositionalOffset(child->input(0), l);
@@ -304,7 +316,11 @@ bool Rewriter::RewriteOffset(LogicalOpPtr* node) {
       // Trailing windows have relative scope, so the offset commutes
       // (§3.1: "a positional offset can be pushed through any operator of
       // relative scope"); running/overall aggregates do not.
-      if (child->window_kind() != WindowKind::kTrailing) return false;
+      if (child->window_kind() != WindowKind::kTrailing) {
+        LogRejected("offset-through-trailing-agg",
+                    "aggregate window is not trailing");
+        return false;
+      }
       LogicalOpPtr inner = LogicalOp::PositionalOffset(child->input(), l);
       InheritSchema(inner.get());
       LogicalOpPtr agg = LogicalOp::WindowAgg(inner, child->agg_func(),

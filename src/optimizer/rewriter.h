@@ -45,6 +45,10 @@ class Rewriter {
 
   const std::vector<std::string>& applied() const { return applied_; }
 
+  /// Rules that matched a pattern but were rejected by a legality guard,
+  /// as "rule: reason" strings (for the optimizer trace).
+  const std::vector<std::string>& rejected() const { return rejected_; }
+
  private:
   /// Applies rules rooted at *node once; true if anything changed.
   bool RewriteNode(LogicalOpPtr* node);
@@ -53,8 +57,17 @@ class Rewriter {
   bool RewriteOffset(LogicalOpPtr* node);
 
   void Log(const std::string& rule) { applied_.push_back(rule); }
+  void LogRejected(const std::string& rule, const std::string& reason) {
+    // Guards re-run every fixpoint pass; record each rejection once.
+    std::string entry = rule + ": " + reason;
+    for (const std::string& r : rejected_) {
+      if (r == entry) return;
+    }
+    rejected_.push_back(std::move(entry));
+  }
 
   std::vector<std::string> applied_;
+  std::vector<std::string> rejected_;
 };
 
 }  // namespace seq

@@ -14,6 +14,16 @@ class Parser {
 
   Result<ParsedProgram> Program() {
     ParsedProgram program;
+    // `explain [analyze]` prefix — but `explain = ...` is a definition.
+    if (Peek().IsIdent("explain") && !Peek(1).IsSymbol("=")) {
+      Take();
+      if (Peek().IsIdent("analyze") && !Peek(1).IsSymbol("=")) {
+        Take();
+        program.explain = ExplainMode::kExplainAnalyze;
+      } else {
+        program.explain = ExplainMode::kExplain;
+      }
+    }
     while (!Peek().Is(TokKind::kEnd)) {
       SEQ_RETURN_IF_ERROR(Statement(&program));
     }

@@ -10,12 +10,17 @@
 
 namespace seq {
 
+/// How the program asked for its result to be presented: run it, explain
+/// the plan, or run instrumented and report estimated vs actual.
+enum class ExplainMode { kNone, kExplain, kExplainAnalyze };
+
 /// A parsed Sequin program: named sequence definitions in order, the last
 /// one being the program's result.
 struct ParsedProgram {
   std::map<std::string, LogicalOpPtr> definitions;
   std::vector<std::string> order;
   LogicalOpPtr main;  // graph of the last statement
+  ExplainMode explain = ExplainMode::kNone;
 };
 
 /// Parses the Sequin declarative mini-language (the paper defers query
@@ -25,6 +30,11 @@ struct ParsedProgram {
 ///   big    = select(quakes, strength > 7.0);
 ///   recent = prev(big);
 ///   answer = project(compose(volcanos, recent), name);
+///
+/// Programs may start with `explain` or `explain analyze`, which set
+/// ParsedProgram::explain and apply to the program's result. (A leading
+/// `explain = ...;` statement still parses as a definition — the prefix is
+/// only taken when not followed by '='.)
 ///
 /// Statements:   NAME '=' seq-expr ';'
 /// Sequence expressions:

@@ -6,6 +6,14 @@
 
 namespace seq {
 
+// Guards against fields added without extending operator+= and ToString():
+// 9 int64 counters + 1 double, no padding. If this fires, update Reset is
+// fine (it reassigns), but operator+=, ToString() below, and the coverage
+// test in tests/obs_test.cc must learn the new field.
+static_assert(sizeof(AccessStats) == 9 * sizeof(int64_t) + sizeof(double),
+              "AccessStats changed size: extend operator+= and ToString() "
+              "for the new field, then adjust this assert");
+
 std::string AccessStats::ToString() const {
   std::ostringstream oss;
   oss << "stream_records=" << stream_records

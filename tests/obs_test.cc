@@ -1,0 +1,450 @@
+// Tests for the observability subsystem: Chrome-trace JSON emission,
+// the metrics registry, operator/query profiles, the optimizer trace, and
+// AccessStats extension safety.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/opt_trace.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "storage/access_stats.h"
+
+namespace seq {
+namespace {
+
+// --- a minimal JSON parser, just enough to validate emitted traces ----------
+//
+// Hand-written on purpose: the repo has no JSON dependency, and the point
+// of the test is that the emitted text is well-formed for third-party
+// consumers (chrome://tracing, Perfetto), not merely that it round-trips
+// through our own writer.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double num_value = 0.0;
+  std::string str_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Get(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    bool ok = Value(out);
+    SkipWs();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* s) {
+    size_t n = std::string(s).size();
+    if (text_.compare(pos_, n, s) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool Value(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return Object(out);
+    if (c == '[') return Array(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return String(&out->str_value);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      return Literal("false");
+    }
+    if (c == 'n') return Literal("null");
+    return Number(out);
+  }
+  bool Number(JsonValue* out) {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->num_value = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+  bool String(std::string* out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return false;
+            int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++pos_;
+              char h = text_[pos_];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+              code = code * 16 +
+                     (std::isdigit(static_cast<unsigned char>(h))
+                          ? h - '0'
+                          : std::tolower(h) - 'a' + 10);
+            }
+            out->push_back(static_cast<char>(code & 0x7f));
+            break;
+          }
+          default:
+            return false;
+        }
+        ++pos_;
+      } else {
+        out->push_back(c);
+        ++pos_;
+      }
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!Value(&v)) return false;
+      out->array.push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool Object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || !String(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue v;
+      if (!Value(&v)) return false;
+      out->object.emplace(std::move(key), std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// --- TraceRecorder ----------------------------------------------------------
+
+TEST(TraceRecorderTest, EmitsValidChromeTraceJson) {
+  TraceRecorder recorder;
+  recorder.AddComplete("scan", "operator", 0, 120, /*tid=*/1,
+                       {TraceArg::Num("rows", 42),
+                        TraceArg::Str("seq", "quakes")});
+  recorder.AddInstant("rewrite", "optimizer", 10, /*tid=*/0,
+                      {TraceArg::Str("detail", "merge-selects")});
+
+  std::string json = recorder.ToJson();
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(json).Parse(&doc)) << json;
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+
+  const JsonValue* events = doc.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(events->array.size(), 2u);
+
+  const JsonValue& complete = events->array[0];
+  EXPECT_EQ(complete.Get("name")->str_value, "scan");
+  EXPECT_EQ(complete.Get("cat")->str_value, "operator");
+  EXPECT_EQ(complete.Get("ph")->str_value, "X");
+  EXPECT_EQ(complete.Get("dur")->num_value, 120.0);
+  EXPECT_EQ(complete.Get("tid")->num_value, 1.0);
+  ASSERT_NE(complete.Get("args"), nullptr);
+  EXPECT_EQ(complete.Get("args")->Get("rows")->num_value, 42.0);
+  EXPECT_EQ(complete.Get("args")->Get("seq")->str_value, "quakes");
+
+  const JsonValue& instant = events->array[1];
+  EXPECT_EQ(instant.Get("ph")->str_value, "i");
+  EXPECT_EQ(instant.Get("ts")->num_value, 10.0);
+}
+
+TEST(TraceRecorderTest, EscapesSpecialCharacters) {
+  TraceRecorder recorder;
+  recorder.AddComplete("quote\" backslash\\ newline\n tab\t", "cat\x01", 0,
+                       1);
+  std::string json = recorder.ToJson();
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(json).Parse(&doc)) << json;
+  const JsonValue& e = doc.Get("traceEvents")->array[0];
+  EXPECT_EQ(e.Get("name")->str_value, "quote\" backslash\\ newline\n tab\t");
+  EXPECT_EQ(e.Get("cat")->str_value, "cat\x01");
+}
+
+TEST(TraceRecorderTest, EmptyRecorderStillValid) {
+  TraceRecorder recorder;
+  EXPECT_TRUE(recorder.empty());
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(recorder.ToJson()).Parse(&doc));
+  EXPECT_EQ(doc.Get("traceEvents")->array.size(), 0u);
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersAndDistributions) {
+  MetricsRegistry registry;
+  registry.Add("queries", 1);
+  registry.Add("queries", 2);
+  EXPECT_EQ(registry.Get("queries"), 3);
+  EXPECT_EQ(registry.Get("missing"), 0);
+
+  registry.Observe("latency", 10.0);
+  registry.Observe("latency", 30.0);
+  MetricDist d = registry.GetDist("latency");
+  EXPECT_EQ(d.count, 2);
+  EXPECT_DOUBLE_EQ(d.sum, 40.0);
+  EXPECT_DOUBLE_EQ(d.min, 10.0);
+  EXPECT_DOUBLE_EQ(d.max, 30.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 20.0);
+
+  std::string text = registry.ToString();
+  EXPECT_NE(text.find("queries"), std::string::npos);
+  EXPECT_NE(text.find("latency"), std::string::npos);
+
+  registry.Reset();
+  EXPECT_EQ(registry.Get("queries"), 0);
+  EXPECT_EQ(registry.GetDist("latency").count, 0);
+}
+
+// --- OperatorProfile / QueryProfile ----------------------------------------
+
+TEST(OperatorProfileTest, QErrorIsSymmetricAndFloored) {
+  OperatorProfile p;
+  p.est_rows = 10.0;
+  p.rows_out = 10;
+  EXPECT_DOUBLE_EQ(p.QError(), 1.0);
+  p.rows_out = 40;
+  EXPECT_DOUBLE_EQ(p.QError(), 4.0);
+  p.est_rows = 160.0;
+  EXPECT_DOUBLE_EQ(p.QError(), 4.0);  // over-estimate, same factor
+  p.est_rows = 0.0;  // floored at one record
+  p.rows_out = 0;
+  EXPECT_DOUBLE_EQ(p.QError(), 1.0);
+}
+
+TEST(OperatorProfileTest, SelfMetricsSubtractChildren) {
+  OperatorProfile parent;
+  parent.wall_ns = 1000;
+  parent.sim_cost = 10.0;
+  OperatorProfile* a = parent.AddChild();
+  a->wall_ns = 300;
+  a->sim_cost = 4.0;
+  OperatorProfile* b = parent.AddChild();
+  b->wall_ns = 500;
+  b->sim_cost = 5.0;
+  EXPECT_EQ(parent.SelfWallNs(), 200);
+  EXPECT_DOUBLE_EQ(parent.SelfSimCost(), 1.0);
+  // Children's inclusive numbers are their own (leaf) totals.
+  EXPECT_EQ(a->SelfWallNs(), 300);
+}
+
+TEST(QueryProfileTest, TraceEventsNestAndValidate) {
+  QueryProfile profile;
+  profile.Reset();
+  profile.root->label = "Start";
+  profile.root->wall_ns = 10'000'000;  // 10 ms
+  OperatorProfile* child = profile.root->AddChild();
+  child->label = "Select";
+  child->wall_ns = 6'000'000;
+  OperatorProfile* leaf = child->AddChild();
+  leaf->label = "BaseRef";
+  leaf->wall_ns = 4'000'000;
+  profile.total_wall_ns = 10'000'000;
+  profile.optimizer.optimize_us = 500;
+  profile.optimizer.Add("choice", "root: stream driving", 1.0, true);
+
+  TraceRecorder recorder;
+  profile.EmitTraceEvents(&recorder);
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(recorder.ToJson()).Parse(&doc));
+
+  // Expect the optimize span + its instant + execute span + 3 operators.
+  const JsonValue* events = doc.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->array.size(), 6u);
+
+  // Children must start no earlier than parents and fit inside them.
+  std::map<std::string, std::pair<double, double>> span;  // name -> (ts, dur)
+  for (const JsonValue& e : events->array) {
+    if (e.Get("ph")->str_value == "X") {
+      span[e.Get("name")->str_value] = {e.Get("ts")->num_value,
+                                        e.Get("dur")->num_value};
+    }
+  }
+  ASSERT_TRUE(span.count("Start") && span.count("Select") &&
+              span.count("BaseRef"));
+  EXPECT_GE(span["Select"].first, span["Start"].first);
+  EXPECT_LE(span["Select"].first + span["Select"].second,
+            span["Start"].first + span["Start"].second);
+  EXPECT_GE(span["BaseRef"].first, span["Select"].first);
+  EXPECT_LE(span["BaseRef"].first + span["BaseRef"].second,
+            span["Select"].first + span["Select"].second);
+}
+
+TEST(QueryProfileTest, ToStringHasAllSections) {
+  QueryProfile profile;
+  profile.Reset();
+  profile.root->label = "Start [stream over [1,10]]";
+  profile.root->est_rows = 5;
+  profile.root->rows_out = 5;
+  std::string text = profile.ToString();
+  EXPECT_NE(text.find("=== plan (estimated vs actual) ==="),
+            std::string::npos);
+  EXPECT_NE(text.find("=== optimizer trace ==="), std::string::npos);
+  EXPECT_NE(text.find("=== cost-model drift ==="), std::string::npos);
+  EXPECT_NE(text.find("=== totals ==="), std::string::npos);
+  EXPECT_NE(text.find("q_err=1"), std::string::npos);
+}
+
+// --- OptTrace ---------------------------------------------------------------
+
+TEST(OptTraceTest, StageFilterAndEntryCap) {
+  OptTrace trace;
+  trace.Add("rewrite", "merge-selects");
+  trace.Add("candidate", "window-agg stream: cache-A", 12.5, true);
+  trace.Add("candidate", "window-agg stream: naive-probe", 80.0);
+  EXPECT_EQ(trace.Stage("candidate").size(), 2u);
+  EXPECT_EQ(trace.Stage("rewrite").size(), 1u);
+  EXPECT_TRUE(trace.Stage("candidate")[0]->chosen);
+
+  std::string text = trace.ToString();
+  EXPECT_NE(text.find("merge-selects"), std::string::npos);
+  EXPECT_NE(text.find("<- chosen"), std::string::npos);
+
+  OptTrace capped;
+  for (size_t i = 0; i < OptTrace::kMaxEntries + 7; ++i) {
+    capped.Add("candidate", "x");
+  }
+  EXPECT_EQ(capped.entries.size(), OptTrace::kMaxEntries);
+  EXPECT_EQ(capped.dropped_entries, 7);
+  EXPECT_NE(capped.ToString().find("7 entries dropped"), std::string::npos);
+}
+
+// --- AccessStats extension safety -------------------------------------------
+
+TEST(AccessStatsTest, EveryFieldSummedAndPrinted) {
+  // Distinct primes per field so a dropped or swapped term in operator+=
+  // cannot cancel out.
+  AccessStats a;
+  a.stream_records = 2;
+  a.stream_pages = 3;
+  a.probes = 5;
+  a.probe_pages = 7;
+  a.cache_stores = 11;
+  a.cache_hits = 13;
+  a.predicate_evals = 17;
+  a.agg_steps = 19;
+  a.records_output = 23;
+  a.simulated_cost = 29.0;
+
+  AccessStats b = a;
+  b += a;
+  EXPECT_EQ(b.stream_records, 4);
+  EXPECT_EQ(b.stream_pages, 6);
+  EXPECT_EQ(b.probes, 10);
+  EXPECT_EQ(b.probe_pages, 14);
+  EXPECT_EQ(b.cache_stores, 22);
+  EXPECT_EQ(b.cache_hits, 26);
+  EXPECT_EQ(b.predicate_evals, 34);
+  EXPECT_EQ(b.agg_steps, 38);
+  EXPECT_EQ(b.records_output, 46);
+  EXPECT_DOUBLE_EQ(b.simulated_cost, 58.0);
+
+  // ToString names every counter (the static_assert in access_stats.cc
+  // catches new fields; this catches fields dropped from the rendering).
+  std::string text = a.ToString();
+  for (const char* field :
+       {"stream_records=2", "stream_pages=3", "probes=5", "probe_pages=7",
+        "cache_stores=11", "cache_hits=13", "predicate_evals=17",
+        "agg_steps=19", "records_output=23", "simulated_cost=29"}) {
+    EXPECT_NE(text.find(field), std::string::npos) << field;
+  }
+}
+
+}  // namespace
+}  // namespace seq

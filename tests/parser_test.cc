@@ -145,6 +145,36 @@ TEST(ParserTest, ErrorMessagesCarryLocation) {
   EXPECT_NE(err.status().message().find("line"), std::string::npos);
 }
 
+TEST(ParserTest, ExplainPrefix) {
+  auto plain = ParseSequin("a = select(s, x > 1);");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->explain, ExplainMode::kNone);
+
+  auto exp = ParseSequin("explain a = select(s, x > 1);");
+  ASSERT_TRUE(exp.ok()) << exp.status();
+  EXPECT_EQ(exp->explain, ExplainMode::kExplain);
+  EXPECT_EQ(exp->order.size(), 1u);
+
+  auto analyze = ParseSequin("explain analyze a = select(s, x > 1);");
+  ASSERT_TRUE(analyze.ok()) << analyze.status();
+  EXPECT_EQ(analyze->explain, ExplainMode::kExplainAnalyze);
+  EXPECT_EQ(analyze->definitions.at("a")->kind(), OpKind::kSelect);
+}
+
+TEST(ParserTest, ExplainAsDefinitionNameStillParses) {
+  // `explain` / `analyze` are not reserved words: followed by '=' they are
+  // ordinary definition names.
+  auto program = ParseSequin("explain = select(s, x > 1);");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->explain, ExplainMode::kNone);
+  EXPECT_EQ(program->definitions.count("explain"), 1u);
+
+  auto nested = ParseSequin("explain analyze = select(s, x > 1);");
+  ASSERT_TRUE(nested.ok()) << nested.status();
+  EXPECT_EQ(nested->explain, ExplainMode::kExplain);
+  EXPECT_EQ(nested->definitions.count("analyze"), 1u);
+}
+
 // --- parse + run end-to-end -----------------------------------------------------
 
 class ParserRunTest : public ::testing::Test {
