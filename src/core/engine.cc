@@ -48,13 +48,14 @@ Status Engine::Materialize(const std::string& name,
 
 Result<Engine::PreparedQuery> Engine::Prepare(const Query& query) const {
   SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(query));
-  return PreparedQuery(&catalog_, options_.cost_params, std::move(plan));
+  return PreparedQuery(&catalog_, options_.cost_params, exec_options_,
+                       std::move(plan));
 }
 
 Result<QueryResult> Engine::Run(const Query& query, AccessStats* stats) const {
   MetricsRegistry::Global().Add("engine.runs");
   SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(query));
-  Executor executor(catalog_, options_.cost_params);
+  Executor executor(catalog_, options_.cost_params, exec_options_);
   return executor.Execute(plan, stats);
 }
 
@@ -67,7 +68,7 @@ Result<ProfiledQueryResult> Engine::RunProfiled(const Query& query,
   Optimizer optimizer(catalog_, opts);
   SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, optimizer.Optimize(inlined));
 
-  Executor executor(catalog_, options_.cost_params);
+  Executor executor(catalog_, options_.cost_params, exec_options_);
   ProfiledQueryResult out;
   SEQ_ASSIGN_OR_RETURN(out.result,
                        executor.ExecuteProfiled(plan, &out.profile, stats));

@@ -46,6 +46,12 @@ class Engine {
 
   OptimizerOptions& options() { return options_; }
 
+  /// Execution knobs (batch vs tuple driving, batch capacity). Mutate
+  /// before querying; e.g. `engine.exec_options().use_batch = false`
+  /// forces the tuple-at-a-time baseline.
+  ExecOptions& exec_options() { return exec_options_; }
+  const ExecOptions& exec_options() const { return exec_options_; }
+
   Status RegisterBase(std::string name, BaseSequencePtr store) {
     return catalog_.RegisterBase(std::move(name), std::move(store));
   }
@@ -111,19 +117,30 @@ class Engine {
   class PreparedQuery {
    public:
     Result<QueryResult> Run(AccessStats* stats = nullptr) const {
-      Executor executor(*catalog_, params_);
+      Executor executor(*catalog_, params_, exec_options_);
       return executor.Execute(plan_, stats);
+    }
+    /// Streaming variant: hands every answer row to `sink` instead of
+    /// materializing a QueryResult (see Executor::ExecuteVisit). The row
+    /// reference is only valid during the callback.
+    Status RunVisit(const RowSink& sink, AccessStats* stats = nullptr) const {
+      Executor executor(*catalog_, params_, exec_options_);
+      return executor.ExecuteVisit(plan_, sink, stats);
     }
     const PhysicalPlan& plan() const { return plan_; }
 
    private:
     friend class Engine;
     PreparedQuery(const Catalog* catalog, CostParams params,
-                  PhysicalPlan plan)
-        : catalog_(catalog), params_(params), plan_(std::move(plan)) {}
+                  ExecOptions exec_options, PhysicalPlan plan)
+        : catalog_(catalog),
+          params_(params),
+          exec_options_(exec_options),
+          plan_(std::move(plan)) {}
 
     const Catalog* catalog_;  // owned by the Engine; must outlive this
     CostParams params_;
+    ExecOptions exec_options_;
     PhysicalPlan plan_;
   };
 
@@ -143,6 +160,7 @@ class Engine {
  private:
   Catalog catalog_;
   OptimizerOptions options_;
+  ExecOptions exec_options_;
   ViewMap views_;
 };
 

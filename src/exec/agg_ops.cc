@@ -14,6 +14,7 @@ Status WindowAggCachedStream::Open(ExecContext* ctx) {
   pending_.reset();
   child_done_ = false;
   state_ = WindowState(func_, col_type_);
+  input_.Reset();
   return child_->Open(ctx);
 }
 
@@ -54,6 +55,42 @@ std::optional<PosRecord> WindowAggCachedStream::NextAtOrAfter(Position p) {
   return std::nullopt;
 }
 
+size_t WindowAggCachedStream::NextBatch(RecordBatch* out) {
+  out->Clear();
+  if (required_.IsEmpty()) return 0;
+  Position p = next_pos_;
+  if (p < required_.start) p = required_.start;
+  int64_t consumed = 0;
+  while (!out->full() && p <= required_.end) {
+    bool have = input_.Ready(child_.get(), out->capacity());
+    while (have && input_.pos() <= p) {
+      state_.Add(input_.pos(), input_.rec()[col_index_], nullptr);
+      ++consumed;
+      input_.Consume();
+      have = input_.Ready(child_.get(), out->capacity());
+    }
+    state_.EvictBefore(p - window_ + 1);
+    if (state_.count() > 0) {
+      Record& dst = out->Append(p);
+      dst.resize(1);
+      dst[0] = state_.Current();
+      ++p;
+      continue;
+    }
+    if (!have) break;
+    p = input_.pos();
+  }
+  next_pos_ = p;
+  // Bulk charging: one cache store + agg step per consumed input, one
+  // cache hit + compute per emitted row — the same totals the tuple path
+  // charges per event.
+  ctx_->ChargeCacheStores(consumed);
+  ctx_->ChargeAggSteps(consumed);
+  ctx_->ChargeCacheHits(static_cast<int64_t>(out->size()));
+  ctx_->ChargeComputeN(static_cast<int64_t>(out->size()));
+  return out->size();
+}
+
 // --- RunningAggStream -------------------------------------------------------
 
 Status RunningAggStream::Open(ExecContext* ctx) {
@@ -62,6 +99,7 @@ Status RunningAggStream::Open(ExecContext* ctx) {
   pending_.reset();
   child_done_ = false;
   state_ = WindowState(func_, col_type_);
+  input_.Reset();
   return child_->Open(ctx);
 }
 
@@ -97,6 +135,36 @@ std::optional<PosRecord> RunningAggStream::NextAtOrAfter(Position p) {
   return std::nullopt;
 }
 
+size_t RunningAggStream::NextBatch(RecordBatch* out) {
+  out->Clear();
+  if (required_.IsEmpty()) return 0;
+  Position p = next_pos_;
+  if (p < required_.start) p = required_.start;
+  int64_t consumed = 0;
+  while (!out->full() && p <= required_.end) {
+    bool have = input_.Ready(child_.get(), out->capacity());
+    while (have && input_.pos() <= p) {
+      state_.Add(input_.pos(), input_.rec()[col_index_], nullptr);
+      ++consumed;
+      input_.Consume();
+      have = input_.Ready(child_.get(), out->capacity());
+    }
+    if (state_.count() > 0) {
+      Record& dst = out->Append(p);
+      dst.resize(1);
+      dst[0] = state_.Current();
+      ++p;
+      continue;
+    }
+    if (!have) break;
+    p = input_.pos();
+  }
+  next_pos_ = p;
+  ctx_->ChargeAggSteps(consumed);
+  ctx_->ChargeComputeN(static_cast<int64_t>(out->size()));
+  return out->size();
+}
+
 // --- OverallAggStream -------------------------------------------------------
 
 Status OverallAggStream::Open(ExecContext* ctx) {
@@ -121,6 +189,19 @@ std::optional<PosRecord> OverallAggStream::Next() {
   if (next_pos_ > required_.end) return std::nullopt;
   ctx_->ChargeCompute();
   return PosRecord{next_pos_++, Record{*value_}};
+}
+
+size_t OverallAggStream::NextBatch(RecordBatch* out) {
+  out->Clear();
+  if (!value_.has_value() || required_.IsEmpty()) return 0;
+  if (next_pos_ < required_.start) next_pos_ = required_.start;
+  while (!out->full() && next_pos_ <= required_.end) {
+    Record& dst = out->Append(next_pos_++);
+    dst.resize(1);
+    dst[0] = *value_;
+  }
+  ctx_->ChargeComputeN(static_cast<int64_t>(out->size()));
+  return out->size();
 }
 
 // --- WindowAggNaiveProbe / Stream -------------------------------------------

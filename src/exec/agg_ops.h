@@ -29,6 +29,7 @@ class WindowAggCachedStream : public StreamOp {
   Status Open(ExecContext* ctx) override;
   std::optional<PosRecord> Next() override;
   std::optional<PosRecord> NextAtOrAfter(Position p) override;
+  size_t NextBatch(RecordBatch* out) override;
   void Close() override { child_->Close(); }
 
  private:
@@ -46,6 +47,7 @@ class WindowAggCachedStream : public StreamOp {
   std::optional<PosRecord> pending_;
   bool child_done_ = false;
   Position next_pos_ = 0;
+  BatchInput input_;
 };
 
 /// Running (prefix) aggregate: agg over all inputs at positions <= i.
@@ -64,6 +66,7 @@ class RunningAggStream : public StreamOp {
   Status Open(ExecContext* ctx) override;
   std::optional<PosRecord> Next() override;
   std::optional<PosRecord> NextAtOrAfter(Position p) override;
+  size_t NextBatch(RecordBatch* out) override;
   void Close() override { child_->Close(); }
 
  private:
@@ -78,6 +81,7 @@ class RunningAggStream : public StreamOp {
   std::optional<PosRecord> pending_;
   bool child_done_ = false;
   Position next_pos_ = 0;
+  BatchInput input_;
 };
 
 /// Whole-sequence aggregate (the paper's "agg_pos always true" case): one
@@ -98,6 +102,7 @@ class OverallAggStream : public StreamOp {
     if (p > next_pos_) next_pos_ = p;
     return Next();
   }
+  size_t NextBatch(RecordBatch* out) override;
   void Close() override { child_->Close(); }
 
  private:

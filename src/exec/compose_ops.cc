@@ -1,13 +1,18 @@
 #include "exec/compose_ops.h"
 
+#include <utility>
+
 namespace seq {
 namespace {
 
-Record Combine(const Record& left, const Record& right) {
+/// Assembles a join output record by moving the consumed input values —
+/// both sides are dead after the call, so no Value (and in particular no
+/// std::string payload) is copied.
+Record Combine(Record&& left, Record&& right) {
   Record out;
   out.reserve(left.size() + right.size());
-  out.insert(out.end(), left.begin(), left.end());
-  out.insert(out.end(), right.begin(), right.end());
+  for (Value& v : left) out.push_back(std::move(v));
+  for (Value& v : right) out.push_back(std::move(v));
   return out;
 }
 
@@ -52,7 +57,7 @@ std::optional<PosRecord> ComposeLockstepStream::Advance(
       r_ = right_->NextAtOrAfter(l_->pos);
     } else {
       Position pos = l_->pos;
-      Record combined = Combine(l_->rec, r_->rec);
+      Record combined = Combine(std::move(l_->rec), std::move(r_->rec));
       l_.reset();
       r_.reset();
       bool pass = true;
@@ -89,7 +94,9 @@ Status ComposeStreamProbe::Open(ExecContext* ctx) {
 std::optional<PosRecord> ComposeStreamProbe::TryJoin(PosRecord d) {
   std::optional<Record> o = other_->Probe(d.pos);
   if (!o.has_value()) return std::nullopt;
-  Record combined = driver_is_left_ ? Combine(d.rec, *o) : Combine(*o, d.rec);
+  Record combined = driver_is_left_
+                        ? Combine(std::move(d.rec), std::move(*o))
+                        : Combine(std::move(*o), std::move(d.rec));
   if (compiled_.has_value()) {
     ctx_->ChargePredicate(/*join=*/true);
     if (!compiled_->EvalBool(combined, d.pos)) return std::nullopt;
@@ -145,7 +152,7 @@ std::optional<Record> ComposeProbeBoth::Probe(Position p) {
     l = left_->Probe(p);
     if (!l.has_value()) return std::nullopt;
   }
-  Record combined = Combine(*l, *r);
+  Record combined = Combine(std::move(*l), std::move(*r));
   if (compiled_.has_value()) {
     ctx_->ChargePredicate(/*join=*/true);
     if (!compiled_->EvalBool(combined, p)) return std::nullopt;

@@ -27,6 +27,19 @@ class ComposeLockstepStream : public StreamOp {
   std::optional<PosRecord> NextAtOrAfter(Position p) override {
     return Advance(&p);
   }
+  /// Fills the batch by looping the lock-step merge. The children stay on
+  /// the tuple interface: the merge's NextAtOrAfter skipping is what keeps
+  /// dense inputs O(1), and batching it away would change the access (and
+  /// therefore cost) pattern.
+  size_t NextBatch(RecordBatch* out) override {
+    out->Clear();
+    while (!out->full()) {
+      std::optional<PosRecord> r = Advance(nullptr);
+      if (!r.has_value()) break;
+      out->Append(r->pos) = std::move(r->rec);
+    }
+    return out->size();
+  }
   void Close() override {
     left_->Close();
     right_->Close();

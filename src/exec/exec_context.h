@@ -56,6 +56,37 @@ struct ExecContext {
     ++stats->agg_steps;
     stats->simulated_cost += params.agg_step_cost;
   }
+
+  // Bulk variants used by the batch path: one call per batch with the
+  // per-event constant multiplied out. Counter totals are identical to n
+  // single charges; simulated_cost agrees up to floating-point
+  // reassociation (see ExecOptions::use_batch).
+  void ChargePredicates(bool join, int64_t n) {
+    if (stats == nullptr || n <= 0) return;
+    stats->predicate_evals += n;
+    stats->simulated_cost +=
+        static_cast<double>(n) *
+        (join ? params.join_predicate_cost : params.select_predicate_cost);
+  }
+  void ChargeCacheStores(int64_t n) {
+    if (stats == nullptr || n <= 0) return;
+    stats->cache_stores += n;
+    stats->simulated_cost += static_cast<double>(n) * params.cache_store_cost;
+  }
+  void ChargeCacheHits(int64_t n) {
+    if (stats == nullptr || n <= 0) return;
+    stats->cache_hits += n;
+    stats->simulated_cost += static_cast<double>(n) * params.cache_access_cost;
+  }
+  void ChargeComputeN(int64_t n) {
+    if (stats == nullptr || n <= 0) return;
+    stats->simulated_cost += static_cast<double>(n) * params.compute_cost;
+  }
+  void ChargeAggSteps(int64_t n) {
+    if (stats == nullptr || n <= 0) return;
+    stats->agg_steps += n;
+    stats->simulated_cost += static_cast<double>(n) * params.agg_step_cost;
+  }
 };
 
 }  // namespace seq

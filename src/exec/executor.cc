@@ -1,5 +1,6 @@
 #include "exec/executor.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 
@@ -285,6 +286,80 @@ Result<QueryResult> Executor::Execute(const PhysicalPlan& plan,
   return ExecuteImpl(plan, stats, nullptr);
 }
 
+Status Executor::ExecuteVisit(const PhysicalPlan& plan, const RowSink& sink,
+                              AccessStats* stats) const {
+  if (plan.root == nullptr) {
+    return Status::InvalidArgument("plan has no root");
+  }
+  ExecContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.stats = stats;
+  ctx.params = params_;
+
+  if (plan.root_mode == AccessMode::kStream) {
+    SEQ_ASSIGN_OR_RETURN(StreamOpPtr root, BuildStream(plan.root, nullptr));
+    SEQ_RETURN_IF_ERROR(root->Open(&ctx));
+    const Span range = plan.output_span;
+    if (!range.IsEmpty() && options_.use_batch && plan.positions.empty()) {
+      // Batch driving: rows are visited in their pipeline slot buffers —
+      // no per-row materialization anywhere on this path.
+      RecordBatch batch(options_.batch_capacity);
+      while (root->NextBatch(&batch) > 0) {
+        int64_t emitted = 0;
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (batch.pos(i) < range.start || batch.pos(i) > range.end) {
+            continue;
+          }
+          sink(batch.pos(i), batch.rec(i));
+          ++emitted;
+        }
+        if (stats != nullptr) stats->records_output += emitted;
+      }
+    } else if (!range.IsEmpty()) {
+      size_t next_wanted = 0;
+      std::optional<PosRecord> r = root->NextAtOrAfter(range.start);
+      while (r.has_value() && r->pos <= range.end) {
+        bool wanted = true;
+        if (!plan.positions.empty()) {
+          while (next_wanted < plan.positions.size() &&
+                 plan.positions[next_wanted] < r->pos) {
+            ++next_wanted;
+          }
+          wanted = next_wanted < plan.positions.size() &&
+                   plan.positions[next_wanted] == r->pos;
+        }
+        if (wanted) {
+          sink(r->pos, r->rec);
+          if (stats != nullptr) ++stats->records_output;
+        }
+        r = root->Next();
+      }
+    }
+    root->Close();
+    return Status::OK();
+  }
+
+  SEQ_ASSIGN_OR_RETURN(ProbeOpPtr root, BuildProbe(plan.root, nullptr));
+  SEQ_RETURN_IF_ERROR(root->Open(&ctx));
+  auto probe_one = [&](Position p) {
+    std::optional<Record> r = root->Probe(p);
+    if (r.has_value()) {
+      sink(p, *r);
+      if (stats != nullptr) ++stats->records_output;
+    }
+  };
+  if (!plan.positions.empty()) {
+    for (Position p : plan.positions) probe_one(p);
+  } else if (!plan.output_span.IsEmpty()) {
+    for (Position p = plan.output_span.start; p <= plan.output_span.end;
+         ++p) {
+      probe_one(p);
+    }
+  }
+  root->Close();
+  return Status::OK();
+}
+
 Result<QueryResult> Executor::ExecuteProfiled(const PhysicalPlan& plan,
                                               QueryProfile* profile,
                                               AccessStats* stats) const {
@@ -357,7 +432,38 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
     SEQ_ASSIGN_OR_RETURN(StreamOpPtr root, BuildStream(plan.root, root_profile));
     SEQ_RETURN_IF_ERROR(root->Open(&ctx));
     const Span range = plan.output_span;
-    if (!range.IsEmpty()) {
+    // Pre-size the result from the optimizer's row estimate (capped so a
+    // wild overestimate cannot balloon the allocation).
+    double est = plan.root->EstRows();
+    if (est > 0) {
+      result.records.reserve(std::min(static_cast<size_t>(est) + 16,
+                                      size_t{1} << 20));
+    }
+    if (!range.IsEmpty() && options_.use_batch && plan.positions.empty()) {
+      // Batch driving. The optimizer clips every node's required span to
+      // the requested range, so the root never emits outside [range.start,
+      // range.end]; the bounds check below is purely defensive. Records
+      // are materialized by moving the *values* out of the batch slots —
+      // stealing the slot vectors themselves would drain the pipeline's
+      // reusable buffers and reintroduce a per-row allocation upstream.
+      RecordBatch batch(options_.batch_capacity);
+      while (root->NextBatch(&batch) > 0) {
+        size_t before = result.records.size();
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (batch.pos(i) < range.start || batch.pos(i) > range.end) {
+            continue;
+          }
+          result.records.emplace_back();
+          PosRecord& pr = result.records.back();
+          pr.pos = batch.pos(i);
+          MoveRecordValues(pr.rec, batch.rec(i));
+        }
+        if (stats != nullptr) {
+          stats->records_output +=
+              static_cast<int64_t>(result.records.size() - before);
+        }
+      }
+    } else if (!range.IsEmpty()) {
       // Point queries served by a stream plan filter to the requested
       // positions during the scan.
       size_t next_wanted = 0;

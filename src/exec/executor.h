@@ -1,6 +1,7 @@
 #ifndef SEQ_EXEC_EXECUTOR_H_
 #define SEQ_EXEC_EXECUTOR_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -23,18 +24,49 @@ struct QueryResult {
   std::string ToString(size_t limit = 20) const;
 };
 
+/// Row consumer for streaming execution (ExecuteVisit). The record
+/// reference is only valid for the duration of the call: the batch path
+/// hands out pipeline-owned slot buffers that are overwritten by the next
+/// batch, so a sink that wants to keep a row must copy it.
+using RowSink = std::function<void(Position, const Record&)>;
+
+/// Runtime knobs for the Start operator's driving loop.
+struct ExecOptions {
+  /// Drive stream plans batch-at-a-time (StreamOp::NextBatch). Probed
+  /// plans and point-position queries always use the tuple path. Setting
+  /// this false forces tuple-at-a-time driving everywhere — the debugging
+  /// and differential-testing baseline. Both paths produce identical rows
+  /// and identical AccessStats counters (simulated_cost may differ in the
+  /// last few ulps from summation order).
+  bool use_batch = true;
+  /// Capacity of the driver's RecordBatch and of every BatchInput buffer
+  /// allocated beneath it.
+  size_t batch_capacity = RecordBatch::kDefaultCapacity;
+};
+
 /// Instantiates physical operators from plan descriptors and drives the
 /// Start operator (paper §4: "the Start operator at the root of the plan
 /// induces a stream access on its input sequence").
 class Executor {
  public:
-  Executor(const Catalog& catalog, CostParams params = CostParams{})
-      : catalog_(catalog), params_(params) {}
+  explicit Executor(const Catalog& catalog, CostParams params = CostParams{},
+                    ExecOptions options = ExecOptions{})
+      : catalog_(catalog), params_(params), options_(options) {}
 
   /// Evaluates a complete plan. If `stats` is non-null, all simulated
   /// access/cache/predicate charges accumulate into it.
   Result<QueryResult> Execute(const PhysicalPlan& plan,
                               AccessStats* stats = nullptr) const;
+
+  /// Streaming evaluation: every answer row is handed to `sink` in
+  /// position order instead of being materialized into a QueryResult.
+  /// This is the allocation-free consumption path — under batch driving
+  /// the rows visited are the pipeline's reusable slot buffers, so a
+  /// query that aggregates or folds its answer never pays a per-row
+  /// record allocation. Same rows, same order, same AccessStats charges
+  /// as Execute in both driving modes.
+  Status ExecuteVisit(const PhysicalPlan& plan, const RowSink& sink,
+                      AccessStats* stats = nullptr) const;
 
   /// Profiled evaluation: every operator is wrapped in an instrumented
   /// shim that records calls, rows, wall time and simulated-cost deltas
@@ -65,6 +97,7 @@ class Executor {
 
   const Catalog& catalog_;
   CostParams params_;
+  ExecOptions options_;
 };
 
 }  // namespace seq

@@ -78,6 +78,61 @@ std::optional<PosRecord> ValueOffsetStream::NextAtOrAfter(Position p) {
   return std::nullopt;
 }
 
+// The batch path batches only the (dense) output side. The child is still
+// pulled record-at-a-time through Fill(): a value offset's lookahead may
+// stop consuming its input mid-stream once the required range is served,
+// and prefetching child records in batch granularity would over-read the
+// input relative to the tuple path, breaking AccessStats parity.
+size_t ValueOffsetStream::NextBatch(RecordBatch* out) {
+  out->Clear();
+  if (required_.IsEmpty()) return 0;
+  Position p = next_pos_;
+  if (p < required_.start) p = required_.start;
+  const size_t magnitude = static_cast<size_t>(std::abs(offset_));
+
+  if (offset_ < 0) {
+    while (!out->full() && p <= required_.end) {
+      Fill();
+      while (pending_.has_value() && pending_->pos < p) {
+        cache_.push_back(std::move(*pending_));
+        ctx_->ChargeCacheStore();
+        if (cache_.size() > magnitude) cache_.pop_front();
+        pending_.reset();
+        Fill();
+      }
+      if (cache_.size() == magnitude) {
+        ctx_->ChargeCacheHit();
+        AssignRecord(out->Append(p), cache_.front().rec);
+        ++p;
+        continue;
+      }
+      if (!pending_.has_value()) break;
+      p = pending_->pos + 1;
+    }
+    next_pos_ = p;
+    return out->size();
+  }
+
+  while (!out->full() && p <= required_.end) {
+    while (!cache_.empty() && cache_.front().pos <= p) cache_.pop_front();
+    while (cache_.size() < magnitude) {
+      Fill();
+      if (!pending_.has_value()) break;
+      if (pending_->pos > p) {
+        cache_.push_back(std::move(*pending_));
+        ctx_->ChargeCacheStore();
+      }
+      pending_.reset();
+    }
+    if (cache_.size() < magnitude) break;
+    ctx_->ChargeCacheHit();
+    AssignRecord(out->Append(p), cache_[magnitude - 1].rec);
+    ++p;
+  }
+  next_pos_ = p;
+  return out->size();
+}
+
 std::optional<Record> ValueOffsetNaiveProbe::Probe(Position p) {
   if (child_span_.IsEmpty()) return std::nullopt;
   int64_t magnitude = std::abs(offset_);

@@ -25,6 +25,7 @@ class ValueOffsetStream : public StreamOp {
   Status Open(ExecContext* ctx) override;
   std::optional<PosRecord> Next() override;
   std::optional<PosRecord> NextAtOrAfter(Position p) override;
+  size_t NextBatch(RecordBatch* out) override;
   void Close() override { child_->Close(); }
 
  private:

@@ -1,8 +1,10 @@
 #ifndef SEQ_EXEC_OPERATOR_H_
 #define SEQ_EXEC_OPERATOR_H_
 
+#include <cstddef>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "common/status.h"
 #include "exec/exec_context.h"
@@ -34,6 +36,24 @@ class StreamOp {
     }
   }
 
+  /// Batch access path: fills `out` with the next up-to-capacity records
+  /// in position order and returns the row count; 0 means end of stream.
+  /// The default adapter loops Next(), so every operator supports batches;
+  /// the hot operators override it natively to cut per-record virtual
+  /// dispatch and allocation. After Open, a stream must be driven either
+  /// entirely through Next()/NextAtOrAfter or entirely through NextBatch —
+  /// native implementations buffer child rows and do not replay them to
+  /// the tuple path.
+  virtual size_t NextBatch(RecordBatch* out) {
+    out->Clear();
+    while (!out->full()) {
+      std::optional<PosRecord> r = Next();
+      if (!r.has_value()) break;
+      out->Append(r->pos) = std::move(r->rec);
+    }
+    return out->size();
+  }
+
   virtual void Close() {}
 };
 
@@ -53,6 +73,39 @@ class ProbeOp {
 
 using StreamOpPtr = std::unique_ptr<StreamOp>;
 using ProbeOpPtr = std::unique_ptr<ProbeOp>;
+
+/// Cursor over a child stream consumed batch-at-a-time. Batch-native
+/// operators hold one of these per child: Ready() refills the internal
+/// batch from the child when exhausted, pos()/rec() expose the current
+/// unconsumed row, Consume() advances. The batch is allocated lazily at
+/// the caller's capacity and reused for every refill.
+class BatchInput {
+ public:
+  void Reset() {
+    if (batch_ != nullptr) batch_->Clear();
+    idx_ = 0;
+    done_ = false;
+  }
+
+  /// Ensures a current row exists; false once the child is exhausted.
+  bool Ready(StreamOp* child, size_t capacity) {
+    if (batch_ != nullptr && idx_ < batch_->size()) return true;
+    if (done_) return false;
+    if (batch_ == nullptr) batch_ = std::make_unique<RecordBatch>(capacity);
+    idx_ = 0;
+    if (child->NextBatch(batch_.get()) == 0) done_ = true;
+    return !done_;
+  }
+
+  Position pos() const { return batch_->pos(idx_); }
+  Record& rec() { return batch_->rec(idx_); }
+  void Consume() { ++idx_; }
+
+ private:
+  std::unique_ptr<RecordBatch> batch_;
+  size_t idx_ = 0;
+  bool done_ = false;
+};
 
 }  // namespace seq
 

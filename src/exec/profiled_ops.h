@@ -85,6 +85,18 @@ class ProfiledStreamOp : public StreamOp {
     return r;
   }
 
+  /// Forwards whole batches so the batch path survives under profiling —
+  /// unwrapping to tuple calls here would both distort the measurement and
+  /// defeat the inner operators' native batch implementations. `calls`
+  /// counts batch calls; rows_out still counts records.
+  size_t NextBatch(RecordBatch* out) override {
+    ScopedOpTimer timer(prof_, stats_);
+    ++prof_->calls;
+    size_t n = inner_->NextBatch(out);
+    prof_->rows_out += static_cast<int64_t>(n);
+    return n;
+  }
+
   void Close() override {
     ScopedOpTimer timer(prof_, stats_);
     inner_->Close();

@@ -23,6 +23,10 @@ class BaseStreamScan : public StreamOp {
 
   std::optional<PosRecord> Next() override { return cursor_->Next(); }
 
+  size_t NextBatch(RecordBatch* out) override {
+    return cursor_->FillBatch(out);
+  }
+
  private:
   const BaseSequenceStore* store_;
   Span range_;
@@ -69,6 +73,15 @@ class ConstantStream : public StreamOp {
   std::optional<PosRecord> NextAtOrAfter(Position p) override {
     if (p > next_pos_) next_pos_ = p;
     return Next();
+  }
+
+  size_t NextBatch(RecordBatch* out) override {
+    out->Clear();
+    if (range_.IsEmpty()) return 0;
+    while (!out->full() && next_pos_ <= range_.end) {
+      AssignRecord(out->Append(next_pos_++), value_);
+    }
+    return out->size();
   }
 
  private:

@@ -1,12 +1,39 @@
 #include "exec/unary_ops.h"
 
+#include <functional>
+
 namespace seq {
+
+namespace {
+
+/// Compacts the rows of `out` whose int64 field `field` satisfies
+/// `cmp(value, lit)` to the front, swapping slot buffers so dropped slots
+/// stay reusable. Returns the kept count.
+template <typename Cmp>
+size_t CompactIntCmp(RecordBatch* out, size_t n, size_t field, int64_t lit,
+                     Cmp cmp) {
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (cmp(out->rec(i)[field].int64(), lit)) {
+      if (kept != i) {
+        out->pos(kept) = out->pos(i);
+        out->rec(kept).swap(out->rec(i));
+      }
+      ++kept;
+    }
+  }
+  return kept;
+}
+
+}  // namespace
 
 Status SelectStream::Open(ExecContext* ctx) {
   ctx_ = ctx;
   SEQ_ASSIGN_OR_RETURN(CompiledExpr compiled,
                        CompiledExpr::CompilePredicate(predicate_, *in_schema_));
   compiled_ = std::move(compiled);
+  compiled_->InitScratch(&scratch_);
+  simple_ = compiled_->AsSimpleIntCmp();
   return child_->Open(ctx);
 }
 
@@ -27,6 +54,62 @@ std::optional<PosRecord> SelectStream::NextAtOrAfter(Position p) {
     r = child_->Next();
   }
   return std::nullopt;
+}
+
+size_t SelectStream::NextBatch(RecordBatch* out) {
+  // Filters in place: the child fills `out` and the passing rows are
+  // compacted to the front by swapping slot buffers, so dropped slots keep
+  // their buffers for the child's next refill. A fully-filtered child
+  // batch just tries the next one, so returning 0 still means end of
+  // stream.
+  while (true) {
+    size_t n = child_->NextBatch(out);
+    if (n == 0) return 0;
+    // The predicate is applied to every input row regardless of outcome,
+    // so the charge is a single bulk call.
+    ctx_->ChargePredicates(/*join=*/false, static_cast<int64_t>(n));
+    size_t kept = simple_.has_value() ? FilterSimple(out, n)
+                                      : FilterGeneric(out, n);
+    if (kept > 0) {
+      out->Truncate(kept);
+      return kept;
+    }
+  }
+}
+
+size_t SelectStream::FilterGeneric(RecordBatch* out, size_t n) {
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (compiled_->EvalBoolFlat(out->rec(i), out->pos(i), &scratch_)) {
+      if (kept != i) {
+        out->pos(kept) = out->pos(i);
+        out->rec(kept).swap(out->rec(i));
+      }
+      ++kept;
+    }
+  }
+  return kept;
+}
+
+size_t SelectStream::FilterSimple(RecordBatch* out, size_t n) {
+  const size_t f = simple_->field_index;
+  const int64_t lit = simple_->literal;
+  switch (simple_->op) {
+    case BinaryOp::kEq:
+      return CompactIntCmp(out, n, f, lit, std::equal_to<int64_t>());
+    case BinaryOp::kNe:
+      return CompactIntCmp(out, n, f, lit, std::not_equal_to<int64_t>());
+    case BinaryOp::kLt:
+      return CompactIntCmp(out, n, f, lit, std::less<int64_t>());
+    case BinaryOp::kLe:
+      return CompactIntCmp(out, n, f, lit, std::less_equal<int64_t>());
+    case BinaryOp::kGt:
+      return CompactIntCmp(out, n, f, lit, std::greater<int64_t>());
+    case BinaryOp::kGe:
+      return CompactIntCmp(out, n, f, lit, std::greater_equal<int64_t>());
+    default:
+      return FilterGeneric(out, n);
+  }
 }
 
 Status SelectProbe::Open(ExecContext* ctx) {
@@ -64,6 +147,34 @@ std::optional<PosRecord> ProjectStream::NextAtOrAfter(Position p) {
   if (!r.has_value()) return std::nullopt;
   ctx_->ChargeCompute();
   return PosRecord{r->pos, Map(std::move(r->rec))};
+}
+
+size_t ProjectStream::NextBatch(RecordBatch* out) {
+  // 1:1 in-place transform of the batch the child filled: row counts
+  // match, so 0 from the child means end of stream. When every source
+  // index sits at or past its destination (identity and narrowing
+  // projections) values shift left within the row; a permuting projection
+  // stages each row through a scratch record instead.
+  size_t n = child_->NextBatch(out);
+  ctx_->ChargeComputeN(static_cast<int64_t>(n));
+  const size_t width = indices_.size();
+  if (in_place_) {
+    for (size_t i = 0; i < n; ++i) {
+      Record& r = out->rec(i);
+      for (size_t j = 0; j < width; ++j) {
+        if (indices_[j] != j) r[j] = std::move(r[indices_[j]]);
+      }
+      r.resize(width);
+    }
+    return n;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Record& r = out->rec(i);
+    tmp_.resize(width);
+    for (size_t j = 0; j < width; ++j) tmp_[j] = std::move(r[indices_[j]]);
+    r.swap(tmp_);
+  }
+  return n;
 }
 
 std::optional<Record> ProjectProbe::Probe(Position p) {

@@ -1,6 +1,7 @@
 #ifndef SEQ_EXEC_UNARY_OPS_H_
 #define SEQ_EXEC_UNARY_OPS_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -24,14 +25,20 @@ class SelectStream : public StreamOp {
   Status Open(ExecContext* ctx) override;
   std::optional<PosRecord> Next() override;
   std::optional<PosRecord> NextAtOrAfter(Position p) override;
+  size_t NextBatch(RecordBatch* out) override;
   void Close() override { child_->Close(); }
 
  private:
+  size_t FilterGeneric(RecordBatch* out, size_t n);
+  size_t FilterSimple(RecordBatch* out, size_t n);
+
   StreamOpPtr child_;
   ExprPtr predicate_;
   SchemaPtr in_schema_;
   std::optional<CompiledExpr> compiled_;
+  std::optional<SimpleIntCmp> simple_;  // set when the predicate matches
   ExecContext* ctx_ = nullptr;
+  ExprScratch scratch_;
 };
 
 class SelectProbe : public ProbeOp {
@@ -57,7 +64,15 @@ class SelectProbe : public ProbeOp {
 class ProjectStream : public StreamOp {
  public:
   ProjectStream(StreamOpPtr child, std::vector<size_t> indices)
-      : child_(std::move(child)), indices_(std::move(indices)) {}
+      : child_(std::move(child)), indices_(std::move(indices)) {
+    // Strictly increasing source indices imply indices_[j] >= j with no
+    // duplicate sources, so values can shift left within the row without
+    // clobbering a slot that is still to be read.
+    in_place_ = true;
+    for (size_t j = 0; j + 1 < indices_.size(); ++j) {
+      if (indices_[j] >= indices_[j + 1]) in_place_ = false;
+    }
+  }
 
   Status Open(ExecContext* ctx) override {
     ctx_ = ctx;
@@ -65,6 +80,7 @@ class ProjectStream : public StreamOp {
   }
   std::optional<PosRecord> Next() override;
   std::optional<PosRecord> NextAtOrAfter(Position p) override;
+  size_t NextBatch(RecordBatch* out) override;
   void Close() override { child_->Close(); }
 
  private:
@@ -73,6 +89,8 @@ class ProjectStream : public StreamOp {
   StreamOpPtr child_;
   std::vector<size_t> indices_;
   ExecContext* ctx_ = nullptr;
+  bool in_place_ = false;
+  Record tmp_;  // row staging buffer for permuting projections
 };
 
 class ProjectProbe : public ProbeOp {
@@ -112,6 +130,12 @@ class PosOffsetStream : public StreamOp {
     std::optional<PosRecord> r = child_->NextAtOrAfter(p + offset_);
     if (!r.has_value()) return std::nullopt;
     return PosRecord{r->pos - offset_, std::move(r->rec)};
+  }
+  size_t NextBatch(RecordBatch* out) override {
+    // Pure position relabeling: the child fills the batch, we restamp.
+    size_t n = child_->NextBatch(out);
+    for (size_t i = 0; i < n; ++i) out->pos(i) -= offset_;
+    return n;
   }
   void Close() override { child_->Close(); }
 

@@ -5,6 +5,7 @@
 #include <deque>
 #include <utility>
 
+#include "common/logging.h"
 #include "exec/exec_context.h"
 #include "logical/logical_op.h"
 #include "types/value.h"
@@ -15,28 +16,97 @@ namespace seq {
 /// values. Sum/Count/Avg use running accumulators; Min/Max use monotonic
 /// deques, so both insertion and eviction are O(1) amortized — this is
 /// what makes Cache-Strategy-A touch each input record exactly once.
+///
+/// Add/EvictBefore/Current are defined inline: aggregation touches them
+/// once per record in both the tuple and batch paths, and keeping them in
+/// the header lets the accumulators live in registers across an
+/// operator's drive loop.
 class WindowState {
  public:
   WindowState(AggFunc func, TypeId value_type)
       : func_(func), value_type_(value_type) {}
 
   /// Adds the value at `pos`. Positions must be strictly increasing.
-  void Add(Position pos, const Value& v, ExecContext* ctx);
+  void Add(Position pos, const Value& v, ExecContext* ctx) {
+    if (ctx != nullptr) ctx->ChargeAggStep();
+    Entry e{pos, 0, 0.0};
+    if (IsNumeric(v.type())) {
+      if (value_type_ == TypeId::kInt64) {
+        e.i = v.int64();
+        e.d = static_cast<double>(e.i);
+        sum_i_ += e.i;
+      } else {
+        e.d = v.AsDouble();
+      }
+      sum_d_ += e.d;
+    }
+    window_.push_back(e);
+    ++count_;
+    if (func_ == AggFunc::kMin) {
+      while (!min_q_.empty() && min_q_.back().second.Compare(v) >= 0) {
+        min_q_.pop_back();
+      }
+      min_q_.emplace_back(pos, v);
+    } else if (func_ == AggFunc::kMax) {
+      while (!max_q_.empty() && max_q_.back().second.Compare(v) <= 0) {
+        max_q_.pop_back();
+      }
+      max_q_.emplace_back(pos, v);
+    }
+  }
 
   /// Removes every entry with position < `p`.
-  void EvictBefore(Position p);
+  void EvictBefore(Position p) {
+    while (!window_.empty() && window_.front().pos < p) {
+      const Entry& e = window_.front();
+      --count_;
+      sum_i_ -= e.i;
+      sum_d_ -= e.d;
+      window_.pop_front();
+    }
+    while (!min_q_.empty() && min_q_.front().first < p) min_q_.pop_front();
+    while (!max_q_.empty() && max_q_.front().first < p) max_q_.pop_front();
+  }
 
   int64_t count() const { return count_; }
 
   /// Aggregate of the live window. Requires count() > 0.
-  Value Current() const;
+  Value Current() const {
+    SEQ_CHECK(count_ > 0);
+    switch (func_) {
+      case AggFunc::kCount:
+        return Value::Int64(count_);
+      case AggFunc::kSum:
+        return value_type_ == TypeId::kInt64 ? Value::Int64(sum_i_)
+                                             : Value::Double(sum_d_);
+      case AggFunc::kAvg:
+        return Value::Double(sum_d_ / static_cast<double>(count_));
+      case AggFunc::kMin:
+        SEQ_CHECK(!min_q_.empty());
+        return min_q_.front().second;
+      case AggFunc::kMax:
+        SEQ_CHECK(!max_q_.empty());
+        return max_q_.front().second;
+    }
+    SEQ_CHECK(false);
+    return Value();
+  }
 
  private:
+  // One live entry. The numeric payload is converted once on Add so
+  // eviction adjusts the accumulators without re-dispatching on the value
+  // type (non-numeric values store zeros, which subtract as no-ops).
+  struct Entry {
+    Position pos;
+    int64_t i;
+    double d;
+  };
+
   AggFunc func_;
   TypeId value_type_;
 
   // Live entries (needed to adjust accumulators on eviction).
-  std::deque<std::pair<Position, Value>> window_;
+  std::deque<Entry> window_;
   int64_t count_ = 0;
   double sum_d_ = 0.0;
   int64_t sum_i_ = 0;

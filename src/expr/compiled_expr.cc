@@ -83,6 +83,7 @@ Result<int> CompiledExpr::CompileNode(const ExprPtr& expr, const Schema& left,
               TypeName(rt));
         }
         node.type = TypeId::kBool;
+        node.kernel = SelectKernel(node.binary_op, lt, rt);
       } else {  // connective
         if (lt != TypeId::kBool || rt != TypeId::kBool) {
           return Status::TypeError(
@@ -139,22 +140,8 @@ Value CompiledExpr::EvalNode(int idx, const Record& left, const Record* right,
       return node.literal;
     case ExprKind::kPosition:
       return Value::Int64(pos);
-    case ExprKind::kUnary: {
-      Value v = EvalNode(node.left, left, right, pos);
-      switch (node.unary_op) {
-        case UnaryOp::kNot:
-          return Value::Bool(!v.boolean());
-        case UnaryOp::kNeg:
-          return (node.type == TypeId::kInt64) ? Value::Int64(-v.int64())
-                                               : Value::Double(-v.AsDouble());
-        case UnaryOp::kAbs:
-          return (node.type == TypeId::kInt64)
-                     ? Value::Int64(std::abs(v.int64()))
-                     : Value::Double(std::fabs(v.AsDouble()));
-      }
-      SEQ_CHECK(false);
-      return Value();
-    }
+    case ExprKind::kUnary:
+      return EvalUnaryOp(node, EvalNode(node.left, left, right, pos));
     case ExprKind::kBinary: {
       // Short-circuit the connectives.
       if (node.binary_op == BinaryOp::kAnd) {
@@ -169,62 +156,254 @@ Value CompiledExpr::EvalNode(int idx, const Record& left, const Record* right,
         }
         return EvalNode(node.right, left, right, pos);
       }
-      Value lv = EvalNode(node.left, left, right, pos);
-      Value rv = EvalNode(node.right, left, right, pos);
-      if (IsComparison(node.binary_op)) {
-        int c = lv.Compare(rv);
-        switch (node.binary_op) {
-          case BinaryOp::kEq:
-            return Value::Bool(c == 0);
-          case BinaryOp::kNe:
-            return Value::Bool(c != 0);
-          case BinaryOp::kLt:
-            return Value::Bool(c < 0);
-          case BinaryOp::kLe:
-            return Value::Bool(c <= 0);
-          case BinaryOp::kGt:
-            return Value::Bool(c > 0);
-          case BinaryOp::kGe:
-            return Value::Bool(c >= 0);
-          default:
-            SEQ_CHECK(false);
-        }
-      }
-      // Arithmetic.
-      if (node.type == TypeId::kInt64) {
-        int64_t a = lv.int64();
-        int64_t b = rv.int64();
-        switch (node.binary_op) {
-          case BinaryOp::kAdd:
-            return Value::Int64(a + b);
-          case BinaryOp::kSub:
-            return Value::Int64(a - b);
-          case BinaryOp::kMul:
-            return Value::Int64(a * b);
-          case BinaryOp::kDiv:
-            return Value::Int64(b == 0 ? 0 : a / b);
-          default:
-            SEQ_CHECK(false);
-        }
-      }
-      double a = lv.AsDouble();
-      double b = rv.AsDouble();
-      switch (node.binary_op) {
-        case BinaryOp::kAdd:
-          return Value::Double(a + b);
-        case BinaryOp::kSub:
-          return Value::Double(a - b);
-        case BinaryOp::kMul:
-          return Value::Double(a * b);
-        case BinaryOp::kDiv:
-          return Value::Double(a / b);
-        default:
-          SEQ_CHECK(false);
-      }
+      return EvalBinaryOp(node, EvalNode(node.left, left, right, pos),
+                          EvalNode(node.right, left, right, pos));
     }
   }
   SEQ_CHECK(false);
   return Value();
+}
+
+Value CompiledExpr::EvalUnaryOp(const Node& node, const Value& v) {
+  switch (node.unary_op) {
+    case UnaryOp::kNot:
+      return Value::Bool(!v.boolean());
+    case UnaryOp::kNeg:
+      return (node.type == TypeId::kInt64) ? Value::Int64(-v.int64())
+                                           : Value::Double(-v.AsDouble());
+    case UnaryOp::kAbs:
+      return (node.type == TypeId::kInt64)
+                 ? Value::Int64(std::abs(v.int64()))
+                 : Value::Double(std::fabs(v.AsDouble()));
+  }
+  SEQ_CHECK(false);
+  return Value();
+}
+
+Value CompiledExpr::EvalBinaryOp(const Node& node, const Value& lv,
+                                 const Value& rv) {
+  if (IsComparison(node.binary_op)) {
+    int c = lv.Compare(rv);
+    switch (node.binary_op) {
+      case BinaryOp::kEq:
+        return Value::Bool(c == 0);
+      case BinaryOp::kNe:
+        return Value::Bool(c != 0);
+      case BinaryOp::kLt:
+        return Value::Bool(c < 0);
+      case BinaryOp::kLe:
+        return Value::Bool(c <= 0);
+      case BinaryOp::kGt:
+        return Value::Bool(c > 0);
+      case BinaryOp::kGe:
+        return Value::Bool(c >= 0);
+      default:
+        SEQ_CHECK(false);
+    }
+  }
+  // Arithmetic.
+  if (node.type == TypeId::kInt64) {
+    int64_t a = lv.int64();
+    int64_t b = rv.int64();
+    switch (node.binary_op) {
+      case BinaryOp::kAdd:
+        return Value::Int64(a + b);
+      case BinaryOp::kSub:
+        return Value::Int64(a - b);
+      case BinaryOp::kMul:
+        return Value::Int64(a * b);
+      case BinaryOp::kDiv:
+        return Value::Int64(b == 0 ? 0 : a / b);
+      default:
+        SEQ_CHECK(false);
+    }
+  }
+  double a = lv.AsDouble();
+  double b = rv.AsDouble();
+  switch (node.binary_op) {
+    case BinaryOp::kAdd:
+      return Value::Double(a + b);
+    case BinaryOp::kSub:
+      return Value::Double(a - b);
+    case BinaryOp::kMul:
+      return Value::Double(a * b);
+    case BinaryOp::kDiv:
+      return Value::Double(a / b);
+    default:
+      SEQ_CHECK(false);
+  }
+  return Value();
+}
+
+namespace {
+
+/// Comparison with swapped operands: a < b == b > a.
+BinaryOp MirrorComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // kEq / kNe are symmetric
+  }
+}
+
+}  // namespace
+
+std::optional<SimpleIntCmp> CompiledExpr::AsSimpleIntCmp() const {
+  if (nodes_.size() != 3) return std::nullopt;
+  const Node& root = nodes_.back();
+  if (root.kind != ExprKind::kBinary || !IsComparison(root.binary_op)) {
+    return std::nullopt;
+  }
+  const Node& l = nodes_[root.left];
+  const Node& r = nodes_[root.right];
+  if (l.type != TypeId::kInt64 || r.type != TypeId::kInt64) {
+    return std::nullopt;
+  }
+  if (l.kind == ExprKind::kColumn && l.side == 0 &&
+      r.kind == ExprKind::kLiteral) {
+    return SimpleIntCmp{l.field_index, root.binary_op, r.literal.int64()};
+  }
+  if (r.kind == ExprKind::kColumn && r.side == 0 &&
+      l.kind == ExprKind::kLiteral) {
+    return SimpleIntCmp{r.field_index, MirrorComparison(root.binary_op),
+                        l.literal.int64()};
+  }
+  return std::nullopt;
+}
+
+CompiledExpr::BinKernel CompiledExpr::SelectKernel(BinaryOp op, TypeId lt,
+                                                   TypeId rt) {
+  bool both_int = lt == TypeId::kInt64 && rt == TypeId::kInt64;
+  bool numeric = IsNumeric(lt) && IsNumeric(rt);
+  switch (op) {
+    case BinaryOp::kEq:
+      return both_int ? BinKernel::kIntEq
+                      : numeric ? BinKernel::kNumEq : BinKernel::kGeneric;
+    case BinaryOp::kNe:
+      return both_int ? BinKernel::kIntNe
+                      : numeric ? BinKernel::kNumNe : BinKernel::kGeneric;
+    case BinaryOp::kLt:
+      return both_int ? BinKernel::kIntLt
+                      : numeric ? BinKernel::kNumLt : BinKernel::kGeneric;
+    case BinaryOp::kLe:
+      return both_int ? BinKernel::kIntLe
+                      : numeric ? BinKernel::kNumLe : BinKernel::kGeneric;
+    case BinaryOp::kGt:
+      return both_int ? BinKernel::kIntGt
+                      : numeric ? BinKernel::kNumGt : BinKernel::kGeneric;
+    case BinaryOp::kGe:
+      return both_int ? BinKernel::kIntGe
+                      : numeric ? BinKernel::kNumGe : BinKernel::kGeneric;
+    default:
+      return BinKernel::kGeneric;
+  }
+}
+
+void CompiledExpr::InitScratch(ExprScratch* scratch) const {
+  scratch->owned.assign(nodes_.size(), Value());
+  scratch->slot.assign(nodes_.size(), nullptr);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == ExprKind::kLiteral) {
+      scratch->slot[i] = &nodes_[i].literal;
+    }
+  }
+}
+
+const Value& CompiledExpr::EvalFlat(const Record& left, const Record* right,
+                                    Position pos,
+                                    ExprScratch* scratch) const {
+  SEQ_DCHECK(!nodes_.empty());
+  SEQ_DCHECK(scratch->slot.size() == nodes_.size());
+  const size_t n = nodes_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Node& node = nodes_[i];
+    switch (node.kind) {
+      case ExprKind::kColumn: {
+        const Record& rec = (node.side == 0) ? left : *right;
+        SEQ_DCHECK(node.field_index < rec.size());
+        scratch->slot[i] = &rec[node.field_index];
+        break;
+      }
+      case ExprKind::kLiteral:
+        break;  // bound once by InitScratch
+      case ExprKind::kPosition:
+        scratch->owned[i] = Value::Int64(pos);
+        scratch->slot[i] = &scratch->owned[i];
+        break;
+      case ExprKind::kUnary:
+        scratch->owned[i] = EvalUnaryOp(node, *scratch->slot[node.left]);
+        scratch->slot[i] = &scratch->owned[i];
+        break;
+      case ExprKind::kBinary: {
+        const Value& lv = *scratch->slot[node.left];
+        const Value& rv = *scratch->slot[node.right];
+        Value& out = scratch->owned[i];
+        switch (node.kernel) {
+          case BinKernel::kIntEq:
+            out = Value::Bool(lv.int64() == rv.int64());
+            break;
+          case BinKernel::kIntNe:
+            out = Value::Bool(lv.int64() != rv.int64());
+            break;
+          case BinKernel::kIntLt:
+            out = Value::Bool(lv.int64() < rv.int64());
+            break;
+          case BinKernel::kIntLe:
+            out = Value::Bool(lv.int64() <= rv.int64());
+            break;
+          case BinKernel::kIntGt:
+            out = Value::Bool(lv.int64() > rv.int64());
+            break;
+          case BinKernel::kIntGe:
+            out = Value::Bool(lv.int64() >= rv.int64());
+            break;
+          // The negated forms reproduce Value::Compare's NaN behavior
+          // (NaN orders "equal" to everything).
+          case BinKernel::kNumEq:
+            out = Value::Bool(!(lv.AsDouble() < rv.AsDouble()) &&
+                              !(lv.AsDouble() > rv.AsDouble()));
+            break;
+          case BinKernel::kNumNe:
+            out = Value::Bool(lv.AsDouble() < rv.AsDouble() ||
+                              lv.AsDouble() > rv.AsDouble());
+            break;
+          case BinKernel::kNumLt:
+            out = Value::Bool(lv.AsDouble() < rv.AsDouble());
+            break;
+          case BinKernel::kNumLe:
+            out = Value::Bool(!(lv.AsDouble() > rv.AsDouble()));
+            break;
+          case BinKernel::kNumGt:
+            out = Value::Bool(lv.AsDouble() > rv.AsDouble());
+            break;
+          case BinKernel::kNumGe:
+            out = Value::Bool(!(lv.AsDouble() < rv.AsDouble()));
+            break;
+          case BinKernel::kGeneric:
+            // Both sides are already evaluated (post-order pass), so the
+            // connectives reduce to plain boolean ops.
+            if (node.binary_op == BinaryOp::kAnd) {
+              out = Value::Bool(lv.boolean() && rv.boolean());
+            } else if (node.binary_op == BinaryOp::kOr) {
+              out = Value::Bool(lv.boolean() || rv.boolean());
+            } else {
+              out = EvalBinaryOp(node, lv, rv);
+            }
+            break;
+        }
+        scratch->slot[i] = &out;
+        break;
+      }
+    }
+  }
+  return *scratch->slot[n - 1];
 }
 
 Value CompiledExpr::Eval(const Record& left, const Record* right,

@@ -2,6 +2,7 @@
 #define SEQ_EXPR_COMPILED_EXPR_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
@@ -10,6 +11,26 @@
 #include "types/schema.h"
 
 namespace seq {
+
+/// Reusable evaluation scratch for CompiledExpr's flattened path: one slot
+/// pointer and one owned result cell per compiled node. Sized once by
+/// InitScratch; evaluation then runs with zero allocations and zero Value
+/// temporaries per row (column references and literals are served by
+/// pointer, only computed nodes write their inline-numeric results).
+struct ExprScratch {
+  std::vector<Value> owned;        // results of computed nodes
+  std::vector<const Value*> slot;  // value of each node for the current row
+};
+
+/// A predicate of the shape `column <cmp> int64-literal` (either operand
+/// order; `op` is normalized to put the column on the left). Batch filters
+/// recognize this shape and run a specialized compare loop instead of the
+/// general flattened evaluator.
+struct SimpleIntCmp {
+  size_t field_index;
+  BinaryOp op;
+  int64_t literal;
+};
 
 /// An expression tree type-checked and bound against one or two input
 /// schemas: column names are resolved to field indices and every node's
@@ -54,10 +75,55 @@ class CompiledExpr {
     return EvalBool(input, nullptr, pos);
   }
 
+  /// Prepares `scratch` for EvalFlat against this expression: sizes the
+  /// register file and binds literal slots once. Must be called after any
+  /// assignment to this CompiledExpr and before the first EvalFlat.
+  void InitScratch(ExprScratch* scratch) const;
+
+  /// Flattened evaluation: one linear pass over the post-order node array
+  /// with an explicit register file — no recursion, no per-row Value
+  /// temporaries. Connectives evaluate both sides (no short-circuit);
+  /// results are identical because operand evaluation is total and
+  /// side-effect free. The returned reference lives in `scratch` (or the
+  /// input row) until the next EvalFlat call.
+  const Value& EvalFlat(const Record& left, const Record* right,
+                        Position pos, ExprScratch* scratch) const;
+
+  bool EvalBoolFlat(const Record& left, const Record* right, Position pos,
+                    ExprScratch* scratch) const {
+    return EvalFlat(left, right, pos, scratch).boolean();
+  }
+
+  /// Single-input flattened conveniences.
+  const Value& EvalFlat(const Record& input, Position pos,
+                        ExprScratch* scratch) const {
+    return EvalFlat(input, nullptr, pos, scratch);
+  }
+  bool EvalBoolFlat(const Record& input, Position pos,
+                    ExprScratch* scratch) const {
+    return EvalBoolFlat(input, nullptr, pos, scratch);
+  }
+
+  /// Recognizes a whole-predicate `column <cmp> int64-literal` shape
+  /// against side 0; nullopt for anything else.
+  std::optional<SimpleIntCmp> AsSimpleIntCmp() const;
+
   /// The original (unbound) expression, for printing.
   const ExprPtr& expr() const { return expr_; }
 
  private:
+  /// Fused operand-type x operator kernels for the flattened path,
+  /// selected once at compile time from the operand types. kInt* compare
+  /// two int64s directly; kNum* compare after double promotion using the
+  /// same ordering as Value::Compare (NaN compares "equal" to everything,
+  /// hence the negated forms). kGeneric falls back to the shared
+  /// tree-walk helpers.
+  enum class BinKernel : uint8_t {
+    kGeneric = 0,
+    kIntEq, kIntNe, kIntLt, kIntLe, kIntGt, kIntGe,
+    kNumEq, kNumNe, kNumLt, kNumLe, kNumGt, kNumGe,
+  };
+
   struct Node {
     ExprKind kind;
     TypeId type;
@@ -69,9 +135,12 @@ class CompiledExpr {
     // kUnary / kBinary:
     UnaryOp unary_op = UnaryOp::kNot;
     BinaryOp binary_op = BinaryOp::kAnd;
+    BinKernel kernel = BinKernel::kGeneric;
     int left = -1;   // child indices into nodes_
     int right = -1;
   };
+
+  static BinKernel SelectKernel(BinaryOp op, TypeId lt, TypeId rt);
 
   static Result<int> CompileNode(const ExprPtr& expr, const Schema& left,
                                  const Schema* right,
@@ -79,6 +148,10 @@ class CompiledExpr {
 
   Value EvalNode(int idx, const Record& left, const Record* right,
                  Position pos) const;
+
+  static Value EvalUnaryOp(const Node& node, const Value& v);
+  static Value EvalBinaryOp(const Node& node, const Value& lv,
+                            const Value& rv);
 
   ExprPtr expr_;
   std::vector<Node> nodes_;  // tree in post-order; root is last

@@ -123,6 +123,37 @@ std::optional<PosRecord> BaseSequenceStore::StreamCursor::Next() {
   return pr;
 }
 
+size_t BaseSequenceStore::StreamCursor::FillBatch(RecordBatch* out) {
+  out->Clear();
+  if (stats_ == nullptr) {
+    // No accounting requested for this cursor's lifetime: skip the page
+    // bookkeeping entirely (last_page_ is only read when charging).
+    const std::vector<PosRecord>& records = store_->records_;
+    while (!out->full() && index_ < end_) {
+      const PosRecord& pr = records[index_];
+      ++index_;
+      AssignRecord(out->Append(pr.pos), pr.rec);
+    }
+    return out->size();
+  }
+  const bool clustered = store_->costs_.clustered;
+  const int64_t rpp = store_->records_per_page_;
+  while (!out->full() && index_ < end_) {
+    const PosRecord& pr = store_->records_[index_];
+    int64_t page = clustered ? static_cast<int64_t>(index_) / rpp
+                             : static_cast<int64_t>(index_);
+    ++index_;
+    ++stats_->stream_records;
+    if (page != last_page_) {
+      ++stats_->stream_pages;
+      stats_->simulated_cost += store_->costs_.page_cost;
+    }
+    last_page_ = page;
+    AssignRecord(out->Append(pr.pos), pr.rec);
+  }
+  return out->size();
+}
+
 std::optional<Position> BaseSequenceStore::StreamCursor::PeekPosition() const {
   if (index_ >= end_) return std::nullopt;
   return store_->records_[index_].pos;

@@ -89,6 +89,13 @@ class BaseSequenceStore {
     /// Next record, or nullopt at end of range.
     std::optional<PosRecord> Next();
 
+    /// Batch access: fills `out` with the next up-to-capacity records,
+    /// charging exactly what the same sequence of Next() calls would
+    /// (one stream_record each, page costs on page boundaries). Records
+    /// are copied into the batch's reusable slots. Returns the row count;
+    /// 0 at end of range.
+    size_t FillBatch(RecordBatch* out);
+
     /// Position of the next record without consuming or charging.
     std::optional<Position> PeekPosition() const;
 

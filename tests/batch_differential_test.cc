@@ -1,0 +1,281 @@
+// Differential test for the two execution paths: every query shape the
+// exec/engine suites exercise is run tuple-at-a-time and batch-at-a-time
+// and must produce identical rows and identical AccessStats. The int64
+// counters must match exactly; simulated_cost is a double accumulated in a
+// different order between the paths, so it is compared to a tight relative
+// tolerance instead of bit equality.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "workload/generators.h"
+
+namespace seq {
+namespace {
+
+void ExpectSameStats(const AccessStats& tuple, const AccessStats& batch,
+                     const std::string& label) {
+  EXPECT_EQ(tuple.stream_records, batch.stream_records) << label;
+  EXPECT_EQ(tuple.stream_pages, batch.stream_pages) << label;
+  EXPECT_EQ(tuple.probes, batch.probes) << label;
+  EXPECT_EQ(tuple.probe_pages, batch.probe_pages) << label;
+  EXPECT_EQ(tuple.cache_stores, batch.cache_stores) << label;
+  EXPECT_EQ(tuple.cache_hits, batch.cache_hits) << label;
+  EXPECT_EQ(tuple.predicate_evals, batch.predicate_evals) << label;
+  EXPECT_EQ(tuple.agg_steps, batch.agg_steps) << label;
+  EXPECT_EQ(tuple.records_output, batch.records_output) << label;
+  // Same charges in a different summation order: ulp-level drift only.
+  EXPECT_NEAR(tuple.simulated_cost, batch.simulated_cost,
+              1e-9 * (1.0 + std::abs(tuple.simulated_cost)))
+      << label;
+}
+
+void ExpectSameRows(const QueryResult& tuple, const QueryResult& batch,
+                    const std::string& label) {
+  ASSERT_EQ(tuple.records.size(), batch.records.size()) << label;
+  for (size_t i = 0; i < tuple.records.size(); ++i) {
+    EXPECT_EQ(tuple.records[i].pos, batch.records[i].pos)
+        << label << " row " << i;
+    ASSERT_EQ(tuple.records[i].rec.size(), batch.records[i].rec.size())
+        << label << " row " << i;
+    for (size_t j = 0; j < tuple.records[i].rec.size(); ++j) {
+      EXPECT_EQ(tuple.records[i].rec[j], batch.records[i].rec[j])
+          << label << " row " << i << " col " << j;
+    }
+  }
+}
+
+/// Streams `query` through PreparedQuery::RunVisit under the engine's
+/// current driving mode, copying each visited row (sink-held references
+/// are only valid during the callback).
+QueryResult VisitRows(Engine& engine, const Query& query, AccessStats* stats,
+                      const std::string& label) {
+  auto prepared = engine.Prepare(query);
+  EXPECT_TRUE(prepared.ok()) << label;
+  QueryResult out;
+  if (!prepared.ok()) return out;
+  Status s = prepared->RunVisit(
+      [&out](Position p, const Record& rec) {
+        out.records.push_back(PosRecord{p, rec});
+      },
+      stats);
+  EXPECT_TRUE(s.ok()) << label << ": " << s.ToString();
+  return out;
+}
+
+/// Runs `query` through both paths (plain, profiled, and streamed) and
+/// asserts identical rows and stats everywhere.
+void RunBoth(Engine& engine, const Query& query, const std::string& label) {
+  engine.exec_options().use_batch = false;
+  AccessStats tuple_stats;
+  auto tuple = engine.Run(query, &tuple_stats);
+  ASSERT_TRUE(tuple.ok()) << label << ": " << tuple.status().ToString();
+
+  engine.exec_options().use_batch = true;
+  AccessStats batch_stats;
+  auto batch = engine.Run(query, &batch_stats);
+  ASSERT_TRUE(batch.ok()) << label << ": " << batch.status().ToString();
+
+  ExpectSameRows(*tuple, *batch, label);
+  ExpectSameStats(tuple_stats, batch_stats, label);
+
+  // The profiled executor must batch through its wrappers too.
+  AccessStats prof_stats;
+  auto profiled = engine.RunProfiled(query, &prof_stats);
+  ASSERT_TRUE(profiled.ok()) << label << ": " << profiled.status().ToString();
+  ExpectSameRows(*tuple, profiled->result, label + " [profiled]");
+  ExpectSameStats(tuple_stats, prof_stats, label + " [profiled]");
+
+  // Streaming consumption must visit exactly the materialized rows, with
+  // the same charges, in both driving modes.
+  engine.exec_options().use_batch = false;
+  AccessStats tv_stats;
+  QueryResult tv = VisitRows(engine, query, &tv_stats, label + " [visit t]");
+  ExpectSameRows(*tuple, tv, label + " [visit tuple]");
+  ExpectSameStats(tuple_stats, tv_stats, label + " [visit tuple]");
+
+  engine.exec_options().use_batch = true;
+  AccessStats bv_stats;
+  QueryResult bv = VisitRows(engine, query, &bv_stats, label + " [visit b]");
+  ExpectSameRows(*tuple, bv, label + " [visit batch]");
+  ExpectSameStats(tuple_stats, bv_stats, label + " [visit batch]");
+}
+
+void RunBoth(Engine& engine, const QueryBuilder& builder,
+             std::optional<Span> range, const std::string& label) {
+  Query query;
+  query.graph = builder.Build();
+  query.range = range;
+  RunBoth(engine, query, label);
+}
+
+class BatchDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    IntSeriesOptions dense;
+    dense.span = Span::Of(1, 4000);
+    dense.density = 0.9;
+    dense.seed = 17;
+    ASSERT_TRUE(engine_.RegisterBase("s", *MakeIntSeries(dense)).ok());
+
+    IntSeriesOptions sparse;
+    sparse.span = Span::Of(1, 4000);
+    sparse.density = 0.15;
+    sparse.seed = 23;
+    ASSERT_TRUE(engine_.RegisterBase("sp", *MakeIntSeries(sparse)).ok());
+
+    // Unclustered store: per-record page charges exercise the scan's page
+    // accounting on the other branch.
+    IntSeriesOptions uncl;
+    uncl.span = Span::Of(1, 500);
+    uncl.density = 0.8;
+    uncl.seed = 29;
+    uncl.costs.clustered = false;
+    ASSERT_TRUE(engine_.RegisterBase("u", *MakeIntSeries(uncl)).ok());
+
+    StockSeriesOptions stocks;
+    stocks.span = Span::Of(1, 2000);
+    stocks.density = 0.95;
+    stocks.seed = 31;
+    ASSERT_TRUE(engine_.RegisterBase("ibm", *MakeStockSeries(stocks)).ok());
+
+    // String-bearing sequences: record movement must not slice or copy
+    // payloads differently between the paths.
+    EventSeriesOptions eq;
+    eq.span = Span::Of(1, 3000);
+    eq.density = 0.05;
+    eq.seed = 37;
+    ASSERT_TRUE(engine_.RegisterBase("quakes", *MakeEarthquakes(eq)).ok());
+    EventSeriesOptions vo;
+    vo.span = Span::Of(1, 3000);
+    vo.density = 0.03;
+    vo.seed = 41;
+    ASSERT_TRUE(engine_.RegisterBase("volcanos", *MakeVolcanos(vo)).ok());
+  }
+
+  Engine engine_;
+};
+
+TEST_F(BatchDifferentialTest, ScanSelectProject) {
+  RunBoth(engine_, SeqRef("s"), std::nullopt, "plain scan");
+  RunBoth(engine_, SeqRef("s").Select(Gt(Col("value"), Lit(int64_t{500}))),
+          std::nullopt, "select");
+  RunBoth(engine_,
+          SeqRef("ibm")
+              .Select(Gt(Col("close"), Col("open")))
+              .Project({"close", "volume"}),
+          std::nullopt, "select+project");
+  RunBoth(engine_,
+          SeqRef("s").Select(And(Gt(Col("value"), Lit(int64_t{100})),
+                                 Lt(Col("value"), Lit(int64_t{900})))),
+          std::nullopt, "conjunctive select");
+  RunBoth(engine_,
+          SeqRef("s").Select(
+              Eq(Sub(Col("value"), Mul(Div(Col("value"), Lit(int64_t{7})),
+                                       Lit(int64_t{7}))),
+                 Lit(int64_t{3}))),
+          std::nullopt, "arithmetic select");
+}
+
+TEST_F(BatchDifferentialTest, ClippedRangesAndSparseInputs) {
+  RunBoth(engine_, SeqRef("s"), Span::Of(100, 300), "clipped scan");
+  RunBoth(engine_, SeqRef("sp").Select(Gt(Col("value"), Lit(int64_t{200}))),
+          Span::Of(50, 3500), "sparse select");
+  RunBoth(engine_, SeqRef("u").Project({"value"}), std::nullopt,
+          "unclustered scan");
+  RunBoth(engine_, SeqRef("s"), Span::Of(3999, 4000), "tail sliver");
+}
+
+TEST_F(BatchDifferentialTest, Offsets) {
+  RunBoth(engine_, SeqRef("s").Offset(-3), std::nullopt, "pos offset back");
+  RunBoth(engine_, SeqRef("s").Offset(5), Span::Of(1, 3000),
+          "pos offset fwd");
+  RunBoth(engine_, SeqRef("sp").Prev(), std::nullopt, "previous");
+  RunBoth(engine_, SeqRef("sp").Next(), std::nullopt, "next");
+  RunBoth(engine_, SeqRef("sp").ValueOffset(-3), std::nullopt,
+          "third previous");
+  RunBoth(engine_, SeqRef("sp").ValueOffset(2), Span::Of(10, 3900),
+          "second next");
+}
+
+TEST_F(BatchDifferentialTest, Aggregates) {
+  RunBoth(engine_, SeqRef("s").Agg(AggFunc::kSum, "value", 7), std::nullopt,
+          "window sum");
+  RunBoth(engine_, SeqRef("sp").Agg(AggFunc::kMax, "value", 20),
+          std::nullopt, "sparse window max");
+  RunBoth(engine_, SeqRef("s").Agg(AggFunc::kAvg, "value", 5),
+          Span::Of(500, 1500), "window avg clipped");
+  RunBoth(engine_, SeqRef("s").RunningAgg(AggFunc::kCount, "value"),
+          std::nullopt, "running count");
+  RunBoth(engine_, SeqRef("sp").RunningAgg(AggFunc::kMin, "value"),
+          std::nullopt, "sparse running min");
+  RunBoth(engine_, SeqRef("s").OverallAgg(AggFunc::kSum, "value"),
+          Span::Of(1, 4000), "overall sum");
+}
+
+TEST_F(BatchDifferentialTest, ComposeVariants) {
+  RunBoth(engine_, SeqRef("volcanos").ComposeWith(SeqRef("quakes").Prev()),
+          std::nullopt, "volcano join");
+  RunBoth(engine_,
+          SeqRef("volcanos")
+              .ComposeWith(SeqRef("quakes").Prev())
+              .Select(Gt(Col("strength"), Lit(7.0)))
+              .Project({"name"}),
+          std::nullopt, "fig1 query");
+  RunBoth(engine_,
+          SeqRef("s").ComposeWith(SeqRef("sp"),
+                                  Gt(Col("value", 0), Col("value", 1))),
+          std::nullopt, "predicated compose");
+  RunBoth(engine_,
+          SeqRef("quakes").ComposeWith(SeqRef("volcanos")), std::nullopt,
+          "event intersect");
+}
+
+TEST_F(BatchDifferentialTest, CollapseExpandAndChains) {
+  RunBoth(engine_, SeqRef("s").Collapse(7, AggFunc::kSum, "value"),
+          std::nullopt, "collapse");
+  RunBoth(engine_, SeqRef("s").Collapse(5, AggFunc::kAvg, "value").Expand(5),
+          std::nullopt, "collapse+expand");
+  RunBoth(engine_,
+          SeqRef("s")
+              .Agg(AggFunc::kSum, "value", 3, "sum")
+              .Offset(-2)
+              .Agg(AggFunc::kSum, "sum", 3, "sum")
+              .Offset(-2),
+          std::nullopt, "fig2 chain");
+  RunBoth(engine_,
+          SeqRef("s")
+              .Select(Gt(Col("value"), Lit(int64_t{50})))
+              .Agg(AggFunc::kAvg, "value", 10, "avg")
+              .Select(Gt(Col("avg"), Lit(int64_t{400})))
+              .Project({"avg"}),
+          std::nullopt, "select-agg-select");
+  RunBoth(engine_,
+          SeqRef("ibm")
+              .Agg(AggFunc::kAvg, "close", 21, "ma21")
+              .ComposeWith(SeqRef("ibm").Agg(AggFunc::kAvg, "close", 5,
+                                             "ma5")),
+          std::nullopt, "moving-average cross");
+}
+
+TEST_F(BatchDifferentialTest, PointQueriesStayOnTuplePath) {
+  // Point-position queries always drive tuple-at-a-time; both settings
+  // must agree trivially.
+  Query query;
+  query.graph = SeqRef("s").Agg(AggFunc::kSum, "value", 5).Build();
+  query.positions = {10, 57, 58, 900, 3999};
+  RunBoth(engine_, query, "point positions");
+}
+
+TEST_F(BatchDifferentialTest, EmptyAndEdgeResults) {
+  RunBoth(engine_, SeqRef("s").Select(Gt(Col("value"), Lit(int64_t{100000}))),
+          std::nullopt, "selects nothing");
+  RunBoth(engine_, SeqRef("sp"), Span::Of(3990, 4000), "nearly empty tail");
+}
+
+}  // namespace
+}  // namespace seq
