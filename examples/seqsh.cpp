@@ -16,6 +16,7 @@
 //   .explain <name | expr;>            show optimizer output
 //   .analyze <name>                    EXPLAIN ANALYZE: estimated vs actual
 //   .stats on|off                      print access counters after runs
+//   .batch on|off                      batch vs tuple-at-a-time driving
 //   .materialize <name> <view>         register a view's result as a base
 //   .save <name> <file.csv>            write a base sequence as CSV
 //   .savedb <dir> / .opendb <dir>      persist / reopen the whole catalog
@@ -154,6 +155,11 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
     session->limit = static_cast<size_t>(std::stoull(args[1]));
   } else if (cmd == ".stats" && args.size() >= 2) {
     session->show_stats = (args[1] == "on");
+  } else if (cmd == ".batch" && args.size() >= 2) {
+    session->engine.exec_options().use_batch = (args[1] == "on");
+    std::cout << "batch driving "
+              << (session->engine.exec_options().use_batch ? "on" : "off")
+              << "\n";
   } else if (cmd == ".explain" && args.size() >= 2) {
     auto graph = ResolveName(session, args[1]);
     if (!graph.ok()) {
@@ -301,6 +307,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "SEQ shell — sequence query processing (SIGMOD '94). "
                "Dot-commands: .load .gen .list .schema .range .limit "
-               ".explain .analyze .run .stats .materialize .save .savedb .opendb .quit\n";
+               ".explain .analyze .run .stats .batch .materialize .save "
+               ".savedb .opendb .quit\n";
   return RunStream(&session, std::cin, /*interactive=*/true);
 }

@@ -6,9 +6,9 @@
 
 namespace seq {
 
-// --- WindowAggCachedStream --------------------------------------------------
+// --- WindowAggCachedOp ------------------------------------------------------
 
-Status WindowAggCachedStream::Open(ExecContext* ctx) {
+Status WindowAggCachedOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   next_pos_ = required_.start;
   pending_.reset();
@@ -18,17 +18,17 @@ Status WindowAggCachedStream::Open(ExecContext* ctx) {
   return child_->Open(ctx);
 }
 
-void WindowAggCachedStream::Fill() {
+void WindowAggCachedOp::Fill() {
   if (child_done_ || pending_.has_value()) return;
   pending_ = child_->Next();
   if (!pending_.has_value()) child_done_ = true;
 }
 
-std::optional<PosRecord> WindowAggCachedStream::Next() {
+std::optional<PosRecord> WindowAggCachedOp::Next() {
   return NextAtOrAfter(next_pos_);
 }
 
-std::optional<PosRecord> WindowAggCachedStream::NextAtOrAfter(Position p) {
+std::optional<PosRecord> WindowAggCachedOp::NextAtOrAfter(Position p) {
   if (required_.IsEmpty()) return std::nullopt;
   if (p < next_pos_) p = next_pos_;
   if (p < required_.start) p = required_.start;
@@ -55,7 +55,7 @@ std::optional<PosRecord> WindowAggCachedStream::NextAtOrAfter(Position p) {
   return std::nullopt;
 }
 
-size_t WindowAggCachedStream::NextBatch(RecordBatch* out) {
+size_t WindowAggCachedOp::NextBatch(RecordBatch* out) {
   out->Clear();
   if (required_.IsEmpty()) return 0;
   Position p = next_pos_;
@@ -91,9 +91,9 @@ size_t WindowAggCachedStream::NextBatch(RecordBatch* out) {
   return out->size();
 }
 
-// --- RunningAggStream -------------------------------------------------------
+// --- RunningAggOp -----------------------------------------------------------
 
-Status RunningAggStream::Open(ExecContext* ctx) {
+Status RunningAggOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   next_pos_ = required_.start;
   pending_.reset();
@@ -103,11 +103,11 @@ Status RunningAggStream::Open(ExecContext* ctx) {
   return child_->Open(ctx);
 }
 
-std::optional<PosRecord> RunningAggStream::Next() {
+std::optional<PosRecord> RunningAggOp::Next() {
   return NextAtOrAfter(next_pos_);
 }
 
-std::optional<PosRecord> RunningAggStream::NextAtOrAfter(Position p) {
+std::optional<PosRecord> RunningAggOp::NextAtOrAfter(Position p) {
   if (required_.IsEmpty()) return std::nullopt;
   if (p < next_pos_) p = next_pos_;
   if (p < required_.start) p = required_.start;
@@ -135,7 +135,7 @@ std::optional<PosRecord> RunningAggStream::NextAtOrAfter(Position p) {
   return std::nullopt;
 }
 
-size_t RunningAggStream::NextBatch(RecordBatch* out) {
+size_t RunningAggOp::NextBatch(RecordBatch* out) {
   out->Clear();
   if (required_.IsEmpty()) return 0;
   Position p = next_pos_;
@@ -165,9 +165,9 @@ size_t RunningAggStream::NextBatch(RecordBatch* out) {
   return out->size();
 }
 
-// --- OverallAggStream -------------------------------------------------------
+// --- OverallAggOp -----------------------------------------------------------
 
-Status OverallAggStream::Open(ExecContext* ctx) {
+Status OverallAggOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   next_pos_ = required_.start;
   SEQ_RETURN_IF_ERROR(child_->Open(ctx));
@@ -183,7 +183,7 @@ Status OverallAggStream::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-std::optional<PosRecord> OverallAggStream::Next() {
+std::optional<PosRecord> OverallAggOp::Next() {
   if (!value_.has_value() || required_.IsEmpty()) return std::nullopt;
   if (next_pos_ < required_.start) next_pos_ = required_.start;
   if (next_pos_ > required_.end) return std::nullopt;
@@ -191,7 +191,7 @@ std::optional<PosRecord> OverallAggStream::Next() {
   return PosRecord{next_pos_++, Record{*value_}};
 }
 
-size_t OverallAggStream::NextBatch(RecordBatch* out) {
+size_t OverallAggOp::NextBatch(RecordBatch* out) {
   out->Clear();
   if (!value_.has_value() || required_.IsEmpty()) return 0;
   if (next_pos_ < required_.start) next_pos_ = required_.start;
@@ -204,31 +204,76 @@ size_t OverallAggStream::NextBatch(RecordBatch* out) {
   return out->size();
 }
 
-// --- WindowAggNaiveProbe / Stream -------------------------------------------
+// --- WindowAggNaiveOp -------------------------------------------------------
 
-std::optional<Record> WindowAggNaiveProbe::Probe(Position p) {
+std::optional<Value> WindowAggNaiveOp::WindowAt(Position p, int64_t* steps) {
   WindowState state(func_, col_type_);
   for (Position q = p - window_ + 1; q <= p; ++q) {
     std::optional<Record> r = child_->Probe(q);
-    if (r.has_value()) state.Add(q, (*r)[col_index_], ctx_);
+    if (r.has_value()) {
+      state.Add(q, (*r)[col_index_], nullptr);
+      ++*steps;
+    }
   }
   if (state.count() == 0) return std::nullopt;
-  ctx_->ChargeCompute();
-  return Record{state.Current()};
+  return state.Current();
 }
 
-std::optional<PosRecord> WindowAggNaiveStream::Next() {
+std::optional<Record> WindowAggNaiveOp::Probe(Position p) {
+  int64_t steps = 0;
+  std::optional<Value> v = WindowAt(p, &steps);
+  ctx_->ChargeAggSteps(steps);
+  if (!v.has_value()) return std::nullopt;
+  ctx_->ChargeCompute();
+  return Record{std::move(*v)};
+}
+
+std::optional<PosRecord> WindowAggNaiveOp::Next() {
   while (next_pos_ <= required_.end) {
     Position p = next_pos_++;
-    std::optional<Record> r = probe_.Probe(p);
+    std::optional<Record> r = Probe(p);
     if (r.has_value()) return PosRecord{p, std::move(*r)};
   }
   return std::nullopt;
 }
 
-// --- MaterializedAggProbe ---------------------------------------------------
+size_t WindowAggNaiveOp::NextBatch(RecordBatch* out) {
+  out->Clear();
+  int64_t steps = 0;
+  while (!out->full() && next_pos_ <= required_.end) {
+    Position p = next_pos_++;
+    std::optional<Value> v = WindowAt(p, &steps);
+    if (v.has_value()) {
+      Record& dst = out->Append(p);
+      dst.resize(1);
+      dst[0] = std::move(*v);
+    }
+  }
+  ctx_->ChargeAggSteps(steps);
+  ctx_->ChargeComputeN(static_cast<int64_t>(out->size()));
+  return out->size();
+}
 
-Status MaterializedAggProbe::Open(ExecContext* ctx) {
+size_t WindowAggNaiveOp::ProbeBatch(std::span<const Position> positions,
+                                    RecordBatch* out) {
+  out->Clear();
+  int64_t steps = 0;
+  for (Position p : positions) {
+    std::optional<Value> v = WindowAt(p, &steps);
+    if (v.has_value()) {
+      Record& dst = out->Append(p);
+      dst.resize(1);
+      dst[0] = std::move(*v);
+    }
+  }
+  ctx_->ChargeAggSteps(steps);
+  ctx_->ChargeComputeN(static_cast<int64_t>(out->size()));
+  return out->size();
+}
+
+// --- MaterializedAggOp ------------------------------------------------------
+
+Status MaterializedAggOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   SEQ_RETURN_IF_ERROR(child_->Open(ctx));
   WindowState state(func_, col_type_);
@@ -247,21 +292,38 @@ Status MaterializedAggProbe::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-std::optional<Record> MaterializedAggProbe::Probe(Position p) {
-  if (checkpoints_.empty() || !out_span_.Contains(p)) return std::nullopt;
-  if (kind_ == WindowKind::kAll) {
-    ctx_->ChargeCacheHit();
-    return Record{checkpoints_.front().second};
-  }
+const Value* MaterializedAggOp::Lookup(Position p) const {
+  if (checkpoints_.empty() || !out_span_.Contains(p)) return nullptr;
+  if (kind_ == WindowKind::kAll) return &checkpoints_.front().second;
   // Running: value at the greatest checkpoint position <= p.
   auto it = std::upper_bound(
       checkpoints_.begin(), checkpoints_.end(), p,
       [](Position pos, const std::pair<Position, Value>& cp) {
         return pos < cp.first;
       });
-  if (it == checkpoints_.begin()) return std::nullopt;
+  if (it == checkpoints_.begin()) return nullptr;
+  return &std::prev(it)->second;
+}
+
+std::optional<Record> MaterializedAggOp::Probe(Position p) {
+  const Value* v = Lookup(p);
+  if (v == nullptr) return std::nullopt;
   ctx_->ChargeCacheHit();
-  return Record{std::prev(it)->second};
+  return Record{*v};
+}
+
+size_t MaterializedAggOp::ProbeBatch(std::span<const Position> positions,
+                                     RecordBatch* out) {
+  out->Clear();
+  for (Position p : positions) {
+    const Value* v = Lookup(p);
+    if (v == nullptr) continue;
+    Record& dst = out->Append(p);
+    dst.resize(1);
+    dst[0] = *v;
+  }
+  ctx_->ChargeCacheHits(static_cast<int64_t>(out->size()));
+  return out->size();
 }
 
 }  // namespace seq

@@ -2,6 +2,7 @@
 #define SEQ_EXEC_AGG_OPS_H_
 
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -14,10 +15,12 @@ namespace seq {
 /// Trailing-window aggregate with Cache-Strategy-A (§3.5, Fig. 5.A): a
 /// scope-sized cache over the input stream; each input record enters the
 /// cache exactly once and every output reads the cached window.
-class WindowAggCachedStream : public StreamOp {
+/// Stream-only — the cache is inherently sequential, so probed plans use
+/// WindowAggNaiveOp or MaterializedAggOp instead.
+class WindowAggCachedOp : public SeqOp {
  public:
-  WindowAggCachedStream(StreamOpPtr child, AggFunc func, size_t col_index,
-                        TypeId col_type, int64_t window, Span required)
+  WindowAggCachedOp(SeqOpPtr child, AggFunc func, size_t col_index,
+                    TypeId col_type, int64_t window, Span required)
       : child_(std::move(child)),
         func_(func),
         col_index_(col_index),
@@ -35,7 +38,7 @@ class WindowAggCachedStream : public StreamOp {
  private:
   void Fill();
 
-  StreamOpPtr child_;
+  SeqOpPtr child_;
   AggFunc func_;
   size_t col_index_;
   TypeId col_type_;
@@ -51,11 +54,12 @@ class WindowAggCachedStream : public StreamOp {
 };
 
 /// Running (prefix) aggregate: agg over all inputs at positions <= i.
-/// Dense output from the first input record onward.
-class RunningAggStream : public StreamOp {
+/// Dense output from the first input record onward. Stream-only; probed
+/// plans materialize via MaterializedAggOp.
+class RunningAggOp : public SeqOp {
  public:
-  RunningAggStream(StreamOpPtr child, AggFunc func, size_t col_index,
-                   TypeId col_type, Span required)
+  RunningAggOp(SeqOpPtr child, AggFunc func, size_t col_index,
+               TypeId col_type, Span required)
       : child_(std::move(child)),
         func_(func),
         col_index_(col_index),
@@ -70,7 +74,7 @@ class RunningAggStream : public StreamOp {
   void Close() override { child_->Close(); }
 
  private:
-  StreamOpPtr child_;
+  SeqOpPtr child_;
   AggFunc func_;
   size_t col_index_;
   TypeId col_type_;
@@ -86,10 +90,11 @@ class RunningAggStream : public StreamOp {
 
 /// Whole-sequence aggregate (the paper's "agg_pos always true" case): one
 /// pass over the input at Open, then the same value at every position.
-class OverallAggStream : public StreamOp {
+/// Stream-only; probed plans materialize via MaterializedAggOp.
+class OverallAggOp : public SeqOp {
  public:
-  OverallAggStream(StreamOpPtr child, AggFunc func, size_t col_index,
-                   TypeId col_type, Span required)
+  OverallAggOp(SeqOpPtr child, AggFunc func, size_t col_index,
+               TypeId col_type, Span required)
       : child_(std::move(child)),
         func_(func),
         col_index_(col_index),
@@ -106,7 +111,7 @@ class OverallAggStream : public StreamOp {
   void Close() override { child_->Close(); }
 
  private:
-  StreamOpPtr child_;
+  SeqOpPtr child_;
   AggFunc func_;
   size_t col_index_;
   TypeId col_type_;
@@ -117,69 +122,63 @@ class OverallAggStream : public StreamOp {
   Position next_pos_ = 0;
 };
 
-/// Naive trailing-window aggregate in probed mode: probes the entire
-/// window of the input for every requested position (§4.1.2: "the probed
+/// Naive trailing-window aggregate over a probed child: every requested
+/// position probes the entire window of the input (§4.1.2: "the probed
 /// access cost of the input sequence multiplied by the size of the
-/// operator scope").
-class WindowAggNaiveProbe : public ProbeOp {
+/// operator scope"). Serves both modes — probed access aggregates the
+/// window at the requested position; stream access (the Fig. 5.A
+/// baseline) walks every position of the required range, re-probing the
+/// whole window each time. Each probe is backtracking (window start < p),
+/// so this operator's CHILD is a non-monotone probe consumer.
+class WindowAggNaiveOp : public SeqOp {
  public:
-  WindowAggNaiveProbe(ProbeOpPtr child, AggFunc func, size_t col_index,
-                      TypeId col_type, int64_t window)
+  WindowAggNaiveOp(SeqOpPtr child, AggFunc func, size_t col_index,
+                   TypeId col_type, int64_t window, Span required)
       : child_(std::move(child)),
         func_(func),
         col_index_(col_index),
         col_type_(col_type),
-        window_(window) {}
-
-  Status Open(ExecContext* ctx) override {
-    ctx_ = ctx;
-    return child_->Open(ctx);
-  }
-  std::optional<Record> Probe(Position p) override;
-  void Close() override { child_->Close(); }
-
- private:
-  ProbeOpPtr child_;
-  AggFunc func_;
-  size_t col_index_;
-  TypeId col_type_;
-  int64_t window_;
-  ExecContext* ctx_ = nullptr;
-};
-
-/// Naive trailing-window aggregate as a stream (the Fig. 5.A baseline):
-/// walks every position, re-probing the whole window each time.
-class WindowAggNaiveStream : public StreamOp {
- public:
-  WindowAggNaiveStream(ProbeOpPtr child, AggFunc func, size_t col_index,
-                       TypeId col_type, int64_t window, Span required)
-      : probe_(std::move(child), func, col_index, col_type, window),
+        window_(window),
         required_(required) {}
 
   Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
     next_pos_ = required_.start;
-    return probe_.Open(ctx);
+    return child_->Open(ctx);
   }
   std::optional<PosRecord> Next() override;
   std::optional<PosRecord> NextAtOrAfter(Position p) override {
     if (p > next_pos_) next_pos_ = p;
     return Next();
   }
-  void Close() override { probe_.Close(); }
+  size_t NextBatch(RecordBatch* out) override;
+  std::optional<Record> Probe(Position p) override;
+  size_t ProbeBatch(std::span<const Position> positions,
+                    RecordBatch* out) override;
+  void Close() override { child_->Close(); }
 
  private:
-  WindowAggNaiveProbe probe_;
+  // Aggregates the window ending at p, counting one agg step per input
+  // found into *steps; the caller charges steps and the compute.
+  std::optional<Value> WindowAt(Position p, int64_t* steps);
+
+  SeqOpPtr child_;
+  AggFunc func_;
+  size_t col_index_;
+  TypeId col_type_;
+  int64_t window_;
   Span required_;
+  ExecContext* ctx_ = nullptr;
   Position next_pos_ = 0;
 };
 
 /// Probed-mode running/overall aggregate: materializes the aggregate by
 /// one stream pass of the input on Open, then serves probes by lookup
-/// (§5.3's materialization option).
-class MaterializedAggProbe : public ProbeOp {
+/// (§5.3's materialization option). Probe-only.
+class MaterializedAggOp : public SeqOp {
  public:
-  MaterializedAggProbe(StreamOpPtr child, AggFunc func, size_t col_index,
-                       TypeId col_type, WindowKind kind, Span out_span)
+  MaterializedAggOp(SeqOpPtr child, AggFunc func, size_t col_index,
+                    TypeId col_type, WindowKind kind, Span out_span)
       : child_(std::move(child)),
         func_(func),
         col_index_(col_index),
@@ -189,10 +188,15 @@ class MaterializedAggProbe : public ProbeOp {
 
   Status Open(ExecContext* ctx) override;
   std::optional<Record> Probe(Position p) override;
+  size_t ProbeBatch(std::span<const Position> positions,
+                    RecordBatch* out) override;
   void Close() override { child_->Close(); }
 
  private:
-  StreamOpPtr child_;
+  // Checkpoint lookup without charging; nullptr at an empty position.
+  const Value* Lookup(Position p) const;
+
+  SeqOpPtr child_;
   AggFunc func_;
   size_t col_index_;
   TypeId col_type_;

@@ -12,14 +12,29 @@ Position BucketOf(Position pos, int64_t factor) {
 
 }  // namespace
 
-Status CollapseStream::Open(ExecContext* ctx) {
+Status CollapseOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   pending_.reset();
   child_done_ = false;
-  return child_->Open(ctx);
+  buckets_.clear();
+  SEQ_RETURN_IF_ERROR(child_->Open(ctx));
+  if (!materialized_) return Status::OK();
+  // Probed mode: fold every bucket now, serve probes by lookup.
+  std::optional<PosRecord> r = child_->Next();
+  while (r.has_value()) {
+    Position bucket = BucketOf(r->pos, factor_);
+    WindowState state(func_, col_type_);
+    while (r.has_value() && BucketOf(r->pos, factor_) == bucket) {
+      state.Add(r->pos, r->rec[col_index_], ctx);
+      r = child_->Next();
+    }
+    ctx->ChargeCompute();
+    buckets_.emplace(bucket, state.Current());
+  }
+  return Status::OK();
 }
 
-std::optional<PosRecord> CollapseStream::Next() {
+std::optional<PosRecord> CollapseOp::Next() {
   if (!pending_.has_value() && !child_done_) {
     pending_ = child_->Next();
     if (!pending_.has_value()) child_done_ = true;
@@ -41,43 +56,39 @@ std::optional<PosRecord> CollapseStream::Next() {
   return PosRecord{bucket, Record{state.Current()}};
 }
 
-Status CollapseProbe::Open(ExecContext* ctx) {
-  ctx_ = ctx;
-  buckets_.clear();
-  SEQ_RETURN_IF_ERROR(child_->Open(ctx));
-  std::optional<PosRecord> r = child_->Next();
-  while (r.has_value()) {
-    Position bucket = BucketOf(r->pos, factor_);
-    WindowState state(func_, col_type_);
-    while (r.has_value() && BucketOf(r->pos, factor_) == bucket) {
-      state.Add(r->pos, r->rec[col_index_], ctx);
-      r = child_->Next();
-    }
-    ctx->ChargeCompute();
-    buckets_.emplace(bucket, state.Current());
-  }
-  return Status::OK();
-}
-
-std::optional<Record> CollapseProbe::Probe(Position p) {
+std::optional<Record> CollapseOp::Probe(Position p) {
   auto it = buckets_.find(p);
   if (it == buckets_.end()) return std::nullopt;
   ctx_->ChargeCacheHit();
   return Record{it->second};
 }
 
-Status ExpandStream::Open(ExecContext* ctx) {
+size_t CollapseOp::ProbeBatch(std::span<const Position> positions,
+                              RecordBatch* out) {
+  out->Clear();
+  for (Position p : positions) {
+    auto it = buckets_.find(p);
+    if (it == buckets_.end()) continue;
+    Record& dst = out->Append(p);
+    dst.resize(1);
+    dst[0] = it->second;
+  }
+  ctx_->ChargeCacheHits(static_cast<int64_t>(out->size()));
+  return out->size();
+}
+
+Status ExpandOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   current_.reset();
   next_pos_ = required_.start;
   return child_->Open(ctx);
 }
 
-std::optional<PosRecord> ExpandStream::Next() {
+std::optional<PosRecord> ExpandOp::Next() {
   return NextAtOrAfter(next_pos_);
 }
 
-std::optional<PosRecord> ExpandStream::NextAtOrAfter(Position p) {
+std::optional<PosRecord> ExpandOp::NextAtOrAfter(Position p) {
   if (required_.IsEmpty()) return std::nullopt;
   if (p < next_pos_) p = next_pos_;
   if (p < required_.start) p = required_.start;
@@ -99,7 +110,7 @@ std::optional<PosRecord> ExpandStream::NextAtOrAfter(Position p) {
   return std::nullopt;
 }
 
-std::optional<Record> ExpandProbe::Probe(Position p) {
+std::optional<Record> ExpandOp::Probe(Position p) {
   ctx_->ChargeCompute();
   return child_->Probe(BucketOf(p, factor_));
 }

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <optional>
+#include <span>
 #include <utility>
 
 #include "exec/operator.h"
@@ -12,101 +13,72 @@
 namespace seq {
 
 /// Collapse to a coarser ordering domain (§5.1): output position b holds
-/// the aggregate of input positions [b·f, (b+1)·f). One pass, emitting a
-/// bucket when the input moves past it.
-class CollapseStream : public StreamOp {
+/// the aggregate of input positions [b·f, (b+1)·f). One operator, two
+/// evaluation shapes chosen at construction: stream mode folds buckets in
+/// a single pass, emitting a bucket when the input moves past it; probed
+/// mode (`materialized = true`) folds ALL buckets into a map at Open and
+/// serves probes by lookup — the input is consumed either way, so the
+/// executor hands it a stream-built child in both modes.
+class CollapseOp : public SeqOp {
  public:
-  CollapseStream(StreamOpPtr child, AggFunc func, size_t col_index,
-                 TypeId col_type, int64_t factor, Span required)
+  CollapseOp(SeqOpPtr child, AggFunc func, size_t col_index, TypeId col_type,
+             int64_t factor, Span required, bool materialized)
       : child_(std::move(child)),
         func_(func),
         col_index_(col_index),
         col_type_(col_type),
         factor_(factor),
-        required_(required) {}
+        required_(required),
+        materialized_(materialized) {}
 
   Status Open(ExecContext* ctx) override;
   std::optional<PosRecord> Next() override;
+  std::optional<Record> Probe(Position p) override;
+  size_t ProbeBatch(std::span<const Position> positions,
+                    RecordBatch* out) override;
   void Close() override { child_->Close(); }
 
  private:
-  StreamOpPtr child_;
+  SeqOpPtr child_;
   AggFunc func_;
   size_t col_index_;
   TypeId col_type_;
   int64_t factor_;
   Span required_;
+  bool materialized_;
   ExecContext* ctx_ = nullptr;
 
   std::optional<PosRecord> pending_;
   bool child_done_ = false;
-};
-
-/// Probed-mode collapse: materializes all buckets in one input pass.
-class CollapseProbe : public ProbeOp {
- public:
-  CollapseProbe(StreamOpPtr child, AggFunc func, size_t col_index,
-                TypeId col_type, int64_t factor)
-      : child_(std::move(child)),
-        func_(func),
-        col_index_(col_index),
-        col_type_(col_type),
-        factor_(factor) {}
-
-  Status Open(ExecContext* ctx) override;
-  std::optional<Record> Probe(Position p) override;
-  void Close() override { child_->Close(); }
-
- private:
-  StreamOpPtr child_;
-  AggFunc func_;
-  size_t col_index_;
-  TypeId col_type_;
-  int64_t factor_;
-  ExecContext* ctx_ = nullptr;
-
-  std::map<Position, Value> buckets_;
+  std::map<Position, Value> buckets_;  // probed-mode materialization
 };
 
 /// Expand to a finer ordering domain (§5.1): out(i) = in(floor(i/f)).
-/// Stream mode replicates each input record over its f output positions.
-class ExpandStream : public StreamOp {
+/// Stream access replicates each input record over its f output
+/// positions; probed access probes the input once at floor(p/f). The
+/// executor builds the child in the matching mode. Probes at the same
+/// bucket repeat as output positions walk through it, so ProbeBatch stays
+/// on the per-probe default adapter — the repeated child probes are
+/// exactly what the tuple path charges.
+class ExpandOp : public SeqOp {
  public:
-  ExpandStream(StreamOpPtr child, int64_t factor, Span required)
+  ExpandOp(SeqOpPtr child, int64_t factor, Span required)
       : child_(std::move(child)), factor_(factor), required_(required) {}
 
   Status Open(ExecContext* ctx) override;
   std::optional<PosRecord> Next() override;
   std::optional<PosRecord> NextAtOrAfter(Position p) override;
+  std::optional<Record> Probe(Position p) override;
   void Close() override { child_->Close(); }
 
  private:
-  StreamOpPtr child_;
+  SeqOpPtr child_;
   int64_t factor_;
   Span required_;
   ExecContext* ctx_ = nullptr;
 
   std::optional<PosRecord> current_;  // input record being replicated
   Position next_pos_ = 0;
-};
-
-/// Probed expand: one input probe at floor(p / f).
-class ExpandProbe : public ProbeOp {
- public:
-  ExpandProbe(ProbeOpPtr child, int64_t factor)
-      : child_(std::move(child)), factor_(factor) {}
-
-  Status Open(ExecContext* ctx) override {
-    ctx_ = ctx;
-    return child_->Open(ctx);
-  }
-  std::optional<Record> Probe(Position p) override;
-  void Close() override { child_->Close(); }
-
- private:
-  ProbeOpPtr child_;
-  int64_t factor_;
-  ExecContext* ctx_ = nullptr;
 };
 
 }  // namespace seq

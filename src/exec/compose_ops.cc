@@ -16,11 +16,20 @@ Record Combine(Record&& left, Record&& right) {
   return out;
 }
 
+/// Batch-path variant: assembles the join row directly into a batch slot,
+/// reusing the slot's value buffer.
+void CombineInto(Record* dst, Record& first, Record& second) {
+  dst->resize(first.size() + second.size());
+  size_t k = 0;
+  for (Value& v : first) (*dst)[k++] = std::move(v);
+  for (Value& v : second) (*dst)[k++] = std::move(v);
+}
+
 }  // namespace
 
-// --- ComposeLockstepStream --------------------------------------------------
+// --- ComposeLockstepOp ------------------------------------------------------
 
-Status ComposeLockstepStream::Open(ExecContext* ctx) {
+Status ComposeLockstepOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   done_ = false;
   l_.reset();
@@ -35,7 +44,7 @@ Status ComposeLockstepStream::Open(ExecContext* ctx) {
   return right_->Open(ctx);
 }
 
-std::optional<PosRecord> ComposeLockstepStream::Advance(
+std::optional<PosRecord> ComposeLockstepOp::Advance(
     const Position* at_or_after) {
   if (done_) return std::nullopt;
   // Refresh or re-seek the two pending records.
@@ -77,21 +86,22 @@ std::optional<PosRecord> ComposeLockstepStream::Advance(
   return std::nullopt;
 }
 
-// --- ComposeStreamProbe -----------------------------------------------------
+// --- ComposeStreamProbeOp ---------------------------------------------------
 
-Status ComposeStreamProbe::Open(ExecContext* ctx) {
+Status ComposeStreamProbeOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   if (predicate_ != nullptr) {
     SEQ_ASSIGN_OR_RETURN(
         CompiledExpr compiled,
         CompiledExpr::CompilePredicate(predicate_, *out_schema_));
     compiled_ = std::move(compiled);
+    compiled_->InitScratch(&scratch_);
   }
   SEQ_RETURN_IF_ERROR(driver_->Open(ctx));
   return other_->Open(ctx);
 }
 
-std::optional<PosRecord> ComposeStreamProbe::TryJoin(PosRecord d) {
+std::optional<PosRecord> ComposeStreamProbeOp::TryJoin(PosRecord d) {
   std::optional<Record> o = other_->Probe(d.pos);
   if (!o.has_value()) return std::nullopt;
   Record combined = driver_is_left_
@@ -105,7 +115,7 @@ std::optional<PosRecord> ComposeStreamProbe::TryJoin(PosRecord d) {
   return PosRecord{d.pos, std::move(combined)};
 }
 
-std::optional<PosRecord> ComposeStreamProbe::Next() {
+std::optional<PosRecord> ComposeStreamProbeOp::Next() {
   while (true) {
     std::optional<PosRecord> d = driver_->Next();
     if (!d.has_value()) return std::nullopt;
@@ -114,7 +124,7 @@ std::optional<PosRecord> ComposeStreamProbe::Next() {
   }
 }
 
-std::optional<PosRecord> ComposeStreamProbe::NextAtOrAfter(Position p) {
+std::optional<PosRecord> ComposeStreamProbeOp::NextAtOrAfter(Position p) {
   std::optional<PosRecord> d = driver_->NextAtOrAfter(p);
   while (d.has_value()) {
     std::optional<PosRecord> joined = TryJoin(std::move(*d));
@@ -124,21 +134,68 @@ std::optional<PosRecord> ComposeStreamProbe::NextAtOrAfter(Position p) {
   return std::nullopt;
 }
 
-// --- ComposeProbeBoth -------------------------------------------------------
+size_t ComposeStreamProbeOp::NextBatch(RecordBatch* out) {
+  out->Clear();
+  if (driver_batch_ == nullptr) {
+    driver_batch_ = std::make_unique<RecordBatch>(out->capacity());
+    probe_batch_ = std::make_unique<RecordBatch>(out->capacity());
+  }
+  // Tuple parity: the other side is probed at EVERY driver position (a
+  // probe miss charges inside the child, exactly as Probe would); the join
+  // predicate is charged once per positional match, compute once per
+  // passing row. A batch whose matches are all rejected just pulls the
+  // next driver batch, so 0 still means end of stream.
+  while (true) {
+    size_t n = driver_->NextBatch(driver_batch_.get());
+    if (n == 0) return 0;
+    positions_.resize(n);
+    for (size_t i = 0; i < n; ++i) positions_[i] = driver_batch_->pos(i);
+    size_t m = other_->ProbeBatch(positions_, probe_batch_.get());
+    int64_t hits = 0;
+    int64_t passed = 0;
+    size_t j = 0;
+    for (size_t i = 0; i < n && j < m; ++i) {
+      Position p = driver_batch_->pos(i);
+      if (probe_batch_->pos(j) != p) continue;  // miss: hits are a subset
+      Record& d = driver_batch_->rec(i);
+      Record& o = probe_batch_->rec(j);
+      ++j;
+      ++hits;
+      Record& dst = out->Append(p);
+      if (driver_is_left_) {
+        CombineInto(&dst, d, o);
+      } else {
+        CombineInto(&dst, o, d);
+      }
+      if (compiled_.has_value() &&
+          !compiled_->EvalBoolFlat(dst, p, &scratch_)) {
+        out->Truncate(out->size() - 1);
+        continue;
+      }
+      ++passed;
+    }
+    if (compiled_.has_value()) ctx_->ChargePredicates(/*join=*/true, hits);
+    ctx_->ChargeComputeN(passed);
+    if (out->size() > 0) return out->size();
+  }
+}
 
-Status ComposeProbeBoth::Open(ExecContext* ctx) {
+// --- ComposeProbeBothOp -----------------------------------------------------
+
+Status ComposeProbeBothOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   if (predicate_ != nullptr) {
     SEQ_ASSIGN_OR_RETURN(
         CompiledExpr compiled,
         CompiledExpr::CompilePredicate(predicate_, *out_schema_));
     compiled_ = std::move(compiled);
+    compiled_->InitScratch(&scratch_);
   }
   SEQ_RETURN_IF_ERROR(left_->Open(ctx));
   return right_->Open(ctx);
 }
 
-std::optional<Record> ComposeProbeBoth::Probe(Position p) {
+std::optional<Record> ComposeProbeBothOp::Probe(Position p) {
   std::optional<Record> l;
   std::optional<Record> r;
   if (probe_left_first_) {
@@ -159,6 +216,49 @@ std::optional<Record> ComposeProbeBoth::Probe(Position p) {
   }
   ctx_->ChargeCompute();
   return combined;
+}
+
+size_t ComposeProbeBothOp::ProbeBatch(std::span<const Position> positions,
+                                      RecordBatch* out) {
+  out->Clear();
+  if (batch_a_ == nullptr) {
+    batch_a_ = std::make_unique<RecordBatch>(out->capacity());
+    batch_b_ = std::make_unique<RecordBatch>(out->capacity());
+  }
+  SeqOp* first = probe_left_first_ ? left_.get() : right_.get();
+  SeqOp* second = probe_left_first_ ? right_.get() : left_.get();
+  // Short-circuit parity: the second side is probed only at the first
+  // side's hit positions, exactly like the tuple path.
+  size_t na = first->ProbeBatch(positions, batch_a_.get());
+  if (na == 0) return 0;
+  positions2_.resize(na);
+  for (size_t i = 0; i < na; ++i) positions2_[i] = batch_a_->pos(i);
+  size_t nb = second->ProbeBatch(positions2_, batch_b_.get());
+  int64_t both = 0;
+  int64_t passed = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < na && j < nb; ++i) {
+    Position p = batch_a_->pos(i);
+    if (batch_b_->pos(j) != p) continue;  // second side missed
+    Record& a = batch_a_->rec(i);
+    Record& b = batch_b_->rec(j);
+    ++j;
+    ++both;
+    Record& dst = out->Append(p);
+    if (probe_left_first_) {
+      CombineInto(&dst, a, b);
+    } else {
+      CombineInto(&dst, b, a);
+    }
+    if (compiled_.has_value() && !compiled_->EvalBoolFlat(dst, p, &scratch_)) {
+      out->Truncate(out->size() - 1);
+      continue;
+    }
+    ++passed;
+  }
+  if (compiled_.has_value()) ctx_->ChargePredicates(/*join=*/true, both);
+  ctx_->ChargeComputeN(passed);
+  return out->size();
 }
 
 }  // namespace seq

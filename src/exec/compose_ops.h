@@ -1,8 +1,11 @@
 #ifndef SEQ_EXEC_COMPOSE_OPS_H_
 #define SEQ_EXEC_COMPOSE_OPS_H_
 
+#include <memory>
 #include <optional>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "exec/operator.h"
 #include "expr/compiled_expr.h"
@@ -12,11 +15,11 @@ namespace seq {
 /// Join-Strategy-B (§3.3): stream both inputs in lock step, joining at
 /// common positions — the sort-merge analogue from the paper's motivating
 /// example. Uses NextAtOrAfter so dense inputs (value offsets, constants)
-/// are skipped through in O(1).
-class ComposeLockstepStream : public StreamOp {
+/// are skipped through in O(1). Stream-only.
+class ComposeLockstepOp : public SeqOp {
  public:
-  ComposeLockstepStream(StreamOpPtr left, StreamOpPtr right,
-                        ExprPtr predicate, SchemaPtr out_schema)
+  ComposeLockstepOp(SeqOpPtr left, SeqOpPtr right, ExprPtr predicate,
+                    SchemaPtr out_schema)
       : left_(std::move(left)),
         right_(std::move(right)),
         predicate_(std::move(predicate)),
@@ -48,8 +51,8 @@ class ComposeLockstepStream : public StreamOp {
  private:
   std::optional<PosRecord> Advance(const Position* at_or_after);
 
-  StreamOpPtr left_;
-  StreamOpPtr right_;
+  SeqOpPtr left_;
+  SeqOpPtr right_;
   ExprPtr predicate_;
   SchemaPtr out_schema_;
   std::optional<CompiledExpr> compiled_;
@@ -60,15 +63,17 @@ class ComposeLockstepStream : public StreamOp {
   bool done_ = false;
 };
 
-/// Join-Strategy-A (§3.3): stream one input and probe the other at each of
-/// its record positions.
-class ComposeStreamProbe : public StreamOp {
+/// Join-Strategy-A (§3.3): stream one input (the driver) and probe the
+/// other at each of its record positions. The native NextBatch pulls the
+/// driver a batch at a time and probes the other side through ProbeBatch
+/// at the driver's (strictly increasing) positions — the same probe set
+/// as the tuple path, so AccessStats totals are identical.
+class ComposeStreamProbeOp : public SeqOp {
  public:
   /// `driver_is_left`: the streamed child is the compose's left input
   /// (controls output field order).
-  ComposeStreamProbe(StreamOpPtr driver, ProbeOpPtr other,
-                     bool driver_is_left, ExprPtr predicate,
-                     SchemaPtr out_schema)
+  ComposeStreamProbeOp(SeqOpPtr driver, SeqOpPtr other, bool driver_is_left,
+                       ExprPtr predicate, SchemaPtr out_schema)
       : driver_(std::move(driver)),
         other_(std::move(other)),
         driver_is_left_(driver_is_left),
@@ -78,6 +83,7 @@ class ComposeStreamProbe : public StreamOp {
   Status Open(ExecContext* ctx) override;
   std::optional<PosRecord> Next() override;
   std::optional<PosRecord> NextAtOrAfter(Position p) override;
+  size_t NextBatch(RecordBatch* out) override;
   void Close() override {
     driver_->Close();
     other_->Close();
@@ -86,21 +92,29 @@ class ComposeStreamProbe : public StreamOp {
  private:
   std::optional<PosRecord> TryJoin(PosRecord d);
 
-  StreamOpPtr driver_;
-  ProbeOpPtr other_;
+  SeqOpPtr driver_;
+  SeqOpPtr other_;
   bool driver_is_left_;
   ExprPtr predicate_;
   SchemaPtr out_schema_;
   std::optional<CompiledExpr> compiled_;
   ExecContext* ctx_ = nullptr;
+  ExprScratch scratch_;
+
+  // Reusable batch-path buffers, allocated lazily at the output capacity.
+  std::unique_ptr<RecordBatch> driver_batch_;
+  std::unique_ptr<RecordBatch> probe_batch_;
+  std::vector<Position> positions_;
 };
 
 /// Probed-mode compose: probe one side (the cheaper rejector first), then
-/// the other.
-class ComposeProbeBoth : public ProbeOp {
+/// the other only on a hit. The native ProbeBatch preserves the
+/// short-circuit — the second side sees only the first side's hit
+/// positions — so the probe sets (and charges) match the tuple path.
+class ComposeProbeBothOp : public SeqOp {
  public:
-  ComposeProbeBoth(ProbeOpPtr left, ProbeOpPtr right, bool probe_left_first,
-                   ExprPtr predicate, SchemaPtr out_schema)
+  ComposeProbeBothOp(SeqOpPtr left, SeqOpPtr right, bool probe_left_first,
+                     ExprPtr predicate, SchemaPtr out_schema)
       : left_(std::move(left)),
         right_(std::move(right)),
         probe_left_first_(probe_left_first),
@@ -109,19 +123,26 @@ class ComposeProbeBoth : public ProbeOp {
 
   Status Open(ExecContext* ctx) override;
   std::optional<Record> Probe(Position p) override;
+  size_t ProbeBatch(std::span<const Position> positions,
+                    RecordBatch* out) override;
   void Close() override {
     left_->Close();
     right_->Close();
   }
 
  private:
-  ProbeOpPtr left_;
-  ProbeOpPtr right_;
+  SeqOpPtr left_;
+  SeqOpPtr right_;
   bool probe_left_first_;
   ExprPtr predicate_;
   SchemaPtr out_schema_;
   std::optional<CompiledExpr> compiled_;
   ExecContext* ctx_ = nullptr;
+  ExprScratch scratch_;
+
+  std::unique_ptr<RecordBatch> batch_a_;  // first-probed side's hits
+  std::unique_ptr<RecordBatch> batch_b_;  // second side's hits
+  std::vector<Position> positions2_;      // first side's hit positions
 };
 
 }  // namespace seq

@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <sstream>
+#include <string_view>
 
 #include "common/logging.h"
 #include "exec/agg_ops.h"
-#include "exec/profiled_ops.h"
 #include "exec/collapse_ops.h"
 #include "exec/compose_ops.h"
 #include "exec/offset_ops.h"
+#include "exec/profiled_ops.h"
 #include "exec/scan_ops.h"
 #include "exec/unary_ops.h"
 
@@ -56,229 +58,189 @@ OperatorProfile* AddProfileNode(OperatorProfile* parent,
 
 }  // namespace
 
-Result<StreamOpPtr> Executor::BuildStream(
-    const PhysNodePtr& node, OperatorProfile* profile_parent) const {
-  if (profile_parent == nullptr) return BuildStreamInner(node, nullptr);
+bool DefaultUseBatch() {
+  static const bool kUseBatch = [] {
+    const char* env = std::getenv("SEQ_USE_BATCH");
+    return env == nullptr || std::string_view(env) != "0";
+  }();
+  return kUseBatch;
+}
+
+Result<SeqOpPtr> Executor::Build(const PhysNodePtr& node,
+                                 OperatorProfile* profile_parent) const {
+  if (profile_parent == nullptr) return BuildInner(node, nullptr);
   SEQ_CHECK(node != nullptr);
   OperatorProfile* prof = AddProfileNode(profile_parent, *node);
-  SEQ_ASSIGN_OR_RETURN(StreamOpPtr inner, BuildStreamInner(node, prof));
-  return StreamOpPtr(new ProfiledStreamOp(std::move(inner), prof));
+  SEQ_ASSIGN_OR_RETURN(SeqOpPtr inner, BuildInner(node, prof));
+  return SeqOpPtr(new ProfiledOp(std::move(inner), prof));
 }
 
-Result<ProbeOpPtr> Executor::BuildProbe(
-    const PhysNodePtr& node, OperatorProfile* profile_parent) const {
-  if (profile_parent == nullptr) return BuildProbeInner(node, nullptr);
+Result<SeqOpPtr> Executor::BuildInner(const PhysNodePtr& node,
+                                      OperatorProfile* prof) const {
   SEQ_CHECK(node != nullptr);
-  OperatorProfile* prof = AddProfileNode(profile_parent, *node);
-  SEQ_ASSIGN_OR_RETURN(ProbeOpPtr inner, BuildProbeInner(node, prof));
-  return ProbeOpPtr(new ProfiledProbeOp(std::move(inner), prof));
+  // The lowering table: one builder per OpKind, in enum order. The access
+  // mode no longer selects between operator classes — each unified
+  // operator serves the mode(s) its plan shape supports — so the only
+  // per-node dispatch left is this kind lookup plus the node's strategy
+  // annotations inside each builder.
+  using BuildFn = Result<SeqOpPtr> (Executor::*)(const PhysNode&,
+                                                 OperatorProfile*) const;
+  static constexpr BuildFn kLowering[] = {
+      &Executor::BuildBaseRef,      // OpKind::kBaseRef
+      &Executor::BuildConstantRef,  // OpKind::kConstantRef
+      &Executor::BuildSelect,       // OpKind::kSelect
+      &Executor::BuildProject,      // OpKind::kProject
+      &Executor::BuildPosOffset,    // OpKind::kPositionalOffset
+      &Executor::BuildValueOffset,  // OpKind::kValueOffset
+      &Executor::BuildWindowAgg,    // OpKind::kWindowAgg
+      &Executor::BuildCompose,      // OpKind::kCompose
+      &Executor::BuildCollapse,     // OpKind::kCollapse
+      &Executor::BuildExpand,       // OpKind::kExpand
+  };
+  const size_t kind = static_cast<size_t>(node->op);
+  SEQ_CHECK_MSG(kind < std::size(kLowering),
+                "unknown operator kind in plan: " << OpKindName(node->op));
+  return (this->*kLowering[kind])(*node, prof);
 }
 
-Result<StreamOpPtr> Executor::BuildStreamInner(const PhysNodePtr& node,
-                                               OperatorProfile* prof) const {
-  SEQ_CHECK(node != nullptr);
-  SEQ_CHECK_MSG(node->mode == AccessMode::kStream,
-                "BuildStream on a probed-mode node "
-                    << OpKindName(node->op));
-  switch (node->op) {
-    case OpKind::kBaseRef: {
-      SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
-                           catalog_.Lookup(node->seq_name));
-      return StreamOpPtr(
-          new BaseStreamScan(entry->store.get(), node->required));
-    }
-    case OpKind::kConstantRef: {
-      SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
-                           catalog_.Lookup(node->seq_name));
-      return StreamOpPtr(new ConstantStream(entry->constant, node->required));
-    }
-    case OpKind::kSelect: {
-      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0], prof));
-      return StreamOpPtr(new SelectStream(std::move(child), node->predicate,
-                                          node->children[0]->out_schema));
-    }
-    case OpKind::kProject: {
-      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0], prof));
-      SEQ_ASSIGN_OR_RETURN(
-          std::vector<size_t> indices,
-          ProjectIndices(*node, *node->children[0]->out_schema));
-      return StreamOpPtr(new ProjectStream(std::move(child),
-                                           std::move(indices)));
-    }
-    case OpKind::kPositionalOffset: {
-      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0], prof));
-      return StreamOpPtr(new PosOffsetStream(std::move(child), node->offset));
-    }
-    case OpKind::kValueOffset: {
-      if (node->offset_strategy == OffsetStrategy::kIncrementalCacheB) {
-        SEQ_ASSIGN_OR_RETURN(StreamOpPtr child,
-                             BuildStream(node->children[0], prof));
-        return StreamOpPtr(new ValueOffsetStream(std::move(child),
-                                                 node->offset,
-                                                 node->required));
-      }
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0], prof));
-      return StreamOpPtr(new ValueOffsetNaiveStream(
-          std::move(child), node->offset, node->required,
-          node->children[0]->required));
-    }
-    case OpKind::kWindowAgg: {
-      SEQ_ASSIGN_OR_RETURN(AggBinding binding, BindAggColumn(*node));
-      switch (node->window_kind) {
-        case WindowKind::kTrailing:
-          if (node->agg_strategy == AggStrategy::kCacheA) {
-            SEQ_ASSIGN_OR_RETURN(StreamOpPtr child,
-                                 BuildStream(node->children[0], prof));
-            return StreamOpPtr(new WindowAggCachedStream(
-                std::move(child), node->agg_func, binding.col_index,
-                binding.col_type, node->window, node->required));
-          } else {
-            SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child,
-                                 BuildProbe(node->children[0], prof));
-            return StreamOpPtr(new WindowAggNaiveStream(
-                std::move(child), node->agg_func, binding.col_index,
-                binding.col_type, node->window, node->required));
-          }
-        case WindowKind::kRunning: {
-          SEQ_ASSIGN_OR_RETURN(StreamOpPtr child,
-                               BuildStream(node->children[0], prof));
-          return StreamOpPtr(new RunningAggStream(
-              std::move(child), node->agg_func, binding.col_index,
-              binding.col_type, node->required));
-        }
-        case WindowKind::kAll: {
-          SEQ_ASSIGN_OR_RETURN(StreamOpPtr child,
-                               BuildStream(node->children[0], prof));
-          return StreamOpPtr(new OverallAggStream(
-              std::move(child), node->agg_func, binding.col_index,
-              binding.col_type, node->required));
-        }
-      }
-      return Status::Internal("unknown window kind");
-    }
-    case OpKind::kCompose: {
-      switch (node->join_strategy) {
-        case JoinStrategy::kStreamBoth: {
-          SEQ_ASSIGN_OR_RETURN(StreamOpPtr left,
-                               BuildStream(node->children[0], prof));
-          SEQ_ASSIGN_OR_RETURN(StreamOpPtr right,
-                               BuildStream(node->children[1], prof));
-          return StreamOpPtr(new ComposeLockstepStream(
-              std::move(left), std::move(right), node->predicate,
-              node->out_schema));
-        }
-        case JoinStrategy::kStreamLeftProbeRight: {
-          SEQ_ASSIGN_OR_RETURN(StreamOpPtr driver,
-                               BuildStream(node->children[0], prof));
-          SEQ_ASSIGN_OR_RETURN(ProbeOpPtr other,
-                               BuildProbe(node->children[1], prof));
-          return StreamOpPtr(new ComposeStreamProbe(
-              std::move(driver), std::move(other), /*driver_is_left=*/true,
-              node->predicate, node->out_schema));
-        }
-        case JoinStrategy::kStreamRightProbeLeft: {
-          SEQ_ASSIGN_OR_RETURN(ProbeOpPtr other,
-                               BuildProbe(node->children[0], prof));
-          SEQ_ASSIGN_OR_RETURN(StreamOpPtr driver,
-                               BuildStream(node->children[1], prof));
-          return StreamOpPtr(new ComposeStreamProbe(
-              std::move(driver), std::move(other), /*driver_is_left=*/false,
-              node->predicate, node->out_schema));
-        }
-        case JoinStrategy::kProbeBoth:
-          return Status::Internal("probe-both compose in a stream plan");
-      }
-      return Status::Internal("unknown join strategy");
-    }
-    case OpKind::kCollapse: {
-      SEQ_ASSIGN_OR_RETURN(AggBinding binding, BindAggColumn(*node));
-      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0], prof));
-      return StreamOpPtr(new CollapseStream(
-          std::move(child), node->agg_func, binding.col_index,
-          binding.col_type, node->offset, node->required));
-    }
-    case OpKind::kExpand: {
-      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0], prof));
-      return StreamOpPtr(new ExpandStream(std::move(child), node->offset,
-                                          node->required));
-    }
+Result<SeqOpPtr> Executor::BuildBaseRef(const PhysNode& node,
+                                        OperatorProfile*) const {
+  SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
+                       catalog_.Lookup(node.seq_name));
+  return SeqOpPtr(new BaseScan(entry->store.get(), node.required));
+}
+
+Result<SeqOpPtr> Executor::BuildConstantRef(const PhysNode& node,
+                                            OperatorProfile*) const {
+  SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
+                       catalog_.Lookup(node.seq_name));
+  return SeqOpPtr(new ConstantOp(entry->constant, node.required));
+}
+
+Result<SeqOpPtr> Executor::BuildSelect(const PhysNode& node,
+                                       OperatorProfile* prof) const {
+  SEQ_ASSIGN_OR_RETURN(SeqOpPtr child, Build(node.children[0], prof));
+  return SeqOpPtr(new SelectOp(std::move(child), node.predicate,
+                               node.children[0]->out_schema));
+}
+
+Result<SeqOpPtr> Executor::BuildProject(const PhysNode& node,
+                                        OperatorProfile* prof) const {
+  SEQ_ASSIGN_OR_RETURN(SeqOpPtr child, Build(node.children[0], prof));
+  SEQ_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                       ProjectIndices(node, *node.children[0]->out_schema));
+  return SeqOpPtr(new ProjectOp(std::move(child), std::move(indices)));
+}
+
+Result<SeqOpPtr> Executor::BuildPosOffset(const PhysNode& node,
+                                          OperatorProfile* prof) const {
+  SEQ_ASSIGN_OR_RETURN(SeqOpPtr child, Build(node.children[0], prof));
+  return SeqOpPtr(new PosOffsetOp(std::move(child), node.offset));
+}
+
+Result<SeqOpPtr> Executor::BuildValueOffset(const PhysNode& node,
+                                            OperatorProfile* prof) const {
+  SEQ_ASSIGN_OR_RETURN(SeqOpPtr child, Build(node.children[0], prof));
+  if (node.offset_strategy == OffsetStrategy::kIncrementalCacheB) {
+    // Streamed child in both modes: the incremental cache consumes the
+    // input in order whether the consumer streams or probes monotonically.
+    return SeqOpPtr(
+        new ValueOffsetOp(std::move(child), node.offset, node.required));
   }
-  return Status::Internal("unknown operator kind in stream plan");
+  // Naive search over a probed child.
+  return SeqOpPtr(new ValueOffsetNaiveOp(std::move(child), node.offset,
+                                         node.required,
+                                         node.children[0]->required));
 }
 
-Result<ProbeOpPtr> Executor::BuildProbeInner(const PhysNodePtr& node,
-                                             OperatorProfile* prof) const {
-  SEQ_CHECK(node != nullptr);
-  SEQ_CHECK_MSG(node->mode == AccessMode::kProbed,
-                "BuildProbe on a stream-mode node " << OpKindName(node->op));
-  switch (node->op) {
-    case OpKind::kBaseRef: {
-      SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
-                           catalog_.Lookup(node->seq_name));
-      return ProbeOpPtr(new BaseProbeScan(entry->store.get()));
-    }
-    case OpKind::kConstantRef: {
-      SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
-                           catalog_.Lookup(node->seq_name));
-      return ProbeOpPtr(new ConstantProbe(entry->constant));
-    }
-    case OpKind::kSelect: {
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0], prof));
-      return ProbeOpPtr(new SelectProbe(std::move(child), node->predicate,
-                                        node->children[0]->out_schema));
-    }
-    case OpKind::kProject: {
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0], prof));
-      SEQ_ASSIGN_OR_RETURN(
-          std::vector<size_t> indices,
-          ProjectIndices(*node, *node->children[0]->out_schema));
-      return ProbeOpPtr(new ProjectProbe(std::move(child),
-                                         std::move(indices)));
-    }
-    case OpKind::kPositionalOffset: {
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0], prof));
-      return ProbeOpPtr(new PosOffsetProbe(std::move(child), node->offset));
-    }
-    case OpKind::kValueOffset: {
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0], prof));
-      return ProbeOpPtr(new ValueOffsetNaiveProbe(
-          std::move(child), node->offset, node->children[0]->required));
-    }
-    case OpKind::kWindowAgg: {
-      SEQ_ASSIGN_OR_RETURN(AggBinding binding, BindAggColumn(*node));
-      if (node->window_kind == WindowKind::kTrailing) {
-        SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0], prof));
-        return ProbeOpPtr(new WindowAggNaiveProbe(
-            std::move(child), node->agg_func, binding.col_index,
-            binding.col_type, node->window));
+Result<SeqOpPtr> Executor::BuildWindowAgg(const PhysNode& node,
+                                          OperatorProfile* prof) const {
+  SEQ_ASSIGN_OR_RETURN(AggBinding binding, BindAggColumn(node));
+  SEQ_ASSIGN_OR_RETURN(SeqOpPtr child, Build(node.children[0], prof));
+  switch (node.window_kind) {
+    case WindowKind::kTrailing:
+      if (node.mode == AccessMode::kStream &&
+          node.agg_strategy == AggStrategy::kCacheA) {
+        return SeqOpPtr(new WindowAggCachedOp(
+            std::move(child), node.agg_func, binding.col_index,
+            binding.col_type, node.window, node.required));
       }
-      // Running/overall: the planner supplies a stream child to
-      // materialize from.
-      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0], prof));
-      return ProbeOpPtr(new MaterializedAggProbe(
-          std::move(child), node->agg_func, binding.col_index,
-          binding.col_type, node->window_kind, node->out_span));
-    }
-    case OpKind::kCompose: {
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr left, BuildProbe(node->children[0], prof));
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr right, BuildProbe(node->children[1], prof));
-      return ProbeOpPtr(new ComposeProbeBoth(
-          std::move(left), std::move(right), node->probe_left_first,
-          node->predicate, node->out_schema));
-    }
-    case OpKind::kCollapse: {
-      SEQ_ASSIGN_OR_RETURN(AggBinding binding, BindAggColumn(*node));
-      SEQ_ASSIGN_OR_RETURN(StreamOpPtr child, BuildStream(node->children[0], prof));
-      return ProbeOpPtr(new CollapseProbe(std::move(child), node->agg_func,
-                                          binding.col_index, binding.col_type,
-                                          node->offset));
-    }
-    case OpKind::kExpand: {
-      SEQ_ASSIGN_OR_RETURN(ProbeOpPtr child, BuildProbe(node->children[0], prof));
-      return ProbeOpPtr(new ExpandProbe(std::move(child), node->offset));
-    }
+      // Naive window probing, streamed or probed (probed child).
+      return SeqOpPtr(new WindowAggNaiveOp(
+          std::move(child), node.agg_func, binding.col_index,
+          binding.col_type, node.window, node.required));
+    case WindowKind::kRunning:
+      if (node.mode == AccessMode::kProbed) {
+        return SeqOpPtr(new MaterializedAggOp(
+            std::move(child), node.agg_func, binding.col_index,
+            binding.col_type, node.window_kind, node.out_span));
+      }
+      return SeqOpPtr(new RunningAggOp(std::move(child), node.agg_func,
+                                       binding.col_index, binding.col_type,
+                                       node.required));
+    case WindowKind::kAll:
+      if (node.mode == AccessMode::kProbed) {
+        return SeqOpPtr(new MaterializedAggOp(
+            std::move(child), node.agg_func, binding.col_index,
+            binding.col_type, node.window_kind, node.out_span));
+      }
+      return SeqOpPtr(new OverallAggOp(std::move(child), node.agg_func,
+                                       binding.col_index, binding.col_type,
+                                       node.required));
   }
-  return Status::Internal("unknown operator kind in probed plan");
+  return Status::Internal("unknown window kind");
+}
+
+Result<SeqOpPtr> Executor::BuildCompose(const PhysNode& node,
+                                        OperatorProfile* prof) const {
+  if (node.mode == AccessMode::kProbed) {
+    SEQ_ASSIGN_OR_RETURN(SeqOpPtr left, Build(node.children[0], prof));
+    SEQ_ASSIGN_OR_RETURN(SeqOpPtr right, Build(node.children[1], prof));
+    return SeqOpPtr(new ComposeProbeBothOp(
+        std::move(left), std::move(right), node.probe_left_first,
+        node.predicate, node.out_schema));
+  }
+  switch (node.join_strategy) {
+    case JoinStrategy::kStreamBoth: {
+      SEQ_ASSIGN_OR_RETURN(SeqOpPtr left, Build(node.children[0], prof));
+      SEQ_ASSIGN_OR_RETURN(SeqOpPtr right, Build(node.children[1], prof));
+      return SeqOpPtr(new ComposeLockstepOp(std::move(left), std::move(right),
+                                            node.predicate, node.out_schema));
+    }
+    case JoinStrategy::kStreamLeftProbeRight: {
+      SEQ_ASSIGN_OR_RETURN(SeqOpPtr driver, Build(node.children[0], prof));
+      SEQ_ASSIGN_OR_RETURN(SeqOpPtr other, Build(node.children[1], prof));
+      return SeqOpPtr(new ComposeStreamProbeOp(
+          std::move(driver), std::move(other), /*driver_is_left=*/true,
+          node.predicate, node.out_schema));
+    }
+    case JoinStrategy::kStreamRightProbeLeft: {
+      SEQ_ASSIGN_OR_RETURN(SeqOpPtr other, Build(node.children[0], prof));
+      SEQ_ASSIGN_OR_RETURN(SeqOpPtr driver, Build(node.children[1], prof));
+      return SeqOpPtr(new ComposeStreamProbeOp(
+          std::move(driver), std::move(other), /*driver_is_left=*/false,
+          node.predicate, node.out_schema));
+    }
+    case JoinStrategy::kProbeBoth:
+      return Status::Internal("probe-both compose in a stream plan");
+  }
+  return Status::Internal("unknown join strategy");
+}
+
+Result<SeqOpPtr> Executor::BuildCollapse(const PhysNode& node,
+                                         OperatorProfile* prof) const {
+  SEQ_ASSIGN_OR_RETURN(AggBinding binding, BindAggColumn(node));
+  SEQ_ASSIGN_OR_RETURN(SeqOpPtr child, Build(node.children[0], prof));
+  return SeqOpPtr(new CollapseOp(
+      std::move(child), node.agg_func, binding.col_index, binding.col_type,
+      node.offset, node.required,
+      /*materialized=*/node.mode == AccessMode::kProbed));
+}
+
+Result<SeqOpPtr> Executor::BuildExpand(const PhysNode& node,
+                                       OperatorProfile* prof) const {
+  SEQ_ASSIGN_OR_RETURN(SeqOpPtr child, Build(node.children[0], prof));
+  return SeqOpPtr(new ExpandOp(std::move(child), node.offset, node.required));
 }
 
 Result<QueryResult> Executor::Execute(const PhysicalPlan& plan,
@@ -296,9 +258,10 @@ Status Executor::ExecuteVisit(const PhysicalPlan& plan, const RowSink& sink,
   ctx.stats = stats;
   ctx.params = params_;
 
+  SEQ_ASSIGN_OR_RETURN(SeqOpPtr root, Build(plan.root, nullptr));
+  SEQ_RETURN_IF_ERROR(root->Open(&ctx));
+
   if (plan.root_mode == AccessMode::kStream) {
-    SEQ_ASSIGN_OR_RETURN(StreamOpPtr root, BuildStream(plan.root, nullptr));
-    SEQ_RETURN_IF_ERROR(root->Open(&ctx));
     const Span range = plan.output_span;
     if (!range.IsEmpty() && options_.use_batch && plan.positions.empty()) {
       // Batch driving: rows are visited in their pipeline slot buffers —
@@ -339,21 +302,48 @@ Status Executor::ExecuteVisit(const PhysicalPlan& plan, const RowSink& sink,
     return Status::OK();
   }
 
-  SEQ_ASSIGN_OR_RETURN(ProbeOpPtr root, BuildProbe(plan.root, nullptr));
-  SEQ_RETURN_IF_ERROR(root->Open(&ctx));
-  auto probe_one = [&](Position p) {
-    std::optional<Record> r = root->Probe(p);
-    if (r.has_value()) {
-      sink(p, *r);
-      if (stats != nullptr) ++stats->records_output;
+  // Probed driving.
+  if (options_.use_batch) {
+    RecordBatch batch(options_.batch_capacity);
+    auto probe_chunk = [&](std::span<const Position> chunk) {
+      size_t n = root->ProbeBatch(chunk, &batch);
+      for (size_t i = 0; i < n; ++i) sink(batch.pos(i), batch.rec(i));
+      if (stats != nullptr) stats->records_output += static_cast<int64_t>(n);
+    };
+    if (!plan.positions.empty()) {
+      std::span<const Position> all(plan.positions);
+      for (size_t off = 0; off < all.size(); off += options_.batch_capacity) {
+        probe_chunk(all.subspan(
+            off, std::min(options_.batch_capacity, all.size() - off)));
+      }
+    } else if (!plan.output_span.IsEmpty()) {
+      std::vector<Position> chunk;
+      chunk.reserve(options_.batch_capacity);
+      Position p = plan.output_span.start;
+      while (p <= plan.output_span.end) {
+        chunk.clear();
+        while (chunk.size() < options_.batch_capacity &&
+               p <= plan.output_span.end) {
+          chunk.push_back(p++);
+        }
+        probe_chunk(chunk);
+      }
     }
-  };
-  if (!plan.positions.empty()) {
-    for (Position p : plan.positions) probe_one(p);
-  } else if (!plan.output_span.IsEmpty()) {
-    for (Position p = plan.output_span.start; p <= plan.output_span.end;
-         ++p) {
-      probe_one(p);
+  } else {
+    auto probe_one = [&](Position p) {
+      std::optional<Record> r = root->Probe(p);
+      if (r.has_value()) {
+        sink(p, *r);
+        if (stats != nullptr) ++stats->records_output;
+      }
+    };
+    if (!plan.positions.empty()) {
+      for (Position p : plan.positions) probe_one(p);
+    } else if (!plan.output_span.IsEmpty()) {
+      for (Position p = plan.output_span.start; p <= plan.output_span.end;
+           ++p) {
+        probe_one(p);
+      }
     }
   }
   root->Close();
@@ -428,9 +418,10 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
   QueryResult result;
   result.schema = plan.schema;
 
+  SEQ_ASSIGN_OR_RETURN(SeqOpPtr root, Build(plan.root, root_profile));
+  SEQ_RETURN_IF_ERROR(root->Open(&ctx));
+
   if (plan.root_mode == AccessMode::kStream) {
-    SEQ_ASSIGN_OR_RETURN(StreamOpPtr root, BuildStream(plan.root, root_profile));
-    SEQ_RETURN_IF_ERROR(root->Open(&ctx));
     const Span range = plan.output_span;
     // Pre-size the result from the optimizer's row estimate (capped so a
     // wild overestimate cannot balloon the allocation).
@@ -490,22 +481,56 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
   }
 
   // Probed driving (Fig. 6): probe the requested positions, or every
-  // position of the range when none were listed.
-  SEQ_ASSIGN_OR_RETURN(ProbeOpPtr root, BuildProbe(plan.root, root_profile));
-  SEQ_RETURN_IF_ERROR(root->Open(&ctx));
-  auto probe_one = [&](Position p) {
-    std::optional<Record> r = root->Probe(p);
-    if (r.has_value()) {
-      result.records.push_back(PosRecord{p, std::move(*r)});
-      if (stats != nullptr) ++stats->records_output;
+  // position of the range when none were listed. Batch driving chunks the
+  // (strictly ascending) position list through ProbeBatch; the probe sets
+  // are identical to the tuple loop, so AccessStats parity holds here for
+  // the same reason it does on the stream side.
+  if (options_.use_batch) {
+    RecordBatch batch(options_.batch_capacity);
+    auto probe_chunk = [&](std::span<const Position> chunk) {
+      size_t n = root->ProbeBatch(chunk, &batch);
+      for (size_t i = 0; i < n; ++i) {
+        result.records.emplace_back();
+        PosRecord& pr = result.records.back();
+        pr.pos = batch.pos(i);
+        MoveRecordValues(pr.rec, batch.rec(i));
+      }
+      if (stats != nullptr) stats->records_output += static_cast<int64_t>(n);
+    };
+    if (!plan.positions.empty()) {
+      std::span<const Position> all(plan.positions);
+      for (size_t off = 0; off < all.size(); off += options_.batch_capacity) {
+        probe_chunk(all.subspan(
+            off, std::min(options_.batch_capacity, all.size() - off)));
+      }
+    } else if (!plan.output_span.IsEmpty()) {
+      std::vector<Position> chunk;
+      chunk.reserve(options_.batch_capacity);
+      Position p = plan.output_span.start;
+      while (p <= plan.output_span.end) {
+        chunk.clear();
+        while (chunk.size() < options_.batch_capacity &&
+               p <= plan.output_span.end) {
+          chunk.push_back(p++);
+        }
+        probe_chunk(chunk);
+      }
     }
-  };
-  if (!plan.positions.empty()) {
-    for (Position p : plan.positions) probe_one(p);
-  } else if (!plan.output_span.IsEmpty()) {
-    for (Position p = plan.output_span.start; p <= plan.output_span.end;
-         ++p) {
-      probe_one(p);
+  } else {
+    auto probe_one = [&](Position p) {
+      std::optional<Record> r = root->Probe(p);
+      if (r.has_value()) {
+        result.records.push_back(PosRecord{p, std::move(*r)});
+        if (stats != nullptr) ++stats->records_output;
+      }
+    };
+    if (!plan.positions.empty()) {
+      for (Position p : plan.positions) probe_one(p);
+    } else if (!plan.output_span.IsEmpty()) {
+      for (Position p = plan.output_span.start; p <= plan.output_span.end;
+           ++p) {
+        probe_one(p);
+      }
     }
   }
   root->Close();

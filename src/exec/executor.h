@@ -30,15 +30,22 @@ struct QueryResult {
 /// batch, so a sink that wants to keep a row must copy it.
 using RowSink = std::function<void(Position, const Record&)>;
 
+/// Process-wide default for ExecOptions::use_batch: true unless the
+/// environment variable SEQ_USE_BATCH is set to "0". Lets the full test
+/// suite be re-run under tuple driving without code changes.
+bool DefaultUseBatch();
+
 /// Runtime knobs for the Start operator's driving loop.
 struct ExecOptions {
-  /// Drive stream plans batch-at-a-time (StreamOp::NextBatch). Probed
-  /// plans and point-position queries always use the tuple path. Setting
-  /// this false forces tuple-at-a-time driving everywhere — the debugging
-  /// and differential-testing baseline. Both paths produce identical rows
-  /// and identical AccessStats counters (simulated_cost may differ in the
+  /// Drive plans batch-at-a-time: NextBatch for stream roots, ProbeBatch
+  /// for probed roots (including point-position probed queries). Stream
+  /// plans answering point-position queries use the tuple path — the scan
+  /// filter is positional, not batch-shaped. Setting this false forces
+  /// tuple-at-a-time driving everywhere — the debugging and
+  /// differential-testing baseline. Both paths produce identical rows and
+  /// identical AccessStats counters (simulated_cost may differ in the
   /// last few ulps from summation order).
-  bool use_batch = true;
+  bool use_batch = DefaultUseBatch();
   /// Capacity of the driver's RecordBatch and of every BatchInput buffer
   /// allocated beneath it.
   size_t batch_capacity = RecordBatch::kDefaultCapacity;
@@ -76,21 +83,44 @@ class Executor {
                                       QueryProfile* profile,
                                       AccessStats* stats = nullptr) const;
 
-  /// Operator-tree factories, exposed for tests and benchmarks that build
-  /// custom plans. When `profile_parent` is non-null the returned tree is
-  /// instrumented and its profile nodes are appended under it.
-  Result<StreamOpPtr> BuildStream(const PhysNodePtr& node,
-                                  OperatorProfile* profile_parent =
-                                      nullptr) const;
-  Result<ProbeOpPtr> BuildProbe(const PhysNodePtr& node,
-                                OperatorProfile* profile_parent =
-                                    nullptr) const;
+  /// Operator-tree factory, exposed for tests and benchmarks that build
+  /// custom plans. One table-driven pass lowers the PhysNode tree — each
+  /// node's access mode and strategy annotations select the unified
+  /// operator's construction shape; the caller drives the returned root
+  /// in the plan's root mode. When `profile_parent` is non-null the
+  /// returned tree is instrumented and its profile nodes are appended
+  /// under it.
+  Result<SeqOpPtr> Build(const PhysNodePtr& node,
+                         OperatorProfile* profile_parent = nullptr) const;
 
  private:
-  Result<StreamOpPtr> BuildStreamInner(const PhysNodePtr& node,
-                                       OperatorProfile* prof) const;
-  Result<ProbeOpPtr> BuildProbeInner(const PhysNodePtr& node,
-                                     OperatorProfile* prof) const;
+  Result<SeqOpPtr> BuildInner(const PhysNodePtr& node,
+                              OperatorProfile* prof) const;
+
+  // One builder per OpKind, dispatched through a table indexed by the
+  // enum value so optimizer node kinds and executor lowering stay in
+  // one-to-one correspondence.
+  Result<SeqOpPtr> BuildBaseRef(const PhysNode& node,
+                                OperatorProfile* prof) const;
+  Result<SeqOpPtr> BuildConstantRef(const PhysNode& node,
+                                    OperatorProfile* prof) const;
+  Result<SeqOpPtr> BuildSelect(const PhysNode& node,
+                               OperatorProfile* prof) const;
+  Result<SeqOpPtr> BuildProject(const PhysNode& node,
+                                OperatorProfile* prof) const;
+  Result<SeqOpPtr> BuildPosOffset(const PhysNode& node,
+                                  OperatorProfile* prof) const;
+  Result<SeqOpPtr> BuildValueOffset(const PhysNode& node,
+                                    OperatorProfile* prof) const;
+  Result<SeqOpPtr> BuildWindowAgg(const PhysNode& node,
+                                  OperatorProfile* prof) const;
+  Result<SeqOpPtr> BuildCompose(const PhysNode& node,
+                                OperatorProfile* prof) const;
+  Result<SeqOpPtr> BuildCollapse(const PhysNode& node,
+                                 OperatorProfile* prof) const;
+  Result<SeqOpPtr> BuildExpand(const PhysNode& node,
+                               OperatorProfile* prof) const;
+
   Result<QueryResult> ExecuteImpl(const PhysicalPlan& plan,
                                   AccessStats* stats,
                                   OperatorProfile* root_profile) const;

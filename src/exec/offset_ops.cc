@@ -6,26 +6,28 @@
 
 namespace seq {
 
-Status ValueOffsetStream::Open(ExecContext* ctx) {
+Status ValueOffsetOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   next_pos_ = required_.start;
   child_done_ = false;
   pending_.reset();
   cache_.clear();
+  input_.Reset();
+  last_probe_pos_ = kMinPosition;
   return child_->Open(ctx);
 }
 
-void ValueOffsetStream::Fill() {
+void ValueOffsetOp::Fill() {
   if (child_done_ || pending_.has_value()) return;
   pending_ = child_->Next();
   if (!pending_.has_value()) child_done_ = true;
 }
 
-std::optional<PosRecord> ValueOffsetStream::Next() {
+std::optional<PosRecord> ValueOffsetOp::Next() {
   return NextAtOrAfter(next_pos_);
 }
 
-std::optional<PosRecord> ValueOffsetStream::NextAtOrAfter(Position p) {
+std::optional<PosRecord> ValueOffsetOp::NextAtOrAfter(Position p) {
   if (required_.IsEmpty()) return std::nullopt;
   if (p < next_pos_) p = next_pos_;
   if (p < required_.start) p = required_.start;
@@ -78,62 +80,150 @@ std::optional<PosRecord> ValueOffsetStream::NextAtOrAfter(Position p) {
   return std::nullopt;
 }
 
-// The batch path batches only the (dense) output side. The child is still
-// pulled record-at-a-time through Fill(): a value offset's lookahead may
-// stop consuming its input mid-stream once the required range is served,
-// and prefetching child records in batch granularity would over-read the
-// input relative to the tuple path, breaking AccessStats parity.
-size_t ValueOffsetStream::NextBatch(RecordBatch* out) {
+// Batches both sides. The child is pulled through a BatchInput cursor
+// bounded by NextBatchUpTo: a value offset must not prefetch past what the
+// tuple path would read, and the include-overshoot bound reproduces the
+// tuple path's one-record look-ahead exactly — the consumed input set (and
+// therefore every AccessStats counter) is identical in both driving modes.
+size_t ValueOffsetOp::NextBatch(RecordBatch* out) {
   out->Clear();
   if (required_.IsEmpty()) return 0;
   Position p = next_pos_;
   if (p < required_.start) p = required_.start;
   const size_t magnitude = static_cast<size_t>(std::abs(offset_));
+  const size_t cap = out->capacity();
+  int64_t stores = 0;
 
   if (offset_ < 0) {
+    // The tuple path consumes inputs strictly before required_.end plus
+    // one look-ahead record at/past it; limit = end - 1 gives the same.
+    const Position limit = required_.end - 1;
     while (!out->full() && p <= required_.end) {
-      Fill();
-      while (pending_.has_value() && pending_->pos < p) {
-        cache_.push_back(std::move(*pending_));
-        ctx_->ChargeCacheStore();
+      bool have = input_.Ready(child_.get(), cap, limit);
+      while (have && input_.pos() < p) {
+        cache_.emplace_back();
+        PosRecord& slot = cache_.back();
+        slot.pos = input_.pos();
+        MoveRecordValues(slot.rec, input_.rec());
+        ++stores;
         if (cache_.size() > magnitude) cache_.pop_front();
-        pending_.reset();
-        Fill();
+        input_.Consume();
+        have = input_.Ready(child_.get(), cap, limit);
       }
       if (cache_.size() == magnitude) {
-        ctx_->ChargeCacheHit();
         AssignRecord(out->Append(p), cache_.front().rec);
         ++p;
         continue;
       }
-      if (!pending_.has_value()) break;
-      p = pending_->pos + 1;
+      if (!have) break;
+      p = input_.pos() + 1;
     }
     next_pos_ = p;
+    ctx_->ChargeCacheStores(stores);
+    ctx_->ChargeCacheHits(static_cast<int64_t>(out->size()));
     return out->size();
   }
 
+  // offset_ > 0: the look-ahead consumes inputs at positions <= end plus
+  // exactly `magnitude` records past it — past the limit the bounded pull
+  // degrades to one record per refill, so the look-ahead stops at the same
+  // input record as the tuple path.
+  const Position limit = required_.end;
   while (!out->full() && p <= required_.end) {
     while (!cache_.empty() && cache_.front().pos <= p) cache_.pop_front();
     while (cache_.size() < magnitude) {
-      Fill();
-      if (!pending_.has_value()) break;
-      if (pending_->pos > p) {
-        cache_.push_back(std::move(*pending_));
-        ctx_->ChargeCacheStore();
+      if (!input_.Ready(child_.get(), cap, limit)) break;
+      if (input_.pos() > p) {
+        cache_.emplace_back();
+        PosRecord& slot = cache_.back();
+        slot.pos = input_.pos();
+        MoveRecordValues(slot.rec, input_.rec());
+        ++stores;
       }
-      pending_.reset();
+      input_.Consume();
     }
     if (cache_.size() < magnitude) break;
-    ctx_->ChargeCacheHit();
     AssignRecord(out->Append(p), cache_[magnitude - 1].rec);
     ++p;
   }
   next_pos_ = p;
+  ctx_->ChargeCacheStores(stores);
+  ctx_->ChargeCacheHits(static_cast<int64_t>(out->size()));
   return out->size();
 }
 
-std::optional<Record> ValueOffsetNaiveProbe::Probe(Position p) {
+void ValueOffsetOp::RewindProbes() {
+  // A consumer regressed its probe position. The incremental state only
+  // moves forward, so restart the child and replay deterministically —
+  // the same reset happens under Probe and ProbeBatch driving, so the
+  // paths still charge identically (just more than a monotone consumer
+  // would; the planner avoids handing this operator to one).
+  child_->Close();
+  Status reopened = child_->Open(ctx_);
+  SEQ_CHECK_MSG(reopened.ok(), "value-offset child reopen failed");
+  pending_.reset();
+  child_done_ = false;
+  cache_.clear();
+  last_probe_pos_ = kMinPosition;
+}
+
+const Record* ValueOffsetOp::ProbeStep(Position p, int64_t* stores) {
+  if (p < last_probe_pos_) RewindProbes();
+  last_probe_pos_ = p;
+  const size_t magnitude = static_cast<size_t>(std::abs(offset_));
+
+  if (offset_ < 0) {
+    Fill();
+    while (pending_.has_value() && pending_->pos < p) {
+      cache_.push_back(std::move(*pending_));
+      ++*stores;
+      if (cache_.size() > magnitude) cache_.pop_front();
+      pending_.reset();
+      Fill();
+    }
+    // Repeat probes of the same position re-run this advance with nothing
+    // left to consume, so they are idempotent and answer from the cache.
+    if (cache_.size() < magnitude) return nullptr;
+    return &cache_.front().rec;
+  }
+
+  while (!cache_.empty() && cache_.front().pos <= p) cache_.pop_front();
+  while (cache_.size() < magnitude) {
+    Fill();
+    if (!pending_.has_value()) break;
+    if (pending_->pos > p) {
+      cache_.push_back(std::move(*pending_));
+      ++*stores;
+    }
+    pending_.reset();
+  }
+  if (cache_.size() < magnitude) return nullptr;
+  return &cache_[magnitude - 1].rec;
+}
+
+std::optional<Record> ValueOffsetOp::Probe(Position p) {
+  int64_t stores = 0;
+  const Record* r = ProbeStep(p, &stores);
+  ctx_->ChargeCacheStores(stores);
+  if (r == nullptr) return std::nullopt;
+  ctx_->ChargeCacheHit();
+  return *r;
+}
+
+size_t ValueOffsetOp::ProbeBatch(std::span<const Position> positions,
+                                 RecordBatch* out) {
+  out->Clear();
+  int64_t stores = 0;
+  for (Position p : positions) {
+    const Record* r = ProbeStep(p, &stores);
+    if (r != nullptr) AssignRecord(out->Append(p), *r);
+  }
+  ctx_->ChargeCacheStores(stores);
+  ctx_->ChargeCacheHits(static_cast<int64_t>(out->size()));
+  return out->size();
+}
+
+std::optional<Record> ValueOffsetNaiveOp::Search(Position p) {
   if (child_span_.IsEmpty()) return std::nullopt;
   int64_t magnitude = std::abs(offset_);
   int64_t found = 0;
@@ -151,13 +241,35 @@ std::optional<Record> ValueOffsetNaiveProbe::Probe(Position p) {
   return std::nullopt;
 }
 
-std::optional<PosRecord> ValueOffsetNaiveStream::Next() {
+std::optional<PosRecord> ValueOffsetNaiveOp::Next() {
   while (next_pos_ <= required_.end) {
     Position p = next_pos_++;
-    std::optional<Record> r = search_.Probe(p);
+    std::optional<Record> r = Search(p);
     if (r.has_value()) return PosRecord{p, std::move(*r)};
   }
   return std::nullopt;
+}
+
+size_t ValueOffsetNaiveOp::NextBatch(RecordBatch* out) {
+  // Every access charge lives in the child probes the search performs, so
+  // the batch fill loop charges exactly what the same tuple walk would.
+  out->Clear();
+  while (!out->full() && next_pos_ <= required_.end) {
+    Position p = next_pos_++;
+    std::optional<Record> r = Search(p);
+    if (r.has_value()) MoveRecordValues(out->Append(p), *r);
+  }
+  return out->size();
+}
+
+size_t ValueOffsetNaiveOp::ProbeBatch(std::span<const Position> positions,
+                                      RecordBatch* out) {
+  out->Clear();
+  for (Position p : positions) {
+    std::optional<Record> r = Search(p);
+    if (r.has_value()) MoveRecordValues(out->Append(p), *r);
+  }
+  return out->size();
 }
 
 }  // namespace seq

@@ -3,6 +3,7 @@
 
 #include <deque>
 #include <optional>
+#include <span>
 #include <utility>
 
 #include "exec/operator.h"
@@ -15,24 +16,44 @@ namespace seq {
 /// how sparse the input is. Output is dense — defined at every position of
 /// the required range once enough history exists — so NextAtOrAfter jumps
 /// in O(1) plus input catch-up.
-class ValueOffsetStream : public StreamOp {
+///
+/// Both access modes run the same incremental advance:
+///  * stream mode walks the required range; NextBatch pulls the child in
+///    batch granularity bounded by NextBatchUpTo so the input is never
+///    over-read relative to the tuple path (AccessStats parity);
+///  * probed mode serves monotone non-decreasing probes — the §4.2 probed
+///    discipline the executor drives (positions are validated ascending).
+///    The child is consumed incrementally as probes advance; a regressing
+///    probe (a non-monotone consumer the planner failed to detect) is
+///    handled defensively by rewinding the child, identically in both
+///    driving modes.
+class ValueOffsetOp : public SeqOp {
  public:
   /// `offset` < 0: |offset|-th most recent input strictly before i;
   /// `offset` > 0: offset-th next input strictly after i.
-  ValueOffsetStream(StreamOpPtr child, int64_t offset, Span required)
+  ValueOffsetOp(SeqOpPtr child, int64_t offset, Span required)
       : child_(std::move(child)), offset_(offset), required_(required) {}
 
   Status Open(ExecContext* ctx) override;
   std::optional<PosRecord> Next() override;
   std::optional<PosRecord> NextAtOrAfter(Position p) override;
   size_t NextBatch(RecordBatch* out) override;
+  std::optional<Record> Probe(Position p) override;
+  size_t ProbeBatch(std::span<const Position> positions,
+                    RecordBatch* out) override;
   void Close() override { child_->Close(); }
 
  private:
   // Pulls the child's next record into pending_ if empty.
   void Fill();
+  // Advances the incremental state to probe position `p` and returns the
+  // answer record (owned by cache_), or nullptr. Counts cache stores into
+  // *stores; the caller charges stores and the hit.
+  const Record* ProbeStep(Position p, int64_t* stores);
+  // Defensive restart for a regressed probe position.
+  void RewindProbes();
 
-  StreamOpPtr child_;
+  SeqOpPtr child_;
   int64_t offset_;
   Span required_;
   ExecContext* ctx_ = nullptr;
@@ -41,49 +62,49 @@ class ValueOffsetStream : public StreamOp {
   bool child_done_ = false;
   std::deque<PosRecord> cache_;  // last |l| consumed (l<0) / lookahead (l>0)
   Position next_pos_ = 0;        // next output position to consider
+  BatchInput input_;             // batched child pull (stream NextBatch)
+  Position last_probe_pos_ = kMinPosition;
 };
 
 /// The naive algorithm for a value offset: from every output position,
-/// probe backward (or forward) through the input until |l| non-empty
-/// positions have been found (§3.5: "repeated retrievals ... and
-/// recomputation"). Used for probed access and as the Fig. 5.B baseline.
-class ValueOffsetNaiveProbe : public ProbeOp {
+/// search backward (or forward) through the input by probing until |l|
+/// non-empty positions have been found (§3.5: "repeated retrievals ...
+/// and recomputation"). Serves both modes over a probed child: probed
+/// access searches from the requested position; stream access (the
+/// ablation plan) walks every position of the required range, searching
+/// from scratch at each. Batch entry points fill loops over the same
+/// search, so no per-row record allocation survives batch driving.
+class ValueOffsetNaiveOp : public SeqOp {
  public:
-  ValueOffsetNaiveProbe(ProbeOpPtr child, int64_t offset, Span child_span)
-      : child_(std::move(child)), offset_(offset), child_span_(child_span) {}
-
-  Status Open(ExecContext* ctx) override { return child_->Open(ctx); }
-  std::optional<Record> Probe(Position p) override;
-  void Close() override { child_->Close(); }
-
- private:
-  ProbeOpPtr child_;
-  int64_t offset_;
-  Span child_span_;
-};
-
-/// Naive search exposed as a stream (the ablation plan): walks every
-/// position of the required range, searching from scratch at each.
-class ValueOffsetNaiveStream : public StreamOp {
- public:
-  ValueOffsetNaiveStream(ProbeOpPtr child, int64_t offset, Span required,
-                         Span child_span)
-      : search_(std::move(child), offset, child_span), required_(required) {}
+  ValueOffsetNaiveOp(SeqOpPtr child, int64_t offset, Span required,
+                     Span child_span)
+      : child_(std::move(child)),
+        offset_(offset),
+        required_(required),
+        child_span_(child_span) {}
 
   Status Open(ExecContext* ctx) override {
     next_pos_ = required_.start;
-    return search_.Open(ctx);
+    return child_->Open(ctx);
   }
   std::optional<PosRecord> Next() override;
   std::optional<PosRecord> NextAtOrAfter(Position p) override {
     if (p > next_pos_) next_pos_ = p;
     return Next();
   }
-  void Close() override { search_.Close(); }
+  size_t NextBatch(RecordBatch* out) override;
+  std::optional<Record> Probe(Position p) override { return Search(p); }
+  size_t ProbeBatch(std::span<const Position> positions,
+                    RecordBatch* out) override;
+  void Close() override { child_->Close(); }
 
  private:
-  ValueOffsetNaiveProbe search_;
+  std::optional<Record> Search(Position p);
+
+  SeqOpPtr child_;
+  int64_t offset_;
   Span required_;
+  Span child_span_;
   Position next_pos_ = 0;
 };
 

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <optional>
+#include <span>
 #include <utility>
 
 #include "exec/operator.h"
@@ -52,13 +53,17 @@ class ScopedOpTimer {
   int64_t cache_stores_before_ = 0;
 };
 
-/// Instrumented stream operator: counts calls and rows and attributes wall
-/// time and simulated-cost deltas to its profile node. Only instantiated
-/// when profiling was requested — unprofiled plans run the bare operators,
-/// so the default path pays nothing.
-class ProfiledStreamOp : public StreamOp {
+/// Instrumented operator: counts calls and rows and attributes wall time
+/// and simulated-cost deltas to its profile node, forwarding every entry
+/// point of the unified interface. Batch calls are forwarded whole —
+/// unwrapping to tuple calls here would both distort the measurement and
+/// defeat the inner operators' native batch implementations. `calls`
+/// counts calls (a batch call counts once); rows_out counts records. Only
+/// instantiated when profiling was requested — unprofiled plans run the
+/// bare operators, so the default path pays nothing.
+class ProfiledOp : public SeqOp {
  public:
-  ProfiledStreamOp(StreamOpPtr inner, OperatorProfile* prof)
+  ProfiledOp(SeqOpPtr inner, OperatorProfile* prof)
       : inner_(std::move(inner)), prof_(prof) {}
 
   Status Open(ExecContext* ctx) override {
@@ -85,10 +90,6 @@ class ProfiledStreamOp : public StreamOp {
     return r;
   }
 
-  /// Forwards whole batches so the batch path survives under profiling —
-  /// unwrapping to tuple calls here would both distort the measurement and
-  /// defeat the inner operators' native batch implementations. `calls`
-  /// counts batch calls; rows_out still counts records.
   size_t NextBatch(RecordBatch* out) override {
     ScopedOpTimer timer(prof_, stats_);
     ++prof_->calls;
@@ -97,27 +98,12 @@ class ProfiledStreamOp : public StreamOp {
     return n;
   }
 
-  void Close() override {
+  size_t NextBatchUpTo(Position limit, RecordBatch* out) override {
     ScopedOpTimer timer(prof_, stats_);
-    inner_->Close();
-  }
-
- private:
-  StreamOpPtr inner_;
-  OperatorProfile* prof_;
-  const AccessStats* stats_ = nullptr;
-};
-
-/// Instrumented probed operator; see ProfiledStreamOp.
-class ProfiledProbeOp : public ProbeOp {
- public:
-  ProfiledProbeOp(ProbeOpPtr inner, OperatorProfile* prof)
-      : inner_(std::move(inner)), prof_(prof) {}
-
-  Status Open(ExecContext* ctx) override {
-    stats_ = ctx->stats;
-    ScopedOpTimer timer(prof_, stats_);
-    return inner_->Open(ctx);
+    ++prof_->calls;
+    size_t n = inner_->NextBatchUpTo(limit, out);
+    prof_->rows_out += static_cast<int64_t>(n);
+    return n;
   }
 
   std::optional<Record> Probe(Position p) override {
@@ -128,13 +114,22 @@ class ProfiledProbeOp : public ProbeOp {
     return r;
   }
 
+  size_t ProbeBatch(std::span<const Position> positions,
+                    RecordBatch* out) override {
+    ScopedOpTimer timer(prof_, stats_);
+    ++prof_->calls;
+    size_t n = inner_->ProbeBatch(positions, out);
+    prof_->rows_out += static_cast<int64_t>(n);
+    return n;
+  }
+
   void Close() override {
     ScopedOpTimer timer(prof_, stats_);
     inner_->Close();
   }
 
  private:
-  ProbeOpPtr inner_;
+  SeqOpPtr inner_;
   OperatorProfile* prof_;
   const AccessStats* stats_ = nullptr;
 };

@@ -2,6 +2,7 @@
 #define SEQ_EXEC_SCAN_OPS_H_
 
 #include <optional>
+#include <span>
 #include <utility>
 
 #include "exec/operator.h"
@@ -9,14 +10,17 @@
 
 namespace seq {
 
-/// Stream access path over a base sequence: a single scan of the required
-/// range in position order.
-class BaseStreamScan : public StreamOp {
+/// Access to a base sequence in either mode: stream access is a single
+/// cursor scan of the required range in position order; probed access is
+/// the store's positional index. Both batch entry points loop the store's
+/// non-virtual access paths directly.
+class BaseScan : public SeqOp {
  public:
-  BaseStreamScan(const BaseSequenceStore* store, Span range)
+  BaseScan(const BaseSequenceStore* store, Span range)
       : store_(store), range_(range) {}
 
   Status Open(ExecContext* ctx) override {
+    ctx_ = ctx;
     cursor_.emplace(store_->OpenStream(range_, ctx->stats));
     return Status::OK();
   }
@@ -27,37 +31,39 @@ class BaseStreamScan : public StreamOp {
     return cursor_->FillBatch(out);
   }
 
- private:
-  const BaseSequenceStore* store_;
-  Span range_;
-  std::optional<BaseSequenceStore::StreamCursor> cursor_;
-};
-
-/// Probed access path over a base sequence (positional index).
-class BaseProbeScan : public ProbeOp {
- public:
-  explicit BaseProbeScan(const BaseSequenceStore* store) : store_(store) {}
-
-  Status Open(ExecContext* ctx) override {
-    ctx_ = ctx;
-    return Status::OK();
+  size_t NextBatchUpTo(Position limit, RecordBatch* out) override {
+    return cursor_->FillBatchUpTo(limit, out);
   }
 
   std::optional<Record> Probe(Position p) override {
     return store_->Probe(p, ctx_->stats);
   }
 
+  size_t ProbeBatch(std::span<const Position> positions,
+                    RecordBatch* out) override {
+    out->Clear();
+    AccessStats* stats = ctx_->stats;
+    for (Position p : positions) {
+      std::optional<Record> r = store_->Probe(p, stats);
+      if (r.has_value()) MoveRecordValues(out->Append(p), *r);
+    }
+    return out->size();
+  }
+
  private:
   const BaseSequenceStore* store_;
+  Span range_;
   ExecContext* ctx_ = nullptr;
+  std::optional<BaseSequenceStore::StreamCursor> cursor_;
 };
 
-/// A constant sequence: the same record at every position of the required
-/// range, with no access cost (§4.1.1). Overrides NextAtOrAfter so
-/// lock-step joins skip over it in O(1).
-class ConstantStream : public StreamOp {
+/// A constant sequence: the same record at every position, with no access
+/// cost (§4.1.1). Stream access is bounded by the required range;
+/// probed access answers at ANY position (a constant is everywhere).
+/// Overrides NextAtOrAfter so lock-step joins skip over it in O(1).
+class ConstantOp : public SeqOp {
  public:
-  ConstantStream(Record value, Span range)
+  ConstantOp(Record value, Span range)
       : value_(std::move(value)), range_(range) {}
 
   Status Open(ExecContext*) override {
@@ -84,22 +90,19 @@ class ConstantStream : public StreamOp {
     return out->size();
   }
 
+  std::optional<Record> Probe(Position) override { return value_; }
+
+  size_t ProbeBatch(std::span<const Position> positions,
+                    RecordBatch* out) override {
+    out->Clear();
+    for (Position p : positions) AssignRecord(out->Append(p), value_);
+    return out->size();
+  }
+
  private:
   Record value_;
   Span range_;
   Position next_pos_ = 0;
-};
-
-class ConstantProbe : public ProbeOp {
- public:
-  explicit ConstantProbe(Record value) : value_(std::move(value)) {}
-
-  Status Open(ExecContext*) override { return Status::OK(); }
-
-  std::optional<Record> Probe(Position) override { return value_; }
-
- private:
-  Record value_;
 };
 
 }  // namespace seq

@@ -7,10 +7,12 @@
 namespace seq {
 
 StreamSession::StreamSession(const Catalog* catalog, LogicalOpPtr graph,
-                             OptimizerOptions options, int64_t max_lookback)
+                             OptimizerOptions options, int64_t max_lookback,
+                             ExecOptions exec_options)
     : catalog_(catalog),
       graph_(std::move(graph)),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      exec_options_(exec_options) {
   // Derive the replay window from the query's composed scope over its
   // leaves (Prop. 2.1): the farthest look-back of any bounded scope. The
   // evaluation itself is driven by exact required-span propagation, so
@@ -74,7 +76,7 @@ Result<std::vector<PosRecord>> StreamSession::Poll(AccessStats* stats) {
   query.graph = graph_;
   query.range = Span::Of(from, frontier);
   SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, optimizer.Optimize(query));
-  Executor executor(*catalog_, options_.cost_params);
+  Executor executor(*catalog_, options_.cost_params, exec_options_);
   SEQ_ASSIGN_OR_RETURN(QueryResult result, executor.Execute(plan, stats));
   high_water_ = frontier;
   return std::move(result.records);

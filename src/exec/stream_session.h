@@ -29,9 +29,11 @@ namespace seq {
 class StreamSession {
  public:
   /// `catalog` must outlive the session; `max_lookback` bounds the replay
-  /// window for operators with unbounded scope.
+  /// window for operators with unbounded scope. `exec_options` controls
+  /// how each Poll drives its plan (batch vs tuple, batch capacity).
   StreamSession(const Catalog* catalog, LogicalOpPtr graph,
-                OptimizerOptions options = {}, int64_t max_lookback = 1024);
+                OptimizerOptions options = {}, int64_t max_lookback = 1024,
+                ExecOptions exec_options = {});
 
   /// Appends an arriving record to a registered base sequence. Positions
   /// must increase per sequence (enforced by the store).
@@ -53,6 +55,7 @@ class StreamSession {
   const Catalog* catalog_;
   LogicalOpPtr graph_;
   OptimizerOptions options_;
+  ExecOptions exec_options_;
   int64_t lookback_ = 0;
   int64_t lead_ = 0;  // how far output may precede the earliest input
   Position high_water_ = kMinPosition;

@@ -27,7 +27,7 @@ size_t CompactIntCmp(RecordBatch* out, size_t n, size_t field, int64_t lit,
 
 }  // namespace
 
-Status SelectStream::Open(ExecContext* ctx) {
+Status SelectOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   SEQ_ASSIGN_OR_RETURN(CompiledExpr compiled,
                        CompiledExpr::CompilePredicate(predicate_, *in_schema_));
@@ -37,7 +37,7 @@ Status SelectStream::Open(ExecContext* ctx) {
   return child_->Open(ctx);
 }
 
-std::optional<PosRecord> SelectStream::Next() {
+std::optional<PosRecord> SelectOp::Next() {
   while (true) {
     std::optional<PosRecord> r = child_->Next();
     if (!r.has_value()) return std::nullopt;
@@ -46,7 +46,7 @@ std::optional<PosRecord> SelectStream::Next() {
   }
 }
 
-std::optional<PosRecord> SelectStream::NextAtOrAfter(Position p) {
+std::optional<PosRecord> SelectOp::NextAtOrAfter(Position p) {
   std::optional<PosRecord> r = child_->NextAtOrAfter(p);
   while (r.has_value()) {
     ctx_->ChargePredicate(/*join=*/false);
@@ -56,7 +56,7 @@ std::optional<PosRecord> SelectStream::NextAtOrAfter(Position p) {
   return std::nullopt;
 }
 
-size_t SelectStream::NextBatch(RecordBatch* out) {
+size_t SelectOp::NextBatch(RecordBatch* out) {
   // Filters in place: the child fills `out` and the passing rows are
   // compacted to the front by swapping slot buffers, so dropped slots keep
   // their buffers for the child's next refill. A fully-filtered child
@@ -77,7 +77,47 @@ size_t SelectStream::NextBatch(RecordBatch* out) {
   }
 }
 
-size_t SelectStream::FilterGeneric(RecordBatch* out, size_t n) {
+size_t SelectOp::NextBatchUpTo(Position limit, RecordBatch* out) {
+  // Same in-place filter over a bounded child pull. The overshoot row the
+  // child includes may be filtered out; when everything is filtered we
+  // keep pulling — the child serves one record per call past `limit`, so
+  // this walks forward exactly like the tuple path's pull-until-pass loop
+  // and stops at the first *surviving* record past the limit (or end).
+  while (true) {
+    size_t n = child_->NextBatchUpTo(limit, out);
+    if (n == 0) return 0;
+    ctx_->ChargePredicates(/*join=*/false, static_cast<int64_t>(n));
+    size_t kept = simple_.has_value() ? FilterSimple(out, n)
+                                      : FilterGeneric(out, n);
+    if (kept > 0) {
+      out->Truncate(kept);
+      return kept;
+    }
+  }
+}
+
+std::optional<Record> SelectOp::Probe(Position p) {
+  std::optional<Record> r = child_->Probe(p);
+  if (!r.has_value()) return std::nullopt;
+  ctx_->ChargePredicate(/*join=*/false);
+  if (!compiled_->EvalBool(*r, p)) return std::nullopt;
+  return r;
+}
+
+size_t SelectOp::ProbeBatch(std::span<const Position> positions,
+                            RecordBatch* out) {
+  // The child returns hit rows only; the predicate is applied (and
+  // charged) once per hit, exactly as tuple probing does.
+  size_t n = child_->ProbeBatch(positions, out);
+  if (n == 0) return 0;
+  ctx_->ChargePredicates(/*join=*/false, static_cast<int64_t>(n));
+  size_t kept = simple_.has_value() ? FilterSimple(out, n)
+                                    : FilterGeneric(out, n);
+  out->Truncate(kept);
+  return kept;
+}
+
+size_t SelectOp::FilterGeneric(RecordBatch* out, size_t n) {
   size_t kept = 0;
   for (size_t i = 0; i < n; ++i) {
     if (compiled_->EvalBoolFlat(out->rec(i), out->pos(i), &scratch_)) {
@@ -91,7 +131,7 @@ size_t SelectStream::FilterGeneric(RecordBatch* out, size_t n) {
   return kept;
 }
 
-size_t SelectStream::FilterSimple(RecordBatch* out, size_t n) {
+size_t SelectOp::FilterSimple(RecordBatch* out, size_t n) {
   const size_t f = simple_->field_index;
   const int64_t lit = simple_->literal;
   switch (simple_->op) {
@@ -112,51 +152,16 @@ size_t SelectStream::FilterSimple(RecordBatch* out, size_t n) {
   }
 }
 
-Status SelectProbe::Open(ExecContext* ctx) {
-  ctx_ = ctx;
-  SEQ_ASSIGN_OR_RETURN(CompiledExpr compiled,
-                       CompiledExpr::CompilePredicate(predicate_, *in_schema_));
-  compiled_ = std::move(compiled);
-  return child_->Open(ctx);
-}
-
-std::optional<Record> SelectProbe::Probe(Position p) {
-  std::optional<Record> r = child_->Probe(p);
-  if (!r.has_value()) return std::nullopt;
-  ctx_->ChargePredicate(/*join=*/false);
-  if (!compiled_->EvalBool(*r, p)) return std::nullopt;
-  return r;
-}
-
-Record ProjectStream::Map(Record in) const {
+Record ProjectOp::Map(Record in) const {
   Record out;
   out.reserve(indices_.size());
   for (size_t idx : indices_) out.push_back(std::move(in[idx]));
   return out;
 }
 
-std::optional<PosRecord> ProjectStream::Next() {
-  std::optional<PosRecord> r = child_->Next();
-  if (!r.has_value()) return std::nullopt;
-  ctx_->ChargeCompute();
-  return PosRecord{r->pos, Map(std::move(r->rec))};
-}
-
-std::optional<PosRecord> ProjectStream::NextAtOrAfter(Position p) {
-  std::optional<PosRecord> r = child_->NextAtOrAfter(p);
-  if (!r.has_value()) return std::nullopt;
-  ctx_->ChargeCompute();
-  return PosRecord{r->pos, Map(std::move(r->rec))};
-}
-
-size_t ProjectStream::NextBatch(RecordBatch* out) {
-  // 1:1 in-place transform of the batch the child filled: row counts
-  // match, so 0 from the child means end of stream. When every source
-  // index sits at or past its destination (identity and narrowing
-  // projections) values shift left within the row; a permuting projection
-  // stages each row through a scratch record instead.
-  size_t n = child_->NextBatch(out);
-  ctx_->ChargeComputeN(static_cast<int64_t>(n));
+/// In-place projection of the first `n` rows of `out`: left-shift when the
+/// source indices are strictly increasing, scratch staging otherwise.
+void ProjectOp::MapBatchRows(RecordBatch* out, size_t n) {
   const size_t width = indices_.size();
   if (in_place_) {
     for (size_t i = 0; i < n; ++i) {
@@ -166,7 +171,7 @@ size_t ProjectStream::NextBatch(RecordBatch* out) {
       }
       r.resize(width);
     }
-    return n;
+    return;
   }
   for (size_t i = 0; i < n; ++i) {
     Record& r = out->rec(i);
@@ -174,10 +179,39 @@ size_t ProjectStream::NextBatch(RecordBatch* out) {
     for (size_t j = 0; j < width; ++j) tmp_[j] = std::move(r[indices_[j]]);
     r.swap(tmp_);
   }
+}
+
+std::optional<PosRecord> ProjectOp::Next() {
+  std::optional<PosRecord> r = child_->Next();
+  if (!r.has_value()) return std::nullopt;
+  ctx_->ChargeCompute();
+  return PosRecord{r->pos, Map(std::move(r->rec))};
+}
+
+std::optional<PosRecord> ProjectOp::NextAtOrAfter(Position p) {
+  std::optional<PosRecord> r = child_->NextAtOrAfter(p);
+  if (!r.has_value()) return std::nullopt;
+  ctx_->ChargeCompute();
+  return PosRecord{r->pos, Map(std::move(r->rec))};
+}
+
+size_t ProjectOp::NextBatch(RecordBatch* out) {
+  // 1:1 in-place transform of the batch the child filled: row counts
+  // match, so 0 from the child means end of stream.
+  size_t n = child_->NextBatch(out);
+  ctx_->ChargeComputeN(static_cast<int64_t>(n));
+  MapBatchRows(out, n);
   return n;
 }
 
-std::optional<Record> ProjectProbe::Probe(Position p) {
+size_t ProjectOp::NextBatchUpTo(Position limit, RecordBatch* out) {
+  size_t n = child_->NextBatchUpTo(limit, out);
+  ctx_->ChargeComputeN(static_cast<int64_t>(n));
+  MapBatchRows(out, n);
+  return n;
+}
+
+std::optional<Record> ProjectOp::Probe(Position p) {
   std::optional<Record> r = child_->Probe(p);
   if (!r.has_value()) return std::nullopt;
   ctx_->ChargeCompute();
@@ -185,6 +219,14 @@ std::optional<Record> ProjectProbe::Probe(Position p) {
   out.reserve(indices_.size());
   for (size_t idx : indices_) out.push_back(std::move((*r)[idx]));
   return out;
+}
+
+size_t ProjectOp::ProbeBatch(std::span<const Position> positions,
+                             RecordBatch* out) {
+  size_t n = child_->ProbeBatch(positions, out);
+  ctx_->ChargeComputeN(static_cast<int64_t>(n));
+  MapBatchRows(out, n);
+  return n;
 }
 
 }  // namespace seq

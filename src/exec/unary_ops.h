@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,11 +14,13 @@
 
 namespace seq {
 
-/// Selection over a stream: passes records satisfying the predicate
-/// (unit scope).
-class SelectStream : public StreamOp {
+/// Selection: passes records satisfying the predicate (unit scope). Both
+/// access modes are the child's, filtered: stream access filters the
+/// child's stream, probed access filters the child's probe answers. One
+/// predicate application is charged per child record seen, in every mode.
+class SelectOp : public SeqOp {
  public:
-  SelectStream(StreamOpPtr child, ExprPtr predicate, SchemaPtr in_schema)
+  SelectOp(SeqOpPtr child, ExprPtr predicate, SchemaPtr in_schema)
       : child_(std::move(child)),
         predicate_(std::move(predicate)),
         in_schema_(std::move(in_schema)) {}
@@ -26,13 +29,17 @@ class SelectStream : public StreamOp {
   std::optional<PosRecord> Next() override;
   std::optional<PosRecord> NextAtOrAfter(Position p) override;
   size_t NextBatch(RecordBatch* out) override;
+  size_t NextBatchUpTo(Position limit, RecordBatch* out) override;
+  std::optional<Record> Probe(Position p) override;
+  size_t ProbeBatch(std::span<const Position> positions,
+                    RecordBatch* out) override;
   void Close() override { child_->Close(); }
 
  private:
   size_t FilterGeneric(RecordBatch* out, size_t n);
   size_t FilterSimple(RecordBatch* out, size_t n);
 
-  StreamOpPtr child_;
+  SeqOpPtr child_;
   ExprPtr predicate_;
   SchemaPtr in_schema_;
   std::optional<CompiledExpr> compiled_;
@@ -41,29 +48,11 @@ class SelectStream : public StreamOp {
   ExprScratch scratch_;
 };
 
-class SelectProbe : public ProbeOp {
+/// Projection: reorders/renames/narrows fields (unit scope). Like
+/// selection, both access modes are 1:1 transforms of the child's.
+class ProjectOp : public SeqOp {
  public:
-  SelectProbe(ProbeOpPtr child, ExprPtr predicate, SchemaPtr in_schema)
-      : child_(std::move(child)),
-        predicate_(std::move(predicate)),
-        in_schema_(std::move(in_schema)) {}
-
-  Status Open(ExecContext* ctx) override;
-  std::optional<Record> Probe(Position p) override;
-  void Close() override { child_->Close(); }
-
- private:
-  ProbeOpPtr child_;
-  ExprPtr predicate_;
-  SchemaPtr in_schema_;
-  std::optional<CompiledExpr> compiled_;
-  ExecContext* ctx_ = nullptr;
-};
-
-/// Projection over a stream: reorders/renames/narrows fields (unit scope).
-class ProjectStream : public StreamOp {
- public:
-  ProjectStream(StreamOpPtr child, std::vector<size_t> indices)
+  ProjectOp(SeqOpPtr child, std::vector<size_t> indices)
       : child_(std::move(child)), indices_(std::move(indices)) {
     // Strictly increasing source indices imply indices_[j] >= j with no
     // duplicate sources, so values can shift left within the row without
@@ -81,43 +70,30 @@ class ProjectStream : public StreamOp {
   std::optional<PosRecord> Next() override;
   std::optional<PosRecord> NextAtOrAfter(Position p) override;
   size_t NextBatch(RecordBatch* out) override;
+  size_t NextBatchUpTo(Position limit, RecordBatch* out) override;
+  std::optional<Record> Probe(Position p) override;
+  size_t ProbeBatch(std::span<const Position> positions,
+                    RecordBatch* out) override;
   void Close() override { child_->Close(); }
 
  private:
   Record Map(Record in) const;
+  void MapBatchRows(RecordBatch* out, size_t n);
 
-  StreamOpPtr child_;
+  SeqOpPtr child_;
   std::vector<size_t> indices_;
   ExecContext* ctx_ = nullptr;
   bool in_place_ = false;
   Record tmp_;  // row staging buffer for permuting projections
 };
 
-class ProjectProbe : public ProbeOp {
+/// Positional offset: out(i) = in(i + l). Pure position relabeling in
+/// both modes — the stream side's child cursor simply runs `l` positions
+/// ahead of (or behind) the output, realizing the §3.4 effective-scope
+/// broadening without a buffer; the probed side shifts each probe.
+class PosOffsetOp : public SeqOp {
  public:
-  ProjectProbe(ProbeOpPtr child, std::vector<size_t> indices)
-      : child_(std::move(child)), indices_(std::move(indices)) {}
-
-  Status Open(ExecContext* ctx) override {
-    ctx_ = ctx;
-    return child_->Open(ctx);
-  }
-  std::optional<Record> Probe(Position p) override;
-  void Close() override { child_->Close(); }
-
- private:
-  ProbeOpPtr child_;
-  std::vector<size_t> indices_;
-  ExecContext* ctx_ = nullptr;
-};
-
-/// Positional offset: out(i) = in(i + l). In a pull pipeline this is pure
-/// position relabeling — the child cursor simply runs `l` positions ahead
-/// of (or behind) the output, which realizes the §3.4 effective-scope
-/// broadening without an explicit buffer.
-class PosOffsetStream : public StreamOp {
- public:
-  PosOffsetStream(StreamOpPtr child, int64_t offset)
+  PosOffsetOp(SeqOpPtr child, int64_t offset)
       : child_(std::move(child)), offset_(offset) {}
 
   Status Open(ExecContext* ctx) override { return child_->Open(ctx); }
@@ -137,27 +113,28 @@ class PosOffsetStream : public StreamOp {
     for (size_t i = 0; i < n; ++i) out->pos(i) -= offset_;
     return n;
   }
-  void Close() override { child_->Close(); }
-
- private:
-  StreamOpPtr child_;
-  int64_t offset_;
-};
-
-class PosOffsetProbe : public ProbeOp {
- public:
-  PosOffsetProbe(ProbeOpPtr child, int64_t offset)
-      : child_(std::move(child)), offset_(offset) {}
-
-  Status Open(ExecContext* ctx) override { return child_->Open(ctx); }
+  size_t NextBatchUpTo(Position limit, RecordBatch* out) override {
+    size_t n = child_->NextBatchUpTo(limit + offset_, out);
+    for (size_t i = 0; i < n; ++i) out->pos(i) -= offset_;
+    return n;
+  }
   std::optional<Record> Probe(Position p) override {
     return child_->Probe(p + offset_);
+  }
+  size_t ProbeBatch(std::span<const Position> positions,
+                    RecordBatch* out) override {
+    shifted_.assign(positions.begin(), positions.end());
+    for (Position& p : shifted_) p += offset_;
+    size_t n = child_->ProbeBatch(shifted_, out);
+    for (size_t i = 0; i < n; ++i) out->pos(i) -= offset_;
+    return n;
   }
   void Close() override { child_->Close(); }
 
  private:
-  ProbeOpPtr child_;
+  SeqOpPtr child_;
   int64_t offset_;
+  std::vector<Position> shifted_;  // reusable probe-position buffer
 };
 
 }  // namespace seq

@@ -51,7 +51,15 @@ using PhysNodePtr = std::shared_ptr<const PhysNode>;
 /// An immutable physical-plan node: a logical operator with its access
 /// mode, physical strategy, evaluation range and cost estimate fixed.
 /// The execution engine instantiates operator objects from these
-/// descriptors; the optimizer's DP shares subplans freely.
+/// descriptors in one table-driven pass indexed by `op`
+/// (exec/executor.cc); `mode` and the strategy fields select the
+/// construction shape of a single unified operator per node, so every
+/// strategy the cost model prices corresponds to exactly one executor
+/// lowering: ValueOffset+kIncrementalCacheB -> ValueOffsetOp (stream or
+/// probed), +kNaiveSearch -> ValueOffsetNaiveOp; WindowAgg+kCacheA ->
+/// WindowAggCachedOp, +kNaiveProbe -> WindowAggNaiveOp; Compose
+/// strategies -> ComposeLockstepOp / ComposeStreamProbeOp /
+/// ComposeProbeBothOp. The optimizer's DP shares subplans freely.
 struct PhysNode {
   OpKind op = OpKind::kBaseRef;
   AccessMode mode = AccessMode::kStream;

@@ -215,7 +215,17 @@ Result<PlannedSeq> Planner::PlanPositionalOffset(const LogicalOp& op) {
 
 Result<PlannedSeq> Planner::PlanValueOffset(const LogicalOp& op) {
   ++stats_->nonunit_blocks;
-  SEQ_ASSIGN_OR_RETURN(PlannedSeq child, Plan(*op.input()));
+  // Whether OUR consumers probe this node monotonically (gates the probed
+  // incremental candidate below). The naive-search candidate probes the
+  // child positionally backward/forward from each output position, so the
+  // child subtree is planned under a cleared flag — conservative for the
+  // incremental candidate's (stream) child, which ignores it.
+  const bool monotone = probed_monotone_;
+  probed_monotone_ = false;
+  Result<PlannedSeq> child_res = Plan(*op.input());
+  probed_monotone_ = monotone;
+  SEQ_RETURN_IF_ERROR(child_res.status());
+  PlannedSeq child = std::move(child_res).value();
   SEQ_ASSIGN_OR_RETURN(int64_t span_len,
                        RequireBoundedLength(op.meta().required,
                                             "value offset"));
@@ -264,17 +274,38 @@ Result<PlannedSeq> Planner::PlanValueOffset(const LogicalOp& op) {
   stream->est_cost = out.stream_cost;
   out.stream_plan = stream;
 
-  // Probed mode — the naive algorithm: from each probed position, search
-  // positionally until |l| non-empty input positions have been found;
-  // expected |l| / density probes each (§4.1.2: "estimate ... from the
-  // density of the input sequence"). The incremental algorithm is not
-  // usable with probed access.
-  out.probed_cost = static_cast<double>(span_len) *
-                    (expected_scan * child_est.PerProbe());
+  // Probed mode — two candidates. Naive: from each probed position,
+  // search positionally until |l| non-empty input positions have been
+  // found; expected |l| / density probes each (§4.1.2: "estimate ... from
+  // the density of the input sequence"). Incremental: when every consumer
+  // above probes at non-decreasing positions — the discipline the
+  // executor's probed driving guarantees at the root — the Cache-B
+  // operator serves probes exactly as it serves a stream, consuming its
+  // (streamed) input forward-only; same cost shape as the stream side.
+  double naive_probed_cost = static_cast<double>(span_len) *
+                             (expected_scan * child_est.PerProbe());
+  double incremental_probed_cost = incremental_cost;
+  bool probed_incremental = monotone &&
+                            !params_.disable_incremental_value_offset &&
+                            incremental_probed_cost < naive_probed_cost;
+  if (trace_ != nullptr) {
+    trace_->Add("candidate", "value-offset probed: incremental cache-B",
+                incremental_probed_cost, probed_incremental);
+    trace_->Add("candidate", "value-offset probed: naive-search",
+                naive_probed_cost, !probed_incremental);
+  }
   auto probed = NewNode(OpKind::kValueOffset, AccessMode::kProbed);
   FillCommon(probed.get(), op);
-  probed->offset_strategy = OffsetStrategy::kNaiveSearch;
-  probed->children = {child.probed_plan};
+  if (probed_incremental) {
+    out.probed_cost = incremental_probed_cost;
+    probed->offset_strategy = OffsetStrategy::kIncrementalCacheB;
+    probed->children = {child.stream_plan};
+    probed->cache_size = magnitude;
+  } else {
+    out.probed_cost = naive_probed_cost;
+    probed->offset_strategy = OffsetStrategy::kNaiveSearch;
+    probed->children = {child.probed_plan};
+  }
   probed->est_cost = out.probed_cost;
   out.probed_plan = probed;
   return out;
@@ -282,7 +313,15 @@ Result<PlannedSeq> Planner::PlanValueOffset(const LogicalOp& op) {
 
 Result<PlannedSeq> Planner::PlanWindowAgg(const LogicalOp& op) {
   ++stats_->nonunit_blocks;
-  SEQ_ASSIGN_OR_RETURN(PlannedSeq child, Plan(*op.input()));
+  // Naive trailing-window probing backtracks over the child's window at
+  // every position, so the child subtree is planned under a cleared
+  // monotone-probes flag; running/overall consume a stream child only.
+  const bool saved_monotone = probed_monotone_;
+  if (op.window_kind() == WindowKind::kTrailing) probed_monotone_ = false;
+  Result<PlannedSeq> child_res = Plan(*op.input());
+  probed_monotone_ = saved_monotone;
+  SEQ_RETURN_IF_ERROR(child_res.status());
+  PlannedSeq child = std::move(child_res).value();
   SEQ_ASSIGN_OR_RETURN(int64_t span_len,
                        RequireBoundedLength(op.meta().required, "aggregate"));
   AccessEst child_est = child.ToAccessEst();

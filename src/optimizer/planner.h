@@ -92,6 +92,15 @@ class Planner {
   CostParams params_;
   PlannerStats* stats_;
   OptTrace* trace_ = nullptr;
+
+  /// Planning context: true while every consumer on the path above would
+  /// probe the current subtree at non-decreasing positions (the executor
+  /// drives probed roots that way, and unit-scope operators preserve
+  /// order). The incremental Cache-B value offset consumes its input
+  /// forward-only, so its probed form is only offered while this holds;
+  /// non-monotone probe consumers (naive value-offset search, naive
+  /// window probing) clear it around their child recursion.
+  bool probed_monotone_ = true;
 };
 
 }  // namespace seq

@@ -154,6 +154,30 @@ size_t BaseSequenceStore::StreamCursor::FillBatch(RecordBatch* out) {
   return out->size();
 }
 
+size_t BaseSequenceStore::StreamCursor::FillBatchUpTo(Position limit,
+                                                      RecordBatch* out) {
+  out->Clear();
+  const bool clustered = store_->costs_.clustered;
+  const int64_t rpp = store_->records_per_page_;
+  while (!out->full() && index_ < end_) {
+    const PosRecord& pr = store_->records_[index_];
+    int64_t page = clustered ? static_cast<int64_t>(index_) / rpp
+                             : static_cast<int64_t>(index_);
+    ++index_;
+    if (stats_ != nullptr) {
+      ++stats_->stream_records;
+      if (page != last_page_) {
+        ++stats_->stream_pages;
+        stats_->simulated_cost += store_->costs_.page_cost;
+      }
+    }
+    last_page_ = page;
+    AssignRecord(out->Append(pr.pos), pr.rec);
+    if (pr.pos > limit) break;  // overshoot included, then stop
+  }
+  return out->size();
+}
+
 std::optional<Position> BaseSequenceStore::StreamCursor::PeekPosition() const {
   if (index_ >= end_) return std::nullopt;
   return store_->records_[index_].pos;

@@ -96,6 +96,13 @@ class BaseSequenceStore {
     /// 0 at end of range.
     size_t FillBatch(RecordBatch* out);
 
+    /// Bounded batch access with include-overshoot semantics (see
+    /// SeqOp::NextBatchUpTo): fills `out` with records at positions
+    /// <= `limit` and stops after the first record past `limit`, which is
+    /// included as the last row. Charges exactly what the same sequence
+    /// of Next() calls would.
+    size_t FillBatchUpTo(Position limit, RecordBatch* out);
+
     /// Position of the next record without consuming or charging.
     std::optional<Position> PeekPosition() const;
 

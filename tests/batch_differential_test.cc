@@ -262,13 +262,68 @@ TEST_F(BatchDifferentialTest, CollapseExpandAndChains) {
           std::nullopt, "moving-average cross");
 }
 
-TEST_F(BatchDifferentialTest, PointQueriesStayOnTuplePath) {
-  // Point-position queries always drive tuple-at-a-time; both settings
-  // must agree trivially.
+TEST_F(BatchDifferentialTest, PointQueries) {
+  // Point-position queries: a probed root is driven through ProbeBatch in
+  // chunks of the requested positions; a stream root falls back to the
+  // tuple skip-scan in both settings.
   Query query;
   query.graph = SeqRef("s").Agg(AggFunc::kSum, "value", 5).Build();
   query.positions = {10, 57, 58, 900, 3999};
   RunBoth(engine_, query, "point positions");
+}
+
+TEST_F(BatchDifferentialTest, ProbedRootPlans) {
+  // Force a probed root: batch driving then goes through ProbeBatch
+  // instead of NextBatch, and the probe sets — and therefore every
+  // AccessStats counter — must match the tuple Probe loop exactly.
+  engine_.options().force_root_mode = AccessMode::kProbed;
+  RunBoth(engine_, SeqRef("s").Select(Gt(Col("value"), Lit(int64_t{500}))),
+          std::nullopt, "probed select");
+  RunBoth(engine_, SeqRef("sp").Prev(), std::nullopt, "probed previous");
+  RunBoth(engine_, SeqRef("sp").ValueOffset(2), Span::Of(10, 3900),
+          "probed second next");
+  RunBoth(engine_,
+          SeqRef("s")
+              .ValueOffset(-2)
+              .Select(Gt(Col("value"), Lit(int64_t{100})))
+              .Project({"value"}),
+          std::nullopt, "probed offset chain");
+  RunBoth(engine_, SeqRef("s").Agg(AggFunc::kSum, "value", 7), std::nullopt,
+          "probed window sum");
+  RunBoth(engine_, SeqRef("s").RunningAgg(AggFunc::kCount, "value"),
+          std::nullopt, "probed running count");
+  RunBoth(engine_, SeqRef("s").OverallAgg(AggFunc::kSum, "value"),
+          Span::Of(1, 4000), "probed overall sum");
+  RunBoth(engine_, SeqRef("s").Collapse(7, AggFunc::kSum, "value"),
+          std::nullopt, "probed collapse");
+  RunBoth(engine_, SeqRef("s").Collapse(5, AggFunc::kAvg, "value").Expand(5),
+          std::nullopt, "probed collapse+expand");
+  RunBoth(engine_, SeqRef("quakes").ComposeWith(SeqRef("volcanos")),
+          std::nullopt, "probed event intersect");
+  RunBoth(engine_,
+          SeqRef("s").ComposeWith(SeqRef("sp"),
+                                  Gt(Col("value", 0), Col("value", 1))),
+          std::nullopt, "probed predicated compose");
+}
+
+TEST_F(BatchDifferentialTest, ProbedPointPositions) {
+  // Probed root + explicit positions: the executor chunks the position
+  // list itself through ProbeBatch.
+  engine_.options().force_root_mode = AccessMode::kProbed;
+  Query query;
+  query.graph = SeqRef("s").Agg(AggFunc::kSum, "value", 5).Build();
+  query.positions = {10, 57, 58, 900, 3999};
+  RunBoth(engine_, query, "probed point positions");
+
+  Query offsets;
+  offsets.graph = SeqRef("sp").Prev().Build();
+  offsets.positions = {1, 2, 3, 500, 501, 502, 3000};
+  RunBoth(engine_, offsets, "probed point value offset");
+
+  Query join;
+  join.graph = SeqRef("quakes").ComposeWith(SeqRef("volcanos")).Build();
+  join.positions = {5, 100, 101, 2500};
+  RunBoth(engine_, join, "probed point compose");
 }
 
 TEST_F(BatchDifferentialTest, EmptyAndEdgeResults) {

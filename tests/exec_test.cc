@@ -71,13 +71,13 @@ std::vector<PosRecord> Drain(StreamOp* op, ExecContext* ctx) {
   return out;
 }
 
-// --- ValueOffsetStream (Cache-Strategy-B) --------------------------------------
+// --- ValueOffsetOp (Cache-Strategy-B) --------------------------------------
 
-TEST(ValueOffsetStreamTest, PreviousEmitsDensely) {
+TEST(ValueOffsetOpTest, PreviousEmitsDensely) {
   AccessStats stats;
   ExecContext ctx;
   ctx.stats = &stats;
-  ValueOffsetStream op(
+  ValueOffsetOp op(
       std::make_unique<VectorStream>(Ints({{2, 20}, {5, 50}, {6, 60}})), -1,
       Span::Of(0, 8));
   auto out = Drain(&op, &ctx);
@@ -93,11 +93,11 @@ TEST(ValueOffsetStreamTest, PreviousEmitsDensely) {
   EXPECT_EQ(stats.cache_stores, 3);
 }
 
-TEST(ValueOffsetStreamTest, SecondPrevious) {
+TEST(ValueOffsetOpTest, SecondPrevious) {
   ExecContext ctx;
   AccessStats stats;
   ctx.stats = &stats;
-  ValueOffsetStream op(
+  ValueOffsetOp op(
       std::make_unique<VectorStream>(Ints({{1, 10}, {3, 30}, {7, 70}})), -2,
       Span::Of(0, 9));
   auto out = Drain(&op, &ctx);
@@ -109,11 +109,11 @@ TEST(ValueOffsetStreamTest, SecondPrevious) {
   EXPECT_EQ(out.back().rec[0].int64(), 30);
 }
 
-TEST(ValueOffsetStreamTest, NextLooksAheadWithBuffer) {
+TEST(ValueOffsetOpTest, NextLooksAheadWithBuffer) {
   ExecContext ctx;
   AccessStats stats;
   ctx.stats = &stats;
-  ValueOffsetStream op(
+  ValueOffsetOp op(
       std::make_unique<VectorStream>(Ints({{2, 20}, {5, 50}, {9, 90}})), 1,
       Span::Of(0, 10));
   auto out = Drain(&op, &ctx);
@@ -127,11 +127,11 @@ TEST(ValueOffsetStreamTest, NextLooksAheadWithBuffer) {
   EXPECT_EQ(out[8].rec[0].int64(), 90);
 }
 
-TEST(ValueOffsetStreamTest, NextAtOrAfterJumps) {
+TEST(ValueOffsetOpTest, NextAtOrAfterJumps) {
   ExecContext ctx;
   AccessStats stats;
   ctx.stats = &stats;
-  ValueOffsetStream op(
+  ValueOffsetOp op(
       std::make_unique<VectorStream>(Ints({{2, 20}, {500, 5000}})), -1,
       Span::Of(0, 1000));
   ASSERT_TRUE(op.Open(&ctx).ok());
@@ -153,9 +153,9 @@ TEST(ValueOffsetEquivalenceTest, NaiveMatchesIncremental) {
     AccessStats s1, s2;
     ctx1.stats = &s1;
     ctx2.stats = &s2;
-    ValueOffsetStream incremental(std::make_unique<VectorStream>(data), l,
+    ValueOffsetOp incremental(std::make_unique<VectorStream>(data), l,
                                   Span::Of(0, 14));
-    ValueOffsetNaiveStream naive(std::make_unique<VectorProbe>(data), l,
+    ValueOffsetNaiveOp naive(std::make_unique<VectorProbe>(data), l,
                                  Span::Of(0, 14), Span::Of(1, 12));
     auto a = Drain(&incremental, &ctx1);
     auto b = Drain(&naive, &ctx2);
@@ -177,7 +177,7 @@ TEST(WindowAggTest, CachedStreamTouchesEachInputOnce) {
   ExecContext ctx;
   AccessStats stats;
   ctx.stats = &stats;
-  WindowAggCachedStream op(std::make_unique<VectorStream>(data),
+  WindowAggCachedOp op(std::make_unique<VectorStream>(data),
                            AggFunc::kSum, 0, TypeId::kInt64, 3,
                            Span::Of(1, 10));
   auto out = Drain(&op, &ctx);
@@ -202,9 +202,9 @@ TEST(WindowAggTest, NaiveProbeMatchesCached) {
     AccessStats s1, s2;
     ctx1.stats = &s1;
     ctx2.stats = &s2;
-    WindowAggCachedStream cached(std::make_unique<VectorStream>(data), func,
+    WindowAggCachedOp cached(std::make_unique<VectorStream>(data), func,
                                  0, TypeId::kInt64, 4, Span::Of(0, 12));
-    WindowAggNaiveStream naive(std::make_unique<VectorProbe>(data), func, 0,
+    WindowAggNaiveOp naive(std::make_unique<VectorProbe>(data), func, 0,
                                TypeId::kInt64, 4, Span::Of(0, 12));
     auto a = Drain(&cached, &ctx1);
     auto b = Drain(&naive, &ctx2);
@@ -227,7 +227,7 @@ TEST(WindowAggTest, MinMaxUseMonotonicQueues) {
   ExecContext ctx;
   AccessStats stats;
   ctx.stats = &stats;
-  WindowAggCachedStream op(std::make_unique<VectorStream>(data),
+  WindowAggCachedOp op(std::make_unique<VectorStream>(data),
                            AggFunc::kMax, 0, TypeId::kInt64, 2,
                            Span::Of(1, 6));
   auto out = Drain(&op, &ctx);
@@ -239,7 +239,7 @@ TEST(WindowAggTest, MinMaxUseMonotonicQueues) {
 // --- compose operators ------------------------------------------------------------
 
 TEST(ComposeTest, LockstepSkipsThroughDenseSide) {
-  // Driver side has 2 records; the dense side is a ValueOffsetStream that
+  // Driver side has 2 records; the dense side is a ValueOffsetOp that
   // would emit at every position; lock-step with NextAtOrAfter must not
   // enumerate them all.
   auto sparse = Ints({{100, 1}, {900, 2}});
@@ -247,11 +247,11 @@ TEST(ComposeTest, LockstepSkipsThroughDenseSide) {
   ExecContext ctx;
   AccessStats stats;
   ctx.stats = &stats;
-  auto dense = std::make_unique<ValueOffsetStream>(
+  auto dense = std::make_unique<ValueOffsetOp>(
       std::make_unique<VectorStream>(base), -1, Span::Of(0, 1000));
   SchemaPtr out_schema = Schema::Make(
       {Field{"a", TypeId::kInt64}, Field{"b", TypeId::kInt64}});
-  ComposeLockstepStream op(std::make_unique<VectorStream>(sparse),
+  ComposeLockstepOp op(std::make_unique<VectorStream>(sparse),
                            std::move(dense), nullptr, out_schema);
   auto out = Drain(&op, &ctx);
   ASSERT_EQ(out.size(), 2u);
@@ -273,7 +273,7 @@ TEST(ComposeTest, StreamProbePreservesFieldOrder) {
   AccessStats stats;
   ctx.stats = &stats;
   // Driver is the RIGHT side; output order must still be left-then-right.
-  ComposeStreamProbe op(std::make_unique<VectorStream>(right),
+  ComposeStreamProbeOp op(std::make_unique<VectorStream>(right),
                         std::make_unique<VectorProbe>(left),
                         /*driver_is_left=*/false, nullptr, out_schema);
   auto out = Drain(&op, &ctx);
@@ -292,7 +292,7 @@ TEST(ComposeTest, ProbeBothShortCircuits) {
   ExecContext ctx;
   AccessStats stats;
   ctx.stats = &stats;
-  ComposeProbeBoth op(std::make_unique<VectorProbe>(left),
+  ComposeProbeBothOp op(std::make_unique<VectorProbe>(left),
                       std::make_unique<VectorProbe>(right),
                       /*probe_left_first=*/true, nullptr, out_schema);
   ASSERT_TRUE(op.Open(&ctx).ok());

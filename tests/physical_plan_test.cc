@@ -51,7 +51,10 @@ TEST_F(PlanShapeTest, ExplainCarriesModesStrategiesAndCaches) {
   EXPECT_NE(text.find("Start [stream"), std::string::npos);
   EXPECT_NE(text.find("WindowAgg [stream, cache-A]"), std::string::npos);
   EXPECT_NE(text.find("cache=12"), std::string::npos);
-  EXPECT_NE(text.find("ValueOffset [stream, cache-B]"), std::string::npos);
+  // The compose probes its right side at strictly increasing positions,
+  // so the value offset runs the incremental cache-B algorithm in probed
+  // mode rather than falling back to naive search.
+  EXPECT_NE(text.find("ValueOffset [probed, cache-B]"), std::string::npos);
   EXPECT_NE(text.find("Compose [stream"), std::string::npos);
   EXPECT_NE(text.find("BaseRef [stream] ibm"), std::string::npos);
   EXPECT_NE(text.find("est_cost="), std::string::npos);
