@@ -12,7 +12,9 @@
 //   .list                              show catalog + views
 //   .schema <name>                     show a sequence's schema and meta
 //   .range <start> <end>               set the evaluation range
-//   .limit <n>                         rows printed per result
+//   .limit <n>                         rows printed AND the per-query row
+//                                      budget (0 = unlimited)
+//   .timeout <ms>                      per-query wall-clock budget (0 = off)
 //   .explain <name | expr;>            show optimizer output
 //   .analyze <name>                    EXPLAIN ANALYZE: estimated vs actual
 //   .stats on|off                      print access counters after runs
@@ -24,6 +26,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <sstream>
 
@@ -51,6 +54,31 @@ std::vector<std::string> Tokens(const std::string& line) {
   std::string tok;
   while (in >> tok) out.push_back(tok);
   return out;
+}
+
+// Guarded numeric parsing for dot-command arguments: std::stoll and friends
+// throw on garbage or out-of-range input, which must never take down the
+// shell. nullopt on any failure, including trailing junk.
+std::optional<int64_t> ParseInt64(const std::string& s) {
+  try {
+    size_t used = 0;
+    int64_t v = std::stoll(s, &used);
+    if (used != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<double> ParseDouble(const std::string& s) {
+  try {
+    size_t used = 0;
+    double v = std::stod(s, &used);
+    if (used != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
 }
 
 void AnalyzeGraph(Session* session, const LogicalOpPtr& graph) {
@@ -104,10 +132,20 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
                                (*store)->DescribeMeta() + "\n"
                          : "error: " + s.ToString() + "\n");
   } else if (cmd == ".gen" && args.size() >= 5) {
+    auto start = ParseInt64(args[2]);
+    auto end = ParseInt64(args[3]);
+    auto density = ParseDouble(args[4]);
+    std::optional<int64_t> seed =
+        args.size() >= 6 ? ParseInt64(args[5]) : std::optional<int64_t>(0);
+    if (!start || !end || !density || !seed || *seed < 0) {
+      std::cout << "error: .gen expects numeric <start> <end> <density> "
+                   "[seed]\n";
+      return;
+    }
     StockSeriesOptions options;
-    options.span = Span::Of(std::stoll(args[2]), std::stoll(args[3]));
-    options.density = std::stod(args[4]);
-    if (args.size() >= 6) options.seed = std::stoull(args[5]);
+    options.span = Span::Of(*start, *end);
+    options.density = *density;
+    if (args.size() >= 6) options.seed = static_cast<uint64_t>(*seed);
     auto store = MakeStockSeries(options);
     if (!store.ok()) {
       std::cout << "error: " << store.status() << "\n";
@@ -149,10 +187,42 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
       }
     }
   } else if (cmd == ".range" && args.size() >= 3) {
-    session->range = Span::Of(std::stoll(args[1]), std::stoll(args[2]));
+    auto start = ParseInt64(args[1]);
+    auto end = ParseInt64(args[2]);
+    if (!start || !end) {
+      std::cout << "error: .range expects numeric <start> <end>\n";
+      return;
+    }
+    session->range = Span::Of(*start, *end);
     std::cout << "range " << session->range->ToString() << "\n";
   } else if (cmd == ".limit" && args.size() >= 2) {
-    session->limit = static_cast<size_t>(std::stoull(args[1]));
+    auto n = ParseInt64(args[1]);
+    if (!n || *n < 0) {
+      std::cout << "error: .limit expects a non-negative row count\n";
+      return;
+    }
+    // Doubles as the row budget: the executor stops a query cleanly with
+    // RESOURCE_EXHAUSTED once it produces more than this many rows.
+    session->limit = *n == 0 ? std::numeric_limits<size_t>::max()
+                             : static_cast<size_t>(*n);
+    session->engine.exec_options().guards.max_rows = *n;
+    std::cout << "limit "
+              << (*n == 0 ? std::string("off")
+                          : std::to_string(*n) + " rows (also the row budget)")
+              << "\n";
+  } else if (cmd == ".timeout" && args.size() >= 2) {
+    auto ms = ParseInt64(args[1]);
+    if (!ms || *ms < 0) {
+      std::cout << "error: .timeout expects a non-negative millisecond "
+                   "count\n";
+      return;
+    }
+    // Wall-clock budget: a query past the deadline stops cleanly with
+    // DEADLINE_EXCEEDED at the next batch boundary. 0 disables.
+    session->engine.exec_options().guards.max_wall_ms = *ms;
+    std::cout << "timeout "
+              << (*ms == 0 ? std::string("off") : std::to_string(*ms) + "ms")
+              << "\n";
   } else if (cmd == ".stats" && args.size() >= 2) {
     session->show_stats = (args[1] == "on");
   } else if (cmd == ".batch" && args.size() >= 2) {
@@ -290,6 +360,14 @@ int RunStream(Session* session, std::istream& in, bool interactive) {
     }
     if (interactive) std::cout << "seq> " << std::flush;
   }
+  // EOF (Ctrl-D): exit cleanly even mid-statement — the half-typed
+  // fragment is dropped, never fed to the parser or left to crash us.
+  if (interactive) {
+    std::cout << "\n";
+    if (!StripAsciiWhitespace(pending).empty()) {
+      std::cout << "(discarded incomplete statement)\n";
+    }
+  }
   return 0;
 }
 
@@ -307,7 +385,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "SEQ shell — sequence query processing (SIGMOD '94). "
                "Dot-commands: .load .gen .list .schema .range .limit "
-               ".explain .analyze .run .stats .batch .materialize .save "
-               ".savedb .opendb .quit\n";
+               ".timeout .explain .analyze .run .stats .batch .materialize "
+               ".save .savedb .opendb .quit\n";
   return RunStream(&session, std::cin, /*interactive=*/true);
 }

@@ -13,9 +13,24 @@ namespace seq::internal_logging {
 
 }  // namespace seq::internal_logging
 
-/// Invariant check that is active in all build types. Use for conditions
-/// whose violation means the library itself is broken; user-input errors
-/// must surface as Status instead.
+/// Invariant check that is active in all build types.
+///
+/// The abort-vs-Status rule: SEQ_CHECK (and SEQ_CHECK_MSG) may guard only
+/// conditions that are unreachable unless the library itself is broken —
+/// planner postconditions, switch exhaustiveness over internal enums,
+/// builder preconditions on programmer-constructed graphs. Anything an
+/// end user can trigger from the outside MUST surface as a Status:
+///   - query text (parser/lexer: ParseError, including out-of-range
+///     numeric literals),
+///   - semantic errors in well-formed syntax (typecheck/annotate:
+///     InvalidArgument / NotFound),
+///   - on-disk input (file_format / database_io: DataLoss for corrupt or
+///     truncated files — validate every length, count, and name before it
+///     reaches a checked constructor such as Schema::Make),
+///   - runtime conditions (budgets: ResourceExhausted / DeadlineExceeded /
+///     Cancelled; injected or real I/O failure mid-stream: Unavailable via
+///     ExecContext::Raise).
+/// A crash on user input is always a bug, never a diagnostic.
 #define SEQ_CHECK(cond)                                                   \
   do {                                                                    \
     if (!(cond)) {                                                        \

@@ -20,6 +20,16 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

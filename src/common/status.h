@@ -18,6 +18,11 @@ enum class StatusCode {
   kUnimplemented,     // feature intentionally not supported
   kInternal,          // invariant violation inside the library
   kParseError,        // Sequin language syntax error
+  kResourceExhausted, // a per-query budget (rows, pages, cache memory) hit
+  kDeadlineExceeded,  // the query's wall-clock budget expired
+  kCancelled,         // cooperative cancellation requested by the driver
+  kUnavailable,       // a storage access failed (page fault, injected fault)
+  kDataLoss,          // persisted data is corrupt or truncated
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -60,6 +65,21 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

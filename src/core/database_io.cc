@@ -42,7 +42,7 @@ Status SaveDatabase(const Engine& engine, const std::string& directory) {
                                      "' is not file-safe");
     }
     auto entry = engine.catalog().Lookup(name);
-    SEQ_CHECK(entry.ok());
+    SEQ_RETURN_IF_ERROR(entry.status());
     if ((*entry)->kind == CatalogEntry::Kind::kBase) {
       std::string file = name + ".seq1";
       SEQ_RETURN_IF_ERROR(

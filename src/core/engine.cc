@@ -13,6 +13,21 @@ Result<PhysicalPlan> Engine::Plan(const Query& query) const {
   return optimizer.Optimize(inlined);
 }
 
+namespace {
+
+/// Optimizer options for the graceful-degradation retry: the same query,
+/// planned with every operator cache (Cache-Strategy-A windows,
+/// Cache-Strategy-B offset caches) disabled, so the fallback plan cannot
+/// hit QueryGuards::max_cache_bytes again.
+OptimizerOptions CacheFreeOptions(const OptimizerOptions& options) {
+  OptimizerOptions degraded = options;
+  degraded.cost_params.disable_window_cache = true;
+  degraded.cost_params.disable_incremental_value_offset = true;
+  return degraded;
+}
+
+}  // namespace
+
 Status Engine::DefineView(std::string name, LogicalOpPtr graph) {
   if (graph == nullptr) {
     return Status::InvalidArgument("null view definition");
@@ -56,7 +71,27 @@ Result<QueryResult> Engine::Run(const Query& query, AccessStats* stats) const {
   MetricsRegistry::Global().Add("engine.runs");
   SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(query));
   Executor executor(catalog_, options_.cost_params, exec_options_);
-  return executor.Execute(plan, stats);
+  // The first attempt charges into local stats so a degraded retry does not
+  // leak the aborted attempt's counters into the caller's totals.
+  AccessStats attempt_stats;
+  Result<QueryResult> result =
+      executor.Execute(plan, stats != nullptr ? &attempt_stats : nullptr);
+  if (result.ok()) {
+    if (stats != nullptr) *stats += attempt_stats;
+    return result;
+  }
+  if (!IsCacheBudgetExceeded(result.status())) return result;
+  // Graceful degradation: the query is fine, only its cached plan does not
+  // fit max_cache_bytes. Re-plan with operator caches disabled and run the
+  // (slower, memory-flat) naive plan instead of failing.
+  MetricsRegistry::Global().Add("engine.cache_degradations");
+  Query inlined = query;
+  SEQ_ASSIGN_OR_RETURN(inlined.graph, InlineViews(query.graph, views_));
+  OptimizerOptions degraded = CacheFreeOptions(options_);
+  Optimizer optimizer(catalog_, degraded);
+  SEQ_ASSIGN_OR_RETURN(PhysicalPlan fallback, optimizer.Optimize(inlined));
+  Executor degraded_executor(catalog_, degraded.cost_params, exec_options_);
+  return degraded_executor.Execute(fallback, stats);
 }
 
 Result<ProfiledQueryResult> Engine::RunProfiled(const Query& query,
@@ -70,10 +105,35 @@ Result<ProfiledQueryResult> Engine::RunProfiled(const Query& query,
 
   Executor executor(catalog_, options_.cost_params, exec_options_);
   ProfiledQueryResult out;
-  SEQ_ASSIGN_OR_RETURN(out.result,
-                       executor.ExecuteProfiled(plan, &out.profile, stats));
+  AccessStats attempt_stats;
+  Result<QueryResult> result = executor.ExecuteProfiled(
+      plan, &out.profile, stats != nullptr ? &attempt_stats : nullptr);
   // ExecuteProfiled resets the profile, so the trace is attached after.
-  out.profile.optimizer = optimizer.trace();
+  OptTrace trace = optimizer.trace();
+  std::string degradation_note;
+  if (!result.ok() && IsCacheBudgetExceeded(result.status())) {
+    // Graceful degradation (see Run): re-plan cache-free, keep the event in
+    // the profile so EXPLAIN ANALYZE shows why the naive plan ran.
+    MetricsRegistry::Global().Add("engine.cache_degradations");
+    degradation_note =
+        "degraded: " + result.status().message() +
+        "; re-planned with operator caches disabled";
+    OptimizerOptions degraded = CacheFreeOptions(opts);
+    Optimizer degraded_optimizer(catalog_, degraded);
+    SEQ_ASSIGN_OR_RETURN(PhysicalPlan fallback,
+                         degraded_optimizer.Optimize(inlined));
+    Executor degraded_executor(catalog_, degraded.cost_params, exec_options_);
+    result = degraded_executor.ExecuteProfiled(fallback, &out.profile, stats);
+    trace = degraded_optimizer.trace();
+  } else if (result.ok() && stats != nullptr) {
+    *stats += attempt_stats;
+  }
+  SEQ_RETURN_IF_ERROR(result.status());
+  out.result = std::move(result).value();
+  out.profile.optimizer = std::move(trace);
+  if (!degradation_note.empty()) {
+    out.profile.notes.push_back(std::move(degradation_note));
+  }
 
   MetricsRegistry& metrics = MetricsRegistry::Global();
   metrics.Add("engine.profiled_runs");

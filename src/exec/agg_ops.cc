@@ -8,12 +8,18 @@ namespace seq {
 
 // --- WindowAggCachedOp ------------------------------------------------------
 
+namespace {
+constexpr const char* kCacheALabel = "WindowAgg(cache-A)";
+}  // namespace
+
 Status WindowAggCachedOp::Open(ExecContext* ctx) {
+  SEQ_RETURN_IF_ERROR(ctx->PollOpenFault(kCacheALabel));
   ctx_ = ctx;
   next_pos_ = required_.start;
   pending_.reset();
   child_done_ = false;
   state_ = WindowState(func_, col_type_);
+  cache_footprint_ = 0;
   input_.Reset();
   return child_->Open(ctx);
 }
@@ -22,6 +28,18 @@ void WindowAggCachedOp::Fill() {
   if (child_done_ || pending_.has_value()) return;
   pending_ = child_->Next();
   if (!pending_.has_value()) child_done_ = true;
+}
+
+bool WindowAggCachedOp::SyncCacheBytes() {
+  const int64_t now = state_.ApproxBytes();
+  const int64_t delta = now - cache_footprint_;
+  cache_footprint_ = now;
+  if (delta == 0) return true;
+  if (!ctx_->AdjustCacheBytes(delta)) {
+    ctx_->RaiseCacheBudget(kCacheALabel);
+    return false;
+  }
+  return true;
 }
 
 std::optional<PosRecord> WindowAggCachedOp::Next() {
@@ -33,6 +51,7 @@ std::optional<PosRecord> WindowAggCachedOp::NextAtOrAfter(Position p) {
   if (p < next_pos_) p = next_pos_;
   if (p < required_.start) p = required_.start;
   while (p <= required_.end) {
+    if (ctx_->failed()) return std::nullopt;
     // Pull every input at positions <= p into the window cache.
     Fill();
     while (pending_.has_value() && pending_->pos <= p) {
@@ -42,6 +61,7 @@ std::optional<PosRecord> WindowAggCachedOp::NextAtOrAfter(Position p) {
       Fill();
     }
     state_.EvictBefore(p - window_ + 1);
+    if (!SyncCacheBytes()) return std::nullopt;
     if (state_.count() > 0) {
       ctx_->ChargeCacheHit();
       ctx_->ChargeCompute();
@@ -62,6 +82,7 @@ size_t WindowAggCachedOp::NextBatch(RecordBatch* out) {
   if (p < required_.start) p = required_.start;
   int64_t consumed = 0;
   while (!out->full() && p <= required_.end) {
+    if (ctx_->failed()) break;
     bool have = input_.Ready(child_.get(), out->capacity());
     while (have && input_.pos() <= p) {
       state_.Add(input_.pos(), input_.rec()[col_index_], nullptr);
@@ -70,6 +91,7 @@ size_t WindowAggCachedOp::NextBatch(RecordBatch* out) {
       have = input_.Ready(child_.get(), out->capacity());
     }
     state_.EvictBefore(p - window_ + 1);
+    if (!SyncCacheBytes()) break;
     if (state_.count() > 0) {
       Record& dst = out->Append(p);
       dst.resize(1);
@@ -94,6 +116,7 @@ size_t WindowAggCachedOp::NextBatch(RecordBatch* out) {
 // --- RunningAggOp -----------------------------------------------------------
 
 Status RunningAggOp::Open(ExecContext* ctx) {
+  SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("RunningAgg"));
   ctx_ = ctx;
   next_pos_ = required_.start;
   pending_.reset();
@@ -112,6 +135,7 @@ std::optional<PosRecord> RunningAggOp::NextAtOrAfter(Position p) {
   if (p < next_pos_) p = next_pos_;
   if (p < required_.start) p = required_.start;
   while (p <= required_.end) {
+    if (ctx_->failed()) return std::nullopt;
     if (!pending_.has_value() && !child_done_) {
       pending_ = child_->Next();
       if (!pending_.has_value()) child_done_ = true;
@@ -142,6 +166,7 @@ size_t RunningAggOp::NextBatch(RecordBatch* out) {
   if (p < required_.start) p = required_.start;
   int64_t consumed = 0;
   while (!out->full() && p <= required_.end) {
+    if (ctx_->failed()) break;
     bool have = input_.Ready(child_.get(), out->capacity());
     while (have && input_.pos() <= p) {
       state_.Add(input_.pos(), input_.rec()[col_index_], nullptr);
@@ -168,17 +193,25 @@ size_t RunningAggOp::NextBatch(RecordBatch* out) {
 // --- OverallAggOp -----------------------------------------------------------
 
 Status OverallAggOp::Open(ExecContext* ctx) {
+  SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("OverallAgg"));
   ctx_ = ctx;
   next_pos_ = required_.start;
   SEQ_RETURN_IF_ERROR(child_->Open(ctx));
   // One full pass computes the aggregate (the paper's "agg_pos always
-  // true" special case aggregates the whole sequence).
+  // true" special case aggregates the whole sequence). The pass blocks
+  // inside Open, so it checks budgets/cancellation itself every 256
+  // records — the driver's batch-boundary checks never see this loop.
   WindowState state(func_, col_type_);
+  int64_t seen = 0;
   while (true) {
     std::optional<PosRecord> r = child_->Next();
     if (!r.has_value()) break;
     state.Add(r->pos, r->rec[col_index_], ctx);
+    if ((++seen & 0xFF) == 0) {
+      SEQ_RETURN_IF_ERROR(ctx->CheckGuards(0));
+    }
   }
+  if (ctx->failed()) return ctx->TakeError();
   if (state.count() > 0) value_ = state.Current();
   return Status::OK();
 }
@@ -210,6 +243,7 @@ std::optional<Value> WindowAggNaiveOp::WindowAt(Position p, int64_t* steps) {
   WindowState state(func_, col_type_);
   for (Position q = p - window_ + 1; q <= p; ++q) {
     std::optional<Record> r = child_->Probe(q);
+    if (ctx_->failed()) return std::nullopt;
     if (r.has_value()) {
       state.Add(q, (*r)[col_index_], nullptr);
       ++*steps;
@@ -230,6 +264,7 @@ std::optional<Record> WindowAggNaiveOp::Probe(Position p) {
 
 std::optional<PosRecord> WindowAggNaiveOp::Next() {
   while (next_pos_ <= required_.end) {
+    if (ctx_->failed()) return std::nullopt;
     Position p = next_pos_++;
     std::optional<Record> r = Probe(p);
     if (r.has_value()) return PosRecord{p, std::move(*r)};
@@ -241,6 +276,7 @@ size_t WindowAggNaiveOp::NextBatch(RecordBatch* out) {
   out->Clear();
   int64_t steps = 0;
   while (!out->full() && next_pos_ <= required_.end) {
+    if (ctx_->failed()) break;
     Position p = next_pos_++;
     std::optional<Value> v = WindowAt(p, &steps);
     if (v.has_value()) {
@@ -259,6 +295,7 @@ size_t WindowAggNaiveOp::ProbeBatch(std::span<const Position> positions,
   out->Clear();
   int64_t steps = 0;
   for (Position p : positions) {
+    if (ctx_->failed()) break;
     std::optional<Value> v = WindowAt(p, &steps);
     if (v.has_value()) {
       Record& dst = out->Append(p);
@@ -274,10 +311,17 @@ size_t WindowAggNaiveOp::ProbeBatch(std::span<const Position> positions,
 // --- MaterializedAggOp ------------------------------------------------------
 
 Status MaterializedAggOp::Open(ExecContext* ctx) {
+  SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("MaterializedAgg"));
   ctx_ = ctx;
   SEQ_RETURN_IF_ERROR(child_->Open(ctx));
+  // Blocking materialization pass: like OverallAgg::Open it checks
+  // budgets/cancellation itself every 256 records. The checkpoint vector
+  // is a materialization, not an operator cache, so it is exempt from
+  // max_cache_bytes — the degraded (cache-free) re-plan must be able to
+  // run it (see docs/robustness.md).
   WindowState state(func_, col_type_);
   checkpoints_.clear();
+  int64_t seen = 0;
   while (true) {
     std::optional<PosRecord> r = child_->Next();
     if (!r.has_value()) break;
@@ -285,7 +329,11 @@ Status MaterializedAggOp::Open(ExecContext* ctx) {
     if (kind_ == WindowKind::kRunning) {
       checkpoints_.emplace_back(r->pos, state.Current());
     }
+    if ((++seen & 0xFF) == 0) {
+      SEQ_RETURN_IF_ERROR(ctx->CheckGuards(0));
+    }
   }
+  if (ctx->failed()) return ctx->TakeError();
   if (kind_ == WindowKind::kAll && state.count() > 0) {
     checkpoints_.emplace_back(out_span_.start, state.Current());
   }

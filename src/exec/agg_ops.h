@@ -37,6 +37,10 @@ class WindowAggCachedOp : public SeqOp {
 
  private:
   void Fill();
+  // Re-syncs the shared cache-byte counter with the window's current
+  // footprint; false (with the degradation signal raised) when the
+  // cache-memory budget is exceeded.
+  bool SyncCacheBytes();
 
   SeqOpPtr child_;
   AggFunc func_;
@@ -47,6 +51,7 @@ class WindowAggCachedOp : public SeqOp {
   ExecContext* ctx_ = nullptr;
 
   WindowState state_;
+  int64_t cache_footprint_ = 0;  // approx bytes charged for state_
   std::optional<PosRecord> pending_;
   bool child_done_ = false;
   Position next_pos_ = 0;
@@ -142,6 +147,7 @@ class WindowAggNaiveOp : public SeqOp {
         required_(required) {}
 
   Status Open(ExecContext* ctx) override {
+    SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("WindowAgg(naive)"));
     ctx_ = ctx;
     next_pos_ = required_.start;
     return child_->Open(ctx);

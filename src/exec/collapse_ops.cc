@@ -13,13 +13,18 @@ Position BucketOf(Position pos, int64_t factor) {
 }  // namespace
 
 Status CollapseOp::Open(ExecContext* ctx) {
+  SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("Collapse"));
   ctx_ = ctx;
   pending_.reset();
   child_done_ = false;
   buckets_.clear();
   SEQ_RETURN_IF_ERROR(child_->Open(ctx));
   if (!materialized_) return Status::OK();
-  // Probed mode: fold every bucket now, serve probes by lookup.
+  // Probed mode: fold every bucket now, serve probes by lookup. The fold
+  // blocks inside Open, so it checks budgets/cancellation itself every
+  // 256 records; the bucket map is a materialization, exempt from
+  // max_cache_bytes (the degraded re-plan must be able to run it).
+  int64_t seen = 0;
   std::optional<PosRecord> r = child_->Next();
   while (r.has_value()) {
     Position bucket = BucketOf(r->pos, factor_);
@@ -27,10 +32,15 @@ Status CollapseOp::Open(ExecContext* ctx) {
     while (r.has_value() && BucketOf(r->pos, factor_) == bucket) {
       state.Add(r->pos, r->rec[col_index_], ctx);
       r = child_->Next();
+      if ((++seen & 0xFF) == 0) {
+        SEQ_RETURN_IF_ERROR(ctx->CheckGuards(0));
+      }
     }
+    if (ctx->failed()) return ctx->TakeError();
     ctx->ChargeCompute();
     buckets_.emplace(bucket, state.Current());
   }
+  if (ctx->failed()) return ctx->TakeError();
   return Status::OK();
 }
 
@@ -39,7 +49,7 @@ std::optional<PosRecord> CollapseOp::Next() {
     pending_ = child_->Next();
     if (!pending_.has_value()) child_done_ = true;
   }
-  if (!pending_.has_value()) return std::nullopt;
+  if (!pending_.has_value() || ctx_->failed()) return std::nullopt;
 
   Position bucket = BucketOf(pending_->pos, factor_);
   WindowState state(func_, col_type_);
@@ -48,6 +58,7 @@ std::optional<PosRecord> CollapseOp::Next() {
     pending_ = child_->Next();
     if (!pending_.has_value()) child_done_ = true;
   }
+  if (ctx_->failed()) return std::nullopt;
   ctx_->ChargeCompute();
   if (!required_.Contains(bucket)) {
     // Outside the requested collapsed range; recurse to the next bucket.
@@ -78,6 +89,7 @@ size_t CollapseOp::ProbeBatch(std::span<const Position> positions,
 }
 
 Status ExpandOp::Open(ExecContext* ctx) {
+  SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("Expand"));
   ctx_ = ctx;
   current_.reset();
   next_pos_ = required_.start;
@@ -93,6 +105,7 @@ std::optional<PosRecord> ExpandOp::NextAtOrAfter(Position p) {
   if (p < next_pos_) p = next_pos_;
   if (p < required_.start) p = required_.start;
   while (p <= required_.end) {
+    if (ctx_->failed()) return std::nullopt;
     Position bucket = BucketOf(p, factor_);
     // Advance the input to the bucket covering p (or beyond).
     while (!current_.has_value() || current_->pos < bucket) {

@@ -30,6 +30,7 @@ void CombineInto(Record* dst, Record& first, Record& second) {
 // --- ComposeLockstepOp ------------------------------------------------------
 
 Status ComposeLockstepOp::Open(ExecContext* ctx) {
+  SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("Compose(lockstep)"));
   ctx_ = ctx;
   done_ = false;
   l_.reset();
@@ -60,6 +61,10 @@ std::optional<PosRecord> ComposeLockstepOp::Advance(
     if (!r_.has_value()) r_ = right_->Next();
   }
   while (l_.has_value() && r_.has_value()) {
+    if (ctx_->failed()) {
+      done_ = true;
+      return std::nullopt;
+    }
     if (l_->pos < r_->pos) {
       l_ = left_->NextAtOrAfter(r_->pos);
     } else if (r_->pos < l_->pos) {
@@ -72,6 +77,11 @@ std::optional<PosRecord> ComposeLockstepOp::Advance(
       bool pass = true;
       if (compiled_.has_value()) {
         ctx_->ChargePredicate(/*join=*/true);
+        if (ctx_->PollFaultRaise(FaultSite::kExprEval, "Compose(lockstep)",
+                                 pos)) {
+          done_ = true;
+          return std::nullopt;
+        }
         pass = compiled_->EvalBool(combined, pos);
       }
       if (pass) {
@@ -89,6 +99,7 @@ std::optional<PosRecord> ComposeLockstepOp::Advance(
 // --- ComposeStreamProbeOp ---------------------------------------------------
 
 Status ComposeStreamProbeOp::Open(ExecContext* ctx) {
+  SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("Compose(stream-probe)"));
   ctx_ = ctx;
   if (predicate_ != nullptr) {
     SEQ_ASSIGN_OR_RETURN(
@@ -103,12 +114,16 @@ Status ComposeStreamProbeOp::Open(ExecContext* ctx) {
 
 std::optional<PosRecord> ComposeStreamProbeOp::TryJoin(PosRecord d) {
   std::optional<Record> o = other_->Probe(d.pos);
-  if (!o.has_value()) return std::nullopt;
+  if (!o.has_value() || ctx_->failed()) return std::nullopt;
   Record combined = driver_is_left_
                         ? Combine(std::move(d.rec), std::move(*o))
                         : Combine(std::move(*o), std::move(d.rec));
   if (compiled_.has_value()) {
     ctx_->ChargePredicate(/*join=*/true);
+    if (ctx_->PollFaultRaise(FaultSite::kExprEval, "Compose(stream-probe)",
+                             d.pos)) {
+      return std::nullopt;
+    }
     if (!compiled_->EvalBool(combined, d.pos)) return std::nullopt;
   }
   ctx_->ChargeCompute();
@@ -118,7 +133,7 @@ std::optional<PosRecord> ComposeStreamProbeOp::TryJoin(PosRecord d) {
 std::optional<PosRecord> ComposeStreamProbeOp::Next() {
   while (true) {
     std::optional<PosRecord> d = driver_->Next();
-    if (!d.has_value()) return std::nullopt;
+    if (!d.has_value() || ctx_->failed()) return std::nullopt;
     std::optional<PosRecord> joined = TryJoin(std::move(*d));
     if (joined.has_value()) return joined;
   }
@@ -126,7 +141,7 @@ std::optional<PosRecord> ComposeStreamProbeOp::Next() {
 
 std::optional<PosRecord> ComposeStreamProbeOp::NextAtOrAfter(Position p) {
   std::optional<PosRecord> d = driver_->NextAtOrAfter(p);
-  while (d.has_value()) {
+  while (d.has_value() && !ctx_->failed()) {
     std::optional<PosRecord> joined = TryJoin(std::move(*d));
     if (joined.has_value()) return joined;
     d = driver_->Next();
@@ -147,10 +162,11 @@ size_t ComposeStreamProbeOp::NextBatch(RecordBatch* out) {
   // next driver batch, so 0 still means end of stream.
   while (true) {
     size_t n = driver_->NextBatch(driver_batch_.get());
-    if (n == 0) return 0;
+    if (n == 0 || ctx_->failed()) return 0;
     positions_.resize(n);
     for (size_t i = 0; i < n; ++i) positions_[i] = driver_batch_->pos(i);
     size_t m = other_->ProbeBatch(positions_, probe_batch_.get());
+    if (ctx_->failed()) return 0;
     int64_t hits = 0;
     int64_t passed = 0;
     size_t j = 0;
@@ -167,15 +183,22 @@ size_t ComposeStreamProbeOp::NextBatch(RecordBatch* out) {
       } else {
         CombineInto(&dst, o, d);
       }
-      if (compiled_.has_value() &&
-          !compiled_->EvalBoolFlat(dst, p, &scratch_)) {
-        out->Truncate(out->size() - 1);
-        continue;
+      if (compiled_.has_value()) {
+        if (ctx_->PollFaultRaise(FaultSite::kExprEval,
+                                 "Compose(stream-probe)", p)) {
+          out->Truncate(out->size() - 1);
+          break;
+        }
+        if (!compiled_->EvalBoolFlat(dst, p, &scratch_)) {
+          out->Truncate(out->size() - 1);
+          continue;
+        }
       }
       ++passed;
     }
     if (compiled_.has_value()) ctx_->ChargePredicates(/*join=*/true, hits);
     ctx_->ChargeComputeN(passed);
+    if (ctx_->failed()) return 0;
     if (out->size() > 0) return out->size();
   }
 }
@@ -183,6 +206,7 @@ size_t ComposeStreamProbeOp::NextBatch(RecordBatch* out) {
 // --- ComposeProbeBothOp -----------------------------------------------------
 
 Status ComposeProbeBothOp::Open(ExecContext* ctx) {
+  SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("Compose(probe-both)"));
   ctx_ = ctx;
   if (predicate_ != nullptr) {
     SEQ_ASSIGN_OR_RETURN(
@@ -209,9 +233,14 @@ std::optional<Record> ComposeProbeBothOp::Probe(Position p) {
     l = left_->Probe(p);
     if (!l.has_value()) return std::nullopt;
   }
+  if (ctx_->failed()) return std::nullopt;
   Record combined = Combine(std::move(*l), std::move(*r));
   if (compiled_.has_value()) {
     ctx_->ChargePredicate(/*join=*/true);
+    if (ctx_->PollFaultRaise(FaultSite::kExprEval, "Compose(probe-both)",
+                             p)) {
+      return std::nullopt;
+    }
     if (!compiled_->EvalBool(combined, p)) return std::nullopt;
   }
   ctx_->ChargeCompute();
@@ -230,10 +259,11 @@ size_t ComposeProbeBothOp::ProbeBatch(std::span<const Position> positions,
   // Short-circuit parity: the second side is probed only at the first
   // side's hit positions, exactly like the tuple path.
   size_t na = first->ProbeBatch(positions, batch_a_.get());
-  if (na == 0) return 0;
+  if (na == 0 || ctx_->failed()) return 0;
   positions2_.resize(na);
   for (size_t i = 0; i < na; ++i) positions2_[i] = batch_a_->pos(i);
   size_t nb = second->ProbeBatch(positions2_, batch_b_.get());
+  if (ctx_->failed()) return 0;
   int64_t both = 0;
   int64_t passed = 0;
   size_t j = 0;
@@ -250,14 +280,22 @@ size_t ComposeProbeBothOp::ProbeBatch(std::span<const Position> positions,
     } else {
       CombineInto(&dst, b, a);
     }
-    if (compiled_.has_value() && !compiled_->EvalBoolFlat(dst, p, &scratch_)) {
-      out->Truncate(out->size() - 1);
-      continue;
+    if (compiled_.has_value()) {
+      if (ctx_->PollFaultRaise(FaultSite::kExprEval, "Compose(probe-both)",
+                               p)) {
+        out->Truncate(out->size() - 1);
+        break;
+      }
+      if (!compiled_->EvalBoolFlat(dst, p, &scratch_)) {
+        out->Truncate(out->size() - 1);
+        continue;
+      }
     }
     ++passed;
   }
   if (compiled_.has_value()) ctx_->ChargePredicates(/*join=*/true, both);
   ctx_->ChargeComputeN(passed);
+  if (ctx_->failed()) return 0;
   return out->size();
 }
 

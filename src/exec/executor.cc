@@ -257,9 +257,22 @@ Status Executor::ExecuteVisit(const PhysicalPlan& plan, const RowSink& sink,
   ctx.catalog = &catalog_;
   ctx.stats = stats;
   ctx.params = params_;
+  ctx.faults = options_.fault_injector;
+  ctx.guards = options_.guards;
+  ctx.ArmGuards();
+  // The page budget is counted from AccessStats, so enforce it even when
+  // the caller did not ask for stats.
+  AccessStats guard_stats;
+  if (ctx.guards.max_pages > 0 && stats == nullptr) ctx.stats = &guard_stats;
 
   SEQ_ASSIGN_OR_RETURN(SeqOpPtr root, Build(plan.root, nullptr));
   SEQ_RETURN_IF_ERROR(root->Open(&ctx));
+
+  // Rows already handed to the sink before a mid-stream error or budget
+  // trip have been seen — streaming consumption cannot take them back. The
+  // returned status still reports the failure; see docs/robustness.md.
+  int64_t emitted = 0;
+  Status guard_status;
 
   if (plan.root_mode == AccessMode::kStream) {
     const Span range = plan.output_span;
@@ -268,20 +281,25 @@ Status Executor::ExecuteVisit(const PhysicalPlan& plan, const RowSink& sink,
       // no per-row materialization anywhere on this path.
       RecordBatch batch(options_.batch_capacity);
       while (root->NextBatch(&batch) > 0) {
-        int64_t emitted = 0;
+        if (ctx.failed()) break;
+        int64_t batch_emitted = 0;
         for (size_t i = 0; i < batch.size(); ++i) {
           if (batch.pos(i) < range.start || batch.pos(i) > range.end) {
             continue;
           }
           sink(batch.pos(i), batch.rec(i));
-          ++emitted;
+          ++batch_emitted;
         }
-        if (stats != nullptr) stats->records_output += emitted;
+        if (stats != nullptr) stats->records_output += batch_emitted;
+        emitted += batch_emitted;
+        guard_status = ctx.CheckGuards(emitted);
+        if (!guard_status.ok()) break;
       }
     } else if (!range.IsEmpty()) {
       size_t next_wanted = 0;
       std::optional<PosRecord> r = root->NextAtOrAfter(range.start);
       while (r.has_value() && r->pos <= range.end) {
+        if (ctx.failed()) break;
         bool wanted = true;
         if (!plan.positions.empty()) {
           while (next_wanted < plan.positions.size() &&
@@ -294,27 +312,38 @@ Status Executor::ExecuteVisit(const PhysicalPlan& plan, const RowSink& sink,
         if (wanted) {
           sink(r->pos, r->rec);
           if (stats != nullptr) ++stats->records_output;
+          ++emitted;
         }
+        guard_status = ctx.CheckGuards(emitted);
+        if (!guard_status.ok()) break;
         r = root->Next();
       }
     }
     root->Close();
-    return Status::OK();
+    SEQ_RETURN_IF_ERROR(ctx.TakeError());
+    return guard_status;
   }
 
   // Probed driving.
   if (options_.use_batch) {
     RecordBatch batch(options_.batch_capacity);
+    // Returns false when a fault or budget stops the query.
     auto probe_chunk = [&](std::span<const Position> chunk) {
       size_t n = root->ProbeBatch(chunk, &batch);
+      if (ctx.failed()) return false;
       for (size_t i = 0; i < n; ++i) sink(batch.pos(i), batch.rec(i));
       if (stats != nullptr) stats->records_output += static_cast<int64_t>(n);
+      emitted += static_cast<int64_t>(n);
+      guard_status = ctx.CheckGuards(emitted);
+      return guard_status.ok();
     };
     if (!plan.positions.empty()) {
       std::span<const Position> all(plan.positions);
       for (size_t off = 0; off < all.size(); off += options_.batch_capacity) {
-        probe_chunk(all.subspan(
-            off, std::min(options_.batch_capacity, all.size() - off)));
+        if (!probe_chunk(all.subspan(
+                off, std::min(options_.batch_capacity, all.size() - off)))) {
+          break;
+        }
       }
     } else if (!plan.output_span.IsEmpty()) {
       std::vector<Position> chunk;
@@ -326,28 +355,35 @@ Status Executor::ExecuteVisit(const PhysicalPlan& plan, const RowSink& sink,
                p <= plan.output_span.end) {
           chunk.push_back(p++);
         }
-        probe_chunk(chunk);
+        if (!probe_chunk(chunk)) break;
       }
     }
   } else {
     auto probe_one = [&](Position p) {
       std::optional<Record> r = root->Probe(p);
+      if (ctx.failed()) return false;
       if (r.has_value()) {
         sink(p, *r);
         if (stats != nullptr) ++stats->records_output;
+        ++emitted;
       }
+      guard_status = ctx.CheckGuards(emitted);
+      return guard_status.ok();
     };
     if (!plan.positions.empty()) {
-      for (Position p : plan.positions) probe_one(p);
+      for (Position p : plan.positions) {
+        if (!probe_one(p)) break;
+      }
     } else if (!plan.output_span.IsEmpty()) {
       for (Position p = plan.output_span.start; p <= plan.output_span.end;
            ++p) {
-        probe_one(p);
+        if (!probe_one(p)) break;
       }
     }
   }
   root->Close();
-  return Status::OK();
+  SEQ_RETURN_IF_ERROR(ctx.TakeError());
+  return guard_status;
 }
 
 Result<QueryResult> Executor::ExecuteProfiled(const PhysicalPlan& plan,
@@ -414,9 +450,22 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
   ctx.catalog = &catalog_;
   ctx.stats = stats;
   ctx.params = params_;
+  ctx.faults = options_.fault_injector;
+  ctx.guards = options_.guards;
+  ctx.ArmGuards();
+  // The page budget is counted from AccessStats, so enforce it even when
+  // the caller did not ask for stats.
+  AccessStats guard_stats;
+  if (ctx.guards.max_pages > 0 && stats == nullptr) ctx.stats = &guard_stats;
 
   QueryResult result;
   result.schema = plan.schema;
+
+  // Running root-row count for the row budget; a mid-stream fault or
+  // budget trip discards the whole partial result — Execute never returns
+  // truncated answers.
+  int64_t emitted = 0;
+  Status guard_status;
 
   SEQ_ASSIGN_OR_RETURN(SeqOpPtr root, Build(plan.root, root_profile));
   SEQ_RETURN_IF_ERROR(root->Open(&ctx));
@@ -439,6 +488,7 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
       // reusable buffers and reintroduce a per-row allocation upstream.
       RecordBatch batch(options_.batch_capacity);
       while (root->NextBatch(&batch) > 0) {
+        if (ctx.failed()) break;
         size_t before = result.records.size();
         for (size_t i = 0; i < batch.size(); ++i) {
           if (batch.pos(i) < range.start || batch.pos(i) > range.end) {
@@ -453,6 +503,9 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
           stats->records_output +=
               static_cast<int64_t>(result.records.size() - before);
         }
+        emitted += static_cast<int64_t>(result.records.size() - before);
+        guard_status = ctx.CheckGuards(emitted);
+        if (!guard_status.ok()) break;
       }
     } else if (!range.IsEmpty()) {
       // Point queries served by a stream plan filter to the requested
@@ -460,6 +513,7 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
       size_t next_wanted = 0;
       std::optional<PosRecord> r = root->NextAtOrAfter(range.start);
       while (r.has_value() && r->pos <= range.end) {
+        if (ctx.failed()) break;
         bool wanted = true;
         if (!plan.positions.empty()) {
           while (next_wanted < plan.positions.size() &&
@@ -472,11 +526,16 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
         if (wanted) {
           result.records.push_back(std::move(*r));
           if (stats != nullptr) ++stats->records_output;
+          ++emitted;
         }
+        guard_status = ctx.CheckGuards(emitted);
+        if (!guard_status.ok()) break;
         r = root->Next();
       }
     }
     root->Close();
+    SEQ_RETURN_IF_ERROR(ctx.TakeError());
+    SEQ_RETURN_IF_ERROR(guard_status);
     return result;
   }
 
@@ -487,8 +546,10 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
   // the same reason it does on the stream side.
   if (options_.use_batch) {
     RecordBatch batch(options_.batch_capacity);
+    // Returns false when a fault or budget stops the query.
     auto probe_chunk = [&](std::span<const Position> chunk) {
       size_t n = root->ProbeBatch(chunk, &batch);
+      if (ctx.failed()) return false;
       for (size_t i = 0; i < n; ++i) {
         result.records.emplace_back();
         PosRecord& pr = result.records.back();
@@ -496,12 +557,17 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
         MoveRecordValues(pr.rec, batch.rec(i));
       }
       if (stats != nullptr) stats->records_output += static_cast<int64_t>(n);
+      emitted += static_cast<int64_t>(n);
+      guard_status = ctx.CheckGuards(emitted);
+      return guard_status.ok();
     };
     if (!plan.positions.empty()) {
       std::span<const Position> all(plan.positions);
       for (size_t off = 0; off < all.size(); off += options_.batch_capacity) {
-        probe_chunk(all.subspan(
-            off, std::min(options_.batch_capacity, all.size() - off)));
+        if (!probe_chunk(all.subspan(
+                off, std::min(options_.batch_capacity, all.size() - off)))) {
+          break;
+        }
       }
     } else if (!plan.output_span.IsEmpty()) {
       std::vector<Position> chunk;
@@ -513,27 +579,35 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
                p <= plan.output_span.end) {
           chunk.push_back(p++);
         }
-        probe_chunk(chunk);
+        if (!probe_chunk(chunk)) break;
       }
     }
   } else {
     auto probe_one = [&](Position p) {
       std::optional<Record> r = root->Probe(p);
+      if (ctx.failed()) return false;
       if (r.has_value()) {
         result.records.push_back(PosRecord{p, std::move(*r)});
         if (stats != nullptr) ++stats->records_output;
+        ++emitted;
       }
+      guard_status = ctx.CheckGuards(emitted);
+      return guard_status.ok();
     };
     if (!plan.positions.empty()) {
-      for (Position p : plan.positions) probe_one(p);
+      for (Position p : plan.positions) {
+        if (!probe_one(p)) break;
+      }
     } else if (!plan.output_span.IsEmpty()) {
       for (Position p = plan.output_span.start; p <= plan.output_span.end;
            ++p) {
-        probe_one(p);
+        if (!probe_one(p)) break;
       }
     }
   }
   root->Close();
+  SEQ_RETURN_IF_ERROR(ctx.TakeError());
+  SEQ_RETURN_IF_ERROR(guard_status);
   return result;
 }
 

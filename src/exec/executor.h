@@ -49,6 +49,14 @@ struct ExecOptions {
   /// Capacity of the driver's RecordBatch and of every BatchInput buffer
   /// allocated beneath it.
   size_t batch_capacity = RecordBatch::kDefaultCapacity;
+  /// Per-query budgets (rows, pages, wall clock, cache memory) and the
+  /// cooperative cancellation flag; see QueryGuards. All unlimited by
+  /// default.
+  QueryGuards guards;
+  /// Deterministic fault source for robustness testing; never set in
+  /// production. Owned by the caller and must outlive every execution that
+  /// uses these options.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Instantiates physical operators from plan descriptors and drives the

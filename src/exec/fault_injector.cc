@@ -1,0 +1,17 @@
+#include "exec/fault_injector.h"
+
+namespace seq {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kPageRead:
+      return "page-read";
+    case FaultSite::kOperatorOpen:
+      return "operator-open";
+    case FaultSite::kExprEval:
+      return "expr-eval";
+  }
+  return "unknown";
+}
+
+}  // namespace seq

@@ -1,0 +1,102 @@
+#ifndef SEQ_EXEC_FAULT_INJECTOR_H_
+#define SEQ_EXEC_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <random>
+
+namespace seq {
+
+/// Places where the execution engine consults the fault injector. Each
+/// site models one failure class of a real deployment:
+///
+///  * kPageRead     — a storage access (stream page read or positional
+///                    probe) fails, as a disk/remote-page fault would;
+///  * kOperatorOpen — an operator fails to initialize (allocation failure,
+///                    missing resource) during plan Open;
+///  * kExprEval     — a predicate/expression evaluation faults mid-stream
+///                    (the record-k error-propagation case).
+enum class FaultSite : uint8_t {
+  kPageRead = 0,
+  kOperatorOpen,
+  kExprEval,
+};
+inline constexpr int kNumFaultSites = 3;
+
+const char* FaultSiteName(FaultSite site);
+
+/// Deterministic, seeded fault source for robustness testing. Each site is
+/// armed independently with either a trigger count ("fail exactly the n-th
+/// hit of this site") or a probability (seeded Bernoulli per hit); both can
+/// be active. Unarmed sites cost one predictable branch per poll, and an
+/// injector is only consulted at all when one is registered on the
+/// ExecContext, so production runs pay nothing.
+///
+/// The injector is intentionally *global per site*, not per operator: with
+/// a deterministic plan, "the k-th Open" or "the k-th page read" identifies
+/// a unique plan location, which is what lets the fault-matrix test sweep
+/// every operator in a plan by sweeping k.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0) : seed_(seed), engine_(seed) {}
+
+  /// Fail exactly the n-th (1-based) hit of `site`. 0 disarms the trigger.
+  void ArmAfter(FaultSite site, int64_t n) {
+    sites_[Index(site)].trigger_at = n;
+  }
+
+  /// Fail each hit of `site` independently with probability `p`.
+  void ArmProbability(FaultSite site, double p) {
+    sites_[Index(site)].probability = p;
+  }
+
+  bool armed(FaultSite site) const {
+    const SiteState& s = sites_[Index(site)];
+    return s.trigger_at > 0 || s.probability > 0.0;
+  }
+
+  /// Counts a hit of `site`; true when this hit is chosen to fail. A fired
+  /// trigger stays fired only once (hit counters keep advancing), so a
+  /// retried query re-fails only if the trigger count is hit again.
+  bool Poll(FaultSite site) {
+    SiteState& s = sites_[Index(site)];
+    ++s.hits;
+    bool fire = false;
+    if (s.trigger_at > 0 && s.hits == s.trigger_at) fire = true;
+    if (!fire && s.probability > 0.0) {
+      fire = std::bernoulli_distribution(s.probability)(engine_);
+    }
+    if (fire) ++fired_;
+    return fire;
+  }
+
+  /// Clears hit/fire counters and re-seeds the probability stream, keeping
+  /// the armed configuration — one configured injector can drive many
+  /// identical runs deterministically.
+  void ResetCounters() {
+    for (SiteState& s : sites_) s.hits = 0;
+    fired_ = 0;
+    engine_.seed(seed_);
+  }
+
+  int64_t hits(FaultSite site) const { return sites_[Index(site)].hits; }
+  int64_t fired() const { return fired_; }
+
+ private:
+  struct SiteState {
+    int64_t trigger_at = 0;    // fail the n-th hit; 0 = off
+    double probability = 0.0;  // per-hit failure probability; 0 = off
+    int64_t hits = 0;
+  };
+
+  static size_t Index(FaultSite site) { return static_cast<size_t>(site); }
+
+  uint64_t seed_;
+  std::mt19937_64 engine_;
+  std::array<SiteState, kNumFaultSites> sites_{};
+  int64_t fired_ = 0;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_EXEC_FAULT_INJECTOR_H_

@@ -6,12 +6,18 @@
 
 namespace seq {
 
+namespace {
+constexpr const char* kCacheBLabel = "ValueOffset(cache-B)";
+}  // namespace
+
 Status ValueOffsetOp::Open(ExecContext* ctx) {
+  SEQ_RETURN_IF_ERROR(ctx->PollOpenFault(kCacheBLabel));
   ctx_ = ctx;
   next_pos_ = required_.start;
   child_done_ = false;
   pending_.reset();
   cache_.clear();
+  cache_footprint_ = 0;
   input_.Reset();
   last_probe_pos_ = kMinPosition;
   return child_->Open(ctx);
@@ -21,6 +27,31 @@ void ValueOffsetOp::Fill() {
   if (child_done_ || pending_.has_value()) return;
   pending_ = child_->Next();
   if (!pending_.has_value()) child_done_ = true;
+}
+
+bool ValueOffsetOp::ChargeCacheEntry() {
+  const int64_t b = static_cast<int64_t>(sizeof(Position)) +
+                    ApproxRecordBytes(cache_.back().rec);
+  cache_footprint_ += b;
+  if (!ctx_->AdjustCacheBytes(b)) {
+    ctx_->RaiseCacheBudget(kCacheBLabel);
+    return false;
+  }
+  return true;
+}
+
+void ValueOffsetOp::ReleaseFrontEntry() {
+  const int64_t b = static_cast<int64_t>(sizeof(Position)) +
+                    ApproxRecordBytes(cache_.front().rec);
+  cache_footprint_ -= b;
+  ctx_->AdjustCacheBytes(-b);
+  cache_.pop_front();
+}
+
+void ValueOffsetOp::ReleaseAllEntries() {
+  ctx_->AdjustCacheBytes(-cache_footprint_);
+  cache_footprint_ = 0;
+  cache_.clear();
 }
 
 std::optional<PosRecord> ValueOffsetOp::Next() {
@@ -34,13 +65,14 @@ std::optional<PosRecord> ValueOffsetOp::NextAtOrAfter(Position p) {
   size_t magnitude = static_cast<size_t>(std::abs(offset_));
 
   if (offset_ < 0) {
-    while (p <= required_.end) {
+    while (p <= required_.end && !ctx_->failed()) {
       // Consume every input strictly before p into the recency cache.
       Fill();
       while (pending_.has_value() && pending_->pos < p) {
         cache_.push_back(std::move(*pending_));
         ctx_->ChargeCacheStore();
-        if (cache_.size() > magnitude) cache_.pop_front();
+        if (!ChargeCacheEntry()) return std::nullopt;
+        if (cache_.size() > magnitude) ReleaseFrontEntry();
         pending_.reset();
         Fill();
       }
@@ -58,14 +90,15 @@ std::optional<PosRecord> ValueOffsetOp::NextAtOrAfter(Position p) {
 
   // offset_ > 0: out(p) is the offset_-th input strictly after p. Keep a
   // lookahead buffer of upcoming inputs.
-  while (p <= required_.end) {
-    while (!cache_.empty() && cache_.front().pos <= p) cache_.pop_front();
+  while (p <= required_.end && !ctx_->failed()) {
+    while (!cache_.empty() && cache_.front().pos <= p) ReleaseFrontEntry();
     while (cache_.size() < magnitude) {
       Fill();
       if (!pending_.has_value()) break;
       if (pending_->pos > p) {
         cache_.push_back(std::move(*pending_));
         ctx_->ChargeCacheStore();
+        if (!ChargeCacheEntry()) return std::nullopt;
       }
       pending_.reset();
     }
@@ -99,6 +132,7 @@ size_t ValueOffsetOp::NextBatch(RecordBatch* out) {
     // one look-ahead record at/past it; limit = end - 1 gives the same.
     const Position limit = required_.end - 1;
     while (!out->full() && p <= required_.end) {
+      if (ctx_->failed()) break;
       bool have = input_.Ready(child_.get(), cap, limit);
       while (have && input_.pos() < p) {
         cache_.emplace_back();
@@ -106,10 +140,12 @@ size_t ValueOffsetOp::NextBatch(RecordBatch* out) {
         slot.pos = input_.pos();
         MoveRecordValues(slot.rec, input_.rec());
         ++stores;
-        if (cache_.size() > magnitude) cache_.pop_front();
+        if (!ChargeCacheEntry()) break;
+        if (cache_.size() > magnitude) ReleaseFrontEntry();
         input_.Consume();
         have = input_.Ready(child_.get(), cap, limit);
       }
+      if (ctx_->failed()) break;
       if (cache_.size() == magnitude) {
         AssignRecord(out->Append(p), cache_.front().rec);
         ++p;
@@ -130,7 +166,8 @@ size_t ValueOffsetOp::NextBatch(RecordBatch* out) {
   // input record as the tuple path.
   const Position limit = required_.end;
   while (!out->full() && p <= required_.end) {
-    while (!cache_.empty() && cache_.front().pos <= p) cache_.pop_front();
+    if (ctx_->failed()) break;
+    while (!cache_.empty() && cache_.front().pos <= p) ReleaseFrontEntry();
     while (cache_.size() < magnitude) {
       if (!input_.Ready(child_.get(), cap, limit)) break;
       if (input_.pos() > p) {
@@ -139,9 +176,11 @@ size_t ValueOffsetOp::NextBatch(RecordBatch* out) {
         slot.pos = input_.pos();
         MoveRecordValues(slot.rec, input_.rec());
         ++stores;
+        if (!ChargeCacheEntry()) break;
       }
       input_.Consume();
     }
+    if (ctx_->failed()) break;
     if (cache_.size() < magnitude) break;
     AssignRecord(out->Append(p), cache_[magnitude - 1].rec);
     ++p;
@@ -157,18 +196,24 @@ void ValueOffsetOp::RewindProbes() {
   // moves forward, so restart the child and replay deterministically —
   // the same reset happens under Probe and ProbeBatch driving, so the
   // paths still charge identically (just more than a monotone consumer
-  // would; the planner avoids handing this operator to one).
+  // would; the planner avoids handing this operator to one). The reopen
+  // can fail legitimately (injected Open fault), so failure is raised on
+  // the context rather than asserted; ProbeStep bails on the raised error.
   child_->Close();
   Status reopened = child_->Open(ctx_);
-  SEQ_CHECK_MSG(reopened.ok(), "value-offset child reopen failed");
+  if (!reopened.ok()) ctx_->Raise(std::move(reopened));
   pending_.reset();
   child_done_ = false;
-  cache_.clear();
+  ReleaseAllEntries();
   last_probe_pos_ = kMinPosition;
 }
 
 const Record* ValueOffsetOp::ProbeStep(Position p, int64_t* stores) {
-  if (p < last_probe_pos_) RewindProbes();
+  if (ctx_->failed()) return nullptr;
+  if (p < last_probe_pos_) {
+    RewindProbes();
+    if (ctx_->failed()) return nullptr;
+  }
   last_probe_pos_ = p;
   const size_t magnitude = static_cast<size_t>(std::abs(offset_));
 
@@ -177,7 +222,8 @@ const Record* ValueOffsetOp::ProbeStep(Position p, int64_t* stores) {
     while (pending_.has_value() && pending_->pos < p) {
       cache_.push_back(std::move(*pending_));
       ++*stores;
-      if (cache_.size() > magnitude) cache_.pop_front();
+      if (!ChargeCacheEntry()) return nullptr;
+      if (cache_.size() > magnitude) ReleaseFrontEntry();
       pending_.reset();
       Fill();
     }
@@ -187,13 +233,14 @@ const Record* ValueOffsetOp::ProbeStep(Position p, int64_t* stores) {
     return &cache_.front().rec;
   }
 
-  while (!cache_.empty() && cache_.front().pos <= p) cache_.pop_front();
+  while (!cache_.empty() && cache_.front().pos <= p) ReleaseFrontEntry();
   while (cache_.size() < magnitude) {
     Fill();
     if (!pending_.has_value()) break;
     if (pending_->pos > p) {
       cache_.push_back(std::move(*pending_));
       ++*stores;
+      if (!ChargeCacheEntry()) return nullptr;
     }
     pending_.reset();
   }
@@ -216,6 +263,7 @@ size_t ValueOffsetOp::ProbeBatch(std::span<const Position> positions,
   int64_t stores = 0;
   for (Position p : positions) {
     const Record* r = ProbeStep(p, &stores);
+    if (ctx_->failed()) break;
     if (r != nullptr) AssignRecord(out->Append(p), *r);
   }
   ctx_->ChargeCacheStores(stores);
@@ -230,12 +278,14 @@ std::optional<Record> ValueOffsetNaiveOp::Search(Position p) {
   if (offset_ < 0) {
     for (Position q = p - 1; q >= child_span_.start; --q) {
       std::optional<Record> r = child_->Probe(q);
+      if (ctx_->failed()) return std::nullopt;
       if (r.has_value() && ++found == magnitude) return r;
     }
     return std::nullopt;
   }
   for (Position q = p + 1; q <= child_span_.end; ++q) {
     std::optional<Record> r = child_->Probe(q);
+    if (ctx_->failed()) return std::nullopt;
     if (r.has_value() && ++found == magnitude) return r;
   }
   return std::nullopt;
@@ -243,6 +293,7 @@ std::optional<Record> ValueOffsetNaiveOp::Search(Position p) {
 
 std::optional<PosRecord> ValueOffsetNaiveOp::Next() {
   while (next_pos_ <= required_.end) {
+    if (ctx_->failed()) return std::nullopt;
     Position p = next_pos_++;
     std::optional<Record> r = Search(p);
     if (r.has_value()) return PosRecord{p, std::move(*r)};
@@ -255,6 +306,7 @@ size_t ValueOffsetNaiveOp::NextBatch(RecordBatch* out) {
   // the batch fill loop charges exactly what the same tuple walk would.
   out->Clear();
   while (!out->full() && next_pos_ <= required_.end) {
+    if (ctx_->failed()) break;
     Position p = next_pos_++;
     std::optional<Record> r = Search(p);
     if (r.has_value()) MoveRecordValues(out->Append(p), *r);
@@ -266,6 +318,7 @@ size_t ValueOffsetNaiveOp::ProbeBatch(std::span<const Position> positions,
                                       RecordBatch* out) {
   out->Clear();
   for (Position p : positions) {
+    if (ctx_->failed()) break;
     std::optional<Record> r = Search(p);
     if (r.has_value()) MoveRecordValues(out->Append(p), *r);
   }

@@ -52,6 +52,12 @@ class ValueOffsetOp : public SeqOp {
   const Record* ProbeStep(Position p, int64_t* stores);
   // Defensive restart for a regressed probe position.
   void RewindProbes();
+  // Cache-memory accounting against QueryGuards::max_cache_bytes: charges
+  // the just-pushed back() entry (false = budget exceeded, degradation
+  // signal raised), releases the front() entry before eviction.
+  bool ChargeCacheEntry();
+  void ReleaseFrontEntry();
+  void ReleaseAllEntries();
 
   SeqOpPtr child_;
   int64_t offset_;
@@ -61,6 +67,7 @@ class ValueOffsetOp : public SeqOp {
   std::optional<PosRecord> pending_;  // next unconsumed child record
   bool child_done_ = false;
   std::deque<PosRecord> cache_;  // last |l| consumed (l<0) / lookahead (l>0)
+  int64_t cache_footprint_ = 0;  // approx bytes charged for cache_
   Position next_pos_ = 0;        // next output position to consider
   BatchInput input_;             // batched child pull (stream NextBatch)
   Position last_probe_pos_ = kMinPosition;
@@ -84,6 +91,8 @@ class ValueOffsetNaiveOp : public SeqOp {
         child_span_(child_span) {}
 
   Status Open(ExecContext* ctx) override {
+    SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("ValueOffset(naive)"));
+    ctx_ = ctx;
     next_pos_ = required_.start;
     return child_->Open(ctx);
   }
@@ -105,6 +114,7 @@ class ValueOffsetNaiveOp : public SeqOp {
   int64_t offset_;
   Span required_;
   Span child_span_;
+  ExecContext* ctx_ = nullptr;
   Position next_pos_ = 0;
 };
 

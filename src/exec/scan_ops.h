@@ -14,43 +14,97 @@ namespace seq {
 /// cursor scan of the required range in position order; probed access is
 /// the store's positional index. Both batch entry points loop the store's
 /// non-virtual access paths directly.
+///
+/// Robustness hooks live at this leaf: every record fetch and every probe
+/// polls the page-read fault site (record granularity — the simulator's
+/// unit of storage access), and every batch refill runs the cooperative
+/// budget check (LeafShouldStop), so a blocking parent that never returns
+/// to the driver still observes cancellation and budgets.
 class BaseScan : public SeqOp {
  public:
   BaseScan(const BaseSequenceStore* store, Span range)
       : store_(store), range_(range) {}
 
   Status Open(ExecContext* ctx) override {
+    SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("BaseScan"));
     ctx_ = ctx;
     cursor_.emplace(store_->OpenStream(range_, ctx->stats));
     return Status::OK();
   }
 
-  std::optional<PosRecord> Next() override { return cursor_->Next(); }
+  std::optional<PosRecord> Next() override {
+    std::optional<PosRecord> r = cursor_->Next();
+    if (r.has_value() &&
+        ctx_->PollFaultRaise(FaultSite::kPageRead, "BaseScan", r->pos)) {
+      return std::nullopt;
+    }
+    return r;
+  }
 
   size_t NextBatch(RecordBatch* out) override {
-    return cursor_->FillBatch(out);
+    if (LeafShouldStop(ctx_)) {
+      out->Clear();
+      return 0;
+    }
+    if (!ctx_->FaultArmed(FaultSite::kPageRead)) {
+      return cursor_->FillBatch(out);
+    }
+    return FaultedFill(kMaxPosition, out);
   }
 
   size_t NextBatchUpTo(Position limit, RecordBatch* out) override {
-    return cursor_->FillBatchUpTo(limit, out);
+    if (LeafShouldStop(ctx_)) {
+      out->Clear();
+      return 0;
+    }
+    if (!ctx_->FaultArmed(FaultSite::kPageRead)) {
+      return cursor_->FillBatchUpTo(limit, out);
+    }
+    return FaultedFill(limit, out);
   }
 
   std::optional<Record> Probe(Position p) override {
-    return store_->Probe(p, ctx_->stats);
+    if (ctx_->failed()) return std::nullopt;
+    std::optional<Record> r = store_->Probe(p, ctx_->stats);
+    if (ctx_->PollFaultRaise(FaultSite::kPageRead, "BaseScan", p)) {
+      return std::nullopt;
+    }
+    return r;
   }
 
   size_t ProbeBatch(std::span<const Position> positions,
                     RecordBatch* out) override {
     out->Clear();
+    if (LeafShouldStop(ctx_)) return 0;
     AccessStats* stats = ctx_->stats;
     for (Position p : positions) {
       std::optional<Record> r = store_->Probe(p, stats);
+      if (ctx_->PollFaultRaise(FaultSite::kPageRead, "BaseScan", p)) break;
       if (r.has_value()) MoveRecordValues(out->Append(p), *r);
     }
     return out->size();
   }
 
  private:
+  // Per-record refill used only when the page-read fault site is armed:
+  // mirrors FillBatch/FillBatchUpTo (include-overshoot) but polls the
+  // injector per record so "fail the k-th read" is deterministic in both
+  // driving modes.
+  size_t FaultedFill(Position limit, RecordBatch* out) {
+    out->Clear();
+    while (!out->full()) {
+      std::optional<PosRecord> r = cursor_->Next();
+      if (!r.has_value()) break;
+      if (ctx_->PollFaultRaise(FaultSite::kPageRead, "BaseScan", r->pos)) {
+        break;
+      }
+      Position p = r->pos;
+      out->Append(p) = std::move(r->rec);
+      if (p > limit) break;
+    }
+    return out->size();
+  }
+
   const BaseSequenceStore* store_;
   Span range_;
   ExecContext* ctx_ = nullptr;
@@ -66,7 +120,9 @@ class ConstantOp : public SeqOp {
   ConstantOp(Record value, Span range)
       : value_(std::move(value)), range_(range) {}
 
-  Status Open(ExecContext*) override {
+  Status Open(ExecContext* ctx) override {
+    SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("Constant"));
+    ctx_ = ctx;
     next_pos_ = range_.start;
     return Status::OK();
   }
@@ -83,6 +139,7 @@ class ConstantOp : public SeqOp {
 
   size_t NextBatch(RecordBatch* out) override {
     out->Clear();
+    if (LeafShouldStop(ctx_)) return 0;
     if (range_.IsEmpty()) return 0;
     while (!out->full() && next_pos_ <= range_.end) {
       AssignRecord(out->Append(next_pos_++), value_);
@@ -95,6 +152,7 @@ class ConstantOp : public SeqOp {
   size_t ProbeBatch(std::span<const Position> positions,
                     RecordBatch* out) override {
     out->Clear();
+    if (LeafShouldStop(ctx_)) return 0;
     for (Position p : positions) AssignRecord(out->Append(p), value_);
     return out->size();
   }
@@ -102,6 +160,7 @@ class ConstantOp : public SeqOp {
  private:
   Record value_;
   Span range_;
+  ExecContext* ctx_ = nullptr;
   Position next_pos_ = 0;
 };
 

@@ -71,15 +71,40 @@ Result<std::vector<PosRecord>> StreamSession::Poll(AccessStats* stats) {
                                                 : high_water_ + 1;
   if (from > frontier) return std::vector<PosRecord>{};
 
-  Optimizer optimizer(*catalog_, options_);
+  // Once a poll degrades, stay degraded: the cache that blew the budget
+  // would blow it again on every subsequent poll.
+  OptimizerOptions options = options_;
+  if (degraded_) {
+    options.cost_params.disable_window_cache = true;
+    options.cost_params.disable_incremental_value_offset = true;
+  }
+  Optimizer optimizer(*catalog_, options);
   Query query;
   query.graph = graph_;
   query.range = Span::Of(from, frontier);
   SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, optimizer.Optimize(query));
-  Executor executor(*catalog_, options_.cost_params, exec_options_);
-  SEQ_ASSIGN_OR_RETURN(QueryResult result, executor.Execute(plan, stats));
+  Executor executor(*catalog_, options.cost_params, exec_options_);
+  AccessStats attempt_stats;
+  Result<QueryResult> result =
+      executor.Execute(plan, stats != nullptr ? &attempt_stats : nullptr);
+  if (!result.ok() && IsCacheBudgetExceeded(result.status())) {
+    // Graceful degradation: re-plan this poll (and all later ones) with
+    // operator caches disabled instead of failing the standing query. The
+    // high-water mark has not advanced, so no answers are lost.
+    degraded_ = true;
+    options.cost_params.disable_window_cache = true;
+    options.cost_params.disable_incremental_value_offset = true;
+    Optimizer degraded_optimizer(*catalog_, options);
+    SEQ_ASSIGN_OR_RETURN(PhysicalPlan fallback,
+                         degraded_optimizer.Optimize(query));
+    Executor degraded_executor(*catalog_, options.cost_params, exec_options_);
+    result = degraded_executor.Execute(fallback, stats);
+  } else if (result.ok() && stats != nullptr) {
+    *stats += attempt_stats;
+  }
+  SEQ_RETURN_IF_ERROR(result.status());
   high_water_ = frontier;
-  return std::move(result.records);
+  return std::move(result.value().records);
 }
 
 }  // namespace seq

@@ -51,6 +51,10 @@ class StreamSession {
   /// The replay window derived from the query's scopes.
   int64_t lookback() const { return lookback_; }
 
+  /// True once a poll hit QueryGuards::max_cache_bytes and the session
+  /// permanently fell back to cache-free plans (see docs/robustness.md).
+  bool degraded() const { return degraded_; }
+
  private:
   const Catalog* catalog_;
   LogicalOpPtr graph_;
@@ -59,6 +63,7 @@ class StreamSession {
   int64_t lookback_ = 0;
   int64_t lead_ = 0;  // how far output may precede the earliest input
   Position high_water_ = kMinPosition;
+  bool degraded_ = false;
 };
 
 }  // namespace seq

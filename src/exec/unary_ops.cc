@@ -28,6 +28,7 @@ size_t CompactIntCmp(RecordBatch* out, size_t n, size_t field, int64_t lit,
 }  // namespace
 
 Status SelectOp::Open(ExecContext* ctx) {
+  SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("Select"));
   ctx_ = ctx;
   SEQ_ASSIGN_OR_RETURN(CompiledExpr compiled,
                        CompiledExpr::CompilePredicate(predicate_, *in_schema_));
@@ -40,16 +41,22 @@ Status SelectOp::Open(ExecContext* ctx) {
 std::optional<PosRecord> SelectOp::Next() {
   while (true) {
     std::optional<PosRecord> r = child_->Next();
-    if (!r.has_value()) return std::nullopt;
+    if (!r.has_value() || ctx_->failed()) return std::nullopt;
     ctx_->ChargePredicate(/*join=*/false);
+    if (ctx_->PollFaultRaise(FaultSite::kExprEval, "Select", r->pos)) {
+      return std::nullopt;
+    }
     if (compiled_->EvalBool(r->rec, r->pos)) return r;
   }
 }
 
 std::optional<PosRecord> SelectOp::NextAtOrAfter(Position p) {
   std::optional<PosRecord> r = child_->NextAtOrAfter(p);
-  while (r.has_value()) {
+  while (r.has_value() && !ctx_->failed()) {
     ctx_->ChargePredicate(/*join=*/false);
+    if (ctx_->PollFaultRaise(FaultSite::kExprEval, "Select", r->pos)) {
+      return std::nullopt;
+    }
     if (compiled_->EvalBool(r->rec, r->pos)) return r;
     r = child_->Next();
   }
@@ -64,12 +71,12 @@ size_t SelectOp::NextBatch(RecordBatch* out) {
   // stream.
   while (true) {
     size_t n = child_->NextBatch(out);
-    if (n == 0) return 0;
+    if (n == 0 || ctx_->failed()) return 0;
     // The predicate is applied to every input row regardless of outcome,
     // so the charge is a single bulk call.
     ctx_->ChargePredicates(/*join=*/false, static_cast<int64_t>(n));
-    size_t kept = simple_.has_value() ? FilterSimple(out, n)
-                                      : FilterGeneric(out, n);
+    size_t kept = Filter(out, n);
+    if (ctx_->failed()) return 0;
     if (kept > 0) {
       out->Truncate(kept);
       return kept;
@@ -85,10 +92,10 @@ size_t SelectOp::NextBatchUpTo(Position limit, RecordBatch* out) {
   // and stops at the first *surviving* record past the limit (or end).
   while (true) {
     size_t n = child_->NextBatchUpTo(limit, out);
-    if (n == 0) return 0;
+    if (n == 0 || ctx_->failed()) return 0;
     ctx_->ChargePredicates(/*join=*/false, static_cast<int64_t>(n));
-    size_t kept = simple_.has_value() ? FilterSimple(out, n)
-                                      : FilterGeneric(out, n);
+    size_t kept = Filter(out, n);
+    if (ctx_->failed()) return 0;
     if (kept > 0) {
       out->Truncate(kept);
       return kept;
@@ -98,8 +105,11 @@ size_t SelectOp::NextBatchUpTo(Position limit, RecordBatch* out) {
 
 std::optional<Record> SelectOp::Probe(Position p) {
   std::optional<Record> r = child_->Probe(p);
-  if (!r.has_value()) return std::nullopt;
+  if (!r.has_value() || ctx_->failed()) return std::nullopt;
   ctx_->ChargePredicate(/*join=*/false);
+  if (ctx_->PollFaultRaise(FaultSite::kExprEval, "Select", p)) {
+    return std::nullopt;
+  }
   if (!compiled_->EvalBool(*r, p)) return std::nullopt;
   return r;
 }
@@ -109,11 +119,36 @@ size_t SelectOp::ProbeBatch(std::span<const Position> positions,
   // The child returns hit rows only; the predicate is applied (and
   // charged) once per hit, exactly as tuple probing does.
   size_t n = child_->ProbeBatch(positions, out);
-  if (n == 0) return 0;
+  if (n == 0 || ctx_->failed()) return 0;
   ctx_->ChargePredicates(/*join=*/false, static_cast<int64_t>(n));
-  size_t kept = simple_.has_value() ? FilterSimple(out, n)
-                                    : FilterGeneric(out, n);
+  size_t kept = Filter(out, n);
+  if (ctx_->failed()) return 0;
   out->Truncate(kept);
+  return kept;
+}
+
+// Dispatches to the fused/simple filters normally; when the expr-eval
+// fault site is armed every row goes through the polling filter so "fail
+// the k-th evaluation" is deterministic in both driving modes.
+size_t SelectOp::Filter(RecordBatch* out, size_t n) {
+  if (ctx_->FaultArmed(FaultSite::kExprEval)) return FilterFaulted(out, n);
+  return simple_.has_value() ? FilterSimple(out, n) : FilterGeneric(out, n);
+}
+
+size_t SelectOp::FilterFaulted(RecordBatch* out, size_t n) {
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (ctx_->PollFaultRaise(FaultSite::kExprEval, "Select", out->pos(i))) {
+      break;
+    }
+    if (compiled_->EvalBoolFlat(out->rec(i), out->pos(i), &scratch_)) {
+      if (kept != i) {
+        out->pos(kept) = out->pos(i);
+        out->rec(kept).swap(out->rec(i));
+      }
+      ++kept;
+    }
+  }
   return kept;
 }
 
@@ -199,6 +234,7 @@ size_t ProjectOp::NextBatch(RecordBatch* out) {
   // 1:1 in-place transform of the batch the child filled: row counts
   // match, so 0 from the child means end of stream.
   size_t n = child_->NextBatch(out);
+  if (ctx_->failed()) return 0;
   ctx_->ChargeComputeN(static_cast<int64_t>(n));
   MapBatchRows(out, n);
   return n;
@@ -206,6 +242,7 @@ size_t ProjectOp::NextBatch(RecordBatch* out) {
 
 size_t ProjectOp::NextBatchUpTo(Position limit, RecordBatch* out) {
   size_t n = child_->NextBatchUpTo(limit, out);
+  if (ctx_->failed()) return 0;
   ctx_->ChargeComputeN(static_cast<int64_t>(n));
   MapBatchRows(out, n);
   return n;
@@ -224,6 +261,7 @@ std::optional<Record> ProjectOp::Probe(Position p) {
 size_t ProjectOp::ProbeBatch(std::span<const Position> positions,
                              RecordBatch* out) {
   size_t n = child_->ProbeBatch(positions, out);
+  if (ctx_->failed()) return 0;
   ctx_->ChargeComputeN(static_cast<int64_t>(n));
   MapBatchRows(out, n);
   return n;

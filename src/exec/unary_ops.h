@@ -36,8 +36,10 @@ class SelectOp : public SeqOp {
   void Close() override { child_->Close(); }
 
  private:
+  size_t Filter(RecordBatch* out, size_t n);
   size_t FilterGeneric(RecordBatch* out, size_t n);
   size_t FilterSimple(RecordBatch* out, size_t n);
+  size_t FilterFaulted(RecordBatch* out, size_t n);
 
   SeqOpPtr child_;
   ExprPtr predicate_;
@@ -64,6 +66,7 @@ class ProjectOp : public SeqOp {
   }
 
   Status Open(ExecContext* ctx) override {
+    SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("Project"));
     ctx_ = ctx;
     return child_->Open(ctx);
   }
@@ -96,7 +99,10 @@ class PosOffsetOp : public SeqOp {
   PosOffsetOp(SeqOpPtr child, int64_t offset)
       : child_(std::move(child)), offset_(offset) {}
 
-  Status Open(ExecContext* ctx) override { return child_->Open(ctx); }
+  Status Open(ExecContext* ctx) override {
+    SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("PosOffset"));
+    return child_->Open(ctx);
+  }
   std::optional<PosRecord> Next() override {
     std::optional<PosRecord> r = child_->Next();
     if (!r.has_value()) return std::nullopt;

@@ -70,6 +70,16 @@ class WindowState {
 
   int64_t count() const { return count_; }
 
+  /// Approximate heap footprint of the live window in bytes, for the
+  /// operator-cache memory budget (QueryGuards::max_cache_bytes). Entries
+  /// dominate; the min/max candidate queues are bounded by the window.
+  int64_t ApproxBytes() const {
+    return static_cast<int64_t>(
+        window_.size() * sizeof(Entry) +
+        (min_q_.size() + max_q_.size()) *
+            sizeof(std::pair<Position, Value>));
+  }
+
   /// Aggregate of the live window. Requires count() > 0.
   Value Current() const {
     SEQ_CHECK(count_ > 0);

@@ -43,6 +43,7 @@ void QueryProfile::Reset() {
   total_wall_ns = 0;
   stats = AccessStats{};
   optimizer = OptTrace{};
+  notes.clear();
 }
 
 double QueryProfile::MaxQError() const {
@@ -103,6 +104,10 @@ std::string QueryProfile::ToString() const {
     oss << "root cost drift: est=" << FormatDouble(root->est_cost)
         << " measured=" << FormatDouble(root->sim_cost)
         << " ratio=" << FormatDouble(act / est) << "\n";
+  }
+  if (!notes.empty()) {
+    oss << "=== notes ===\n";
+    for (const std::string& note : notes) oss << note << "\n";
   }
   oss << "=== totals ===\n";
   oss << "wall: " << FormatWall(total_wall_ns) << "\n";

@@ -61,6 +61,11 @@ struct QueryProfile {
   AccessStats stats;                      ///< roll-up of all charges
   OptTrace optimizer;                     ///< what the optimizer did and why
 
+  /// Free-form execution events worth surfacing to the reader — e.g. the
+  /// graceful-degradation record appended when a cache-memory budget forced
+  /// a re-plan with operator caches disabled. Rendered by ToString.
+  std::vector<std::string> notes;
+
   /// Clears everything and installs a fresh (empty) root node.
   void Reset();
 

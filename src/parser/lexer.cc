@@ -69,12 +69,21 @@ Result<std::vector<Token>> Tokenize(const std::string& source) {
         advance(1);
       }
       std::string text = source.substr(start, i - start);
-      if (is_double) {
-        tok.kind = TokKind::kDouble;
-        tok.double_value = std::stod(text);
-      } else {
-        tok.kind = TokKind::kInt;
-        tok.int_value = std::stoll(text);
+      // stoll/stod throw on out-of-range input; a user typing a 40-digit
+      // literal gets a parse error, not a crash.
+      try {
+        if (is_double) {
+          tok.kind = TokKind::kDouble;
+          tok.double_value = std::stod(text);
+        } else {
+          tok.kind = TokKind::kInt;
+          tok.int_value = std::stoll(text);
+        }
+      } catch (const std::exception&) {
+        return Status::ParseError("numeric literal '" + text +
+                                  "' out of range at line " +
+                                  std::to_string(tok.line) + ", column " +
+                                  std::to_string(tok.column));
       }
       tok.text = std::move(text);
       tokens.push_back(std::move(tok));

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <set>
 
 namespace seq {
 namespace {
@@ -10,6 +11,7 @@ namespace {
 constexpr char kMagic[4] = {'S', 'E', 'Q', '1'};
 constexpr uint32_t kMaxStringLen = 1u << 20;
 constexpr uint32_t kMaxFields = 1u << 10;
+constexpr uint32_t kMaxRecordsPerPage = 1u << 20;
 
 template <typename T>
 void WritePod(std::ostream& out, T value) {
@@ -101,22 +103,36 @@ Result<BaseSequencePtr> LoadSequence(const std::string& path) {
       !ReadPod(in, &costs.page_cost) || !ReadPod(in, &costs.probe_cost) ||
       !ReadPod(in, &clustered) || !ReadPod(in, &span_start) ||
       !ReadPod(in, &span_end)) {
-    return Status::InvalidArgument("'" + path + "': truncated header");
+    return Status::DataLoss("'" + path + "': truncated header");
+  }
+  // The store takes records_per_page as a positive int; a corrupt value
+  // above INT_MAX would otherwise wrap negative and trip its invariant
+  // check (an abort — never acceptable on file input).
+  if (records_per_page > kMaxRecordsPerPage) {
+    return Status::DataLoss("'" + path + "': implausible records_per_page " +
+                            std::to_string(records_per_page));
   }
   costs.clustered = clustered != 0;
   uint32_t num_fields = 0;
   if (!ReadPod(in, &num_fields) || num_fields == 0 ||
       num_fields > kMaxFields) {
-    return Status::InvalidArgument("'" + path + "': bad field count");
+    return Status::DataLoss("'" + path + "': bad field count");
   }
   std::vector<Field> fields;
   fields.reserve(num_fields);
+  std::set<std::string> names;
   for (uint32_t i = 0; i < num_fields; ++i) {
     Field f;
     uint8_t type = 0;
     if (!ReadString(in, &f.name) || !ReadPod(in, &type) ||
         type > static_cast<uint8_t>(TypeId::kString)) {
-      return Status::InvalidArgument("'" + path + "': bad field header");
+      return Status::DataLoss("'" + path + "': bad field header");
+    }
+    // Schema::Make treats duplicate names as a programming error (abort);
+    // reject them here so a corrupt file cannot reach it.
+    if (!names.insert(f.name).second) {
+      return Status::DataLoss("'" + path + "': duplicate field name '" +
+                              f.name + "'");
     }
     f.type = static_cast<TypeId>(type);
     fields.push_back(std::move(f));
@@ -126,12 +142,12 @@ Result<BaseSequencePtr> LoadSequence(const std::string& path) {
       schema, static_cast<int>(records_per_page), costs);
   uint64_t num_records = 0;
   if (!ReadPod(in, &num_records)) {
-    return Status::InvalidArgument("'" + path + "': truncated record count");
+    return Status::DataLoss("'" + path + "': truncated record count");
   }
   for (uint64_t r = 0; r < num_records; ++r) {
     int64_t pos = 0;
     if (!ReadPod(in, &pos)) {
-      return Status::InvalidArgument("'" + path + "': truncated records");
+      return Status::DataLoss("'" + path + "': truncated records");
     }
     Record rec;
     rec.reserve(schema->num_fields());
@@ -140,7 +156,7 @@ Result<BaseSequencePtr> LoadSequence(const std::string& path) {
         case TypeId::kInt64: {
           int64_t v;
           if (!ReadPod(in, &v)) {
-            return Status::InvalidArgument("'" + path + "': truncated value");
+            return Status::DataLoss("'" + path + "': truncated value");
           }
           rec.push_back(Value::Int64(v));
           break;
@@ -148,7 +164,7 @@ Result<BaseSequencePtr> LoadSequence(const std::string& path) {
         case TypeId::kDouble: {
           double v;
           if (!ReadPod(in, &v)) {
-            return Status::InvalidArgument("'" + path + "': truncated value");
+            return Status::DataLoss("'" + path + "': truncated value");
           }
           rec.push_back(Value::Double(v));
           break;
@@ -156,7 +172,7 @@ Result<BaseSequencePtr> LoadSequence(const std::string& path) {
         case TypeId::kBool: {
           uint8_t v;
           if (!ReadPod(in, &v)) {
-            return Status::InvalidArgument("'" + path + "': truncated value");
+            return Status::DataLoss("'" + path + "': truncated value");
           }
           rec.push_back(Value::Bool(v != 0));
           break;
@@ -164,7 +180,7 @@ Result<BaseSequencePtr> LoadSequence(const std::string& path) {
         case TypeId::kString: {
           std::string v;
           if (!ReadString(in, &v)) {
-            return Status::InvalidArgument("'" + path + "': truncated value");
+            return Status::DataLoss("'" + path + "': truncated value");
           }
           rec.push_back(Value::String(std::move(v)));
           break;

@@ -92,6 +92,21 @@ inline void MoveRecordValues(Record& dst, Record& src) {
   for (size_t i = 0; i < src.size(); ++i) dst[i] = std::move(src[i]);
 }
 
+/// Approximate heap footprint of one record in bytes: vector header plus
+/// one Value per field plus string payloads. Used by the operator-cache
+/// memory budget (QueryGuards::max_cache_bytes); an estimate is enough —
+/// the budget models memory pressure, not an allocator.
+inline int64_t ApproxRecordBytes(const Record& rec) {
+  int64_t bytes =
+      static_cast<int64_t>(sizeof(Record) + rec.size() * sizeof(Value));
+  for (const Value& v : rec) {
+    if (v.type() == TypeId::kString) {
+      bytes += static_cast<int64_t>(v.str().capacity());
+    }
+  }
+  return bytes;
+}
+
 /// True if `rec` matches `schema` arity and field types.
 bool RecordMatchesSchema(const Record& rec, const Schema& schema);
 

@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 #include <sstream>
 #include <thread>
 
 #include "common/rng.h"
 #include "core/engine.h"
+#include "exec/fault_injector.h"
 #include "parser/parser.h"
 #include "workload/generators.h"
 
@@ -121,6 +123,116 @@ TEST_F(ErrorsTest, StatusRendering) {
   oss << s;
   EXPECT_EQ(oss.str(), "TypeError: boom");
   EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+// --- injected-fault labeling (record-k error propagation) -----------------------
+
+// A mid-stream fault at record k must surface as a Status naming the
+// failing operator and the position it was processing — that pair is what
+// makes a production incident debuggable. The sites that carry positions
+// are per-record polls: kPageRead (scans) and kExprEval (predicates).
+TEST_F(ErrorsTest, RecordKFaultCarriesOperatorLabelAndPosition) {
+  struct Case {
+    const char* name;
+    QueryBuilder query;
+    FaultSite site;
+    int64_t k;
+    const char* want_label;
+    Position want_pos;
+  };
+  const QueryBuilder scan = SeqRef("s");
+  const QueryBuilder select =
+      SeqRef("s").Select(Gt(Col("value"), Lit(int64_t{-1})));
+  // "s" is dense over [0, 99], so the k-th per-record poll is position k-1.
+  const std::vector<Case> cases = {
+      {"scan-first-read", scan, FaultSite::kPageRead, 1, "op=BaseScan", 0},
+      {"scan-kth-read", scan, FaultSite::kPageRead, 25, "op=BaseScan", 24},
+      {"select-first-eval", select, FaultSite::kExprEval, 1, "op=Select", 0},
+      {"select-kth-eval", select, FaultSite::kExprEval, 42, "op=Select", 41},
+  };
+  for (bool use_batch : {true, false}) {
+    engine_.exec_options().use_batch = use_batch;
+    for (const Case& c : cases) {
+      FaultInjector injector;
+      injector.ArmAfter(c.site, c.k);
+      engine_.exec_options().fault_injector = &injector;
+      auto r = engine_.Run(c.query.Build(), Span::Of(0, 99));
+      engine_.exec_options().fault_injector = nullptr;
+      std::string label = std::string(c.name) +
+                          (use_batch ? " [batch]" : " [tuple]");
+      ASSERT_FALSE(r.ok()) << label;
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable) << label;
+      const std::string& msg = r.status().message();
+      EXPECT_NE(msg.find("injected fault"), std::string::npos)
+          << label << ": " << msg;
+      EXPECT_NE(msg.find(c.want_label), std::string::npos)
+          << label << ": " << msg;
+      EXPECT_NE(msg.find("pos=" + std::to_string(c.want_pos) + " "),
+                std::string::npos)
+          << label << ": " << msg;
+    }
+  }
+}
+
+// Open-time faults carry no position (nothing is flowing yet) but must
+// still name the operator that failed to initialize. Sweeping the trigger
+// count over a single-operator query eventually lands on that operator's
+// Open, for every operator kind.
+TEST_F(ErrorsTest, OpenFaultNamesEveryOperatorKind) {
+  struct Case {
+    const char* want_label_prefix;
+    QueryBuilder query;
+  };
+  // "prices" has several columns so the projection below is not an
+  // identity (identity projects are rewritten away and never open).
+  StockSeriesOptions stock;
+  stock.span = Span::Of(0, 99);
+  stock.seed = 11;
+  ASSERT_TRUE(engine_.RegisterBase("prices", *MakeStockSeries(stock)).ok());
+  const std::vector<Case> cases = {
+      {"BaseScan", SeqRef("s")},
+      {"Select", SeqRef("s").Select(Gt(Col("value"), Lit(int64_t{-1})))},
+      {"Project", SeqRef("prices").Project({"close"})},
+      {"PosOffset", SeqRef("s").Offset(2)},
+      {"ValueOffset", SeqRef("s").Prev()},
+      {"WindowAgg", SeqRef("s").Agg(AggFunc::kAvg, "value", 4)},
+      // Range queries over running/overall aggregates plan as a probed
+      // materialization, so that is the operator whose Open can fail.
+      {"MaterializedAgg", SeqRef("s").RunningAgg(AggFunc::kSum, "value")},
+      {"MaterializedAgg", SeqRef("s").OverallAgg(AggFunc::kMax, "value")},
+      {"Compose", SeqRef("s").ComposeWith(SeqRef("s").Offset(1))},
+      {"Collapse", SeqRef("s").Collapse(5, AggFunc::kSum, "value")},
+      {"Expand", SeqRef("s").Collapse(5, AggFunc::kAvg, "value").Expand(5)},
+  };
+  for (const Case& c : cases) {
+    std::set<std::string> labels;
+    for (int64_t k = 1; k <= 8; ++k) {
+      FaultInjector injector;
+      injector.ArmAfter(FaultSite::kOperatorOpen, k);
+      engine_.exec_options().fault_injector = &injector;
+      auto r = engine_.Run(c.query.Build(), Span::Of(0, 99));
+      engine_.exec_options().fault_injector = nullptr;
+      if (injector.fired() == 0) {
+        // Fewer than k Opens in the whole plan: the sweep is done.
+        EXPECT_TRUE(r.ok()) << c.want_label_prefix << " k=" << k << ": "
+                            << r.status();
+        break;
+      }
+      ASSERT_FALSE(r.ok()) << c.want_label_prefix << " k=" << k;
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+      const std::string& msg = r.status().message();
+      size_t at = msg.find("op=");
+      ASSERT_NE(at, std::string::npos) << msg;
+      size_t end = msg.find_first_of(" ]", at);
+      labels.insert(msg.substr(at + 3, end - at - 3));
+    }
+    bool found = false;
+    for (const std::string& l : labels) {
+      if (l.rfind(c.want_label_prefix, 0) == 0) found = true;
+    }
+    EXPECT_TRUE(found) << c.want_label_prefix << " not among "
+                       << labels.size() << " open-fault labels";
+  }
 }
 
 // --- parser fuzz ---------------------------------------------------------------

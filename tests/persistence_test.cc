@@ -96,7 +96,7 @@ TEST_F(PersistenceTest, LoadRejectsTruncation) {
   fs::resize_file(path, size / 2);
   auto r = LoadSequence(path);
   ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
 }
 
 TEST_F(PersistenceTest, DatabaseRoundTrip) {
