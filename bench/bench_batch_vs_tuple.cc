@@ -7,7 +7,7 @@
 // records, and the Fig. 2 scope-chain query.
 //
 // The headline benchmarks consume the answer through the streaming sink
-// (PreparedQuery::RunVisit) — the consumption mode the batch path's
+// (PreparedQuery::Run with RunOptions::sink) — the consumption mode the batch path's
 // allocation-free record movement is built for. The *_Materialized
 // variants time full QueryResult materialization, where both paths pay
 // one record allocation per answer row in the result vector itself.
@@ -88,13 +88,17 @@ uint64_t FoldResult(const QueryResult& result) {
 /// materialized AND streamed — before timing them (Release benches run
 /// without assertions otherwise).
 void CheckParity(Engine* engine, const LogicalOpPtr& query) {
-  engine->exec_options().use_batch = false;
+  RunOptions tuple_opts;
+  tuple_opts.exec.use_batch = false;
   AccessStats tuple_stats;
-  auto tuple = engine->Run(query, Span::Of(1, kSpanEnd), &tuple_stats);
+  tuple_opts.stats = &tuple_stats;
+  auto tuple = engine->Run(query, Span::Of(1, kSpanEnd), tuple_opts);
   SEQ_CHECK(tuple.ok());
-  engine->exec_options().use_batch = true;
+  RunOptions batch_opts;
+  batch_opts.exec.use_batch = true;
   AccessStats batch_stats;
-  auto batch = engine->Run(query, Span::Of(1, kSpanEnd), &batch_stats);
+  batch_opts.stats = &batch_stats;
+  auto batch = engine->Run(query, Span::Of(1, kSpanEnd), batch_opts);
   SEQ_CHECK(batch.ok());
   SEQ_CHECK(tuple->records.size() == batch->records.size());
   for (size_t i = 0; i < tuple->records.size(); ++i) {
@@ -112,16 +116,16 @@ void CheckParity(Engine* engine, const LogicalOpPtr& query) {
   Query q;
   q.graph = query;
   q.range = Span::Of(1, kSpanEnd);
+  auto prepared = engine->Prepare(q);
+  SEQ_CHECK(prepared.ok());
   for (bool use_batch : {false, true}) {
-    engine->exec_options().use_batch = use_batch;
-    auto prepared = engine->Prepare(q);
-    SEQ_CHECK(prepared.ok());
+    RunOptions opts;
+    opts.exec.use_batch = use_batch;
     uint64_t acc = 14695981039346656037ull;
-    SEQ_CHECK(prepared
-                  ->RunVisit([&acc](Position p, const Record& rec) {
-                    FoldRow(p, rec, &acc);
-                  })
-                  .ok());
+    opts.sink = [&acc](Position p, const Record& rec) {
+      FoldRow(p, rec, &acc);
+    };
+    SEQ_CHECK(prepared->Run(opts).ok());
     SEQ_CHECK(acc == want);
   }
 }
@@ -137,26 +141,28 @@ void RunPlan(benchmark::State& state, const LogicalOpPtr& query,
   RegisterSeries(&engine);
   CheckParity(&engine, query);
 
-  engine.exec_options().use_batch = use_batch;
   Query q;
   q.graph = query;
   q.range = Span::Of(1, kSpanEnd);
   auto prepared = engine.Prepare(q);
   SEQ_CHECK(prepared.ok());
+  RunOptions opts;
+  opts.exec.use_batch = use_batch;
 
   size_t rows = 0;
   if (consume == Consume::kVisit) {
     uint64_t first_acc = 0;
     bool have_first = false;
+    uint64_t acc = 0;
+    size_t n = 0;
+    opts.sink = [&](Position p, const Record& rec) {
+      FoldRow(p, rec, &acc);
+      ++n;
+    };
     for (auto _ : state) {
-      uint64_t acc = 14695981039346656037ull;
-      size_t n = 0;
-      SEQ_CHECK(prepared
-                    ->RunVisit([&](Position p, const Record& rec) {
-                      FoldRow(p, rec, &acc);
-                      ++n;
-                    })
-                    .ok());
+      acc = 14695981039346656037ull;
+      n = 0;
+      SEQ_CHECK(prepared->Run(opts).ok());
       rows = n;
       benchmark::DoNotOptimize(acc);
       if (!have_first) {
@@ -167,7 +173,7 @@ void RunPlan(benchmark::State& state, const LogicalOpPtr& query,
     }
   } else {
     for (auto _ : state) {
-      auto result = prepared->Run();
+      auto result = prepared->Run(opts);
       SEQ_CHECK(result.ok());
       rows = result->records.size();
       benchmark::DoNotOptimize(result->records.data());

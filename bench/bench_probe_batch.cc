@@ -57,13 +57,17 @@ void CheckParity(Engine* engine, const Query& q, bool expect_cache_b) {
     SEQ_CHECK(plan->Explain().find("ValueOffset [probed, cache-B]") !=
               std::string::npos);
   }
-  engine->exec_options().use_batch = false;
+  RunOptions tuple_opts;
+  tuple_opts.exec.use_batch = false;
   AccessStats tuple_stats;
-  auto tuple = engine->Run(q, &tuple_stats);
+  tuple_opts.stats = &tuple_stats;
+  auto tuple = engine->Run(q, tuple_opts);
   SEQ_CHECK(tuple.ok());
-  engine->exec_options().use_batch = true;
+  RunOptions batch_opts;
+  batch_opts.exec.use_batch = true;
   AccessStats batch_stats;
-  auto batch = engine->Run(q, &batch_stats);
+  batch_opts.stats = &batch_stats;
+  auto batch = engine->Run(q, batch_opts);
   SEQ_CHECK(batch.ok());
   SEQ_CHECK(tuple->records.size() == batch->records.size());
   for (size_t i = 0; i < tuple->records.size(); ++i) {
@@ -88,25 +92,27 @@ void RunPlan(benchmark::State& state, const Query& q, bool use_batch,
   RegisterSeries(&engine);
   CheckParity(&engine, q, expect_cache_b);
 
-  engine.exec_options().use_batch = use_batch;
   auto prepared = engine.Prepare(q);
   SEQ_CHECK(prepared.ok());
+  RunOptions opts;
+  opts.exec.use_batch = use_batch;
 
   size_t rows = 0;
   int64_t first_acc = 0;
   bool have_first = false;
+  int64_t acc = 0;
+  size_t n = 0;
+  opts.sink = [&](Position p, const Record& rec) {
+    acc += p;
+    if (!rec.empty() && rec[0].type() == TypeId::kInt64) {
+      acc += rec[0].int64();
+    }
+    ++n;
+  };
   for (auto _ : state) {
-    int64_t acc = 0;
-    size_t n = 0;
-    SEQ_CHECK(prepared
-                  ->RunVisit([&](Position p, const Record& rec) {
-                    acc += p;
-                    if (!rec.empty() && rec[0].type() == TypeId::kInt64) {
-                      acc += rec[0].int64();
-                    }
-                    ++n;
-                  })
-                  .ok());
+    acc = 0;
+    n = 0;
+    SEQ_CHECK(prepared->Run(opts).ok());
     rows = n;
     benchmark::DoNotOptimize(acc);
     if (!have_first) {

@@ -19,6 +19,7 @@
 //   .analyze <name>                    EXPLAIN ANALYZE: estimated vs actual
 //   .stats on|off                      print access counters after runs
 //   .batch on|off                      batch vs tuple-at-a-time driving
+//   .parallel <n>                      morsel-parallel workers (1 = serial)
 //   .materialize <name> <view>         register a view's result as a base
 //   .save <name> <file.csv>            write a base sequence as CSV
 //   .savedb <dir> / .opendb <dir>      persist / reopen the whole catalog
@@ -46,6 +47,9 @@ struct Session {
   std::optional<Span> range;
   size_t limit = 10;
   bool show_stats = false;
+  /// Session-level execution knobs (.limit/.timeout/.batch/.parallel); a
+  /// copy travels with every query instead of mutating engine-wide state.
+  RunOptions run_opts;
 };
 
 std::vector<std::string> Tokens(const std::string& line) {
@@ -85,7 +89,7 @@ void AnalyzeGraph(Session* session, const LogicalOpPtr& graph) {
   Query q;
   q.graph = graph;
   q.range = session->range;
-  auto text = session->engine.ExplainAnalyze(q);
+  auto text = session->engine.ExplainAnalyze(q, session->run_opts);
   if (!text.ok()) {
     std::cout << "error: " << text.status() << "\n";
     return;
@@ -95,8 +99,9 @@ void AnalyzeGraph(Session* session, const LogicalOpPtr& graph) {
 
 void RunGraph(Session* session, const LogicalOpPtr& graph) {
   AccessStats stats;
-  auto result = session->engine.Run(graph, session->range,
-                                    session->show_stats ? &stats : nullptr);
+  RunOptions opts = session->run_opts;
+  opts.stats = session->show_stats ? &stats : nullptr;
+  auto result = session->engine.Run(graph, session->range, opts);
   if (!result.ok()) {
     std::cout << "error: " << result.status() << "\n";
     return;
@@ -205,7 +210,7 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
     // RESOURCE_EXHAUSTED once it produces more than this many rows.
     session->limit = *n == 0 ? std::numeric_limits<size_t>::max()
                              : static_cast<size_t>(*n);
-    session->engine.exec_options().guards.max_rows = *n;
+    session->run_opts.exec.guards.max_rows = *n;
     std::cout << "limit "
               << (*n == 0 ? std::string("off")
                           : std::to_string(*n) + " rows (also the row budget)")
@@ -219,17 +224,27 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
     }
     // Wall-clock budget: a query past the deadline stops cleanly with
     // DEADLINE_EXCEEDED at the next batch boundary. 0 disables.
-    session->engine.exec_options().guards.max_wall_ms = *ms;
+    session->run_opts.exec.guards.max_wall_ms = *ms;
     std::cout << "timeout "
               << (*ms == 0 ? std::string("off") : std::to_string(*ms) + "ms")
               << "\n";
   } else if (cmd == ".stats" && args.size() >= 2) {
     session->show_stats = (args[1] == "on");
   } else if (cmd == ".batch" && args.size() >= 2) {
-    session->engine.exec_options().use_batch = (args[1] == "on");
+    session->run_opts.exec.use_batch = (args[1] == "on");
     std::cout << "batch driving "
-              << (session->engine.exec_options().use_batch ? "on" : "off")
-              << "\n";
+              << (session->run_opts.exec.use_batch ? "on" : "off") << "\n";
+  } else if (cmd == ".parallel" && args.size() >= 2) {
+    auto n = ParseInt64(args[1]);
+    if (!n || *n < 1) {
+      std::cout << "error: .parallel expects a worker count >= 1\n";
+      return;
+    }
+    // Morsel-driven intra-query parallelism; plans that cannot partition
+    // fall back to serial (see .analyze for the decision).
+    session->run_opts.exec.parallelism = static_cast<int>(*n);
+    std::cout << "parallelism " << *n
+              << (*n == 1 ? " (serial)" : " workers") << "\n";
   } else if (cmd == ".explain" && args.size() >= 2) {
     auto graph = ResolveName(session, args[1]);
     if (!graph.ok()) {
@@ -385,7 +400,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "SEQ shell — sequence query processing (SIGMOD '94). "
                "Dot-commands: .load .gen .list .schema .range .limit "
-               ".timeout .explain .analyze .run .stats .batch .materialize "
-               ".save .savedb .opendb .quit\n";
+               ".timeout .explain .analyze .run .stats .batch .parallel "
+               ".materialize .save .savedb .opendb .quit\n";
   return RunStream(&session, std::cin, /*interactive=*/true);
 }

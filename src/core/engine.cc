@@ -67,86 +67,160 @@ Result<Engine::PreparedQuery> Engine::Prepare(const Query& query) const {
                        std::move(plan));
 }
 
-Result<QueryResult> Engine::Run(const Query& query, AccessStats* stats) const {
-  MetricsRegistry::Global().Add("engine.runs");
-  SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(query));
-  Executor executor(catalog_, options_.cost_params, exec_options_);
+Result<QueryResult> Engine::RunWithOptions(const Query& query,
+                                           const ExecOptions& exec,
+                                           bool profile, const RowSink& sink,
+                                           AccessStats* stats) const {
+  if (profile && sink) {
+    return Status::InvalidArgument(
+        "RunOptions::profile cannot be combined with RunOptions::sink: the "
+        "batch sink hands out reusable slot buffers that the profiling shims "
+        "do not wrap");
+  }
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  if (!profile) metrics.Add("engine.runs");
+
+  Query inlined = query;
+  SEQ_ASSIGN_OR_RETURN(inlined.graph, InlineViews(query.graph, views_));
+  OptimizerOptions opt_options = options_;
+  if (profile) opt_options.collect_trace = true;
+  Optimizer optimizer(catalog_, opt_options);
+  SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, optimizer.Optimize(inlined));
+  Executor executor(catalog_, opt_options.cost_params, exec);
+
+  if (sink) {
+    // Streaming path: rows already handed to the sink cannot be taken
+    // back, so there is no graceful-degradation retry here — a cache
+    // budget trip surfaces as its ResourceExhausted status.
+    SEQ_RETURN_IF_ERROR(executor.ExecuteVisit(plan, sink, stats));
+    QueryResult out;
+    out.schema = plan.schema;
+    return out;
+  }
+
+  QueryProfile prof;
   // The first attempt charges into local stats so a degraded retry does not
   // leak the aborted attempt's counters into the caller's totals.
   AccessStats attempt_stats;
+  AccessStats* attempt = stats != nullptr ? &attempt_stats : nullptr;
   Result<QueryResult> result =
-      executor.Execute(plan, stats != nullptr ? &attempt_stats : nullptr);
-  if (result.ok()) {
-    if (stats != nullptr) *stats += attempt_stats;
-    return result;
-  }
-  if (!IsCacheBudgetExceeded(result.status())) return result;
-  // Graceful degradation: the query is fine, only its cached plan does not
-  // fit max_cache_bytes. Re-plan with operator caches disabled and run the
-  // (slower, memory-flat) naive plan instead of failing.
-  MetricsRegistry::Global().Add("engine.cache_degradations");
-  Query inlined = query;
-  SEQ_ASSIGN_OR_RETURN(inlined.graph, InlineViews(query.graph, views_));
-  OptimizerOptions degraded = CacheFreeOptions(options_);
-  Optimizer optimizer(catalog_, degraded);
-  SEQ_ASSIGN_OR_RETURN(PhysicalPlan fallback, optimizer.Optimize(inlined));
-  Executor degraded_executor(catalog_, degraded.cost_params, exec_options_);
-  return degraded_executor.Execute(fallback, stats);
-}
-
-Result<ProfiledQueryResult> Engine::RunProfiled(const Query& query,
-                                                AccessStats* stats) const {
-  Query inlined = query;
-  SEQ_ASSIGN_OR_RETURN(inlined.graph, InlineViews(query.graph, views_));
-  OptimizerOptions opts = options_;
-  opts.collect_trace = true;
-  Optimizer optimizer(catalog_, opts);
-  SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, optimizer.Optimize(inlined));
-
-  Executor executor(catalog_, options_.cost_params, exec_options_);
-  ProfiledQueryResult out;
-  AccessStats attempt_stats;
-  Result<QueryResult> result = executor.ExecuteProfiled(
-      plan, &out.profile, stats != nullptr ? &attempt_stats : nullptr);
+      profile ? executor.ExecuteProfiled(plan, &prof, attempt)
+              : executor.Execute(plan, attempt);
   // ExecuteProfiled resets the profile, so the trace is attached after.
   OptTrace trace = optimizer.trace();
+  MorselPlan morsels;
+  if (profile) morsels = executor.PlanMorsels(plan);
   std::string degradation_note;
   if (!result.ok() && IsCacheBudgetExceeded(result.status())) {
-    // Graceful degradation (see Run): re-plan cache-free, keep the event in
-    // the profile so EXPLAIN ANALYZE shows why the naive plan ran.
-    MetricsRegistry::Global().Add("engine.cache_degradations");
+    // Graceful degradation: the query is fine, only its cached plan does not
+    // fit max_cache_bytes. Re-plan with operator caches disabled and run the
+    // (slower, memory-flat) naive plan instead of failing.
+    metrics.Add("engine.cache_degradations");
     degradation_note =
         "degraded: " + result.status().message() +
         "; re-planned with operator caches disabled";
-    OptimizerOptions degraded = CacheFreeOptions(opts);
+    OptimizerOptions degraded = CacheFreeOptions(opt_options);
     Optimizer degraded_optimizer(catalog_, degraded);
     SEQ_ASSIGN_OR_RETURN(PhysicalPlan fallback,
                          degraded_optimizer.Optimize(inlined));
-    Executor degraded_executor(catalog_, degraded.cost_params, exec_options_);
-    result = degraded_executor.ExecuteProfiled(fallback, &out.profile, stats);
+    Executor degraded_executor(catalog_, degraded.cost_params, exec);
+    result = profile ? degraded_executor.ExecuteProfiled(fallback, &prof, stats)
+                     : degraded_executor.Execute(fallback, stats);
     trace = degraded_optimizer.trace();
+    if (profile) morsels = degraded_executor.PlanMorsels(fallback);
   } else if (result.ok() && stats != nullptr) {
     *stats += attempt_stats;
   }
   SEQ_RETURN_IF_ERROR(result.status());
-  out.result = std::move(result).value();
-  out.profile.optimizer = std::move(trace);
-  if (!degradation_note.empty()) {
-    out.profile.notes.push_back(std::move(degradation_note));
-  }
+  QueryResult out = std::move(result).value();
 
-  MetricsRegistry& metrics = MetricsRegistry::Global();
-  metrics.Add("engine.profiled_runs");
-  metrics.Observe("engine.optimize_us",
-                  static_cast<double>(optimizer.trace().optimize_us));
-  metrics.Observe("engine.execute_us",
-                  static_cast<double>(out.profile.total_wall_ns) / 1000.0);
+  if (profile) {
+    // The driving decision is part of the query's explanation: surface it
+    // in the trace (stage "execution") always, and as a profile note when
+    // the run actually went parallel (serial is the unremarkable default).
+    trace.Add("execution", morsels.reason, -1.0, morsels.parallel);
+    prof.optimizer = std::move(trace);
+    if (!degradation_note.empty()) {
+      prof.notes.push_back(std::move(degradation_note));
+    }
+    if (morsels.parallel) {
+      prof.notes.push_back("execution: " + morsels.reason);
+    }
+    metrics.Add("engine.profiled_runs");
+    metrics.Observe("engine.optimize_us",
+                    static_cast<double>(prof.optimizer.optimize_us));
+    metrics.Observe("engine.execute_us",
+                    static_cast<double>(prof.total_wall_ns) / 1000.0);
+    out.profile = std::move(prof);
+  }
+  return out;
+}
+
+Result<QueryResult> Engine::Run(const Query& query,
+                                const RunOptions& opts) const {
+  return RunWithOptions(query, opts.exec, opts.profile, opts.sink, opts.stats);
+}
+
+Result<QueryResult> Engine::Run(const LogicalOpPtr& graph,
+                                std::optional<Span> range,
+                                const RunOptions& opts) const {
+  Query query;
+  query.graph = graph;
+  query.range = range;
+  return Run(query, opts);
+}
+
+Result<QueryResult> Engine::Run(const QueryBuilder& builder,
+                                std::optional<Span> range,
+                                const RunOptions& opts) const {
+  return Run(builder.Build(), range, opts);
+}
+
+Result<QueryResult> Engine::RunAt(const LogicalOpPtr& graph,
+                                  std::vector<Position> positions,
+                                  const RunOptions& opts) const {
+  Query query;
+  query.graph = graph;
+  query.positions = std::move(positions);
+  return Run(query, opts);
+}
+
+Result<QueryResult> Engine::Run(const Query& query, AccessStats* stats) const {
+  return RunWithOptions(query, exec_options_, /*profile=*/false, RowSink{},
+                        stats);
+}
+
+Result<ProfiledQueryResult> Engine::RunProfiled(const Query& query,
+                                                AccessStats* stats) const {
+  SEQ_ASSIGN_OR_RETURN(
+      QueryResult run,
+      RunWithOptions(query, exec_options_, /*profile=*/true, RowSink{}, stats));
+  ProfiledQueryResult out;
+  out.profile = std::move(*run.profile);
+  run.profile.reset();
+  out.result = std::move(run);
   return out;
 }
 
 Result<std::string> Engine::ExplainAnalyze(const Query& query) const {
-  SEQ_ASSIGN_OR_RETURN(ProfiledQueryResult profiled, RunProfiled(query));
-  return profiled.profile.ToString();
+  SEQ_ASSIGN_OR_RETURN(
+      QueryResult run,
+      RunWithOptions(query, exec_options_, /*profile=*/true, RowSink{},
+                     nullptr));
+  return run.profile->ToString();
+}
+
+Result<std::string> Engine::ExplainAnalyze(const Query& query,
+                                           const RunOptions& opts) const {
+  if (opts.sink) {
+    return Status::InvalidArgument(
+        "ExplainAnalyze cannot stream to a sink: it must profile the run");
+  }
+  SEQ_ASSIGN_OR_RETURN(
+      QueryResult run,
+      RunWithOptions(query, opts.exec, /*profile=*/true, RowSink{},
+                     opts.stats));
+  return run.profile->ToString();
 }
 
 Result<QueryResult> Engine::Run(const LogicalOpPtr& graph,
@@ -171,6 +245,32 @@ Result<QueryResult> Engine::RunAt(const LogicalOpPtr& graph,
   query.graph = graph;
   query.positions = std::move(positions);
   return Run(query, stats);
+}
+
+Result<QueryResult> Engine::PreparedQuery::Run(const RunOptions& opts) const {
+  if (opts.profile && opts.sink) {
+    return Status::InvalidArgument(
+        "RunOptions::profile cannot be combined with RunOptions::sink");
+  }
+  Executor executor(*catalog_, params_, opts.exec);
+  if (opts.sink) {
+    SEQ_RETURN_IF_ERROR(executor.ExecuteVisit(plan_, opts.sink, opts.stats));
+    QueryResult out;
+    out.schema = plan_.schema;
+    return out;
+  }
+  if (opts.profile) {
+    QueryProfile prof;
+    SEQ_ASSIGN_OR_RETURN(QueryResult run,
+                         executor.ExecuteProfiled(plan_, &prof, opts.stats));
+    const MorselPlan morsels = executor.PlanMorsels(plan_);
+    if (morsels.parallel) {
+      prof.notes.push_back("execution: " + morsels.reason);
+    }
+    run.profile = std::move(prof);
+    return run;
+  }
+  return executor.Execute(plan_, opts.stats);
 }
 
 Result<std::string> Engine::Explain(const Query& query) const {

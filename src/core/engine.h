@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -16,11 +17,43 @@
 
 namespace seq {
 
-/// A query answer paired with its observability record: the per-operator
-/// estimated-vs-actual profile and the optimizer's decision trace.
+/// A query answer paired with its observability record. Legacy shape kept
+/// for RunProfiled callers; new code reads QueryResult::profile directly
+/// from Run(query, RunOptions{.profile = true}).
 struct ProfiledQueryResult {
   QueryResult result;
   QueryProfile profile;
+};
+
+/// Per-query run configuration — the one way to say HOW a query executes.
+/// Replaces the old pattern of mutating engine-wide exec_options() between
+/// queries: a RunOptions travels with the call, so concurrent queries on
+/// one engine can use different budgets, parallelism, driving modes and
+/// instrumentation without racing on shared engine state.
+///
+///   RunOptions opts;
+///   opts.exec.guards.max_rows = 1000;
+///   opts.exec.parallelism = 4;
+///   opts.profile = true;
+///   auto result = engine.Run(query, opts);          // result->profile set
+struct RunOptions {
+  /// Execution knobs for this run: driving mode, batch capacity, budgets,
+  /// fault injection, morsel parallelism. Defaults are the library
+  /// defaults (including SEQ_USE_BATCH / SEQ_PARALLELISM), NOT whatever
+  /// was last poked into the deprecated engine-wide exec_options().
+  ExecOptions exec;
+  /// Collect the per-operator runtime profile and optimizer trace into
+  /// QueryResult::profile. Slower (every operator call is timed); the
+  /// unprofiled path is untouched when false.
+  bool profile = false;
+  /// When set, every answer row streams to this sink in position order and
+  /// QueryResult::records stays empty — the allocation-free consumption
+  /// path. The row reference is only valid during the callback. Cannot be
+  /// combined with `profile`, and rows already visited before a mid-stream
+  /// error or budget trip cannot be taken back (docs/robustness.md).
+  RowSink sink;
+  /// Simulated access/cache/predicate counters accumulate here when set.
+  AccessStats* stats = nullptr;
 };
 
 /// The public facade of the SEQ library: a catalog of named sequences plus
@@ -29,7 +62,9 @@ struct ProfiledQueryResult {
 /// Thread safety: Plan/Run/RunAt/Explain are const and safe to call from
 /// multiple threads concurrently, provided no thread mutates the engine
 /// (RegisterBase/DefineView/Materialize/StreamSession appends) at the same
-/// time — the usual "set up, then query in parallel" pattern.
+/// time — the usual "set up, then query in parallel" pattern. Per-query
+/// behavior differences belong in RunOptions, which never touches engine
+/// state.
 ///
 ///   Engine engine;
 ///   engine.RegisterBase("quakes", store);
@@ -46,10 +81,15 @@ class Engine {
 
   OptimizerOptions& options() { return options_; }
 
-  /// Execution knobs (batch vs tuple driving, batch capacity). Mutate
-  /// before querying; e.g. `engine.exec_options().use_batch = false`
-  /// forces the tuple-at-a-time baseline.
-  ExecOptions& exec_options() { return exec_options_; }
+  /// Engine-wide execution defaults, used by the legacy conveniences that
+  /// take no RunOptions. Mutating them between queries is deprecated —
+  /// pass a RunOptions per query instead; the engine copy races with
+  /// concurrent queries and cannot express per-query budgets.
+  [[deprecated(
+      "mutate per-query RunOptions::exec instead of engine-wide state")]]
+  ExecOptions& exec_options() {
+    return exec_options_;
+  }
   const ExecOptions& exec_options() const { return exec_options_; }
 
   Status RegisterBase(std::string name, BaseSequencePtr store) {
@@ -79,20 +119,31 @@ class Engine {
   /// Optimizes `query` and returns the selected plan without running it.
   Result<PhysicalPlan> Plan(const Query& query) const;
 
-  /// Optimizes and evaluates. Simulated access counters accumulate into
-  /// `stats` when provided.
+  /// THE run entry point: optimizes and evaluates `query` under `opts`.
+  /// Covers what used to be four methods — Run (plain), RunProfiled
+  /// (opts.profile), RunVisit/ExecuteVisit (opts.sink) — and applies
+  /// graceful cache-budget degradation on every non-sink path.
+  Result<QueryResult> Run(const Query& query, const RunOptions& opts) const;
+
+  /// RunOptions conveniences mirroring the legacy range/point shapes.
+  Result<QueryResult> Run(const LogicalOpPtr& graph, std::optional<Span> range,
+                          const RunOptions& opts) const;
+  Result<QueryResult> Run(const QueryBuilder& builder,
+                          std::optional<Span> range,
+                          const RunOptions& opts) const;
+  Result<QueryResult> RunAt(const LogicalOpPtr& graph,
+                            std::vector<Position> positions,
+                            const RunOptions& opts) const;
+
+  /// Legacy conveniences: run with the engine-wide exec defaults.
   Result<QueryResult> Run(const Query& query,
                           AccessStats* stats = nullptr) const;
-
-  /// Range-query conveniences.
   Result<QueryResult> Run(const LogicalOpPtr& graph,
                           std::optional<Span> range = std::nullopt,
                           AccessStats* stats = nullptr) const;
   Result<QueryResult> Run(const QueryBuilder& builder,
                           std::optional<Span> range = std::nullopt,
                           AccessStats* stats = nullptr) const;
-
-  /// Point-query convenience (the Fig. 6 position-sequence template).
   Result<QueryResult> RunAt(const LogicalOpPtr& graph,
                             std::vector<Position> positions,
                             AccessStats* stats = nullptr) const;
@@ -100,29 +151,39 @@ class Engine {
   /// Annotated logical graph plus the physical plan, as text.
   Result<std::string> Explain(const Query& query) const;
 
-  /// Optimizes with trace collection and evaluates with per-operator
-  /// instrumentation. Slower than Run (every operator call is timed); the
-  /// Run path itself is untouched.
+  /// Deprecated: use Run(query, RunOptions{.profile = true}) and read
+  /// QueryResult::profile.
+  [[deprecated("use Run(query, RunOptions{.profile = true})")]]
   Result<ProfiledQueryResult> RunProfiled(const Query& query,
                                           AccessStats* stats = nullptr) const;
 
   /// EXPLAIN ANALYZE: runs the query profiled and renders the plan tree
   /// with estimated vs actual rows/cost per operator, the optimizer trace,
-  /// and the cost-model drift summary.
+  /// and the cost-model drift summary. The RunOptions overload profiles
+  /// under the given execution knobs (opts.profile is implied; opts.sink
+  /// must be unset).
   Result<std::string> ExplainAnalyze(const Query& query) const;
+  Result<std::string> ExplainAnalyze(const Query& query,
+                                     const RunOptions& opts) const;
 
   /// A query optimized once and executable many times — amortizes the
   /// fixed optimization cost for standing/repeated queries (the regime
   /// where E1's small-input nuance matters).
   class PreparedQuery {
    public:
+    /// Executes the prepared plan under per-run options (profile, sink,
+    /// budgets, parallelism). Unlike Engine::Run there is no degradation
+    /// re-plan here — the plan is fixed; a cache-budget trip surfaces as
+    /// the ResourceExhausted degradation signal for the caller to handle.
+    Result<QueryResult> Run(const RunOptions& opts) const;
+
+    /// Legacy convenience: the engine exec defaults captured at Prepare.
     Result<QueryResult> Run(AccessStats* stats = nullptr) const {
       Executor executor(*catalog_, params_, exec_options_);
       return executor.Execute(plan_, stats);
     }
-    /// Streaming variant: hands every answer row to `sink` instead of
-    /// materializing a QueryResult (see Executor::ExecuteVisit). The row
-    /// reference is only valid during the callback.
+    /// Deprecated: use Run(RunOptions{.sink = ...}).
+    [[deprecated("use Run(RunOptions{.sink = ...})")]]
     Status RunVisit(const RowSink& sink, AccessStats* stats = nullptr) const {
       Executor executor(*catalog_, params_, exec_options_);
       return executor.ExecuteVisit(plan_, sink, stats);
@@ -158,6 +219,15 @@ class Engine {
       AccessStats* stats = nullptr) const;
 
  private:
+  // The single execution workhorse behind every Run shape: optimize (with
+  // trace when profiling), record the morsel-parallelism decision, execute
+  // (plain / profiled / sink), and re-plan cache-free on the cache-budget
+  // degradation signal (non-sink paths only — sunk rows can't be unsent).
+  Result<QueryResult> RunWithOptions(const Query& query,
+                                     const ExecOptions& exec, bool profile,
+                                     const RowSink& sink,
+                                     AccessStats* stats) const;
+
   Catalog catalog_;
   OptimizerOptions options_;
   ExecOptions exec_options_;

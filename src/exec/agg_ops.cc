@@ -10,6 +10,33 @@ namespace seq {
 
 namespace {
 constexpr const char* kCacheALabel = "WindowAgg(cache-A)";
+
+/// Streams a morsel carry-in subtree to completion into `state`, charging
+/// nothing: the carry context has no stats block and no fault injector, so
+/// the fold is invisible to AccessStats and to fault determinism — the
+/// records it re-reads were charged by the morsel that owns them. Budgets
+/// still apply cooperatively: the cancel flag is forwarded so a tripped
+/// sibling morsel stops a long fold.
+Status FoldCarry(SeqOp* carry, ExecContext* ctx, WindowState* state,
+                 size_t col_index) {
+  ExecContext carry_ctx;
+  carry_ctx.catalog = ctx->catalog;
+  carry_ctx.params = ctx->params;
+  carry_ctx.guards.cancel = ctx->guards.cancel;
+  SEQ_RETURN_IF_ERROR(carry->Open(&carry_ctx));
+  int64_t seen = 0;
+  while (true) {
+    std::optional<PosRecord> r = carry->Next();
+    if (!r.has_value()) break;
+    state->Add(r->pos, r->rec[col_index], nullptr);
+    if ((++seen & 0xFF) == 0) {
+      SEQ_RETURN_IF_ERROR(carry_ctx.CheckGuards(0));
+    }
+  }
+  carry->Close();
+  return carry_ctx.TakeError();
+}
+
 }  // namespace
 
 Status WindowAggCachedOp::Open(ExecContext* ctx) {
@@ -21,7 +48,14 @@ Status WindowAggCachedOp::Open(ExecContext* ctx) {
   state_ = WindowState(func_, col_type_);
   cache_footprint_ = 0;
   input_.Reset();
-  return child_->Open(ctx);
+  SEQ_RETURN_IF_ERROR(child_->Open(ctx));
+  if (carry_ != nullptr) {
+    // The first SyncCacheBytes after this fold charges the carried
+    // entries' footprint, so the cache-memory budget sees the same state
+    // size at every output position as a serial run.
+    SEQ_RETURN_IF_ERROR(FoldCarry(carry_.get(), ctx, &state_, col_index_));
+  }
+  return Status::OK();
 }
 
 void WindowAggCachedOp::Fill() {
@@ -123,7 +157,11 @@ Status RunningAggOp::Open(ExecContext* ctx) {
   child_done_ = false;
   state_ = WindowState(func_, col_type_);
   input_.Reset();
-  return child_->Open(ctx);
+  SEQ_RETURN_IF_ERROR(child_->Open(ctx));
+  if (carry_ != nullptr) {
+    SEQ_RETURN_IF_ERROR(FoldCarry(carry_.get(), ctx, &state_, col_index_));
+  }
+  return Status::OK();
 }
 
 std::optional<PosRecord> RunningAggOp::Next() {

@@ -35,6 +35,13 @@ class WindowAggCachedOp : public SeqOp {
   size_t NextBatch(RecordBatch* out) override;
   void Close() override { child_->Close(); }
 
+  /// Installs a morsel carry-in subtree: a clone of the input clipped to
+  /// the window-sized span just before this clone's first output position.
+  /// Open streams it to completion into the window state, charging nothing
+  /// (the preceding morsel charges those reads), so the state at every
+  /// output position equals the serial run's.
+  void set_carry(SeqOpPtr carry) { carry_ = std::move(carry); }
+
  private:
   void Fill();
   // Re-syncs the shared cache-byte counter with the window's current
@@ -43,6 +50,7 @@ class WindowAggCachedOp : public SeqOp {
   bool SyncCacheBytes();
 
   SeqOpPtr child_;
+  SeqOpPtr carry_;
   AggFunc func_;
   size_t col_index_;
   TypeId col_type_;
@@ -78,8 +86,14 @@ class RunningAggOp : public SeqOp {
   size_t NextBatch(RecordBatch* out) override;
   void Close() override { child_->Close(); }
 
+  /// Morsel carry-in: a clone of the input clipped to the whole prefix
+  /// before this clone's first output position, folded (uncharged) into
+  /// the running state at Open. See WindowAggCachedOp::set_carry.
+  void set_carry(SeqOpPtr carry) { carry_ = std::move(carry); }
+
  private:
   SeqOpPtr child_;
+  SeqOpPtr carry_;
   AggFunc func_;
   size_t col_index_;
   TypeId col_type_;

@@ -119,6 +119,14 @@ struct ExecContext {
     }
   }
 
+  /// Latches a caller-computed deadline. Morsel workers all arm the SAME
+  /// instant (computed once before any worker spawns), so the wall-clock
+  /// budget measures the query, not each worker's start skew.
+  void ArmGuardsAt(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
   /// Cooperative budget check, called at batch boundaries. `rows_emitted`
   /// is the driver's root-row count (operators pass the running total they
   /// know, or 0 when only checking cancellation/time/pages).

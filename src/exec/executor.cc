@@ -1,10 +1,15 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <numeric>
 #include <sstream>
 #include <string_view>
+#include <utility>
 
 #include "common/logging.h"
 #include "exec/agg_ops.h"
@@ -13,6 +18,7 @@
 #include "exec/offset_ops.h"
 #include "exec/profiled_ops.h"
 #include "exec/scan_ops.h"
+#include "exec/thread_pool.h"
 #include "exec/unary_ops.h"
 
 namespace seq {
@@ -66,6 +72,16 @@ bool DefaultUseBatch() {
   return kUseBatch;
 }
 
+int DefaultParallelism() {
+  static const int kParallelism = [] {
+    const char* env = std::getenv("SEQ_PARALLELISM");
+    if (env == nullptr) return 1;
+    const int v = std::atoi(env);
+    return v > 0 ? v : 1;
+  }();
+  return kParallelism;
+}
+
 Result<SeqOpPtr> Executor::Build(const PhysNodePtr& node,
                                  OperatorProfile* profile_parent) const {
   if (profile_parent == nullptr) return BuildInner(node, nullptr);
@@ -107,7 +123,8 @@ Result<SeqOpPtr> Executor::BuildBaseRef(const PhysNode& node,
                                         OperatorProfile*) const {
   SEQ_ASSIGN_OR_RETURN(const CatalogEntry* entry,
                        catalog_.Lookup(node.seq_name));
-  return SeqOpPtr(new BaseScan(entry->store.get(), node.required));
+  return SeqOpPtr(new BaseScan(entry->store.get(), node.required,
+                               node.resume_covered_from));
 }
 
 Result<SeqOpPtr> Executor::BuildConstantRef(const PhysNode& node,
@@ -157,13 +174,23 @@ Result<SeqOpPtr> Executor::BuildWindowAgg(const PhysNode& node,
                                           OperatorProfile* prof) const {
   SEQ_ASSIGN_OR_RETURN(AggBinding binding, BindAggColumn(node));
   SEQ_ASSIGN_OR_RETURN(SeqOpPtr child, Build(node.children[0], prof));
+  // Morsel clones of sequential aggregates carry an extra (uncharged)
+  // carry-in subtree as children[1]; it is never profiled, so profiled
+  // morsel trees stay isomorphic to the display tree.
+  SeqOpPtr carry;
+  if (node.morsel_carry) {
+    SEQ_CHECK(node.children.size() == 2);
+    SEQ_ASSIGN_OR_RETURN(carry, Build(node.children[1], nullptr));
+  }
   switch (node.window_kind) {
     case WindowKind::kTrailing:
       if (node.mode == AccessMode::kStream &&
           node.agg_strategy == AggStrategy::kCacheA) {
-        return SeqOpPtr(new WindowAggCachedOp(
+        auto* op = new WindowAggCachedOp(
             std::move(child), node.agg_func, binding.col_index,
-            binding.col_type, node.window, node.required));
+            binding.col_type, node.window, node.required);
+        if (carry != nullptr) op->set_carry(std::move(carry));
+        return SeqOpPtr(op);
       }
       // Naive window probing, streamed or probed (probed child).
       return SeqOpPtr(new WindowAggNaiveOp(
@@ -175,9 +202,13 @@ Result<SeqOpPtr> Executor::BuildWindowAgg(const PhysNode& node,
             std::move(child), node.agg_func, binding.col_index,
             binding.col_type, node.window_kind, node.out_span));
       }
-      return SeqOpPtr(new RunningAggOp(std::move(child), node.agg_func,
-                                       binding.col_index, binding.col_type,
-                                       node.required));
+      {
+        auto* op = new RunningAggOp(std::move(child), node.agg_func,
+                                    binding.col_index, binding.col_type,
+                                    node.required);
+        if (carry != nullptr) op->set_carry(std::move(carry));
+        return SeqOpPtr(op);
+      }
     case WindowKind::kAll:
       if (node.mode == AccessMode::kProbed) {
         return SeqOpPtr(new MaterializedAggOp(
@@ -241,6 +272,802 @@ Result<SeqOpPtr> Executor::BuildExpand(const PhysNode& node,
                                        OperatorProfile* prof) const {
   SEQ_ASSIGN_OR_RETURN(SeqOpPtr child, Build(node.children[0], prof));
   return SeqOpPtr(new ExpandOp(std::move(child), node.offset, node.required));
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallelism (docs/execution.md).
+//
+// A stream-root plan's output span is split into contiguous morsels; each
+// morsel is evaluated by an independent clone of the operator tree derived
+// from the same PhysicalPlan, clipped to the morsel, with private
+// AccessStats. Results and stats merge at the barrier in morsel order, so
+// rows, counters and budget trips are identical to a serial run. Probed
+// roots need no clones at all — probes are stateless per position — so the
+// position list (or span walk) is simply chunked across workers.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Nonnegative remainder, for boundary-alignment arithmetic over possibly
+// negative positions.
+int64_t Mod(int64_t a, int64_t m) {
+  int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+// Floor division for possibly negative numerators (b > 0); mirrors the
+// bucket mapping of ExpandOp.
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  return (a % b != 0 && a < 0) ? q - 1 : q;
+}
+
+// Modular inverse of a modulo m (requires gcd(a, m) == 1, m >= 1), by the
+// extended Euclidean algorithm.
+int64_t ModInverse(int64_t a, int64_t m) {
+  if (m == 1) return 0;
+  int64_t t = 0, new_t = 1, r = m, new_r = Mod(a, m);
+  while (new_r != 0) {
+    const int64_t q = r / new_r;
+    t -= q * new_t;
+    std::swap(t, new_t);
+    r -= q * new_r;
+    std::swap(r, new_r);
+  }
+  return Mod(t, m);
+}
+
+// Alignment moduli are capped so the congruence arithmetic above cannot
+// overflow; a plan stacking enough Expands to exceed this runs serial.
+constexpr int64_t kMaxAlignModulus = int64_t{1} << 31;
+
+// What AnalyzeSpine learned about a stream plan's driving spine: whether
+// it partitions at all, which arithmetic class morsel boundaries must lie
+// in (start ≡ phase mod modulus, so collapse/expand bucket edges coincide
+// with morsel edges), and the estimated carry-in replay cost per boundary.
+struct SpineInfo {
+  bool ok = true;
+  std::string reason;
+  int64_t modulus = 1;
+  int64_t phase = 0;
+  double carry_cost = 0.0;
+};
+
+SpineInfo SpineFail(std::string reason) {
+  SpineInfo s;
+  s.ok = false;
+  s.reason = std::move(reason);
+  return s;
+}
+
+// Operator kinds a carry-in clone may be built over: cheap, stateless,
+// re-streamable shapes. Anything with its own sequential state (nested
+// aggregates, offsets, composes) would need carry-in of its own.
+bool CarrySupported(const PhysNodePtr& node) {
+  switch (node->op) {
+    case OpKind::kBaseRef:
+    case OpKind::kConstantRef:
+      return true;
+    case OpKind::kSelect:
+    case OpKind::kProject:
+    case OpKind::kPositionalOffset:
+      return CarrySupported(node->children[0]);
+    default:
+      return false;
+  }
+}
+
+// True when the subtree is evaluated purely by per-position probes with no
+// cross-probe state, so independent per-worker instances charge exactly
+// what one serial instance would. Materializing operators (probed
+// collapse, materialized aggregates, the Cache-B value offset) re-consume
+// their whole input per instance and are rejected.
+bool ProbedSafe(const PhysNodePtr& node, std::string* why) {
+  switch (node->op) {
+    case OpKind::kBaseRef:
+    case OpKind::kConstantRef:
+      return true;
+    case OpKind::kSelect:
+    case OpKind::kProject:
+    case OpKind::kPositionalOffset:
+    case OpKind::kExpand:
+      return ProbedSafe(node->children[0], why);
+    case OpKind::kValueOffset:
+      if (node->offset_strategy == OffsetStrategy::kIncrementalCacheB) {
+        *why = "stateful value-offset cache (Cache-B) is sequential";
+        return false;
+      }
+      return ProbedSafe(node->children[0], why);
+    case OpKind::kWindowAgg:
+      if (node->window_kind != WindowKind::kTrailing ||
+          (node->mode == AccessMode::kStream &&
+           node->agg_strategy == AggStrategy::kCacheA)) {
+        *why = "materialized/cached aggregate re-consumes its input per worker";
+        return false;
+      }
+      return ProbedSafe(node->children[0], why);
+    case OpKind::kCompose:
+      if (node->mode != AccessMode::kProbed) {
+        *why = "stream compose inside a probed subtree";
+        return false;
+      }
+      return ProbedSafe(node->children[0], why) &&
+             ProbedSafe(node->children[1], why);
+    case OpKind::kCollapse:
+      *why = "materialized collapse re-consumes its input per worker";
+      return false;
+  }
+  *why = "unknown operator kind";
+  return false;
+}
+
+// Walks the stream-driven spine of the plan (the chain of operators whose
+// state advances with the output position; probed side-branches hang off
+// it) and decides whether contiguous output morsels can be evaluated by
+// independent clones. See docs/execution.md for the full rules.
+SpineInfo AnalyzeSpine(const PhysNodePtr& node) {
+  switch (node->op) {
+    case OpKind::kBaseRef:
+    case OpKind::kConstantRef:
+      return SpineInfo{};
+    case OpKind::kSelect:
+    case OpKind::kProject:
+      return AnalyzeSpine(node->children[0]);
+    case OpKind::kPositionalOffset: {
+      // out(p) = in(p + l): a morsel start b clips the child at b + l, so
+      // the child's alignment class shifts by -l in output coordinates.
+      SpineInfo c = AnalyzeSpine(node->children[0]);
+      if (!c.ok) return c;
+      c.phase = Mod(c.phase - node->offset, c.modulus);
+      return c;
+    }
+    case OpKind::kValueOffset: {
+      if (node->offset_strategy == OffsetStrategy::kIncrementalCacheB) {
+        return SpineFail("stateful value-offset cache (Cache-B) is sequential");
+      }
+      std::string why;
+      if (!ProbedSafe(node->children[0], &why)) return SpineFail(why);
+      return SpineInfo{};  // stateless per-position search; any boundary
+    }
+    case OpKind::kWindowAgg:
+      switch (node->window_kind) {
+        case WindowKind::kAll:
+          return SpineFail("overall aggregate is a blocking full pass");
+        case WindowKind::kTrailing: {
+          if (!(node->mode == AccessMode::kStream &&
+                node->agg_strategy == AggStrategy::kCacheA)) {
+            // Naive prober: stateless per position over a probed child.
+            std::string why;
+            if (!ProbedSafe(node->children[0], &why)) return SpineFail(why);
+            return SpineInfo{};
+          }
+          // Cache-A: sequential window state, rebuilt per morsel by an
+          // uncharged carry-in clone over the window-1 preceding
+          // positions.
+          if (!CarrySupported(node->children[0])) {
+            return SpineFail("window carry-in unsupported over " +
+                             node->children[0]->Label());
+          }
+          SpineInfo c = AnalyzeSpine(node->children[0]);
+          if (!c.ok) return c;
+          const PhysNode& ch = *node->children[0];
+          const int64_t len =
+              (!ch.required.IsEmpty() && !ch.required.IsUnbounded())
+                  ? ch.required.Length()
+                  : 1;
+          const double per_pos = ch.est_cost / static_cast<double>(len);
+          c.carry_cost +=
+              per_pos * static_cast<double>(std::max<int64_t>(
+                            node->window - 1, 0));
+          return c;
+        }
+        case WindowKind::kRunning: {
+          if (!CarrySupported(node->children[0])) {
+            return SpineFail("running-aggregate carry-in unsupported over " +
+                             node->children[0]->Label());
+          }
+          SpineInfo c = AnalyzeSpine(node->children[0]);
+          if (!c.ok) return c;
+          // Carry-in replays the whole prefix: half the input on average
+          // per boundary — usually enough to force the serial fallback.
+          c.carry_cost += 0.5 * node->children[0]->est_cost;
+          return c;
+        }
+      }
+      return SpineFail("unknown window kind");
+    case OpKind::kCompose:
+      switch (node->join_strategy) {
+        case JoinStrategy::kStreamBoth:
+          return SpineFail("lock-step compose does not partition");
+        case JoinStrategy::kStreamLeftProbeRight: {
+          std::string why;
+          if (!ProbedSafe(node->children[1], &why)) return SpineFail(why);
+          return AnalyzeSpine(node->children[0]);
+        }
+        case JoinStrategy::kStreamRightProbeLeft: {
+          std::string why;
+          if (!ProbedSafe(node->children[0], &why)) return SpineFail(why);
+          return AnalyzeSpine(node->children[1]);
+        }
+        case JoinStrategy::kProbeBoth:
+          return SpineFail("probe-both compose in a stream plan");
+      }
+      return SpineFail("unknown join strategy");
+    case OpKind::kCollapse: {
+      if (node->mode == AccessMode::kProbed) {
+        return SpineFail("materialized collapse re-consumes its input");
+      }
+      const int64_t f = node->offset;
+      if (f <= 0) return SpineFail("non-positive collapse factor");
+      SpineInfo c = AnalyzeSpine(node->children[0]);
+      if (!c.ok) return c;
+      // A morsel start b puts the child clip at b*f — always a bucket
+      // edge, so collapse itself imposes no constraint; it only transports
+      // the child's: f*b ≡ phase (mod modulus).
+      if (c.modulus > 1) {
+        const int64_t g = std::gcd(f, c.modulus);
+        if (c.phase % g != 0) {
+          return SpineFail("collapse cannot align morsel boundaries");
+        }
+        const int64_t m = c.modulus / g;
+        c.phase = m == 1 ? 0 : Mod((c.phase / g) % m * ModInverse(f / g, m), m);
+        c.modulus = m;
+      }
+      return c;
+    }
+    case OpKind::kExpand: {
+      const int64_t f = node->offset;
+      if (f <= 0) return SpineFail("non-positive expand factor");
+      SpineInfo c = AnalyzeSpine(node->children[0]);
+      if (!c.ok) return c;
+      // Morsel starts must land on bucket edges (multiples of f) AND map
+      // to child positions in the child's class: b = f*(phase + k*mod).
+      if (c.modulus > kMaxAlignModulus / f) {
+        return SpineFail("alignment modulus too large");
+      }
+      c.phase = Mod(c.phase * f, c.modulus * f);
+      c.modulus = c.modulus * f;
+      return c;
+    }
+  }
+  return SpineFail("unknown operator kind");
+}
+
+// Clips the subtree to the morsel clip [lo, hi] given in the node's OUTPUT
+// coordinates (sentinel bounds mean "unclipped on this side"), rewriting
+// child clips through each operator's coordinate mapping. Base scans are
+// marked to resume page accounting (the page holding the record just
+// before the clip counts as already fetched), and sequential aggregates on
+// a clipped morsel get an uncharged carry-in subtree as children[1]. Only
+// reached for shapes AnalyzeSpine approved.
+PhysNodePtr CloneForMorsel(const PhysNodePtr& node, Position lo, Position hi) {
+  auto clone = std::make_shared<PhysNode>(*node);
+  clone->required = node->required.Intersect(Span::Of(lo, hi));
+  switch (node->op) {
+    case OpKind::kBaseRef:
+      clone->resume_covered_from = node->required.start;
+      break;
+    case OpKind::kConstantRef:
+      break;
+    case OpKind::kSelect:
+    case OpKind::kProject:
+      clone->children[0] = CloneForMorsel(node->children[0], lo, hi);
+      break;
+    case OpKind::kPositionalOffset: {
+      // out(p) = in(p + l).
+      const Position clo = lo <= kMinPosition ? kMinPosition : lo + node->offset;
+      const Position chi = hi >= kMaxPosition ? kMaxPosition : hi + node->offset;
+      clone->children[0] = CloneForMorsel(node->children[0], clo, chi);
+      break;
+    }
+    case OpKind::kValueOffset:
+      break;  // naive search: probed child, shared untouched
+    case OpKind::kWindowAgg: {
+      if (!(node->window_kind == WindowKind::kTrailing &&
+            node->mode == AccessMode::kStream &&
+            node->agg_strategy == AggStrategy::kCacheA) &&
+          node->window_kind != WindowKind::kRunning) {
+        break;  // naive prober: probed child, shared untouched
+      }
+      clone->children[0] = CloneForMorsel(node->children[0], lo, hi);
+      if (lo > kMinPosition) {
+        Position carry_lo;
+        if (node->window_kind == WindowKind::kTrailing) {
+          if (node->window <= 1) break;  // window of 1: no prior state
+          carry_lo = lo - (node->window - 1);
+        } else {
+          carry_lo = kMinPosition;  // running: the whole prefix
+        }
+        clone->morsel_carry = true;
+        clone->children.push_back(
+            CloneForMorsel(node->children[0], carry_lo, lo - 1));
+      }
+      break;
+    }
+    case OpKind::kCompose:
+      if (node->join_strategy == JoinStrategy::kStreamLeftProbeRight) {
+        clone->children[0] = CloneForMorsel(node->children[0], lo, hi);
+      } else {
+        clone->children[1] = CloneForMorsel(node->children[1], lo, hi);
+      }
+      break;
+    case OpKind::kCollapse: {
+      // Output bucket b covers child [b*f, (b+1)*f - 1].
+      const int64_t f = node->offset;
+      const Position clo = lo <= kMinPosition ? kMinPosition : lo * f;
+      const Position chi = hi >= kMaxPosition ? kMaxPosition : hi * f + (f - 1);
+      clone->children[0] = CloneForMorsel(node->children[0], clo, chi);
+      break;
+    }
+    case OpKind::kExpand: {
+      // out(p) = in(floor(p / f)); morsel starts are multiples of f.
+      const int64_t f = node->offset;
+      const Position clo = lo <= kMinPosition ? kMinPosition : FloorDiv(lo, f);
+      const Position chi = hi >= kMaxPosition ? kMaxPosition : FloorDiv(hi, f);
+      clone->children[0] = CloneForMorsel(node->children[0], clo, chi);
+      break;
+    }
+  }
+  return clone;
+}
+
+// Adds a per-morsel profile tree's measured counters into the skeleton
+// built from the original plan. The trees are isomorphic — clones change
+// spans, never structure, and carry-in subtrees are built unprofiled — so
+// a pairwise recursive walk lines up. Per-operator wall_ns becomes summed
+// worker time (documented in docs/observability.md).
+void MergeProfileTree(OperatorProfile* dst, const OperatorProfile& src) {
+  dst->calls += src.calls;
+  dst->rows_out += src.rows_out;
+  dst->wall_ns += src.wall_ns;
+  dst->sim_cost += src.sim_cost;
+  dst->cache_hits += src.cache_hits;
+  dst->cache_stores += src.cache_stores;
+  const size_t n = std::min(dst->children.size(), src.children.size());
+  for (size_t i = 0; i < n; ++i) {
+    MergeProfileTree(dst->children[i].get(), *src.children[i]);
+  }
+}
+
+// Whole-query budget state shared by all morsel workers. Workers add page
+// and row deltas AFTER each non-empty root batch (mirroring where the
+// serial driver checks), then test the running totals in the serial
+// CheckGuards order with the identical messages — so whether a budget
+// trips, and with what status, matches a serial run. The first failure
+// wins; later ones (usually the cancellation cascade through `stop`) are
+// dropped, exactly like ExecContext::Raise.
+struct SharedGuardState {
+  std::atomic<int64_t> rows{0};
+  std::atomic<int64_t> pages{0};
+  std::atomic<bool> stop{false};
+  std::mutex mu;
+  Status first_status;
+
+  void Fail(Status s) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_status.ok() && !s.ok()) first_status = std::move(s);
+    }
+    stop.store(true, std::memory_order_release);
+  }
+
+  Status TakeStatus() {
+    std::lock_guard<std::mutex> lock(mu);
+    return first_status;
+  }
+};
+
+}  // namespace
+
+MorselPlan Executor::PlanMorsels(const PhysicalPlan& plan) const {
+  MorselPlan mp;
+  auto serial = [&mp](std::string why) -> MorselPlan {
+    mp.parallel = false;
+    mp.workers = 1;
+    mp.morsels.clear();
+    mp.reason = "serial: " + std::move(why);
+    return mp;
+  };
+  const int workers = options_.parallelism;
+  if (workers <= 1) return serial("parallelism=1");
+  if (plan.root == nullptr) return serial("no plan root");
+  if (!options_.use_batch) {
+    return serial("tuple-at-a-time driving is the serial baseline");
+  }
+  if (options_.fault_injector != nullptr) {
+    return serial("fault injector armed: global hit order must match serial");
+  }
+
+  // Below this many positions per would-be morsel, thread startup beats
+  // the work itself. An explicit morsel_size overrides (tests use it to
+  // force parallel driving on small fixtures).
+  constexpr int64_t kMinMorselLen = 256;
+
+  if (plan.root_mode == AccessMode::kProbed) {
+    std::string why;
+    if (!ProbedSafe(plan.root, &why)) return serial(why);
+    if (!plan.positions.empty()) {
+      const int64_t n = static_cast<int64_t>(plan.positions.size());
+      if (options_.morsel_size == 0 && n < workers * kMinMorselLen) {
+        return serial("too few probe positions to split");
+      }
+      mp.parallel = true;
+      mp.workers = workers;
+      std::ostringstream oss;
+      oss << "parallel: " << workers << " workers over " << n
+          << " probe positions";
+      mp.reason = oss.str();
+      return mp;  // morsels stay empty: ExecuteParallel chunks the list
+    }
+    if (plan.output_span.IsEmpty()) return serial("empty output span");
+    if (plan.output_span.IsUnbounded()) return serial("unbounded probe range");
+    const int64_t len = plan.output_span.Length();
+    int64_t count;
+    if (options_.morsel_size > 0) {
+      const int64_t ms = static_cast<int64_t>(options_.morsel_size);
+      count = std::min<int64_t>((len + ms - 1) / ms, 1024);
+    } else {
+      if (len < workers * kMinMorselLen) {
+        return serial("output span too short to split");
+      }
+      count = workers;
+    }
+    if (count <= 1) return serial("single morsel");
+    const int64_t step = (len + count - 1) / count;
+    for (Position s = plan.output_span.start; s <= plan.output_span.end;
+         s += step) {
+      mp.morsels.push_back(
+          Span::Of(s, std::min(plan.output_span.end, s + step - 1)));
+    }
+    mp.parallel = true;
+    mp.workers = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(workers), mp.morsels.size()));
+    std::ostringstream oss;
+    oss << "parallel: " << mp.workers << " workers x " << mp.morsels.size()
+        << " probe morsels over " << plan.output_span.ToString();
+    mp.reason = oss.str();
+    return mp;
+  }
+
+  // Stream root.
+  if (!plan.positions.empty()) {
+    return serial("point-position filter on a stream plan");
+  }
+  if (plan.output_span.IsEmpty()) return serial("empty output span");
+  if (plan.output_span.IsUnbounded()) return serial("unbounded output span");
+  const SpineInfo spine = AnalyzeSpine(plan.root);
+  if (!spine.ok) return serial(spine.reason);
+
+  const int64_t len = plan.output_span.Length();
+  int64_t count;
+  if (options_.morsel_size > 0) {
+    const int64_t ms = static_cast<int64_t>(options_.morsel_size);
+    count = std::min<int64_t>((len + ms - 1) / ms, 1024);
+  } else {
+    if (len < workers * kMinMorselLen) {
+      return serial("output span too short to split");
+    }
+    count = workers;
+  }
+  if (count <= 1) return serial("single morsel");
+
+  // Carry-in economics: replaying aggregate lead-ins is uncharged but not
+  // free in wall time. Estimated replay must stay under the estimated
+  // parallel win, (W-1)/2W of the plan cost; an explicit morsel_size is a
+  // caller override and skips the heuristic.
+  if (options_.morsel_size == 0 && spine.carry_cost > 0.0) {
+    const double carry_total =
+        spine.carry_cost * static_cast<double>(count - 1);
+    const double parallel_win = plan.est_cost *
+                                static_cast<double>(workers - 1) /
+                                (2.0 * static_cast<double>(workers));
+    if (carry_total > parallel_win) {
+      return serial("carry-in replay would cost more than the parallel win");
+    }
+  }
+
+  // Morsel starts: even splits snapped UP into the boundary class
+  // (start ≡ phase mod modulus) so collapse/expand bucket edges coincide
+  // with morsel edges.
+  const Span span = plan.output_span;
+  std::vector<Position> starts;
+  starts.push_back(span.start);
+  const int64_t step = (len + count - 1) / count;
+  for (int64_t k = 1; k < count; ++k) {
+    Position b = span.start + k * step;
+    if (spine.modulus > 1) b += Mod(spine.phase - b, spine.modulus);
+    if (b <= starts.back()) continue;
+    if (b > span.end) break;
+    starts.push_back(b);
+  }
+  if (starts.size() <= 1) {
+    return serial("boundary alignment left a single morsel");
+  }
+  mp.morsels.reserve(starts.size());
+  for (size_t i = 0; i < starts.size(); ++i) {
+    const Position e = (i + 1 < starts.size()) ? starts[i + 1] - 1 : span.end;
+    mp.morsels.push_back(Span::Of(starts[i], e));
+  }
+  mp.parallel = true;
+  mp.workers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(workers), mp.morsels.size()));
+  std::ostringstream oss;
+  oss << "parallel: " << mp.workers << " workers x " << mp.morsels.size()
+      << " morsels over " << span.ToString();
+  if (spine.modulus > 1) oss << " (aligned mod " << spine.modulus << ")";
+  mp.reason = oss.str();
+  return mp;
+}
+
+Result<QueryResult> Executor::ExecuteParallel(const PhysicalPlan& plan,
+                                              const MorselPlan& mp,
+                                              AccessStats* stats,
+                                              OperatorProfile* root_profile)
+    const {
+  const bool probed = plan.root_mode == AccessMode::kProbed;
+  const bool probed_list = probed && !plan.positions.empty();
+
+  // Work units. Stream morsels get a clipped clone of the plan tree (the
+  // first/last morsel keeps the serial plan's lead-in/tail by leaving that
+  // side unclipped); probed roots share the original immutable nodes and
+  // split the position list / span walk instead.
+  struct Unit {
+    PhysNodePtr node;
+    Span emit = Span::Empty();
+    size_t pos_begin = 0, pos_end = 0;  // probed position-list chunk
+  };
+  std::vector<Unit> units;
+  if (probed_list) {
+    const size_t n = plan.positions.size();
+    size_t chunks = options_.morsel_size > 0
+                        ? (n + options_.morsel_size - 1) / options_.morsel_size
+                        : static_cast<size_t>(mp.workers);
+    chunks = std::min(std::max<size_t>(chunks, 1), std::min<size_t>(n, 1024));
+    const size_t step = (n + chunks - 1) / chunks;
+    for (size_t off = 0; off < n; off += step) {
+      Unit u;
+      u.node = plan.root;
+      u.pos_begin = off;
+      u.pos_end = std::min(n, off + step);
+      units.push_back(std::move(u));
+    }
+  } else if (probed) {
+    for (const Span& m : mp.morsels) {
+      Unit u;
+      u.node = plan.root;
+      u.emit = m;
+      units.push_back(std::move(u));
+    }
+  } else {
+    for (size_t i = 0; i < mp.morsels.size(); ++i) {
+      Unit u;
+      u.emit = mp.morsels[i];
+      const Position lo = i == 0 ? kMinPosition : mp.morsels[i].start;
+      const Position hi =
+          i + 1 == mp.morsels.size() ? kMaxPosition : mp.morsels[i].end;
+      u.node = CloneForMorsel(plan.root, lo, hi);
+      units.push_back(std::move(u));
+    }
+  }
+  const size_t n_units = units.size();
+
+  // Profile skeleton from the ORIGINAL plan: labels, estimates and spans
+  // are the serial plan's. The builder's operator tree is discarded; the
+  // per-unit scratch trees below merge their measured counters into this
+  // skeleton at the barrier.
+  if (root_profile != nullptr) {
+    SEQ_ASSIGN_OR_RETURN(SeqOpPtr skeleton, Build(plan.root, root_profile));
+    (void)skeleton;
+  }
+  std::vector<OperatorProfile> unit_profiles(
+      root_profile != nullptr ? n_units : 0);
+
+  std::vector<AccessStats> unit_stats(n_units);
+  std::vector<std::vector<PosRecord>> unit_records(n_units);
+  {
+    const double est = probed_list ? static_cast<double>(plan.positions.size())
+                                   : plan.root->EstRows();
+    const size_t per_unit = std::min(
+        static_cast<size_t>(std::max(est, 0.0)) / n_units + 16,
+        size_t{1} << 18);
+    for (auto& v : unit_records) v.reserve(per_unit);
+  }
+
+  SharedGuardState shared;
+  // All workers measure the wall-clock budget from the same pre-spawn
+  // instant, so the budget bounds the query, not each worker's skew.
+  std::chrono::steady_clock::time_point deadline{};
+  const bool has_deadline = options_.guards.max_wall_ms > 0;
+  if (has_deadline) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(options_.guards.max_wall_ms);
+  }
+
+  auto run_unit = [&](size_t ui) {
+    const Unit& unit = units[ui];
+    ExecContext ctx;
+    ctx.catalog = &catalog_;
+    ctx.stats = &unit_stats[ui];
+    ctx.params = params_;
+    ctx.faults = nullptr;  // an armed injector forces serial in PlanMorsels
+    ctx.guards = options_.guards;
+    // Rows and pages are whole-query budgets, enforced against the shared
+    // totals; the worker context keeps only the cooperative stop flag, the
+    // shared deadline and the (position-determined) cache budget.
+    ctx.guards.max_rows = 0;
+    ctx.guards.max_pages = 0;
+    ctx.guards.cancel = &shared.stop;
+    if (has_deadline) ctx.ArmGuardsAt(deadline);
+
+    Result<SeqOpPtr> built = Build(
+        unit.node, root_profile != nullptr ? &unit_profiles[ui] : nullptr);
+    if (!built.ok()) {
+      shared.Fail(built.status());
+      return;
+    }
+    SeqOpPtr root = std::move(built).value();
+    Status open = root->Open(&ctx);
+    if (!open.ok()) {
+      shared.Fail(std::move(open));
+      return;
+    }
+
+    std::vector<PosRecord>& out = unit_records[ui];
+    AccessStats& mstats = unit_stats[ui];
+    int64_t pages_seen = 0;
+
+    // Post-batch accounting against the shared budgets, in the serial
+    // CheckGuards order (cancel, deadline, pages, rows), with the serial
+    // messages. Page deltas from the final drain (after the last non-empty
+    // batch) are intentionally NOT accounted — the serial driver never
+    // checks after them either.
+    auto account = [&](int64_t emitted) {
+      Status g = ctx.CheckGuards(0);  // cancel + deadline
+      if (!g.ok()) {
+        shared.Fail(std::move(g));
+        return false;
+      }
+      const int64_t page_now = mstats.stream_pages + mstats.probe_pages;
+      const int64_t page_delta = page_now - pages_seen;
+      pages_seen = page_now;
+      if (options_.guards.max_pages > 0) {
+        const int64_t total =
+            shared.pages.fetch_add(page_delta, std::memory_order_relaxed) +
+            page_delta;
+        if (total > options_.guards.max_pages) {
+          shared.Fail(Status::ResourceExhausted(
+              "query exceeded page-access budget of " +
+              std::to_string(options_.guards.max_pages) + " pages"));
+          return false;
+        }
+      }
+      if (options_.guards.max_rows > 0) {
+        const int64_t total =
+            shared.rows.fetch_add(emitted, std::memory_order_relaxed) +
+            emitted;
+        if (total > options_.guards.max_rows) {
+          shared.Fail(Status::ResourceExhausted(
+              "query exceeded row budget of " +
+              std::to_string(options_.guards.max_rows) + " rows"));
+          return false;
+        }
+      }
+      return true;
+    };
+
+    RecordBatch batch(options_.batch_capacity);
+    if (!probed) {
+      const Span emit = unit.emit;
+      while (!shared.stop.load(std::memory_order_relaxed)) {
+        if (root->NextBatch(&batch) == 0) break;
+        if (ctx.failed()) break;
+        int64_t emitted = 0;
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (batch.pos(i) < emit.start || batch.pos(i) > emit.end) continue;
+          out.emplace_back();
+          PosRecord& pr = out.back();
+          pr.pos = batch.pos(i);
+          MoveRecordValues(pr.rec, batch.rec(i));
+          ++emitted;
+        }
+        mstats.records_output += emitted;
+        if (!account(emitted)) break;
+      }
+    } else {
+      auto probe_chunk = [&](std::span<const Position> chunk) {
+        const size_t n = root->ProbeBatch(chunk, &batch);
+        if (ctx.failed()) return false;
+        for (size_t i = 0; i < n; ++i) {
+          out.emplace_back();
+          PosRecord& pr = out.back();
+          pr.pos = batch.pos(i);
+          MoveRecordValues(pr.rec, batch.rec(i));
+        }
+        mstats.records_output += static_cast<int64_t>(n);
+        return account(static_cast<int64_t>(n));
+      };
+      if (probed_list) {
+        std::span<const Position> all(plan.positions);
+        for (size_t off = unit.pos_begin;
+             off < unit.pos_end &&
+             !shared.stop.load(std::memory_order_relaxed);
+             off += options_.batch_capacity) {
+          if (!probe_chunk(all.subspan(
+                  off,
+                  std::min(options_.batch_capacity, unit.pos_end - off)))) {
+            break;
+          }
+        }
+      } else {
+        std::vector<Position> chunk;
+        chunk.reserve(options_.batch_capacity);
+        Position p = unit.emit.start;
+        while (p <= unit.emit.end &&
+               !shared.stop.load(std::memory_order_relaxed)) {
+          chunk.clear();
+          while (chunk.size() < options_.batch_capacity &&
+                 p <= unit.emit.end) {
+            chunk.push_back(p++);
+          }
+          if (!probe_chunk(chunk)) break;
+        }
+      }
+    }
+    root->Close();
+    Status err = ctx.TakeError();
+    if (!err.ok()) shared.Fail(std::move(err));
+  };
+
+  {
+    ThreadPool pool(mp.workers);
+    std::atomic<size_t> next_unit{0};
+    for (int w = 0; w < mp.workers; ++w) {
+      pool.Submit([&] {
+        while (true) {
+          const size_t ui = next_unit.fetch_add(1, std::memory_order_relaxed);
+          if (ui >= n_units) return;
+          run_unit(ui);
+        }
+      });
+    }
+    if (options_.guards.cancel != nullptr) {
+      // The coordinating thread forwards the caller's cancellation flag to
+      // workers (which watch shared.stop) from the pool's wait loop.
+      const std::atomic<bool>* user_cancel = options_.guards.cancel;
+      pool.Wait([&shared, user_cancel] {
+        if (user_cancel->load(std::memory_order_relaxed) &&
+            !shared.stop.load(std::memory_order_relaxed)) {
+          shared.Fail(Status::Cancelled("query cancelled by driver"));
+        }
+      });
+    } else {
+      pool.Wait();
+    }
+  }
+
+  // Barrier merges, always in unit (= position) order so every total is
+  // deterministic, and merged even on failure — the serial path also
+  // leaves partial charges in the caller's stats block.
+  if (stats != nullptr) {
+    for (const AccessStats& ms : unit_stats) stats->Merge(ms);
+  }
+  if (root_profile != nullptr && !root_profile->children.empty()) {
+    OperatorProfile* skel = root_profile->children.back().get();
+    for (const OperatorProfile& up : unit_profiles) {
+      if (!up.children.empty()) MergeProfileTree(skel, *up.children[0]);
+    }
+  }
+  SEQ_RETURN_IF_ERROR(shared.TakeStatus());
+
+  QueryResult result;
+  result.schema = plan.schema;
+  size_t total = 0;
+  for (const auto& v : unit_records) total += v.size();
+  result.records.reserve(total);
+  for (auto& v : unit_records) {
+    for (PosRecord& r : v) result.records.push_back(std::move(r));
+  }
+  return result;
 }
 
 Result<QueryResult> Executor::Execute(const PhysicalPlan& plan,
@@ -445,6 +1272,12 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
     const {
   if (plan.root == nullptr) {
     return Status::InvalidArgument("plan has no root");
+  }
+  if (options_.parallelism > 1) {
+    const MorselPlan morsels = PlanMorsels(plan);
+    if (morsels.parallel) {
+      return ExecuteParallel(plan, morsels, stats, root_profile);
+    }
   }
   ExecContext ctx;
   ctx.catalog = &catalog_;

@@ -2,6 +2,7 @@
 #define SEQ_EXEC_EXECUTOR_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,10 +16,13 @@
 namespace seq {
 
 /// A materialized query output: the non-null records of the answer
-/// sequence in position order.
+/// sequence in position order. When the run was profiled
+/// (RunOptions::profile), `profile` carries the per-operator
+/// estimated-vs-actual record and the optimizer trace.
 struct QueryResult {
   SchemaPtr schema;
   std::vector<PosRecord> records;
+  std::optional<QueryProfile> profile;
 
   /// First `limit` records, one per line.
   std::string ToString(size_t limit = 20) const;
@@ -34,6 +38,12 @@ using RowSink = std::function<void(Position, const Record&)>;
 /// environment variable SEQ_USE_BATCH is set to "0". Lets the full test
 /// suite be re-run under tuple driving without code changes.
 bool DefaultUseBatch();
+
+/// Process-wide default for ExecOptions::parallelism, from the
+/// SEQ_PARALLELISM environment variable (1 when unset). Lets the full
+/// suite be re-run under morsel-parallel driving — the ThreadSanitizer CI
+/// job runs with SEQ_PARALLELISM=4 — without code changes.
+int DefaultParallelism();
 
 /// Runtime knobs for the Start operator's driving loop.
 struct ExecOptions {
@@ -55,8 +65,39 @@ struct ExecOptions {
   QueryGuards guards;
   /// Deterministic fault source for robustness testing; never set in
   /// production. Owned by the caller and must outlive every execution that
-  /// uses these options.
+  /// uses these options. Arming it forces serial execution (the injector's
+  /// global hit counters define "the k-th access" in serial order).
   FaultInjector* fault_injector = nullptr;
+  /// Maximum worker threads for morsel-driven intra-query parallelism
+  /// (docs/execution.md). 1 (the default) runs everything on the calling
+  /// thread. Values > 1 split stream-root plans' output spans (and
+  /// probed-root plans' position lists) into contiguous morsels evaluated
+  /// by independent operator-tree clones; plans with operators that cannot
+  /// be partitioned correctly, or where carry-in state would cost more
+  /// than the parallel win, fall back to serial — rows, merged AccessStats
+  /// and budget trips are identical either way.
+  int parallelism = DefaultParallelism();
+  /// Morsel length in positions. 0 (auto) splits the span into one morsel
+  /// per worker. An explicit size is treated as a caller override: the
+  /// carry-in cost heuristic is skipped (correctness fallbacks still
+  /// apply), which is how tests force parallel driving on small spans.
+  size_t morsel_size = 0;
+};
+
+/// How (and why) the executor decided to drive one plan: serial, or
+/// parallel over which morsels. Computed deterministically from the plan
+/// and ExecOptions by Executor::PlanMorsels; the engine surfaces `reason`
+/// in the optimizer trace and the profile notes.
+struct MorselPlan {
+  bool parallel = false;
+  /// Human-readable decision record, e.g. "parallel: 4 workers x 4
+  /// morsels" or "serial: lock-step compose does not partition".
+  std::string reason;
+  int workers = 1;
+  /// Contiguous output sub-spans (stream roots) in position order, tiling
+  /// the plan's output span. Empty for probed roots (those chunk the
+  /// position list instead).
+  std::vector<Span> morsels;
 };
 
 /// Instantiates physical operators from plan descriptors and drives the
@@ -101,6 +142,12 @@ class Executor {
   Result<SeqOpPtr> Build(const PhysNodePtr& node,
                          OperatorProfile* profile_parent = nullptr) const;
 
+  /// The morsel-parallelism decision for `plan` under these options:
+  /// whether it runs parallel, with how many workers over which morsels,
+  /// and why. Pure and deterministic — the engine calls it to record the
+  /// decision, ExecuteImpl recomputes it to act on it.
+  MorselPlan PlanMorsels(const PhysicalPlan& plan) const;
+
  private:
   Result<SeqOpPtr> BuildInner(const PhysNodePtr& node,
                               OperatorProfile* prof) const;
@@ -132,6 +179,14 @@ class Executor {
   Result<QueryResult> ExecuteImpl(const PhysicalPlan& plan,
                                   AccessStats* stats,
                                   OperatorProfile* root_profile) const;
+
+  // Morsel-parallel driving (see docs/execution.md): independent operator
+  // trees per morsel, per-morsel AccessStats merged in morsel order,
+  // shared budget accounting at batch boundaries.
+  Result<QueryResult> ExecuteParallel(const PhysicalPlan& plan,
+                                      const MorselPlan& morsels,
+                                      AccessStats* stats,
+                                      OperatorProfile* root_profile) const;
 
   const Catalog& catalog_;
   CostParams params_;

@@ -22,13 +22,25 @@ namespace seq {
 /// to the driver still observes cancellation and budgets.
 class BaseScan : public SeqOp {
  public:
-  BaseScan(const BaseSequenceStore* store, Span range)
-      : store_(store), range_(range) {}
+  /// `resume_covered_from`, when set, marks this scan as a morsel clip of a
+  /// larger serial scan whose coverage starts there: the stream cursor
+  /// opens resumed so a page shared with the preceding morsel's clip is
+  /// not charged twice (see BaseSequenceStore::OpenStreamResumed).
+  BaseScan(const BaseSequenceStore* store, Span range,
+           std::optional<Position> resume_covered_from = std::nullopt)
+      : store_(store),
+        range_(range),
+        resume_covered_from_(resume_covered_from) {}
 
   Status Open(ExecContext* ctx) override {
     SEQ_RETURN_IF_ERROR(ctx->PollOpenFault("BaseScan"));
     ctx_ = ctx;
-    cursor_.emplace(store_->OpenStream(range_, ctx->stats));
+    if (resume_covered_from_.has_value()) {
+      cursor_.emplace(store_->OpenStreamResumed(range_, *resume_covered_from_,
+                                                ctx->stats));
+    } else {
+      cursor_.emplace(store_->OpenStream(range_, ctx->stats));
+    }
     return Status::OK();
   }
 
@@ -107,6 +119,7 @@ class BaseScan : public SeqOp {
 
   const BaseSequenceStore* store_;
   Span range_;
+  std::optional<Position> resume_covered_from_;
   ExecContext* ctx_ = nullptr;
   std::optional<BaseSequenceStore::StreamCursor> cursor_;
 };

@@ -1,0 +1,98 @@
+#ifndef SEQ_EXEC_THREAD_POOL_H_
+#define SEQ_EXEC_THREAD_POOL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace seq {
+
+/// A small owned worker pool for morsel-parallel execution: the executor
+/// creates one per parallel query, submits one task per worker, and waits
+/// at the barrier. Deliberately minimal — no work stealing, no global
+/// singleton; morsel scheduling happens above this (workers claim morsel
+/// indices from an atomic counter), so the pool only needs to run N
+/// long-lived tasks and join them.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads) {
+    threads_.reserve(static_cast<size_t>(threads > 0 ? threads : 0));
+    for (int i = 0; i < threads; ++i) {
+      threads_.emplace_back([this] { Loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not submit further tasks.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++pending_;
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished. `poll`, when set, is
+  /// invoked roughly every millisecond while waiting — the coordinating
+  /// thread uses it to forward the caller's cancellation flag to workers
+  /// that are deep inside a blocking operator.
+  void Wait(const std::function<void()>& poll = {}) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (pending_ > 0) {
+      if (poll) {
+        done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        lock.unlock();
+        poll();
+        lock.lock();
+      } else {
+        done_cv_.wait(lock, [this] { return pending_ == 0; });
+      }
+    }
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      std::function<void()> task = std::move(tasks_.back());
+      tasks_.pop_back();
+      lock.unlock();
+      task();
+      lock.lock();
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::function<void()>> tasks_;
+  int pending_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_EXEC_THREAD_POOL_H_

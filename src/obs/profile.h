@@ -53,8 +53,9 @@ struct OperatorProfile {
 
 /// The complete observability record of one profiled query run: the
 /// operator tree with estimated-vs-actual annotations, roll-up access
-/// stats, and the optimizer's decision trace. Returned alongside the
-/// QueryResult by Engine::RunProfiled and rendered by ExplainAnalyze.
+/// stats, and the optimizer's decision trace. Attached to the
+/// QueryResult by Run(query, RunOptions{.profile = true}) and rendered
+/// by ExplainAnalyze.
 struct QueryProfile {
   std::unique_ptr<OperatorProfile> root;  ///< the Start operator
   int64_t total_wall_ns = 0;              ///< end-to-end execution wall time

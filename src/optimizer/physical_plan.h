@@ -2,6 +2,7 @@
 #define SEQ_OPTIMIZER_PHYSICAL_PLAN_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,21 @@ struct PhysNode {
   double est_density = 0.0;
   double est_cost = 0.0;           ///< estimated cost in `mode` over `required`
   int64_t cache_size = 0;          ///< operator cache records (§3.5)
+
+  // Morsel-parallel annotations, set only on the per-morsel node clones the
+  // executor derives from the optimizer's plan (exec/executor.cc,
+  // CloneForMorsel). Never set by the optimizer itself.
+  /// For a clipped base scan: the start of the span the ORIGINAL (serial)
+  /// leaf covered. The preceding span is streamed by earlier morsels, so
+  /// the scan opens its cursor "resumed" — the page holding the record
+  /// just before the clip is treated as already fetched, keeping
+  /// stream_pages totals identical to one serial scan.
+  std::optional<Position> resume_covered_from;
+  /// True on sequential-aggregate clones whose children[1] is an uncharged
+  /// carry-in subtree: the operator streams it to completion at Open to
+  /// rebuild the aggregate state the serial run would have at the morsel
+  /// boundary, charging nothing (earlier morsels charge those reads).
+  bool morsel_carry = false;
 
   /// One-line description of the node: operator, mode, strategy and
   /// parameters — shared by Explain and the runtime profile labels.

@@ -33,6 +33,12 @@ struct AccessStats {
 
   void Reset() { *this = AccessStats{}; }
 
+  /// Folds another counter block into this one. Morsel-parallel execution
+  /// gives every worker a private AccessStats (no atomics on the charge
+  /// path) and merges them in morsel order at the barrier, so totals are
+  /// deterministic and equal to a serial run's.
+  AccessStats& Merge(const AccessStats& other) { return *this += other; }
+
   AccessStats& operator+=(const AccessStats& other) {
     stream_records += other.stream_records;
     stream_pages += other.stream_pages;

@@ -103,6 +103,23 @@ BaseSequenceStore::StreamCursor BaseSequenceStore::OpenStream(
   return StreamCursor(this, begin, end, stats);
 }
 
+BaseSequenceStore::StreamCursor BaseSequenceStore::OpenStreamResumed(
+    Span range, Position covered_from, AccessStats* stats) const {
+  StreamCursor cursor = OpenStream(range, stats);
+  // If the record just before this cursor's first was streamed by the
+  // preceding cursor (its position is inside the covered prefix), that
+  // record's page has been charged already: seed last_page_ with it so a
+  // shared page boundary is not paid twice. Unclustered layouts charge per
+  // record, so the seeded page never matches the first record's and the
+  // behavior is unchanged there.
+  if (cursor.index_ > 0 && cursor.index_ < cursor.end_ &&
+      records_[cursor.index_ - 1].pos >= covered_from) {
+    const int64_t prev = static_cast<int64_t>(cursor.index_) - 1;
+    cursor.last_page_ = costs_.clustered ? prev / records_per_page_ : prev;
+  }
+  return cursor;
+}
+
 std::optional<PosRecord> BaseSequenceStore::StreamCursor::Next() {
   if (index_ >= end_) return std::nullopt;
   const PosRecord& pr = store_->records_[index_];

@@ -121,6 +121,16 @@ class BaseSequenceStore {
 
   StreamCursor OpenStream(Span range, AccessStats* stats) const;
 
+  /// Stream access resuming a scan another cursor carried up to the start
+  /// of `range`: positions in [covered_from, range.start) were streamed by
+  /// a preceding cursor (a preceding morsel's scan), so the page holding
+  /// the last record before `range` counts as already fetched and is not
+  /// charged again when this cursor's first record shares it. With the
+  /// cursors' ranges tiling [covered_from, range.end], total page charges
+  /// equal one serial scan of the whole tile.
+  StreamCursor OpenStreamResumed(Span range, Position covered_from,
+                                 AccessStats* stats) const;
+
   /// Probed access path: the record at exactly `pos`, or nullopt if that
   /// position is empty or outside the span.
   std::optional<Record> Probe(Position pos, AccessStats* stats) const;

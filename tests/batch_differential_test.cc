@@ -49,60 +49,93 @@ void ExpectSameRows(const QueryResult& tuple, const QueryResult& batch,
   }
 }
 
-/// Streams `query` through PreparedQuery::RunVisit under the engine's
-/// current driving mode, copying each visited row (sink-held references
-/// are only valid during the callback).
-QueryResult VisitRows(Engine& engine, const Query& query, AccessStats* stats,
-                      const std::string& label) {
+/// Streams `query` through PreparedQuery::Run with a RunOptions sink under
+/// the requested driving mode, copying each visited row (sink-held
+/// references are only valid during the callback).
+QueryResult VisitRows(Engine& engine, const Query& query, bool use_batch,
+                      AccessStats* stats, const std::string& label) {
   auto prepared = engine.Prepare(query);
   EXPECT_TRUE(prepared.ok()) << label;
   QueryResult out;
   if (!prepared.ok()) return out;
-  Status s = prepared->RunVisit(
-      [&out](Position p, const Record& rec) {
-        out.records.push_back(PosRecord{p, rec});
-      },
-      stats);
-  EXPECT_TRUE(s.ok()) << label << ": " << s.ToString();
+  RunOptions opts;
+  opts.exec.use_batch = use_batch;
+  opts.sink = [&out](Position p, const Record& rec) {
+    out.records.push_back(PosRecord{p, rec});
+  };
+  opts.stats = stats;
+  auto run = prepared->Run(opts);
+  EXPECT_TRUE(run.ok()) << label << ": " << run.status().ToString();
   return out;
 }
 
-/// Runs `query` through both paths (plain, profiled, and streamed) and
-/// asserts identical rows and stats everywhere.
+/// Runs `query` through every path — tuple, batch, profiled, streamed, and
+/// morsel-parallel at 2 and 4 workers — and asserts identical rows and
+/// stats everywhere. Every mode is expressed as a per-query RunOptions;
+/// nothing mutates engine-wide state.
 void RunBoth(Engine& engine, const Query& query, const std::string& label) {
-  engine.exec_options().use_batch = false;
+  RunOptions tuple_opts;
+  tuple_opts.exec.use_batch = false;
   AccessStats tuple_stats;
-  auto tuple = engine.Run(query, &tuple_stats);
+  tuple_opts.stats = &tuple_stats;
+  auto tuple = engine.Run(query, tuple_opts);
   ASSERT_TRUE(tuple.ok()) << label << ": " << tuple.status().ToString();
 
-  engine.exec_options().use_batch = true;
+  RunOptions batch_opts;
+  batch_opts.exec.use_batch = true;
   AccessStats batch_stats;
-  auto batch = engine.Run(query, &batch_stats);
+  batch_opts.stats = &batch_stats;
+  auto batch = engine.Run(query, batch_opts);
   ASSERT_TRUE(batch.ok()) << label << ": " << batch.status().ToString();
 
   ExpectSameRows(*tuple, *batch, label);
   ExpectSameStats(tuple_stats, batch_stats, label);
 
   // The profiled executor must batch through its wrappers too.
+  RunOptions prof_opts;
+  prof_opts.exec.use_batch = true;
+  prof_opts.profile = true;
   AccessStats prof_stats;
-  auto profiled = engine.RunProfiled(query, &prof_stats);
+  prof_opts.stats = &prof_stats;
+  auto profiled = engine.Run(query, prof_opts);
   ASSERT_TRUE(profiled.ok()) << label << ": " << profiled.status().ToString();
-  ExpectSameRows(*tuple, profiled->result, label + " [profiled]");
+  ASSERT_TRUE(profiled->profile.has_value()) << label;
+  ExpectSameRows(*tuple, *profiled, label + " [profiled]");
   ExpectSameStats(tuple_stats, prof_stats, label + " [profiled]");
 
   // Streaming consumption must visit exactly the materialized rows, with
   // the same charges, in both driving modes.
-  engine.exec_options().use_batch = false;
   AccessStats tv_stats;
-  QueryResult tv = VisitRows(engine, query, &tv_stats, label + " [visit t]");
+  QueryResult tv = VisitRows(engine, query, /*use_batch=*/false, &tv_stats,
+                             label + " [visit t]");
   ExpectSameRows(*tuple, tv, label + " [visit tuple]");
   ExpectSameStats(tuple_stats, tv_stats, label + " [visit tuple]");
 
-  engine.exec_options().use_batch = true;
   AccessStats bv_stats;
-  QueryResult bv = VisitRows(engine, query, &bv_stats, label + " [visit b]");
+  QueryResult bv = VisitRows(engine, query, /*use_batch=*/true, &bv_stats,
+                             label + " [visit b]");
   ExpectSameRows(*tuple, bv, label + " [visit batch]");
   ExpectSameStats(tuple_stats, bv_stats, label + " [visit batch]");
+
+  // Morsel parity sweep: the same query split into small forced morsels at
+  // 2 and 4 workers must produce byte-identical rows and merged AccessStats
+  // equal to the serial counters. Plans whose operators cannot partition
+  // fall back to serial inside the executor — still a parity check, just a
+  // trivial one.
+  for (int workers : {2, 4}) {
+    RunOptions par_opts;
+    par_opts.exec.use_batch = true;
+    par_opts.exec.parallelism = workers;
+    par_opts.exec.morsel_size = 256;
+    AccessStats par_stats;
+    par_opts.stats = &par_stats;
+    auto par = engine.Run(query, par_opts);
+    const std::string plabel =
+        label + " [parallel x" + std::to_string(workers) + "]";
+    ASSERT_TRUE(par.ok()) << plabel << ": " << par.status().ToString();
+    ExpectSameRows(*tuple, *par, plabel);
+    ExpectSameStats(tuple_stats, par_stats, plabel);
+  }
 }
 
 void RunBoth(Engine& engine, const QueryBuilder& builder,
@@ -330,6 +363,141 @@ TEST_F(BatchDifferentialTest, EmptyAndEdgeResults) {
   RunBoth(engine_, SeqRef("s").Select(Gt(Col("value"), Lit(int64_t{100000}))),
           std::nullopt, "selects nothing");
   RunBoth(engine_, SeqRef("sp"), Span::Of(3990, 4000), "nearly empty tail");
+}
+
+TEST_F(BatchDifferentialTest, MorselDrivingActuallyGoesParallel) {
+  // Guard against the sweep above silently degenerating: a partitionable
+  // plan with forced morsels must take the parallel path, and the decision
+  // must be visible in the profile notes.
+  Query query;
+  query.graph =
+      SeqRef("s").Select(Gt(Col("value"), Lit(int64_t{100}))).Build();
+  RunOptions opts;
+  opts.exec.use_batch = true;
+  opts.exec.parallelism = 4;
+  opts.exec.morsel_size = 256;
+  opts.profile = true;
+  auto run = engine_.Run(query, opts);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_TRUE(run->profile.has_value());
+  bool saw_parallel = false;
+  for (const std::string& note : run->profile->notes) {
+    if (note.find("parallel:") != std::string::npos) saw_parallel = true;
+  }
+  EXPECT_TRUE(saw_parallel)
+      << "expected a 'parallel:' execution note, notes were: "
+      << ::testing::PrintToString(run->profile->notes);
+}
+
+// Budget trips must fire at the same point — same ok-ness, same status
+// message — whether the query runs serial or morsel-parallel. The sweep
+// walks max_rows across the interesting boundary values around the true
+// answer size for a stream root and a probed root.
+TEST_F(BatchDifferentialTest, RowBudgetTripParity) {
+  Query query;
+  query.graph =
+      SeqRef("s").Select(Gt(Col("value"), Lit(int64_t{200}))).Build();
+
+  RunOptions serial_opts;
+  serial_opts.exec.use_batch = true;
+  auto full = engine_.Run(query, serial_opts);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  const size_t total = full->records.size();
+  ASSERT_GT(total, 100u);
+
+  const size_t budgets[] = {1, 10, total / 2, total - 1, total, total + 1};
+  for (size_t budget : budgets) {
+    RunOptions serial;
+    serial.exec.use_batch = true;
+    serial.exec.guards.max_rows = budget;
+    auto sres = engine_.Run(query, serial);
+    for (int workers : {2, 4}) {
+      RunOptions par;
+      par.exec.use_batch = true;
+      par.exec.guards.max_rows = budget;
+      par.exec.parallelism = workers;
+      par.exec.morsel_size = 256;
+      auto pres = engine_.Run(query, par);
+      const std::string label = "max_rows=" + std::to_string(budget) +
+                                " x" + std::to_string(workers);
+      ASSERT_EQ(sres.ok(), pres.ok()) << label;
+      if (!sres.ok()) {
+        EXPECT_EQ(sres.status().ToString(), pres.status().ToString()) << label;
+      } else {
+        ExpectSameRows(*sres, *pres, label);
+      }
+    }
+  }
+}
+
+TEST_F(BatchDifferentialTest, RowBudgetTripParityProbedRoot) {
+  engine_.options().force_root_mode = AccessMode::kProbed;
+  Query query;
+  query.graph = SeqRef("s").Agg(AggFunc::kSum, "value", 7).Build();
+
+  RunOptions serial_opts;
+  serial_opts.exec.use_batch = true;
+  auto full = engine_.Run(query, serial_opts);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  const size_t total = full->records.size();
+  ASSERT_GT(total, 10u);
+
+  for (size_t budget : {size_t{1}, total / 2, total, total + 1}) {
+    RunOptions serial;
+    serial.exec.use_batch = true;
+    serial.exec.guards.max_rows = budget;
+    auto sres = engine_.Run(query, serial);
+    for (int workers : {2, 4}) {
+      RunOptions par;
+      par.exec.use_batch = true;
+      par.exec.guards.max_rows = budget;
+      par.exec.parallelism = workers;
+      par.exec.morsel_size = 256;
+      auto pres = engine_.Run(query, par);
+      const std::string label = "probed max_rows=" + std::to_string(budget) +
+                                " x" + std::to_string(workers);
+      ASSERT_EQ(sres.ok(), pres.ok()) << label;
+      if (!sres.ok()) {
+        EXPECT_EQ(sres.status().ToString(), pres.status().ToString()) << label;
+      } else {
+        ExpectSameRows(*sres, *pres, label);
+      }
+    }
+  }
+}
+
+TEST_F(BatchDifferentialTest, PageBudgetTripParity) {
+  Query query;
+  query.graph = SeqRef("s").Project({"value"}).Build();
+
+  RunOptions count_opts;
+  count_opts.exec.use_batch = true;
+  AccessStats stats;
+  count_opts.stats = &stats;
+  ASSERT_TRUE(engine_.Run(query, count_opts).ok());
+  const int64_t pages = stats.stream_pages + stats.probe_pages;
+  ASSERT_GT(pages, 4);
+
+  for (int64_t budget : {pages / 2, pages, pages * 2}) {
+    RunOptions serial;
+    serial.exec.use_batch = true;
+    serial.exec.guards.max_pages = budget;
+    auto sres = engine_.Run(query, serial);
+    for (int workers : {2, 4}) {
+      RunOptions par;
+      par.exec.use_batch = true;
+      par.exec.guards.max_pages = budget;
+      par.exec.parallelism = workers;
+      par.exec.morsel_size = 256;
+      auto pres = engine_.Run(query, par);
+      const std::string label = "max_pages=" + std::to_string(budget) + " x" +
+                                std::to_string(workers);
+      ASSERT_EQ(sres.ok(), pres.ok()) << label;
+      if (!sres.ok()) {
+        EXPECT_EQ(sres.status().ToString(), pres.status().ToString()) << label;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -151,13 +151,13 @@ TEST_F(ErrorsTest, RecordKFaultCarriesOperatorLabelAndPosition) {
       {"select-kth-eval", select, FaultSite::kExprEval, 42, "op=Select", 41},
   };
   for (bool use_batch : {true, false}) {
-    engine_.exec_options().use_batch = use_batch;
     for (const Case& c : cases) {
       FaultInjector injector;
       injector.ArmAfter(c.site, c.k);
-      engine_.exec_options().fault_injector = &injector;
-      auto r = engine_.Run(c.query.Build(), Span::Of(0, 99));
-      engine_.exec_options().fault_injector = nullptr;
+      RunOptions opts;
+      opts.exec.use_batch = use_batch;
+      opts.exec.fault_injector = &injector;
+      auto r = engine_.Run(c.query.Build(), Span::Of(0, 99), opts);
       std::string label = std::string(c.name) +
                           (use_batch ? " [batch]" : " [tuple]");
       ASSERT_FALSE(r.ok()) << label;
@@ -209,9 +209,9 @@ TEST_F(ErrorsTest, OpenFaultNamesEveryOperatorKind) {
     for (int64_t k = 1; k <= 8; ++k) {
       FaultInjector injector;
       injector.ArmAfter(FaultSite::kOperatorOpen, k);
-      engine_.exec_options().fault_injector = &injector;
-      auto r = engine_.Run(c.query.Build(), Span::Of(0, 99));
-      engine_.exec_options().fault_injector = nullptr;
+      RunOptions opts;
+      opts.exec.fault_injector = &injector;
+      auto r = engine_.Run(c.query.Build(), Span::Of(0, 99), opts);
       if (injector.fired() == 0) {
         // Fewer than k Opens in the whole plan: the sweep is done.
         EXPECT_TRUE(r.ok()) << c.want_label_prefix << " k=" << k << ": "

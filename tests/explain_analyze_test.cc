@@ -1,4 +1,4 @@
-// Tests for profiled execution and EXPLAIN ANALYZE: RunProfiled must agree
+// Tests for profiled execution and EXPLAIN ANALYZE: a profiled Run must agree
 // with the plain Run path, drift must be zero when the catalog statistics
 // are exact, and the rendered report must show estimated vs actual numbers
 // for every operator plus the optimizer's decision trace.
@@ -31,6 +31,16 @@ class ExplainAnalyzeTest : public ::testing::Test {
     return q;
   }
 
+  /// Profiled run through the RunOptions API; the profile lands in
+  /// QueryResult::profile.
+  Result<QueryResult> RunProfiled(const Query& query,
+                                  AccessStats* stats = nullptr) {
+    RunOptions opts;
+    opts.profile = true;
+    opts.stats = stats;
+    return engine_.Run(query, opts);
+  }
+
   Engine engine_;
 };
 
@@ -47,12 +57,11 @@ TEST_F(ExplainAnalyzeTest, ProfiledRunMatchesPlainRun) {
   ASSERT_TRUE(plain.ok()) << plain.status();
 
   AccessStats profiled_stats;
-  auto profiled =
-      engine_.RunProfiled(RangeQuery(graph->Clone()), &profiled_stats);
+  auto profiled = RunProfiled(RangeQuery(graph->Clone()), &profiled_stats);
   ASSERT_TRUE(profiled.ok()) << profiled.status();
 
   // Same answer...
-  ASSERT_EQ(profiled->result.records.size(), plain->records.size());
+  ASSERT_EQ(profiled->records.size(), plain->records.size());
   // ...and the same simulated work: instrumentation must not change what
   // the operators do, only measure it.
   EXPECT_EQ(profiled_stats.stream_records, plain_stats.stream_records);
@@ -61,22 +70,24 @@ TEST_F(ExplainAnalyzeTest, ProfiledRunMatchesPlainRun) {
   EXPECT_EQ(profiled_stats.agg_steps, plain_stats.agg_steps);
   EXPECT_DOUBLE_EQ(profiled_stats.simulated_cost, plain_stats.simulated_cost);
   // The out-param and the profile's embedded stats agree.
-  EXPECT_DOUBLE_EQ(profiled->profile.stats.simulated_cost,
+  ASSERT_TRUE(profiled->profile.has_value());
+  EXPECT_DOUBLE_EQ(profiled->profile->stats.simulated_cost,
                    plain_stats.simulated_cost);
 }
 
 TEST_F(ExplainAnalyzeTest, ProfileTreeCountsRowsPerOperator) {
-  auto profiled = engine_.RunProfiled(
+  auto profiled = RunProfiled(
       RangeQuery(SeqRef("s")
                      .Select(Gt(Col("value"), Lit(int64_t{300})))
                      .Build()));
   ASSERT_TRUE(profiled.ok()) << profiled.status();
-  const QueryProfile& profile = profiled->profile;
+  ASSERT_TRUE(profiled->profile.has_value());
+  const QueryProfile& profile = *profiled->profile;
   ASSERT_NE(profile.root, nullptr);
 
   // Root rows == result rows; wall time was measured.
   EXPECT_EQ(profile.root->rows_out,
-            static_cast<int64_t>(profiled->result.records.size()));
+            static_cast<int64_t>(profiled->records.size()));
   EXPECT_GT(profile.total_wall_ns, 0);
   EXPECT_GE(profile.root->wall_ns, 0);
 
@@ -98,9 +109,10 @@ TEST_F(ExplainAnalyzeTest, ProfileTreeCountsRowsPerOperator) {
 TEST_F(ExplainAnalyzeTest, BareScanHasNoDrift) {
   // A bare base-sequence scan: the catalog's record count is exact, so the
   // estimated and actual row counts must agree at every node.
-  auto profiled = engine_.RunProfiled(RangeQuery(SeqRef("s").Build()));
+  auto profiled = RunProfiled(RangeQuery(SeqRef("s").Build()));
   ASSERT_TRUE(profiled.ok()) << profiled.status();
-  const QueryProfile& profile = profiled->profile;
+  ASSERT_TRUE(profiled->profile.has_value());
+  const QueryProfile& profile = *profiled->profile;
   EXPECT_NEAR(profile.MaxQError(), 1.0, 1e-9);
   EXPECT_NEAR(profile.MeanQError(), 1.0, 1e-9);
   EXPECT_NEAR(profile.root->est_rows,
@@ -144,27 +156,31 @@ TEST_F(ExplainAnalyzeTest, ReportShowsEstimatedVersusActualPerOperator) {
 TEST_F(ExplainAnalyzeTest, TraceRecordsRewriteDecisions) {
   // Select over offset with a pos()-free predicate: the pushdown applies
   // and must appear in the trace.
-  auto pushed = engine_.RunProfiled(
+  auto pushed = RunProfiled(
       RangeQuery(SeqRef("s")
                      .Offset(2)
                      .Select(Gt(Col("value"), Lit(int64_t{100})))
                      .Build()));
   ASSERT_TRUE(pushed.ok()) << pushed.status();
-  EXPECT_FALSE(pushed->profile.optimizer.Stage("rewrite").empty());
-  EXPECT_FALSE(pushed->profile.optimizer.Stage("choice").empty());
-  EXPECT_GE(pushed->profile.optimizer.optimize_us, 0);
+  ASSERT_TRUE(pushed->profile.has_value());
+  EXPECT_FALSE(pushed->profile->optimizer.Stage("rewrite").empty());
+  EXPECT_FALSE(pushed->profile->optimizer.Stage("choice").empty());
+  // The executor's driving decision (serial vs morsel-parallel) is traced.
+  EXPECT_FALSE(pushed->profile->optimizer.Stage("execution").empty());
+  EXPECT_GE(pushed->profile->optimizer.optimize_us, 0);
 
   // A predicate on pos() blocks the same pushdown; the rejection is traced
   // with its reason.
-  auto rejected = engine_.RunProfiled(
+  auto rejected = RunProfiled(
       RangeQuery(SeqRef("s")
                      .Offset(2)
                      .Select(Gt(Expr::Position(), Lit(int64_t{5})))
                      .Build()));
   ASSERT_TRUE(rejected.ok()) << rejected.status();
+  ASSERT_TRUE(rejected->profile.has_value());
   bool saw_reason = false;
   for (const OptTraceEntry* e :
-       rejected->profile.optimizer.Stage("rewrite-rejected")) {
+       rejected->profile->optimizer.Stage("rewrite-rejected")) {
     if (e->detail.find("pos()") != std::string::npos) saw_reason = true;
   }
   EXPECT_TRUE(saw_reason);
@@ -173,15 +189,16 @@ TEST_F(ExplainAnalyzeTest, TraceRecordsRewriteDecisions) {
 // --- profiled flame-graph export --------------------------------------------
 
 TEST_F(ExplainAnalyzeTest, ProfileExportsTraceEvents) {
-  auto profiled = engine_.RunProfiled(
+  auto profiled = RunProfiled(
       RangeQuery(SeqRef("s")
                      .Select(Gt(Col("value"), Lit(int64_t{300})))
                      .Agg(AggFunc::kMax, "value", 4)
                      .Build()));
   ASSERT_TRUE(profiled.ok()) << profiled.status();
+  ASSERT_TRUE(profiled->profile.has_value());
 
   TraceRecorder recorder;
-  profiled->profile.EmitTraceEvents(&recorder);
+  profiled->profile->EmitTraceEvents(&recorder);
   ASSERT_FALSE(recorder.empty());
 
   // One "execute" span on the executor lane, the optimize span on lane 0,

@@ -129,15 +129,20 @@ class FaultMatrixTest : public ::testing::Test {
 
   Outcome RunShape(const Shape& shape, bool probed) {
     Outcome out;
+    RunOptions opts = run_opts_;
+    opts.stats = &out.stats;
     Result<QueryResult> r =
-        probed ? engine_.RunAt(shape.graph, {5, 9, 22, 41}, &out.stats)
-               : engine_.Run(shape.graph, Span::Of(0, 63), &out.stats);
+        probed ? engine_.RunAt(shape.graph, {5, 9, 22, 41}, opts)
+               : engine_.Run(shape.graph, Span::Of(0, 63), opts);
     out.status = r.status();
     if (r.ok()) out.result = std::move(r).value();
     return out;
   }
 
   Engine engine_;
+  // Per-query execution knobs the matrix sweeps; RunShape copies these
+  // into each run instead of mutating engine-wide state.
+  RunOptions run_opts_;
 };
 
 TEST_F(FaultMatrixTest, TriggerSweepAcrossShapesModesAndSites) {
@@ -150,13 +155,13 @@ TEST_F(FaultMatrixTest, TriggerSweepAcrossShapesModesAndSites) {
         disable_caches;
     for (const Shape& shape : Shapes()) {
       for (bool use_batch : {true, false}) {
-        engine_.exec_options().use_batch = use_batch;
+        run_opts_.exec.use_batch = use_batch;
         for (bool probed : {false, true}) {
           std::string ctx = shape.name +
                             (use_batch ? " [batch" : " [tuple") +
                             (probed ? ",probed" : ",stream") +
                             (disable_caches ? ",nocache]" : ",cached]");
-          engine_.exec_options().fault_injector = nullptr;
+          run_opts_.exec.fault_injector = nullptr;
           Outcome baseline = RunShape(shape, probed);
           ASSERT_TRUE(baseline.status.ok())
               << ctx << ": " << baseline.status;
@@ -164,7 +169,7 @@ TEST_F(FaultMatrixTest, TriggerSweepAcrossShapesModesAndSites) {
             for (int64_t k : kTriggers) {
               FaultInjector injector(/*seed=*/42);
               injector.ArmAfter(site, k);
-              engine_.exec_options().fault_injector = &injector;
+              run_opts_.exec.fault_injector = &injector;
               Outcome got = RunShape(shape, probed);
               std::string label = ctx + " site=" +
                                   FaultSiteName(site) + " k=" +
@@ -182,7 +187,7 @@ TEST_F(FaultMatrixTest, TriggerSweepAcrossShapesModesAndSites) {
               }
             }
           }
-          engine_.exec_options().fault_injector = nullptr;
+          run_opts_.exec.fault_injector = nullptr;
         }
       }
     }
@@ -193,17 +198,17 @@ TEST_F(FaultMatrixTest, RandomizedProbabilityFaults) {
   for (uint64_t seed = 1; seed <= 5; ++seed) {
     for (const Shape& shape : Shapes()) {
       for (bool use_batch : {true, false}) {
-        engine_.exec_options().use_batch = use_batch;
+        run_opts_.exec.use_batch = use_batch;
         FaultInjector injector(seed);
         injector.ArmProbability(FaultSite::kPageRead, 0.02);
         injector.ArmProbability(FaultSite::kOperatorOpen, 0.02);
         injector.ArmProbability(FaultSite::kExprEval, 0.02);
-        engine_.exec_options().fault_injector = &injector;
+        run_opts_.exec.fault_injector = &injector;
         Outcome got = RunShape(shape, /*probed=*/false);
         std::string label = shape.name + " seed=" + std::to_string(seed);
         EXPECT_EQ(got.status.ok(), injector.fired() == 0)
             << label << ": " << got.status;
-        engine_.exec_options().fault_injector = nullptr;
+        run_opts_.exec.fault_injector = nullptr;
       }
     }
   }
@@ -212,43 +217,43 @@ TEST_F(FaultMatrixTest, RandomizedProbabilityFaults) {
 // --- budgets ----------------------------------------------------------------
 
 TEST_F(FaultMatrixTest, RowBudgetTripsCleanly) {
-  engine_.exec_options().guards.max_rows = 10;
-  auto r = engine_.Run(SeqRef("s").Build(), Span::Of(0, 63));
+  RunOptions opts;
+  opts.exec.guards.max_rows = 10;
+  auto r = engine_.Run(SeqRef("s").Build(), Span::Of(0, 63), opts);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
   EXPECT_NE(r.status().message().find("row budget"), std::string::npos);
-  engine_.exec_options().guards.max_rows = 0;
 }
 
 TEST_F(FaultMatrixTest, PageBudgetTripsEvenWithoutCallerStats) {
-  engine_.exec_options().guards.max_pages = 1;
+  RunOptions opts;
+  opts.exec.guards.max_pages = 1;
   // No AccessStats passed: the executor must supply its own counters so
   // the page budget still binds (4 pages of 16 records here).
-  auto r = engine_.Run(SeqRef("s").Build(), Span::Of(0, 63));
+  auto r = engine_.Run(SeqRef("s").Build(), Span::Of(0, 63), opts);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
   EXPECT_NE(r.status().message().find("page-access budget"),
             std::string::npos);
-  engine_.exec_options().guards.max_pages = 0;
 }
 
 TEST_F(FaultMatrixTest, DeadlineTripsOnLongQuery) {
-  engine_.exec_options().guards.max_wall_ms = 1;
+  RunOptions opts;
+  opts.exec.guards.max_wall_ms = 1;
   // A dense constant over half a million positions takes well over 1ms to
   // drive; the deadline check at batch boundaries must stop it cleanly.
-  auto r = engine_.Run(ConstRef("c").Build(), Span::Of(1, 500000));
+  auto r = engine_.Run(ConstRef("c").Build(), Span::Of(1, 500000), opts);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
-  engine_.exec_options().guards.max_wall_ms = 0;
 }
 
 TEST_F(FaultMatrixTest, CancellationFlagStopsQuery) {
   std::atomic<bool> cancel{true};
-  engine_.exec_options().guards.cancel = &cancel;
-  auto r = engine_.Run(SeqRef("s").Build(), Span::Of(0, 63));
+  RunOptions opts;
+  opts.exec.guards.cancel = &cancel;
+  auto r = engine_.Run(SeqRef("s").Build(), Span::Of(0, 63), opts);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
-  engine_.exec_options().guards.cancel = nullptr;
 }
 
 TEST_F(FaultMatrixTest, BudgetsUnarmedChangeNothing) {
@@ -256,16 +261,17 @@ TEST_F(FaultMatrixTest, BudgetsUnarmedChangeNothing) {
   auto base = engine_.Run(SeqRef("s").Agg(AggFunc::kAvg, "value", 8).Build(),
                           Span::Of(0, 63), &plain);
   ASSERT_TRUE(base.ok());
-  engine_.exec_options().guards.max_rows = 1000000;
-  engine_.exec_options().guards.max_pages = 1000000;
-  engine_.exec_options().guards.max_wall_ms = 60000;
+  RunOptions opts;
+  opts.exec.guards.max_rows = 1000000;
+  opts.exec.guards.max_pages = 1000000;
+  opts.exec.guards.max_wall_ms = 60000;
   AccessStats guarded;
+  opts.stats = &guarded;
   auto got = engine_.Run(SeqRef("s").Agg(AggFunc::kAvg, "value", 8).Build(),
-                         Span::Of(0, 63), &guarded);
+                         Span::Of(0, 63), opts);
   ASSERT_TRUE(got.ok()) << got.status();
   ExpectSameRows(*base, *got, "generous budgets");
   ExpectSameStats(plain, guarded, "generous budgets");
-  engine_.exec_options().guards = QueryGuards{};
 }
 
 // --- graceful cache degradation ---------------------------------------------
@@ -276,45 +282,51 @@ TEST_F(FaultMatrixTest, WindowCacheBudgetDegradesInsteadOfFailing) {
   ASSERT_TRUE(baseline.ok());
   // A 16-entry Cache-A window cannot fit in 64 bytes; the engine must
   // re-plan cache-free and still answer, with the event in the profile.
-  engine_.exec_options().guards.max_cache_bytes = 64;
-  auto degraded = engine_.Run(query, Span::Of(0, 63));
+  RunOptions opts;
+  opts.exec.guards.max_cache_bytes = 64;
+  auto degraded = engine_.Run(query, Span::Of(0, 63), opts);
   ASSERT_TRUE(degraded.ok()) << degraded.status();
   ExpectSameRows(*baseline, *degraded, "window degradation");
 
   Query q;
   q.graph = query;
   q.range = Span::Of(0, 63);
-  auto profiled = engine_.RunProfiled(q);
+  opts.profile = true;
+  auto profiled = engine_.Run(q, opts);
   ASSERT_TRUE(profiled.ok()) << profiled.status();
-  ASSERT_FALSE(profiled->profile.notes.empty());
-  EXPECT_NE(profiled->profile.notes[0].find("degraded"), std::string::npos);
-  EXPECT_NE(profiled->profile.ToString().find("degraded"),
+  ASSERT_TRUE(profiled->profile.has_value());
+  ASSERT_FALSE(profiled->profile->notes.empty());
+  EXPECT_NE(profiled->profile->notes[0].find("degraded"), std::string::npos);
+  EXPECT_NE(profiled->profile->ToString().find("degraded"),
             std::string::npos);
-  engine_.exec_options().guards.max_cache_bytes = 0;
 }
 
 TEST_F(FaultMatrixTest, ValueOffsetCacheBudgetDegradesInsteadOfFailing) {
   auto query = SeqRef("sp").Prev().Build();
   auto baseline = engine_.Run(query, Span::Of(0, 63));
   ASSERT_TRUE(baseline.ok());
-  engine_.exec_options().guards.max_cache_bytes = 16;
-  auto degraded = engine_.Run(query, Span::Of(0, 63));
+  RunOptions opts;
+  opts.exec.guards.max_cache_bytes = 16;
+  auto degraded = engine_.Run(query, Span::Of(0, 63), opts);
   ASSERT_TRUE(degraded.ok()) << degraded.status();
   ExpectSameRows(*baseline, *degraded, "value-offset degradation");
-  engine_.exec_options().guards.max_cache_bytes = 0;
 }
 
 TEST_F(FaultMatrixTest, MaterializationsAreExemptFromCacheBudget) {
   // Running-aggregate checkpoints are a materialization, not an operator
   // cache: a tiny cache budget must not fail or degrade the query.
-  engine_.exec_options().guards.max_cache_bytes = 16;
+  RunOptions opts;
+  opts.exec.guards.max_cache_bytes = 16;
+  opts.profile = true;
   Query q;
   q.graph = SeqRef("s").RunningAgg(AggFunc::kSum, "value").Build();
   q.positions = {5, 9, 22};
-  auto profiled = engine_.RunProfiled(q);
+  auto profiled = engine_.Run(q, opts);
   ASSERT_TRUE(profiled.ok()) << profiled.status();
-  EXPECT_TRUE(profiled->profile.notes.empty());
-  engine_.exec_options().guards.max_cache_bytes = 0;
+  ASSERT_TRUE(profiled->profile.has_value());
+  for (const std::string& note : profiled->profile->notes) {
+    EXPECT_EQ(note.find("degraded"), std::string::npos) << note;
+  }
 }
 
 TEST(StreamSessionDegradationTest, PollFallsBackToCacheFreePlans) {
