@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "bench/bench_util.h"
+#include "obs/query_registry.h"
 
 namespace seq {
 namespace {
@@ -84,7 +85,13 @@ void CheckParity(Engine* engine, const Query& q) {
   }
 }
 
-void RunChain(benchmark::State& state, int workers) {
+void RunChain(benchmark::State& state, int workers,
+              bool telemetry = true) {
+  // The registry kill switch turns off per-query registration and the
+  // executor's live-progress publishing; comparing the TelemetryOff
+  // variant against the plain 4-worker run bounds the overhead of the
+  // always-on layer (docs/observability.md budgets it at a few percent).
+  QueryRegistry::Global().set_enabled(telemetry);
   Engine engine;
   RegisterSeries(&engine);
   const Query q = ChainQuery();
@@ -107,6 +114,7 @@ void RunChain(benchmark::State& state, int workers) {
   state.counters["workers"] = static_cast<double>(workers);
   state.counters["rows_per_sec"] = benchmark::Counter(
       static_cast<double>(rows), benchmark::Counter::kIsIterationInvariantRate);
+  QueryRegistry::Global().set_enabled(true);
 }
 
 // Real time is the headline (that is what parallelism buys); process CPU
@@ -124,6 +132,18 @@ BENCHMARK(BM_MorselChain_4Workers)->MeasureProcessCPUTime()->UseRealTime();
 
 void BM_MorselChain_8Workers(benchmark::State& state) { RunChain(state, 8); }
 BENCHMARK(BM_MorselChain_8Workers)->MeasureProcessCPUTime()->UseRealTime();
+
+// Telemetry-overhead baseline: the same 4-worker chain with the query
+// registry disabled. The delta against BM_MorselChain_4Workers is the
+// per-query cost of the registry layer (registration, text normalization,
+// live-progress atomics); the process-wide morsel counters stay on in
+// both, as they do in production.
+void BM_MorselChain_4Workers_TelemetryOff(benchmark::State& state) {
+  RunChain(state, 4, /*telemetry=*/false);
+}
+BENCHMARK(BM_MorselChain_4Workers_TelemetryOff)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace seq

@@ -18,13 +18,18 @@
 //   .explain <name | expr;>            show optimizer output
 //   .analyze <name>                    EXPLAIN ANALYZE: estimated vs actual
 //   .stats on|off                      print access counters after runs
+//   .stats                             engine metrics (counters/dists/histograms)
+//   .queries                           live queries + recently completed ring
+//   .slowlog [clear|threshold <ms>]    slow-query digest log
+//   .metrics prom|json [file]          export telemetry (Prometheus / JSON)
 //   .batch on|off                      batch vs tuple-at-a-time driving
 //   .parallel <n>                      morsel-parallel workers (1 = serial)
 //   .materialize <name> <view>         register a view's result as a base
 //   .save <name> <file.csv>            write a base sequence as CSV
 //   .savedb <dir> / .opendb <dir>      persist / reopen the whole catalog
-//   .quit
+//   .help / .quit
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -34,6 +39,10 @@
 #include "common/string_util.h"
 #include "core/database_io.h"
 #include "core/engine.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/query_registry.h"
+#include "obs/slow_query_log.h"
 #include "parser/parser.h"
 #include "workload/csv.h"
 #include "workload/generators.h"
@@ -41,6 +50,41 @@
 namespace {
 
 using namespace seq;
+
+constexpr const char* kHelp =
+    "  .load <name> <file.csv> [poscol]   register a CSV file as a sequence\n"
+    "  .gen <name> <start> <end> <density> [seed]   synthetic stock series\n"
+    "  .list                              show catalog + views\n"
+    "  .schema <name>                     show a sequence's schema and meta\n"
+    "  .range <start> <end>               set the evaluation range\n"
+    "  .limit <n>                         rows printed AND the per-query row\n"
+    "                                     budget (0 = unlimited)\n"
+    "  .timeout <ms>                      per-query wall-clock budget (0 = "
+    "off)\n"
+    "  .explain <name | expr;>            show optimizer output\n"
+    "  .analyze <name>                    EXPLAIN ANALYZE: estimated vs "
+    "actual\n"
+    "  .stats on|off                      print access counters after runs\n"
+    "  .stats                             engine metrics (counters, dists,\n"
+    "                                     latency histograms)\n"
+    "  .queries                           live queries with rows/pages/worker\n"
+    "                                     progress + recently completed ring\n"
+    "  .slowlog                           slow-query digests (worst-case\n"
+    "                                     exemplars); threshold default from\n"
+    "                                     SEQ_SLOW_QUERY_MS (100ms)\n"
+    "  .slowlog threshold <ms>            set threshold (0 logs all,\n"
+    "                                     negative disables)\n"
+    "  .slowlog clear                     drop all digests\n"
+    "  .metrics prom|json [file]          export telemetry snapshot in\n"
+    "                                     Prometheus text / JSON format\n"
+    "  .batch on|off                      batch vs tuple-at-a-time driving\n"
+    "  .parallel <n>                      morsel-parallel workers (1 = "
+    "serial)\n"
+    "  .materialize <name> <view>         register a view's result as a base\n"
+    "  .save <name> <file.csv>            write a base sequence as CSV\n"
+    "  .savedb <dir> / .opendb <dir>      persist / reopen the whole catalog\n"
+    "  .help                              this list\n"
+    "  .quit\n";
 
 struct Session {
   Engine engine;
@@ -230,6 +274,71 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
               << "\n";
   } else if (cmd == ".stats" && args.size() >= 2) {
     session->show_stats = (args[1] == "on");
+  } else if (cmd == ".stats") {
+    std::cout << MetricsRegistry::Global().ToString();
+  } else if (cmd == ".queries") {
+    QueryRegistry& registry = QueryRegistry::Global();
+    const std::vector<LiveQueryInfo> live = registry.Live();
+    std::cout << live.size() << " live, " << registry.completed()
+              << " completed of " << registry.started() << " started\n";
+    for (const LiveQueryInfo& q : live) {
+      std::cout << "  #" << q.id << " [" << QueryStateName(q.state) << "] "
+                << q.rows << " rows, " << q.pages << " pages, " << q.workers
+                << " worker(s)";
+      if (q.morsels_total > 0) {
+        std::cout << ", morsels " << q.morsels_done << "/" << q.morsels_total;
+      }
+      std::cout << ", " << FormatDouble(static_cast<double>(q.elapsed_us) /
+                                        1000.0)
+                << "ms: " << q.text << "\n";
+    }
+    const std::vector<CompletedQueryInfo> recent = registry.Recent();
+    const size_t shown = std::min<size_t>(recent.size(), 10);
+    for (size_t i = 0; i < shown; ++i) {
+      const CompletedQueryInfo& q = recent[i];
+      std::cout << "  #" << q.id << " done [" << q.status
+                << (q.degraded ? ", degraded" : "") << "] " << q.rows
+                << " rows, " << q.pages << " pages, "
+                << FormatDouble(static_cast<double>(q.wall_us) / 1000.0)
+                << "ms: " << q.text << "\n";
+    }
+    if (recent.size() > shown) {
+      std::cout << "  ... (" << recent.size() << " recent total)\n";
+    }
+  } else if (cmd == ".slowlog" && args.size() >= 2 && args[1] == "clear") {
+    SlowQueryLog::Global().Reset();
+    std::cout << "slow-query log cleared\n";
+  } else if (cmd == ".slowlog" && args.size() >= 3 &&
+             args[1] == "threshold") {
+    auto ms = ParseDouble(args[2]);
+    if (!ms) {
+      std::cout << "error: .slowlog threshold expects milliseconds (0 logs "
+                   "all queries, negative disables)\n";
+      return;
+    }
+    SlowQueryLog::Global().set_threshold_ms(*ms);
+    std::cout << "slow-query threshold " << FormatDouble(*ms) << "ms\n";
+  } else if (cmd == ".slowlog") {
+    std::cout << SlowQueryLog::Global().ToString();
+  } else if (cmd == ".metrics" && args.size() >= 2 &&
+             (args[1] == "prom" || args[1] == "json")) {
+    const TelemetrySnapshot snap = CaptureTelemetry();
+    std::string rendered =
+        args[1] == "prom" ? RenderPrometheus(snap) : RenderJson(snap);
+    if (args[1] == "json") rendered += "\n";
+    if (args.size() >= 3) {
+      std::ofstream out(args[2]);
+      if (!out) {
+        std::cout << "error: cannot open " << args[2] << "\n";
+        return;
+      }
+      out << rendered;
+      std::cout << "wrote " << args[2] << "\n";
+    } else {
+      std::cout << rendered;
+    }
+  } else if (cmd == ".help") {
+    std::cout << kHelp;
   } else if (cmd == ".batch" && args.size() >= 2) {
     session->run_opts.exec.use_batch = (args[1] == "on");
     std::cout << "batch driving "
@@ -400,7 +509,8 @@ int main(int argc, char** argv) {
   }
   std::cout << "SEQ shell — sequence query processing (SIGMOD '94). "
                "Dot-commands: .load .gen .list .schema .range .limit "
-               ".timeout .explain .analyze .run .stats .batch .parallel "
-               ".materialize .save .savedb .opendb .quit\n";
+               ".timeout .explain .analyze .run .stats .queries .slowlog "
+               ".metrics .batch .parallel .materialize .save .savedb "
+               ".opendb .help .quit\n";
   return RunStream(&session, std::cin, /*interactive=*/true);
 }

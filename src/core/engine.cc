@@ -1,8 +1,12 @@
 #include "core/engine.h"
 
+#include <chrono>
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "obs/query_registry.h"
+#include "obs/slow_query_log.h"
+#include "parser/unparse.h"
 
 namespace seq {
 
@@ -24,6 +28,53 @@ OptimizerOptions CacheFreeOptions(const OptimizerOptions& options) {
   degraded.cost_params.disable_window_cache = true;
   degraded.cost_params.disable_incremental_value_offset = true;
   return degraded;
+}
+
+/// Display text for the query registry and slow-query log: the query
+/// rendered back to Sequin, with the range/point request appended. Only
+/// called when the registry is enabled — the disabled fast path never
+/// pays the unparse.
+std::string QueryDisplayText(const Query& query) {
+  std::string text = "<unprintable query>";
+  if (query.graph != nullptr) {
+    Result<std::string> unparsed = UnparseQuery(*query.graph);
+    if (unparsed.ok()) text = std::move(unparsed).value();
+  }
+  if (!query.positions.empty()) {
+    text += " at " + std::to_string(query.positions.size()) + " positions";
+  } else if (query.range.has_value()) {
+    text += " over " + query.range->ToString();
+  }
+  return text;
+}
+
+/// Always-on completion accounting shared by Engine::Run and
+/// PreparedQuery::Run: per-run counters and the latency histogram, the
+/// registry completion record, and the slow-query digest log. The hot
+/// metric objects are resolved once and cached — the registries are
+/// leaked process singletons, so the references never dangle.
+void RecordRunCompletion(QueryRegistry::Ticket& ticket, const Status& status,
+                         double wall_us) {
+  static MetricCounter& runs = MetricsRegistry::Global().Counter("engine.runs");
+  static MetricCounter& failed =
+      MetricsRegistry::Global().Counter("engine.failed_runs");
+  static Histogram& run_us =
+      MetricsRegistry::Global().GetHistogram("engine.run_us");
+  runs.Add();
+  if (!status.ok()) failed.Add();
+  run_us.Record(wall_us);
+  if (!ticket.active()) return;
+  CompletedQueryInfo done = ticket.Finish(
+      status.ok(), status.ok() ? "OK" : StatusCodeName(status.code()));
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.Observe("engine.rows", static_cast<double>(done.rows));
+  metrics.Observe("engine.pages", static_cast<double>(done.pages));
+  SlowQueryLog& slow = SlowQueryLog::Global();
+  if (slow.ShouldLog(static_cast<double>(done.wall_us))) {
+    slow.Record(done.digest, done.text, done.id,
+                static_cast<double>(done.wall_us), done.rows, done.pages,
+                done.status);
+  }
 }
 
 }  // namespace
@@ -63,8 +114,16 @@ Status Engine::Materialize(const std::string& name,
 
 Result<Engine::PreparedQuery> Engine::Prepare(const Query& query) const {
   SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(query));
+  // Registry identity is captured once here; every Run of the prepared
+  // query registers under the same text and digest without re-unparsing.
+  std::string text;
+  std::string digest;
+  if (QueryRegistry::Global().enabled()) {
+    text = QueryDisplayText(query);
+    digest = NormalizeQueryText(text);
+  }
   return PreparedQuery(&catalog_, options_.cost_params, exec_options_,
-                       std::move(plan));
+                       std::move(plan), std::move(text), std::move(digest));
 }
 
 Result<QueryResult> Engine::RunWithOptions(const Query& query,
@@ -77,8 +136,37 @@ Result<QueryResult> Engine::RunWithOptions(const Query& query,
         "batch sink hands out reusable slot buffers that the profiling shims "
         "do not wrap");
   }
+
+  // The always-on telemetry envelope: register the query (live in
+  // `.queries` from here), thread its progress counters through the
+  // executor, and on every exit path complete the ticket into the recent
+  // ring, the run metrics and the slow-query log.
+  QueryRegistry& registry = QueryRegistry::Global();
+  QueryRegistry::Ticket ticket;
+  if (registry.enabled()) {
+    std::string text = QueryDisplayText(query);
+    std::string digest = NormalizeQueryText(text);
+    ticket = registry.Start(std::move(text), std::move(digest));
+  }
+  ExecOptions run_exec = exec;
+  run_exec.telemetry = ticket.telemetry();
+
+  const auto start = std::chrono::steady_clock::now();
+  Result<QueryResult> result =
+      RunWithOptionsImpl(query, run_exec, profile, sink, stats, ticket);
+  const double wall_us =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  RecordRunCompletion(ticket, result.status(), wall_us);
+  return result;
+}
+
+Result<QueryResult> Engine::RunWithOptionsImpl(
+    const Query& query, const ExecOptions& exec, bool profile,
+    const RowSink& sink, AccessStats* stats,
+    QueryRegistry::Ticket& ticket) const {
   MetricsRegistry& metrics = MetricsRegistry::Global();
-  if (!profile) metrics.Add("engine.runs");
 
   Query inlined = query;
   SEQ_ASSIGN_OR_RETURN(inlined.graph, InlineViews(query.graph, views_));
@@ -86,6 +174,7 @@ Result<QueryResult> Engine::RunWithOptions(const Query& query,
   if (profile) opt_options.collect_trace = true;
   Optimizer optimizer(catalog_, opt_options);
   SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, optimizer.Optimize(inlined));
+  ticket.set_state(QueryState::kExecuting);
   Executor executor(catalog_, opt_options.cost_params, exec);
 
   if (sink) {
@@ -116,6 +205,7 @@ Result<QueryResult> Engine::RunWithOptions(const Query& query,
     // fit max_cache_bytes. Re-plan with operator caches disabled and run the
     // (slower, memory-flat) naive plan instead of failing.
     metrics.Add("engine.cache_degradations");
+    ticket.set_state(QueryState::kDegraded);
     degradation_note =
         "degraded: " + result.status().message() +
         "; re-planned with operator caches disabled";
@@ -252,25 +342,47 @@ Result<QueryResult> Engine::PreparedQuery::Run(const RunOptions& opts) const {
     return Status::InvalidArgument(
         "RunOptions::profile cannot be combined with RunOptions::sink");
   }
-  Executor executor(*catalog_, params_, opts.exec);
-  if (opts.sink) {
-    SEQ_RETURN_IF_ERROR(executor.ExecuteVisit(plan_, opts.sink, opts.stats));
-    QueryResult out;
-    out.schema = plan_.schema;
-    return out;
+  // Same telemetry envelope as Engine::Run, under the identity captured at
+  // Prepare. The plan is already optimized, so the query registers
+  // directly in the executing state.
+  QueryRegistry& registry = QueryRegistry::Global();
+  QueryRegistry::Ticket ticket;
+  if (registry.enabled() && !text_.empty()) {
+    ticket = registry.Start(text_, digest_);
+    ticket.set_state(QueryState::kExecuting);
   }
-  if (opts.profile) {
-    QueryProfile prof;
-    SEQ_ASSIGN_OR_RETURN(QueryResult run,
-                         executor.ExecuteProfiled(plan_, &prof, opts.stats));
-    const MorselPlan morsels = executor.PlanMorsels(plan_);
-    if (morsels.parallel) {
-      prof.notes.push_back("execution: " + morsels.reason);
+  ExecOptions run_exec = opts.exec;
+  run_exec.telemetry = ticket.telemetry();
+  const auto start = std::chrono::steady_clock::now();
+
+  Executor executor(*catalog_, params_, run_exec);
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    if (opts.sink) {
+      SEQ_RETURN_IF_ERROR(executor.ExecuteVisit(plan_, opts.sink, opts.stats));
+      QueryResult out;
+      out.schema = plan_.schema;
+      return out;
     }
-    run.profile = std::move(prof);
-    return run;
-  }
-  return executor.Execute(plan_, opts.stats);
+    if (opts.profile) {
+      QueryProfile prof;
+      SEQ_ASSIGN_OR_RETURN(QueryResult run,
+                           executor.ExecuteProfiled(plan_, &prof, opts.stats));
+      const MorselPlan morsels = executor.PlanMorsels(plan_);
+      if (morsels.parallel) {
+        prof.notes.push_back("execution: " + morsels.reason);
+      }
+      run.profile = std::move(prof);
+      return run;
+    }
+    return executor.Execute(plan_, opts.stats);
+  }();
+
+  const double wall_us =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  RecordRunCompletion(ticket, result.status(), wall_us);
+  return result;
 }
 
 Result<std::string> Engine::Explain(const Query& query) const {

@@ -193,16 +193,23 @@ class Engine {
    private:
     friend class Engine;
     PreparedQuery(const Catalog* catalog, CostParams params,
-                  ExecOptions exec_options, PhysicalPlan plan)
+                  ExecOptions exec_options, PhysicalPlan plan,
+                  std::string text, std::string digest)
         : catalog_(catalog),
           params_(params),
           exec_options_(exec_options),
-          plan_(std::move(plan)) {}
+          plan_(std::move(plan)),
+          text_(std::move(text)),
+          digest_(std::move(digest)) {}
 
     const Catalog* catalog_;  // owned by the Engine; must outlive this
     CostParams params_;
     ExecOptions exec_options_;
     PhysicalPlan plan_;
+    // Query-registry identity, captured once at Prepare so repeated Runs
+    // never re-unparse (empty when the registry was disabled then).
+    std::string text_;
+    std::string digest_;
   };
 
   /// Optimizes once; the result stays valid while this engine (and its
@@ -219,14 +226,22 @@ class Engine {
       AccessStats* stats = nullptr) const;
 
  private:
-  // The single execution workhorse behind every Run shape: optimize (with
-  // trace when profiling), record the morsel-parallelism decision, execute
-  // (plain / profiled / sink), and re-plan cache-free on the cache-budget
-  // degradation signal (non-sink paths only — sunk rows can't be unsent).
+  // The single execution workhorse behind every Run shape. The outer
+  // RunWithOptions owns the always-on telemetry envelope — query-registry
+  // ticket, run counters/latency histogram, slow-query log — around the
+  // Impl, which optimizes (with trace when profiling), records the
+  // morsel-parallelism decision, executes (plain / profiled / sink), and
+  // re-plans cache-free on the cache-budget degradation signal (non-sink
+  // paths only — sunk rows can't be unsent).
   Result<QueryResult> RunWithOptions(const Query& query,
                                      const ExecOptions& exec, bool profile,
                                      const RowSink& sink,
                                      AccessStats* stats) const;
+  Result<QueryResult> RunWithOptionsImpl(const Query& query,
+                                         const ExecOptions& exec, bool profile,
+                                         const RowSink& sink,
+                                         AccessStats* stats,
+                                         QueryRegistry::Ticket& ticket) const;
 
   Catalog catalog_;
   OptimizerOptions options_;

@@ -13,6 +13,7 @@
 
 #include "common/logging.h"
 #include "exec/agg_ops.h"
+#include "obs/metrics.h"
 #include "exec/collapse_ops.h"
 #include "exec/compose_ops.h"
 #include "exec/offset_ops.h"
@@ -61,6 +62,44 @@ OperatorProfile* AddProfileNode(OperatorProfile* parent,
           : node.required.Length();
   return prof;
 }
+
+/// Publishes serial driving-loop progress into the live-query record.
+/// Rows are reported as the caller's per-batch delta; pages are read as
+/// deltas from the context's stats block (ExecuteImpl/ExecuteVisit install
+/// a local block whenever telemetry is set). Construction marks one
+/// worker live, destruction marks it idle; all accesses are relaxed
+/// atomics, so reporting never blocks and a null telemetry costs a branch.
+class TelemetryReporter {
+ public:
+  TelemetryReporter(QueryTelemetry* telem, const AccessStats* stats)
+      : telem_(telem), stats_(stats) {
+    if (telem_ != nullptr) telem_->workers.store(1, std::memory_order_relaxed);
+  }
+  ~TelemetryReporter() {
+    if (telem_ != nullptr) telem_->workers.store(0, std::memory_order_relaxed);
+  }
+  TelemetryReporter(const TelemetryReporter&) = delete;
+  TelemetryReporter& operator=(const TelemetryReporter&) = delete;
+
+  void Report(int64_t rows_delta) {
+    if (telem_ == nullptr) return;
+    if (rows_delta > 0) {
+      telem_->rows.fetch_add(rows_delta, std::memory_order_relaxed);
+    }
+    if (stats_ != nullptr) {
+      const int64_t now = stats_->stream_pages + stats_->probe_pages;
+      if (now != pages_seen_) {
+        telem_->pages.fetch_add(now - pages_seen_, std::memory_order_relaxed);
+        pages_seen_ = now;
+      }
+    }
+  }
+
+ private:
+  QueryTelemetry* telem_;
+  const AccessStats* stats_;
+  int64_t pages_seen_ = 0;
+};
 
 }  // namespace
 
@@ -851,6 +890,18 @@ Result<QueryResult> Executor::ExecuteParallel(const PhysicalPlan& plan,
   }
   const size_t n_units = units.size();
 
+  QueryTelemetry* telem = options_.telemetry;
+  if (telem != nullptr) {
+    telem->morsels_total.store(static_cast<int>(n_units),
+                               std::memory_order_relaxed);
+  }
+  // Always-on per-morsel metrics: name resolution pays the registry mutex
+  // once per query here; workers then Record lock-free.
+  MetricCounter& morsel_counter =
+      MetricsRegistry::Global().Counter("exec.morsels");
+  Histogram& morsel_hist =
+      MetricsRegistry::Global().GetHistogram("exec.morsel_us");
+
   // Profile skeleton from the ORIGINAL plan: labels, estimates and spans
   // are the serial plan's. The builder's operator tree is discarded; the
   // per-unit scratch trees below merge their measured counters into this
@@ -884,6 +935,7 @@ Result<QueryResult> Executor::ExecuteParallel(const PhysicalPlan& plan,
   }
 
   auto run_unit = [&](size_t ui) {
+    const auto unit_start = std::chrono::steady_clock::now();
     const Unit& unit = units[ui];
     ExecContext ctx;
     ctx.catalog = &catalog_;
@@ -930,6 +982,14 @@ Result<QueryResult> Executor::ExecuteParallel(const PhysicalPlan& plan,
       const int64_t page_now = mstats.stream_pages + mstats.probe_pages;
       const int64_t page_delta = page_now - pages_seen;
       pages_seen = page_now;
+      if (telem != nullptr) {
+        if (page_delta > 0) {
+          telem->pages.fetch_add(page_delta, std::memory_order_relaxed);
+        }
+        if (emitted > 0) {
+          telem->rows.fetch_add(emitted, std::memory_order_relaxed);
+        }
+      }
       if (options_.guards.max_pages > 0) {
         const int64_t total =
             shared.pages.fetch_add(page_delta, std::memory_order_relaxed) +
@@ -1016,6 +1076,14 @@ Result<QueryResult> Executor::ExecuteParallel(const PhysicalPlan& plan,
     root->Close();
     Status err = ctx.TakeError();
     if (!err.ok()) shared.Fail(std::move(err));
+    if (telem != nullptr) {
+      telem->morsels_done.fetch_add(1, std::memory_order_relaxed);
+    }
+    morsel_counter.Add();
+    morsel_hist.Record(
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            std::chrono::steady_clock::now() - unit_start)
+            .count());
   };
 
   {
@@ -1023,9 +1091,17 @@ Result<QueryResult> Executor::ExecuteParallel(const PhysicalPlan& plan,
     std::atomic<size_t> next_unit{0};
     for (int w = 0; w < mp.workers; ++w) {
       pool.Submit([&] {
+        if (telem != nullptr) {
+          telem->workers.fetch_add(1, std::memory_order_relaxed);
+        }
         while (true) {
           const size_t ui = next_unit.fetch_add(1, std::memory_order_relaxed);
-          if (ui >= n_units) return;
+          if (ui >= n_units) {
+            if (telem != nullptr) {
+              telem->workers.fetch_sub(1, std::memory_order_relaxed);
+            }
+            return;
+          }
           run_unit(ui);
         }
       });
@@ -1087,13 +1163,18 @@ Status Executor::ExecuteVisit(const PhysicalPlan& plan, const RowSink& sink,
   ctx.faults = options_.fault_injector;
   ctx.guards = options_.guards;
   ctx.ArmGuards();
-  // The page budget is counted from AccessStats, so enforce it even when
+  // The page budget is counted from AccessStats, and live telemetry reads
+  // its page charges from there too — so install a local block even when
   // the caller did not ask for stats.
   AccessStats guard_stats;
-  if (ctx.guards.max_pages > 0 && stats == nullptr) ctx.stats = &guard_stats;
+  if ((ctx.guards.max_pages > 0 || options_.telemetry != nullptr) &&
+      stats == nullptr) {
+    ctx.stats = &guard_stats;
+  }
 
   SEQ_ASSIGN_OR_RETURN(SeqOpPtr root, Build(plan.root, nullptr));
   SEQ_RETURN_IF_ERROR(root->Open(&ctx));
+  TelemetryReporter telem(options_.telemetry, ctx.stats);
 
   // Rows already handed to the sink before a mid-stream error or budget
   // trip have been seen — streaming consumption cannot take them back. The
@@ -1119,6 +1200,7 @@ Status Executor::ExecuteVisit(const PhysicalPlan& plan, const RowSink& sink,
         }
         if (stats != nullptr) stats->records_output += batch_emitted;
         emitted += batch_emitted;
+        telem.Report(batch_emitted);
         guard_status = ctx.CheckGuards(emitted);
         if (!guard_status.ok()) break;
       }
@@ -1141,6 +1223,7 @@ Status Executor::ExecuteVisit(const PhysicalPlan& plan, const RowSink& sink,
           if (stats != nullptr) ++stats->records_output;
           ++emitted;
         }
+        telem.Report(wanted ? 1 : 0);
         guard_status = ctx.CheckGuards(emitted);
         if (!guard_status.ok()) break;
         r = root->Next();
@@ -1161,6 +1244,7 @@ Status Executor::ExecuteVisit(const PhysicalPlan& plan, const RowSink& sink,
       for (size_t i = 0; i < n; ++i) sink(batch.pos(i), batch.rec(i));
       if (stats != nullptr) stats->records_output += static_cast<int64_t>(n);
       emitted += static_cast<int64_t>(n);
+      telem.Report(static_cast<int64_t>(n));
       guard_status = ctx.CheckGuards(emitted);
       return guard_status.ok();
     };
@@ -1194,6 +1278,7 @@ Status Executor::ExecuteVisit(const PhysicalPlan& plan, const RowSink& sink,
         if (stats != nullptr) ++stats->records_output;
         ++emitted;
       }
+      telem.Report(r.has_value() ? 1 : 0);
       guard_status = ctx.CheckGuards(emitted);
       return guard_status.ok();
     };
@@ -1286,10 +1371,14 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
   ctx.faults = options_.fault_injector;
   ctx.guards = options_.guards;
   ctx.ArmGuards();
-  // The page budget is counted from AccessStats, so enforce it even when
+  // The page budget is counted from AccessStats, and live telemetry reads
+  // its page charges from there too — so install a local block even when
   // the caller did not ask for stats.
   AccessStats guard_stats;
-  if (ctx.guards.max_pages > 0 && stats == nullptr) ctx.stats = &guard_stats;
+  if ((ctx.guards.max_pages > 0 || options_.telemetry != nullptr) &&
+      stats == nullptr) {
+    ctx.stats = &guard_stats;
+  }
 
   QueryResult result;
   result.schema = plan.schema;
@@ -1302,6 +1391,7 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
 
   SEQ_ASSIGN_OR_RETURN(SeqOpPtr root, Build(plan.root, root_profile));
   SEQ_RETURN_IF_ERROR(root->Open(&ctx));
+  TelemetryReporter telem(options_.telemetry, ctx.stats);
 
   if (plan.root_mode == AccessMode::kStream) {
     const Span range = plan.output_span;
@@ -1337,6 +1427,7 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
               static_cast<int64_t>(result.records.size() - before);
         }
         emitted += static_cast<int64_t>(result.records.size() - before);
+        telem.Report(static_cast<int64_t>(result.records.size() - before));
         guard_status = ctx.CheckGuards(emitted);
         if (!guard_status.ok()) break;
       }
@@ -1361,6 +1452,7 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
           if (stats != nullptr) ++stats->records_output;
           ++emitted;
         }
+        telem.Report(wanted ? 1 : 0);
         guard_status = ctx.CheckGuards(emitted);
         if (!guard_status.ok()) break;
         r = root->Next();
@@ -1391,6 +1483,7 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
       }
       if (stats != nullptr) stats->records_output += static_cast<int64_t>(n);
       emitted += static_cast<int64_t>(n);
+      telem.Report(static_cast<int64_t>(n));
       guard_status = ctx.CheckGuards(emitted);
       return guard_status.ok();
     };
@@ -1424,6 +1517,7 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
         if (stats != nullptr) ++stats->records_output;
         ++emitted;
       }
+      telem.Report(r.has_value() ? 1 : 0);
       guard_status = ctx.CheckGuards(emitted);
       return guard_status.ok();
     };

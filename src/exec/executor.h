@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "exec/operator.h"
 #include "obs/profile.h"
+#include "obs/query_registry.h"
 #include "optimizer/physical_plan.h"
 
 namespace seq {
@@ -82,6 +83,12 @@ struct ExecOptions {
   /// carry-in cost heuristic is skipped (correctness fallbacks still
   /// apply), which is how tests force parallel driving on small spans.
   size_t morsel_size = 0;
+  /// Live-progress sink for the query registry (docs/observability.md).
+  /// When set, the driving loops publish rows emitted, pages charged,
+  /// worker and morsel counts into it via relaxed atomics at batch
+  /// boundaries — never with a lock. Owned by the caller (the engine's
+  /// registry ticket) and must outlive the execution. Null costs nothing.
+  QueryTelemetry* telemetry = nullptr;
 };
 
 /// How (and why) the executor decided to drive one plan: serial, or

@@ -1,0 +1,214 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+namespace seq {
+
+namespace {
+
+// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted
+// lower-case names ("engine.run_us") map onto that by replacing every
+// other character with '_' and prefixing the product namespace.
+std::string PromName(const std::string& name) {
+  std::string out = "seq_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) {
+      out.push_back(static_cast<char>(std::tolower(u)));
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out;
+}
+
+void PromSimple(std::ostringstream& oss, const std::string& name,
+                const char* type, const std::string& value) {
+  oss << "# TYPE " << name << " " << type << "\n";
+  oss << name << " " << value << "\n";
+}
+
+}  // namespace
+
+TelemetrySnapshot CaptureTelemetry() {
+  TelemetrySnapshot snap;
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  snap.counters = metrics.CounterSnapshot();
+  snap.dists = metrics.DistSnapshot();
+  snap.histograms = metrics.HistogramSnapshots();
+  QueryRegistry& registry = QueryRegistry::Global();
+  snap.live = registry.Live();
+  snap.recent = registry.Recent();
+  snap.queries_started = registry.started();
+  snap.queries_completed = registry.completed();
+  SlowQueryLog& slow = SlowQueryLog::Global();
+  snap.slow = slow.Snapshot();
+  snap.slow_threshold_ms = slow.threshold_ms();
+  snap.slow_dropped_digests = slow.dropped_digests();
+  return snap;
+}
+
+std::string RenderPrometheus(const TelemetrySnapshot& snap) {
+  std::ostringstream oss;
+  for (const auto& [name, value] : snap.counters) {
+    PromSimple(oss, PromName(name), "counter", std::to_string(value));
+  }
+  for (const auto& [name, dist] : snap.dists) {
+    // A dist is a Prometheus summary with no quantiles: _sum and _count
+    // series. min/max ride along as gauges, and only when the dist has
+    // observations — an empty dist's min/max fields are not data.
+    const std::string base = PromName(name);
+    oss << "# TYPE " << base << " summary\n";
+    oss << base << "_sum " << FormatDouble(dist.sum) << "\n";
+    oss << base << "_count " << dist.count << "\n";
+    if (!dist.empty()) {
+      PromSimple(oss, base + "_min", "gauge", FormatDouble(dist.min));
+      PromSimple(oss, base + "_max", "gauge", FormatDouble(dist.max));
+    }
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string base = PromName(name);
+    oss << "# TYPE " << base << " histogram\n";
+    // Cumulative buckets; empty buckets are elided (the cumulative count
+    // carries through), but +Inf is always present as Prometheus requires.
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < hist.counts.size(); ++i) {
+      if (hist.counts[i] == 0) continue;
+      cumulative += hist.counts[i];
+      oss << base << "_bucket{le=\"" << FormatDouble(Histogram::UpperBound(i))
+          << "\"} " << cumulative << "\n";
+    }
+    oss << base << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    oss << base << "_sum " << FormatDouble(hist.sum) << "\n";
+    oss << base << "_count " << cumulative << "\n";
+  }
+  PromSimple(oss, "seq_queries_live", "gauge",
+             std::to_string(snap.live.size()));
+  PromSimple(oss, "seq_queries_started", "counter",
+             std::to_string(snap.queries_started));
+  PromSimple(oss, "seq_queries_completed", "counter",
+             std::to_string(snap.queries_completed));
+  PromSimple(oss, "seq_slow_query_threshold_ms", "gauge",
+             FormatDouble(snap.slow_threshold_ms));
+  PromSimple(oss, "seq_slow_query_digests", "gauge",
+             std::to_string(snap.slow.size()));
+  PromSimple(oss, "seq_slow_query_dropped_digests", "counter",
+             std::to_string(snap.slow_dropped_digests));
+  return oss.str();
+}
+
+namespace {
+
+void JsonDist(std::ostringstream& oss, const MetricDist& dist) {
+  oss << "{\"count\":" << dist.count << ",\"sum\":" << FormatDouble(dist.sum)
+      << ",\"mean\":" << FormatDouble(dist.Mean());
+  if (!dist.empty()) {
+    oss << ",\"min\":" << FormatDouble(dist.min)
+        << ",\"max\":" << FormatDouble(dist.max);
+  }
+  oss << "}";
+}
+
+void JsonHistogram(std::ostringstream& oss, const HistogramSnapshot& hist) {
+  oss << "{\"count\":" << hist.count << ",\"sum\":" << FormatDouble(hist.sum)
+      << ",\"mean\":" << FormatDouble(hist.Mean())
+      << ",\"p50\":" << FormatDouble(hist.Percentile(0.50))
+      << ",\"p90\":" << FormatDouble(hist.Percentile(0.90))
+      << ",\"p99\":" << FormatDouble(hist.Percentile(0.99)) << "}";
+}
+
+void JsonLiveQuery(std::ostringstream& oss, const LiveQueryInfo& q) {
+  oss << "{\"id\":" << q.id << ",\"text\":\"" << JsonEscape(q.text)
+      << "\",\"digest\":\"" << JsonEscape(q.digest) << "\",\"state\":\""
+      << QueryStateName(q.state) << "\",\"rows\":" << q.rows
+      << ",\"pages\":" << q.pages << ",\"workers\":" << q.workers
+      << ",\"morsels_done\":" << q.morsels_done
+      << ",\"morsels_total\":" << q.morsels_total
+      << ",\"elapsed_us\":" << q.elapsed_us << "}";
+}
+
+void JsonCompletedQuery(std::ostringstream& oss, const CompletedQueryInfo& q) {
+  oss << "{\"id\":" << q.id << ",\"text\":\"" << JsonEscape(q.text)
+      << "\",\"digest\":\"" << JsonEscape(q.digest) << "\",\"status\":\""
+      << JsonEscape(q.status) << "\",\"ok\":" << (q.ok ? "true" : "false")
+      << ",\"degraded\":" << (q.degraded ? "true" : "false")
+      << ",\"wall_us\":" << q.wall_us << ",\"rows\":" << q.rows
+      << ",\"pages\":" << q.pages << "}";
+}
+
+void JsonSlowDigest(std::ostringstream& oss, const SlowQueryDigestStats& d) {
+  oss << "{\"digest\":\"" << JsonEscape(d.digest)
+      << "\",\"count\":" << d.count
+      << ",\"total_us\":" << FormatDouble(d.total_us)
+      << ",\"mean_us\":" << FormatDouble(d.MeanUs())
+      << ",\"min_us\":" << FormatDouble(d.min_us)
+      << ",\"max_us\":" << FormatDouble(d.max_us)
+      << ",\"total_rows\":" << d.total_rows
+      << ",\"total_pages\":" << d.total_pages << ",\"worst\":{\"id\":"
+      << d.worst_query_id << ",\"us\":" << FormatDouble(d.worst_us)
+      << ",\"text\":\"" << JsonEscape(d.worst_text) << "\"},\"last_status\":\""
+      << JsonEscape(d.last_status) << "\"}";
+}
+
+}  // namespace
+
+std::string RenderJson(const TelemetrySnapshot& snap) {
+  std::ostringstream oss;
+  oss << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  oss << "},\"dists\":{";
+  first = true;
+  for (const auto& [name, dist] : snap.dists) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\"" << JsonEscape(name) << "\":";
+    JsonDist(oss, dist);
+  }
+  oss << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snap.histograms) {
+    if (!first) oss << ",";
+    first = false;
+    oss << "\"" << JsonEscape(name) << "\":";
+    JsonHistogram(oss, hist);
+  }
+  oss << "},\"queries\":{\"started\":" << snap.queries_started
+      << ",\"completed\":" << snap.queries_completed << ",\"live\":[";
+  first = true;
+  for (const auto& q : snap.live) {
+    if (!first) oss << ",";
+    first = false;
+    JsonLiveQuery(oss, q);
+  }
+  oss << "],\"recent\":[";
+  first = true;
+  for (const auto& q : snap.recent) {
+    if (!first) oss << ",";
+    first = false;
+    JsonCompletedQuery(oss, q);
+  }
+  oss << "]},\"slow_query_log\":{\"threshold_ms\":"
+      << FormatDouble(snap.slow_threshold_ms)
+      << ",\"dropped_digests\":" << snap.slow_dropped_digests
+      << ",\"digests\":[";
+  first = true;
+  for (const auto& d : snap.slow) {
+    if (!first) oss << ",";
+    first = false;
+    JsonSlowDigest(oss, d);
+  }
+  oss << "]}}";
+  return oss.str();
+}
+
+}  // namespace seq

@@ -1,0 +1,54 @@
+#ifndef SEQ_OBS_EXPORT_H_
+#define SEQ_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/query_registry.h"
+#include "obs/slow_query_log.h"
+
+namespace seq {
+
+/// One coherent point-in-time capture of the always-on telemetry layer:
+/// every exporter renders from this struct, so the Prometheus and JSON
+/// views of a single capture always agree.
+struct TelemetrySnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, MetricDist> dists;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::vector<LiveQueryInfo> live;
+  std::vector<CompletedQueryInfo> recent;
+  std::vector<SlowQueryDigestStats> slow;
+  double slow_threshold_ms = 0.0;
+  int64_t slow_dropped_digests = 0;
+  int64_t queries_started = 0;
+  int64_t queries_completed = 0;
+};
+
+/// Captures the process-global metrics registry, query registry, and
+/// slow-query log. Each source is snapshotted atomically with respect to
+/// itself; the three sources are read in sequence, so cross-source
+/// counts can skew by whatever completed in between.
+TelemetrySnapshot CaptureTelemetry();
+
+/// Renders the snapshot in the Prometheus text exposition format.
+/// Metric names are sanitized to [a-z0-9_] with a `seq_` prefix
+/// ("engine.runs" -> "seq_engine_runs"); histograms emit cumulative
+/// `_bucket{le=...}` series plus `_sum`/`_count`; dists emit
+/// `_count`/`_sum` always and `_min`/`_max` gauges only when they have
+/// observations. Live/recent query detail is summarized as gauges
+/// (seq_queries_live etc.) — per-query text does not belong in
+/// Prometheus labels.
+std::string RenderPrometheus(const TelemetrySnapshot& snap);
+
+/// Renders the full snapshot as a single JSON object, including live and
+/// recent query records and the slow-query digest table.
+std::string RenderJson(const TelemetrySnapshot& snap);
+
+}  // namespace seq
+
+#endif  // SEQ_OBS_EXPORT_H_

@@ -1,0 +1,76 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seq {
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value > 1.0)) return 0;  // also catches NaN and negatives
+  // Bucket i holds (2^((i-1)/4), 2^(i/4)]: the smallest i whose upper
+  // bound is >= value.
+  const double idx = std::ceil(4.0 * std::log2(value));
+  if (idx >= static_cast<double>(kNumBuckets - 1)) return kNumBuckets - 1;
+  return static_cast<size_t>(idx);
+}
+
+double Histogram::UpperBound(size_t i) {
+  return std::exp2(static_cast<double>(i) / 4.0);
+}
+
+void Histogram::Record(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20 but not universally lowered well;
+  // a CAS loop is portable and this is a per-query (not per-row) path.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.counts.resize(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  // Sum the snapshot's buckets rather than trusting `count`: the two are
+  // written by separate relaxed atomics, so a concurrent Record can leave
+  // them one observation apart.
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in [1, total] (nearest-rank with interpolation below).
+  const double rank = q * static_cast<double>(total - 1) + 1.0;
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double lo_rank = static_cast<double>(seen) + 1.0;
+    seen += counts[i];
+    if (static_cast<double>(seen) < rank) continue;
+    // Interpolate inside bucket i between its bounds.
+    const double lo = i == 0 ? 0.0 : Histogram::UpperBound(i - 1);
+    const double hi = Histogram::UpperBound(i);
+    const double span_ranks = static_cast<double>(counts[i]);
+    const double frac =
+        span_ranks <= 1.0 ? 1.0 : (rank - lo_rank + 1.0) / span_ranks;
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return Histogram::UpperBound(counts.size() - 1);
+}
+
+}  // namespace seq

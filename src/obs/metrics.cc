@@ -1,46 +1,106 @@
 #include "obs/metrics.h"
 
-#include <algorithm>
 #include <sstream>
+#include <thread>
 
 #include "common/string_util.h"
 
 namespace seq {
 
+namespace {
+
+// Stripe selection: hash the thread id once per thread. Different worker
+// threads land on different slots with high probability; collisions only
+// cost contention, never correctness.
+size_t ThreadStripe() {
+  static thread_local const size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      MetricCounter::kStripes;
+  return stripe;
+}
+
+}  // namespace
+
+void MetricCounter::Add(int64_t delta) {
+  slots_[ThreadStripe()].v.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t MetricCounter::Value() const {
+  int64_t total = 0;
+  for (const Slot& slot : slots_) {
+    total += slot.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void MetricCounter::Reset() {
+  for (Slot& slot : slots_) {
+    slot.v.store(0, std::memory_order_relaxed);
+  }
+}
+
 void MetricsRegistry::Add(const std::string& name, int64_t delta) {
+  Counter(name).Add(delta);
+}
+
+MetricCounter& MetricsRegistry::Counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  counters_[name] += delta;
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<MetricCounter>()).first;
+  }
+  return *it->second;
 }
 
 void MetricsRegistry::Observe(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mu_);
-  MetricDist& d = dists_[name];
-  if (d.count == 0) {
-    d.min = value;
-    d.max = value;
+  MetricDist& dist = dists_[name];
+  if (dist.count == 0) {
+    dist.min = value;
+    dist.max = value;
   } else {
-    d.min = std::min(d.min, value);
-    d.max = std::max(d.max, value);
+    if (value < dist.min) dist.min = value;
+    if (value > dist.max) dist.max = value;
   }
-  ++d.count;
-  d.sum += value;
+  dist.count += 1;
+  dist.sum += value;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
 }
 
 int64_t MetricsRegistry::Get(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  return it != counters_.end() ? it->second->Value() : 0;
 }
 
 MetricDist MetricsRegistry::GetDist(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = dists_.find(name);
-  return it == dists_.end() ? MetricDist{} : it->second;
+  return it != dists_.end() ? it->second : MetricDist{};
+}
+
+HistogramSnapshot MetricsRegistry::GetHistogramSnapshot(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second->Snapshot() : HistogramSnapshot{};
 }
 
 std::map<std::string, int64_t> MetricsRegistry::CounterSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, counter] : counters_) {
+    out.emplace(name, counter->Value());
+  }
+  return out;
 }
 
 std::map<std::string, MetricDist> MetricsRegistry::DistSnapshot() const {
@@ -48,24 +108,55 @@ std::map<std::string, MetricDist> MetricsRegistry::DistSnapshot() const {
   return dists_;
 }
 
-std::string MetricsRegistry::ToString() const {
+std::map<std::string, HistogramSnapshot> MetricsRegistry::HistogramSnapshots()
+    const {
   std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, hist] : histograms_) {
+    out.emplace(name, hist->Snapshot());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToString() const {
+  // std::map keeps each section sorted by name; the section order and
+  // header lines are part of the documented format (see header).
+  const auto counters = CounterSnapshot();
+  const auto dists = DistSnapshot();
+  const auto hists = HistogramSnapshots();
   std::ostringstream oss;
-  for (const auto& [name, value] : counters_) {
+  oss << "# counters\n";
+  for (const auto& [name, value] : counters) {
     oss << name << "=" << value << "\n";
   }
-  for (const auto& [name, d] : dists_) {
-    oss << name << " count=" << d.count << " mean=" << FormatDouble(d.Mean())
-        << " min=" << FormatDouble(d.min) << " max=" << FormatDouble(d.max)
-        << "\n";
+  oss << "# dists\n";
+  for (const auto& [name, dist] : dists) {
+    oss << name << " count=" << dist.count
+        << " mean=" << FormatDouble(dist.Mean());
+    if (!dist.empty()) {
+      oss << " min=" << FormatDouble(dist.min)
+          << " max=" << FormatDouble(dist.max);
+    }
+    oss << "\n";
+  }
+  oss << "# histograms\n";
+  for (const auto& [name, snap] : hists) {
+    oss << name << " count=" << snap.count
+        << " mean=" << FormatDouble(snap.Mean())
+        << " p50=" << FormatDouble(snap.Percentile(0.50))
+        << " p90=" << FormatDouble(snap.Percentile(0.90))
+        << " p99=" << FormatDouble(snap.Percentile(0.99)) << "\n";
   }
   return oss.str();
 }
 
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  counters_.clear();
-  dists_.clear();
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+  // Dists are zeroed in place like the other kinds, so a registered name
+  // stays visible (as an empty dist) in snapshots after a reset.
+  for (auto& [name, dist] : dists_) dist = MetricDist{};
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

@@ -1,46 +1,116 @@
 #ifndef SEQ_OBS_METRICS_H_
 #define SEQ_OBS_METRICS_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+
+#include "obs/histogram.h"
 
 namespace seq {
 
 /// A monotonically accumulating distribution: count / sum / min / max of
 /// every observed value (e.g. per-query optimize time).
+///
+/// min and max are only meaningful when `count > 0`; an empty dist (the
+/// zero-initialized default, and what GetDist returns for an unknown
+/// name) must not render them as real observations of 0.0 — use the
+/// Min()/Max() accessors or check empty() instead of reading the fields.
 struct MetricDist {
   int64_t count = 0;
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
 
+  bool empty() const { return count == 0; }
   double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Smallest / largest observed value; 0.0 on an empty dist (check
+  /// empty() to distinguish "no observations" from "observed 0.0").
+  double Min() const { return count > 0 ? min : 0.0; }
+  double Max() const { return count > 0 ? max : 0.0; }
 };
 
-/// A small process-wide metrics registry: named counters and value
-/// distributions, safe to update from concurrent queries. This is the
-/// always-on layer of the observability stack — counters are cheap enough
-/// to leave enabled in production, unlike per-operator profiling which is
-/// opt-in per query.
+/// A striped atomic counter: increments land on one of kStripes
+/// cache-line-padded slots selected by the calling thread, so concurrent
+/// writers (morsel workers bumping the same hot counter) do not contend
+/// on a single cache line — and never on the registry mutex. Value()
+/// sums the stripes; reads are relaxed and may miss in-flight adds.
+class MetricCounter {
+ public:
+  static constexpr size_t kStripes = 8;
+
+  void Add(int64_t delta = 1);
+  int64_t Value() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<int64_t> v{0};
+  };
+  std::array<Slot, kStripes> slots_{};
+};
+
+/// A small process-wide metrics registry: named counters, value
+/// distributions, and log-scale latency histograms, safe to update from
+/// concurrent queries. This is the always-on layer of the observability
+/// stack — cheap enough to leave enabled in production, unlike
+/// per-operator profiling which is opt-in per query.
+///
+/// Locking: the registry mutex guards only the name->object maps.
+/// Counters and histograms live behind stable pointers (objects are
+/// heap-allocated and never destroyed before the registry), so hot paths
+/// resolve the name once via Counter()/GetHistogram() and then update
+/// lock-free forever after. Distributions stay mutex-guarded — they are
+/// per-query cold paths with multi-field updates.
 class MetricsRegistry {
  public:
   /// Adds `delta` to the counter `name` (created at zero on first use).
+  /// Convenience over Counter(name).Add(delta): pays one map lookup under
+  /// the mutex. Hot paths should cache the Counter reference.
   void Add(const std::string& name, int64_t delta = 1);
+
+  /// The named counter, created on first use. The reference stays valid
+  /// for the registry's lifetime (including across Reset, which zeroes
+  /// counters in place), so callers may cache it and Add lock-free.
+  MetricCounter& Counter(const std::string& name);
 
   /// Records one observation of `value` under `name`.
   void Observe(const std::string& name, double value);
 
+  /// The named latency histogram, created on first use; same stable
+  /// reference guarantee as Counter(). Record() on it is lock-free.
+  Histogram& GetHistogram(const std::string& name);
+
   int64_t Get(const std::string& name) const;
   MetricDist GetDist(const std::string& name) const;
+  HistogramSnapshot GetHistogramSnapshot(const std::string& name) const;
 
   std::map<std::string, int64_t> CounterSnapshot() const;
   std::map<std::string, MetricDist> DistSnapshot() const;
+  std::map<std::string, HistogramSnapshot> HistogramSnapshots() const;
 
-  /// `name=value` lines, sorted by name (counters then distributions).
+  /// Stable, documented snapshot rendering the tests and exporters rely
+  /// on: three sections in fixed order, each introduced by a `# <kind>`
+  /// header line and sorted by metric name —
+  ///
+  ///   # counters
+  ///   <name>=<value>
+  ///   # dists
+  ///   <name> count=<n> mean=<m> min=<lo> max=<hi>   (min/max omitted when
+  ///                                                  count == 0)
+  ///   # histograms
+  ///   <name> count=<n> mean=<m> p50=<a> p90=<b> p99=<c>
+  ///
+  /// Empty sections keep their header, so consumers can always split on
+  /// the three markers.
   std::string ToString() const;
 
+  /// Zeroes every metric in place (counter/histogram references handed
+  /// out earlier stay valid).
   void Reset();
 
   /// The process-global registry the engine reports into.
@@ -48,8 +118,11 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, int64_t> counters_;
+  // unique_ptr values so the objects' addresses survive map rehash /
+  // rebalance — that is what makes the cached-reference contract safe.
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
   std::map<std::string, MetricDist> dists_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 }  // namespace seq

@@ -1,0 +1,174 @@
+#include "obs/query_registry.h"
+
+namespace seq {
+
+const char* QueryStateName(QueryState state) {
+  switch (state) {
+    case QueryState::kOptimizing:
+      return "optimizing";
+    case QueryState::kExecuting:
+      return "executing";
+    case QueryState::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+/// One live query: immutable identity set at Start, mutable progress in
+/// the telemetry atomics. Held by shared_ptr so a Ticket can outlive a
+/// registry Reset and snapshot readers need no lifetime coordination.
+struct QueryRegistryEntry {
+  uint64_t id = 0;
+  std::string text;
+  std::string digest;
+  std::chrono::steady_clock::time_point start;
+  QueryTelemetry telemetry;
+  bool finished = false;  // guarded by the registry mutex
+};
+
+QueryRegistry::Ticket& QueryRegistry::Ticket::operator=(
+    Ticket&& other) noexcept {
+  if (this != &other) {
+    if (entry_ != nullptr && registry_ != nullptr) {
+      registry_->FinishEntry(entry_, false, "Internal");
+    }
+    registry_ = other.registry_;
+    entry_ = std::move(other.entry_);
+    other.registry_ = nullptr;
+    other.entry_.reset();
+  }
+  return *this;
+}
+
+QueryRegistry::Ticket::~Ticket() {
+  if (entry_ != nullptr && registry_ != nullptr) {
+    registry_->FinishEntry(entry_, false, "Internal");
+  }
+}
+
+uint64_t QueryRegistry::Ticket::id() const {
+  return entry_ != nullptr ? entry_->id : 0;
+}
+
+QueryTelemetry* QueryRegistry::Ticket::telemetry() const {
+  return entry_ != nullptr ? &entry_->telemetry : nullptr;
+}
+
+void QueryRegistry::Ticket::set_state(QueryState state) {
+  if (entry_ != nullptr) {
+    entry_->telemetry.state.store(static_cast<int>(state),
+                                  std::memory_order_relaxed);
+  }
+}
+
+CompletedQueryInfo QueryRegistry::Ticket::Finish(
+    bool ok, const std::string& status_name) {
+  if (entry_ == nullptr || registry_ == nullptr) return CompletedQueryInfo{};
+  CompletedQueryInfo info = registry_->FinishEntry(entry_, ok, status_name);
+  entry_.reset();
+  return info;
+}
+
+QueryRegistry::Ticket QueryRegistry::Start(std::string text,
+                                           std::string digest) {
+  Ticket ticket;
+  if (!enabled()) return ticket;
+  auto entry = std::make_shared<QueryRegistryEntry>();
+  entry->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  entry->text = std::move(text);
+  entry->digest = std::move(digest);
+  entry->start = std::chrono::steady_clock::now();
+  started_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.emplace(entry->id, entry);
+  }
+  ticket.registry_ = this;
+  ticket.entry_ = std::move(entry);
+  return ticket;
+}
+
+CompletedQueryInfo QueryRegistry::FinishEntry(
+    const std::shared_ptr<QueryRegistryEntry>& entry, bool ok,
+    const std::string& status_name) {
+  CompletedQueryInfo info;
+  info.id = entry->id;
+  info.text = entry->text;
+  info.digest = entry->digest;
+  info.ok = ok;
+  info.status = status_name;
+  info.degraded = entry->telemetry.state.load(std::memory_order_relaxed) ==
+                  static_cast<int>(QueryState::kDegraded);
+  info.wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - entry->start)
+                     .count();
+  info.rows = entry->telemetry.rows.load(std::memory_order_relaxed);
+  info.pages = entry->telemetry.pages.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry->finished) return info;  // double Finish (moved-from ticket)
+    entry->finished = true;
+    live_.erase(entry->id);
+    ring_.push_back(info);
+    while (ring_.size() > ring_capacity_) ring_.pop_front();
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  return info;
+}
+
+std::vector<LiveQueryInfo> QueryRegistry::Live() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<LiveQueryInfo> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(live_.size());
+  for (const auto& [id, entry] : live_) {
+    LiveQueryInfo info;
+    info.id = id;
+    info.text = entry->text;
+    info.digest = entry->digest;
+    info.state = static_cast<QueryState>(
+        entry->telemetry.state.load(std::memory_order_relaxed));
+    info.rows = entry->telemetry.rows.load(std::memory_order_relaxed);
+    info.pages = entry->telemetry.pages.load(std::memory_order_relaxed);
+    info.workers = entry->telemetry.workers.load(std::memory_order_relaxed);
+    info.morsels_done =
+        entry->telemetry.morsels_done.load(std::memory_order_relaxed);
+    info.morsels_total =
+        entry->telemetry.morsels_total.load(std::memory_order_relaxed);
+    info.elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          now - entry->start)
+                          .count();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::vector<CompletedQueryInfo> QueryRegistry::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<CompletedQueryInfo>(ring_.rbegin(), ring_.rend());
+}
+
+size_t QueryRegistry::live_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+void QueryRegistry::set_ring_capacity(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = n > 0 ? n : 1;
+  while (ring_.size() > ring_capacity_) ring_.pop_front();
+}
+
+void QueryRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  started_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+}
+
+QueryRegistry& QueryRegistry::Global() {
+  static QueryRegistry* registry = new QueryRegistry();
+  return *registry;
+}
+
+}  // namespace seq

@@ -1,0 +1,163 @@
+#ifndef SEQ_OBS_QUERY_REGISTRY_H_
+#define SEQ_OBS_QUERY_REGISTRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace seq {
+
+/// Lifecycle state of a live query, updated by the engine as the run
+/// progresses. `kDegraded` means a cache-memory budget forced the
+/// graceful cache-free re-plan (docs/robustness.md); the query is still
+/// running.
+enum class QueryState { kOptimizing = 0, kExecuting = 1, kDegraded = 2 };
+
+const char* QueryStateName(QueryState state);
+
+/// Live-progress counters for one running query, updated cooperatively
+/// from the executor's driving loops (serial and morsel workers) via
+/// relaxed atomics — workers never take a lock to report progress, and
+/// snapshot readers never block workers. Owned by the QueryRegistry
+/// entry; the executor sees it as ExecOptions::telemetry.
+struct QueryTelemetry {
+  std::atomic<int64_t> rows{0};      ///< output rows produced so far
+  std::atomic<int64_t> pages{0};     ///< pages charged so far (stream+probe)
+  std::atomic<int> workers{0};       ///< worker threads currently executing
+  std::atomic<int> morsels_done{0};  ///< completed work units (parallel runs)
+  std::atomic<int> morsels_total{0};
+  std::atomic<int> state{static_cast<int>(QueryState::kOptimizing)};
+};
+
+/// Point-in-time view of one live query.
+struct LiveQueryInfo {
+  uint64_t id = 0;
+  std::string text;    ///< normalized (unparsed) query text
+  std::string digest;  ///< literal-parameterized shape key
+  QueryState state = QueryState::kOptimizing;
+  int64_t rows = 0;
+  int64_t pages = 0;
+  int workers = 0;
+  int morsels_done = 0;
+  int morsels_total = 0;
+  int64_t elapsed_us = 0;
+};
+
+/// One finished query in the registry's completion ring.
+struct CompletedQueryInfo {
+  uint64_t id = 0;
+  std::string text;
+  std::string digest;
+  std::string status = "OK";  ///< StatusCodeName of the final status
+  bool ok = true;
+  bool degraded = false;  ///< finished on the cache-free fallback plan
+  int64_t wall_us = 0;
+  int64_t rows = 0;
+  int64_t pages = 0;
+};
+
+/// The process-wide registry of queries: every Engine run registers
+/// itself here, is visible while running (with live rows/pages/worker
+/// counts), and lands in a fixed-size ring of recently completed queries.
+/// This is the "what is running right now, and what just ran" layer of
+/// the observability stack — always on, queried by the seqsh `.queries`
+/// command and the telemetry exporters.
+///
+/// Locking: the registry mutex guards only the live map and the ring.
+/// Per-query progress flows through QueryTelemetry's relaxed atomics, so
+/// the mutex is taken twice per query (Start/Finish) plus once per
+/// snapshot read — never inside executor loops.
+class QueryRegistry {
+ public:
+  /// RAII registration of one query run. Move-only; if destroyed without
+  /// an explicit Finish (an early error return in the engine), the query
+  /// is completed as failed with status "Internal".
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket();
+
+    /// False when the registry was disabled at Start — all other calls
+    /// are no-ops then and telemetry() is null.
+    bool active() const { return entry_ != nullptr; }
+    uint64_t id() const;
+    QueryTelemetry* telemetry() const;
+    void set_state(QueryState state);
+
+    /// Completes the query: moves it from the live map into the ring and
+    /// returns the completion record (rows/pages read from the telemetry
+    /// atomics, wall time measured from Start). Idempotent; the inactive
+    /// ticket returns a default record.
+    CompletedQueryInfo Finish(bool ok, const std::string& status_name);
+
+   private:
+    friend class QueryRegistry;
+    QueryRegistry* registry_ = nullptr;
+    std::shared_ptr<struct QueryRegistryEntry> entry_;
+  };
+
+  /// Registers a query and returns its RAII ticket. Ids are
+  /// monotonically increasing across the process. When disabled, returns
+  /// an inactive ticket and stores nothing.
+  Ticket Start(std::string text, std::string digest);
+
+  /// Live queries, in id (= start) order.
+  std::vector<LiveQueryInfo> Live() const;
+
+  /// The completion ring, most recent first.
+  std::vector<CompletedQueryInfo> Recent() const;
+
+  int64_t started() const { return started_.load(std::memory_order_relaxed); }
+  int64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  size_t live_count() const;
+
+  /// Process-wide kill switch (for baseline benchmarking and embedders
+  /// that want zero telemetry): a disabled registry hands out inactive
+  /// tickets, and Engine skips text normalization entirely.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Capacity of the completed-query ring (default 128).
+  void set_ring_capacity(size_t n);
+
+  /// Clears the ring and the started/completed totals (live queries are
+  /// untouched — they finish into the cleared ring). Test hook.
+  void Reset();
+
+  /// The process-global registry the engine reports into.
+  static QueryRegistry& Global();
+
+ private:
+  friend class Ticket;
+  CompletedQueryInfo FinishEntry(
+      const std::shared_ptr<struct QueryRegistryEntry>& entry, bool ok,
+      const std::string& status_name);
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<struct QueryRegistryEntry>> live_;
+  std::deque<CompletedQueryInfo> ring_;
+  size_t ring_capacity_ = 128;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<int64_t> started_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace seq
+
+#endif  // SEQ_OBS_QUERY_REGISTRY_H_

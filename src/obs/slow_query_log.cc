@@ -1,0 +1,173 @@
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace seq {
+
+std::string NormalizeQueryText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  auto emit = [&out](std::string_view token) {
+    if (!out.empty()) out.push_back(' ');
+    out.append(token);
+  };
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    // Quoted string literal (either quote style; backslash escapes kept
+    // opaque) -> one parameter marker.
+    if (c == '"' || c == '\'') {
+      const char quote = text[i];
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      emit("?");
+      continue;
+    }
+    // Numeric literal (digit-led, or dot-led like ".5"), including
+    // decimals and exponents -> one parameter marker. A leading sign is
+    // left to tokenize as an operator, which is consistent on both sides
+    // of a comparison.
+    if (std::isdigit(c) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '.')) {
+        ++i;
+      }
+      if (i < n && (text[i] == 'e' || text[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (text[j] == '+' || text[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) {
+          ++j;
+          while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) {
+            ++j;
+          }
+          i = j;
+        }
+      }
+      emit("?");
+      continue;
+    }
+    // Identifier / keyword: case-folded.
+    if (std::isalpha(c) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '_')) {
+        ++j;
+      }
+      emit(AsciiToLower(text.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    // Any other character is its own token.
+    emit(text.substr(i, 1));
+    ++i;
+  }
+  return out;
+}
+
+void SlowQueryLog::Record(const std::string& digest, const std::string& text,
+                          uint64_t query_id, double wall_us, int64_t rows,
+                          int64_t pages, const std::string& status_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = digests_.find(digest);
+  if (it == digests_.end()) {
+    if (digests_.size() >= kMaxDigests) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    it = digests_.emplace(digest, SlowQueryDigestStats{}).first;
+    it->second.digest = digest;
+    it->second.min_us = wall_us;
+  }
+  SlowQueryDigestStats& d = it->second;
+  d.count += 1;
+  d.total_us += wall_us;
+  d.min_us = std::min(d.min_us, wall_us);
+  d.max_us = std::max(d.max_us, wall_us);
+  d.total_rows += rows;
+  d.total_pages += pages;
+  d.last_status = status_name;
+  if (wall_us >= d.worst_us || d.worst_text.empty()) {
+    d.worst_us = wall_us;
+    d.worst_text = text;
+    d.worst_query_id = query_id;
+  }
+}
+
+std::vector<SlowQueryDigestStats> SlowQueryLog::Snapshot() const {
+  std::vector<SlowQueryDigestStats> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(digests_.size());
+    for (const auto& [digest, stats] : digests_) out.push_back(stats);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowQueryDigestStats& a, const SlowQueryDigestStats& b) {
+              if (a.total_us != b.total_us) return a.total_us > b.total_us;
+              return a.digest < b.digest;
+            });
+  return out;
+}
+
+std::string SlowQueryLog::ToString(size_t limit) const {
+  std::vector<SlowQueryDigestStats> snap = Snapshot();
+  std::ostringstream oss;
+  oss << "slow-query log: threshold " << FormatDouble(threshold_ms())
+      << "ms, " << snap.size() << " digest(s)";
+  const int64_t dropped = dropped_digests();
+  if (dropped > 0) oss << ", " << dropped << " dropped";
+  oss << "\n";
+  const size_t shown = std::min(limit, snap.size());
+  for (size_t i = 0; i < shown; ++i) {
+    const SlowQueryDigestStats& d = snap[i];
+    oss << "  [" << d.count << "x] total=" << FormatDouble(d.total_us / 1000.0)
+        << "ms mean=" << FormatDouble(d.MeanUs() / 1000.0)
+        << "ms max=" << FormatDouble(d.max_us / 1000.0)
+        << "ms rows=" << d.total_rows << " pages=" << d.total_pages
+        << " last=" << d.last_status << "\n";
+    oss << "      shape: " << d.digest << "\n";
+    oss << "      worst: #" << d.worst_query_id << " "
+        << FormatDouble(d.worst_us / 1000.0) << "ms " << d.worst_text << "\n";
+  }
+  if (snap.size() > shown) {
+    oss << "  ... (" << snap.size() << " digests total)\n";
+  }
+  return oss.str();
+}
+
+void SlowQueryLog::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  digests_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+SlowQueryLog& SlowQueryLog::Global() {
+  static SlowQueryLog* log = [] {
+    auto* l = new SlowQueryLog();
+    if (const char* env = std::getenv("SEQ_SLOW_QUERY_MS")) {
+      char* end = nullptr;
+      const double ms = std::strtod(env, &end);
+      if (end != env) l->set_threshold_ms(ms);
+    }
+    return l;
+  }();
+  return *log;
+}
+
+}  // namespace seq

@@ -1,0 +1,206 @@
+#ifndef SEQ_TESTS_JSON_TEST_UTIL_H_
+#define SEQ_TESTS_JSON_TEST_UTIL_H_
+
+// A minimal JSON parser, just enough for tests to validate emitted JSON
+// (Chrome traces, telemetry exports).
+//
+// Hand-written on purpose: the repo has no JSON dependency, and the point
+// of the tests using it is that the emitted text is well-formed for
+// third-party consumers (chrome://tracing, Perfetto, monitoring agents),
+// not merely that it round-trips through our own writer.
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace seq {
+namespace testutil {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double num_value = 0.0;
+  std::string str_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Get(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    bool ok = Value(out);
+    SkipWs();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* s) {
+    size_t n = std::string(s).size();
+    if (text_.compare(pos_, n, s) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool Value(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return Object(out);
+    if (c == '[') return Array(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return String(&out->str_value);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      return Literal("false");
+    }
+    if (c == 'n') return Literal("null");
+    return Number(out);
+  }
+  bool Number(JsonValue* out) {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->num_value = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+  bool String(std::string* out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return false;
+            int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++pos_;
+              char h = text_[pos_];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+              code = code * 16 +
+                     (std::isdigit(static_cast<unsigned char>(h))
+                          ? h - '0'
+                          : std::tolower(h) - 'a' + 10);
+            }
+            out->push_back(static_cast<char>(code & 0x7f));
+            break;
+          }
+          default:
+            return false;
+        }
+        ++pos_;
+      } else {
+        out->push_back(c);
+        ++pos_;
+      }
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!Value(&v)) return false;
+      out->array.push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool Object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || !String(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue v;
+      if (!Value(&v)) return false;
+      out->object.emplace(std::move(key), std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace testutil
+}  // namespace seq
+
+#endif  // SEQ_TESTS_JSON_TEST_UTIL_H_

@@ -4,210 +4,28 @@
 
 #include <gtest/gtest.h>
 
-#include <cctype>
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/opt_trace.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "storage/access_stats.h"
+#include "json_test_util.h"
 
 namespace seq {
 namespace {
 
-// --- a minimal JSON parser, just enough to validate emitted traces ----------
-//
-// Hand-written on purpose: the repo has no JSON dependency, and the point
-// of the test is that the emitted text is well-formed for third-party
-// consumers (chrome://tracing, Perfetto), not merely that it round-trips
-// through our own writer.
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool bool_value = false;
-  double num_value = 0.0;
-  std::string str_value;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue* Get(const std::string& key) const {
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool Parse(JsonValue* out) {
-    bool ok = Value(out);
-    SkipWs();
-    return ok && pos_ == text_.size();
-  }
-
- private:
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-  bool Literal(const char* s) {
-    size_t n = std::string(s).size();
-    if (text_.compare(pos_, n, s) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-  bool Value(JsonValue* out) {
-    SkipWs();
-    if (pos_ >= text_.size()) return false;
-    char c = text_[pos_];
-    if (c == '{') return Object(out);
-    if (c == '[') return Array(out);
-    if (c == '"') {
-      out->kind = JsonValue::Kind::kString;
-      return String(&out->str_value);
-    }
-    if (c == 't') {
-      out->kind = JsonValue::Kind::kBool;
-      out->bool_value = true;
-      return Literal("true");
-    }
-    if (c == 'f') {
-      out->kind = JsonValue::Kind::kBool;
-      return Literal("false");
-    }
-    if (c == 'n') return Literal("null");
-    return Number(out);
-  }
-  bool Number(JsonValue* out) {
-    size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    out->kind = JsonValue::Kind::kNumber;
-    out->num_value = std::stod(text_.substr(start, pos_ - start));
-    return true;
-  }
-  bool String(std::string* out) {
-    if (text_[pos_] != '"') return false;
-    ++pos_;
-    out->clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_];
-      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return false;
-        char e = text_[pos_];
-        switch (e) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case '/': out->push_back('/'); break;
-          case 'b': out->push_back('\b'); break;
-          case 'f': out->push_back('\f'); break;
-          case 'n': out->push_back('\n'); break;
-          case 'r': out->push_back('\r'); break;
-          case 't': out->push_back('\t'); break;
-          case 'u': {
-            if (pos_ + 4 >= text_.size()) return false;
-            int code = 0;
-            for (int i = 0; i < 4; ++i) {
-              ++pos_;
-              char h = text_[pos_];
-              if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
-              code = code * 16 +
-                     (std::isdigit(static_cast<unsigned char>(h))
-                          ? h - '0'
-                          : std::tolower(h) - 'a' + 10);
-            }
-            out->push_back(static_cast<char>(code & 0x7f));
-            break;
-          }
-          default:
-            return false;
-        }
-        ++pos_;
-      } else {
-        out->push_back(c);
-        ++pos_;
-      }
-    }
-    if (pos_ >= text_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-  bool Array(JsonValue* out) {
-    out->kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      JsonValue v;
-      if (!Value(&v)) return false;
-      out->array.push_back(std::move(v));
-      SkipWs();
-      if (pos_ >= text_.size()) return false;
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-  bool Object(JsonValue* out) {
-    out->kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipWs();
-      std::string key;
-      if (pos_ >= text_.size() || !String(&key)) return false;
-      SkipWs();
-      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
-      ++pos_;
-      JsonValue v;
-      if (!Value(&v)) return false;
-      out->object.emplace(std::move(key), std::move(v));
-      SkipWs();
-      if (pos_ >= text_.size()) return false;
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
+using testutil::JsonParser;
+using testutil::JsonValue;
 
 // --- TraceRecorder ----------------------------------------------------------
 
@@ -289,6 +107,166 @@ TEST(MetricsRegistryTest, CountersAndDistributions) {
   registry.Reset();
   EXPECT_EQ(registry.Get("queries"), 0);
   EXPECT_EQ(registry.GetDist("latency").count, 0);
+}
+
+TEST(MetricsRegistryTest, EmptyDistOmitsMinMax) {
+  // An empty dist must not report min/max as observations of 0.0 — that
+  // was a real footgun: a "min latency 0ms" reading for a metric that had
+  // never fired.
+  MetricDist empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Max(), 0.0);
+
+  MetricsRegistry registry;
+  registry.Observe("touched", 5.0);
+  MetricDist touched = registry.GetDist("touched");
+  EXPECT_FALSE(touched.empty());
+  EXPECT_DOUBLE_EQ(touched.Min(), 5.0);
+  EXPECT_DOUBLE_EQ(touched.Max(), 5.0);
+
+  // Reset leaves the dist registered but empty: rendering must drop the
+  // min/max fields rather than print min=0 max=0.
+  registry.Reset();
+  std::string text = registry.ToString();
+  EXPECT_NE(text.find("touched count=0"), std::string::npos) << text;
+  EXPECT_EQ(text.find("min="), std::string::npos) << text;
+  EXPECT_EQ(text.find("max="), std::string::npos) << text;
+}
+
+TEST(MetricsRegistryTest, ToStringStableSectionsAndOrder) {
+  MetricsRegistry registry;
+  std::string empty_text = registry.ToString();
+  // Empty sections keep their headers so consumers can always split.
+  EXPECT_NE(empty_text.find("# counters"), std::string::npos);
+  EXPECT_NE(empty_text.find("# dists"), std::string::npos);
+  EXPECT_NE(empty_text.find("# histograms"), std::string::npos);
+
+  registry.Add("zebra", 2);
+  registry.Add("apple", 1);
+  registry.Observe("latency", 10.0);
+  registry.GetHistogram("run_us").Record(100.0);
+
+  std::string text = registry.ToString();
+  // Counters sorted by name within their section.
+  size_t counters = text.find("# counters");
+  size_t apple = text.find("apple=1");
+  size_t zebra = text.find("zebra=2");
+  size_t dists = text.find("# dists");
+  size_t hists = text.find("# histograms");
+  ASSERT_NE(counters, std::string::npos);
+  ASSERT_NE(apple, std::string::npos);
+  ASSERT_NE(zebra, std::string::npos);
+  ASSERT_NE(dists, std::string::npos);
+  ASSERT_NE(hists, std::string::npos);
+  EXPECT_LT(counters, apple);
+  EXPECT_LT(apple, zebra);
+  EXPECT_LT(zebra, dists);
+  EXPECT_LT(dists, hists);
+  EXPECT_NE(text.find("latency count=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("min=10"), std::string::npos) << text;
+  EXPECT_NE(text.find("run_us count=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("p99="), std::string::npos) << text;
+}
+
+TEST(MetricCounterTest, ConcurrentStripedAddsSumExactly) {
+  MetricCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kAddsPerThread);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0);
+}
+
+TEST(MetricsRegistryTest, CounterReferenceStableAcrossReset) {
+  MetricsRegistry registry;
+  MetricCounter& c = registry.Counter("hot");
+  c.Add(5);
+  EXPECT_EQ(registry.Get("hot"), 5);
+  registry.Reset();
+  EXPECT_EQ(registry.Get("hot"), 0);
+  c.Add(3);  // cached reference still writes the registered counter
+  EXPECT_EQ(registry.Get("hot"), 3);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundariesAreQuarterOctave) {
+  // Bucket 0 holds everything <= 1; bucket i holds (2^((i-1)/4), 2^(i/4)].
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(-3.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1.01), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2.0), 4u);  // 2 = 2^(4/4)
+  EXPECT_EQ(Histogram::BucketIndex(4.0), 8u);
+  EXPECT_EQ(Histogram::BucketIndex(1e18), Histogram::kNumBuckets - 1);
+  for (size_t i = 1; i + 1 < Histogram::kNumBuckets; ++i) {
+    // A value at the log-space midpoint of bucket i lands in bucket i
+    // (midpoints stay clear of float rounding at the boundaries), and a
+    // value just past the upper bound lands in the next bucket.
+    double mid = std::exp2((static_cast<double>(i) - 0.5) / 4.0);
+    EXPECT_EQ(Histogram::BucketIndex(mid), i) << i;
+    EXPECT_GE(Histogram::BucketIndex(Histogram::UpperBound(i) * 1.001), i)
+        << i;
+    EXPECT_LE(Histogram::BucketIndex(Histogram::UpperBound(i) * 1.001), i + 1)
+        << i;
+  }
+}
+
+TEST(HistogramTest, PercentilesTrackExactWithinBucketResolution) {
+  Histogram hist;
+  std::vector<double> values;
+  // A skewed latency-like population: 1..1000 with a heavy tail.
+  for (int i = 1; i <= 1000; ++i) values.push_back(static_cast<double>(i));
+  for (int i = 0; i < 10; ++i) values.push_back(50000.0);
+  for (double v : values) hist.Record(v);
+  std::sort(values.begin(), values.end());
+
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<int64_t>(values.size()));
+  double exact_sum = 0.0;
+  for (double v : values) exact_sum += v;
+  EXPECT_DOUBLE_EQ(snap.sum, exact_sum);
+
+  for (double q : {0.5, 0.9, 0.99}) {
+    double exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    double est = snap.Percentile(q);
+    // Quarter-octave buckets bound the error to the bucket width: the
+    // estimate stays within half a log2 unit (two buckets, ~41%) of the
+    // exact percentile even when rank conventions straddle a boundary.
+    EXPECT_NEAR(std::log2(est), std::log2(exact), 0.5) << "q=" << q;
+  }
+  // Degenerate cases.
+  EXPECT_DOUBLE_EQ(Histogram().Snapshot().Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsCountExactly) {
+  Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(static_cast<double>(1 + (t * kPerThread + i) % 997));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, int64_t{kThreads} * kPerThread);
+  int64_t bucket_total = 0;
+  for (int64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
 }
 
 // --- OperatorProfile / QueryProfile ----------------------------------------
