@@ -20,6 +20,7 @@
 //   .stats on|off                      print access counters after runs
 //   .stats                             engine metrics (counters/dists/histograms)
 //   .queries                           live queries + recently completed ring
+//   .plancache [on|off|clear|stats]    parameterized plan cache control
 //   .slowlog [clear|threshold <ms>]    slow-query digest log
 //   .metrics prom|json [file]          export telemetry (Prometheus / JSON)
 //   .batch on|off                      batch vs tuple-at-a-time driving
@@ -69,6 +70,11 @@ constexpr const char* kHelp =
     "                                     latency histograms)\n"
     "  .queries                           live queries with rows/pages/worker\n"
     "                                     progress + recently completed ring\n"
+    "  .plancache [stats]                 parameterized plan cache summary +\n"
+    "                                     hottest shapes (SEQ_PLAN_CACHE,\n"
+    "                                     SEQ_PLAN_CACHE_ENTRIES set defaults)\n"
+    "  .plancache on|off|clear            enable / disable (drops entries) /\n"
+    "                                     drop all cached plan templates\n"
     "  .slowlog                           slow-query digests (worst-case\n"
     "                                     exemplars); threshold default from\n"
     "                                     SEQ_SLOW_QUERY_MS (100ms)\n"
@@ -305,6 +311,19 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
     if (recent.size() > shown) {
       std::cout << "  ... (" << recent.size() << " recent total)\n";
     }
+  } else if (cmd == ".plancache" && args.size() >= 2 && args[1] == "on") {
+    PlanCache::Global().set_enabled(true);
+    std::cout << "plan cache on\n";
+  } else if (cmd == ".plancache" && args.size() >= 2 && args[1] == "off") {
+    // Disabling also drops every cached template; re-enabling starts cold.
+    PlanCache::Global().set_enabled(false);
+    std::cout << "plan cache off (entries dropped)\n";
+  } else if (cmd == ".plancache" && args.size() >= 2 && args[1] == "clear") {
+    PlanCache::Global().Clear();
+    std::cout << "plan cache cleared\n";
+  } else if (cmd == ".plancache" &&
+             (args.size() == 1 || args[1] == "stats")) {
+    std::cout << PlanCache::Global().ToString();
   } else if (cmd == ".slowlog" && args.size() >= 2 && args[1] == "clear") {
     SlowQueryLog::Global().Reset();
     std::cout << "slow-query log cleared\n";
@@ -509,8 +528,8 @@ int main(int argc, char** argv) {
   }
   std::cout << "SEQ shell — sequence query processing (SIGMOD '94). "
                "Dot-commands: .load .gen .list .schema .range .limit "
-               ".timeout .explain .analyze .run .stats .queries .slowlog "
-               ".metrics .batch .parallel .materialize .save .savedb "
-               ".opendb .help .quit\n";
+               ".timeout .explain .analyze .run .stats .queries .plancache "
+               ".slowlog .metrics .batch .parallel .materialize .save "
+               ".savedb .opendb .help .quit\n";
   return RunStream(&session, std::cin, /*interactive=*/true);
 }

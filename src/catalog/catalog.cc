@@ -23,6 +23,7 @@ Status Catalog::RegisterBase(std::string name, BaseSequencePtr store) {
   store->column_stats();
   entry.store = std::move(store);
   entries_.emplace(std::move(name), std::move(entry));
+  ++version_;
   return Status::OK();
 }
 
@@ -45,6 +46,7 @@ Status Catalog::RegisterConstant(std::string name, SchemaPtr schema,
   entry.schema = std::move(schema);
   entry.constant = std::move(value);
   entries_.emplace(std::move(name), std::move(entry));
+  ++version_;
   return Status::OK();
 }
 
@@ -70,6 +72,7 @@ void Catalog::SetNullCorrelation(const std::string& a, const std::string& b,
   SEQ_CHECK_MSG(correlation >= 0.0 && correlation <= 1.0,
                 "correlation must be in [0,1]");
   correlations_[OrderedPair(a, b)] = correlation;
+  ++version_;
 }
 
 double Catalog::NullCorrelation(const std::string& a,

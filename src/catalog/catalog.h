@@ -1,6 +1,7 @@
 #ifndef SEQ_CATALOG_CATALOG_H_
 #define SEQ_CATALOG_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <tuple>
 #include <memory>
@@ -65,12 +66,19 @@ class Catalog {
   std::vector<std::tuple<std::string, std::string, double>>
   ListCorrelations() const;
 
+  /// Monotonic mutation counter: bumped by every successful RegisterBase /
+  /// RegisterConstant / SetNullCorrelation. Plans optimized against one
+  /// version are stale under any other, so the plan cache folds this into
+  /// its key — a catalog mutation silently retires every cached plan.
+  uint64_t version() const { return version_; }
+
  private:
   static std::pair<std::string, std::string> OrderedPair(
       const std::string& a, const std::string& b);
 
   std::map<std::string, CatalogEntry> entries_;
   std::map<std::pair<std::string, std::string>, double> correlations_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace seq

@@ -1,0 +1,131 @@
+#include "common/query_digest.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace seq {
+
+namespace {
+
+/// The one tokenizing scan behind NormalizeQueryText and
+/// NormalizeAndExtract. `out` always receives the shape; `literals` is
+/// optional. Kept as a single implementation so the shape emitted with and
+/// without extraction can never differ.
+void ScanQueryText(std::string_view text, std::string* out,
+                   std::vector<TextLiteral>* literals, bool* clean) {
+  out->reserve(text.size());
+  auto emit = [out](std::string_view token) {
+    if (!out->empty()) out->push_back(' ');
+    out->append(token);
+  };
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    // Quoted string literal (either quote style; backslash escapes kept
+    // opaque) -> one parameter marker.
+    if (c == '"' || c == '\'') {
+      const char quote = text[i];
+      ++i;
+      const size_t body_start = i;
+      bool saw_backslash = false;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) {
+          saw_backslash = true;
+          ++i;
+        }
+        ++i;
+      }
+      const size_t body_end = i;
+      bool terminated = i < n;
+      if (terminated) ++i;  // closing quote
+      emit("?");
+      if (literals != nullptr) {
+        TextLiteral lit;
+        lit.text = std::string(text.substr(body_start, body_end - body_start));
+        lit.is_string = true;
+        literals->push_back(std::move(lit));
+      }
+      if (clean != nullptr && (saw_backslash || !terminated)) *clean = false;
+      continue;
+    }
+    // Numeric literal (digit-led, or dot-led like ".5"), including
+    // decimals and exponents -> one parameter marker. A leading sign is
+    // left to tokenize as an operator, which is consistent on both sides
+    // of a comparison.
+    if (std::isdigit(c) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      const size_t num_start = i;
+      ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '.')) {
+        ++i;
+      }
+      if (i < n && (text[i] == 'e' || text[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (text[j] == '+' || text[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) {
+          ++j;
+          while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) {
+            ++j;
+          }
+          i = j;
+        }
+      }
+      emit("?");
+      if (literals != nullptr) {
+        std::string_view token = text.substr(num_start, i - num_start);
+        TextLiteral lit;
+        lit.text = std::string(token);
+        lit.is_double = token.find_first_of(".eE") != std::string_view::npos;
+        literals->push_back(std::move(lit));
+      }
+      continue;
+    }
+    // Identifier / keyword: case-folded.
+    if (std::isalpha(c) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '_')) {
+        ++j;
+      }
+      emit(AsciiToLower(text.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    // Any other character is its own token.
+    emit(text.substr(i, 1));
+    ++i;
+  }
+}
+
+}  // namespace
+
+std::string NormalizeQueryText(std::string_view text) {
+  std::string out;
+  ScanQueryText(text, &out, nullptr, nullptr);
+  return out;
+}
+
+NormalizedQuery NormalizeAndExtract(std::string_view text) {
+  NormalizedQuery out;
+  ScanQueryText(text, &out.shape, &out.literals, &out.clean);
+  return out;
+}
+
+uint64_t Fnv1a64(std::string_view data, uint64_t seed) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace seq

@@ -1,11 +1,16 @@
 #include "core/engine.h"
 
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
+#include <optional>
 #include <sstream>
 
+#include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/query_registry.h"
 #include "obs/slow_query_log.h"
+#include "optimizer/plan_template.h"
 #include "parser/unparse.h"
 
 namespace seq {
@@ -77,7 +82,119 @@ void RecordRunCompletion(QueryRegistry::Ticket& ticket, const Status& status,
   }
 }
 
+/// Converts one literal token captured by NormalizeAndExtract into the
+/// Value the lexer would have produced, mirroring the lexer exactly:
+/// string bodies are taken verbatim (escaped strings are never bindable —
+/// the scanner marks them unclean), numbers with '.', 'e' or 'E' are
+/// doubles, everything else must fit an int64. nullopt when the token
+/// cannot round-trip (e.g. int64 overflow) — the caller falls back to the
+/// parse path.
+std::optional<Value> TokenToValue(const TextLiteral& lit) {
+  if (lit.is_string) return Value::String(lit.text);
+  errno = 0;
+  char* end = nullptr;
+  if (lit.is_double) {
+    const double v = std::strtod(lit.text.c_str(), &end);
+    if (errno != 0 || end != lit.text.c_str() + lit.text.size()) {
+      return std::nullopt;
+    }
+    return Value::Double(v);
+  }
+  const long long v = std::strtoll(lit.text.c_str(), &end, 10);
+  if (errno != 0 || end != lit.text.c_str() + lit.text.size()) {
+    return std::nullopt;
+  }
+  return Value::Int64(static_cast<int64_t>(v));
+}
+
+size_t CountPlanNodes(const PhysNodePtr& node) {
+  if (node == nullptr) return 0;
+  size_t n = 1;
+  for (const PhysNodePtr& child : node->children) n += CountPlanNodes(child);
+  return n;
+}
+
+/// True when a cached entry is safe to reuse for this parameterization:
+/// same parameter types in order (Value::Compare is cross-numeric, so the
+/// type check is not redundant), the same explicit positions (the
+/// signature only hashes them), and — for templates whose plan no longer
+/// mentions every literal — exactly the same literal values.
+bool EntryMatches(const PlanCacheEntry& entry, const ParameterizedQuery& pq) {
+  if (entry.param_types.size() != pq.params.size()) return false;
+  for (size_t i = 0; i < pq.params.size(); ++i) {
+    if (entry.param_types[i] != pq.params[i].type()) return false;
+  }
+  if (entry.positions != pq.query.positions) return false;
+  if (!entry.bindable && entry.bound_values != pq.params) return false;
+  return true;
+}
+
 }  // namespace
+
+std::string Engine::PlanKeyPrefix(const OptimizerOptions& opt_options) const {
+  return "e" + std::to_string(plan_cache_id_.value()) + "|v" +
+         std::to_string(catalog_.version()) + "|o" +
+         FingerprintOptimizerOptions(opt_options) + "|";
+}
+
+void Engine::InsertPlanEntry(const std::string& key, ParameterizedQuery pq,
+                             const PhysicalPlan& plan,
+                             const Optimizer& optimizer,
+                             const OptimizerOptions& opt_options,
+                             const Query& inlined) const {
+  auto entry = std::make_shared<PlanCacheEntry>();
+  entry->plan = plan;
+  entry->param_types.reserve(pq.params.size());
+  for (const Value& v : pq.params) entry->param_types.push_back(v.type());
+  entry->bindable = PlanCoversAllParams(plan, pq.params.size());
+  entry->recost_checks = CaptureRecostChecks(optimizer.optimized_graph(),
+                                             catalog_, opt_options.cost_params);
+  entry->positions = pq.query.positions;
+  entry->bound_values = std::move(pq.params);
+  entry->engine_id = plan_cache_id_.value();
+  entry->display = NormalizeQueryText(QueryDisplayText(inlined));
+  entry->bytes = key.size() + entry->display.size() +
+                 CountPlanNodes(plan.root) * (sizeof(PhysNode) + 64) +
+                 entry->bound_values.size() * sizeof(Value) +
+                 entry->positions.size() * sizeof(Position);
+  PlanCache::Global().Insert(key, std::move(entry));
+}
+
+Result<PhysicalPlan> Engine::PlanViaCache(const Query& inlined,
+                                          const OptimizerOptions& opt_options,
+                                          Optimizer& optimizer, bool use_cache,
+                                          bool allow_read,
+                                          bool* from_cache) const {
+  *from_cache = false;
+  if (!use_cache) return optimizer.Optimize(inlined);
+
+  PlanCache& cache = PlanCache::Global();
+  ParameterizedQuery pq = ParameterizeQuery(inlined);
+  const std::string key = PlanKeyPrefix(opt_options) + pq.signature;
+  if (allow_read) {
+    PlanCacheEntryPtr entry = cache.Lookup(key);
+    if (entry != nullptr && EntryMatches(*entry, pq)) {
+      if (entry->recost_checks.empty() ||
+          RecostWithinThreshold(entry->recost_checks, pq.params,
+                                opt_options.cost_params,
+                                kPlanCacheRecostThreshold)) {
+        *from_cache = true;
+        if (entry->bindable) return BindPlanParams(entry->plan, pq.params);
+        return entry->plan;  // exact literal values, reuse verbatim
+      }
+      // The bound literals moved a predicate's estimated selectivity past
+      // the threshold: the cached plan may be badly shaped for them. Fall
+      // through to a full optimize, which refreshes the template.
+      cache.CountRecostFallback();
+    }
+  }
+
+  // Miss: optimize the TAGGED clone, so the plan's literals carry their
+  // parameter indices and the result can serve as a bindable template.
+  SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, optimizer.Optimize(pq.query));
+  InsertPlanEntry(key, std::move(pq), plan, optimizer, opt_options, inlined);
+  return plan;
+}
 
 Status Engine::DefineView(std::string name, LogicalOpPtr graph) {
   if (graph == nullptr) {
@@ -109,11 +226,22 @@ Status Engine::Materialize(const std::string& name,
       BaseSequenceStore::FromRecords(result.schema,
                                      std::move(result.records),
                                      records_per_page, costs));
-  return catalog_.RegisterBase(name, std::move(store));
+  // Through the wrapper: the new base sequence retires this engine's
+  // cached plans (the catalog version bump already changed every key).
+  return RegisterBase(name, std::move(store));
 }
 
 Result<Engine::PreparedQuery> Engine::Prepare(const Query& query) const {
-  SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(query));
+  Query inlined = query;
+  SEQ_ASSIGN_OR_RETURN(inlined.graph, InlineViews(query.graph, views_));
+  Optimizer optimizer(catalog_, options_);
+  const bool use_cache = exec_options_.use_plan_cache &&
+                         inlined.graph != nullptr &&
+                         PlanCache::Global().enabled();
+  bool from_cache = false;
+  SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                       PlanViaCache(inlined, options_, optimizer, use_cache,
+                                    /*allow_read=*/true, &from_cache));
   // Registry identity is captured once here; every Run of the prepared
   // query registers under the same text and digest without re-unparsing.
   std::string text;
@@ -122,8 +250,10 @@ Result<Engine::PreparedQuery> Engine::Prepare(const Query& query) const {
     text = QueryDisplayText(query);
     digest = NormalizeQueryText(text);
   }
-  return PreparedQuery(&catalog_, options_.cost_params, exec_options_,
-                       std::move(plan), std::move(text), std::move(digest));
+  PreparedQuery prepared(&catalog_, options_.cost_params, exec_options_,
+                         std::move(plan), std::move(text), std::move(digest));
+  prepared.plan_cached_ = from_cache;
+  return prepared;
 }
 
 Result<QueryResult> Engine::RunWithOptions(const Query& query,
@@ -173,7 +303,16 @@ Result<QueryResult> Engine::RunWithOptionsImpl(
   OptimizerOptions opt_options = options_;
   if (profile) opt_options.collect_trace = true;
   Optimizer optimizer(catalog_, opt_options);
-  SEQ_ASSIGN_OR_RETURN(PhysicalPlan plan, optimizer.Optimize(inlined));
+  // Profiled runs must produce a real optimizer trace, so they never READ
+  // the plan cache — but they still refresh the template on the way.
+  const bool use_cache = exec.use_plan_cache && inlined.graph != nullptr &&
+                         PlanCache::Global().enabled();
+  bool from_cache = false;
+  SEQ_ASSIGN_OR_RETURN(
+      PhysicalPlan plan,
+      PlanViaCache(inlined, opt_options, optimizer, use_cache,
+                   /*allow_read=*/!profile, &from_cache));
+  if (from_cache) ticket.set_plan_cached();
   ticket.set_state(QueryState::kExecuting);
   Executor executor(catalog_, opt_options.cost_params, exec);
 
@@ -235,6 +374,11 @@ Result<QueryResult> Engine::RunWithOptionsImpl(
     }
     if (morsels.parallel) {
       prof.notes.push_back("execution: " + morsels.reason);
+    }
+    if (use_cache) {
+      prof.notes.push_back(
+          "plan cache: template refreshed (profiled runs always re-optimize "
+          "to produce the trace)");
     }
     metrics.Add("engine.profiled_runs");
     metrics.Observe("engine.optimize_us",
@@ -350,6 +494,7 @@ Result<QueryResult> Engine::PreparedQuery::Run(const RunOptions& opts) const {
   if (registry.enabled() && !text_.empty()) {
     ticket = registry.Start(text_, digest_);
     ticket.set_state(QueryState::kExecuting);
+    if (plan_cached_) ticket.set_plan_cached();
   }
   ExecOptions run_exec = opts.exec;
   run_exec.telemetry = ticket.telemetry();
@@ -403,6 +548,163 @@ Result<std::string> Engine::Explain(const Query& query) const {
   }
   oss << "=== physical ===\n" << plan.Explain();
   return oss.str();
+}
+
+Result<QueryResult> Engine::RunCachedPlanText(const std::string& source,
+                                              const std::string& shape,
+                                              const PhysicalPlan& plan,
+                                              const RunOptions& opts,
+                                              bool* budget_tripped) const {
+  *budget_tripped = false;
+  QueryRegistry& registry = QueryRegistry::Global();
+  QueryRegistry::Ticket ticket;
+  if (registry.enabled()) {
+    ticket = registry.Start(std::string(StripAsciiWhitespace(source)), shape);
+    ticket.set_state(QueryState::kExecuting);
+    ticket.set_plan_cached();
+  }
+  ExecOptions run_exec = opts.exec;
+  run_exec.telemetry = ticket.telemetry();
+  const auto start = std::chrono::steady_clock::now();
+
+  Executor executor(catalog_, options_.cost_params, run_exec);
+  // Attempt-stats pattern (as in RunWithOptionsImpl): a budget-tripped
+  // attempt must not leak its counters into the caller's totals, because
+  // the caller re-runs the query through the parse path.
+  AccessStats attempt_stats;
+  AccessStats* attempt = opts.stats != nullptr ? &attempt_stats : nullptr;
+  Result<QueryResult> result = executor.Execute(plan, attempt);
+  if (result.ok() && opts.stats != nullptr) *opts.stats += attempt_stats;
+  if (!result.ok() && IsCacheBudgetExceeded(result.status())) {
+    *budget_tripped = true;
+  }
+
+  const double wall_us =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  RecordRunCompletion(ticket, result.status(), wall_us);
+  return result;
+}
+
+void Engine::InsertTextEntry(const std::string& text_key,
+                             const NormalizedQuery& nq,
+                             const ParsedProgram& program,
+                             const Query& query) const {
+  auto entry = std::make_shared<TextShapeEntry>();
+  entry->engine_id = plan_cache_id_.value();
+
+  // Resolve the plan key the graph tier files this query under (one extra
+  // parameterization per text-shape miss — noise next to the parse and
+  // optimize the miss already paid).
+  Query inlined = query;
+  Result<LogicalOpPtr> graph = InlineViews(query.graph, views_);
+  if (!graph.ok()) return;
+  inlined.graph = std::move(graph).value();
+  ParameterizedQuery pq = ParameterizeQuery(inlined);
+  entry->plan_key = PlanKeyPrefix(options_) + pq.signature;
+
+  // Text-bindability: a future hit will map literal TOKENS positionally
+  // onto the graph's parameters, so that mapping must be provably the
+  // identity. That requires a single self-contained statement (definitions
+  // inline by clone, reordering literals) scanned cleanly, with the
+  // extracted tokens matching the parameters pairwise in count, type and
+  // value. Anything else — bool literals, optimizer-relevant structural
+  // integers (window sizes, offsets), folded predicates — fails the
+  // pairwise check and stays on the parse path, which still hits the
+  // graph-tier cache.
+  bool bindable = program.order.size() == 1 && nq.clean &&
+                  program.explain == ExplainMode::kNone &&
+                  nq.literals.size() == pq.params.size();
+  if (bindable) {
+    for (size_t i = 0; i < nq.literals.size(); ++i) {
+      std::optional<Value> v = TokenToValue(nq.literals[i]);
+      if (!v.has_value() || v->type() != pq.params[i].type() ||
+          !(*v == pq.params[i])) {
+        bindable = false;
+        entry->param_types.clear();
+        break;
+      }
+      entry->param_types.push_back(v->type());
+    }
+  }
+  entry->bindable = bindable;
+  PlanCache::Global().InsertText(text_key, std::move(entry));
+}
+
+Result<QueryResult> Engine::RunText(const std::string& source,
+                                    std::optional<Span> range,
+                                    const RunOptions& opts) const {
+  PlanCache& cache = PlanCache::Global();
+  // Profiled and sink runs take the parse path: profiles need the
+  // optimizer trace, and RunWithOptionsImpl owns the sink semantics.
+  const bool use_cache = opts.exec.use_plan_cache && cache.enabled() &&
+                         !opts.profile && !opts.sink;
+  NormalizedQuery nq;
+  std::string text_key;
+  if (use_cache) {
+    nq = NormalizeAndExtract(source);
+    text_key = PlanKeyPrefix(options_) + "text|" +
+               (range.has_value() ? range->ToString() : std::string("none")) +
+               "|" + nq.shape;
+    std::shared_ptr<const TextShapeEntry> shape = cache.LookupText(text_key);
+    if (shape != nullptr && shape->bindable &&
+        shape->engine_id == plan_cache_id_.value() &&
+        nq.literals.size() == shape->param_types.size()) {
+      // Re-lex just the literal tokens; any token the lexer would read
+      // differently (or at a different type) falls back to the parse path.
+      std::vector<Value> params;
+      params.reserve(nq.literals.size());
+      bool ok = true;
+      for (size_t i = 0; i < nq.literals.size(); ++i) {
+        std::optional<Value> v = TokenToValue(nq.literals[i]);
+        if (!v.has_value() || v->type() != shape->param_types[i]) {
+          ok = false;
+          break;
+        }
+        params.push_back(std::move(*v));
+      }
+      if (ok) {
+        PlanCacheEntryPtr entry = cache.Lookup(shape->plan_key);
+        if (entry != nullptr && entry->bindable && entry->positions.empty() &&
+            entry->param_types == shape->param_types) {
+          if (entry->recost_checks.empty() ||
+              RecostWithinThreshold(entry->recost_checks, params,
+                                    options_.cost_params,
+                                    kPlanCacheRecostThreshold)) {
+            bool budget_tripped = false;
+            Result<QueryResult> result =
+                RunCachedPlanText(source, nq.shape,
+                                  BindPlanParams(entry->plan, params), opts,
+                                  &budget_tripped);
+            // A cache-budget trip falls through to the parse path, whose
+            // degradation machinery re-plans cache-free.
+            if (!budget_tripped) return result;
+          }
+          // Re-cost guard tripped: take the parse path; its graph-tier
+          // lookup re-checks, counts the fallback once and refreshes the
+          // template.
+        }
+      }
+    }
+  }
+
+  // Parse path: full pipeline, but Run()'s graph-tier cache still skips
+  // the rewriter and planner for known shapes.
+  SEQ_ASSIGN_OR_RETURN(ParsedProgram program, ParseSequin(source));
+  if (program.explain != ExplainMode::kNone) {
+    return Status::InvalidArgument(
+        "RunText does not evaluate EXPLAIN programs; use Explain / "
+        "ExplainAnalyze");
+  }
+  Query query;
+  query.graph = program.main;
+  query.range = range;
+  Result<QueryResult> result = Run(query, opts);
+  if (result.ok() && use_cache) {
+    InsertTextEntry(text_key, nq, program, query);
+  }
+  return result;
 }
 
 Result<std::map<std::string, QueryResult>> Engine::RunGrouped(

@@ -9,11 +9,14 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/query_digest.h"
 #include "common/result.h"
+#include "core/plan_cache.h"
 #include "core/views.h"
 #include "exec/executor.h"
 #include "logical/builder.h"
 #include "optimizer/optimizer.h"
+#include "parser/parser.h"
 
 namespace seq {
 
@@ -92,12 +95,20 @@ class Engine {
   }
   const ExecOptions& exec_options() const { return exec_options_; }
 
+  /// Catalog mutations retire this engine's plan-cache entries eagerly.
+  /// (The catalog version in every cache key already makes stale entries
+  /// unreachable; invalidation reclaims their memory without waiting for
+  /// LRU eviction.)
   Status RegisterBase(std::string name, BaseSequencePtr store) {
-    return catalog_.RegisterBase(std::move(name), std::move(store));
+    Status s = catalog_.RegisterBase(std::move(name), std::move(store));
+    if (s.ok()) PlanCache::Global().InvalidateEngine(plan_cache_id_.value());
+    return s;
   }
   Status RegisterConstant(std::string name, SchemaPtr schema, Record value) {
-    return catalog_.RegisterConstant(std::move(name), std::move(schema),
-                                     std::move(value));
+    Status s = catalog_.RegisterConstant(std::move(name), std::move(schema),
+                                         std::move(value));
+    if (s.ok()) PlanCache::Global().InvalidateEngine(plan_cache_id_.value());
+    return s;
   }
 
   /// Defines a named derived sequence (§5.2): queries referring to `name`
@@ -147,6 +158,19 @@ class Engine {
   Result<QueryResult> RunAt(const LogicalOpPtr& graph,
                             std::vector<Position> positions,
                             AccessStats* stats = nullptr) const;
+
+  /// Runs a Sequin program from source text. The text fast path of the
+  /// parameterized plan cache: when this exact query SHAPE (the text with
+  /// literals stripped) has run before, the lexer, parser, rewriter and
+  /// planner are all skipped — the literal tokens are bound straight into
+  /// the cached plan template. First runs (and programs the text tier
+  /// cannot safely bind: multi-statement definitions, bool literals,
+  /// literals the optimizer folded away) take the normal parse-and-run
+  /// path, which still hits the graph-tier plan cache. EXPLAIN programs
+  /// are rejected — use Explain / ExplainAnalyze.
+  Result<QueryResult> RunText(const std::string& source,
+                              std::optional<Span> range = std::nullopt,
+                              const RunOptions& opts = {}) const;
 
   /// Annotated logical graph plus the physical plan, as text.
   Result<std::string> Explain(const Query& query) const;
@@ -210,6 +234,9 @@ class Engine {
     // never re-unparse (empty when the registry was disabled then).
     std::string text_;
     std::string digest_;
+    // True when Prepare itself was answered from the plan cache; surfaced
+    // on every Run's registry record.
+    bool plan_cached_ = false;
   };
 
   /// Optimizes once; the result stays valid while this engine (and its
@@ -243,10 +270,51 @@ class Engine {
                                          AccessStats* stats,
                                          QueryRegistry::Ticket& ticket) const;
 
+  // Plan-cache plumbing (docs/execution.md, "plan cache") ------------------
+
+  /// Everything literal-independent that selects a plan: engine identity,
+  /// catalog version and the planning-relevant optimizer options. The
+  /// query-shape signature (graph tier) or normalized text (text tier) is
+  /// appended to form the full cache key.
+  std::string PlanKeyPrefix(const OptimizerOptions& opt_options) const;
+
+  /// The one planning entry point behind Run/Prepare: answers from the
+  /// plan cache when possible, otherwise optimizes `inlined` via
+  /// `optimizer` and publishes the resulting template. `allow_read` is
+  /// false for profiled runs — they must produce a real optimizer trace,
+  /// so they always re-optimize but still refresh the cached template.
+  /// Sets *from_cache when the returned plan skipped the optimizer.
+  Result<PhysicalPlan> PlanViaCache(const Query& inlined,
+                                    const OptimizerOptions& opt_options,
+                                    Optimizer& optimizer, bool use_cache,
+                                    bool allow_read, bool* from_cache) const;
+
+  /// Publishes an optimized template (called on every cache miss).
+  void InsertPlanEntry(const std::string& key, ParameterizedQuery pq,
+                       const PhysicalPlan& plan, const Optimizer& optimizer,
+                       const OptimizerOptions& opt_options,
+                       const Query& inlined) const;
+
+  /// Records the text-shape → plan-key resolution after a successful
+  /// parse-path RunText, deciding whether the shape is text-bindable.
+  void InsertTextEntry(const std::string& text_key, const NormalizedQuery& nq,
+                       const ParsedProgram& program, const Query& query) const;
+
+  /// Executes an already-bound cached plan for RunText with the full
+  /// telemetry envelope. Sets *budget_tripped (and returns the error) when
+  /// the run hit the cache-memory budget — the caller then falls back to
+  /// the parse path, whose degradation re-plan handles it.
+  Result<QueryResult> RunCachedPlanText(const std::string& source,
+                                        const std::string& shape,
+                                        const PhysicalPlan& plan,
+                                        const RunOptions& opts,
+                                        bool* budget_tripped) const;
+
   Catalog catalog_;
   OptimizerOptions options_;
   ExecOptions exec_options_;
   ViewMap views_;
+  PlanCacheId plan_cache_id_;
 };
 
 }  // namespace seq

@@ -121,6 +121,16 @@ int DefaultParallelism() {
   return kParallelism;
 }
 
+bool DefaultUsePlanCache() {
+  static const bool kUsePlanCache = [] {
+    const char* env = std::getenv("SEQ_PLAN_CACHE");
+    if (env == nullptr) return true;
+    const std::string_view v(env);
+    return v != "0" && v != "off" && v != "false";
+  }();
+  return kUsePlanCache;
+}
+
 Result<SeqOpPtr> Executor::Build(const PhysNodePtr& node,
                                  OperatorProfile* profile_parent) const {
   if (profile_parent == nullptr) return BuildInner(node, nullptr);

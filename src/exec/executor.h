@@ -46,6 +46,12 @@ bool DefaultUseBatch();
 /// job runs with SEQ_PARALLELISM=4 — without code changes.
 int DefaultParallelism();
 
+/// Process-wide default for ExecOptions::use_plan_cache: true unless the
+/// environment variable SEQ_PLAN_CACHE is set to "0" / "off" / "false".
+/// Lets the full suite be re-run with the parameterized plan cache
+/// disabled without code changes.
+bool DefaultUsePlanCache();
+
 /// Runtime knobs for the Start operator's driving loop.
 struct ExecOptions {
   /// Drive plans batch-at-a-time: NextBatch for stream roots, ProbeBatch
@@ -89,6 +95,14 @@ struct ExecOptions {
   /// boundaries — never with a lock. Owned by the caller (the engine's
   /// registry ticket) and must outlive the execution. Null costs nothing.
   QueryTelemetry* telemetry = nullptr;
+  /// Consult the process-wide parameterized plan cache (docs/execution.md)
+  /// before optimizing: repeat query shapes skip parse+rewrite+plan and
+  /// re-bind literals into the cached template. Rows and stats are
+  /// identical either way — the cache only changes where the plan comes
+  /// from. Read by the engine, not the executor; lives here with the other
+  /// per-query knobs so PreparedQuery/seqsh/benches thread it the same way
+  /// as use_batch.
+  bool use_plan_cache = DefaultUsePlanCache();
 };
 
 /// How (and why) the executor decided to drive one plan: serial, or

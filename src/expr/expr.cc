@@ -94,6 +94,14 @@ ExprPtr Expr::Literal(Value v) {
   return e;
 }
 
+ExprPtr Expr::ParamLiteral(Value v, int index) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(v);
+  e->param_index_ = index;
+  return e;
+}
+
 ExprPtr Expr::Position() {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kPosition;
@@ -181,7 +189,7 @@ ExprPtr Expr::RenameColumns(
       return Column(it->second, side_);
     }
     case ExprKind::kLiteral:
-      return Literal(literal_);
+      return ParamLiteral(literal_, param_index_);
     case ExprKind::kPosition:
       return Position();
     case ExprKind::kUnary:
@@ -199,7 +207,7 @@ ExprPtr Expr::WithAllSides(int side) const {
     case ExprKind::kColumn:
       return Column(name_, side);
     case ExprKind::kLiteral:
-      return Literal(literal_);
+      return ParamLiteral(literal_, param_index_);
     case ExprKind::kPosition:
       return Position();
     case ExprKind::kUnary:
@@ -222,7 +230,7 @@ ExprPtr Expr::RemapColumns(
       return Column(it->second.second, it->second.first);
     }
     case ExprKind::kLiteral:
-      return Literal(literal_);
+      return ParamLiteral(literal_, param_index_);
     case ExprKind::kPosition:
       return Position();
     case ExprKind::kUnary:

@@ -58,6 +58,11 @@ class Expr {
   /// Factories ------------------------------------------------------------
   static ExprPtr Column(std::string name, int side = 0);
   static ExprPtr Literal(Value v);
+  /// A literal tagged as bind parameter `index` of a parameterized plan
+  /// template. Behaves exactly like Literal everywhere (evaluation,
+  /// Equals, ToString); the tag only tells the plan cache which literal
+  /// nodes to rebind on a cache hit. Rewrites preserve the tag.
+  static ExprPtr ParamLiteral(Value v, int index);
   static ExprPtr Position();
   static ExprPtr Unary(UnaryOp op, ExprPtr operand);
   static ExprPtr Binary(BinaryOp op, ExprPtr left, ExprPtr right);
@@ -69,6 +74,9 @@ class Expr {
   int side() const { return side_; }
   // kLiteral:
   const Value& literal() const { return literal_; }
+  /// Bind-parameter index for plan-cache templates; -1 for ordinary
+  /// literals.
+  int param_index() const { return param_index_; }
   // kUnary / kBinary:
   UnaryOp unary_op() const { return unary_op_; }
   BinaryOp binary_op() const { return binary_op_; }
@@ -118,6 +126,7 @@ class Expr {
   std::string name_;
   int side_ = 0;
   Value literal_;
+  int param_index_ = -1;
   UnaryOp unary_op_ = UnaryOp::kNot;
   BinaryOp binary_op_ = BinaryOp::kAnd;
   ExprPtr left_;

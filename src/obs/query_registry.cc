@@ -61,6 +61,12 @@ void QueryRegistry::Ticket::set_state(QueryState state) {
   }
 }
 
+void QueryRegistry::Ticket::set_plan_cached() {
+  if (entry_ != nullptr) {
+    entry_->telemetry.plan_cached.store(true, std::memory_order_relaxed);
+  }
+}
+
 CompletedQueryInfo QueryRegistry::Ticket::Finish(
     bool ok, const std::string& status_name) {
   if (entry_ == nullptr || registry_ == nullptr) return CompletedQueryInfo{};
@@ -99,6 +105,8 @@ CompletedQueryInfo QueryRegistry::FinishEntry(
   info.status = status_name;
   info.degraded = entry->telemetry.state.load(std::memory_order_relaxed) ==
                   static_cast<int>(QueryState::kDegraded);
+  info.plan_cached =
+      entry->telemetry.plan_cached.load(std::memory_order_relaxed);
   info.wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
                      std::chrono::steady_clock::now() - entry->start)
                      .count();
@@ -135,6 +143,8 @@ std::vector<LiveQueryInfo> QueryRegistry::Live() const {
         entry->telemetry.morsels_done.load(std::memory_order_relaxed);
     info.morsels_total =
         entry->telemetry.morsels_total.load(std::memory_order_relaxed);
+    info.plan_cached =
+        entry->telemetry.plan_cached.load(std::memory_order_relaxed);
     info.elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
                           now - entry->start)
                           .count();

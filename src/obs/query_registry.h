@@ -34,6 +34,9 @@ struct QueryTelemetry {
   std::atomic<int> morsels_done{0};  ///< completed work units (parallel runs)
   std::atomic<int> morsels_total{0};
   std::atomic<int> state{static_cast<int>(QueryState::kOptimizing)};
+  /// True when the run executed a parameterized-plan-cache hit (the
+  /// optimizer was skipped). Set once by the engine before execution.
+  std::atomic<bool> plan_cached{false};
 };
 
 /// Point-in-time view of one live query.
@@ -48,6 +51,7 @@ struct LiveQueryInfo {
   int morsels_done = 0;
   int morsels_total = 0;
   int64_t elapsed_us = 0;
+  bool plan_cached = false;  ///< running on a plan-cache hit
 };
 
 /// One finished query in the registry's completion ring.
@@ -57,7 +61,8 @@ struct CompletedQueryInfo {
   std::string digest;
   std::string status = "OK";  ///< StatusCodeName of the final status
   bool ok = true;
-  bool degraded = false;  ///< finished on the cache-free fallback plan
+  bool degraded = false;     ///< finished on the cache-free fallback plan
+  bool plan_cached = false;  ///< executed a parameterized-plan-cache hit
   int64_t wall_us = 0;
   int64_t rows = 0;
   int64_t pages = 0;
@@ -94,6 +99,8 @@ class QueryRegistry {
     uint64_t id() const;
     QueryTelemetry* telemetry() const;
     void set_state(QueryState state);
+    /// Marks the run as executing a plan-cache hit (sticky).
+    void set_plan_cached();
 
     /// Completes the query: moves it from the live map into the ring and
     /// returns the completion record (rows/pages read from the telemetry

@@ -9,18 +9,12 @@
 #include <string_view>
 #include <vector>
 
-namespace seq {
+// NormalizeQueryText lives in common/query_digest.h so the slow-query log
+// and the plan cache key on the identical shape implementation; included
+// here so existing callers of the digest through this header keep working.
+#include "common/query_digest.h"
 
-/// Normalizes query text to its shape digest: literals are parameterized
-/// (numbers and quoted strings become `?`), ASCII case is folded, and
-/// tokens are re-joined with single spaces so whitespace and layout do
-/// not matter. Two queries that differ only in bound literals — the
-/// repeat-shape hot path a normalized-plan cache will key on — get the
-/// same digest:
-///
-///   NormalizeQueryText("select(IBM, close > 100.0)") ==
-///   NormalizeQueryText("SELECT( ibm,close>7 )")        // "select ( ibm , close > ? )"
-std::string NormalizeQueryText(std::string_view text);
+namespace seq {
 
 /// Accumulated statistics for one slow-query digest: the per-digest
 /// latency distribution plus the worst-case exemplar (the original,

@@ -1,0 +1,364 @@
+#include "optimizer/plan_template.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/query_digest.h"
+#include "common/string_util.h"
+#include "optimizer/selectivity.h"
+
+namespace seq {
+
+namespace {
+
+char TypeChar(TypeId type) {
+  switch (type) {
+    case TypeId::kInt64:
+      return 'i';
+    case TypeId::kDouble:
+      return 'd';
+    case TypeId::kBool:
+      return 'b';
+    case TypeId::kString:
+      return 's';
+  }
+  return '?';
+}
+
+/// Rebuilds `expr` with literals tagged as parameters in pre-order, while
+/// emitting the expression's shape (literals as `?index:type`) into `sig`
+/// and its values into `params`. One traversal produces tag, signature and
+/// value list, so the three can never disagree on ordering.
+ExprPtr TagLiterals(const ExprPtr& expr, std::vector<Value>* params,
+                    std::string* sig) {
+  if (expr == nullptr) {
+    sig->push_back('-');
+    return nullptr;
+  }
+  switch (expr->kind()) {
+    case ExprKind::kColumn: {
+      *sig += 'c';
+      *sig += std::to_string(expr->side());
+      *sig += ':';
+      *sig += expr->column_name();
+      *sig += ';';
+      return expr;
+    }
+    case ExprKind::kLiteral: {
+      const int index = static_cast<int>(params->size());
+      *sig += '?';
+      *sig += std::to_string(index);
+      *sig += ':';
+      *sig += TypeChar(expr->literal().type());
+      *sig += ';';
+      params->push_back(expr->literal());
+      return Expr::ParamLiteral(expr->literal(), index);
+    }
+    case ExprKind::kPosition: {
+      *sig += "p;";
+      return expr;
+    }
+    case ExprKind::kUnary: {
+      *sig += 'u';
+      *sig += std::to_string(static_cast<int>(expr->unary_op()));
+      *sig += '(';
+      ExprPtr operand = TagLiterals(expr->operand(), params, sig);
+      *sig += ')';
+      return Expr::Unary(expr->unary_op(), std::move(operand));
+    }
+    case ExprKind::kBinary: {
+      *sig += 'b';
+      *sig += std::to_string(static_cast<int>(expr->binary_op()));
+      *sig += '(';
+      ExprPtr left = TagLiterals(expr->left(), params, sig);
+      *sig += ',';
+      ExprPtr right = TagLiterals(expr->right(), params, sig);
+      *sig += ')';
+      return Expr::Binary(expr->binary_op(), std::move(left),
+                          std::move(right));
+    }
+  }
+  SEQ_CHECK(false);
+  return nullptr;
+}
+
+/// Emits one node's structural header (everything that shapes the plan
+/// except predicate literals), recurses into children, then tags the
+/// node's predicate in place. Node order: header, children left-to-right,
+/// predicate — fixed so parameter indices are a pure function of shape.
+void TagGraph(const LogicalOpPtr& node, std::vector<Value>* params,
+              std::string* sig) {
+  *sig += OpKindName(node->kind());
+  *sig += '[';
+  *sig += node->seq_name();
+  *sig += '|';
+  *sig += Join(node->columns(), ",");
+  *sig += '|';
+  *sig += Join(node->renames(), ",");
+  *sig += '|';
+  *sig += std::to_string(node->offset());
+  *sig += '|';
+  *sig += AggFuncName(node->agg_func());
+  *sig += std::to_string(static_cast<int>(node->window_kind()));
+  *sig += ':';
+  *sig += std::to_string(node->window());
+  *sig += ':';
+  *sig += node->agg_column();
+  *sig += ':';
+  *sig += node->output_name();
+  *sig += "](";
+  for (const LogicalOpPtr& input : node->inputs()) {
+    TagGraph(input, params, sig);
+    *sig += ',';
+  }
+  *sig += ')';
+  if (node->predicate() != nullptr) {
+    *sig += '{';
+    node->set_predicate(TagLiterals(node->predicate(), params, sig));
+    *sig += '}';
+  }
+}
+
+bool ExprHasParam(const ExprPtr& expr) {
+  if (expr == nullptr) return false;
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      return expr->param_index() >= 0;
+    case ExprKind::kColumn:
+    case ExprKind::kPosition:
+      return false;
+    case ExprKind::kUnary:
+      return ExprHasParam(expr->operand());
+    case ExprKind::kBinary:
+      return ExprHasParam(expr->left()) || ExprHasParam(expr->right());
+  }
+  return false;
+}
+
+PhysNodePtr BindNodeParams(const PhysNodePtr& node,
+                           const std::vector<Value>& params) {
+  if (node == nullptr) return node;
+  ExprPtr bound_pred = BindExprParams(node->predicate, params);
+  std::vector<PhysNodePtr> bound_children;
+  bool child_changed = false;
+  bound_children.reserve(node->children.size());
+  for (const PhysNodePtr& child : node->children) {
+    PhysNodePtr bound = BindNodeParams(child, params);
+    if (bound != child) child_changed = true;
+    bound_children.push_back(std::move(bound));
+  }
+  if (bound_pred == node->predicate && !child_changed) return node;
+  auto copy = std::make_shared<PhysNode>(*node);
+  copy->predicate = std::move(bound_pred);
+  copy->children = std::move(bound_children);
+  return copy;
+}
+
+void CollectExprParamIndices(const ExprPtr& expr, std::vector<int>* out) {
+  if (expr == nullptr) return;
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      if (expr->param_index() >= 0) out->push_back(expr->param_index());
+      return;
+    case ExprKind::kColumn:
+    case ExprKind::kPosition:
+      return;
+    case ExprKind::kUnary:
+      CollectExprParamIndices(expr->operand(), out);
+      return;
+    case ExprKind::kBinary:
+      CollectExprParamIndices(expr->left(), out);
+      CollectExprParamIndices(expr->right(), out);
+      return;
+  }
+}
+
+void CollectNodeParamIndices(const PhysNodePtr& node, std::vector<int>* out) {
+  if (node == nullptr) return;
+  CollectExprParamIndices(node->predicate, out);
+  for (const PhysNodePtr& child : node->children) {
+    CollectNodeParamIndices(child, out);
+  }
+}
+
+/// Resolves the raw stats-store pointer annotated on a node back to the
+/// owning shared_ptr via the node's source names.
+BaseSequencePtr ResolveStatsStore(const SeqMeta& meta,
+                                  const Catalog& catalog) {
+  if (meta.stats_store == nullptr) return nullptr;
+  for (const std::string& name : meta.source_names) {
+    auto entry = catalog.Lookup(name);
+    if (!entry.ok()) continue;
+    if ((*entry)->store != nullptr && (*entry)->store.get() == meta.stats_store) {
+      return (*entry)->store;
+    }
+  }
+  return nullptr;
+}
+
+void CaptureRecostChecksImpl(const LogicalOpPtr& node, const Catalog& catalog,
+                             const CostParams& params,
+                             std::vector<RecostCheck>* out) {
+  if (node == nullptr) return;
+  if (node->kind() == OpKind::kSelect && ExprHasParam(node->predicate())) {
+    BaseSequencePtr store =
+        ResolveStatsStore(node->input()->meta(), catalog);
+    if (store != nullptr) {
+      RecostCheck check;
+      check.predicate = node->predicate();
+      check.store = store;
+      check.planned_selectivity =
+          EstimateSelectivity(node->predicate(), store.get(), params);
+      out->push_back(std::move(check));
+    }
+  }
+  for (const LogicalOpPtr& input : node->inputs()) {
+    CaptureRecostChecksImpl(input, catalog, params, out);
+  }
+}
+
+}  // namespace
+
+ParameterizedQuery ParameterizeQuery(const Query& query) {
+  ParameterizedQuery out;
+  out.query.graph = query.graph->Clone();
+  out.query.range = query.range;
+  out.query.positions = query.positions;
+  out.query.position_sequence = query.position_sequence;
+  TagGraph(out.query.graph, &out.params, &out.signature);
+  // The driving range/positions are baked into the plan by span pushdown,
+  // so they are part of the shape, not parameters.
+  out.signature += "|range=";
+  if (query.range.has_value()) {
+    out.signature += std::to_string(query.range->start);
+    out.signature += ':';
+    out.signature += std::to_string(query.range->end);
+  } else {
+    out.signature += "none";
+  }
+  out.signature += "|posseq=";
+  out.signature += query.position_sequence;
+  if (!query.positions.empty()) {
+    // Hash the position list instead of serializing it (point queries can
+    // carry thousands of positions). Collisions are insured against at
+    // lookup time: the engine verifies the cached plan's position list
+    // matches before reuse.
+    std::string pos_bytes(
+        reinterpret_cast<const char*>(query.positions.data()),
+        query.positions.size() * sizeof(Position));
+    out.signature += "|npos=";
+    out.signature += std::to_string(query.positions.size());
+    out.signature += ":";
+    out.signature += std::to_string(Fnv1a64(pos_bytes));
+  }
+  return out;
+}
+
+ExprPtr BindExprParams(const ExprPtr& expr, const std::vector<Value>& params) {
+  if (expr == nullptr) return expr;
+  switch (expr->kind()) {
+    case ExprKind::kLiteral: {
+      const int index = expr->param_index();
+      if (index < 0 || static_cast<size_t>(index) >= params.size()) {
+        return expr;
+      }
+      // Re-binding an equal value keeps the node shared.
+      const Value& v = params[static_cast<size_t>(index)];
+      if (v.type() == expr->literal().type() && v == expr->literal()) {
+        return expr;
+      }
+      return Expr::ParamLiteral(v, index);
+    }
+    case ExprKind::kColumn:
+    case ExprKind::kPosition:
+      return expr;
+    case ExprKind::kUnary: {
+      ExprPtr operand = BindExprParams(expr->operand(), params);
+      if (operand == expr->operand()) return expr;
+      return Expr::Unary(expr->unary_op(), std::move(operand));
+    }
+    case ExprKind::kBinary: {
+      ExprPtr left = BindExprParams(expr->left(), params);
+      ExprPtr right = BindExprParams(expr->right(), params);
+      if (left == expr->left() && right == expr->right()) return expr;
+      return Expr::Binary(expr->binary_op(), std::move(left),
+                          std::move(right));
+    }
+  }
+  SEQ_CHECK(false);
+  return nullptr;
+}
+
+PhysicalPlan BindPlanParams(const PhysicalPlan& plan,
+                            const std::vector<Value>& params) {
+  PhysicalPlan out = plan;
+  out.root = BindNodeParams(plan.root, params);
+  return out;
+}
+
+void CollectPlanParamIndices(const PhysicalPlan& plan,
+                             std::vector<int>* out) {
+  CollectNodeParamIndices(plan.root, out);
+}
+
+bool PlanCoversAllParams(const PhysicalPlan& plan, size_t param_count) {
+  if (param_count == 0) return true;
+  std::vector<bool> seen(param_count, false);
+  std::vector<int> indices;
+  CollectPlanParamIndices(plan, &indices);
+  for (int index : indices) {
+    if (index >= 0 && static_cast<size_t>(index) < param_count) {
+      seen[static_cast<size_t>(index)] = true;
+    }
+  }
+  return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+}
+
+std::string FingerprintOptimizerOptions(const OptimizerOptions& options) {
+  const CostParams& p = options.cost_params;
+  std::ostringstream oss;
+  oss << p.join_predicate_cost << '|' << p.select_predicate_cost << '|'
+      << p.cache_store_cost << '|' << p.cache_access_cost << '|'
+      << p.compute_cost << '|' << p.agg_step_cost << '|'
+      << p.default_eq_selectivity << '|' << p.default_range_selectivity << '|'
+      << p.max_cached_scope << '|' << p.disable_incremental_value_offset
+      << '|' << p.disable_window_cache << '|' << p.max_dp_items << '|'
+      << p.force_join_strategy << '|' << options.enable_rewrites << '|'
+      << options.enable_span_pushdown << '|';
+  if (options.force_root_mode.has_value()) {
+    oss << static_cast<int>(*options.force_root_mode);
+  } else {
+    oss << '-';
+  }
+  return oss.str();
+}
+
+std::vector<RecostCheck> CaptureRecostChecks(const LogicalOpPtr& graph,
+                                             const Catalog& catalog,
+                                             const CostParams& params) {
+  std::vector<RecostCheck> out;
+  CaptureRecostChecksImpl(graph, catalog, params, &out);
+  return out;
+}
+
+bool RecostWithinThreshold(const std::vector<RecostCheck>& checks,
+                           const std::vector<Value>& params,
+                           const CostParams& cost_params, double threshold) {
+  for (const RecostCheck& check : checks) {
+    ExprPtr bound = BindExprParams(check.predicate, params);
+    const double now =
+        EstimateSelectivity(bound, check.store.get(), cost_params);
+    const double planned = check.planned_selectivity;
+    const double lo = std::min(now, planned);
+    const double hi = std::max(now, planned);
+    if (lo <= 0.0) {
+      if (hi > 0.0) return false;
+      continue;
+    }
+    if (hi / lo > threshold) return false;
+  }
+  return true;
+}
+
+}  // namespace seq

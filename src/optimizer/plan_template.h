@@ -1,0 +1,104 @@
+#ifndef SEQ_OPTIMIZER_PLAN_TEMPLATE_H_
+#define SEQ_OPTIMIZER_PLAN_TEMPLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/cost_params.h"
+#include "expr/expr.h"
+#include "logical/logical_op.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/physical_plan.h"
+#include "types/value.h"
+
+namespace seq {
+
+/// A query split into its shape and its literals, the unit the plan cache
+/// keys on. `query` is a deep clone of the input whose expression literals
+/// carry bind-parameter tags (Expr::param_index, assigned in traversal
+/// order); `params` holds the literal values in tag order; `signature` is
+/// the canonical shape string — two queries that differ only in expression
+/// literals produce identical signatures and differ only in `params`.
+///
+/// Structural integers (positional/value offsets, window sizes, collapse
+/// and expand factors) are part of the signature VERBATIM, not parameters:
+/// they change the plan's span arithmetic and operator shapes, so a plan
+/// template must never be reused across them. Only literals inside
+/// selection/compose predicates are parameterized. The query's range and
+/// positions also go into the signature (span pushdown bakes them into the
+/// plan), so a cached template is only reused for the exact same driving
+/// range / position list.
+struct ParameterizedQuery {
+  Query query;
+  std::string signature;
+  std::vector<Value> params;
+};
+
+/// Parameterizes `query` (see ParameterizedQuery). The input is not
+/// modified.
+ParameterizedQuery ParameterizeQuery(const Query& query);
+
+/// Rebuilds `expr` with every tagged literal re-bound to
+/// `params[param_index]`. Untouched subtrees are shared, not copied;
+/// returns `expr` itself when it contains no parameters. Tags are kept on
+/// the rebound nodes so a bound tree can be re-bound again.
+ExprPtr BindExprParams(const ExprPtr& expr, const std::vector<Value>& params);
+
+/// Rebuilds `plan` with `params` bound into every tagged literal. Only
+/// nodes on a path to a parameterized predicate are copied; all other
+/// nodes (and the whole tree when there are no parameters) are shared with
+/// the template.
+PhysicalPlan BindPlanParams(const PhysicalPlan& plan,
+                            const std::vector<Value>& params);
+
+/// Appends the param_index of every tagged literal reachable from `plan`'s
+/// operator predicates to `out` (duplicates possible). Used for the
+/// coverage guard: a template whose plan no longer mentions every extracted
+/// parameter (a rewrite dropped or folded a predicate) must not be rebound
+/// with fresh literals — the dropped literal's value is baked into the
+/// plan's shape decisions.
+void CollectPlanParamIndices(const PhysicalPlan& plan, std::vector<int>* out);
+
+/// True when every parameter 0..param_count-1 appears at least once in
+/// `plan`'s predicates (trivially true for param_count == 0).
+bool PlanCoversAllParams(const PhysicalPlan& plan, size_t param_count);
+
+/// Canonical fingerprint of every planning-relevant OptimizerOptions field
+/// (all CostParams members plus rewrite/pushdown/root-mode switches;
+/// collect_trace excluded — it does not change the chosen plan). Two
+/// option sets with equal fingerprints always produce the same plan for
+/// the same query and catalog.
+std::string FingerprintOptimizerOptions(const OptimizerOptions& options);
+
+/// One literal-sensitive costing assumption captured from an optimized
+/// plan: a selection predicate (tagged literals), the base-sequence store
+/// whose column statistics priced it, and the selectivity the planner
+/// assumed. The store is held by shared_ptr so a cached check can never
+/// dangle after the catalog changes.
+struct RecostCheck {
+  ExprPtr predicate;
+  BaseSequencePtr store;
+  double planned_selectivity = 0.0;
+};
+
+/// Walks the optimizer's annotated output graph and captures a RecostCheck
+/// for every selection whose predicate contains bind parameters and whose
+/// input offers column statistics. `catalog` resolves the raw stats-store
+/// pointer in the node meta back to an owning BaseSequencePtr.
+std::vector<RecostCheck> CaptureRecostChecks(const LogicalOpPtr& graph,
+                                             const Catalog& catalog,
+                                             const CostParams& params);
+
+/// Re-estimates every check with `params` bound and compares against the
+/// planned selectivity. Returns false — the caller must fall back to a
+/// full optimize — when any estimate deviates by more than `threshold`
+/// (ratio of the larger to the smaller; threshold 4.0 means "off by more
+/// than 4x either way").
+bool RecostWithinThreshold(const std::vector<RecostCheck>& checks,
+                           const std::vector<Value>& params,
+                           const CostParams& cost_params, double threshold);
+
+}  // namespace seq
+
+#endif  // SEQ_OPTIMIZER_PLAN_TEMPLATE_H_
