@@ -24,7 +24,10 @@
 //   .slowlog [clear|threshold <ms>]    slow-query digest log
 //   .metrics prom|json [file]          export telemetry (Prometheus / JSON)
 //   .batch on|off                      batch vs tuple-at-a-time driving
-//   .parallel <n>                      morsel-parallel workers (1 = serial)
+//   .parallel <n>                      per-query share cap on the scheduler
+//                                      pool (1 = serial)
+//   .sched [stats|workers <n>|limit <n>]   process-wide query scheduler
+//   .priority low|normal|high          admission priority for this session
 //   .materialize <name> <view>         register a view's result as a base
 //   .save <name> <file.csv>            write a base sequence as CSV
 //   .savedb <dir> / .opendb <dir>      persist / reopen the whole catalog
@@ -40,6 +43,7 @@
 #include "common/string_util.h"
 #include "core/database_io.h"
 #include "core/engine.h"
+#include "exec/scheduler.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/query_registry.h"
@@ -84,8 +88,16 @@ constexpr const char* kHelp =
     "  .metrics prom|json [file]          export telemetry snapshot in\n"
     "                                     Prometheus text / JSON format\n"
     "  .batch on|off                      batch vs tuple-at-a-time driving\n"
-    "  .parallel <n>                      morsel-parallel workers (1 = "
-    "serial)\n"
+    "  .parallel <n>                      per-query share cap on the shared\n"
+    "                                     scheduler pool (1 = serial)\n"
+    "  .sched [stats]                     process-wide scheduler: workers,\n"
+    "                                     admission queue, totals\n"
+    "  .sched workers <n>                 resize the shared worker pool\n"
+    "                                     (SEQ_SCHED_WORKERS sets the default)\n"
+    "  .sched limit <n>                   max queries running at once\n"
+    "                                     (0 = unlimited)\n"
+    "  .priority low|normal|high          admission priority for this\n"
+    "                                     session's queries\n"
     "  .materialize <name> <view>         register a view's result as a base\n"
     "  .save <name> <file.csv>            write a base sequence as CSV\n"
     "  .savedb <dir> / .opendb <dir>      persist / reopen the whole catalog\n"
@@ -294,6 +306,11 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
       if (q.morsels_total > 0) {
         std::cout << ", morsels " << q.morsels_done << "/" << q.morsels_total;
       }
+      if (q.queued_us > 0) {
+        std::cout << ", queued "
+                  << FormatDouble(static_cast<double>(q.queued_us) / 1000.0)
+                  << "ms";
+      }
       std::cout << ", " << FormatDouble(static_cast<double>(q.elapsed_us) /
                                         1000.0)
                 << "ms: " << q.text << "\n";
@@ -306,7 +323,13 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
                 << (q.degraded ? ", degraded" : "") << "] " << q.rows
                 << " rows, " << q.pages << " pages, "
                 << FormatDouble(static_cast<double>(q.wall_us) / 1000.0)
-                << "ms: " << q.text << "\n";
+                << "ms";
+      if (q.queued_us > 0) {
+        std::cout << " (queued "
+                  << FormatDouble(static_cast<double>(q.queued_us) / 1000.0)
+                  << "ms)";
+      }
+      std::cout << ": " << q.text << "\n";
     }
     if (recent.size() > shown) {
       std::cout << "  ... (" << recent.size() << " recent total)\n";
@@ -373,6 +396,41 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
     session->run_opts.exec.parallelism = static_cast<int>(*n);
     std::cout << "parallelism " << *n
               << (*n == 1 ? " (serial)" : " workers") << "\n";
+  } else if (cmd == ".sched" && args.size() >= 3 && args[1] == "workers") {
+    auto n = ParseInt64(args[2]);
+    if (!n || *n < 1) {
+      std::cout << "error: .sched workers expects a thread count >= 1\n";
+      return;
+    }
+    QueryScheduler::Global().SetWorkers(static_cast<int>(*n));
+    std::cout << "scheduler workers " << QueryScheduler::Global().workers()
+              << "\n";
+  } else if (cmd == ".sched" && args.size() >= 3 && args[1] == "limit") {
+    auto n = ParseInt64(args[2]);
+    if (!n || *n < 0) {
+      std::cout << "error: .sched limit expects a query count >= 0 "
+                   "(0 = unlimited)\n";
+      return;
+    }
+    QueryScheduler::Global().SetMaxRunning(static_cast<int>(*n));
+    std::cout << "scheduler limit "
+              << (*n == 0 ? std::string("off") : std::to_string(*n)) << "\n";
+  } else if (cmd == ".sched" && (args.size() == 1 || args[1] == "stats")) {
+    std::cout << QueryScheduler::Global().ToString();
+  } else if (cmd == ".priority" && args.size() >= 2) {
+    QueryPriority p;
+    if (args[1] == "low") {
+      p = QueryPriority::kLow;
+    } else if (args[1] == "normal") {
+      p = QueryPriority::kNormal;
+    } else if (args[1] == "high") {
+      p = QueryPriority::kHigh;
+    } else {
+      std::cout << "error: .priority expects low, normal or high\n";
+      return;
+    }
+    session->run_opts.exec.priority = p;
+    std::cout << "priority " << QueryPriorityName(p) << "\n";
   } else if (cmd == ".explain" && args.size() >= 2) {
     auto graph = ResolveName(session, args[1]);
     if (!graph.ok()) {
@@ -529,7 +587,7 @@ int main(int argc, char** argv) {
   std::cout << "SEQ shell — sequence query processing (SIGMOD '94). "
                "Dot-commands: .load .gen .list .schema .range .limit "
                ".timeout .explain .analyze .run .stats .queries .plancache "
-               ".slowlog .metrics .batch .parallel .materialize .save "
-               ".savedb .opendb .help .quit\n";
+               ".slowlog .metrics .batch .parallel .sched .priority "
+               ".materialize .save .savedb .opendb .help .quit\n";
   return RunStream(&session, std::cin, /*interactive=*/true);
 }

@@ -78,7 +78,7 @@ void RecordRunCompletion(QueryRegistry::Ticket& ticket, const Status& status,
   if (slow.ShouldLog(static_cast<double>(done.wall_us))) {
     slow.Record(done.digest, done.text, done.id,
                 static_cast<double>(done.wall_us), done.rows, done.pages,
-                done.status);
+                done.status, static_cast<double>(done.queued_us));
   }
 }
 

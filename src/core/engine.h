@@ -41,9 +41,11 @@ struct ProfiledQueryResult {
 ///   auto result = engine.Run(query, opts);          // result->profile set
 struct RunOptions {
   /// Execution knobs for this run: driving mode, batch capacity, budgets,
-  /// fault injection, morsel parallelism. Defaults are the library
-  /// defaults (including SEQ_USE_BATCH / SEQ_PARALLELISM), NOT whatever
-  /// was last poked into the deprecated engine-wide exec_options().
+  /// fault injection, morsel parallelism (a share cap on the process-wide
+  /// scheduler pool), scheduler priority and admission timeout. Defaults
+  /// are the library defaults (including SEQ_USE_BATCH / SEQ_PARALLELISM),
+  /// NOT whatever was last poked into the deprecated engine-wide
+  /// exec_options().
   ExecOptions exec;
   /// Collect the per-operator runtime profile and optimizer trace into
   /// QueryResult::profile. Slower (every operator call is timed); the

@@ -19,7 +19,6 @@
 #include "exec/offset_ops.h"
 #include "exec/profiled_ops.h"
 #include "exec/scan_ops.h"
-#include "exec/thread_pool.h"
 #include "exec/unary_ops.h"
 
 namespace seq {
@@ -112,12 +111,8 @@ bool DefaultUseBatch() {
 }
 
 int DefaultParallelism() {
-  static const int kParallelism = [] {
-    const char* env = std::getenv("SEQ_PARALLELISM");
-    if (env == nullptr) return 1;
-    const int v = std::atoi(env);
-    return v > 0 ? v : 1;
-  }();
+  static const int kParallelism =
+      ValidatedEnvInt("SEQ_PARALLELISM", 1, /*fallback=*/1);
   return kParallelism;
 }
 
@@ -856,6 +851,48 @@ Result<QueryResult> Executor::ExecuteParallel(const PhysicalPlan& plan,
   const bool probed = plan.root_mode == AccessMode::kProbed;
   const bool probed_list = probed && !plan.positions.empty();
 
+  // Wall-clock budget measured from BEFORE admission: time spent waiting
+  // in the scheduler's queue counts toward max_wall_ms, so a query that
+  // queues never gets more total wall time than an uncontended one. All
+  // workers later arm the same instant, so the budget bounds the query,
+  // not each worker's skew.
+  std::chrono::steady_clock::time_point deadline{};
+  const bool has_deadline = options_.guards.max_wall_ms > 0;
+  if (has_deadline) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(options_.guards.max_wall_ms);
+  }
+
+  // Admission to the process-wide scheduler: at most max_running parallel
+  // queries execute at once; beyond that this thread waits (visible as
+  // the `queued` registry state) or is rejected. Serial queries never
+  // reach this point.
+  QueryTelemetry* telem = options_.telemetry;
+  QueryScheduler& sched = QueryScheduler::Global();
+  QueryScheduler::AdmitRequest admit_request;
+  admit_request.priority = options_.priority;
+  admit_request.timeout_ms = options_.admission_timeout_ms;
+  if (has_deadline) admit_request.deadline = deadline;
+  admit_request.cancel = options_.guards.cancel;
+  int pre_admit_state = static_cast<int>(QueryState::kExecuting);
+  if (telem != nullptr) {
+    pre_admit_state = telem->state.load(std::memory_order_relaxed);
+    telem->state.store(static_cast<int>(QueryState::kQueued),
+                       std::memory_order_relaxed);
+  }
+  Result<QueryScheduler::Admission> admit_result = sched.Admit(admit_request);
+  if (telem != nullptr) {
+    // Restore the pre-admission state (kExecuting, or kDegraded on the
+    // cache-degradation re-run) rather than assuming it.
+    telem->state.store(pre_admit_state, std::memory_order_relaxed);
+  }
+  if (!admit_result.ok()) return admit_result.status();
+  QueryScheduler::Admission admission = std::move(admit_result).value();
+  if (telem != nullptr && admission.queue_wait_us() > 0) {
+    telem->queued_us.store(admission.queue_wait_us(),
+                           std::memory_order_relaxed);
+  }
+
   // Work units. Stream morsels get a clipped clone of the plan tree (the
   // first/last morsel keeps the serial plan's lead-in/tail by leaving that
   // side unclipped); probed roots share the original immutable nodes and
@@ -900,7 +937,6 @@ Result<QueryResult> Executor::ExecuteParallel(const PhysicalPlan& plan,
   }
   const size_t n_units = units.size();
 
-  QueryTelemetry* telem = options_.telemetry;
   if (telem != nullptr) {
     telem->morsels_total.store(static_cast<int>(n_units),
                                std::memory_order_relaxed);
@@ -935,14 +971,6 @@ Result<QueryResult> Executor::ExecuteParallel(const PhysicalPlan& plan,
   }
 
   SharedGuardState shared;
-  // All workers measure the wall-clock budget from the same pre-spawn
-  // instant, so the budget bounds the query, not each worker's skew.
-  std::chrono::steady_clock::time_point deadline{};
-  const bool has_deadline = options_.guards.max_wall_ms > 0;
-  if (has_deadline) {
-    deadline = std::chrono::steady_clock::now() +
-               std::chrono::milliseconds(options_.guards.max_wall_ms);
-  }
 
   auto run_unit = [&](size_t ui) {
     const auto unit_start = std::chrono::steady_clock::now();
@@ -1096,40 +1124,38 @@ Result<QueryResult> Executor::ExecuteParallel(const PhysicalPlan& plan,
             .count());
   };
 
+  // All morsels run on the process-wide scheduler pool: this query's
+  // units form one task group, dispatched FIFO with at most mp.workers
+  // (the per-query share cap) scheduler workers on it at once. The
+  // coordinating thread waits at the group barrier — it does not execute
+  // units — and forwards the caller's cancellation flag to workers (which
+  // watch shared.stop) from the scheduler's wait/poll loop.
   {
-    ThreadPool pool(mp.workers);
-    std::atomic<size_t> next_unit{0};
-    for (int w = 0; w < mp.workers; ++w) {
-      pool.Submit([&] {
-        if (telem != nullptr) {
-          telem->workers.fetch_add(1, std::memory_order_relaxed);
-        }
-        while (true) {
-          const size_t ui = next_unit.fetch_add(1, std::memory_order_relaxed);
-          if (ui >= n_units) {
-            if (telem != nullptr) {
-              telem->workers.fetch_sub(1, std::memory_order_relaxed);
-            }
-            return;
-          }
-          run_unit(ui);
-        }
-      });
-    }
+    auto scheduled_unit = [&](size_t ui) {
+      if (telem != nullptr) {
+        telem->workers.fetch_add(1, std::memory_order_relaxed);
+      }
+      run_unit(ui);
+      if (telem != nullptr) {
+        telem->workers.fetch_sub(1, std::memory_order_relaxed);
+      }
+    };
+    std::function<void()> poll;
     if (options_.guards.cancel != nullptr) {
-      // The coordinating thread forwards the caller's cancellation flag to
-      // workers (which watch shared.stop) from the pool's wait loop.
       const std::atomic<bool>* user_cancel = options_.guards.cancel;
-      pool.Wait([&shared, user_cancel] {
+      poll = [&shared, user_cancel] {
         if (user_cancel->load(std::memory_order_relaxed) &&
             !shared.stop.load(std::memory_order_relaxed)) {
           shared.Fail(Status::Cancelled("query cancelled by driver"));
         }
-      });
-    } else {
-      pool.Wait();
+      };
     }
+    sched.RunGroup(n_units, mp.workers, options_.priority, scheduled_unit,
+                   poll);
   }
+  // Free the admission slot before the merge barrier: the next queued
+  // query can start while we assemble this one's result.
+  admission.Release();
 
   // Barrier merges, always in unit (= position) order so every total is
   // deterministic, and merged even on failure — the serial path also

@@ -10,6 +10,7 @@
 #include "catalog/cost_params.h"
 #include "common/result.h"
 #include "exec/operator.h"
+#include "exec/scheduler.h"
 #include "obs/profile.h"
 #include "obs/query_registry.h"
 #include "optimizer/physical_plan.h"
@@ -75,15 +76,31 @@ struct ExecOptions {
   /// uses these options. Arming it forces serial execution (the injector's
   /// global hit counters define "the k-th access" in serial order).
   FaultInjector* fault_injector = nullptr;
-  /// Maximum worker threads for morsel-driven intra-query parallelism
-  /// (docs/execution.md). 1 (the default) runs everything on the calling
-  /// thread. Values > 1 split stream-root plans' output spans (and
-  /// probed-root plans' position lists) into contiguous morsels evaluated
-  /// by independent operator-tree clones; plans with operators that cannot
-  /// be partitioned correctly, or where carry-in state would cost more
-  /// than the parallel win, fall back to serial — rows, merged AccessStats
-  /// and budget trips are identical either way.
+  /// Per-query *share cap* for morsel-driven intra-query parallelism
+  /// (docs/execution.md): the most workers of the process-wide
+  /// QueryScheduler pool that may run this query's morsels concurrently.
+  /// 1 (the default) runs everything on the calling thread; values > 1
+  /// split stream-root plans' output spans (and probed-root plans'
+  /// position lists) into contiguous morsels evaluated by independent
+  /// operator-tree clones on the shared pool. This is NOT a thread count:
+  /// threads belong to the scheduler (SEQ_SCHED_WORKERS), and a query
+  /// may get fewer than its cap when the pool is busy. Plans with
+  /// operators that cannot be partitioned correctly, or where carry-in
+  /// state would cost more than the parallel win, fall back to serial —
+  /// rows, merged AccessStats and budget trips are identical either way.
   int parallelism = DefaultParallelism();
+  /// Admission priority class on the process-wide scheduler: higher
+  /// classes leave the admission queue first and their morsels are
+  /// dispatched to workers first. Only consulted for parallel execution —
+  /// serial queries never touch the scheduler.
+  QueryPriority priority = QueryPriority::kNormal;
+  /// Longest this query may wait in the scheduler's admission queue
+  /// before giving up with ResourceExhausted: > 0 bounds the wait in
+  /// milliseconds, 0 (the default) adopts the scheduler-wide default
+  /// (itself "no timeout" unless configured), < 0 waits indefinitely.
+  /// Wall-clock budgets (QueryGuards::max_wall_ms) keep ticking while
+  /// queued either way.
+  int64_t admission_timeout_ms = 0;
   /// Morsel length in positions. 0 (auto) splits the span into one morsel
   /// per worker. An explicit size is treated as a caller override: the
   /// carry-in cost heuristic is skipped (correctness fallbacks still

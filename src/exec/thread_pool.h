@@ -11,12 +11,11 @@
 
 namespace seq {
 
-/// A small owned worker pool for morsel-parallel execution: the executor
-/// creates one per parallel query, submits one task per worker, and waits
-/// at the barrier. Deliberately minimal — no work stealing, no global
-/// singleton; morsel scheduling happens above this (workers claim morsel
-/// indices from an atomic counter), so the pool only needs to run N
-/// long-lived tasks and join them.
+/// A small owned worker pool: submit N tasks, wait at the barrier.
+/// Superseded for query execution by the process-wide QueryScheduler
+/// (exec/scheduler.h) — the executor no longer creates per-query pools —
+/// but kept for tests and one-off auxiliary work that wants an owned,
+/// joinable pool with no global state.
 class ThreadPool {
  public:
   explicit ThreadPool(int threads) {
@@ -54,15 +53,21 @@ class ThreadPool {
   /// that are deep inside a blocking operator.
   void Wait(const std::function<void()>& poll = {}) {
     std::unique_lock<std::mutex> lock(mu_);
+    if (!poll) {
+      done_cv_.wait(lock, [this] { return pending_ == 0; });
+      return;
+    }
+    // Re-check the completion predicate before every re-arm: a bare
+    // wait_for here kept this thread waking (and polling) every
+    // millisecond after pending_ hit zero mid-wait, because the notify
+    // could land between the wake and the loop condition.
     while (pending_ > 0) {
-      if (poll) {
-        done_cv_.wait_for(lock, std::chrono::milliseconds(1));
-        lock.unlock();
-        poll();
-        lock.lock();
-      } else {
-        done_cv_.wait(lock, [this] { return pending_ == 0; });
-      }
+      done_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                        [this] { return pending_ == 0; });
+      if (pending_ == 0) break;
+      lock.unlock();
+      poll();
+      lock.lock();
     }
   }
 

@@ -129,7 +129,8 @@ void JsonLiveQuery(std::ostringstream& oss, const LiveQueryInfo& q) {
       << ",\"pages\":" << q.pages << ",\"workers\":" << q.workers
       << ",\"morsels_done\":" << q.morsels_done
       << ",\"morsels_total\":" << q.morsels_total
-      << ",\"elapsed_us\":" << q.elapsed_us << "}";
+      << ",\"elapsed_us\":" << q.elapsed_us
+      << ",\"queued_us\":" << q.queued_us << "}";
 }
 
 void JsonCompletedQuery(std::ostringstream& oss, const CompletedQueryInfo& q) {
@@ -137,8 +138,8 @@ void JsonCompletedQuery(std::ostringstream& oss, const CompletedQueryInfo& q) {
       << "\",\"digest\":\"" << JsonEscape(q.digest) << "\",\"status\":\""
       << JsonEscape(q.status) << "\",\"ok\":" << (q.ok ? "true" : "false")
       << ",\"degraded\":" << (q.degraded ? "true" : "false")
-      << ",\"wall_us\":" << q.wall_us << ",\"rows\":" << q.rows
-      << ",\"pages\":" << q.pages << "}";
+      << ",\"wall_us\":" << q.wall_us << ",\"queued_us\":" << q.queued_us
+      << ",\"rows\":" << q.rows << ",\"pages\":" << q.pages << "}";
 }
 
 void JsonSlowDigest(std::ostringstream& oss, const SlowQueryDigestStats& d) {

@@ -10,6 +10,8 @@ const char* QueryStateName(QueryState state) {
       return "executing";
     case QueryState::kDegraded:
       return "degraded";
+    case QueryState::kQueued:
+      return "queued";
   }
   return "unknown";
 }
@@ -110,6 +112,7 @@ CompletedQueryInfo QueryRegistry::FinishEntry(
   info.wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
                      std::chrono::steady_clock::now() - entry->start)
                      .count();
+  info.queued_us = entry->telemetry.queued_us.load(std::memory_order_relaxed);
   info.rows = entry->telemetry.rows.load(std::memory_order_relaxed);
   info.pages = entry->telemetry.pages.load(std::memory_order_relaxed);
   {
@@ -145,6 +148,8 @@ std::vector<LiveQueryInfo> QueryRegistry::Live() const {
         entry->telemetry.morsels_total.load(std::memory_order_relaxed);
     info.plan_cached =
         entry->telemetry.plan_cached.load(std::memory_order_relaxed);
+    info.queued_us =
+        entry->telemetry.queued_us.load(std::memory_order_relaxed);
     info.elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
                           now - entry->start)
                           .count();

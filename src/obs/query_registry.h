@@ -17,8 +17,15 @@ namespace seq {
 /// Lifecycle state of a live query, updated by the engine as the run
 /// progresses. `kDegraded` means a cache-memory budget forced the
 /// graceful cache-free re-plan (docs/robustness.md); the query is still
-/// running.
-enum class QueryState { kOptimizing = 0, kExecuting = 1, kDegraded = 2 };
+/// running. `kQueued` means the query is waiting in the process-wide
+/// scheduler's admission queue (docs/execution.md) for a slot to run its
+/// morsels on the shared worker pool.
+enum class QueryState {
+  kOptimizing = 0,
+  kExecuting = 1,
+  kDegraded = 2,
+  kQueued = 3,
+};
 
 const char* QueryStateName(QueryState state);
 
@@ -34,6 +41,10 @@ struct QueryTelemetry {
   std::atomic<int> morsels_done{0};  ///< completed work units (parallel runs)
   std::atomic<int> morsels_total{0};
   std::atomic<int> state{static_cast<int>(QueryState::kOptimizing)};
+  /// Microseconds spent waiting in the scheduler's admission queue (0 for
+  /// serial queries and uncontended admissions). Written once by the
+  /// executor when admission completes.
+  std::atomic<int64_t> queued_us{0};
   /// True when the run executed a parameterized-plan-cache hit (the
   /// optimizer was skipped). Set once by the engine before execution.
   std::atomic<bool> plan_cached{false};
@@ -51,6 +62,7 @@ struct LiveQueryInfo {
   int morsels_done = 0;
   int morsels_total = 0;
   int64_t elapsed_us = 0;
+  int64_t queued_us = 0;     ///< time spent in the admission queue
   bool plan_cached = false;  ///< running on a plan-cache hit
 };
 
@@ -63,7 +75,8 @@ struct CompletedQueryInfo {
   bool ok = true;
   bool degraded = false;     ///< finished on the cache-free fallback plan
   bool plan_cached = false;  ///< executed a parameterized-plan-cache hit
-  int64_t wall_us = 0;
+  int64_t wall_us = 0;       ///< includes any admission-queue wait
+  int64_t queued_us = 0;     ///< portion of wall_us spent queued
   int64_t rows = 0;
   int64_t pages = 0;
 };

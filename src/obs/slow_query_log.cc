@@ -11,7 +11,8 @@ namespace seq {
 
 void SlowQueryLog::Record(const std::string& digest, const std::string& text,
                           uint64_t query_id, double wall_us, int64_t rows,
-                          int64_t pages, const std::string& status_name) {
+                          int64_t pages, const std::string& status_name,
+                          double queue_us) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = digests_.find(digest);
   if (it == digests_.end()) {
@@ -30,9 +31,11 @@ void SlowQueryLog::Record(const std::string& digest, const std::string& text,
   d.max_us = std::max(d.max_us, wall_us);
   d.total_rows += rows;
   d.total_pages += pages;
+  d.total_queue_us += queue_us;
   d.last_status = status_name;
   if (wall_us >= d.worst_us || d.worst_text.empty()) {
     d.worst_us = wall_us;
+    d.worst_queue_us = queue_us;
     d.worst_text = text;
     d.worst_query_id = query_id;
   }
@@ -67,11 +70,22 @@ std::string SlowQueryLog::ToString(size_t limit) const {
     oss << "  [" << d.count << "x] total=" << FormatDouble(d.total_us / 1000.0)
         << "ms mean=" << FormatDouble(d.MeanUs() / 1000.0)
         << "ms max=" << FormatDouble(d.max_us / 1000.0)
-        << "ms rows=" << d.total_rows << " pages=" << d.total_pages
-        << " last=" << d.last_status << "\n";
+        << "ms rows=" << d.total_rows << " pages=" << d.total_pages;
+    if (d.total_queue_us > 0.0) {
+      oss << " queued=" << FormatDouble(d.total_queue_us / 1000.0) << "ms";
+    }
+    oss << " last=" << d.last_status << "\n";
     oss << "      shape: " << d.digest << "\n";
     oss << "      worst: #" << d.worst_query_id << " "
-        << FormatDouble(d.worst_us / 1000.0) << "ms " << d.worst_text << "\n";
+        << FormatDouble(d.worst_us / 1000.0) << "ms";
+    if (d.worst_queue_us > 0.0) {
+      // Attribute the worst run's wall time: how much was the admission
+      // queue vs actually executing.
+      oss << " (queued " << FormatDouble(d.worst_queue_us / 1000.0)
+          << "ms + exec "
+          << FormatDouble((d.worst_us - d.worst_queue_us) / 1000.0) << "ms)";
+    }
+    oss << " " << d.worst_text << "\n";
   }
   if (snap.size() > shown) {
     oss << "  ... (" << snap.size() << " digests total)\n";

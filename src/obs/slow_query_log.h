@@ -28,9 +28,14 @@ struct SlowQueryDigestStats {
   double max_us = 0.0;
   int64_t total_rows = 0;
   int64_t total_pages = 0;
+  /// Scheduler admission-queue time (part of the wall times above, but
+  /// attributed separately: a shape that is "slow" because it queued is a
+  /// load problem, not a plan problem).
+  double total_queue_us = 0.0;
   std::string worst_text;    ///< exemplar query text of the slowest run
   uint64_t worst_query_id = 0;
   double worst_us = 0.0;
+  double worst_queue_us = 0.0;  ///< queue-time portion of the worst run
   std::string last_status = "OK";
 
   double MeanUs() const {
@@ -55,10 +60,12 @@ class SlowQueryLog {
   static constexpr size_t kMaxDigests = 256;
 
   /// Records one over-threshold query. `text` is the original query text
-  /// (kept only when it becomes the worst-case exemplar).
+  /// (kept only when it becomes the worst-case exemplar); `queue_us` is
+  /// the portion of `wall_us` spent waiting in the scheduler's admission
+  /// queue (0 for serial / uncontended queries).
   void Record(const std::string& digest, const std::string& text,
               uint64_t query_id, double wall_us, int64_t rows, int64_t pages,
-              const std::string& status_name);
+              const std::string& status_name, double queue_us = 0.0);
 
   void set_threshold_ms(double ms) {
     threshold_us_.store(static_cast<int64_t>(ms * 1000.0),
