@@ -28,6 +28,9 @@
 //                                      pool (1 = serial)
 //   .sched [stats|workers <n>|limit <n>]   process-wide query scheduler
 //   .priority low|normal|high          admission priority for this session
+//   .checkpoint on|off [chunk <n>] [every <k>]  run queries in suspendable chunks
+//   .suspend <query-id>                park a live query to a checkpoint
+//   .resume <file>                     resume a suspended query from disk
 //   .materialize <name> <view>         register a view's result as a base
 //   .save <name> <file.csv>            write a base sequence as CSV
 //   .savedb <dir> / .opendb <dir>      persist / reopen the whole catalog
@@ -43,6 +46,7 @@
 #include "common/string_util.h"
 #include "core/database_io.h"
 #include "core/engine.h"
+#include "exec/checkpoint.h"
 #include "exec/scheduler.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -98,6 +102,20 @@ constexpr const char* kHelp =
     "                                     (0 = unlimited)\n"
     "  .priority low|normal|high          admission priority for this\n"
     "                                     session's queries\n"
+    "  .checkpoint on|off                 drive queries in suspendable\n"
+    "                                     chunks so .suspend can park them\n"
+    "                                     (SEQ_CHECKPOINT_DIR sets where)\n"
+    "  .checkpoint chunk <n>              positions per chunk (0 = default;\n"
+    "                                     SEQ_CHECKPOINT_CHUNK overrides)\n"
+    "  .checkpoint every <k>              suspend after every k-th chunk\n"
+    "                                     (0 = only on demand; for crash-\n"
+    "                                     recovery drills)\n"
+    "  .suspend <query-id>                ask a live query (see .queries) to\n"
+    "                                     park its state in a checkpoint file\n"
+    "                                     at the next chunk boundary\n"
+    "  .resume <file>                     resume a suspended query from its\n"
+    "                                     checkpoint (SEQ_CHECKPOINT_DIR is\n"
+    "                                     the default directory)\n"
     "  .materialize <name> <view>         register a view's result as a base\n"
     "  .save <name> <file.csv>            write a base sequence as CSV\n"
     "  .savedb <dir> / .opendb <dir>      persist / reopen the whole catalog\n"
@@ -431,6 +449,71 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
     }
     session->run_opts.exec.priority = p;
     std::cout << "priority " << QueryPriorityName(p) << "\n";
+  } else if (cmd == ".checkpoint" && args.size() >= 3 &&
+             args[1] == "chunk") {
+    auto n = ParseInt64(args[2]);
+    if (!n || *n < 0) {
+      std::cout << "error: .checkpoint chunk expects a position count >= 0 "
+                   "(0 = default)\n";
+      return;
+    }
+    session->run_opts.exec.checkpoint.chunk = *n;
+    std::cout << "checkpoint chunk "
+              << (*n == 0 ? std::string("default (SEQ_CHECKPOINT_CHUNK)")
+                          : std::to_string(*n) + " positions")
+              << "\n";
+  } else if (cmd == ".checkpoint" && args.size() >= 3 &&
+             args[1] == "every") {
+    auto n = ParseInt64(args[2]);
+    if (!n || *n < 0) {
+      std::cout << "error: .checkpoint every expects a chunk count >= 0 "
+                   "(0 = only on demand)\n";
+      return;
+    }
+    session->run_opts.exec.checkpoint.suspend_every_chunks = *n;
+    std::cout << "checkpoint every "
+              << (*n == 0 ? std::string("on demand only")
+                          : std::to_string(*n) + " chunk(s)")
+              << "\n";
+  } else if (cmd == ".checkpoint" && args.size() >= 2) {
+    session->run_opts.exec.checkpoint.enabled = (args[1] == "on");
+    std::cout << "checkpointed driving "
+              << (session->run_opts.exec.checkpoint.enabled ? "on" : "off")
+              << "\n";
+  } else if (cmd == ".suspend" && args.size() >= 2) {
+    auto id = ParseInt64(args[1]);
+    if (!id || *id < 1) {
+      std::cout << "error: .suspend expects a live query id (see "
+                   ".queries)\n";
+      return;
+    }
+    // Cooperative: sets the query's suspend flag; the engine parks it to a
+    // checkpoint file at the next chunk boundary (checkpointed runs only).
+    if (Engine::RequestSuspend(static_cast<uint64_t>(*id))) {
+      std::cout << "suspend requested for query #" << *id << "\n";
+    } else {
+      std::cout << "error: no live query #" << *id << "\n";
+    }
+  } else if (cmd == ".resume" && args.size() >= 2) {
+    AccessStats stats;
+    RunOptions opts = session->run_opts;
+    opts.stats = session->show_stats ? &stats : nullptr;
+    auto result = session->engine.Resume(args[1], opts);
+    if (!result.ok()) {
+      if (IsQuerySuspended(result.status())) {
+        // Suspended again before finishing (budget pressure or another
+        // .suspend): the new checkpoint path is in the message.
+        std::cout << result.status().message() << "\n";
+      } else {
+        std::cout << "error: " << result.status() << "\n";
+      }
+      return;
+    }
+    std::cout << result->ToString(session->limit);
+    std::cout << "(" << result->records.size() << " records)\n";
+    if (session->show_stats) {
+      std::cout << "stats: " << stats.ToString() << "\n";
+    }
   } else if (cmd == ".explain" && args.size() >= 2) {
     auto graph = ResolveName(session, args[1]);
     if (!graph.ok()) {
@@ -588,6 +671,8 @@ int main(int argc, char** argv) {
                "Dot-commands: .load .gen .list .schema .range .limit "
                ".timeout .explain .analyze .run .stats .queries .plancache "
                ".slowlog .metrics .batch .parallel .sched .priority "
-               ".materialize .save .savedb .opendb .help .quit\n";
+               ".checkpoint .suspend .resume .materialize .save .savedb "
+               ".opendb "
+               ".help .quit\n";
   return RunStream(&session, std::cin, /*interactive=*/true);
 }

@@ -23,6 +23,8 @@ enum class StatusCode {
   kCancelled,         // cooperative cancellation requested by the driver
   kUnavailable,       // a storage access failed (page fault, injected fault)
   kDataLoss,          // persisted data is corrupt or truncated
+  kFailedPrecondition,  // system state does not admit the operation (stale
+                        // checkpoint, catalog/plan mismatch)
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -80,6 +82,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -7,11 +8,13 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "exec/scheduler.h"
 #include "obs/metrics.h"
 #include "obs/query_registry.h"
 #include "obs/slow_query_log.h"
 #include "optimizer/plan_template.h"
 #include "parser/unparse.h"
+#include "storage/checkpoint_file.h"
 
 namespace seq {
 
@@ -65,12 +68,17 @@ void RecordRunCompletion(QueryRegistry::Ticket& ticket, const Status& status,
       MetricsRegistry::Global().Counter("engine.failed_runs");
   static Histogram& run_us =
       MetricsRegistry::Global().GetHistogram("engine.run_us");
+  // A suspended query is parked, not failed: its prefix sits in a valid
+  // checkpoint file awaiting Resume.
+  const bool suspended = IsQuerySuspended(status);
   runs.Add();
-  if (!status.ok()) failed.Add();
+  if (!status.ok() && !suspended) failed.Add();
   run_us.Record(wall_us);
   if (!ticket.active()) return;
   CompletedQueryInfo done = ticket.Finish(
-      status.ok(), status.ok() ? "OK" : StatusCodeName(status.code()));
+      status.ok() || suspended,
+      status.ok() ? "OK"
+                  : (suspended ? "Suspended" : StatusCodeName(status.code())));
   MetricsRegistry& metrics = MetricsRegistry::Global();
   metrics.Observe("engine.rows", static_cast<double>(done.rows));
   metrics.Observe("engine.pages", static_cast<double>(done.pages));
@@ -127,6 +135,31 @@ bool EntryMatches(const PlanCacheEntry& entry, const ParameterizedQuery& pq) {
   if (entry.positions != pq.query.positions) return false;
   if (!entry.bindable && entry.bound_values != pq.params) return false;
   return true;
+}
+
+/// Where a suspension lands on disk: the caller-pinned path when one was
+/// given, otherwise a unique name under SEQ_CHECKPOINT_DIR. Every
+/// suspension in a multi-suspend chain gets a fresh auto name, so earlier
+/// checkpoints stay replayable.
+std::string CheckpointPathFor(const CheckpointConfig& ck, uint64_t query_id) {
+  if (!ck.path.empty()) return ck.path;
+  static std::atomic<uint64_t> next_seq{1};
+  const uint64_t seq = next_seq.fetch_add(1, std::memory_order_relaxed);
+  return DefaultCheckpointDir() + "/seq-q" + std::to_string(query_id) + "-" +
+         std::to_string(seq) + ".ckpt";
+}
+
+ResumeState ResumeStateFromImage(CheckpointImage&& image) {
+  ResumeState rs;
+  rs.probed = image.probed;
+  rs.watermark = image.watermark;
+  rs.next_index = image.next_index;
+  rs.chunks_done = image.chunks_done;
+  rs.chunk_len = image.chunk_len;
+  rs.op_state = std::move(image.op_state);
+  rs.rows = std::move(image.rows);
+  rs.stats = image.stats;
+  return rs;
 }
 
 }  // namespace
@@ -298,6 +331,12 @@ Result<QueryResult> Engine::RunWithOptionsImpl(
     QueryRegistry::Ticket& ticket) const {
   MetricsRegistry& metrics = MetricsRegistry::Global();
 
+  if (exec.checkpoint.enabled && sink) {
+    return Status::InvalidArgument(
+        "checkpointed runs cannot stream to a sink: rows already handed to "
+        "the sink could not be replayed from the checkpoint on resume");
+  }
+
   Query inlined = query;
   SEQ_ASSIGN_OR_RETURN(inlined.graph, InlineViews(query.graph, views_));
   OptimizerOptions opt_options = options_;
@@ -331,9 +370,15 @@ Result<QueryResult> Engine::RunWithOptionsImpl(
   // leak the aborted attempt's counters into the caller's totals.
   AccessStats attempt_stats;
   AccessStats* attempt = stats != nullptr ? &attempt_stats : nullptr;
+  // Checkpointed execution (profiled runs execute normally — a profile of
+  // a partial run would be misleading, and the trace requirement already
+  // forces the re-optimize path).
+  const bool checkpointed = exec.checkpoint.enabled && !profile;
   Result<QueryResult> result =
       profile ? executor.ExecuteProfiled(plan, &prof, attempt)
-              : executor.Execute(plan, attempt);
+      : checkpointed
+          ? RunCheckpointed(inlined, plan, opt_options, exec, attempt, ticket)
+          : executor.Execute(plan, attempt);
   // ExecuteProfiled resets the profile, so the trace is attached after.
   OptTrace trace = optimizer.trace();
   MorselPlan morsels;
@@ -388,6 +433,184 @@ Result<QueryResult> Engine::RunWithOptionsImpl(
     out.profile = std::move(prof);
   }
   return out;
+}
+
+Result<QueryResult> Engine::RunCheckpointed(
+    const Query& inlined, const PhysicalPlan& plan,
+    const OptimizerOptions& opt_options, const ExecOptions& exec,
+    AccessStats* stats, QueryRegistry::Ticket& ticket) const {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  ExecOptions run_exec = exec;
+  SuspendCapture capture;
+  run_exec.checkpoint.capture = &capture;
+  // The `.suspend <id>` flag lives on the registry entry; adopt it when the
+  // caller did not supply a request flag of their own.
+  if (run_exec.checkpoint.request == nullptr &&
+      ticket.telemetry() != nullptr) {
+    run_exec.checkpoint.request = &ticket.telemetry()->suspend_requested;
+  }
+  // Register as preemptible for the duration of the run: under
+  // admission-queue pressure the scheduler flags the lowest-priority
+  // checkpointable runner, and the executor notices at the next chunk
+  // boundary.
+  QueryScheduler::Preemption preemption;
+  if (run_exec.checkpoint.preempt == nullptr) {
+    preemption =
+        QueryScheduler::Global().RegisterPreemptible(run_exec.priority);
+    run_exec.checkpoint.preempt = preemption.flag();
+  }
+
+  ResumeState park_resume;  // reloaded state across an in-place park
+  for (;;) {
+    Executor executor(catalog_, opt_options.cost_params, run_exec);
+    Result<QueryResult> result = executor.ExecuteCheckpointed(plan, stats);
+    if (!result.ok() || !capture.suspended) return result;
+
+    // Suspended at a chunk boundary: persist the complete prefix.
+    const std::string path =
+        CheckpointPathFor(run_exec.checkpoint, ticket.id());
+    CheckpointImage image;
+    image.catalog_version = catalog_.version();
+    image.options_fingerprint = FingerprintOptimizerOptions(options_);
+    image.plan_signature = ParameterizeQuery(inlined).signature;
+    Result<std::string> text = UnparseQuery(*inlined.graph);
+    if (!text.ok()) return text.status();
+    image.query_text = std::move(text).value();
+    image.probed = capture.probed;
+    image.has_range = inlined.range.has_value();
+    if (image.has_range) {
+      image.span_start = inlined.range->start;
+      image.span_end = inlined.range->end;
+    }
+    image.positions = inlined.positions;
+    image.position_sequence = inlined.position_sequence;
+    image.watermark = capture.watermark;
+    image.next_index = capture.next_index;
+    image.chunks_done = capture.chunks_done;
+    image.chunk_len = capture.chunk_len;
+    image.stats = capture.stats;
+    image.rows = std::move(capture.rows);
+    image.op_state = std::move(capture.op_state);
+    Status written = SaveCheckpoint(
+        image, path, CheckpointWriteFaultHook(run_exec.fault_injector));
+    if (!written.ok()) {
+      metrics.Add("engine.checkpoints.write_failures");
+      return written;
+    }
+    metrics.Add("engine.checkpoints.written");
+
+    if (capture.reason != SuspendReason::kScheduler) {
+      return MakeQuerySuspended(path, capture.reason);
+    }
+
+    // Scheduler preemption: park in place. Chunk admissions are per chunk,
+    // so no slot is held here — wait in the admission queue at our own
+    // priority and continue only once this query would be admitted again.
+    metrics.Add("engine.checkpoints.parked");
+    ticket.set_state(QueryState::kSuspended);
+    QueryScheduler::AdmitRequest readmit;
+    readmit.priority = run_exec.priority;
+    readmit.timeout_ms = run_exec.admission_timeout_ms;
+    readmit.cancel = run_exec.guards.cancel;
+    Result<QueryScheduler::Admission> slot =
+        QueryScheduler::Global().Admit(readmit);
+    if (!slot.ok()) {
+      // Could not re-admit (timeout / cancelled): leave the query parked —
+      // the checkpoint stays on disk for a later Resume.
+      return MakeQuerySuspended(path, capture.reason);
+    }
+    slot.value().Release();  // only waited for the turn; chunks re-admit
+    preemption.Rearm();
+
+    // Honest roundtrip: continue from the file just written, exactly as a
+    // fresh process would.
+    Result<CheckpointImage> loaded = LoadCheckpoint(
+        path, CheckpointReadFaultHook(run_exec.fault_injector));
+    if (!loaded.ok()) {
+      metrics.Add("engine.checkpoints.resume_failures");
+      return loaded.status();
+    }
+    metrics.Add("engine.checkpoints.resumed");
+    park_resume = ResumeStateFromImage(std::move(loaded).value());
+    run_exec.checkpoint.resume = &park_resume;
+    ticket.set_state(QueryState::kExecuting);
+  }
+}
+
+Result<QueryResult> Engine::Resume(const std::string& checkpoint_path,
+                                   const RunOptions& opts) const {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  if (opts.profile || opts.sink) {
+    return Status::InvalidArgument(
+        "Resume cannot profile or stream to a sink: the suspended prefix is "
+        "replayed from the checkpoint, not re-executed");
+  }
+  Result<CheckpointImage> loaded = LoadCheckpoint(
+      checkpoint_path, CheckpointReadFaultHook(opts.exec.fault_injector));
+  if (!loaded.ok()) {
+    metrics.Add("engine.checkpoints.resume_failures");
+    return loaded.status();
+  }
+  CheckpointImage image = std::move(loaded).value();
+
+  // The validity tuple, checked with precise reasons: a stale checkpoint
+  // must never resume against an engine it no longer matches.
+  if (image.catalog_version != catalog_.version()) {
+    metrics.Add("engine.checkpoints.resume_failures");
+    return Status::FailedPrecondition(
+        "checkpoint '" + checkpoint_path + "' is stale: catalog version " +
+        std::to_string(image.catalog_version) + " at suspend, " +
+        std::to_string(catalog_.version()) + " now");
+  }
+  const std::string fingerprint = FingerprintOptimizerOptions(options_);
+  if (image.options_fingerprint != fingerprint) {
+    metrics.Add("engine.checkpoints.resume_failures");
+    return Status::FailedPrecondition(
+        "checkpoint '" + checkpoint_path +
+        "' is stale: optimizer-options fingerprint " +
+        image.options_fingerprint + " at suspend, " + fingerprint + " now");
+  }
+  Result<ParsedProgram> program = ParseSequin(image.query_text);
+  if (!program.ok() || program.value().main == nullptr) {
+    metrics.Add("engine.checkpoints.resume_failures");
+    return Status::DataLoss("checkpoint '" + checkpoint_path +
+                            "' carries an unparseable query: " +
+                            (program.ok() ? "no main statement"
+                                          : program.status().message()));
+  }
+
+  Query query;
+  query.graph = program.value().main;
+  if (image.has_range) {
+    query.range = Span::Of(image.span_start, image.span_end);
+  }
+  query.positions = image.positions;
+  query.position_sequence = image.position_sequence;
+
+  // The stored text is already view-inlined, so re-planning here cannot
+  // pick up redefined views; the plan signature confirms the shape.
+  Query inlined = query;
+  Result<LogicalOpPtr> graph = InlineViews(query.graph, views_);
+  if (!graph.ok()) return graph.status();
+  inlined.graph = std::move(graph).value();
+  if (ParameterizeQuery(inlined).signature != image.plan_signature) {
+    metrics.Add("engine.checkpoints.resume_failures");
+    return Status::FailedPrecondition(
+        "checkpoint '" + checkpoint_path +
+        "' is stale: plan signature does not match the re-planned query "
+        "(the query graph or its driving range changed)");
+  }
+  metrics.Add("engine.checkpoints.resumed");
+
+  ResumeState resume = ResumeStateFromImage(std::move(image));
+  RunOptions run_opts = opts;
+  run_opts.exec.checkpoint.enabled = true;
+  run_opts.exec.checkpoint.resume = &resume;
+  return Run(query, run_opts);
+}
+
+bool Engine::RequestSuspend(uint64_t query_id) {
+  return QueryRegistry::Global().RequestSuspend(query_id);
 }
 
 Result<QueryResult> Engine::Run(const Query& query,

@@ -174,6 +174,25 @@ class Engine {
                               std::optional<Span> range = std::nullopt,
                               const RunOptions& opts = {}) const;
 
+  /// Resumes a query suspended to `checkpoint_path` (by a run with
+  /// RunOptions::exec.checkpoint.enabled — see docs/robustness.md).
+  /// Validates the checkpoint's validity tuple against this engine —
+  /// catalog version, optimizer-options fingerprint and plan signature
+  /// must all match, or the resume is rejected with FailedPrecondition
+  /// naming the mismatch. The query is re-planned from its stored text
+  /// (through the plan cache), re-rooted at the stored watermark, its
+  /// operator state restored, and run to completion — producing rows and
+  /// stats byte-identical to an uninterrupted checkpointed run. The
+  /// resumed run may itself suspend again (a new checkpoint file).
+  /// `opts.profile` and `opts.sink` must be unset.
+  Result<QueryResult> Resume(const std::string& checkpoint_path,
+                             const RunOptions& opts = {}) const;
+
+  /// Flags the live query `query_id` (a `.queries` id) for cooperative
+  /// suspension at its next chunk boundary. Only checkpoint-enabled runs
+  /// observe the flag; returns false when no such query is live.
+  static bool RequestSuspend(uint64_t query_id);
+
   /// Annotated logical graph plus the physical plan, as text.
   Result<std::string> Explain(const Query& query) const;
 
@@ -271,6 +290,20 @@ class Engine {
                                          const RowSink& sink,
                                          AccessStats* stats,
                                          QueryRegistry::Ticket& ticket) const;
+
+  /// The checkpointed execution driver behind Run (exec.checkpoint.enabled)
+  /// and Resume: drives Executor::ExecuteCheckpointed and, when a suspend
+  /// trigger fires at a chunk boundary, persists the capture as a
+  /// checkpoint file. User/cache-budget suspensions return the
+  /// query-suspended status carrying the file path; scheduler preemptions
+  /// park in place — write the file, release the slot, wait in the
+  /// admission queue, then resume from the file just written.
+  Result<QueryResult> RunCheckpointed(const Query& inlined,
+                                      const PhysicalPlan& plan,
+                                      const OptimizerOptions& opt_options,
+                                      const ExecOptions& exec,
+                                      AccessStats* stats,
+                                      QueryRegistry::Ticket& ticket) const;
 
   // Plan-cache plumbing (docs/execution.md, "plan cache") ------------------
 

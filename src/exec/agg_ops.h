@@ -42,7 +42,23 @@ class WindowAggCachedOp : public SeqOp {
   /// output position equals the serial run's.
   void set_carry(SeqOpPtr carry) { carry_ = std::move(carry); }
 
+  /// Checkpoint state: the live window verbatim. A resumed chunk built
+  /// without a carry subtree restores this instead of re-reading the
+  /// window-sized prefix, making the resume bit-identical (not merely
+  /// value-identical) to the uninterrupted run.
+  void SaveState(OpStateWriter* w) const override {
+    w->Tag(kCkptTag);
+    state_.SaveTo(w);
+    child_->SaveState(w);
+  }
+  bool RestoreState(OpStateReader* r) override {
+    return r->Tag(kCkptTag) && state_.RestoreFrom(r) &&
+           child_->RestoreState(r);
+  }
+
  private:
+  static constexpr uint8_t kCkptTag = 0xA1;
+
   void Fill();
   // Re-syncs the shared cache-byte counter with the window's current
   // footprint; false (with the degradation signal raised) when the
@@ -91,7 +107,21 @@ class RunningAggOp : public SeqOp {
   /// the running state at Open. See WindowAggCachedOp::set_carry.
   void set_carry(SeqOpPtr carry) { carry_ = std::move(carry); }
 
+  /// Checkpoint state: the running accumulators verbatim (see
+  /// WindowAggCachedOp::SaveState).
+  void SaveState(OpStateWriter* w) const override {
+    w->Tag(kCkptTag);
+    state_.SaveTo(w);
+    child_->SaveState(w);
+  }
+  bool RestoreState(OpStateReader* r) override {
+    return r->Tag(kCkptTag) && state_.RestoreFrom(r) &&
+           child_->RestoreState(r);
+  }
+
  private:
+  static constexpr uint8_t kCkptTag = 0xA2;
+
   SeqOpPtr child_;
   SeqOpPtr carry_;
   AggFunc func_;

@@ -1,0 +1,206 @@
+#ifndef SEQ_EXEC_CHECKPOINT_H_
+#define SEQ_EXEC_CHECKPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/fault_injector.h"
+#include "storage/access_stats.h"
+#include "types/record.h"
+#include "types/value.h"
+
+namespace seq {
+
+// ---------------------------------------------------------------------------
+// Operator-state framing.
+//
+// A suspended query's live operator state (window contents, running
+// aggregate carries) is serialized into one opaque blob: each stateful
+// operator appends a tagged record in tree order during SaveState, and the
+// isomorphic tree built on resume consumes the records in the same order
+// during RestoreState. Tags are per-operator-class sanity checks — a blob
+// replayed into a differently-shaped tree fails loudly (DataLoss at the
+// engine), never silently misassigns state. Pass-through operators forward
+// to their children and write nothing, so the blob stays proportional to
+// the live aggregate state, which the streaming lower bounds say is small.
+// ---------------------------------------------------------------------------
+
+class OpStateWriter {
+ public:
+  void Tag(uint8_t t) { U8(t); }
+  void U8(uint8_t v) { blob_.push_back(static_cast<char>(v)); }
+  void I64(int64_t v) { AppendPod(v); }
+  void F64(double v) { AppendPod(v); }
+  void Val(const Value& v);
+
+  const std::string& blob() const { return blob_; }
+
+ private:
+  template <typename T>
+  void AppendPod(T v) {
+    blob_.append(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+  std::string blob_;
+};
+
+class OpStateReader {
+ public:
+  explicit OpStateReader(const std::string& blob) : blob_(blob) {}
+
+  /// Consumes one tag byte and checks it; false on mismatch or exhaustion.
+  bool Tag(uint8_t expect) {
+    uint8_t t = 0;
+    return U8(&t) && t == expect;
+  }
+  bool U8(uint8_t* v);
+  bool I64(int64_t* v);
+  bool F64(double* v);
+  bool Val(Value* v);
+
+  /// True once every byte has been consumed — restore must end exactly at
+  /// the blob's end, or the tree shape did not match the saved one.
+  bool Exhausted() const { return off_ == blob_.size(); }
+
+ private:
+  template <typename T>
+  bool ReadPod(T* v) {
+    if (blob_.size() - off_ < sizeof(T)) return false;
+    std::memcpy(v, blob_.data() + off_, sizeof(T));
+    off_ += sizeof(T);
+    return true;
+  }
+  const std::string& blob_;
+  size_t off_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Suspend/resume plumbing between Engine and Executor.
+// ---------------------------------------------------------------------------
+
+/// Why a checkpointed query left execution at a chunk boundary.
+enum class SuspendReason : uint8_t {
+  kUser = 0,      ///< explicit Suspend request (.suspend / RequestSuspend)
+  kScheduler,     ///< scheduler preemption under admission-queue pressure
+  kCacheBudget,   ///< max_cache_bytes tripped; parked instead of degraded
+};
+
+const char* SuspendReasonName(SuspendReason reason);
+
+/// Filled by the executor when a suspend trigger fires at a chunk
+/// boundary: everything the engine needs to persist a CheckpointImage.
+/// `rows`/`stats` are the COMPLETE prefix (including any prefix restored
+/// from an earlier checkpoint), so multi-suspend chains compose.
+struct SuspendCapture {
+  bool suspended = false;
+  SuspendReason reason = SuspendReason::kUser;
+  bool probed = false;
+  int64_t watermark = 0;    ///< stream: first output position not covered
+  int64_t next_index = 0;   ///< probed: first position-list index not covered
+  int64_t chunks_done = 0;
+  int64_t chunk_len = 0;    ///< the grid actually used (resume re-derives it)
+  std::string op_state;     ///< empty = rebuild via morsel carries on resume
+  std::vector<PosRecord> rows;
+  AccessStats stats;
+  /// Set when the plan shape cannot execute in chunks (suspend requests
+  /// are then ignored and the query runs to completion).
+  std::string not_chunkable_reason;
+};
+
+/// Loaded from a CheckpointImage by the engine and handed to the executor:
+/// execution continues at the watermark with the prefix pre-seeded.
+struct ResumeState {
+  bool probed = false;
+  int64_t watermark = 0;
+  int64_t next_index = 0;
+  int64_t chunks_done = 0;
+  int64_t chunk_len = 0;
+  std::string op_state;
+  std::vector<PosRecord> rows;
+  AccessStats stats;
+};
+
+/// Checkpointing knobs inside ExecOptions. When `enabled`, chunkable plans
+/// execute as a sequence of clip-span chunks with cooperative suspend
+/// points at every chunk boundary (docs/robustness.md); non-chunkable
+/// shapes run normally and never suspend. All pointers are owned by the
+/// caller and must outlive the execution.
+struct CheckpointConfig {
+  bool enabled = false;
+  /// Where the engine writes the checkpoint file when the run suspends.
+  /// Empty auto-generates a unique name under DefaultCheckpointDir().
+  /// (Read by the engine, not the executor.)
+  std::string path;
+  /// Chunk length in output positions (stream) or probe-list entries
+  /// (probed). 0 adopts SEQ_CHECKPOINT_CHUNK (default 1024). Boundaries
+  /// are snapped up into the plan's alignment class like morsel starts.
+  int64_t chunk = 0;
+  /// Deterministic test hook: request suspension after every k completed
+  /// chunks (0 = off).
+  int64_t suspend_every_chunks = 0;
+  /// Cooperative user suspend request, polled at chunk boundaries.
+  const std::atomic<bool>* request = nullptr;
+  /// Scheduler preemption token, polled at chunk boundaries.
+  const std::atomic<bool>* preempt = nullptr;
+  /// Park instead of degrading to the cache-free plan when an operator
+  /// cache trips max_cache_bytes: the tripping chunk is discarded and the
+  /// query suspends at the last completed boundary.
+  bool park_on_cache_budget = false;
+  /// Non-null: continue a suspended query instead of starting fresh.
+  ResumeState* resume = nullptr;
+  /// Receives the suspend point when a trigger fires; required when
+  /// `enabled`.
+  SuspendCapture* capture = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// The suspension signal.
+//
+// Mirrors the cache-budget degradation protocol (kCacheBudgetExceededPrefix
+// in exec_context.h): a suspended query surfaces as a recognizable status
+// carrying the checkpoint path, so sessions and tools can distinguish
+// "parked, resumable from <file>" from real failures.
+// ---------------------------------------------------------------------------
+
+inline constexpr const char* kQuerySuspendedPrefix =
+    "query suspended to checkpoint '";
+
+Status MakeQuerySuspended(const std::string& path, SuspendReason reason);
+
+bool IsQuerySuspended(const Status& status);
+
+/// The checkpoint path carried by a suspension status ("" if `status` is
+/// not one).
+std::string SuspendedCheckpointPath(const Status& status);
+
+// ---------------------------------------------------------------------------
+// Fault-injection hooks for the storage layer.
+//
+// SaveCheckpoint/LoadCheckpoint (src/storage) know nothing about the
+// executor's FaultInjector; these adapters poll the checkpoint-write /
+// checkpoint-read sites and convert a firing into the standard
+// injected-fault message — as DataLoss, because a torn or unreadable
+// checkpoint is data loss to the resuming caller, whatever tore it.
+// ---------------------------------------------------------------------------
+
+std::function<Status()> CheckpointWriteFaultHook(FaultInjector* faults);
+std::function<Status()> CheckpointReadFaultHook(FaultInjector* faults);
+
+// ---------------------------------------------------------------------------
+// Environment knobs (strict parsing; see docs/robustness.md).
+// ---------------------------------------------------------------------------
+
+/// SEQ_CHECKPOINT_DIR when set to an existing directory; otherwise "."
+/// (with one stderr warning when the variable is set but unusable).
+const std::string& DefaultCheckpointDir();
+
+/// SEQ_CHECKPOINT_CHUNK validated as an integer >= 64 (default 1024).
+int64_t DefaultCheckpointChunk();
+
+}  // namespace seq
+
+#endif  // SEQ_EXEC_CHECKPOINT_H_

@@ -37,6 +37,10 @@ class CollapseOp : public SeqOp {
   size_t ProbeBatch(std::span<const Position> positions,
                     RecordBatch* out) override;
   void Close() override { child_->Close(); }
+  void SaveState(OpStateWriter* w) const override { child_->SaveState(w); }
+  bool RestoreState(OpStateReader* r) override {
+    return child_->RestoreState(r);
+  }
 
  private:
   SeqOpPtr child_;
@@ -70,6 +74,10 @@ class ExpandOp : public SeqOp {
   std::optional<PosRecord> NextAtOrAfter(Position p) override;
   std::optional<Record> Probe(Position p) override;
   void Close() override { child_->Close(); }
+  void SaveState(OpStateWriter* w) const override { child_->SaveState(w); }
+  bool RestoreState(OpStateReader* r) override {
+    return child_->RestoreState(r);
+  }
 
  private:
   SeqOpPtr child_;

@@ -47,6 +47,13 @@ class ComposeLockstepOp : public SeqOp {
     left_->Close();
     right_->Close();
   }
+  void SaveState(OpStateWriter* w) const override {
+    left_->SaveState(w);
+    right_->SaveState(w);
+  }
+  bool RestoreState(OpStateReader* r) override {
+    return left_->RestoreState(r) && right_->RestoreState(r);
+  }
 
  private:
   std::optional<PosRecord> Advance(const Position* at_or_after);
@@ -88,6 +95,13 @@ class ComposeStreamProbeOp : public SeqOp {
     driver_->Close();
     other_->Close();
   }
+  void SaveState(OpStateWriter* w) const override {
+    driver_->SaveState(w);
+    other_->SaveState(w);
+  }
+  bool RestoreState(OpStateReader* r) override {
+    return driver_->RestoreState(r) && other_->RestoreState(r);
+  }
 
  private:
   std::optional<PosRecord> TryJoin(PosRecord d);
@@ -128,6 +142,13 @@ class ComposeProbeBothOp : public SeqOp {
   void Close() override {
     left_->Close();
     right_->Close();
+  }
+  void SaveState(OpStateWriter* w) const override {
+    left_->SaveState(w);
+    right_->SaveState(w);
+  }
+  bool RestoreState(OpStateReader* r) override {
+    return left_->RestoreState(r) && right_->RestoreState(r);
   }
 
  private:

@@ -584,7 +584,13 @@ SpineInfo AnalyzeSpine(const PhysNodePtr& node) {
 // before the clip counts as already fetched), and sequential aggregates on
 // a clipped morsel get an uncharged carry-in subtree as children[1]. Only
 // reached for shapes AnalyzeSpine approved.
-PhysNodePtr CloneForMorsel(const PhysNodePtr& node, Position lo, Position hi) {
+//
+// `with_carry = false` suppresses the carry-in subtrees: checkpointed
+// serial chunks restore aggregate state from the saved operator-state
+// blob instead of replaying the lead-in, so a carry clone would both
+// waste the replay and double-apply the prefix.
+PhysNodePtr CloneForMorsel(const PhysNodePtr& node, Position lo, Position hi,
+                           bool with_carry = true) {
   auto clone = std::make_shared<PhysNode>(*node);
   clone->required = node->required.Intersect(Span::Of(lo, hi));
   switch (node->op) {
@@ -595,13 +601,15 @@ PhysNodePtr CloneForMorsel(const PhysNodePtr& node, Position lo, Position hi) {
       break;
     case OpKind::kSelect:
     case OpKind::kProject:
-      clone->children[0] = CloneForMorsel(node->children[0], lo, hi);
+      clone->children[0] =
+          CloneForMorsel(node->children[0], lo, hi, with_carry);
       break;
     case OpKind::kPositionalOffset: {
       // out(p) = in(p + l).
       const Position clo = lo <= kMinPosition ? kMinPosition : lo + node->offset;
       const Position chi = hi >= kMaxPosition ? kMaxPosition : hi + node->offset;
-      clone->children[0] = CloneForMorsel(node->children[0], clo, chi);
+      clone->children[0] =
+          CloneForMorsel(node->children[0], clo, chi, with_carry);
       break;
     }
     case OpKind::kValueOffset:
@@ -613,8 +621,9 @@ PhysNodePtr CloneForMorsel(const PhysNodePtr& node, Position lo, Position hi) {
           node->window_kind != WindowKind::kRunning) {
         break;  // naive prober: probed child, shared untouched
       }
-      clone->children[0] = CloneForMorsel(node->children[0], lo, hi);
-      if (lo > kMinPosition) {
+      clone->children[0] =
+          CloneForMorsel(node->children[0], lo, hi, with_carry);
+      if (lo > kMinPosition && with_carry) {
         Position carry_lo;
         if (node->window_kind == WindowKind::kTrailing) {
           if (node->window <= 1) break;  // window of 1: no prior state
@@ -630,9 +639,11 @@ PhysNodePtr CloneForMorsel(const PhysNodePtr& node, Position lo, Position hi) {
     }
     case OpKind::kCompose:
       if (node->join_strategy == JoinStrategy::kStreamLeftProbeRight) {
-        clone->children[0] = CloneForMorsel(node->children[0], lo, hi);
+        clone->children[0] =
+            CloneForMorsel(node->children[0], lo, hi, with_carry);
       } else {
-        clone->children[1] = CloneForMorsel(node->children[1], lo, hi);
+        clone->children[1] =
+            CloneForMorsel(node->children[1], lo, hi, with_carry);
       }
       break;
     case OpKind::kCollapse: {
@@ -640,7 +651,8 @@ PhysNodePtr CloneForMorsel(const PhysNodePtr& node, Position lo, Position hi) {
       const int64_t f = node->offset;
       const Position clo = lo <= kMinPosition ? kMinPosition : lo * f;
       const Position chi = hi >= kMaxPosition ? kMaxPosition : hi * f + (f - 1);
-      clone->children[0] = CloneForMorsel(node->children[0], clo, chi);
+      clone->children[0] =
+          CloneForMorsel(node->children[0], clo, chi, with_carry);
       break;
     }
     case OpKind::kExpand: {
@@ -648,7 +660,8 @@ PhysNodePtr CloneForMorsel(const PhysNodePtr& node, Position lo, Position hi) {
       const int64_t f = node->offset;
       const Position clo = lo <= kMinPosition ? kMinPosition : FloorDiv(lo, f);
       const Position chi = hi >= kMaxPosition ? kMaxPosition : FloorDiv(hi, f);
-      clone->children[0] = CloneForMorsel(node->children[0], clo, chi);
+      clone->children[0] =
+          CloneForMorsel(node->children[0], clo, chi, with_carry);
       break;
     }
   }
@@ -848,6 +861,12 @@ Result<QueryResult> Executor::ExecuteParallel(const PhysicalPlan& plan,
                                               AccessStats* stats,
                                               OperatorProfile* root_profile)
     const {
+  return ExecuteParallelInner(plan, mp, stats, root_profile, nullptr);
+}
+
+Result<QueryResult> Executor::ExecuteParallelInner(
+    const PhysicalPlan& plan, const MorselPlan& mp, AccessStats* stats,
+    OperatorProfile* root_profile, const ChunkExtras* extras) const {
   const bool probed = plan.root_mode == AccessMode::kProbed;
   const bool probed_list = probed && !plan.positions.empty();
 
@@ -855,10 +874,15 @@ Result<QueryResult> Executor::ExecuteParallel(const PhysicalPlan& plan,
   // in the scheduler's queue counts toward max_wall_ms, so a query that
   // queues never gets more total wall time than an uncontended one. All
   // workers later arm the same instant, so the budget bounds the query,
-  // not each worker's skew.
+  // not each worker's skew. A checkpointed chunk inherits the deadline
+  // computed before chunk 0 — the wall budget spans the whole run, not
+  // each chunk.
   std::chrono::steady_clock::time_point deadline{};
-  const bool has_deadline = options_.guards.max_wall_ms > 0;
-  if (has_deadline) {
+  bool has_deadline = options_.guards.max_wall_ms > 0;
+  if (extras != nullptr) {
+    has_deadline = extras->has_deadline;
+    deadline = extras->deadline;
+  } else if (has_deadline) {
     deadline = std::chrono::steady_clock::now() +
                std::chrono::milliseconds(options_.guards.max_wall_ms);
   }
@@ -925,19 +949,26 @@ Result<QueryResult> Executor::ExecuteParallel(const PhysicalPlan& plan,
       units.push_back(std::move(u));
     }
   } else {
+    // A checkpointed chunk clips its outermost units at the chunk
+    // boundaries instead of leaving them open: a middle chunk must not
+    // re-read the lead-in or run into the tail.
+    const Position outer_lo = extras != nullptr ? extras->clip_lo : kMinPosition;
+    const Position outer_hi = extras != nullptr ? extras->clip_hi : kMaxPosition;
     for (size_t i = 0; i < mp.morsels.size(); ++i) {
       Unit u;
       u.emit = mp.morsels[i];
-      const Position lo = i == 0 ? kMinPosition : mp.morsels[i].start;
+      const Position lo = i == 0 ? outer_lo : mp.morsels[i].start;
       const Position hi =
-          i + 1 == mp.morsels.size() ? kMaxPosition : mp.morsels[i].end;
+          i + 1 == mp.morsels.size() ? outer_hi : mp.morsels[i].end;
       u.node = CloneForMorsel(plan.root, lo, hi);
       units.push_back(std::move(u));
     }
   }
   const size_t n_units = units.size();
 
-  if (telem != nullptr) {
+  // Registry morsel counts are owned by the chunk driver when this group
+  // runs one chunk of a checkpointed query (morsels_total = chunk count).
+  if (telem != nullptr && extras == nullptr) {
     telem->morsels_total.store(static_cast<int>(n_units),
                                std::memory_order_relaxed);
   }
@@ -971,6 +1002,13 @@ Result<QueryResult> Executor::ExecuteParallel(const PhysicalPlan& plan,
   }
 
   SharedGuardState shared;
+  if (extras != nullptr) {
+    // Whole-query budgets: rows and pages already spent by earlier chunks
+    // count against max_rows/max_pages, so a checkpointed run trips at
+    // exactly the same totals as an uninterrupted one.
+    shared.rows.store(extras->base_rows, std::memory_order_relaxed);
+    shared.pages.store(extras->base_pages, std::memory_order_relaxed);
+  }
 
   auto run_unit = [&](size_t ui) {
     const auto unit_start = std::chrono::steady_clock::now();
@@ -1114,7 +1152,7 @@ Result<QueryResult> Executor::ExecuteParallel(const PhysicalPlan& plan,
     root->Close();
     Status err = ctx.TakeError();
     if (!err.ok()) shared.Fail(std::move(err));
-    if (telem != nullptr) {
+    if (telem != nullptr && extras == nullptr) {
       telem->morsels_done.fetch_add(1, std::memory_order_relaxed);
     }
     morsel_counter.Add();
@@ -1571,6 +1609,471 @@ Result<QueryResult> Executor::ExecuteImpl(const PhysicalPlan& plan,
   root->Close();
   SEQ_RETURN_IF_ERROR(ctx.TakeError());
   SEQ_RETURN_IF_ERROR(guard_status);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointable execution (docs/robustness.md).
+//
+// A chunkable plan runs as a deterministic grid of clip-span chunks over
+// the SAME boundary-alignment rules as morsel planning. Between chunks the
+// driver polls the suspend triggers; a firing leaves the complete prefix
+// (rows, stats, operator-state blob, watermark) in the SuspendCapture for
+// the engine to persist. Resuming re-enters this function with the grid
+// parameters from the checkpoint, so an interrupted run replays the exact
+// chunk sequence — and therefore the exact floating-point charge order —
+// of an uninterrupted checkpointed run.
+//
+// Serial chunks carry aggregate state across boundaries by SaveState/
+// RestoreState injection (carry subtrees suppressed). Parallel chunks
+// (stream, batch, no fault injector) rebuild state per sub-morsel with
+// uncharged carries — the PR5 parity mechanism — and never save state.
+// Probed chunks always run serial: probes are stateless per position, so
+// rebuilding the tree per chunk charges nothing extra.
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> Executor::ExecuteCheckpointed(const PhysicalPlan& plan,
+                                                  AccessStats* stats) const {
+  const CheckpointConfig& ck = options_.checkpoint;
+  SEQ_CHECK_MSG(ck.capture != nullptr,
+                "ExecuteCheckpointed requires checkpoint.capture");
+  SuspendCapture* capture = ck.capture;
+  *capture = SuspendCapture{};
+
+  if (plan.root == nullptr) {
+    return Status::InvalidArgument("plan has no root");
+  }
+
+  // Plans whose shape cannot chunk run the normal path; suspend triggers
+  // are ignored and the reason is reported through the capture.
+  auto fallback = [&](std::string why) -> Result<QueryResult> {
+    capture->not_chunkable_reason = std::move(why);
+    return ExecuteImpl(plan, stats, nullptr);
+  };
+
+  const bool probed = plan.root_mode == AccessMode::kProbed;
+  const bool probed_list = probed && !plan.positions.empty();
+  const Span span = plan.output_span;
+
+  SpineInfo spine;
+  if (probed) {
+    std::string why;
+    if (!ProbedSafe(plan.root, &why)) return fallback(why);
+    if (!probed_list) {
+      if (span.IsEmpty()) return fallback("empty output span");
+      if (span.IsUnbounded()) return fallback("unbounded output span");
+    }
+  } else {
+    if (!plan.positions.empty()) {
+      return fallback("point-position stream plan does not chunk");
+    }
+    if (span.IsEmpty()) return fallback("empty output span");
+    if (span.IsUnbounded()) return fallback("unbounded output span");
+    spine = AnalyzeSpine(plan.root);
+    if (!spine.ok) return fallback(spine.reason);
+  }
+
+  // The chunk grid. A resumed run MUST reuse the original run's grid
+  // (stored chunk length, boundaries derived from the ORIGINAL span and
+  // snapped into the plan's alignment class): simulated-cost charges
+  // accumulate in floating point per batch, so only an identical boundary
+  // sequence reproduces an uninterrupted checkpointed run bit-for-bit.
+  const int64_t chunk_len =
+      ck.resume != nullptr && ck.resume->chunk_len > 0
+          ? ck.resume->chunk_len
+          : (ck.chunk > 0 ? ck.chunk : DefaultCheckpointChunk());
+
+  std::vector<Position> starts;  // span grids (stream + probed span walk)
+  size_t n_chunks;
+  if (probed_list) {
+    const int64_t n = static_cast<int64_t>(plan.positions.size());
+    n_chunks = static_cast<size_t>((n + chunk_len - 1) / chunk_len);
+  } else {
+    starts.push_back(span.start);
+    const int64_t len = span.Length();
+    const int64_t grid_points = (len + chunk_len - 1) / chunk_len;
+    for (int64_t k = 1; k < grid_points; ++k) {
+      Position b = span.start + k * chunk_len;
+      if (!probed && spine.modulus > 1) {
+        b += Mod(spine.phase - b, spine.modulus);
+      }
+      if (b <= starts.back()) continue;
+      if (b > span.end) break;
+      starts.push_back(b);
+    }
+    n_chunks = starts.size();
+  }
+
+  // Seed the prefix from a prior checkpoint. The wall-clock budget is
+  // armed fresh per run — a resumed query gets a full max_wall_ms again,
+  // documented in docs/robustness.md.
+  AccessStats total;
+  QueryResult result;
+  result.schema = plan.schema;
+  std::string blob;
+  size_t first_chunk = 0;
+  if (ck.resume != nullptr) {
+    ResumeState& rs = *ck.resume;
+    if (rs.probed != probed) {
+      return Status::FailedPrecondition(
+          "checkpoint access mode does not match the re-planned query");
+    }
+    if (probed_list) {
+      if (rs.next_index < 0 || rs.next_index % chunk_len != 0 ||
+          rs.next_index / chunk_len >= static_cast<int64_t>(n_chunks)) {
+        return Status::FailedPrecondition(
+            "checkpoint resume index " + std::to_string(rs.next_index) +
+            " does not lie on the chunk grid (chunk length " +
+            std::to_string(chunk_len) + ")");
+      }
+      first_chunk = static_cast<size_t>(rs.next_index / chunk_len);
+    } else {
+      size_t found = n_chunks;
+      for (size_t i = 0; i < n_chunks; ++i) {
+        if (starts[i] == rs.watermark) {
+          found = i;
+          break;
+        }
+      }
+      if (found == n_chunks) {
+        return Status::FailedPrecondition(
+            "checkpoint watermark " + std::to_string(rs.watermark) +
+            " does not lie on the chunk grid of " + span.ToString() +
+            " (chunk length " + std::to_string(chunk_len) + ")");
+      }
+      first_chunk = found;
+    }
+    total = rs.stats;
+    result.records = std::move(rs.rows);
+    blob = std::move(rs.op_state);
+  }
+
+  std::chrono::steady_clock::time_point deadline{};
+  const bool has_deadline = options_.guards.max_wall_ms > 0;
+  if (has_deadline) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(options_.guards.max_wall_ms);
+  }
+
+  const bool parallel_chunks = !probed && options_.parallelism > 1 &&
+                               options_.use_batch &&
+                               options_.fault_injector == nullptr;
+  const int workers = std::max(options_.parallelism, 1);
+
+  QueryTelemetry* telem = options_.telemetry;
+  if (telem != nullptr) {
+    telem->morsels_total.store(static_cast<int>(n_chunks),
+                               std::memory_order_relaxed);
+    telem->morsels_done.store(static_cast<int>(first_chunk),
+                              std::memory_order_relaxed);
+  }
+
+  // Whole-query budget check against the running totals plus the current
+  // chunk's charges, in the serial CheckGuards order (cancel, deadline,
+  // pages, rows) with the serial messages — so a checkpointed run trips
+  // at exactly the same point, with the same status, as a plain one.
+  auto over_budget = [&](ExecContext* ctx, const AccessStats& cs,
+                         size_t chunk_rows) -> Status {
+    Status g = ctx->CheckGuards(0);  // cancel + deadline
+    if (!g.ok()) return g;
+    if (options_.guards.max_pages > 0) {
+      const int64_t pages = total.stream_pages + total.probe_pages +
+                            cs.stream_pages + cs.probe_pages;
+      if (pages > options_.guards.max_pages) {
+        return Status::ResourceExhausted(
+            "query exceeded page-access budget of " +
+            std::to_string(options_.guards.max_pages) + " pages");
+      }
+    }
+    if (options_.guards.max_rows > 0) {
+      const int64_t rows =
+          static_cast<int64_t>(result.records.size() + chunk_rows);
+      if (rows > options_.guards.max_rows) {
+        return Status::ResourceExhausted(
+            "query exceeded row budget of " +
+            std::to_string(options_.guards.max_rows) + " rows");
+      }
+    }
+    return Status::OK();
+  };
+
+  // One serial chunk: chunk-local rows and charges merge into the running
+  // totals only when the chunk completes, so a failed or parked chunk
+  // leaves the prefix exactly at the last boundary.
+  auto run_chunk_serial = [&](size_t i) -> Status {
+    std::vector<PosRecord> rows;
+    AccessStats cs;
+    ExecContext ctx;
+    ctx.catalog = &catalog_;
+    ctx.stats = &cs;
+    ctx.params = params_;
+    ctx.faults = options_.fault_injector;
+    ctx.guards = options_.guards;
+    // Rows and pages are whole-query budgets enforced by over_budget; the
+    // context keeps cancel, the shared deadline and the cache budget.
+    ctx.guards.max_rows = 0;
+    ctx.guards.max_pages = 0;
+    if (has_deadline) ctx.ArmGuardsAt(deadline);
+
+    const bool inject = !probed && i > 0 && !blob.empty();
+    PhysNodePtr node = plan.root;
+    Span emit = Span::Empty();
+    if (!probed_list) {
+      emit = Span::Of(starts[i],
+                      i + 1 < n_chunks ? starts[i + 1] - 1 : span.end);
+    }
+    if (!probed) {
+      const Position clip_lo = i == 0 ? kMinPosition : emit.start;
+      const Position clip_hi = i + 1 == n_chunks ? kMaxPosition : emit.end;
+      // An injected chunk suppresses carry-in subtrees (state arrives from
+      // the blob); an empty blob past chunk 0 — a checkpoint written by a
+      // parallel run, or a stateless tree — rebuilds via carries instead.
+      node = CloneForMorsel(plan.root, clip_lo, clip_hi,
+                            /*with_carry=*/!inject);
+    }
+    SEQ_ASSIGN_OR_RETURN(SeqOpPtr root, Build(node, nullptr));
+    SEQ_RETURN_IF_ERROR(root->Open(&ctx));
+    if (inject) {
+      OpStateReader reader(blob);
+      if (!root->RestoreState(&reader) || !reader.Exhausted()) {
+        root->Close();
+        return Status::DataLoss(
+            "checkpoint operator state does not match the plan shape");
+      }
+    }
+    TelemetryReporter treport(telem, &cs);
+    Status guard_status;
+
+    if (!probed) {
+      if (options_.use_batch) {
+        RecordBatch batch(options_.batch_capacity);
+        while (root->NextBatch(&batch) > 0) {
+          if (ctx.failed()) break;
+          int64_t emitted = 0;
+          for (size_t bi = 0; bi < batch.size(); ++bi) {
+            if (batch.pos(bi) < emit.start || batch.pos(bi) > emit.end) {
+              continue;
+            }
+            rows.emplace_back();
+            PosRecord& pr = rows.back();
+            pr.pos = batch.pos(bi);
+            MoveRecordValues(pr.rec, batch.rec(bi));
+            ++emitted;
+          }
+          cs.records_output += emitted;
+          treport.Report(emitted);
+          guard_status = over_budget(&ctx, cs, rows.size());
+          if (!guard_status.ok()) break;
+        }
+      } else {
+        std::optional<PosRecord> r = root->NextAtOrAfter(emit.start);
+        while (r.has_value() && r->pos <= emit.end) {
+          if (ctx.failed()) break;
+          rows.push_back(std::move(*r));
+          ++cs.records_output;
+          treport.Report(1);
+          guard_status = over_budget(&ctx, cs, rows.size());
+          if (!guard_status.ok()) break;
+          r = root->Next();
+        }
+      }
+    } else if (options_.use_batch) {
+      RecordBatch batch(options_.batch_capacity);
+      auto probe_chunk = [&](std::span<const Position> chunk) {
+        const size_t n = root->ProbeBatch(chunk, &batch);
+        if (ctx.failed()) return false;
+        for (size_t bi = 0; bi < n; ++bi) {
+          rows.emplace_back();
+          PosRecord& pr = rows.back();
+          pr.pos = batch.pos(bi);
+          MoveRecordValues(pr.rec, batch.rec(bi));
+        }
+        cs.records_output += static_cast<int64_t>(n);
+        treport.Report(static_cast<int64_t>(n));
+        guard_status = over_budget(&ctx, cs, rows.size());
+        return guard_status.ok();
+      };
+      if (probed_list) {
+        std::span<const Position> all(plan.positions);
+        const size_t pos_begin = i * static_cast<size_t>(chunk_len);
+        const size_t pos_end =
+            std::min(all.size(), pos_begin + static_cast<size_t>(chunk_len));
+        for (size_t off = pos_begin; off < pos_end;
+             off += options_.batch_capacity) {
+          if (!probe_chunk(all.subspan(
+                  off, std::min(options_.batch_capacity, pos_end - off)))) {
+            break;
+          }
+        }
+      } else {
+        std::vector<Position> chunk;
+        chunk.reserve(options_.batch_capacity);
+        Position p = emit.start;
+        while (p <= emit.end) {
+          chunk.clear();
+          while (chunk.size() < options_.batch_capacity && p <= emit.end) {
+            chunk.push_back(p++);
+          }
+          if (!probe_chunk(chunk)) break;
+        }
+      }
+    } else {
+      auto probe_one = [&](Position p) {
+        std::optional<Record> r = root->Probe(p);
+        if (ctx.failed()) return false;
+        if (r.has_value()) {
+          rows.push_back(PosRecord{p, std::move(*r)});
+          ++cs.records_output;
+        }
+        treport.Report(r.has_value() ? 1 : 0);
+        guard_status = over_budget(&ctx, cs, rows.size());
+        return guard_status.ok();
+      };
+      if (probed_list) {
+        const size_t pos_begin = i * static_cast<size_t>(chunk_len);
+        const size_t pos_end = std::min(
+            plan.positions.size(), pos_begin + static_cast<size_t>(chunk_len));
+        for (size_t off = pos_begin; off < pos_end; ++off) {
+          if (!probe_one(plan.positions[off])) break;
+        }
+      } else {
+        for (Position p = emit.start; p <= emit.end; ++p) {
+          if (!probe_one(p)) break;
+        }
+      }
+    }
+
+    // Save operator state BEFORE Close: the next serial chunk (and any
+    // checkpoint written at the next boundary) restores from this blob.
+    std::string new_blob;
+    if (guard_status.ok() && !ctx.failed() && !probed) {
+      OpStateWriter writer;
+      root->SaveState(&writer);
+      new_blob = writer.blob();
+    }
+    root->Close();
+    SEQ_RETURN_IF_ERROR(ctx.TakeError());
+    SEQ_RETURN_IF_ERROR(guard_status);
+
+    total.Merge(cs);
+    result.records.reserve(result.records.size() + rows.size());
+    for (PosRecord& r : rows) result.records.push_back(std::move(r));
+    blob = std::move(new_blob);
+    return Status::OK();
+  };
+
+  // One parallel chunk: a mini morsel group over [starts[i], chunk end],
+  // sub-split in the plan's alignment class and cloned DIRECTLY from the
+  // original root — never from another clone, which would stack carry
+  // subtrees onto already-carried aggregates. Admission is re-acquired
+  // per chunk, so a checkpointed query naturally yields its slot between
+  // chunks.
+  auto run_chunk_parallel = [&](size_t i) -> Status {
+    const Position lo = starts[i];
+    const Position hi = i + 1 < n_chunks ? starts[i + 1] - 1 : span.end;
+    std::vector<Position> sub;
+    sub.push_back(lo);
+    const int64_t clen = hi - lo + 1;
+    const int64_t step = (clen + workers - 1) / workers;
+    for (int64_t k = 1; k < workers; ++k) {
+      Position b = lo + k * step;
+      if (spine.modulus > 1) b += Mod(spine.phase - b, spine.modulus);
+      if (b <= sub.back()) continue;
+      if (b > hi) break;
+      sub.push_back(b);
+    }
+    MorselPlan cmp;
+    cmp.parallel = true;
+    cmp.workers = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(workers), sub.size()));
+    cmp.reason = "checkpoint chunk";
+    cmp.morsels.reserve(sub.size());
+    for (size_t k = 0; k < sub.size(); ++k) {
+      const Position e = k + 1 < sub.size() ? sub[k + 1] - 1 : hi;
+      cmp.morsels.push_back(Span::Of(sub[k], e));
+    }
+
+    ChunkExtras extras;
+    extras.clip_lo = i == 0 ? kMinPosition : lo;
+    extras.clip_hi = i + 1 == n_chunks ? kMaxPosition : hi;
+    extras.base_rows = static_cast<int64_t>(result.records.size());
+    extras.base_pages = total.stream_pages + total.probe_pages;
+    extras.has_deadline = has_deadline;
+    extras.deadline = deadline;
+
+    AccessStats cs;
+    Result<QueryResult> r =
+        ExecuteParallelInner(plan, cmp, &cs, nullptr, &extras);
+    if (!r.ok()) return r.status();
+    total.Merge(cs);
+    QueryResult& qr = r.value();
+    result.records.reserve(result.records.size() + qr.records.size());
+    for (PosRecord& pr : qr.records) result.records.push_back(std::move(pr));
+    // Carries rebuild state at the next chunk; a blob from an earlier
+    // serial run is stale relative to the advancing watermark.
+    blob.clear();
+    return Status::OK();
+  };
+
+  // Suspend triggers are polled at chunk boundaries only, and never
+  // before the first chunk of a run — every run makes progress, so a
+  // suspend/resume chain always terminates.
+  auto want_suspend = [&](size_t i) -> std::optional<SuspendReason> {
+    if (i <= first_chunk) return std::nullopt;
+    if (ck.request != nullptr &&
+        ck.request->load(std::memory_order_acquire)) {
+      return SuspendReason::kUser;
+    }
+    if (ck.preempt != nullptr &&
+        ck.preempt->load(std::memory_order_acquire)) {
+      return SuspendReason::kScheduler;
+    }
+    if (ck.suspend_every_chunks > 0 &&
+        static_cast<int64_t>(i - first_chunk) % ck.suspend_every_chunks ==
+            0) {
+      return SuspendReason::kUser;
+    }
+    return std::nullopt;
+  };
+
+  auto fill_capture = [&](size_t i, SuspendReason reason) {
+    capture->suspended = true;
+    capture->reason = reason;
+    capture->probed = probed;
+    capture->watermark = probed_list ? 0 : starts[i];
+    capture->next_index = probed_list ? static_cast<int64_t>(i) * chunk_len : 0;
+    capture->chunks_done = static_cast<int64_t>(i);
+    capture->chunk_len = chunk_len;
+    capture->op_state = blob;
+    capture->rows = std::move(result.records);
+    capture->stats = total;
+  };
+
+  for (size_t i = first_chunk; i < n_chunks; ++i) {
+    if (std::optional<SuspendReason> why = want_suspend(i)) {
+      fill_capture(i, *why);
+      QueryResult suspended;
+      suspended.schema = plan.schema;
+      return suspended;
+    }
+    Status s = parallel_chunks ? run_chunk_parallel(i) : run_chunk_serial(i);
+    if (!s.ok()) {
+      if (ck.park_on_cache_budget && IsCacheBudgetExceeded(s)) {
+        // The tripping chunk's rows and charges were discarded above;
+        // park the query at its boundary instead of degrading.
+        fill_capture(i, SuspendReason::kCacheBudget);
+        QueryResult parked;
+        parked.schema = plan.schema;
+        return parked;
+      }
+      return s;
+    }
+    if (telem != nullptr) {
+      telem->morsels_done.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (stats != nullptr) stats->Merge(total);
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SEQ_EXEC_EXECUTOR_H_
 #define SEQ_EXEC_EXECUTOR_H_
 
+#include <chrono>
 #include <functional>
 #include <optional>
 #include <string>
@@ -9,6 +10,7 @@
 #include "catalog/catalog.h"
 #include "catalog/cost_params.h"
 #include "common/result.h"
+#include "exec/checkpoint.h"
 #include "exec/operator.h"
 #include "exec/scheduler.h"
 #include "obs/profile.h"
@@ -120,6 +122,12 @@ struct ExecOptions {
   /// per-query knobs so PreparedQuery/seqsh/benches thread it the same way
   /// as use_batch.
   bool use_plan_cache = DefaultUsePlanCache();
+  /// Operator-state checkpointing (docs/robustness.md): when enabled, the
+  /// engine drives the query through Executor::ExecuteCheckpointed, which
+  /// executes chunkable plans as a sequence of clip-span chunks with
+  /// cooperative suspend points at every chunk boundary. Plans whose shape
+  /// cannot chunk run normally and report why in the capture.
+  CheckpointConfig checkpoint;
 };
 
 /// How (and why) the executor decided to drive one plan: serial, or
@@ -180,6 +188,17 @@ class Executor {
   Result<SeqOpPtr> Build(const PhysNodePtr& node,
                          OperatorProfile* profile_parent = nullptr) const;
 
+  /// Checkpointable evaluation (docs/robustness.md): chunkable plans run
+  /// as a deterministic grid of clip-span chunks — the same rows, counters
+  /// and budget trips as Execute — polling the CheckpointConfig suspend
+  /// triggers at every chunk boundary. On suspension the complete prefix
+  /// (rows, stats, operator-state blob, watermark) is left in
+  /// options.checkpoint.capture and an empty result is returned; the
+  /// caller persists it and later resumes by re-running with
+  /// options.checkpoint.resume set. Requires options.checkpoint.capture.
+  Result<QueryResult> ExecuteCheckpointed(const PhysicalPlan& plan,
+                                          AccessStats* stats = nullptr) const;
+
   /// The morsel-parallelism decision for `plan` under these options:
   /// whether it runs parallel, with how many workers over which morsels,
   /// and why. Pure and deterministic — the engine calls it to record the
@@ -225,6 +244,28 @@ class Executor {
                                       const MorselPlan& morsels,
                                       AccessStats* stats,
                                       OperatorProfile* root_profile) const;
+
+  // Overrides applied when a morsel group executes ONE CHUNK of a
+  // checkpointed query rather than the whole plan: the outermost units are
+  // clipped at the chunk boundaries instead of left open (a middle chunk
+  // must not re-read the lead-in or run into the tail), whole-query row and
+  // page budgets start from what earlier chunks already spent, and the
+  // wall-clock deadline is the one computed before chunk 0, not a fresh
+  // one per chunk. Registry morsel telemetry is owned by the chunk driver.
+  struct ChunkExtras {
+    Position clip_lo = kMinPosition;
+    Position clip_hi = kMaxPosition;
+    int64_t base_rows = 0;
+    int64_t base_pages = 0;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  Result<QueryResult> ExecuteParallelInner(const PhysicalPlan& plan,
+                                           const MorselPlan& morsels,
+                                           AccessStats* stats,
+                                           OperatorProfile* root_profile,
+                                           const ChunkExtras* extras) const;
 
   const Catalog& catalog_;
   CostParams params_;

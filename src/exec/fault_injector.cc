@@ -10,6 +10,10 @@ const char* FaultSiteName(FaultSite site) {
       return "operator-open";
     case FaultSite::kExprEval:
       return "expr-eval";
+    case FaultSite::kCheckpointWrite:
+      return "checkpoint-write";
+    case FaultSite::kCheckpointRead:
+      return "checkpoint-read";
   }
   return "unknown";
 }

@@ -15,13 +15,19 @@ namespace seq {
 ///  * kOperatorOpen — an operator fails to initialize (allocation failure,
 ///                    missing resource) during plan Open;
 ///  * kExprEval     — a predicate/expression evaluation faults mid-stream
-///                    (the record-k error-propagation case).
+///                    (the record-k error-propagation case);
+///  * kCheckpointWrite — persisting a suspend checkpoint fails partway,
+///                    leaving a torn file on disk (power loss, full disk);
+///  * kCheckpointRead — reading a checkpoint back fails (bit rot, torn
+///                    page), exercising the DataLoss fail-closed path.
 enum class FaultSite : uint8_t {
   kPageRead = 0,
   kOperatorOpen,
   kExprEval,
+  kCheckpointWrite,
+  kCheckpointRead,
 };
-inline constexpr int kNumFaultSites = 3;
+inline constexpr int kNumFaultSites = 5;
 
 const char* FaultSiteName(FaultSite site);
 

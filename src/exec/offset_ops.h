@@ -42,6 +42,10 @@ class ValueOffsetOp : public SeqOp {
   size_t ProbeBatch(std::span<const Position> positions,
                     RecordBatch* out) override;
   void Close() override { child_->Close(); }
+  void SaveState(OpStateWriter* w) const override { child_->SaveState(w); }
+  bool RestoreState(OpStateReader* r) override {
+    return child_->RestoreState(r);
+  }
 
  private:
   // Pulls the child's next record into pending_ if empty.
@@ -106,6 +110,10 @@ class ValueOffsetNaiveOp : public SeqOp {
   size_t ProbeBatch(std::span<const Position> positions,
                     RecordBatch* out) override;
   void Close() override { child_->Close(); }
+  void SaveState(OpStateWriter* w) const override { child_->SaveState(w); }
+  bool RestoreState(OpStateReader* r) override {
+    return child_->RestoreState(r);
+  }
 
  private:
   std::optional<Record> Search(Position p);

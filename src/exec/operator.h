@@ -15,6 +15,9 @@
 
 namespace seq {
 
+class OpStateWriter;
+class OpStateReader;
+
 /// A physical operator. The paper's two access modes (§3.3) are the two
 /// halves of one interface:
 ///
@@ -118,6 +121,20 @@ class SeqOp {
   }
 
   virtual void Close() {}
+
+  /// Appends this subtree's live sequential state (window contents,
+  /// running-aggregate carries) to the checkpoint blob, in tree order.
+  /// Pass-through operators forward to their children; stateless leaves
+  /// write nothing — cursor positions are encoded by the resumed plan's
+  /// clip spans, not here. Called at a chunk boundary, after the chunk
+  /// drained and before Close.
+  virtual void SaveState(OpStateWriter*) const {}
+
+  /// Restores the state SaveState captured into a freshly Opened,
+  /// isomorphic tree (the resumed chunk's clone, built with the carry
+  /// rebuild suppressed). Returns false when the blob does not match this
+  /// tree's shape — the caller surfaces that as DataLoss, never a crash.
+  virtual bool RestoreState(OpStateReader*) { return true; }
 };
 
 /// Access-mode aliases kept for readability at construction sites: a

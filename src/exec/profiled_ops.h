@@ -128,6 +128,12 @@ class ProfiledOp : public SeqOp {
     inner_->Close();
   }
 
+  // Checkpoint traversal is transparent to profiling wrappers.
+  void SaveState(OpStateWriter* w) const override { inner_->SaveState(w); }
+  bool RestoreState(OpStateReader* r) override {
+    return inner_->RestoreState(r);
+  }
+
  private:
   SeqOpPtr inner_;
   OperatorProfile* prof_;

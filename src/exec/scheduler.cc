@@ -74,6 +74,15 @@ struct QueryScheduler::Waiter {
   bool granted = false;
 };
 
+/// One registered checkpoint-capable runner. The token is shared with the
+/// runner's Preemption handle (and through it with the executor's chunk
+/// loop), so a fired request stays visible after unregistration.
+struct QueryScheduler::PreemptEntry {
+  std::shared_ptr<std::atomic<bool>> token;
+  int priority = static_cast<int>(QueryPriority::kNormal);
+  uint64_t id = 0;
+};
+
 QueryScheduler::QueryScheduler()
     : target_workers_(DefaultSchedWorkers()),
       max_running_(std::max(2 * DefaultSchedWorkers(), 8)),
@@ -156,6 +165,9 @@ Result<QueryScheduler::Admission> QueryScheduler::Admit(
   wait_queue_.push_back(&waiter);
   ++queued_total_;
   queued_metric.Add();
+  // Queue pressure: ask a lower-priority checkpointable runner to park
+  // itself so this waiter's class makes progress.
+  RequestPreemptionLocked(waiter.priority);
 
   std::optional<std::chrono::steady_clock::time_point> timeout_at;
   int64_t effective_timeout_ms = 0;
@@ -226,6 +238,70 @@ void QueryScheduler::ReleaseSlot() {
   std::lock_guard<std::mutex> lock(mu_);
   --running_;
   GrantSlotsLocked();
+}
+
+QueryScheduler::Preemption& QueryScheduler::Preemption::operator=(
+    Preemption&& other) noexcept {
+  if (this != &other) {
+    Release();
+    scheduler_ = other.scheduler_;
+    token_ = std::move(other.token_);
+    id_ = other.id_;
+    other.scheduler_ = nullptr;
+    other.token_.reset();
+  }
+  return *this;
+}
+
+void QueryScheduler::Preemption::Release() {
+  if (scheduler_ != nullptr) {
+    scheduler_->UnregisterPreemptible(id_);
+    scheduler_ = nullptr;
+    token_.reset();
+  }
+}
+
+QueryScheduler::Preemption QueryScheduler::RegisterPreemptible(
+    QueryPriority priority) {
+  Preemption handle;
+  std::lock_guard<std::mutex> lock(mu_);
+  PreemptEntry entry;
+  entry.token = std::make_shared<std::atomic<bool>>(false);
+  entry.priority = static_cast<int>(priority);
+  entry.id = next_preempt_id_++;
+  handle.scheduler_ = this;
+  handle.token_ = entry.token;
+  handle.id_ = entry.id;
+  preemptible_.push_back(std::move(entry));
+  return handle;
+}
+
+void QueryScheduler::UnregisterPreemptible(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = preemptible_.begin(); it != preemptible_.end(); ++it) {
+    if (it->id == id) {
+      preemptible_.erase(it);
+      return;
+    }
+  }
+}
+
+void QueryScheduler::RequestPreemptionLocked(int waiter_priority) {
+  static MetricCounter& suspend_metric =
+      MetricsRegistry::Global().Counter("sched.suspend_requests");
+  PreemptEntry* victim = nullptr;
+  for (auto& entry : preemptible_) {
+    if (entry.priority >= waiter_priority) continue;  // strictly lower only
+    if (entry.token->load(std::memory_order_relaxed)) continue;  // asked
+    if (victim == nullptr || entry.priority < victim->priority ||
+        (entry.priority == victim->priority && entry.id < victim->id)) {
+      victim = &entry;
+    }
+  }
+  if (victim == nullptr) return;
+  victim->token->store(true, std::memory_order_release);
+  ++suspend_requests_;
+  suspend_metric.Add();
 }
 
 void QueryScheduler::GrantSlotsLocked() {
@@ -418,6 +494,8 @@ SchedulerStats QueryScheduler::Stats() const {
   stats.rejected_timeout = rejected_timeout_;
   stats.groups = groups_total_;
   stats.tasks = tasks_total_;
+  stats.preemptible = preemptible_.size();
+  stats.suspend_requests = suspend_requests_;
   return stats;
 }
 
@@ -446,6 +524,8 @@ std::string QueryScheduler::ToString() const {
       << "), rejected=" << s.rejected_queue_full << " queue-full + "
       << s.rejected_timeout << " timeout, groups=" << s.groups
       << ", tasks=" << s.tasks << "\n";
+  oss << "  preemption: " << s.preemptible << " registered runner(s), "
+      << s.suspend_requests << " suspend request(s)\n";
   return oss.str();
 }
 

@@ -55,6 +55,8 @@ struct SchedulerStats {
   int64_t rejected_timeout = 0;
   int64_t groups = 0;  ///< task groups (parallel queries) executed
   int64_t tasks = 0;   ///< individual tasks (morsel claims) dispatched
+  size_t preemptible = 0;       ///< checkpointable runners registered now
+  int64_t suspend_requests = 0;  ///< preemptions requested under pressure
 };
 
 /// The process-wide query scheduler: ONE shared worker pool executing the
@@ -137,6 +139,44 @@ class QueryScheduler {
   /// Cancelled. Immediate when a slot is free.
   Result<Admission> Admit(const AdmitRequest& request);
 
+  /// RAII registration of a checkpoint-capable (suspendable) running
+  /// query. While registered, the scheduler may set the flag when a
+  /// higher-priority query has to wait for an admission slot — the
+  /// runner is expected to suspend to a checkpoint at its next chunk
+  /// boundary and release its slot (docs/robustness.md).
+  class Preemption {
+   public:
+    Preemption() = default;
+    Preemption(Preemption&& other) noexcept { *this = std::move(other); }
+    Preemption& operator=(Preemption&& other) noexcept;
+    Preemption(const Preemption&) = delete;
+    Preemption& operator=(const Preemption&) = delete;
+    ~Preemption() { Release(); }
+
+    bool active() const { return scheduler_ != nullptr; }
+    /// The flag the executor polls at chunk boundaries
+    /// (CheckpointConfig::preempt).
+    const std::atomic<bool>* flag() const { return token_.get(); }
+    /// Clears a fired request so the runner can be preempted again after
+    /// it resumed.
+    void Rearm() {
+      if (token_ != nullptr) token_->store(false, std::memory_order_release);
+    }
+    void Release();
+
+   private:
+    friend class QueryScheduler;
+    QueryScheduler* scheduler_ = nullptr;
+    std::shared_ptr<std::atomic<bool>> token_;
+    uint64_t id_ = 0;
+  };
+
+  /// Registers the calling query (running at `priority`) as preemptible.
+  /// Under admission-queue pressure the scheduler picks the
+  /// lowest-priority registered runner whose class is strictly below the
+  /// waiter's and sets its flag.
+  Preemption RegisterPreemptible(QueryPriority priority);
+
   /// Runs `n_tasks` invocations of `task` (arguments 0..n_tasks-1) on the
   /// shared pool and returns when all have finished. At most `share_cap`
   /// workers run this group's tasks concurrently (the per-query fair
@@ -190,8 +230,13 @@ class QueryScheduler {
  private:
   struct TaskGroup;
   struct Waiter;
+  struct PreemptEntry;
 
   void ReleaseSlot();
+  void UnregisterPreemptible(uint64_t id);
+  /// Called when a waiter of class `waiter_priority` has to queue: flags
+  /// the best victim among the registered preemptible runners.
+  void RequestPreemptionLocked(int waiter_priority);
   void EnsureWorkersLocked();
   void WorkerLoop();
   /// True when some group has an unclaimed task and a free share slot.
@@ -228,6 +273,10 @@ class QueryScheduler {
   uint64_t next_arrival_ = 0;
   std::vector<Waiter*> wait_queue_;
 
+  // Preemptible (checkpoint-capable) runners (guarded by mu_).
+  std::vector<PreemptEntry> preemptible_;
+  uint64_t next_preempt_id_ = 1;
+
   // Monotonic totals (guarded by mu_; cheap, cold-path updates).
   int64_t admitted_ = 0;
   int64_t queued_total_ = 0;
@@ -235,6 +284,7 @@ class QueryScheduler {
   int64_t rejected_timeout_ = 0;
   int64_t groups_total_ = 0;
   int64_t tasks_total_ = 0;
+  int64_t suspend_requests_ = 0;
 };
 
 }  // namespace seq

@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "exec/checkpoint.h"
 #include "logical/scope.h"
+#include "optimizer/plan_template.h"
+#include "parser/parser.h"
+#include "parser/unparse.h"
+#include "storage/checkpoint_file.h"
 
 namespace seq {
+
+namespace {
+/// OpState tag framing the session's own durable state in the checkpoint
+/// blob (degradation flag + replay horizon; the frontier itself travels in
+/// the image's watermark field).
+constexpr uint8_t kStreamSessionStateTag = 0x5C;
+}  // namespace
 
 StreamSession::StreamSession(const Catalog* catalog, LogicalOpPtr graph,
                              OptimizerOptions options, int64_t max_lookback,
@@ -12,7 +24,8 @@ StreamSession::StreamSession(const Catalog* catalog, LogicalOpPtr graph,
     : catalog_(catalog),
       graph_(std::move(graph)),
       options_(std::move(options)),
-      exec_options_(exec_options) {
+      exec_options_(exec_options),
+      max_lookback_(max_lookback) {
   // Derive the replay window from the query's composed scope over its
   // leaves (Prop. 2.1): the farthest look-back of any bounded scope. The
   // evaluation itself is driven by exact required-span propagation, so
@@ -105,6 +118,71 @@ Result<std::vector<PosRecord>> StreamSession::Poll(AccessStats* stats) {
   SEQ_RETURN_IF_ERROR(result.status());
   high_water_ = frontier;
   return std::move(result.value().records);
+}
+
+Status StreamSession::Suspend(const std::string& checkpoint_path) const {
+  CheckpointImage image;
+  image.catalog_version = catalog_->version();
+  image.options_fingerprint = FingerprintOptimizerOptions(options_);
+  Query shape;
+  shape.graph = graph_;
+  image.plan_signature = ParameterizeQuery(shape).signature;
+  SEQ_ASSIGN_OR_RETURN(image.query_text, UnparseQuery(*graph_));
+  image.watermark = high_water_;
+  OpStateWriter writer;
+  writer.Tag(kStreamSessionStateTag);
+  writer.U8(degraded_ ? 1 : 0);
+  writer.I64(max_lookback_);
+  image.op_state = writer.blob();
+  return SaveCheckpoint(image, checkpoint_path);
+}
+
+Result<StreamSession> StreamSession::Resume(const Catalog* catalog,
+                                            const std::string& checkpoint_path,
+                                            OptimizerOptions options,
+                                            ExecOptions exec_options) {
+  SEQ_ASSIGN_OR_RETURN(CheckpointImage image,
+                       LoadCheckpoint(checkpoint_path));
+  if (image.catalog_version != catalog->version()) {
+    return Status::FailedPrecondition(
+        "checkpoint '" + checkpoint_path + "' is stale: catalog version " +
+        std::to_string(image.catalog_version) + " at suspend, " +
+        std::to_string(catalog->version()) + " now");
+  }
+  const std::string fingerprint = FingerprintOptimizerOptions(options);
+  if (image.options_fingerprint != fingerprint) {
+    return Status::FailedPrecondition(
+        "checkpoint '" + checkpoint_path +
+        "' is stale: optimizer-options fingerprint " +
+        image.options_fingerprint + " at suspend, " + fingerprint + " now");
+  }
+  Result<ParsedProgram> program = ParseSequin(image.query_text);
+  if (!program.ok() || program.value().main == nullptr) {
+    return Status::DataLoss("checkpoint '" + checkpoint_path +
+                            "' carries an unparseable query: " +
+                            (program.ok() ? "no main statement"
+                                          : program.status().message()));
+  }
+  Query shape;
+  shape.graph = program.value().main;
+  if (ParameterizeQuery(shape).signature != image.plan_signature) {
+    return Status::FailedPrecondition(
+        "checkpoint '" + checkpoint_path +
+        "' is stale: plan signature does not match the re-parsed query");
+  }
+  OpStateReader reader(image.op_state);
+  uint8_t degraded = 0;
+  int64_t max_lookback = 0;
+  if (!reader.Tag(kStreamSessionStateTag) || !reader.U8(&degraded) ||
+      !reader.I64(&max_lookback) || !reader.Exhausted()) {
+    return Status::DataLoss("checkpoint '" + checkpoint_path +
+                            "': corrupt stream-session state");
+  }
+  StreamSession session(catalog, program.value().main, std::move(options),
+                        max_lookback, exec_options);
+  session.high_water_ = image.watermark;
+  session.degraded_ = degraded != 0;
+  return session;
 }
 
 }  // namespace seq

@@ -45,6 +45,23 @@ class StreamSession {
   /// them), so late-arriving data on a lagging sequence is never missed.
   Result<std::vector<PosRecord>> Poll(AccessStats* stats = nullptr);
 
+  /// Persists the standing query and its emission frontier as a
+  /// checkpoint file (docs/robustness.md): the query text, the validity
+  /// tuple (catalog version, optimizer-options fingerprint, plan
+  /// signature) and the high-water mark / degradation flag. Base data is
+  /// NOT copied — it lives in the catalog's stores.
+  Status Suspend(const std::string& checkpoint_path) const;
+
+  /// Reconstructs a session from a Suspend() checkpoint against the same
+  /// catalog contents: validates the validity tuple (FailedPrecondition
+  /// with the precise mismatch otherwise), re-parses the query, and
+  /// restores the high-water mark — the next Poll() continues exactly
+  /// where the suspended session stopped.
+  static Result<StreamSession> Resume(const Catalog* catalog,
+                                      const std::string& checkpoint_path,
+                                      OptimizerOptions options = {},
+                                      ExecOptions exec_options = {});
+
   /// Output positions emitted so far (exclusive upper bound).
   Position high_water_mark() const { return high_water_; }
 
@@ -60,6 +77,7 @@ class StreamSession {
   LogicalOpPtr graph_;
   OptimizerOptions options_;
   ExecOptions exec_options_;
+  int64_t max_lookback_ = 1024;  ///< ctor horizon, persisted by Suspend
   int64_t lookback_ = 0;
   int64_t lead_ = 0;  // how far output may precede the earliest input
   Position high_water_ = kMinPosition;

@@ -34,6 +34,10 @@ class SelectOp : public SeqOp {
   size_t ProbeBatch(std::span<const Position> positions,
                     RecordBatch* out) override;
   void Close() override { child_->Close(); }
+  void SaveState(OpStateWriter* w) const override { child_->SaveState(w); }
+  bool RestoreState(OpStateReader* r) override {
+    return child_->RestoreState(r);
+  }
 
  private:
   size_t Filter(RecordBatch* out, size_t n);
@@ -78,6 +82,10 @@ class ProjectOp : public SeqOp {
   size_t ProbeBatch(std::span<const Position> positions,
                     RecordBatch* out) override;
   void Close() override { child_->Close(); }
+  void SaveState(OpStateWriter* w) const override { child_->SaveState(w); }
+  bool RestoreState(OpStateReader* r) override {
+    return child_->RestoreState(r);
+  }
 
  private:
   Record Map(Record in) const;
@@ -136,6 +144,10 @@ class PosOffsetOp : public SeqOp {
     return n;
   }
   void Close() override { child_->Close(); }
+  void SaveState(OpStateWriter* w) const override { child_->SaveState(w); }
+  bool RestoreState(OpStateReader* r) override {
+    return child_->RestoreState(r);
+  }
 
  private:
   SeqOpPtr child_;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "exec/checkpoint.h"
 #include "exec/exec_context.h"
 #include "logical/logical_op.h"
 #include "types/value.h"
@@ -78,6 +79,69 @@ class WindowState {
         window_.size() * sizeof(Entry) +
         (min_q_.size() + max_q_.size()) *
             sizeof(std::pair<Position, Value>));
+  }
+
+  /// Serializes the live window into a checkpoint blob. Accumulators
+  /// roundtrip as raw bits (I64/F64), so a restored state's future outputs
+  /// are bit-identical to the uninterrupted run's — including the ulp-level
+  /// effects of incremental double add/evict that a from-scratch rebuild
+  /// would not reproduce.
+  void SaveTo(OpStateWriter* w) const {
+    w->U8(static_cast<uint8_t>(func_));
+    w->U8(static_cast<uint8_t>(value_type_));
+    w->I64(count_);
+    w->I64(sum_i_);
+    w->F64(sum_d_);
+    w->I64(static_cast<int64_t>(window_.size()));
+    for (const Entry& e : window_) {
+      w->I64(e.pos);
+      w->I64(e.i);
+      w->F64(e.d);
+    }
+    w->I64(static_cast<int64_t>(min_q_.size()));
+    for (const auto& [pos, v] : min_q_) {
+      w->I64(pos);
+      w->Val(v);
+    }
+    w->I64(static_cast<int64_t>(max_q_.size()));
+    for (const auto& [pos, v] : max_q_) {
+      w->I64(pos);
+      w->Val(v);
+    }
+  }
+
+  /// Restores what SaveTo captured. False when the blob does not describe
+  /// a state of this function/type — the shape check that keeps a stale or
+  /// misrouted blob from silently corrupting aggregates.
+  bool RestoreFrom(OpStateReader* r) {
+    uint8_t func = 0;
+    uint8_t type = 0;
+    if (!r->U8(&func) || func != static_cast<uint8_t>(func_) ||
+        !r->U8(&type) || type != static_cast<uint8_t>(value_type_)) {
+      return false;
+    }
+    int64_t n = 0;
+    if (!r->I64(&count_) || !r->I64(&sum_i_) || !r->F64(&sum_d_) ||
+        !r->I64(&n) || n < 0) {
+      return false;
+    }
+    window_.clear();
+    for (int64_t k = 0; k < n; ++k) {
+      Entry e{0, 0, 0.0};
+      if (!r->I64(&e.pos) || !r->I64(&e.i) || !r->F64(&e.d)) return false;
+      window_.push_back(e);
+    }
+    for (std::deque<std::pair<Position, Value>>* q : {&min_q_, &max_q_}) {
+      if (!r->I64(&n) || n < 0) return false;
+      q->clear();
+      for (int64_t k = 0; k < n; ++k) {
+        Position pos = 0;
+        Value v;
+        if (!r->I64(&pos) || !r->Val(&v)) return false;
+        q->emplace_back(pos, std::move(v));
+      }
+    }
+    return true;
   }
 
   /// Aggregate of the live window. Requires count() > 0.

@@ -81,7 +81,18 @@ LogicalOpPtr LogicalOp::Project(LogicalOpPtr input,
   op->kind_ = OpKind::kProject;
   op->inputs_.push_back(std::move(input));
   op->columns_ = std::move(columns);
-  op->renames_ = std::move(renames);
+  // Canonical form: no renames at all is stored as an empty vector, never
+  // as a vector of empty strings. Plan signatures (and therefore checkpoint
+  // resume validation and plan-cache keys) compare the list verbatim, so
+  // the builder path and the parsed path must agree byte for byte.
+  bool any_rename = false;
+  for (const std::string& r : renames) {
+    if (!r.empty()) {
+      any_rename = true;
+      break;
+    }
+  }
+  if (any_rename) op->renames_ = std::move(renames);
   return op;
 }
 

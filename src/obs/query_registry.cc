@@ -12,6 +12,8 @@ const char* QueryStateName(QueryState state) {
       return "degraded";
     case QueryState::kQueued:
       return "queued";
+    case QueryState::kSuspended:
+      return "suspended";
   }
   return "unknown";
 }
@@ -156,6 +158,15 @@ std::vector<LiveQueryInfo> QueryRegistry::Live() const {
     out.push_back(std::move(info));
   }
   return out;
+}
+
+bool QueryRegistry::RequestSuspend(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  it->second->telemetry.suspend_requested.store(true,
+                                                std::memory_order_release);
+  return true;
 }
 
 std::vector<CompletedQueryInfo> QueryRegistry::Recent() const {

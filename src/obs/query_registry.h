@@ -19,12 +19,16 @@ namespace seq {
 /// graceful cache-free re-plan (docs/robustness.md); the query is still
 /// running. `kQueued` means the query is waiting in the process-wide
 /// scheduler's admission queue (docs/execution.md) for a slot to run its
-/// morsels on the shared worker pool.
+/// morsels on the shared worker pool. `kSuspended` means the query's
+/// operator state is parked in a checkpoint file while it waits to be
+/// readmitted (docs/robustness.md); the run is still live and resumes in
+/// place once a slot frees up.
 enum class QueryState {
   kOptimizing = 0,
   kExecuting = 1,
   kDegraded = 2,
   kQueued = 3,
+  kSuspended = 4,
 };
 
 const char* QueryStateName(QueryState state);
@@ -48,6 +52,10 @@ struct QueryTelemetry {
   /// True when the run executed a parameterized-plan-cache hit (the
   /// optimizer was skipped). Set once by the engine before execution.
   std::atomic<bool> plan_cached{false};
+  /// Cooperative suspend request (`.suspend <id>` / RequestSuspend): the
+  /// executor polls this at chunk boundaries when the run is
+  /// checkpoint-enabled, and ignores it otherwise.
+  std::atomic<bool> suspend_requested{false};
 };
 
 /// Point-in-time view of one live query.
@@ -134,6 +142,11 @@ class QueryRegistry {
 
   /// Live queries, in id (= start) order.
   std::vector<LiveQueryInfo> Live() const;
+
+  /// Flags the live query `id` for cooperative suspension at its next
+  /// chunk boundary. Returns false when no such query is live. Queries
+  /// running without checkpointing enabled never observe the flag.
+  bool RequestSuspend(uint64_t id);
 
   /// The completion ring, most recent first.
   std::vector<CompletedQueryInfo> Recent() const;

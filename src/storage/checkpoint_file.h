@@ -1,0 +1,87 @@
+#ifndef SEQ_STORAGE_CHECKPOINT_FILE_H_
+#define SEQ_STORAGE_CHECKPOINT_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/access_stats.h"
+#include "types/record.h"
+
+namespace seq {
+
+/// Everything needed to resume a suspended query in this or another
+/// process: the validity tuple that proves the checkpoint still matches
+/// the engine it is handed to, the logical query text (re-planned on
+/// resume through the normal plan-cache path), the driving range or
+/// position list with the resume watermark, the rows and stats already
+/// produced, and an opaque operator-state blob (empty = rebuild operator
+/// state from scratch via the morsel carry machinery).
+struct CheckpointImage {
+  // ---- Validity tuple (checked on Resume; mismatch = FailedPrecondition).
+  uint64_t catalog_version = 0;
+  std::string options_fingerprint;  ///< FingerprintOptimizerOptions
+  std::string plan_signature;       ///< ParameterizeQuery shape signature
+
+  // ---- The logical query and its driving access, exactly as the
+  // ---- original Query asked it (NOT the resolved output span): Resume
+  // ---- reconstructs the Query verbatim so the re-planned signature can
+  // ---- match the stored one.
+  std::string query_text;  ///< UnparseQuery of the view-inlined graph
+  bool probed = false;
+  bool has_range = false;  ///< the query carried an explicit range
+  int64_t span_start = 0;  ///< that explicit range (has_range only)
+  int64_t span_end = 0;
+  std::vector<int64_t> positions;   ///< explicit point-position list
+  std::string position_sequence;    ///< Fig. 6 Position Sequence name
+
+  // ---- Resume point.
+  int64_t watermark = 0;    ///< stream: first position NOT yet covered
+  int64_t next_index = 0;   ///< probed: first positions[] index not covered
+  int64_t chunks_done = 0;  ///< completed chunk count (diagnostics)
+  int64_t chunk_len = 0;    ///< chunk grid length; resume re-derives the
+                            ///< exact grid of the interrupted run
+
+  // ---- The prefix already produced before the suspend point.
+  AccessStats stats;
+  std::vector<PosRecord> rows;
+
+  // ---- Operator state (tagged records framed by OpStateWriter/Reader).
+  std::string op_state;
+};
+
+/// Persistence of CheckpointImage: a versioned little-endian single-file
+/// format with a whole-body FNV-1a checksum.
+///
+///   magic "SEQCKPT1"
+///   u32 format_version | u64 body_checksum | u64 body_size
+///   body:
+///     u64 catalog_version | str fingerprint | str signature | str query
+///     u8 probed | u8 has_range | i64 span_start | i64 span_end
+///     u64 n_positions { i64 }* | str position_sequence
+///     i64 watermark | i64 next_index | i64 chunks_done | i64 chunk_len
+///     stats (9 x i64, f64 simulated_cost)
+///     u64 n_rows { i64 pos, u32 n_values { u8 type, payload }* }*
+///     u64 op_state_len + bytes
+/// Values: int64 -> i64, double -> f64, bool -> u8, string -> u32 len +
+/// bytes (self-describing — a checkpoint carries no schema).
+///
+/// Every read failure — bad magic aside (InvalidArgument), truncation,
+/// checksum mismatch, implausible counts — is DataLoss: a torn or corrupt
+/// checkpoint must fail closed, never crash or resume with wrong rows.
+///
+/// `fault` hooks inject failures for robustness testing without a
+/// storage->exec dependency: when the hook returns non-OK, SaveCheckpoint
+/// truncates the file mid-body (a genuinely torn file stays on disk) and
+/// LoadCheckpoint abandons the read; both then return the hook's status.
+Status SaveCheckpoint(const CheckpointImage& image, const std::string& path,
+                      const std::function<Status()>& fault = {});
+
+Result<CheckpointImage> LoadCheckpoint(
+    const std::string& path, const std::function<Status()>& fault = {});
+
+}  // namespace seq
+
+#endif  // SEQ_STORAGE_CHECKPOINT_FILE_H_

@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "exec/checkpoint.h"
 #include "workload/generators.h"
 
 namespace seq {
@@ -461,6 +463,78 @@ TEST_F(BatchDifferentialTest, RowBudgetTripParityProbedRoot) {
         EXPECT_EQ(sres.status().ToString(), pres.status().ToString()) << label;
       } else {
         ExpectSameRows(*sres, *pres, label);
+      }
+    }
+  }
+}
+
+// Suspend/resume differential: a checkpointed run suspended at every k-th
+// chunk boundary and resumed to completion must reproduce the
+// uninterrupted checkpointed run exactly — rows and AccessStats — across
+// both driving modes, both root modes, and serial vs 4-worker execution.
+// Each intermediate checkpoint travels through its file, so the restored
+// prefix (rows, stats, operator carries) is what the parity checks see.
+TEST_F(BatchDifferentialTest, SuspendResumeParitySweep) {
+  const std::string path = ::testing::TempDir() + "batch_diff_suspend.ckpt";
+  struct Shape {
+    std::string name;
+    LogicalOpPtr graph;
+  };
+  const std::vector<Shape> shapes = {
+      {"window sum", SeqRef("s").Agg(AggFunc::kSum, "value", 7).Build()},
+      {"stock select", SeqRef("ibm")
+                           .Select(Gt(Col("close"), Col("open")))
+                           .Project({"close", "volume"})
+                           .Build()},
+  };
+  // Stream first, probed second: force_root_mode stays set once flipped.
+  for (bool probed_root : {false, true}) {
+    if (probed_root) {
+      engine_.options().force_root_mode = AccessMode::kProbed;
+    }
+    for (const Shape& shape : shapes) {
+      Query query;
+      query.graph = shape.graph;
+      query.range = Span::Of(1, 4000);
+      for (bool use_batch : {true, false}) {
+        for (int workers : {1, 4}) {
+          RunOptions opts;
+          opts.exec.use_batch = use_batch;
+          opts.exec.parallelism = workers;
+          if (workers > 1) opts.exec.morsel_size = 256;
+          opts.exec.checkpoint.enabled = true;
+          opts.exec.checkpoint.chunk = 512;
+          opts.exec.checkpoint.path = path;
+          const std::string ctx = shape.name +
+                                  (use_batch ? " [batch" : " [tuple") +
+                                  (probed_root ? ",probed" : ",stream") +
+                                  ",x" + std::to_string(workers) + "]";
+
+          AccessStats base_stats;
+          RunOptions base_opts = opts;
+          base_opts.stats = &base_stats;
+          auto base = engine_.Run(query, base_opts);
+          ASSERT_TRUE(base.ok()) << ctx << ": " << base.status().ToString();
+
+          for (int64_t k : {1, 3}) {
+            AccessStats stats;
+            RunOptions chain = opts;
+            chain.exec.checkpoint.suspend_every_chunks = k;
+            chain.stats = &stats;
+            auto r = engine_.Run(query, chain);
+            int suspensions = 0;
+            while (!r.ok() && IsQuerySuspended(r.status())) {
+              ASSERT_LT(++suspensions, 100) << ctx;
+              r = engine_.Resume(path, chain);
+            }
+            std::remove(path.c_str());
+            const std::string label = ctx + " k=" + std::to_string(k);
+            ASSERT_TRUE(r.ok()) << label << ": " << r.status().ToString();
+            EXPECT_GE(suspensions, 1) << label;
+            ExpectSameRows(*base, *r, label);
+            ExpectSameStats(base_stats, stats, label);
+          }
+        }
       }
     }
   }

@@ -15,10 +15,12 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "exec/checkpoint.h"
 #include "exec/exec_context.h"
 #include "exec/fault_injector.h"
 #include "exec/stream_session.h"
@@ -189,6 +191,101 @@ TEST_F(FaultMatrixTest, TriggerSweepAcrossShapesModesAndSites) {
           }
           run_opts_.exec.fault_injector = nullptr;
         }
+      }
+    }
+  }
+}
+
+TEST_F(FaultMatrixTest, CheckpointSiteTriggerSweep) {
+  // Checkpoint fault sites, same contract as the storage/operator sites:
+  // a fired kCheckpointWrite fails the suspending run closed and the torn
+  // file it leaves behind refuses to resume (DataLoss); a fired
+  // kCheckpointRead fails Resume closed (DataLoss). Armed-but-unfired
+  // injectors change nothing — the suspend/resume chain still reproduces
+  // the uninterrupted checkpointed run's rows and stats.
+  Query query;
+  query.graph = SeqRef("s").Agg(AggFunc::kAvg, "value", 8).Build();
+  query.range = Span::Of(0, 63);
+  const std::string path =
+      ::testing::TempDir() + "fault_matrix_checkpoint.ckpt";
+
+  for (bool use_batch : {true, false}) {
+    const std::string ctx = use_batch ? "[batch]" : "[tuple]";
+    RunOptions opts;
+    opts.exec.use_batch = use_batch;
+    opts.exec.checkpoint.enabled = true;
+    opts.exec.checkpoint.chunk = 8;
+    opts.exec.checkpoint.suspend_every_chunks = 1;
+    opts.exec.checkpoint.path = path;
+
+    AccessStats baseline_stats;
+    RunOptions baseline_opts = opts;
+    baseline_opts.exec.checkpoint.suspend_every_chunks = 0;
+    baseline_opts.stats = &baseline_stats;
+    Result<QueryResult> baseline = engine_.Run(query, baseline_opts);
+    ASSERT_TRUE(baseline.ok()) << ctx << ": " << baseline.status();
+
+    for (int64_t k : {int64_t{1}, int64_t{2}, int64_t{1000000000}}) {
+      {
+        FaultInjector injector(/*seed=*/42);
+        injector.ArmAfter(FaultSite::kCheckpointWrite, k);
+        AccessStats stats;
+        RunOptions attempt = opts;
+        attempt.exec.fault_injector = &injector;
+        attempt.stats = &stats;
+        std::string label =
+            ctx + " site=checkpoint-write k=" + std::to_string(k);
+        Result<QueryResult> r = engine_.Run(query, attempt);
+        int resumes = 0;
+        while (!r.ok() && IsQuerySuspended(r.status())) {
+          ASSERT_LT(++resumes, 100) << label;
+          r = engine_.Resume(path, attempt);
+        }
+        if (injector.fired() > 0) {
+          ASSERT_FALSE(r.ok()) << label;
+          EXPECT_NE(r.status().message().find("injected fault"),
+                    std::string::npos)
+              << label << ": " << r.status();
+          Result<QueryResult> torn = engine_.Resume(path);
+          ASSERT_FALSE(torn.ok()) << label;
+          EXPECT_EQ(torn.status().code(), StatusCode::kDataLoss) << label;
+        } else {
+          ASSERT_TRUE(r.ok()) << label << ": " << r.status();
+          ExpectSameRows(baseline.value(), r.value(), label);
+          ExpectSameStats(baseline_stats, stats, label);
+        }
+        std::remove(path.c_str());
+      }
+      {
+        // Suspend cleanly, then resume under an armed read fault; the
+        // resumed leg runs to completion so exactly one checkpoint read
+        // happens (k=1 fires, larger triggers stay armed-but-unfired).
+        Result<QueryResult> r = engine_.Run(query, opts);
+        ASSERT_TRUE(!r.ok() && IsQuerySuspended(r.status()))
+            << ctx << ": " << r.status();
+
+        FaultInjector injector(/*seed=*/42);
+        injector.ArmAfter(FaultSite::kCheckpointRead, k);
+        AccessStats stats;
+        RunOptions resume_opts = opts;
+        resume_opts.exec.fault_injector = &injector;
+        resume_opts.stats = &stats;
+        resume_opts.exec.checkpoint.suspend_every_chunks = 0;
+        std::string label =
+            ctx + " site=checkpoint-read k=" + std::to_string(k);
+        Result<QueryResult> resumed = engine_.Resume(path, resume_opts);
+        if (injector.fired() > 0) {
+          ASSERT_FALSE(resumed.ok()) << label;
+          EXPECT_EQ(resumed.status().code(), StatusCode::kDataLoss) << label;
+          EXPECT_NE(resumed.status().message().find("injected fault"),
+                    std::string::npos)
+              << label << ": " << resumed.status();
+        } else {
+          ASSERT_TRUE(resumed.ok()) << label << ": " << resumed.status();
+          ExpectSameRows(baseline.value(), resumed.value(), label);
+          ExpectSameStats(baseline_stats, stats, label);
+        }
+        std::remove(path.c_str());
       }
     }
   }
