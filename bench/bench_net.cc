@@ -1,0 +1,130 @@
+// Wire-protocol round-trip overhead: the same Session calls issued
+// in-process (LocalSession on the server's engine) and over a loopback
+// socket (RemoteSession against an in-process seqserved). The delta is
+// what the network layer costs — framing, row encode/decode, two thread
+// hops — as a function of result size. Small results measure the
+// per-request floor (one request frame, a handful of reply frames);
+// large results measure streaming row throughput. The Telemetry pair is
+// the pure protocol floor: a one-string round trip with no query work.
+
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/session.h"
+#include "net/remote_session.h"
+#include "net/server.h"
+#include "parser/parser.h"
+
+namespace seq {
+namespace {
+
+constexpr Position kSpanEnd = 10000;
+
+/// One server for the whole binary: a 10k-position stock series and the
+/// engine view `v` every benchmark queries through its bare name.
+struct NetBenchEnv {
+  SeqServer server;
+  int port = 0;
+
+  static NetBenchEnv& Get() {
+    static NetBenchEnv env;
+    return env;
+  }
+
+  NetBenchEnv() {
+    StockSeriesOptions options;
+    options.span = Span::Of(1, kSpanEnd);
+    options.density = 1.0;
+    options.seed = 17;
+    auto series = MakeStockSeries(options);
+    SEQ_CHECK(series.ok());
+    SEQ_CHECK(server.engine().RegisterBase("ibm", *series).ok());
+    auto graph = ParseSequinQuery("v = select(ibm, close > 0.0);");
+    SEQ_CHECK(graph.ok());
+    SEQ_CHECK(server.engine().DefineView("v", *graph).ok());
+    auto port_or = server.Start("127.0.0.1", 0);
+    SEQ_CHECK(port_or.ok());
+    port = *port_or;
+  }
+};
+
+std::unique_ptr<Session> MakeSession(bool remote) {
+  NetBenchEnv& env = NetBenchEnv::Get();
+  if (remote) {
+    auto session = RemoteSession::Connect("127.0.0.1", env.port);
+    SEQ_CHECK(session.ok());
+    return std::move(*session);
+  }
+  return std::make_unique<LocalSession>(&env.server.engine(),
+                                        &env.server.gate());
+}
+
+/// Execute the view over a range of `state.range(0)` positions — the
+/// range, not the data, scales the result, so local and remote answer
+/// the identical query.
+void RunExecute(benchmark::State& state, bool remote) {
+  std::unique_ptr<Session> session = MakeSession(remote);
+  session->range() = Span::Of(1, state.range(0));
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto reply = session->Execute("v;");
+    SEQ_CHECK(reply.ok());
+    rows += static_cast<int64_t>(reply->rows.size());
+    benchmark::DoNotOptimize(reply->rows);
+  }
+  state.SetItemsProcessed(rows);
+}
+
+void BM_Execute_Local(benchmark::State& state) { RunExecute(state, false); }
+void BM_Execute_Remote(benchmark::State& state) { RunExecute(state, true); }
+BENCHMARK(BM_Execute_Local)->Arg(16)->Arg(256)->Arg(4096)->Arg(kSpanEnd);
+BENCHMARK(BM_Execute_Remote)->Arg(16)->Arg(256)->Arg(4096)->Arg(kSpanEnd);
+
+/// Prepared-statement dispatch: optimization is paid once at Prepare, so
+/// the loop isolates bind + execute (+ the wire, remotely).
+void RunPrepared(benchmark::State& state, bool remote) {
+  std::unique_ptr<Session> session = MakeSession(remote);
+  session->range() = Span::Of(1, state.range(0));
+  auto id = session->Prepare("v;");
+  SEQ_CHECK(id.ok());
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto reply = session->ExecutePrepared(*id);
+    SEQ_CHECK(reply.ok());
+    rows += static_cast<int64_t>(reply->rows.size());
+    benchmark::DoNotOptimize(reply->rows);
+  }
+  state.SetItemsProcessed(rows);
+}
+
+void BM_Prepared_Local(benchmark::State& state) { RunPrepared(state, false); }
+void BM_Prepared_Remote(benchmark::State& state) { RunPrepared(state, true); }
+BENCHMARK(BM_Prepared_Local)->Arg(16)->Arg(4096);
+BENCHMARK(BM_Prepared_Remote)->Arg(16)->Arg(4096);
+
+/// The request floor: no parsing, no planning, no rows — one string in,
+/// one string out. Remote minus local is the raw frame round trip.
+void RunTelemetry(benchmark::State& state, bool remote) {
+  std::unique_ptr<Session> session = MakeSession(remote);
+  for (auto _ : state) {
+    auto text = session->Telemetry("plancache");
+    SEQ_CHECK(text.ok());
+    benchmark::DoNotOptimize(*text);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_Telemetry_Local(benchmark::State& state) {
+  RunTelemetry(state, false);
+}
+void BM_Telemetry_Remote(benchmark::State& state) {
+  RunTelemetry(state, true);
+}
+BENCHMARK(BM_Telemetry_Local);
+BENCHMARK(BM_Telemetry_Remote);
+
+}  // namespace
+}  // namespace seq
+
+SEQ_BENCH_MAIN(net)

@@ -1,11 +1,17 @@
 // seqsh — an interactive shell (and script runner) for the SEQ engine.
 //
-//   $ build/examples/seqsh            # REPL
-//   $ build/examples/seqsh script.seq # run a script
+//   $ build/examples/seqsh                      # REPL, private in-process engine
+//   $ build/examples/seqsh script.seq           # run a script
+//   $ build/examples/seqsh --connect host:port  # remote REPL against seqserved
+//
+// Every command goes through the Session facade (core/session.h), so local
+// and remote mode share one dispatch path: LocalSession embeds an engine in
+// this process, RemoteSession speaks the seqserved wire protocol — the
+// command set, output and error shapes are identical either way.
 //
 // Dot-commands manage the session; everything else is Sequin. Each Sequin
-// statement `name = expr;` defines a view; `.run name` (or entering a bare
-// name) evaluates it.
+// statement `name = expr;` defines a session view; `.run name` (or entering
+// a bare name) evaluates it.
 //
 //   .load <name> <file.csv> [poscol]   register a CSV file as a sequence
 //   .gen <name> <start> <end> <density> [seed]   synthetic stock series
@@ -40,21 +46,16 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <sstream>
 
 #include "common/string_util.h"
-#include "core/database_io.h"
-#include "core/engine.h"
+#include "core/session.h"
 #include "exec/checkpoint.h"
 #include "exec/scheduler.h"
-#include "obs/export.h"
-#include "obs/metrics.h"
-#include "obs/query_registry.h"
-#include "obs/slow_query_log.h"
-#include "parser/parser.h"
-#include "workload/csv.h"
-#include "workload/generators.h"
+#include "net/remote_session.h"
+#include "types/record.h"
 
 namespace {
 
@@ -78,6 +79,7 @@ constexpr const char* kHelp =
     "                                     latency histograms)\n"
     "  .queries                           live queries with rows/pages/worker\n"
     "                                     progress + recently completed ring\n"
+    "                                     (s<id> marks the owning session)\n"
     "  .plancache [stats]                 parameterized plan cache summary +\n"
     "                                     hottest shapes (SEQ_PLAN_CACHE,\n"
     "                                     SEQ_PLAN_CACHE_ENTRIES set defaults)\n"
@@ -122,14 +124,11 @@ constexpr const char* kHelp =
     "  .help                              this list\n"
     "  .quit\n";
 
-struct Session {
-  Engine engine;
-  std::optional<Span> range;
+/// Shell state around the Session facade: the session itself (local or
+/// remote) plus the client-side print limit.
+struct Shell {
+  std::unique_ptr<seq::Session> session;
   size_t limit = 10;
-  bool show_stats = false;
-  /// Session-level execution knobs (.limit/.timeout/.batch/.parallel); a
-  /// copy travels with every query instead of mutating engine-wide state.
-  RunOptions run_opts;
 };
 
 std::vector<std::string> Tokens(const std::string& line) {
@@ -154,132 +153,84 @@ std::optional<int64_t> ParseInt64(const std::string& s) {
   }
 }
 
-std::optional<double> ParseDouble(const std::string& s) {
-  try {
-    size_t used = 0;
-    double v = std::stod(s, &used);
-    if (used != s.size()) return std::nullopt;
-    return v;
-  } catch (const std::exception&) {
-    return std::nullopt;
+void PrintReply(const Shell& shell, const ExecuteReply& reply) {
+  if (!reply.text.empty()) {
+    std::cout << reply.text;
+    if (reply.text.back() != '\n') std::cout << "\n";
+  }
+  if (!reply.is_rows) return;
+  const size_t shown = std::min(shell.limit, reply.rows.size());
+  for (size_t i = 0; i < shown; ++i) {
+    std::cout << PosRecordToString(reply.rows[i], *reply.schema) << "\n";
+  }
+  if (reply.rows.size() > shown) {
+    std::cout << "... (" << reply.rows.size() << " records total)\n";
+  }
+  std::cout << "(" << reply.rows.size() << " records)\n";
+  if (reply.has_stats) {
+    std::cout << "stats: " << reply.stats.ToString() << "\n";
   }
 }
 
-void AnalyzeGraph(Session* session, const LogicalOpPtr& graph) {
-  Query q;
-  q.graph = graph;
-  q.range = session->range;
-  auto text = session->engine.ExplainAnalyze(q, session->run_opts);
-  if (!text.ok()) {
-    std::cout << "error: " << text.status() << "\n";
+void RunSequin(Shell* shell, const std::string& source) {
+  auto reply = shell->session->Execute(source);
+  if (!reply.ok()) {
+    std::cout << "error: " << reply.status() << "\n";
     return;
   }
-  std::cout << *text;
+  PrintReply(*shell, *reply);
 }
 
-void RunGraph(Session* session, const LogicalOpPtr& graph) {
-  AccessStats stats;
-  RunOptions opts = session->run_opts;
-  opts.stats = session->show_stats ? &stats : nullptr;
-  auto result = session->engine.Run(graph, session->range, opts);
-  if (!result.ok()) {
-    std::cout << "error: " << result.status() << "\n";
+/// Joins `args[from..]` into one Sequin statement, appending ';' when the
+/// caller typed a bare name (.run q / .explain q).
+std::string JoinStatement(const std::vector<std::string>& args, size_t from) {
+  std::string out;
+  for (size_t i = from; i < args.size(); ++i) {
+    if (!out.empty()) out += ' ';
+    out += args[i];
+  }
+  if (!out.empty() && out.back() != ';') out += ';';
+  return out;
+}
+
+/// Forwards a dot-command verbatim to Session::Command (dropping the dot)
+/// and prints the result or error.
+void ForwardCommand(Shell* shell, const std::vector<std::string>& args) {
+  std::vector<std::string> forwarded = args;
+  forwarded[0] = forwarded[0].substr(1);
+  auto out = shell->session->Command(forwarded);
+  if (!out.ok()) {
+    std::cout << "error: " << out.status() << "\n";
     return;
   }
-  std::cout << result->ToString(session->limit);
-  std::cout << "(" << result->records.size() << " records)\n";
-  if (session->show_stats) {
-    std::cout << "stats: " << stats.ToString() << "\n";
-  }
+  std::cout << *out;
 }
 
-Result<LogicalOpPtr> ResolveName(Session* session, const std::string& name) {
-  auto it = session->engine.views().find(name);
-  if (it != session->engine.views().end()) return it->second;
-  if (session->engine.catalog().Contains(name)) {
-    return LogicalOp::BaseRef(name);
+void PrintTelemetry(Shell* shell, const std::string& kind) {
+  auto out = shell->session->Telemetry(kind);
+  if (!out.ok()) {
+    std::cout << "error: " << out.status() << "\n";
+    return;
   }
-  return Status::NotFound("no sequence or view named '" + name + "'");
+  std::cout << *out;
 }
 
-void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
+void HandleDotCommand(Shell* shell, const std::vector<std::string>& args) {
   const std::string& cmd = args[0];
-  if (cmd == ".load" && args.size() >= 3) {
-    CsvOptions options;
-    if (args.size() >= 4) options.position_column = args[3];
-    auto store = LoadCsvSequence(args[2], options);
-    if (!store.ok()) {
-      std::cout << "error: " << store.status() << "\n";
-      return;
-    }
-    Status s = session->engine.RegisterBase(args[1], *store);
-    std::cout << (s.ok() ? "loaded " + args[1] + ": " +
-                               (*store)->DescribeMeta() + "\n"
-                         : "error: " + s.ToString() + "\n");
-  } else if (cmd == ".gen" && args.size() >= 5) {
-    auto start = ParseInt64(args[2]);
-    auto end = ParseInt64(args[3]);
-    auto density = ParseDouble(args[4]);
-    std::optional<int64_t> seed =
-        args.size() >= 6 ? ParseInt64(args[5]) : std::optional<int64_t>(0);
-    if (!start || !end || !density || !seed || *seed < 0) {
-      std::cout << "error: .gen expects numeric <start> <end> <density> "
-                   "[seed]\n";
-      return;
-    }
-    StockSeriesOptions options;
-    options.span = Span::Of(*start, *end);
-    options.density = *density;
-    if (args.size() >= 6) options.seed = static_cast<uint64_t>(*seed);
-    auto store = MakeStockSeries(options);
-    if (!store.ok()) {
-      std::cout << "error: " << store.status() << "\n";
-      return;
-    }
-    Status s = session->engine.RegisterBase(args[1], *store);
-    std::cout << (s.ok() ? "generated " + args[1] + ": " +
-                               (*store)->DescribeMeta() + "\n"
-                         : "error: " + s.ToString() + "\n");
-  } else if (cmd == ".list") {
-    for (const std::string& name :
-         session->engine.catalog().ListSequences()) {
-      auto entry = session->engine.catalog().Lookup(name);
-      std::cout << "  " << name << "  " << (*entry)->schema->ToString();
-      if ((*entry)->kind == CatalogEntry::Kind::kBase) {
-        std::cout << "  " << (*entry)->store->DescribeMeta();
-      } else {
-        std::cout << "  (constant)";
-      }
-      std::cout << "\n";
-    }
-    for (const auto& [name, graph] : session->engine.views()) {
-      std::cout << "  " << name << "  (view) = " << graph->Describe()
-                << "\n";
-    }
-  } else if (cmd == ".schema" && args.size() >= 2) {
-    auto entry = session->engine.catalog().Lookup(args[1]);
-    if (!entry.ok()) {
-      std::cout << "error: " << entry.status() << "\n";
-      return;
-    }
-    std::cout << (*entry)->schema->ToString() << "\n";
-    if ((*entry)->kind == CatalogEntry::Kind::kBase) {
-      std::cout << (*entry)->store->DescribeMeta() << "\n";
-      const auto& stats = (*entry)->store->column_stats();
-      for (size_t i = 0; i < stats.size(); ++i) {
-        std::cout << "  " << (*entry)->schema->field(i).name << ": "
-                  << stats[i].ToString() << "\n";
-      }
-    }
-  } else if (cmd == ".range" && args.size() >= 3) {
+  seq::Session& session = *shell->session;
+  ExecOptions& exec = session.options().exec;
+
+  // -- Client-side session knobs: mutate the per-session defaults that
+  //    travel with every query; no engine round trip.
+  if (cmd == ".range" && args.size() >= 3) {
     auto start = ParseInt64(args[1]);
     auto end = ParseInt64(args[2]);
     if (!start || !end) {
       std::cout << "error: .range expects numeric <start> <end>\n";
       return;
     }
-    session->range = Span::Of(*start, *end);
-    std::cout << "range " << session->range->ToString() << "\n";
+    session.range() = Span::Of(*start, *end);
+    std::cout << "range " << session.range()->ToString() << "\n";
   } else if (cmd == ".limit" && args.size() >= 2) {
     auto n = ParseInt64(args[1]);
     if (!n || *n < 0) {
@@ -288,9 +239,9 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
     }
     // Doubles as the row budget: the executor stops a query cleanly with
     // RESOURCE_EXHAUSTED once it produces more than this many rows.
-    session->limit = *n == 0 ? std::numeric_limits<size_t>::max()
-                             : static_cast<size_t>(*n);
-    session->run_opts.exec.guards.max_rows = *n;
+    shell->limit = *n == 0 ? std::numeric_limits<size_t>::max()
+                           : static_cast<size_t>(*n);
+    exec.guards.max_rows = *n;
     std::cout << "limit "
               << (*n == 0 ? std::string("off")
                           : std::to_string(*n) + " rows (also the row budget)")
@@ -304,105 +255,13 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
     }
     // Wall-clock budget: a query past the deadline stops cleanly with
     // DEADLINE_EXCEEDED at the next batch boundary. 0 disables.
-    session->run_opts.exec.guards.max_wall_ms = *ms;
+    exec.guards.max_wall_ms = *ms;
     std::cout << "timeout "
               << (*ms == 0 ? std::string("off") : std::to_string(*ms) + "ms")
               << "\n";
-  } else if (cmd == ".stats" && args.size() >= 2) {
-    session->show_stats = (args[1] == "on");
-  } else if (cmd == ".stats") {
-    std::cout << MetricsRegistry::Global().ToString();
-  } else if (cmd == ".queries") {
-    QueryRegistry& registry = QueryRegistry::Global();
-    const std::vector<LiveQueryInfo> live = registry.Live();
-    std::cout << live.size() << " live, " << registry.completed()
-              << " completed of " << registry.started() << " started\n";
-    for (const LiveQueryInfo& q : live) {
-      std::cout << "  #" << q.id << " [" << QueryStateName(q.state) << "] "
-                << q.rows << " rows, " << q.pages << " pages, " << q.workers
-                << " worker(s)";
-      if (q.morsels_total > 0) {
-        std::cout << ", morsels " << q.morsels_done << "/" << q.morsels_total;
-      }
-      if (q.queued_us > 0) {
-        std::cout << ", queued "
-                  << FormatDouble(static_cast<double>(q.queued_us) / 1000.0)
-                  << "ms";
-      }
-      std::cout << ", " << FormatDouble(static_cast<double>(q.elapsed_us) /
-                                        1000.0)
-                << "ms: " << q.text << "\n";
-    }
-    const std::vector<CompletedQueryInfo> recent = registry.Recent();
-    const size_t shown = std::min<size_t>(recent.size(), 10);
-    for (size_t i = 0; i < shown; ++i) {
-      const CompletedQueryInfo& q = recent[i];
-      std::cout << "  #" << q.id << " done [" << q.status
-                << (q.degraded ? ", degraded" : "") << "] " << q.rows
-                << " rows, " << q.pages << " pages, "
-                << FormatDouble(static_cast<double>(q.wall_us) / 1000.0)
-                << "ms";
-      if (q.queued_us > 0) {
-        std::cout << " (queued "
-                  << FormatDouble(static_cast<double>(q.queued_us) / 1000.0)
-                  << "ms)";
-      }
-      std::cout << ": " << q.text << "\n";
-    }
-    if (recent.size() > shown) {
-      std::cout << "  ... (" << recent.size() << " recent total)\n";
-    }
-  } else if (cmd == ".plancache" && args.size() >= 2 && args[1] == "on") {
-    PlanCache::Global().set_enabled(true);
-    std::cout << "plan cache on\n";
-  } else if (cmd == ".plancache" && args.size() >= 2 && args[1] == "off") {
-    // Disabling also drops every cached template; re-enabling starts cold.
-    PlanCache::Global().set_enabled(false);
-    std::cout << "plan cache off (entries dropped)\n";
-  } else if (cmd == ".plancache" && args.size() >= 2 && args[1] == "clear") {
-    PlanCache::Global().Clear();
-    std::cout << "plan cache cleared\n";
-  } else if (cmd == ".plancache" &&
-             (args.size() == 1 || args[1] == "stats")) {
-    std::cout << PlanCache::Global().ToString();
-  } else if (cmd == ".slowlog" && args.size() >= 2 && args[1] == "clear") {
-    SlowQueryLog::Global().Reset();
-    std::cout << "slow-query log cleared\n";
-  } else if (cmd == ".slowlog" && args.size() >= 3 &&
-             args[1] == "threshold") {
-    auto ms = ParseDouble(args[2]);
-    if (!ms) {
-      std::cout << "error: .slowlog threshold expects milliseconds (0 logs "
-                   "all queries, negative disables)\n";
-      return;
-    }
-    SlowQueryLog::Global().set_threshold_ms(*ms);
-    std::cout << "slow-query threshold " << FormatDouble(*ms) << "ms\n";
-  } else if (cmd == ".slowlog") {
-    std::cout << SlowQueryLog::Global().ToString();
-  } else if (cmd == ".metrics" && args.size() >= 2 &&
-             (args[1] == "prom" || args[1] == "json")) {
-    const TelemetrySnapshot snap = CaptureTelemetry();
-    std::string rendered =
-        args[1] == "prom" ? RenderPrometheus(snap) : RenderJson(snap);
-    if (args[1] == "json") rendered += "\n";
-    if (args.size() >= 3) {
-      std::ofstream out(args[2]);
-      if (!out) {
-        std::cout << "error: cannot open " << args[2] << "\n";
-        return;
-      }
-      out << rendered;
-      std::cout << "wrote " << args[2] << "\n";
-    } else {
-      std::cout << rendered;
-    }
-  } else if (cmd == ".help") {
-    std::cout << kHelp;
   } else if (cmd == ".batch" && args.size() >= 2) {
-    session->run_opts.exec.use_batch = (args[1] == "on");
-    std::cout << "batch driving "
-              << (session->run_opts.exec.use_batch ? "on" : "off") << "\n";
+    exec.use_batch = (args[1] == "on");
+    std::cout << "batch driving " << (exec.use_batch ? "on" : "off") << "\n";
   } else if (cmd == ".parallel" && args.size() >= 2) {
     auto n = ParseInt64(args[1]);
     if (!n || *n < 1) {
@@ -411,30 +270,9 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
     }
     // Morsel-driven intra-query parallelism; plans that cannot partition
     // fall back to serial (see .analyze for the decision).
-    session->run_opts.exec.parallelism = static_cast<int>(*n);
-    std::cout << "parallelism " << *n
-              << (*n == 1 ? " (serial)" : " workers") << "\n";
-  } else if (cmd == ".sched" && args.size() >= 3 && args[1] == "workers") {
-    auto n = ParseInt64(args[2]);
-    if (!n || *n < 1) {
-      std::cout << "error: .sched workers expects a thread count >= 1\n";
-      return;
-    }
-    QueryScheduler::Global().SetWorkers(static_cast<int>(*n));
-    std::cout << "scheduler workers " << QueryScheduler::Global().workers()
+    exec.parallelism = static_cast<int>(*n);
+    std::cout << "parallelism " << *n << (*n == 1 ? " (serial)" : " workers")
               << "\n";
-  } else if (cmd == ".sched" && args.size() >= 3 && args[1] == "limit") {
-    auto n = ParseInt64(args[2]);
-    if (!n || *n < 0) {
-      std::cout << "error: .sched limit expects a query count >= 0 "
-                   "(0 = unlimited)\n";
-      return;
-    }
-    QueryScheduler::Global().SetMaxRunning(static_cast<int>(*n));
-    std::cout << "scheduler limit "
-              << (*n == 0 ? std::string("off") : std::to_string(*n)) << "\n";
-  } else if (cmd == ".sched" && (args.size() == 1 || args[1] == "stats")) {
-    std::cout << QueryScheduler::Global().ToString();
   } else if (cmd == ".priority" && args.size() >= 2) {
     QueryPriority p;
     if (args[1] == "low") {
@@ -447,39 +285,79 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
       std::cout << "error: .priority expects low, normal or high\n";
       return;
     }
-    session->run_opts.exec.priority = p;
+    exec.priority = p;
     std::cout << "priority " << QueryPriorityName(p) << "\n";
-  } else if (cmd == ".checkpoint" && args.size() >= 3 &&
-             args[1] == "chunk") {
+  } else if (cmd == ".checkpoint" && args.size() >= 3 && args[1] == "chunk") {
     auto n = ParseInt64(args[2]);
     if (!n || *n < 0) {
       std::cout << "error: .checkpoint chunk expects a position count >= 0 "
                    "(0 = default)\n";
       return;
     }
-    session->run_opts.exec.checkpoint.chunk = *n;
+    exec.checkpoint.chunk = *n;
     std::cout << "checkpoint chunk "
               << (*n == 0 ? std::string("default (SEQ_CHECKPOINT_CHUNK)")
                           : std::to_string(*n) + " positions")
               << "\n";
-  } else if (cmd == ".checkpoint" && args.size() >= 3 &&
-             args[1] == "every") {
+  } else if (cmd == ".checkpoint" && args.size() >= 3 && args[1] == "every") {
     auto n = ParseInt64(args[2]);
     if (!n || *n < 0) {
       std::cout << "error: .checkpoint every expects a chunk count >= 0 "
                    "(0 = only on demand)\n";
       return;
     }
-    session->run_opts.exec.checkpoint.suspend_every_chunks = *n;
+    exec.checkpoint.suspend_every_chunks = *n;
     std::cout << "checkpoint every "
               << (*n == 0 ? std::string("on demand only")
                           : std::to_string(*n) + " chunk(s)")
               << "\n";
   } else if (cmd == ".checkpoint" && args.size() >= 2) {
-    session->run_opts.exec.checkpoint.enabled = (args[1] == "on");
+    exec.checkpoint.enabled = (args[1] == "on");
     std::cout << "checkpointed driving "
-              << (session->run_opts.exec.checkpoint.enabled ? "on" : "off")
-              << "\n";
+              << (exec.checkpoint.enabled ? "on" : "off") << "\n";
+  } else if (cmd == ".stats" && args.size() >= 2) {
+    session.set_collect_stats(args[1] == "on");
+  } else if (cmd == ".help") {
+    std::cout << kHelp;
+
+    // -- Telemetry reads: one snapshot request through the session.
+  } else if (cmd == ".stats") {
+    PrintTelemetry(shell, "metrics");
+  } else if (cmd == ".queries") {
+    PrintTelemetry(shell, "queries");
+  } else if (cmd == ".plancache" && (args.size() == 1 || args[1] == "stats")) {
+    PrintTelemetry(shell, "plancache");
+  } else if (cmd == ".slowlog" && args.size() == 1) {
+    PrintTelemetry(shell, "slowlog");
+  } else if (cmd == ".sched" && (args.size() == 1 || args[1] == "stats")) {
+    PrintTelemetry(shell, "sched");
+  } else if (cmd == ".metrics" && args.size() >= 2 &&
+             (args[1] == "prom" || args[1] == "json")) {
+    auto rendered = session.Telemetry(args[1]);
+    if (!rendered.ok()) {
+      std::cout << "error: " << rendered.status() << "\n";
+      return;
+    }
+    if (args.size() >= 3) {
+      std::ofstream out(args[2]);
+      if (!out) {
+        std::cout << "error: cannot open " << args[2] << "\n";
+        return;
+      }
+      out << *rendered;
+      std::cout << "wrote " << args[2] << "\n";
+    } else {
+      std::cout << *rendered;
+    }
+
+    // -- Query entry points: everything evaluates through
+    //    Session::Execute so local and remote share one path.
+  } else if (cmd == ".run" && args.size() >= 2) {
+    RunSequin(shell, JoinStatement(args, 1));
+  } else if (cmd == ".explain" && args.size() >= 2) {
+    RunSequin(shell, "explain " + JoinStatement(args, 1));
+  } else if (cmd == ".analyze" && args.size() >= 2) {
+    RunSequin(shell, "explain analyze " + JoinStatement(args, 1));
   } else if (cmd == ".suspend" && args.size() >= 2) {
     auto id = ParseInt64(args[1]);
     if (!id || *id < 1) {
@@ -489,16 +367,14 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
     }
     // Cooperative: sets the query's suspend flag; the engine parks it to a
     // checkpoint file at the next chunk boundary (checkpointed runs only).
-    if (Engine::RequestSuspend(static_cast<uint64_t>(*id))) {
+    Status s = session.Suspend(static_cast<uint64_t>(*id));
+    if (s.ok()) {
       std::cout << "suspend requested for query #" << *id << "\n";
     } else {
-      std::cout << "error: no live query #" << *id << "\n";
+      std::cout << "error: " << s << "\n";
     }
   } else if (cmd == ".resume" && args.size() >= 2) {
-    AccessStats stats;
-    RunOptions opts = session->run_opts;
-    opts.stats = session->show_stats ? &stats : nullptr;
-    auto result = session->engine.Resume(args[1], opts);
+    auto result = session.Resume(args[1]);
     if (!result.ok()) {
       if (IsQuerySuspended(result.status())) {
         // Suspended again before finishing (budget pressure or another
@@ -509,136 +385,40 @@ void HandleDotCommand(Session* session, const std::vector<std::string>& args) {
       }
       return;
     }
-    std::cout << result->ToString(session->limit);
-    std::cout << "(" << result->records.size() << " records)\n";
-    if (session->show_stats) {
-      std::cout << "stats: " << stats.ToString() << "\n";
-    }
-  } else if (cmd == ".explain" && args.size() >= 2) {
-    auto graph = ResolveName(session, args[1]);
-    if (!graph.ok()) {
-      std::cout << "error: " << graph.status() << "\n";
-      return;
-    }
-    Query q;
-    q.graph = *graph;
-    q.range = session->range;
-    auto text = session->engine.Explain(q);
-    std::cout << (text.ok() ? *text : "error: " + text.status().ToString())
-              << "\n";
-  } else if (cmd == ".analyze" && args.size() >= 2) {
-    auto graph = ResolveName(session, args[1]);
-    if (!graph.ok()) {
-      std::cout << "error: " << graph.status() << "\n";
-      return;
-    }
-    AnalyzeGraph(session, *graph);
-  } else if (cmd == ".run" && args.size() >= 2) {
-    auto graph = ResolveName(session, args[1]);
-    if (!graph.ok()) {
-      std::cout << "error: " << graph.status() << "\n";
-      return;
-    }
-    RunGraph(session, *graph);
-  } else if (cmd == ".materialize" && args.size() >= 3) {
-    auto graph = ResolveName(session, args[2]);
-    if (!graph.ok()) {
-      std::cout << "error: " << graph.status() << "\n";
-      return;
-    }
-    Status s = session->engine.Materialize(args[1], *graph, session->range);
-    if (!s.ok()) {
-      std::cout << "error: " << s << "\n";
-      return;
-    }
-    auto entry = session->engine.catalog().Lookup(args[1]);
-    std::cout << "materialized " << args[1] << ": "
-              << (*entry)->store->DescribeMeta() << "\n";
-  } else if (cmd == ".savedb" && args.size() >= 2) {
-    Status s = SaveDatabase(session->engine, args[1]);
-    std::cout << (s.ok() ? "saved database to " + args[1] + "\n"
-                         : "error: " + s.ToString() + "\n");
-  } else if (cmd == ".opendb" && args.size() >= 2) {
-    // Load into a fresh engine so a failed load leaves the session intact.
-    Engine fresh;
-    Status s = LoadDatabase(args[1], &fresh);
-    if (!s.ok()) {
-      std::cout << "error: " << s << "\n";
-      return;
-    }
-    session->engine = std::move(fresh);
-    std::cout << "opened " << args[1] << " ("
-              << session->engine.catalog().ListSequences().size()
-              << " sequences, " << session->engine.views().size()
-              << " views)\n";
-  } else if (cmd == ".save" && args.size() >= 3) {
-    auto entry = session->engine.catalog().Lookup(args[1]);
-    if (!entry.ok() || (*entry)->kind != CatalogEntry::Kind::kBase) {
-      std::cout << "error: no base sequence '" << args[1] << "'\n";
-      return;
-    }
-    std::ofstream out(args[2]);
-    out << SequenceToCsv(*(*entry)->store);
-    std::cout << "wrote " << args[2] << "\n";
+    PrintReply(*shell, *result);
+
+    // -- Admin commands: forwarded verbatim to Session::Command (local
+    //    and remote give identical results).
+  } else if ((cmd == ".load" || cmd == ".gen" || cmd == ".list" ||
+              cmd == ".schema" || cmd == ".materialize" || cmd == ".save" ||
+              cmd == ".savedb" || cmd == ".opendb" || cmd == ".plancache" ||
+              cmd == ".slowlog" || cmd == ".sched")) {
+    ForwardCommand(shell, args);
   } else {
     std::cout << "unknown or incomplete command: " << cmd << "\n";
   }
 }
 
-/// A Sequin fragment: define every statement as a view, then run the last.
-void HandleSequin(Session* session, const std::string& source) {
-  auto program = ParseSequin(source);
-  if (!program.ok()) {
-    std::cout << "parse error: " << program.status() << "\n";
-    return;
-  }
-  for (const std::string& name : program->order) {
-    // Re-defining interactively is convenient; views are immutable in the
-    // engine, so versioned definitions just pick fresh names.
-    Status s = session->engine.DefineView(name, program->definitions[name]);
-    if (!s.ok()) {
-      std::cout << "error: " << s << "\n";
-      return;
-    }
-    std::cout << "defined " << name << "\n";
-  }
-  switch (program->explain) {
-    case ExplainMode::kNone:
-      RunGraph(session, program->main);
-      break;
-    case ExplainMode::kExplain: {
-      Query q;
-      q.graph = program->main;
-      q.range = session->range;
-      auto text = session->engine.Explain(q);
-      std::cout << (text.ok() ? *text
-                              : "error: " + text.status().ToString())
-                << "\n";
-      break;
-    }
-    case ExplainMode::kExplainAnalyze:
-      AnalyzeGraph(session, program->main);
-      break;
-  }
-}
-
-int RunStream(Session* session, std::istream& in, bool interactive) {
+int RunStream(Shell* shell, std::istream& in, bool interactive) {
   std::string pending;
   std::string line;
   if (interactive) std::cout << "seq> " << std::flush;
   while (std::getline(in, line)) {
     std::string stripped(StripAsciiWhitespace(line));
+    // Comment lines outside a pending statement never join the buffer, so
+    // a leading comment cannot swallow the dot-commands after it.
+    if (pending.empty() && !stripped.empty() && stripped[0] == '#') continue;
     if (pending.empty() && !stripped.empty() && stripped[0] == '.') {
       std::vector<std::string> args = Tokens(stripped);
       if (args[0] == ".quit" || args[0] == ".exit") return 0;
-      HandleDotCommand(session, args);
+      HandleDotCommand(shell, args);
     } else if (!stripped.empty() || !pending.empty()) {
       pending += line;
       pending += "\n";
       // Execute once the fragment ends with ';'.
       std::string_view t = StripAsciiWhitespace(pending);
       if (!t.empty() && t.back() == ';') {
-        HandleSequin(session, pending);
+        RunSequin(shell, pending);
         pending.clear();
       }
     }
@@ -658,21 +438,62 @@ int RunStream(Session* session, std::istream& in, bool interactive) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Session session;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
-    if (!file) {
-      std::cerr << "cannot open " << argv[1] << "\n";
+  std::string connect;
+  std::string script;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "usage: seqsh [--connect host:port] [script.seq]\n";
+      return 1;
+    } else {
+      script = arg;
+    }
+  }
+
+  Shell shell;
+  if (connect.empty()) {
+    shell.session = std::make_unique<LocalSession>();
+  } else {
+    const size_t colon = connect.rfind(':');
+    std::optional<int64_t> port;
+    if (colon != std::string::npos) {
+      port = ParseInt64(connect.substr(colon + 1));
+    }
+    if (!port || *port < 1 || *port > 65535) {
+      std::cerr << "seqsh: --connect expects host:port, got '" << connect
+                << "'\n";
       return 1;
     }
-    return RunStream(&session, file, /*interactive=*/false);
+    auto remote = RemoteSession::Connect(connect.substr(0, colon),
+                                         static_cast<int>(*port));
+    if (!remote.ok()) {
+      std::cerr << "seqsh: " << remote.status().ToString() << "\n";
+      return 1;
+    }
+    shell.session = std::move(*remote);
   }
-  std::cout << "SEQ shell — sequence query processing (SIGMOD '94). "
-               "Dot-commands: .load .gen .list .schema .range .limit "
+
+  if (!script.empty()) {
+    std::ifstream file(script);
+    if (!file) {
+      std::cerr << "cannot open " << script << "\n";
+      return 1;
+    }
+    return RunStream(&shell, file, /*interactive=*/false);
+  }
+  std::cout << "SEQ shell — sequence query processing (SIGMOD '94)"
+            << (connect.empty() ? ""
+                                : " [connected to " + connect +
+                                      ", session s" +
+                                      std::to_string(shell.session->id()) +
+                                      "]")
+            << ". Dot-commands: .load .gen .list .schema .range .limit "
                ".timeout .explain .analyze .run .stats .queries .plancache "
                ".slowlog .metrics .batch .parallel .sched .priority "
                ".checkpoint .suspend .resume .materialize .save .savedb "
                ".opendb "
                ".help .quit\n";
-  return RunStream(&session, std::cin, /*interactive=*/true);
+  return RunStream(&shell, std::cin, /*interactive=*/true);
 }

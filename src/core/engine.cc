@@ -268,7 +268,7 @@ Result<Engine::PreparedQuery> Engine::Prepare(const Query& query) const {
   Query inlined = query;
   SEQ_ASSIGN_OR_RETURN(inlined.graph, InlineViews(query.graph, views_));
   Optimizer optimizer(catalog_, options_);
-  const bool use_cache = exec_options_.use_plan_cache &&
+  const bool use_cache = ExecOptions{}.use_plan_cache &&
                          inlined.graph != nullptr &&
                          PlanCache::Global().enabled();
   bool from_cache = false;
@@ -283,8 +283,8 @@ Result<Engine::PreparedQuery> Engine::Prepare(const Query& query) const {
     text = QueryDisplayText(query);
     digest = NormalizeQueryText(text);
   }
-  PreparedQuery prepared(&catalog_, options_.cost_params, exec_options_,
-                         std::move(plan), std::move(text), std::move(digest));
+  PreparedQuery prepared(&catalog_, options_.cost_params, std::move(plan),
+                         std::move(text), std::move(digest));
   prepared.plan_cached_ = from_cache;
   return prepared;
 }
@@ -309,7 +309,8 @@ Result<QueryResult> Engine::RunWithOptions(const Query& query,
   if (registry.enabled()) {
     std::string text = QueryDisplayText(query);
     std::string digest = NormalizeQueryText(text);
-    ticket = registry.Start(std::move(text), std::move(digest));
+    ticket = registry.Start(std::move(text), std::move(digest),
+                            exec.session_id);
   }
   ExecOptions run_exec = exec;
   run_exec.telemetry = ticket.telemetry();
@@ -643,26 +644,14 @@ Result<QueryResult> Engine::RunAt(const LogicalOpPtr& graph,
 }
 
 Result<QueryResult> Engine::Run(const Query& query, AccessStats* stats) const {
-  return RunWithOptions(query, exec_options_, /*profile=*/false, RowSink{},
+  return RunWithOptions(query, ExecOptions{}, /*profile=*/false, RowSink{},
                         stats);
-}
-
-Result<ProfiledQueryResult> Engine::RunProfiled(const Query& query,
-                                                AccessStats* stats) const {
-  SEQ_ASSIGN_OR_RETURN(
-      QueryResult run,
-      RunWithOptions(query, exec_options_, /*profile=*/true, RowSink{}, stats));
-  ProfiledQueryResult out;
-  out.profile = std::move(*run.profile);
-  run.profile.reset();
-  out.result = std::move(run);
-  return out;
 }
 
 Result<std::string> Engine::ExplainAnalyze(const Query& query) const {
   SEQ_ASSIGN_OR_RETURN(
       QueryResult run,
-      RunWithOptions(query, exec_options_, /*profile=*/true, RowSink{},
+      RunWithOptions(query, ExecOptions{}, /*profile=*/true, RowSink{},
                      nullptr));
   return run.profile->ToString();
 }
@@ -715,7 +704,7 @@ Result<QueryResult> Engine::PreparedQuery::Run(const RunOptions& opts) const {
   QueryRegistry& registry = QueryRegistry::Global();
   QueryRegistry::Ticket ticket;
   if (registry.enabled() && !text_.empty()) {
-    ticket = registry.Start(text_, digest_);
+    ticket = registry.Start(text_, digest_, opts.exec.session_id);
     ticket.set_state(QueryState::kExecuting);
     if (plan_cached_) ticket.set_plan_cached();
   }
@@ -782,7 +771,8 @@ Result<QueryResult> Engine::RunCachedPlanText(const std::string& source,
   QueryRegistry& registry = QueryRegistry::Global();
   QueryRegistry::Ticket ticket;
   if (registry.enabled()) {
-    ticket = registry.Start(std::string(StripAsciiWhitespace(source)), shape);
+    ticket = registry.Start(std::string(StripAsciiWhitespace(source)), shape,
+                            opts.exec.session_id);
     ticket.set_state(QueryState::kExecuting);
     ticket.set_plan_cached();
   }

@@ -20,14 +20,6 @@
 
 namespace seq {
 
-/// A query answer paired with its observability record. Legacy shape kept
-/// for RunProfiled callers; new code reads QueryResult::profile directly
-/// from Run(query, RunOptions{.profile = true}).
-struct ProfiledQueryResult {
-  QueryResult result;
-  QueryProfile profile;
-};
-
 /// Per-query run configuration — the one way to say HOW a query executes.
 /// Replaces the old pattern of mutating engine-wide exec_options() between
 /// queries: a RunOptions travels with the call, so concurrent queries on
@@ -86,17 +78,6 @@ class Engine {
 
   OptimizerOptions& options() { return options_; }
 
-  /// Engine-wide execution defaults, used by the legacy conveniences that
-  /// take no RunOptions. Mutating them between queries is deprecated —
-  /// pass a RunOptions per query instead; the engine copy races with
-  /// concurrent queries and cannot express per-query budgets.
-  [[deprecated(
-      "mutate per-query RunOptions::exec instead of engine-wide state")]]
-  ExecOptions& exec_options() {
-    return exec_options_;
-  }
-  const ExecOptions& exec_options() const { return exec_options_; }
-
   /// Catalog mutations retire this engine's plan-cache entries eagerly.
   /// (The catalog version in every cache key already makes stale entries
   /// unreachable; invalidation reclaims their memory without waiting for
@@ -148,7 +129,8 @@ class Engine {
                             std::vector<Position> positions,
                             const RunOptions& opts) const;
 
-  /// Legacy conveniences: run with the engine-wide exec defaults.
+  /// Conveniences: run with the library-default ExecOptions (including
+  /// the SEQ_USE_BATCH / SEQ_PARALLELISM environment defaults).
   Result<QueryResult> Run(const Query& query,
                           AccessStats* stats = nullptr) const;
   Result<QueryResult> Run(const LogicalOpPtr& graph,
@@ -196,12 +178,6 @@ class Engine {
   /// Annotated logical graph plus the physical plan, as text.
   Result<std::string> Explain(const Query& query) const;
 
-  /// Deprecated: use Run(query, RunOptions{.profile = true}) and read
-  /// QueryResult::profile.
-  [[deprecated("use Run(query, RunOptions{.profile = true})")]]
-  Result<ProfiledQueryResult> RunProfiled(const Query& query,
-                                          AccessStats* stats = nullptr) const;
-
   /// EXPLAIN ANALYZE: runs the query profiled and renders the plan tree
   /// with estimated vs actual rows/cost per operator, the optimizer trace,
   /// and the cost-model drift summary. The RunOptions overload profiles
@@ -222,34 +198,26 @@ class Engine {
     /// the ResourceExhausted degradation signal for the caller to handle.
     Result<QueryResult> Run(const RunOptions& opts) const;
 
-    /// Legacy convenience: the engine exec defaults captured at Prepare.
+    /// Convenience: library-default RunOptions, stats collection only.
     Result<QueryResult> Run(AccessStats* stats = nullptr) const {
-      Executor executor(*catalog_, params_, exec_options_);
-      return executor.Execute(plan_, stats);
-    }
-    /// Deprecated: use Run(RunOptions{.sink = ...}).
-    [[deprecated("use Run(RunOptions{.sink = ...})")]]
-    Status RunVisit(const RowSink& sink, AccessStats* stats = nullptr) const {
-      Executor executor(*catalog_, params_, exec_options_);
-      return executor.ExecuteVisit(plan_, sink, stats);
+      RunOptions opts;
+      opts.stats = stats;
+      return Run(opts);
     }
     const PhysicalPlan& plan() const { return plan_; }
 
    private:
     friend class Engine;
-    PreparedQuery(const Catalog* catalog, CostParams params,
-                  ExecOptions exec_options, PhysicalPlan plan,
+    PreparedQuery(const Catalog* catalog, CostParams params, PhysicalPlan plan,
                   std::string text, std::string digest)
         : catalog_(catalog),
           params_(params),
-          exec_options_(exec_options),
           plan_(std::move(plan)),
           text_(std::move(text)),
           digest_(std::move(digest)) {}
 
     const Catalog* catalog_;  // owned by the Engine; must outlive this
     CostParams params_;
-    ExecOptions exec_options_;
     PhysicalPlan plan_;
     // Query-registry identity, captured once at Prepare so repeated Runs
     // never re-unparse (empty when the registry was disabled then).
@@ -347,7 +315,6 @@ class Engine {
 
   Catalog catalog_;
   OptimizerOptions options_;
-  ExecOptions exec_options_;
   ViewMap views_;
   PlanCacheId plan_cache_id_;
 };

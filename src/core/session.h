@@ -1,0 +1,176 @@
+#ifndef SEQ_CORE_SESSION_H_
+#define SEQ_CORE_SESSION_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+
+namespace seq {
+
+/// What one Session request produced. `text` carries human-readable output
+/// (EXPLAIN trees, "defined <name>" notes, command results); when
+/// `is_rows` is set the request evaluated a query and `schema`/`rows`
+/// carry the answer. `stats` is filled when the session collects access
+/// counters (set_collect_stats).
+struct ExecuteReply {
+  bool is_rows = false;
+  SchemaPtr schema;
+  std::vector<PosRecord> rows;
+  std::string text;
+  bool has_stats = false;
+  AccessStats stats;
+};
+
+/// The one client surface of the engine (docs/server.md): seqsh local
+/// mode, seqsh --connect remote mode and every seqserved connection
+/// handler speak this interface, so a command behaves identically however
+/// the session reaches the engine.
+///
+/// A session owns the client-visible state that used to live ad hoc in
+/// seqsh: the default RunOptions every query travels with (budgets,
+/// parallelism share, priority, checkpointing), the evaluation range, a
+/// table of prepared statements, and — for LocalSession — session-scoped
+/// view definitions, so concurrent sessions on one server engine can both
+/// say `q = ...` without colliding.
+///
+/// Lifecycle: Close() is idempotent and may be called from another thread
+/// (the server's connection reader calls it on disconnect). It flips the
+/// session's cooperative-cancel flag — wired into every run's
+/// QueryGuards::cancel — so in-flight queries abort at their next check,
+/// admission slots release via RAII, and subsequent calls fail with
+/// Cancelled. Prepared statements are freed with the session.
+class Session {
+ public:
+  virtual ~Session() = default;
+
+  /// Process-unique session id; attributed on every run in the query
+  /// registry (`.queries`, telemetry exporters).
+  uint64_t id() const { return id_; }
+
+  /// Per-session execution defaults: a copy travels with every query, so
+  /// sessions on one engine never race on shared state. When
+  /// `options().sink` is set, rows stream to it instead of materializing
+  /// in the reply — the server uses this to forward row batches without
+  /// buffering a whole result. `options().stats` is ignored; stats
+  /// collection is set_collect_stats() and part of each reply.
+  RunOptions& options() { return options_; }
+  const RunOptions& options() const { return options_; }
+
+  /// Evaluation range applied to every query (nullopt = natural span).
+  std::optional<Span>& range() { return range_; }
+
+  /// Collect simulated access counters into every reply's `stats`.
+  void set_collect_stats(bool on) { collect_stats_ = on; }
+  bool collect_stats() const { return collect_stats_; }
+
+  /// Runs a Sequin fragment: definitions become session views, EXPLAIN
+  /// programs return text, everything else evaluates the main expression
+  /// under the session options and range.
+  virtual Result<ExecuteReply> Execute(const std::string& source) = 0;
+
+  /// Optimizes a Sequin statement once and stores it in the session's
+  /// prepared-statement table; returns the statement id. Cache-backed:
+  /// repeat shapes skip the optimizer via the process plan cache.
+  virtual Result<uint64_t> Prepare(const std::string& source) = 0;
+  virtual Result<ExecuteReply> ExecutePrepared(uint64_t statement_id) = 0;
+  virtual Status CloseStatement(uint64_t statement_id) = 0;
+
+  /// Flags live query `query_id` for cooperative suspension at its next
+  /// chunk boundary (checkpoint-enabled runs only).
+  virtual Status Suspend(uint64_t query_id) = 0;
+
+  /// Resumes a suspended query from its checkpoint file.
+  virtual Result<ExecuteReply> Resume(const std::string& checkpoint_path) = 0;
+
+  /// Read-only telemetry snapshots, by kind: "metrics", "prom", "json",
+  /// "queries", "sched", "plancache", "slowlog".
+  virtual Result<std::string> Telemetry(const std::string& kind) = 0;
+
+  /// Admin commands with textual results, shared verbatim between local
+  /// and remote mode: gen, load, list, schema, materialize, save, savedb,
+  /// opendb, plancache on|off|clear, slowlog clear|threshold <ms>,
+  /// sched workers|limit <n>.
+  virtual Result<std::string> Command(
+      const std::vector<std::string>& args) = 0;
+
+  /// Ends the session: cancels in-flight queries cooperatively and makes
+  /// further calls fail with Cancelled. Idempotent; safe to call from a
+  /// different thread than the one executing requests.
+  virtual void Close() = 0;
+
+ protected:
+  Session() : id_(NextSessionId()) {}
+  static uint64_t NextSessionId();
+
+  uint64_t id_;
+  RunOptions options_;
+  std::optional<Span> range_;
+  bool collect_stats_ = false;
+};
+
+/// A session executing directly against an Engine in this process.
+///
+/// Two modes: the default constructor owns a private engine (seqsh local
+/// mode, tests); the sharing constructor attaches to a server engine
+/// guarded by `gate` — queries take the gate shared, catalog mutations
+/// (gen/load/materialize) take it exclusively, so one session's `.gen`
+/// cannot race another's running query (Engine's documented thread
+/// contract).
+class LocalSession : public Session {
+ public:
+  /// Owns a fresh private engine.
+  LocalSession();
+  /// Shares `engine`; both pointers must outlive the session.
+  LocalSession(Engine* engine, std::shared_mutex* gate);
+  ~LocalSession() override;
+
+  Engine& engine() { return *engine_; }
+
+  Result<ExecuteReply> Execute(const std::string& source) override;
+  Result<uint64_t> Prepare(const std::string& source) override;
+  Result<ExecuteReply> ExecutePrepared(uint64_t statement_id) override;
+  Status CloseStatement(uint64_t statement_id) override;
+  Status Suspend(uint64_t query_id) override;
+  Result<ExecuteReply> Resume(const std::string& checkpoint_path) override;
+  Result<std::string> Telemetry(const std::string& kind) override;
+  Result<std::string> Command(const std::vector<std::string>& args) override;
+  void Close() override;
+
+  /// The session's view definitions (`name = expr;` statements).
+  const ViewMap& views() const { return views_; }
+
+ private:
+  /// Session exec options for one run: the session defaults plus the
+  /// session id and — unless the caller supplied a cancel flag — the
+  /// session's close-cancels-queries wiring.
+  ExecOptions RunExec() const;
+  Status CheckOpen() const;
+  /// Resolves `name` against session views, then the engine's catalog and
+  /// views.
+  Result<LogicalOpPtr> ResolveName(const std::string& name) const;
+  Result<ExecuteReply> RunGraph(const LogicalOpPtr& graph,
+                                ExecuteReply reply);
+  /// Evaluates a fully-inlined main graph under `mode`.
+  Result<ExecuteReply> RunMain(const LogicalOpPtr& graph, ExecuteReply reply,
+                               ExplainMode mode);
+
+  std::unique_ptr<Engine> owned_;
+  std::unique_ptr<std::shared_mutex> own_gate_;
+  Engine* engine_;
+  std::shared_mutex* gate_;
+  ViewMap views_;
+  std::map<uint64_t, Engine::PreparedQuery> statements_;
+  uint64_t next_statement_ = 1;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace seq
+
+#endif  // SEQ_CORE_SESSION_H_

@@ -122,6 +122,12 @@ struct ExecOptions {
   /// per-query knobs so PreparedQuery/seqsh/benches thread it the same way
   /// as use_batch.
   bool use_plan_cache = DefaultUsePlanCache();
+  /// Owning session (docs/server.md): a nonzero id attributes this run to
+  /// a client session in the query registry, `.queries` output and the
+  /// telemetry exporters. 0 (the default) means "no session" — direct
+  /// library calls. Read by the engine's registry envelope, not the
+  /// executor.
+  uint64_t session_id = 0;
   /// Operator-state checkpointing (docs/robustness.md): when enabled, the
   /// engine drives the query through Executor::ExecuteCheckpointed, which
   /// executes chunkable plans as a sequence of clip-span chunks with

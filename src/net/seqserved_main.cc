@@ -1,0 +1,154 @@
+// seqserved: the network front-end of the sequence engine (docs/server.md).
+//
+//   seqserved [--host H] [--port N] [--init script.seq]
+//
+// Binds H:N (default 127.0.0.1, $SEQ_PORT or 7654; --port 0 picks an
+// ephemeral port), optionally seeds the shared engine from an init script
+// (seqsh syntax: `.command` lines and Sequin statements), then serves the
+// wire protocol until SIGINT/SIGTERM. View definitions in the init script
+// are promoted to engine views so every client session sees them.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "common/string_util.h"
+#include "core/session.h"
+#include "net/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true, std::memory_order_release); }
+
+std::vector<std::string> SplitArgs(const std::string& line) {
+  std::vector<std::string> args;
+  std::istringstream iss(line);
+  std::string arg;
+  while (iss >> arg) args.push_back(std::move(arg));
+  return args;
+}
+
+int RunInitScript(const std::string& path, seq::Engine* engine,
+                  std::shared_mutex* gate) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "seqserved: cannot open init script " << path << "\n";
+    return 1;
+  }
+  seq::LocalSession session(engine, gate);
+  std::string line;
+  std::string pending;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string text{seq::StripAsciiWhitespace(line)};
+    if (text.empty() || text[0] == '#') continue;
+    if (text[0] == '.' && pending.empty()) {
+      std::vector<std::string> args = SplitArgs(text.substr(1));
+      seq::Result<std::string> out = session.Command(args);
+      if (!out.ok()) {
+        std::cerr << "seqserved: " << path << ":" << lineno << ": "
+                  << out.status().ToString() << "\n";
+        return 1;
+      }
+      std::cout << *out;
+      continue;
+    }
+    pending += text;
+    pending += "\n";
+    if (text.back() != ';') continue;
+    seq::Result<seq::ExecuteReply> reply = session.Execute(pending);
+    pending.clear();
+    if (!reply.ok()) {
+      std::cerr << "seqserved: " << path << ":" << lineno << ": "
+                << reply.status().ToString() << "\n";
+      return 1;
+    }
+    if (!reply->text.empty()) std::cout << reply->text;
+  }
+  // Promote the script's view definitions to engine views: init state
+  // must outlive the init session and be visible to every client.
+  for (const auto& [name, graph] : session.views()) {
+    seq::Status s = engine->DefineView(name, graph);
+    if (!s.ok()) {
+      std::cerr << "seqserved: promoting view " << name << ": "
+                << s.ToString() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int DefaultPort() {
+  const char* env = std::getenv("SEQ_PORT");
+  if (env != nullptr && *env != '\0') {
+    const int port = std::atoi(env);
+    if (port >= 0 && port <= 65535) return port;
+  }
+  return 7654;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = DefaultPort();
+  std::string init;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--init" && i + 1 < argc) {
+      init = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: seqserved [--host H] [--port N] [--init script]\n"
+                   "  --host H   bind address (default 127.0.0.1)\n"
+                   "  --port N   TCP port (default $SEQ_PORT or 7654; 0 = "
+                   "ephemeral)\n"
+                   "  --init F   seed the engine from a seqsh-style script\n";
+      return 0;
+    } else {
+      std::cerr << "seqserved: unknown argument " << arg
+                << " (try --help)\n";
+      return 1;
+    }
+  }
+
+  seq::Engine engine;
+  std::shared_mutex gate;
+  if (!init.empty()) {
+    const int rc = RunInitScript(init, &engine, &gate);
+    if (rc != 0) return rc;
+  }
+
+  seq::SeqServer server(&engine, &gate);
+  seq::Result<int> bound = server.Start(host, port);
+  if (!bound.ok()) {
+    std::cerr << "seqserved: " << bound.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "seqserved listening on " << host << ":" << *bound
+            << std::endl;
+
+  struct sigaction sa {};
+  sa.sa_handler = OnSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  while (!g_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  std::cout << "seqserved: shut down\n";
+  return 0;
+}

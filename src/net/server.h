@@ -1,0 +1,73 @@
+#ifndef SEQ_NET_SERVER_H_
+#define SEQ_NET_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+
+namespace seq {
+
+/// The seqserved socket front-end (docs/server.md). Accepts TCP
+/// connections on one listening socket and speaks the length-prefixed
+/// wire protocol of net/wire.h; every connection gets one LocalSession
+/// against the shared engine, so remote clients see exactly the local
+/// Session semantics — per-session prepared statements, session views,
+/// registry attribution, and disconnect-cancels-in-flight.
+///
+/// Threading: one accept thread, and per connection a reader thread
+/// (frames in) plus a worker thread (execute in order, sole writer).
+/// The reader closing the session on EOF is what turns a client
+/// disconnect into a cooperative cancel of the in-flight query.
+class SeqServer {
+ public:
+  /// Owns a private engine (tests, simple deployments).
+  SeqServer();
+  /// Serves an existing engine; `engine` and `gate` must outlive the
+  /// server. Queries take `gate` shared, catalog mutations exclusive.
+  SeqServer(Engine* engine, std::shared_mutex* gate);
+  ~SeqServer();
+
+  SeqServer(const SeqServer&) = delete;
+  SeqServer& operator=(const SeqServer&) = delete;
+
+  /// Binds `host:port` (port 0 = ephemeral) and starts accepting.
+  /// Returns the bound port.
+  Result<int> Start(const std::string& host, int port);
+
+  /// Stops accepting, closes every connection (cancelling in-flight
+  /// queries) and joins all threads. Idempotent.
+  void Stop();
+
+  Engine& engine() { return *engine_; }
+  std::shared_mutex& gate() { return *gate_; }
+  int port() const { return port_; }
+
+ private:
+  struct Conn;
+
+  void AcceptLoop();
+  void RunConnection(Conn* conn);
+
+  std::unique_ptr<Engine> owned_;
+  std::unique_ptr<std::shared_mutex> own_gate_;
+  Engine* engine_;
+  std::shared_mutex* gate_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace seq
+
+#endif  // SEQ_NET_SERVER_H_

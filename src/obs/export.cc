@@ -123,7 +123,8 @@ void JsonHistogram(std::ostringstream& oss, const HistogramSnapshot& hist) {
 }
 
 void JsonLiveQuery(std::ostringstream& oss, const LiveQueryInfo& q) {
-  oss << "{\"id\":" << q.id << ",\"text\":\"" << JsonEscape(q.text)
+  oss << "{\"id\":" << q.id << ",\"session\":" << q.session_id
+      << ",\"text\":\"" << JsonEscape(q.text)
       << "\",\"digest\":\"" << JsonEscape(q.digest) << "\",\"state\":\""
       << QueryStateName(q.state) << "\",\"rows\":" << q.rows
       << ",\"pages\":" << q.pages << ",\"workers\":" << q.workers
@@ -134,7 +135,8 @@ void JsonLiveQuery(std::ostringstream& oss, const LiveQueryInfo& q) {
 }
 
 void JsonCompletedQuery(std::ostringstream& oss, const CompletedQueryInfo& q) {
-  oss << "{\"id\":" << q.id << ",\"text\":\"" << JsonEscape(q.text)
+  oss << "{\"id\":" << q.id << ",\"session\":" << q.session_id
+      << ",\"text\":\"" << JsonEscape(q.text)
       << "\",\"digest\":\"" << JsonEscape(q.digest) << "\",\"status\":\""
       << JsonEscape(q.status) << "\",\"ok\":" << (q.ok ? "true" : "false")
       << ",\"degraded\":" << (q.degraded ? "true" : "false")

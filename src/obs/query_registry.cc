@@ -23,6 +23,7 @@ const char* QueryStateName(QueryState state) {
 /// registry Reset and snapshot readers need no lifetime coordination.
 struct QueryRegistryEntry {
   uint64_t id = 0;
+  uint64_t session_id = 0;
   std::string text;
   std::string digest;
   std::chrono::steady_clock::time_point start;
@@ -80,11 +81,13 @@ CompletedQueryInfo QueryRegistry::Ticket::Finish(
 }
 
 QueryRegistry::Ticket QueryRegistry::Start(std::string text,
-                                           std::string digest) {
+                                           std::string digest,
+                                           uint64_t session_id) {
   Ticket ticket;
   if (!enabled()) return ticket;
   auto entry = std::make_shared<QueryRegistryEntry>();
   entry->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  entry->session_id = session_id;
   entry->text = std::move(text);
   entry->digest = std::move(digest);
   entry->start = std::chrono::steady_clock::now();
@@ -103,6 +106,7 @@ CompletedQueryInfo QueryRegistry::FinishEntry(
     const std::string& status_name) {
   CompletedQueryInfo info;
   info.id = entry->id;
+  info.session_id = entry->session_id;
   info.text = entry->text;
   info.digest = entry->digest;
   info.ok = ok;
@@ -137,6 +141,7 @@ std::vector<LiveQueryInfo> QueryRegistry::Live() const {
   for (const auto& [id, entry] : live_) {
     LiveQueryInfo info;
     info.id = id;
+    info.session_id = entry->session_id;
     info.text = entry->text;
     info.digest = entry->digest;
     info.state = static_cast<QueryState>(

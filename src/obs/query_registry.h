@@ -61,6 +61,7 @@ struct QueryTelemetry {
 /// Point-in-time view of one live query.
 struct LiveQueryInfo {
   uint64_t id = 0;
+  uint64_t session_id = 0;  ///< owning client session (0 = direct call)
   std::string text;    ///< normalized (unparsed) query text
   std::string digest;  ///< literal-parameterized shape key
   QueryState state = QueryState::kOptimizing;
@@ -77,6 +78,7 @@ struct LiveQueryInfo {
 /// One finished query in the registry's completion ring.
 struct CompletedQueryInfo {
   uint64_t id = 0;
+  uint64_t session_id = 0;  ///< owning client session (0 = direct call)
   std::string text;
   std::string digest;
   std::string status = "OK";  ///< StatusCodeName of the final status
@@ -136,9 +138,10 @@ class QueryRegistry {
   };
 
   /// Registers a query and returns its RAII ticket. Ids are
-  /// monotonically increasing across the process. When disabled, returns
-  /// an inactive ticket and stores nothing.
-  Ticket Start(std::string text, std::string digest);
+  /// monotonically increasing across the process. A nonzero `session_id`
+  /// attributes the run to a client session (docs/server.md). When
+  /// disabled, returns an inactive ticket and stores nothing.
+  Ticket Start(std::string text, std::string digest, uint64_t session_id = 0);
 
   /// Live queries, in id (= start) order.
   std::vector<LiveQueryInfo> Live() const;
